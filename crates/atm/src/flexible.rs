@@ -1,0 +1,150 @@
+//! Flexible transaction specifications (§4.2).
+//!
+//! A flexible transaction provides **alternative execution paths** in
+//! preference order: "if a subtransaction is aborted, then a different
+//! subtransaction can be submitted in the hope that it will be
+//! successful. A flexible transaction commits if either the main
+//! subtransactions or their alternatives commit."
+//!
+//! The specification mirrors the paper's Figure 3: a set of typed
+//! steps and a preference-ordered list of paths (each path a total
+//! order of step names). Paths share prefixes; switching from a path
+//! to the next compensates the committed steps that the next path does
+//! not share.
+
+use crate::spec::{SpecError, StepSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use txn_substrate::StepClass;
+
+/// One subtransaction of a flexible transaction. Alias of
+/// [`StepSpec`], re-exported under the model's own name for clarity in
+/// downstream code.
+pub type FlexStep = StepSpec;
+
+/// A flexible transaction specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlexSpec {
+    /// Transaction name.
+    pub name: String,
+    /// All subtransactions, keyed by name via [`FlexSpec::step`].
+    pub steps: Vec<FlexStep>,
+    /// Alternative execution paths in preference order (most preferred
+    /// first); each path is a sequence of step names.
+    pub paths: Vec<Vec<String>>,
+}
+
+impl FlexSpec {
+    /// Builds a specification.
+    pub fn new(name: &str, steps: Vec<FlexStep>, paths: Vec<Vec<&str>>) -> Self {
+        Self {
+            name: name.to_owned(),
+            steps,
+            paths: paths
+                .into_iter()
+                .map(|p| p.into_iter().map(|s| s.to_owned()).collect())
+                .collect(),
+        }
+    }
+
+    /// Looks up a step by name.
+    pub fn step(&self, name: &str) -> Option<&FlexStep> {
+        self.steps.iter().find(|s| s.name == name)
+    }
+
+    /// The class of a step (panics on unknown names — callers run
+    /// [`crate::wellformed::check_flex`] first).
+    pub fn class_of(&self, name: &str) -> StepClass {
+        self.step(name).expect("step exists").class
+    }
+
+    /// Structural errors: duplicate steps, unknown path references,
+    /// duplicate steps within a path, no paths, empty paths.
+    pub fn structural_errors(&self) -> Vec<SpecError> {
+        let mut errors = Vec::new();
+        let mut seen = BTreeSet::new();
+        for s in &self.steps {
+            if !seen.insert(s.name.clone()) {
+                errors.push(SpecError::DuplicateStep(s.name.clone()));
+            }
+        }
+        for path in &self.paths {
+            let mut in_path = BTreeSet::new();
+            for name in path {
+                if self.step(name).is_none() {
+                    errors.push(SpecError::UnknownStep(name.clone()));
+                }
+                if !in_path.insert(name.clone()) {
+                    errors.push(SpecError::DuplicateStep(format!("{name} (within a path)")));
+                }
+            }
+        }
+        errors
+    }
+
+    /// Length of the longest common prefix of two paths.
+    pub fn common_prefix_len(a: &[String], b: &[String]) -> usize {
+        a.iter().zip(b.iter()).take_while(|(x, y)| x == y).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FlexSpec {
+        FlexSpec::new(
+            "demo",
+            vec![
+                FlexStep::compensatable("T1", "p1", "c1"),
+                FlexStep::pivot("T2", "p2"),
+                FlexStep::retriable("T3", "p3"),
+            ],
+            vec![vec!["T1", "T2"], vec!["T1", "T3"]],
+        )
+    }
+
+    #[test]
+    fn lookup_and_class() {
+        let s = spec();
+        assert_eq!(s.step("T2").unwrap().program, "p2");
+        assert!(s.class_of("T3").is_retriable());
+        assert!(s.step("T9").is_none());
+    }
+
+    #[test]
+    fn structural_errors_catch_unknown_and_duplicates() {
+        let mut s = spec();
+        s.paths.push(vec!["T1".into(), "Ghost".into(), "T1".into()]);
+        let errs = s.structural_errors();
+        assert!(errs.contains(&SpecError::UnknownStep("Ghost".into())));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::DuplicateStep(d) if d.contains("within a path"))));
+    }
+
+    #[test]
+    fn common_prefix() {
+        let a = vec!["T1".to_string(), "T2".to_string(), "T4".to_string()];
+        let b = vec!["T1".to_string(), "T2".to_string(), "T3".to_string()];
+        assert_eq!(FlexSpec::common_prefix_len(&a, &b), 2);
+        assert_eq!(FlexSpec::common_prefix_len(&a, &a), 3);
+        assert_eq!(FlexSpec::common_prefix_len(&a, &[]), 0);
+    }
+
+    #[test]
+    fn duplicate_step_definitions_flagged() {
+        let s = FlexSpec::new(
+            "dup",
+            vec![
+                FlexStep::pivot("T1", "p"),
+                FlexStep::pivot("T1", "q"),
+            ],
+            vec![vec!["T1"]],
+        );
+        assert_eq!(
+            s.structural_errors(),
+            vec![SpecError::DuplicateStep("T1".into())]
+        );
+    }
+}

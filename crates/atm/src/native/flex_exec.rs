@@ -1,0 +1,442 @@
+//! The native flexible-transaction executor (§4.2).
+//!
+//! Executes the preference-ordered paths of a [`FlexSpec`]:
+//!
+//! * steps run in path order; steps already committed on a previous
+//!   path (the shared prefix) are not re-executed;
+//! * a **retriable** step that aborts is retried until it commits
+//!   ("T3 can be retried until it commits");
+//! * any other abort abandons the current path: committed steps beyond
+//!   the longest committed prefix of the next path are compensated in
+//!   reverse commit order, then execution continues with the next path
+//!   ("In the case that T8 is the one that aborts, T5 and T6 will be
+//!   compensated before T7 is executed");
+//! * when no alternative remains, everything committed is compensated
+//!   and the transaction aborts;
+//! * compensations are retriable, as in the saga model.
+//!
+//! The switch rule follows the paper's narrative exactly: the failure
+//! of step *s* falls through to the most preferred untried path whose
+//! remaining continuation does **not** include *s* — aborting `T4`
+//! jumps straight to `p3 = T1 T2 T3` (skipping `p2`, which would only
+//! re-attempt `T4`), while aborting `T8` falls to `p2`'s continuation
+//! `T7`.
+
+use crate::flexible::FlexSpec;
+use crate::native::trace::{AtmEvent, AtmTrace};
+use crate::wellformed::{check_flex, WellFormedError};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use txn_substrate::{MultiDatabase, ProgramContext, ProgramRegistry};
+
+/// Outcome of a flexible-transaction execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlexOutcome {
+    /// The transaction committed by completing the path with this
+    /// index (0 = most preferred).
+    CommittedVia(usize),
+    /// Every alternative failed before a pivot committed; all
+    /// committed steps were compensated.
+    Aborted,
+    /// The execution exceeded a retry bound — only possible when a
+    /// supposedly retriable program in fact never commits, i.e. the
+    /// specification lied about a step's class.
+    Stuck {
+        /// The step that exhausted its retries.
+        step: String,
+    },
+}
+
+/// Result of a flexible-transaction execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlexResult {
+    /// What happened.
+    pub outcome: FlexOutcome,
+    /// Ordered trace.
+    pub trace: AtmTrace,
+    /// Steps still committed at the end (the effects that persist).
+    pub committed: Vec<String>,
+}
+
+impl FlexResult {
+    /// True if the transaction committed via some path.
+    pub fn is_committed(&self) -> bool {
+        matches!(self.outcome, FlexOutcome::CommittedVia(_))
+    }
+}
+
+/// The native flexible-transaction executor.
+pub struct FlexExecutor {
+    multidb: Arc<MultiDatabase>,
+    registry: Arc<ProgramRegistry>,
+    /// Retry bound for retriable steps and compensations.
+    pub max_retries: u32,
+}
+
+impl FlexExecutor {
+    /// Builds an executor over `multidb` and `registry`.
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use txn_substrate::{FailurePlan, MultiDatabase, ProgramRegistry};
+    /// use atm::{fixtures, FlexExecutor, FlexOutcome};
+    ///
+    /// let fed = MultiDatabase::new(0);
+    /// let registry = Arc::new(ProgramRegistry::new());
+    /// fixtures::register_figure3_programs(&fed, &registry);
+    /// // T8 always aborts: the paper's "T5 and T6 will be compensated
+    /// // before T7 is executed".
+    /// fed.injector().set_plan("T8", FailurePlan::Always);
+    ///
+    /// let exec = FlexExecutor::new(Arc::clone(&fed), registry);
+    /// let result = exec.run(&fixtures::figure3_spec()).unwrap();
+    /// assert_eq!(result.outcome, FlexOutcome::CommittedVia(1)); // p2
+    /// assert_eq!(result.trace.compensated(), vec!["T6", "T5"]);
+    /// ```
+    pub fn new(multidb: Arc<MultiDatabase>, registry: Arc<ProgramRegistry>) -> Self {
+        Self {
+            multidb,
+            registry,
+            max_retries: 1_000,
+        }
+    }
+
+    /// Runs `spec`. Returns `Err` if it is not well-formed.
+    pub fn run(&self, spec: &FlexSpec) -> Result<FlexResult, Vec<WellFormedError>> {
+        let errors = check_flex(spec);
+        if !errors.is_empty() {
+            return Err(errors);
+        }
+
+        let mut trace = AtmTrace::default();
+        // Commit order matters for compensation; membership checks use
+        // the set.
+        let mut committed_order: Vec<String> = Vec::new();
+        let mut committed: BTreeSet<String> = BTreeSet::new();
+        let mut k = 0usize;
+
+        'paths: while k < spec.paths.len() {
+            let path = &spec.paths[k];
+            for name in path {
+                if committed.contains(name) {
+                    continue; // shared prefix with an earlier path
+                }
+                let step = spec.step(name).expect("well-formed");
+                match self.run_forward(step, &mut trace) {
+                    ForwardResult::Committed => {
+                        committed_order.push(name.clone());
+                        committed.insert(name.clone());
+                    }
+                    ForwardResult::Stuck => {
+                        return Ok(FlexResult {
+                            outcome: FlexOutcome::Stuck { step: name.clone() },
+                            trace,
+                            committed: committed_order,
+                        });
+                    }
+                    ForwardResult::Failed => {
+                        // Abandon this path: fall through to the most
+                        // preferred untried path whose continuation
+                        // does not require the failed step.
+                        let fallback = ((k + 1)..spec.paths.len()).find(|&k2| {
+                            !spec.paths[k2]
+                                .iter()
+                                .skip_while(|s| committed.contains(*s))
+                                .any(|s| s == name)
+                        });
+                        if let Some(k2) = fallback {
+                            let next = &spec.paths[k2];
+                            // Longest prefix of the fallback path that
+                            // is already committed, in order.
+                            let keep: BTreeSet<String> = next
+                                .iter()
+                                .take_while(|s| committed.contains(*s))
+                                .cloned()
+                                .collect();
+                            // Compensate everything else, reverse
+                            // commit order.
+                            let to_undo: Vec<String> = committed_order
+                                .iter()
+                                .filter(|s| !keep.contains(*s))
+                                .cloned()
+                                .collect();
+                            for s in to_undo.iter().rev() {
+                                let step = spec.step(s).expect("well-formed");
+                                if let Err(stuck) = self.compensate(step, &mut trace) {
+                                    return Ok(FlexResult {
+                                        outcome: FlexOutcome::Stuck { step: stuck },
+                                        trace,
+                                        committed: committed_order,
+                                    });
+                                }
+                                committed.remove(s);
+                                committed_order.retain(|c| c != s);
+                            }
+                            trace.push(AtmEvent::PathSwitched { from: k, to: k2 });
+                            k = k2;
+                            continue 'paths;
+                        }
+                        // No alternative left: full abort.
+                        for s in committed_order.clone().iter().rev() {
+                            let step = spec.step(s).expect("well-formed");
+                            if let Err(stuck) = self.compensate(step, &mut trace) {
+                                return Ok(FlexResult {
+                                    outcome: FlexOutcome::Stuck { step: stuck },
+                                    trace,
+                                    committed: committed_order,
+                                });
+                            }
+                            committed.remove(s);
+                            committed_order.retain(|c| c != s);
+                        }
+                        return Ok(FlexResult {
+                            outcome: FlexOutcome::Aborted,
+                            trace,
+                            committed: committed_order,
+                        });
+                    }
+                }
+            }
+            // Path completed.
+            return Ok(FlexResult {
+                outcome: FlexOutcome::CommittedVia(k),
+                trace,
+                committed: committed_order,
+            });
+        }
+        unreachable!("loop either returns or advances k past the last path");
+    }
+
+    fn run_forward(&self, step: &crate::spec::StepSpec, trace: &mut AtmTrace) -> ForwardResult {
+        let mut attempt = 0u32;
+        loop {
+            let mut ctx = ProgramContext::new(Arc::clone(&self.multidb));
+            ctx.attempt = attempt;
+            let outcome = self.registry.invoke(&step.program, &mut ctx);
+            if outcome.is_committed() {
+                trace.push(AtmEvent::Committed(step.name.clone()));
+                return ForwardResult::Committed;
+            }
+            trace.push(AtmEvent::Aborted(step.name.clone(), attempt));
+            if !step.class.is_retriable() {
+                return ForwardResult::Failed;
+            }
+            attempt += 1;
+            trace.push(AtmEvent::Retried(step.name.clone(), attempt));
+            if attempt > self.max_retries {
+                return ForwardResult::Stuck;
+            }
+        }
+    }
+
+    fn compensate(
+        &self,
+        step: &crate::spec::StepSpec,
+        trace: &mut AtmTrace,
+    ) -> Result<(), String> {
+        let comp = step
+            .compensation
+            .as_deref()
+            .expect("well-formedness guarantees compensations where needed");
+        let mut attempt = 0u32;
+        loop {
+            let mut ctx = ProgramContext::new(Arc::clone(&self.multidb));
+            ctx.attempt = attempt;
+            if self.registry.invoke(comp, &mut ctx).is_committed() {
+                trace.push(AtmEvent::Compensated(step.name.clone()));
+                return Ok(());
+            }
+            attempt += 1;
+            trace.push(AtmEvent::CompensationRetried(step.name.clone(), attempt));
+            if attempt > self.max_retries {
+                return Err(step.name.clone());
+            }
+        }
+    }
+}
+
+enum ForwardResult {
+    Committed,
+    Failed,
+    Stuck,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{self, figure3_spec, marker};
+    use txn_substrate::{FailurePlan, MultiDatabase, ProgramRegistry};
+
+    fn rig() -> (Arc<MultiDatabase>, FlexExecutor) {
+        let fed = MultiDatabase::new(0);
+        let registry = Arc::new(ProgramRegistry::new());
+        fixtures::register_figure3_programs(&fed, &registry);
+        let exec = FlexExecutor::new(Arc::clone(&fed), registry);
+        (fed, exec)
+    }
+
+    #[test]
+    fn happy_path_commits_via_p1() {
+        let (fed, exec) = rig();
+        let res = exec.run(&figure3_spec()).unwrap();
+        assert_eq!(res.outcome, FlexOutcome::CommittedVia(0));
+        assert_eq!(
+            res.committed,
+            vec!["T1", "T2", "T4", "T5", "T6", "T8"]
+        );
+        for t in ["T1", "T2", "T4", "T5", "T6", "T8"] {
+            assert_eq!(marker(&fed, t), Some(1));
+        }
+        assert_eq!(marker(&fed, "T3"), None);
+        assert_eq!(marker(&fed, "T7"), None);
+    }
+
+    #[test]
+    fn t1_abort_aborts_whole_transaction() {
+        // "First T1 is executed, if it aborts, then the entire
+        // transaction is considered to be aborted."
+        let (fed, exec) = rig();
+        fed.injector().set_plan("T1", FailurePlan::Always);
+        let res = exec.run(&figure3_spec()).unwrap();
+        assert_eq!(res.outcome, FlexOutcome::Aborted);
+        assert!(res.committed.is_empty());
+        assert!(res.trace.compensated().is_empty());
+    }
+
+    #[test]
+    fn t2_abort_compensates_t1_and_aborts() {
+        // "If T2 aborts … the compensation for T1 is executed."
+        let (fed, exec) = rig();
+        fed.injector().set_plan("T2", FailurePlan::Always);
+        let res = exec.run(&figure3_spec()).unwrap();
+        assert_eq!(res.outcome, FlexOutcome::Aborted);
+        // T1 is the kept prefix of every alternative, so it survives
+        // both switches and is compensated exactly once, at the final
+        // abort.
+        assert_eq!(res.trace.compensated(), vec!["T1"]);
+        assert_eq!(marker(&fed, "T1"), Some(-1));
+        // T2 is in every path's continuation, so its failure finds no
+        // fallback: it is attempted exactly once (the paper's "if T2
+        // aborts … the compensation for T1 is executed and all other
+        // activities are marked as terminated").
+        let attempts = res
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, AtmEvent::Aborted(s, _) if s == "T2"))
+            .count();
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn t4_abort_falls_through_to_p3() {
+        // "If T4 aborts, T3 is executed until it successfully commits."
+        let (fed, exec) = rig();
+        fed.injector().set_plan("T4", FailurePlan::Always);
+        fed.injector().set_plan("T3", FailurePlan::FirstN(2));
+        let res = exec.run(&figure3_spec()).unwrap();
+        assert_eq!(res.outcome, FlexOutcome::CommittedVia(2));
+        assert_eq!(res.committed, vec!["T1", "T2", "T3"]);
+        // T3 needed two retries.
+        let retries = res
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, AtmEvent::Retried(s, _) if s == "T3"))
+            .count();
+        assert_eq!(retries, 2);
+        assert_eq!(marker(&fed, "T3"), Some(1));
+        assert_eq!(marker(&fed, "T1"), Some(1), "shared prefix survives");
+    }
+
+    #[test]
+    fn t5_abort_switches_to_p2_without_compensation() {
+        // "If either T5, T6 or T8 aborts, then T7 is executed."
+        let (fed, exec) = rig();
+        fed.injector().set_plan("T5", FailurePlan::Always);
+        let res = exec.run(&figure3_spec()).unwrap();
+        assert_eq!(res.outcome, FlexOutcome::CommittedVia(1));
+        assert!(res.trace.compensated().is_empty(), "nothing beyond prefix");
+        assert_eq!(res.committed, vec!["T1", "T2", "T4", "T7"]);
+    }
+
+    #[test]
+    fn t8_abort_compensates_t6_t5_then_runs_t7() {
+        // "In the case that T8 is the one that aborts, T5 and T6 will
+        // be compensated before T7 is executed." (reverse order)
+        let (fed, exec) = rig();
+        fed.injector().set_plan("T8", FailurePlan::Always);
+        let res = exec.run(&figure3_spec()).unwrap();
+        assert_eq!(res.outcome, FlexOutcome::CommittedVia(1));
+        assert_eq!(res.trace.compensated(), vec!["T6", "T5"]);
+        assert_eq!(marker(&fed, "T5"), Some(-1));
+        assert_eq!(marker(&fed, "T6"), Some(-1));
+        assert_eq!(marker(&fed, "T7"), Some(1));
+        assert_eq!(res.committed, vec!["T1", "T2", "T4", "T7"]);
+    }
+
+    #[test]
+    fn retriable_t7_retries_within_p2() {
+        let (fed, exec) = rig();
+        fed.injector().set_plan("T6", FailurePlan::Always);
+        fed.injector().set_plan("T7", FailurePlan::FirstN(3));
+        let res = exec.run(&figure3_spec()).unwrap();
+        assert_eq!(res.outcome, FlexOutcome::CommittedVia(1));
+        assert_eq!(res.trace.compensated(), vec!["T5"]);
+        let t7_retries = res
+            .trace
+            .events
+            .iter()
+            .filter(|e| matches!(e, AtmEvent::Retried(s, _) if s == "T7"))
+            .count();
+        assert_eq!(t7_retries, 3);
+    }
+
+    #[test]
+    fn stuck_when_retriable_lies() {
+        let (fed, mut exec) = rig();
+        fed.injector().set_plan("T4", FailurePlan::Always);
+        fed.injector().set_plan("T3", FailurePlan::Always);
+        exec.max_retries = 5;
+        let res = exec.run(&figure3_spec()).unwrap();
+        assert_eq!(
+            res.outcome,
+            FlexOutcome::Stuck { step: "T3".into() }
+        );
+    }
+
+    #[test]
+    fn ill_formed_spec_rejected() {
+        let (_, exec) = rig();
+        let mut spec = figure3_spec();
+        spec.paths.push(vec![]);
+        assert!(exec.run(&spec).is_err());
+    }
+
+    #[test]
+    fn every_single_step_failure_keeps_invariants() {
+        // For each step failing permanently, the execution must either
+        // commit via some path or abort having compensated every
+        // committed compensatable; no marker may be left at 1 unless
+        // it belongs to the surviving committed set.
+        for fail in fixtures::FIGURE3_STEPS {
+            let (fed, exec) = rig();
+            fed.injector().set_plan(fail, FailurePlan::Always);
+            let spec = figure3_spec();
+            // Retriable steps failing forever would legitimately hang;
+            // skip them (covered by the `stuck` test).
+            if spec.class_of(fail).is_retriable() {
+                continue;
+            }
+            let res = exec.run(&spec).unwrap();
+            for t in fixtures::FIGURE3_STEPS {
+                let m = marker(&fed, t);
+                if res.committed.contains(&t.to_string()) {
+                    assert_eq!(m, Some(1), "fail={fail}: {t} should persist");
+                } else {
+                    assert_ne!(m, Some(1), "fail={fail}: {t} left dangling");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Native executors — the transaction models run *directly* against
+//! the substrate, with no workflow engine involved.
+//!
+//! These are the baselines of the paper's argument: §4 shows the same
+//! guarantees can be obtained by compiling the models onto a WFMS.
+//! The equivalence tests execute both (native executor vs translated
+//! workflow process) under identical failure scripts and compare the
+//! final database state and compensation order.
+
+pub mod flex_exec;
+pub mod twopc;
+pub mod saga_exec;
+pub mod trace;

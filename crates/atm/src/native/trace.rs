@@ -1,0 +1,105 @@
+//! Execution traces of the native executors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One observable step of a native execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AtmEvent {
+    /// A forward subtransaction committed.
+    Committed(String),
+    /// A forward subtransaction aborted (attempt number attached).
+    Aborted(String, u32),
+    /// A retriable subtransaction is being retried.
+    Retried(String, u32),
+    /// A compensation committed.
+    Compensated(String),
+    /// A compensation aborted and will be retried.
+    CompensationRetried(String, u32),
+    /// Execution switched from one alternative path to another.
+    PathSwitched { from: usize, to: usize },
+}
+
+impl fmt::Display for AtmEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtmEvent::Committed(s) => write!(f, "{s}+"),
+            AtmEvent::Aborted(s, n) => write!(f, "{s}-#{n}"),
+            AtmEvent::Retried(s, n) => write!(f, "{s}~#{n}"),
+            AtmEvent::Compensated(s) => write!(f, "{s}^"),
+            AtmEvent::CompensationRetried(s, n) => write!(f, "{s}^~#{n}"),
+            AtmEvent::PathSwitched { from, to } => write!(f, "p{from}=>p{to}"),
+        }
+    }
+}
+
+/// An ordered event list with convenience accessors.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtmTrace {
+    /// Events in execution order.
+    pub events: Vec<AtmEvent>,
+}
+
+impl AtmTrace {
+    /// Appends an event.
+    pub fn push(&mut self, e: AtmEvent) {
+        self.events.push(e);
+    }
+
+    /// Names of committed forward steps, in commit order.
+    pub fn committed(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                AtmEvent::Committed(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Names of compensated steps, in compensation order.
+    pub fn compensated(&self) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                AtmEvent::Compensated(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Compact single-line rendering, e.g.
+    /// `"T1+ T2+ T4-#0 p0=>p2 T3~#1 T3+"`.
+    pub fn compact(&self) -> String {
+        self.events
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_filter_event_kinds() {
+        let mut t = AtmTrace::default();
+        t.push(AtmEvent::Committed("T1".into()));
+        t.push(AtmEvent::Aborted("T2".into(), 0));
+        t.push(AtmEvent::Compensated("T1".into()));
+        assert_eq!(t.committed(), vec!["T1"]);
+        assert_eq!(t.compensated(), vec!["T1"]);
+    }
+
+    #[test]
+    fn compact_rendering() {
+        let mut t = AtmTrace::default();
+        t.push(AtmEvent::Committed("T1".into()));
+        t.push(AtmEvent::PathSwitched { from: 0, to: 1 });
+        t.push(AtmEvent::Retried("T7".into(), 2));
+        t.push(AtmEvent::CompensationRetried("T5".into(), 1));
+        assert_eq!(t.compact(), "T1+ p0=>p1 T7~#2 T5^~#1");
+    }
+}

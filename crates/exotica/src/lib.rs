@@ -1,0 +1,93 @@
+//! # exotica — the Exotica/FMTM pre-processor
+//!
+//! The paper's §5 prototype: "a middleware module … which acts as a
+//! pre-processor that converts high level specifications of advanced
+//! transaction models into workflow processes". This crate implements
+//! the full Figure 5 pipeline:
+//!
+//! ```text
+//!  ATM spec text ──specfmt──▶ SagaSpec / FlexSpec
+//!        │                         │  well-formedness (atm::wellformed)
+//!        │                         ▼
+//!        │                 translate (Figure 2 / Figure 4 constructions)
+//!        │                         │
+//!        │                         ▼
+//!        └────────────▶ FDL text ──import──▶ validated ProcessDefinition
+//!                                                (executable template)
+//! ```
+//!
+//! * [`saga`] — the Figure 2 construction: forward block +
+//!   compensation block with the NOP trigger and `State_i` bookkeeping.
+//! * [`flexible`] — the §4.2 seven-step construction generalised from
+//!   Figure 4: prefix-merged alternative paths, segment blocks for
+//!   maximal compensatable runs, pivot branch points, retriable exit
+//!   conditions, and failure routing through compensation blocks.
+//! * [`specfmt`] — the textual specification format the pre-processor
+//!   accepts (the "user specification" of Figure 5).
+//! * [`pipeline`] — the end-to-end driver with the per-stage error
+//!   taxonomy (spec syntax → model rules → translation → FDL import).
+//! * [`verify`] — the equivalence harness: runs a specification both
+//!   natively (`atm::native`) and as a translated workflow process
+//!   under identical failure scripts and compares outcomes, database
+//!   state and compensation activity.
+
+pub mod flexible;
+pub mod pipeline;
+pub mod saga;
+pub mod specfmt;
+pub mod verify;
+
+pub use flexible::translate_flex;
+pub use pipeline::{run_pipeline, AtmSpec, PipelineError, PipelineOutput};
+pub use saga::{translate_saga, translate_saga_flat};
+pub use specfmt::{emit_spec, parse_spec, ParsedSpec};
+pub use verify::{compare_flex, compare_saga, EquivalenceReport};
+
+use atm::WellFormedError;
+use wfms_model::ValidationError;
+
+/// Errors produced by the translation stage.
+#[derive(Debug)]
+pub enum TranslateError {
+    /// The specification violates its model's well-formedness rules.
+    NotWellFormed(Vec<WellFormedError>),
+    /// The saga translation covers linear sagas only, as does §4.1 of
+    /// the paper ("the discussion will be limited to the linear
+    /// sagas"); staged sagas run on the native executor.
+    NotLinear,
+    /// The specification is well-formed but outside the structural
+    /// class the static translation supports (the error text explains
+    /// which assumption failed).
+    Unsupported(String),
+    /// The generated process failed meta-model validation — a bug in
+    /// the translator; surfaced rather than panicking so the pipeline
+    /// can report it.
+    Model(Vec<ValidationError>),
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::NotWellFormed(errs) => {
+                writeln!(f, "specification is not well-formed:")?;
+                for e in errs {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+            TranslateError::NotLinear => {
+                f.write_str("only linear sagas are translated to workflow processes")
+            }
+            TranslateError::Unsupported(msg) => write!(f, "unsupported specification: {msg}"),
+            TranslateError::Model(errs) => {
+                writeln!(f, "translator produced an invalid process (bug):")?;
+                for e in errs {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}

@@ -1,0 +1,190 @@
+//! The end-to-end Figure 5 pipeline.
+//!
+//! "The user creates a specification that contains the advanced
+//! transaction model to be used and the set of transactions to be
+//! executed. The pre-processor checks that the user specification
+//! meets the format of the advanced transaction model specified. It
+//! then takes the user specification and converts it into a FlowMark
+//! process in FDL format. … This FDL output is then imported into
+//! FlowMark and an internal representation of the process is created.
+//! During this conversion the import module checks for inconsistencies
+//! in the syntax of the process definition. Finally this internal
+//! format is translated into an executable FlowMark process."
+//!
+//! [`run_pipeline`] performs all stages and reports failures with a
+//! stage-tagged error taxonomy; [`PipelineOutput`] carries the
+//! artifacts of every stage so callers (examples, benchmarks, tests)
+//! can inspect each one.
+
+use crate::flexible::translate_flex;
+use crate::saga::translate_saga;
+use crate::specfmt::{parse_spec, ParsedSpec, SpecSyntaxError};
+use crate::TranslateError;
+use atm::WellFormedError;
+use wfms_fdl::FdlError;
+use wfms_model::ProcessDefinition;
+
+/// Re-export under the name used throughout the documentation.
+pub type AtmSpec = ParsedSpec;
+
+/// Failure at one pipeline stage.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Stage 1: the specification text does not parse.
+    SpecSyntax(SpecSyntaxError),
+    /// Stage 2: the specification violates its model's rules
+    /// ("the pre-processor checks that the user specification meets
+    /// the format of the advanced transaction model specified").
+    ModelRules(Vec<WellFormedError>),
+    /// Stage 3: the translation to a workflow process failed.
+    Translation(TranslateError),
+    /// Stage 4: the emitted FDL failed to re-import — a translator or
+    /// emitter bug, surfaced for completeness of the taxonomy.
+    FdlImport(Vec<FdlError>),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::SpecSyntax(e) => write!(f, "[stage 1: spec syntax] {e}"),
+            PipelineError::ModelRules(errs) => {
+                writeln!(f, "[stage 2: model rules]")?;
+                for e in errs {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+            PipelineError::Translation(e) => write!(f, "[stage 3: translation] {e}"),
+            PipelineError::FdlImport(errs) => {
+                writeln!(f, "[stage 4: FDL import]")?;
+                for e in errs {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Artifacts of a successful pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The parsed specification (stage 1).
+    pub spec: AtmSpec,
+    /// The FDL text emitted by the pre-processor (stage 3 output).
+    pub fdl: String,
+    /// The validated, executable process template (stage 4 output) —
+    /// re-imported from the FDL, proving the textual hand-off works.
+    pub process: ProcessDefinition,
+}
+
+/// Runs the full pipeline on a specification text.
+///
+/// ```
+/// let out = exotica::run_pipeline(r#"
+///     SAGA order
+///       STEP Reserve PROGRAM "reserve" COMPENSATION "release"
+///       STEP Charge  PROGRAM "charge"  COMPENSATION "refund"
+///     END
+/// "#).unwrap();
+/// assert_eq!(out.spec.name(), "order");
+/// assert!(out.fdl.starts_with("PROCESS order"));
+/// assert_eq!(out.process.total_activities(), 2 + 2 + 3);
+/// ```
+pub fn run_pipeline(spec_text: &str) -> Result<PipelineOutput, PipelineError> {
+    // Stage 1: parse the user specification.
+    let spec = parse_spec(spec_text).map_err(PipelineError::SpecSyntax)?;
+
+    // Stage 2: model-rule checking (also re-run inside the
+    // translators; surfaced here as its own stage for the taxonomy).
+    let rule_errors = match &spec {
+        AtmSpec::Saga(s) => atm::check_saga(s),
+        AtmSpec::Flexible(x) => atm::check_flex(x),
+    };
+    if !rule_errors.is_empty() {
+        return Err(PipelineError::ModelRules(rule_errors));
+    }
+
+    // Stage 3: translate to a workflow process and emit FDL.
+    let translated = match &spec {
+        AtmSpec::Saga(s) => translate_saga(s),
+        AtmSpec::Flexible(x) => translate_flex(x),
+    }
+    .map_err(PipelineError::Translation)?;
+    let fdl = wfms_fdl::emit(&translated);
+
+    // Stage 4: import the FDL (syntax + semantic validation), yielding
+    // the executable template.
+    let process = wfms_fdl::parse_and_validate(&fdl).map_err(PipelineError::FdlImport)?;
+    debug_assert_eq!(process, translated, "FDL round trip must be lossless");
+
+    Ok(PipelineOutput { spec, fdl, process })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAGA_SRC: &str = r#"
+        SAGA trip
+          STEP T1 PROGRAM "do_S1" COMPENSATION "undo_S1"
+          STEP T2 PROGRAM "do_S2" COMPENSATION "undo_S2"
+        END
+    "#;
+
+    #[test]
+    fn saga_pipeline_produces_executable_template() {
+        let out = run_pipeline(SAGA_SRC).unwrap();
+        assert_eq!(out.spec.name(), "trip");
+        assert!(out.fdl.contains("PROCESS trip"));
+        assert!(out.fdl.contains("BLOCK Forward"));
+        assert!(out.fdl.contains("BLOCK Compensation"));
+        assert_eq!(out.process.name, "trip");
+        assert!(wfms_model::validate(&out.process).is_empty());
+    }
+
+    #[test]
+    fn flexible_pipeline_runs_figure3() {
+        let src = crate::specfmt::emit_spec(&AtmSpec::Flexible(
+            atm::fixtures::figure3_spec(),
+        ));
+        let out = run_pipeline(&src).unwrap();
+        assert!(out.fdl.contains("BLOCK Blk_T5_T6"));
+        assert!(out.process.has_activity("T8"));
+    }
+
+    #[test]
+    fn stage1_errors() {
+        let err = run_pipeline("SAGA\nEND").unwrap_err();
+        assert!(matches!(err, PipelineError::SpecSyntax(_)));
+        assert!(err.to_string().contains("stage 1"));
+    }
+
+    #[test]
+    fn stage2_errors() {
+        // A saga step without compensation violates the saga rules.
+        let err = run_pipeline("SAGA s\nSTEP A PROGRAM \"p\"\nEND").unwrap_err();
+        assert!(matches!(err, PipelineError::ModelRules(_)));
+        assert!(err.to_string().contains("stage 2"));
+    }
+
+    #[test]
+    fn stage3_errors() {
+        // Well-formed flexible transaction outside the static
+        // translation class: a step in two continuations.
+        let src = r#"
+            FLEXIBLE f
+              STEP A PROGRAM "p" COMPENSATION "c"
+              STEP B PROGRAM "p" RETRIABLE
+              STEP C PROGRAM "p" COMPENSATION "c"
+              PATH A B
+              PATH C B
+            END
+        "#;
+        let err = run_pipeline(src).unwrap_err();
+        assert!(matches!(err, PipelineError::Translation(_)), "{err}");
+        assert!(err.to_string().contains("stage 3"));
+    }
+}

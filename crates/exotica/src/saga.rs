@@ -1,0 +1,446 @@
+//! The Figure 2 construction: a linear saga as a workflow process.
+//!
+//! Two blocks:
+//!
+//! * **Forward** — one activity per subtransaction, chained with
+//!   `RC = 1` transition conditions. Every activity's return code is
+//!   mapped into the block's output container as `State_i` ("each
+//!   activity must also register its status … by mapping the return
+//!   code of the output data container of each activity to the
+//!   appropriate variable in the output data container of the block");
+//!   the last activity's return code doubles as the block's own `RC`.
+//!   If a subtransaction aborts, its outgoing connector is false and
+//!   dead path elimination terminates the rest of the block.
+//!
+//! * **Compensation** — entered when the forward block reports
+//!   `RC = 0`. A pass-through `NOP` activity exposes the `State_i`
+//!   flags (handed over by a data connector from the forward block's
+//!   output container to the compensation block's input container) to
+//!   its outgoing transition conditions. The NOP has a connector to
+//!   every compensating activity: the connector to `Comp_Si` carries
+//!   the condition "`Si` committed and `S(i+1)` did not" — i.e. `Si`
+//!   is the *last* committed subtransaction, where compensation must
+//!   start. From there the reversed chain `Comp_Si → Comp_S(i-1)`
+//!   (condition `RC = 1`) walks the committed prefix backwards;
+//!   compensating activities carry the exit condition `RC = 1`, making
+//!   them retriable exactly as the appendix prescribes
+//!   ("compensation activities will not finish until the return code
+//!   from the transaction indicates that it has committed").
+//!
+//! Compensating activities use OR-joins: they are triggered *either*
+//! directly by the NOP (as the starting point) *or* by their successor
+//! in the reversed chain; the dead-path-eliminated connectors of
+//! never-executed compensations evaluate false and the whole block
+//! still terminates. Because a linear saga commits a strict prefix,
+//! `Si` committed implies every earlier step committed, so the chain
+//! conditions need no further guards — this is where the construction
+//! leans on linearity, and why (like §4.1 of the paper) it covers
+//! linear sagas only.
+
+use crate::TranslateError;
+use atm::{check_saga, SagaSpec};
+use wfms_model::{
+    validate, Activity, ContainerSchema, DataType, ProcessBuilder, ProcessDefinition, RC_MEMBER,
+};
+
+/// Name of the forward block activity in the generated process.
+pub const FORWARD_BLOCK: &str = "Forward";
+/// Name of the compensation block activity.
+pub const COMPENSATION_BLOCK: &str = "Compensation";
+/// Name of the pass-through trigger inside the compensation block.
+pub const NOP_ACTIVITY: &str = "NOP";
+
+/// The `State_i` member name for a step.
+pub fn state_member(step: &str) -> String {
+    format!("State_{step}")
+}
+
+/// The compensation activity name for a step.
+pub fn comp_activity(step: &str) -> String {
+    format!("Comp_{step}")
+}
+
+/// Translates a linear saga into a workflow process (Figure 2).
+///
+/// The generated process exposes one output member, `Committed`
+/// (INT): `1` if the saga ran to completion, `0` if it aborted and was
+/// compensated.
+///
+/// ```
+/// use atm::{SagaSpec, StepSpec};
+///
+/// let saga = SagaSpec::linear("transfer", vec![
+///     StepSpec::compensatable("Debit", "debit", "undo_debit"),
+///     StepSpec::compensatable("Credit", "credit", "undo_credit"),
+/// ]);
+/// let process = exotica::translate_saga(&saga).unwrap();
+///
+/// // The Figure 2 shape: a forward block and a compensation block,
+/// // linked by an `RC = 0` connector.
+/// assert!(process.activity("Forward").unwrap().kind.is_block());
+/// assert!(process.activity("Compensation").unwrap().kind.is_block());
+/// assert_eq!(process.control[0].condition.to_string(), "(RC = 0)");
+/// assert!(wfms_model::validate(&process).is_empty());
+/// ```
+pub fn translate_saga(spec: &SagaSpec) -> Result<ProcessDefinition, TranslateError> {
+    let errors = check_saga(spec);
+    if !errors.is_empty() {
+        return Err(TranslateError::NotWellFormed(errors));
+    }
+    if !spec.is_linear() {
+        return Err(TranslateError::NotLinear);
+    }
+    let steps: Vec<_> = spec.steps().cloned().collect();
+    let names: Vec<&str> = steps.iter().map(|s| s.name.as_str()).collect();
+
+    // ---- forward block ------------------------------------------------
+    let mut fwd_output = ContainerSchema::empty();
+    for name in &names {
+        fwd_output = fwd_output.with(&state_member(name), DataType::Int);
+    }
+    fwd_output = fwd_output.with(RC_MEMBER, DataType::Int);
+
+    let mut fwd = ProcessBuilder::new(FORWARD_BLOCK)
+        .describe(&format!("forward phase of saga {:?}", spec.name))
+        .output(fwd_output);
+    for step in &steps {
+        fwd = fwd.program(&step.name, &step.program);
+    }
+    for w in names.windows(2) {
+        fwd = fwd.connect_when(w[0], w[1], &format!("{RC_MEMBER} = 1"));
+    }
+    for name in &names {
+        fwd = fwd.map_to_process_output(name, &[(RC_MEMBER, &state_member(name))]);
+    }
+    let last = *names.last().expect("non-empty saga");
+    let fwd = fwd
+        .map_to_process_output(last, &[(RC_MEMBER, RC_MEMBER)])
+        .build_unchecked();
+
+    // ---- compensation block --------------------------------------------
+    let mut comp_io = ContainerSchema::empty();
+    for name in &names {
+        comp_io = comp_io.with(&state_member(name), DataType::Int);
+    }
+    let mut comp = ProcessBuilder::new(COMPENSATION_BLOCK)
+        .describe(&format!("compensation phase of saga {:?}", spec.name))
+        .input(comp_io.clone())
+        .activity(
+            Activity::noop(NOP_ACTIVITY)
+                .describe("trigger: exposes State_i flags to the entry conditions")
+                .with_input(comp_io.clone())
+                .with_output(comp_io.clone()),
+        );
+    // NOP reads the block's input container.
+    let state_pairs: Vec<(String, String)> = names
+        .iter()
+        .map(|n| (state_member(n), state_member(n)))
+        .collect();
+    let pair_refs: Vec<(&str, &str)> = state_pairs
+        .iter()
+        .map(|(a, b)| (a.as_str(), b.as_str()))
+        .collect();
+    comp = comp.map_process_input(NOP_ACTIVITY, &pair_refs);
+
+    for (i, step) in steps.iter().enumerate() {
+        let comp_prog = step
+            .compensation
+            .as_deref()
+            .expect("well-formed saga steps have compensations");
+        comp = comp.activity(
+            Activity::program(&comp_activity(&step.name), comp_prog)
+                .describe(&format!("compensates {}", step.name))
+                .with_exit(&format!("{RC_MEMBER} = 1"))
+                .or_start(),
+        );
+        // Entry condition: step i is the last committed one.
+        let cond = if i + 1 < names.len() {
+            format!(
+                "{} = 1 AND {} = 0",
+                state_member(&step.name),
+                state_member(names[i + 1])
+            )
+        } else {
+            format!("{} = 1", state_member(&step.name))
+        };
+        comp = comp.connect_when(NOP_ACTIVITY, &comp_activity(&step.name), &cond);
+    }
+    // Reversed chain C_{i+1} -> C_i.
+    for w in names.windows(2) {
+        comp = comp.connect_when(
+            &comp_activity(w[1]),
+            &comp_activity(w[0]),
+            &format!("{RC_MEMBER} = 1"),
+        );
+    }
+    let comp = comp.build_unchecked();
+
+    // ---- root process -----------------------------------------------------
+    let root = ProcessBuilder::new(&spec.name)
+        .describe(&format!(
+            "saga {:?} compiled by Exotica/FMTM (Figure 2 construction)",
+            spec.name
+        ))
+        .output(ContainerSchema::of(&[("Committed", DataType::Int)]))
+        .block(FORWARD_BLOCK, fwd)
+        .block(COMPENSATION_BLOCK, comp)
+        .connect_when(FORWARD_BLOCK, COMPENSATION_BLOCK, &format!("{RC_MEMBER} = 0"))
+        .map_data(FORWARD_BLOCK, COMPENSATION_BLOCK, &pair_refs)
+        .map_to_process_output(FORWARD_BLOCK, &[(RC_MEMBER, "Committed")])
+        .build_unchecked();
+
+    let errors = validate(&root);
+    if !errors.is_empty() {
+        return Err(TranslateError::Model(errors));
+    }
+    Ok(root)
+}
+
+/// Ablation variant: the saga compiled **without blocks** — forward
+/// activities, the NOP trigger and the compensating activities all at
+/// the top level of one flat process.
+///
+/// The mechanics are identical to [`translate_saga`] except that the
+/// `State_i` flags travel over per-activity data connectors into the
+/// NOP's input container (instead of being collected in a block output
+/// container), and every forward activity carries its own `RC = 0`
+/// failure connector into the NOP (instead of one block-level edge).
+/// Used by the `ablation` benchmark to measure what the paper's
+/// block structure costs and buys; behaviourally equivalent (the
+/// equivalence tests run both variants against the native executor).
+pub fn translate_saga_flat(spec: &SagaSpec) -> Result<ProcessDefinition, TranslateError> {
+    let errors = check_saga(spec);
+    if !errors.is_empty() {
+        return Err(TranslateError::NotWellFormed(errors));
+    }
+    if !spec.is_linear() {
+        return Err(TranslateError::NotLinear);
+    }
+    let steps: Vec<_> = spec.steps().cloned().collect();
+    let names: Vec<&str> = steps.iter().map(|s| s.name.as_str()).collect();
+
+    let mut state_schema = ContainerSchema::empty();
+    for name in &names {
+        state_schema = state_schema.with(&state_member(name), DataType::Int);
+    }
+
+    let mut b = ProcessBuilder::new(&spec.name)
+        .describe(&format!(
+            "saga {:?} compiled flat (ablation of the Figure 2 block structure)",
+            spec.name
+        ))
+        .output(ContainerSchema::of(&[("Committed", DataType::Int)]));
+
+    // Forward chain.
+    for step in &steps {
+        b = b.program(&step.name, &step.program);
+    }
+    for w in names.windows(2) {
+        b = b.connect_when(w[0], w[1], &format!("{RC_MEMBER} = 1"));
+    }
+
+    // The NOP trigger: OR-joined on any forward failure; its input
+    // container accumulates the State flags via data connectors.
+    b = b.activity(
+        Activity::noop(NOP_ACTIVITY)
+            .describe("compensation trigger (flat variant)")
+            .with_input(state_schema.clone())
+            .with_output(state_schema.clone())
+            .or_start(),
+    );
+    for name in &names {
+        b = b.connect_when(name, NOP_ACTIVITY, &format!("{RC_MEMBER} = 0"));
+        b = b.map_data(name, NOP_ACTIVITY, &[(RC_MEMBER, &state_member(name))]);
+    }
+
+    // Compensations, exactly as in the block variant.
+    for (i, step) in steps.iter().enumerate() {
+        let comp_prog = step
+            .compensation
+            .as_deref()
+            .expect("well-formed saga steps have compensations");
+        b = b.activity(
+            Activity::program(&comp_activity(&step.name), comp_prog)
+                .with_exit(&format!("{RC_MEMBER} = 1"))
+                .or_start(),
+        );
+        let cond = if i + 1 < names.len() {
+            format!(
+                "{} = 1 AND {} = 0",
+                state_member(&step.name),
+                state_member(names[i + 1])
+            )
+        } else {
+            format!("{} = 1", state_member(&step.name))
+        };
+        b = b.connect_when(NOP_ACTIVITY, &comp_activity(&step.name), &cond);
+    }
+    for w in names.windows(2) {
+        b = b.connect_when(
+            &comp_activity(w[1]),
+            &comp_activity(w[0]),
+            &format!("{RC_MEMBER} = 1"),
+        );
+    }
+
+    let last = *names.last().expect("non-empty saga");
+    let root = b
+        .map_to_process_output(last, &[(RC_MEMBER, "Committed")])
+        .build_unchecked();
+    let errors = validate(&root);
+    if !errors.is_empty() {
+        return Err(TranslateError::Model(errors));
+    }
+    Ok(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atm::fixtures;
+    use atm::spec::StepSpec;
+    use wfms_model::ActivityKind;
+
+    #[test]
+    fn figure2_shape() {
+        let def = translate_saga(&fixtures::linear_saga("saga3", 3)).unwrap();
+        assert_eq!(def.activities.len(), 2);
+        let fwd = def.activity(FORWARD_BLOCK).unwrap();
+        let comp = def.activity(COMPENSATION_BLOCK).unwrap();
+        assert!(fwd.kind.is_block());
+        assert!(comp.kind.is_block());
+        // Connector Forward -> Compensation on RC = 0.
+        assert_eq!(def.control.len(), 1);
+        assert_eq!(def.control[0].condition.to_string(), "(RC = 0)");
+        // Forward block: 3 activities, chained on RC = 1, State flags.
+        let ActivityKind::Block { process: f } = &fwd.kind else {
+            unreachable!()
+        };
+        assert_eq!(f.activities.len(), 3);
+        assert_eq!(f.control.len(), 2);
+        assert!(f.output.has("State_S1"));
+        assert!(f.output.has("RC"));
+        // Compensation block: NOP + 3 compensations, entry + chain
+        // connectors.
+        let ActivityKind::Block { process: c } = &comp.kind else {
+            unreachable!()
+        };
+        assert_eq!(c.activities.len(), 4);
+        assert_eq!(c.control.len(), 3 + 2);
+        let nop = c.activity(NOP_ACTIVITY).unwrap();
+        assert_eq!(nop.kind, ActivityKind::NoOp);
+        // Entry condition for the middle step mentions both states.
+        let entry = c
+            .control
+            .iter()
+            .find(|cc| cc.from == NOP_ACTIVITY && cc.to == comp_activity("S2"))
+            .unwrap();
+        let cond = entry.condition.to_string();
+        assert!(cond.contains("State_S2"), "{cond}");
+        assert!(cond.contains("State_S3"), "{cond}");
+        // Compensations are retriable via their exit condition.
+        assert!(c
+            .activity(&comp_activity("S1"))
+            .unwrap()
+            .exit
+            .expr
+            .is_some());
+    }
+
+    #[test]
+    fn generated_process_validates_for_all_sizes() {
+        for n in 1..=12 {
+            let def = translate_saga(&fixtures::linear_saga(&format!("s{n}"), n)).unwrap();
+            assert!(validate(&def).is_empty(), "n={n}");
+            assert_eq!(def.total_activities(), 2 + n + (n + 1));
+        }
+    }
+
+    #[test]
+    fn flat_variant_validates_and_has_no_blocks() {
+        for n in 1..=8 {
+            let def =
+                translate_saga_flat(&fixtures::linear_saga(&format!("f{n}"), n)).unwrap();
+            assert!(validate(&def).is_empty(), "n={n}");
+            assert!(def.activities.iter().all(|a| !a.kind.is_block()));
+            // n forward + NOP + n compensations, all top level.
+            assert_eq!(def.activities.len(), 2 * n + 1);
+            assert_eq!(def.nesting_depth(), 1);
+        }
+    }
+
+    #[test]
+    fn flat_variant_compensates_like_the_block_variant() {
+        use txn_substrate::{FailurePlan, MultiDatabase, ProgramRegistry};
+        use wfms_engine::{Engine, InstanceStatus};
+        let n = 4;
+        for abort_at in 1..=n + 1 {
+            let spec = fixtures::linear_saga("flat", n);
+            let def = translate_saga_flat(&spec).unwrap();
+            let fed = MultiDatabase::new(0);
+            let registry = std::sync::Arc::new(ProgramRegistry::new());
+            fixtures::register_saga_programs(&fed, &registry, n);
+            if abort_at <= n {
+                fed.injector()
+                    .set_plan(&format!("S{abort_at}"), FailurePlan::Always);
+            }
+            let engine = Engine::new(std::sync::Arc::clone(&fed), registry);
+            engine.register(def).unwrap();
+            let id = engine
+                .start("flat", wfms_model::Container::empty())
+                .unwrap();
+            assert_eq!(
+                engine.run_to_quiescence(id).unwrap(),
+                InstanceStatus::Finished
+            );
+            let committed = engine
+                .output(id)
+                .unwrap()
+                .get("Committed")
+                .and_then(|v| v.as_int())
+                == Some(1);
+            assert_eq!(committed, abort_at > n, "abort_at={abort_at}");
+            for i in 1..=n {
+                let expected = if abort_at > n {
+                    Some(1)
+                } else if i < abort_at {
+                    Some(-1)
+                } else {
+                    None
+                };
+                assert_eq!(
+                    fixtures::marker(&fed, &format!("S{i}")),
+                    expected,
+                    "abort_at={abort_at} S{i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_linear_rejected() {
+        let spec = atm::SagaSpec::staged(
+            "par",
+            vec![vec![
+                StepSpec::compensatable("A", "pa", "ca"),
+                StepSpec::compensatable("B", "pb", "cb"),
+            ]],
+        );
+        assert!(matches!(
+            translate_saga(&spec),
+            Err(TranslateError::NotLinear)
+        ));
+    }
+
+    #[test]
+    fn ill_formed_rejected() {
+        let spec = atm::SagaSpec::linear(
+            "bad",
+            vec![StepSpec::pivot("P", "prog")],
+        );
+        assert!(matches!(
+            translate_saga(&spec),
+            Err(TranslateError::NotWellFormed(_))
+        ));
+    }
+}

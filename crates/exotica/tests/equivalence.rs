@@ -1,0 +1,429 @@
+//! Equivalence of native transaction-model execution and the
+//! Exotica-translated workflow processes, under systematic failure
+//! injection — the operational heart of the paper's claim that
+//! "advanced transaction models can be implemented using current
+//! workflow management systems".
+//!
+//! Every scenario runs twice in isolated worlds with identical
+//! deterministic failure scripts; the final state of every local
+//! database and the commit/abort outcome must match exactly.
+
+use atm::fixtures::{self, figure3_spec, FIGURE3_STEPS};
+use exotica::verify::{compare_flex, compare_saga, Installer};
+use proptest::prelude::*;
+use txn_substrate::{on_attempts, FailurePlan};
+
+// ---------------------------------------------------------------------
+// Sagas
+// ---------------------------------------------------------------------
+
+fn saga_installer(n: usize) -> impl Fn(&std::sync::Arc<txn_substrate::MultiDatabase>, &txn_substrate::ProgramRegistry) {
+    move |fed, reg| fixtures::register_saga_programs(fed, reg, n)
+}
+
+#[test]
+fn saga_equivalence_at_every_abort_position() {
+    for n in [1usize, 2, 3, 5, 8] {
+        let spec = fixtures::linear_saga("s", n);
+        let install = saga_installer(n);
+        let installer: Installer<'_> = &install;
+        // j = n means no failure (full commit).
+        for j in 1..=n + 1 {
+            let plans: Vec<(String, FailurePlan)> = if j <= n {
+                vec![(format!("S{j}"), FailurePlan::Always)]
+            } else {
+                vec![]
+            };
+            let report = compare_saga(&spec, installer, &plans, 42).unwrap();
+            assert!(
+                report.equivalent(),
+                "n={n} abort at S{j}:\n{}",
+                report.diff()
+            );
+            assert_eq!(report.native_committed, j > n);
+        }
+    }
+}
+
+#[test]
+fn saga_equivalence_with_flaky_compensations() {
+    // Abort at S4; compensations of S2 and S3 need retries.
+    let n = 5;
+    let spec = fixtures::linear_saga("s", n);
+    let install = saga_installer(n);
+    let installer: Installer<'_> = &install;
+    let plans = vec![
+        ("S4".to_string(), FailurePlan::Always),
+        ("undo_S3".to_string(), FailurePlan::FirstN(2)),
+        ("undo_S2".to_string(), on_attempts([0, 2])),
+    ];
+    let report = compare_saga(&spec, installer, &plans, 7).unwrap();
+    assert!(report.equivalent(), "{}", report.diff());
+    assert!(!report.native_committed);
+}
+
+#[test]
+fn saga_equivalence_with_transient_forward_failures() {
+    // A forward step failing transiently still aborts the saga (saga
+    // forward steps are not retried by either implementation).
+    let n = 3;
+    let spec = fixtures::linear_saga("s", n);
+    let install = saga_installer(n);
+    let installer: Installer<'_> = &install;
+    let plans = vec![("S2".to_string(), FailurePlan::FirstN(1))];
+    let report = compare_saga(&spec, installer, &plans, 3).unwrap();
+    assert!(report.equivalent(), "{}", report.diff());
+    assert!(!report.native_committed);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The García-Molina/Salem guarantee, checked against both
+    /// implementations at once: random saga sizes, random abort
+    /// positions, random compensation flakiness.
+    #[test]
+    fn saga_equivalence_randomised(
+        n in 1usize..10,
+        abort_at in 1usize..12,
+        flaky_comp in 0usize..12,
+        flaky_tries in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        let spec = fixtures::linear_saga("s", n);
+        let install = saga_installer(n);
+        let installer: Installer<'_> = &install;
+        let mut plans: Vec<(String, FailurePlan)> = Vec::new();
+        if abort_at <= n {
+            plans.push((format!("S{abort_at}"), FailurePlan::Always));
+        }
+        if flaky_comp >= 1 && flaky_comp <= n {
+            plans.push((format!("undo_S{flaky_comp}"), FailurePlan::FirstN(flaky_tries)));
+        }
+        let report = compare_saga(&spec, installer, &plans, seed).unwrap();
+        prop_assert!(report.equivalent(), "{}", report.diff());
+        prop_assert_eq!(report.native_committed, abort_at > n);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flexible transactions — the Figure 3 example
+// ---------------------------------------------------------------------
+
+#[test]
+fn figure3_equivalence_for_every_single_permanent_failure() {
+    let spec = figure3_spec();
+    let installer: Installer<'_> = &fixtures::register_figure3_programs;
+    for fail in FIGURE3_STEPS {
+        if spec.class_of(fail).is_retriable() {
+            continue; // a permanently failing retriable step livelocks by design
+        }
+        let plans = vec![(fail.to_string(), FailurePlan::Always)];
+        let report = compare_flex(&spec, installer, &plans, 11).unwrap();
+        assert!(
+            report.equivalent(),
+            "permanent failure of {fail}:\n{}",
+            report.diff()
+        );
+    }
+}
+
+#[test]
+fn figure3_equivalence_for_every_pair_of_failures() {
+    // Permanent failure on one non-retriable step plus a transient
+    // failure on any other step (including retriables).
+    let spec = figure3_spec();
+    let installer: Installer<'_> = &fixtures::register_figure3_programs;
+    for a in FIGURE3_STEPS {
+        if spec.class_of(a).is_retriable() {
+            continue;
+        }
+        for b in FIGURE3_STEPS {
+            if a == b {
+                continue;
+            }
+            let plans = vec![
+                (a.to_string(), FailurePlan::Always),
+                (b.to_string(), FailurePlan::FirstN(2)),
+            ];
+            let report = compare_flex(&spec, installer, &plans, 23).unwrap();
+            assert!(
+                report.equivalent(),
+                "permanent {a} + transient {b}:\n{}",
+                report.diff()
+            );
+        }
+    }
+}
+
+#[test]
+fn figure3_paper_narrative_outcomes() {
+    // The appendix narrative, pinned against the workflow execution:
+    // who commits via which path, what gets compensated.
+    let spec = figure3_spec();
+    let installer: Installer<'_> = &fixtures::register_figure3_programs;
+
+    // T8 aborts: T5, T6 compensated; commits via p2 (T7 runs).
+    let report = compare_flex(
+        &spec,
+        installer,
+        &[("T8".to_string(), FailurePlan::Always)],
+        5,
+    )
+    .unwrap();
+    assert!(report.equivalent(), "{}", report.diff());
+    assert!(report.workflow_committed);
+    let flat: std::collections::BTreeMap<String, i64> = report
+        .workflow_state
+        .values()
+        .flatten()
+        .filter_map(|(k, v)| v.as_int().map(|i| (k.clone(), i)))
+        .collect();
+    assert_eq!(flat.get("T5"), Some(&-1), "T5 compensated");
+    assert_eq!(flat.get("T6"), Some(&-1), "T6 compensated");
+    assert_eq!(flat.get("T7"), Some(&1), "T7 committed");
+    assert_eq!(flat.get("T8"), None, "T8 never committed");
+
+    // T4 aborts: falls to p3, T3 commits, nothing compensated.
+    let report = compare_flex(
+        &spec,
+        installer,
+        &[("T4".to_string(), FailurePlan::Always)],
+        5,
+    )
+    .unwrap();
+    assert!(report.equivalent(), "{}", report.diff());
+    let flat: std::collections::BTreeMap<String, i64> = report
+        .workflow_state
+        .values()
+        .flatten()
+        .filter_map(|(k, v)| v.as_int().map(|i| (k.clone(), i)))
+        .collect();
+    assert_eq!(flat.get("T1"), Some(&1));
+    assert_eq!(flat.get("T2"), Some(&1));
+    assert_eq!(flat.get("T3"), Some(&1));
+    assert_eq!(flat.get("T5"), None);
+
+    // T2 aborts: full abort, T1 compensated.
+    let report = compare_flex(
+        &spec,
+        installer,
+        &[("T2".to_string(), FailurePlan::Always)],
+        5,
+    )
+    .unwrap();
+    assert!(report.equivalent(), "{}", report.diff());
+    assert!(!report.workflow_committed);
+    let flat: std::collections::BTreeMap<String, i64> = report
+        .workflow_state
+        .values()
+        .flatten()
+        .filter_map(|(k, v)| v.as_int().map(|i| (k.clone(), i)))
+        .collect();
+    assert_eq!(flat.get("T1"), Some(&-1), "T1 compensated");
+}
+
+#[test]
+fn figure3_equivalence_with_retriable_flakiness() {
+    let spec = figure3_spec();
+    let installer: Installer<'_> = &fixtures::register_figure3_programs;
+    for (fail, retriable) in [("T8", "T7"), ("T4", "T3")] {
+        let plans = vec![
+            (fail.to_string(), FailurePlan::Always),
+            (retriable.to_string(), FailurePlan::FirstN(3)),
+        ];
+        let report = compare_flex(&spec, installer, &plans, 9).unwrap();
+        assert!(
+            report.equivalent(),
+            "{fail} + flaky {retriable}:\n{}",
+            report.diff()
+        );
+        assert!(report.workflow_committed);
+    }
+}
+
+#[test]
+fn compensatable_retriable_members_never_fail_their_segment() {
+    // A segment containing a compensatable-AND-retriable step: the
+    // step's transient failures are absorbed inside the segment (exit
+    // condition in the workflow, retry loop natively); the segment
+    // only fails at its plain-compensatable members.
+    use atm::FlexStep;
+    let spec = atm::FlexSpec::new(
+        "cr",
+        vec![
+            FlexStep::compensatable("C1", "prog_C1", "comp_C1"),
+            FlexStep::compensatable_retriable("CR", "prog_CR", "comp_CR"),
+            FlexStep::pivot("P", "prog_P"),
+            FlexStep::retriable("R", "prog_R"),
+        ],
+        vec![vec!["C1", "CR", "P"], vec!["C1", "CR", "R"]],
+    );
+    assert!(atm::check_flex(&spec).is_empty());
+    let installer_impl = move |fed: &std::sync::Arc<txn_substrate::MultiDatabase>,
+                               reg: &txn_substrate::ProgramRegistry| {
+        if fed.db("db").is_none() {
+            fed.add_database("db");
+        }
+        for step in ["C1", "CR", "P", "R"] {
+            reg.register(std::sync::Arc::new(
+                txn_substrate::KvProgram::write(&format!("prog_{step}"), "db", step, 1i64)
+                    .with_label(step),
+            ));
+            reg.register(std::sync::Arc::new(txn_substrate::KvProgram::write(
+                &format!("comp_{step}"),
+                "db",
+                step,
+                txn_substrate::Value::Int(-1),
+            )));
+        }
+    };
+    let installer: Installer<'_> = &installer_impl;
+
+    // CR flakes twice, P fails permanently: both implementations must
+    // absorb CR's flakiness, then fall to path 1 and commit via R.
+    let plans = vec![
+        ("CR".to_string(), FailurePlan::FirstN(2)),
+        ("P".to_string(), FailurePlan::Always),
+    ];
+    let report = compare_flex(&spec, installer, &plans, 3).unwrap();
+    assert!(report.equivalent(), "{}", report.diff());
+    assert!(report.workflow_committed);
+
+    // C1 fails permanently: full abort before anything else runs.
+    let plans = vec![("C1".to_string(), FailurePlan::Always)];
+    let report = compare_flex(&spec, installer, &plans, 3).unwrap();
+    assert!(report.equivalent(), "{}", report.diff());
+    assert!(!report.workflow_committed);
+}
+
+// ---------------------------------------------------------------------
+// Flexible transactions — a parameterised family beyond Figure 3
+// ---------------------------------------------------------------------
+
+/// Builds the family member `family(a, b)`:
+///
+/// ```text
+/// p0 = A1..Aa  X  B1..Bb  Y      (A*, B* compensatable; X, Y pivots)
+/// p1 = A1..Aa  X  R1             (R1 retriable)
+/// p2 = A1..Aa  R2                (R2 retriable)
+/// ```
+///
+/// Y's failure falls to p1 (compensating B*), X's to p2 (directly),
+/// and segment failures route through their own compensations.
+fn family_spec(a: usize, b: usize) -> atm::FlexSpec {
+    use atm::FlexStep;
+    let mut steps = Vec::new();
+    let mut p0: Vec<String> = Vec::new();
+    for i in 1..=a {
+        let name = format!("A{i}");
+        steps.push(FlexStep::compensatable(
+            &name,
+            &format!("prog_{name}"),
+            &format!("comp_{name}"),
+        ));
+        p0.push(name);
+    }
+    steps.push(FlexStep::pivot("X", "prog_X"));
+    p0.push("X".into());
+    for i in 1..=b {
+        let name = format!("B{i}");
+        steps.push(FlexStep::compensatable(
+            &name,
+            &format!("prog_{name}"),
+            &format!("comp_{name}"),
+        ));
+        p0.push(name);
+    }
+    steps.push(FlexStep::pivot("Y", "prog_Y"));
+    p0.push("Y".into());
+    steps.push(FlexStep::retriable("R1", "prog_R1"));
+    steps.push(FlexStep::retriable("R2", "prog_R2"));
+
+    let mut p1: Vec<String> = p0[..a + 1].to_vec();
+    p1.push("R1".into());
+    let mut p2: Vec<String> = p0[..a].to_vec();
+    p2.push("R2".into());
+
+    atm::FlexSpec {
+        name: format!("family_{a}_{b}"),
+        steps,
+        paths: vec![p0, p1, p2],
+    }
+}
+
+/// Installs marker programs for [`family_spec`] on two databases.
+fn install_family(
+    spec: &atm::FlexSpec,
+) -> impl Fn(&std::sync::Arc<txn_substrate::MultiDatabase>, &txn_substrate::ProgramRegistry) {
+    let steps = spec.steps.clone();
+    move |fed, reg| {
+        for site in ["left", "right"] {
+            if fed.db(site).is_none() {
+                fed.add_database(site);
+            }
+        }
+        for (i, step) in steps.iter().enumerate() {
+            let site = ["left", "right"][i % 2];
+            reg.register(std::sync::Arc::new(
+                txn_substrate::KvProgram::write(&step.program, site, &step.name, 1i64)
+                    .with_label(&step.name),
+            ));
+            if let Some(comp) = &step.compensation {
+                reg.register(std::sync::Arc::new(txn_substrate::KvProgram::write(
+                    comp,
+                    site,
+                    &step.name,
+                    txn_substrate::Value::Int(-1),
+                )));
+            }
+        }
+    }
+}
+
+#[test]
+fn family_specs_are_well_formed_and_translate() {
+    for a in 1..=3 {
+        for b in 1..=3 {
+            let spec = family_spec(a, b);
+            assert!(atm::check_flex(&spec).is_empty(), "family({a},{b})");
+            exotica::translate_flex(&spec).unwrap_or_else(|e| {
+                panic!("family({a},{b}) failed to translate: {e}")
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Equivalence across the family under a random single permanent
+    /// failure and a random transient one.
+    #[test]
+    fn family_equivalence_randomised(
+        a in 1usize..4,
+        b in 1usize..4,
+        fail_idx in 0usize..16,
+        transient_idx in 0usize..16,
+        transient_tries in 1u32..3,
+        seed in 0u64..500,
+    ) {
+        let spec = family_spec(a, b);
+        let names: Vec<String> = spec.steps.iter().map(|s| s.name.clone()).collect();
+        let mut plans: Vec<(String, FailurePlan)> = Vec::new();
+        // Permanent failure only on non-retriable steps.
+        let fail = &names[fail_idx % names.len()];
+        if !spec.class_of(fail).is_retriable() {
+            plans.push((fail.clone(), FailurePlan::Always));
+        }
+        let transient = &names[transient_idx % names.len()];
+        if transient != fail {
+            plans.push((transient.clone(), FailurePlan::FirstN(transient_tries)));
+        }
+        let install = install_family(&spec);
+        let installer: Installer<'_> = &install;
+        let report = compare_flex(&spec, installer, &plans, seed).unwrap();
+        prop_assert!(report.equivalent(), "family({},{}) plans {:?}:\n{}",
+            a, b, report.scenario, report.diff());
+    }
+}

@@ -1,0 +1,552 @@
+//! One autonomous local database.
+//!
+//! A [`Database`] bundles the pieces of the classic architecture —
+//! [`Storage`] (volatile data),
+//! [`LockManager`] (strict 2PL) and
+//! [`Wal`] (durable log) — behind a begin/read/write/
+//! commit/abort transaction interface.
+//!
+//! "Autonomous" is load-bearing: each database decides its own fate.
+//! It may unilaterally abort any transaction (via a deadlock or an
+//! injected failure), it may be *down* (site failure), and it shares
+//! no state with any other database. These are the multidatabase
+//! assumptions under which flexible transactions were designed and the
+//! environment the reproduced paper's workflow processes operate in.
+
+use crate::inject::{FailureAction, InjectorHandle};
+use crate::lock::{LockError, LockManager, LockMode, LockStats};
+use crate::storage::Storage;
+use crate::txn::{Transaction, TxnId, TxnStatus};
+use crate::value::Value;
+use crate::wal::{LogRecord, Wal};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Errors surfaced by database operations. Any error on an active
+/// transaction rolls that transaction back before returning — the
+/// caller never has to clean up a half-failed transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Granting a lock would have deadlocked; the transaction aborted.
+    Deadlock { txn: TxnId, cycle: Vec<TxnId> },
+    /// The database exercised its autonomy and unilaterally aborted
+    /// the transaction (scripted by the failure injector).
+    InjectedAbort { txn: TxnId, label: String },
+    /// The database is down (simulated site failure).
+    Unavailable { db: String },
+    /// Operation on a handle that is no longer active.
+    NotActive { txn: TxnId, status: TxnStatus },
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Deadlock { txn, cycle } => {
+                write!(f, "{txn} aborted by deadlock (cycle {cycle:?})")
+            }
+            DbError::InjectedAbort { txn, label } => {
+                write!(f, "{txn} unilaterally aborted (injected at {label:?})")
+            }
+            DbError::Unavailable { db } => write!(f, "database {db:?} is unavailable"),
+            DbError::NotActive { txn, status } => {
+                write!(f, "{txn} is not active (status {status:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Construction-time configuration of a [`Database`].
+#[derive(Debug, Default)]
+pub struct DbConfig {
+    /// Human-readable database name (also the default injection label
+    /// prefix for commit-point failures: `"<name>/commit"`).
+    pub name: String,
+    /// Optional failure injector shared with other components.
+    pub injector: Option<InjectorHandle>,
+    /// Mirror the WAL to this file (enables recovery across real
+    /// process restarts, not just simulated crashes).
+    pub wal_path: Option<PathBuf>,
+}
+
+impl DbConfig {
+    /// Minimal configuration: a named in-memory database, no injection.
+    pub fn named(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            ..Self::default()
+        }
+    }
+
+    /// Attaches a failure injector.
+    pub fn with_injector(mut self, injector: InjectorHandle) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Mirrors the WAL to `path`.
+    pub fn with_wal_file(mut self, path: PathBuf) -> Self {
+        self.wal_path = Some(path);
+        self
+    }
+}
+
+/// Operation counters for one database (experiment B8 reads these).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DbStats {
+    /// Transactions begun.
+    pub begun: u64,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted for any reason.
+    pub aborted: u64,
+    /// Aborts caused by deadlock.
+    pub deadlock_aborts: u64,
+    /// Aborts caused by the failure injector.
+    pub injected_aborts: u64,
+    /// Individual read operations served.
+    pub reads: u64,
+    /// Individual write operations applied.
+    pub writes: u64,
+}
+
+/// One autonomous local database of the federation.
+///
+/// ```
+/// use txn_substrate::{Database, DbConfig, Value};
+///
+/// let db = Database::new(DbConfig::named("bank"));
+/// let mut txn = db.begin();
+/// txn.put("alice", 100i64).unwrap();
+/// txn.put("bob", 50i64).unwrap();
+/// txn.commit().unwrap();
+///
+/// // Crash and recover from the write-ahead log.
+/// db.crash();
+/// db.recover();
+/// assert_eq!(db.peek("alice"), Some(Value::Int(100)));
+/// ```
+#[derive(Debug)]
+pub struct Database {
+    name: String,
+    storage: Storage,
+    locks: LockManager,
+    wal: Wal,
+    next_txn: AtomicU64,
+    injector: Option<InjectorHandle>,
+    down: AtomicBool,
+    stats: Mutex<DbStats>,
+}
+
+impl Database {
+    /// Creates a database from `config`.
+    ///
+    /// # Panics
+    /// Panics if a WAL file was requested but cannot be opened — a
+    /// database that cannot log must not start.
+    pub fn new(config: DbConfig) -> Self {
+        let wal = match &config.wal_path {
+            Some(path) => Wal::with_file(path).expect("cannot open WAL file"),
+            None => Wal::new(),
+        };
+        Self {
+            name: config.name,
+            storage: Storage::new(),
+            locks: LockManager::new(),
+            wal,
+            next_txn: AtomicU64::new(1),
+            injector: config.injector,
+            down: AtomicBool::new(false),
+            stats: Mutex::new(DbStats::default()),
+        }
+    }
+
+    /// This database's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Begins a new transaction.
+    pub fn begin(&self) -> Transaction<'_> {
+        let id = TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed));
+        self.wal.append(LogRecord::Begin { txn: id });
+        self.stats.lock().begun += 1;
+        Transaction {
+            db: self,
+            id,
+            status: TxnStatus::Active,
+        }
+    }
+
+    /// Marks the database down (every operation fails with
+    /// [`DbError::Unavailable`]) or back up.
+    pub fn set_down(&self, down: bool) {
+        self.down.store(down, Ordering::Release);
+    }
+
+    /// True if the database is currently down.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::Acquire)
+    }
+
+    /// Simulates losing volatile memory: the store is cleared; the WAL
+    /// survives. In-flight transactions become losers (no commit
+    /// record). Callers must ensure no transaction is concurrently
+    /// active on another thread — exactly the quiescence a real
+    /// restart implies.
+    pub fn crash(&self) {
+        self.storage.clear();
+        self.down.store(true, Ordering::Release);
+    }
+
+    /// Recovers after [`Database::crash`]: rebuilds the store by
+    /// redoing committed transactions from the WAL (starting at the
+    /// last checkpoint, if any) and brings the database back up.
+    /// Returns the number of updates replayed.
+    pub fn recover(&self) -> usize {
+        self.storage.clear();
+        let replayed = self.wal.replay_committed(&self.storage);
+        self.down.store(false, Ordering::Release);
+        replayed
+    }
+
+    /// Writes a checkpoint capturing the complete committed state and
+    /// compacts the log, bounding recovery time (experiment B5's
+    /// replay cost is linear in post-checkpoint log length). The
+    /// caller must ensure no transaction is active — the same
+    /// quiescence a crash-consistent snapshot needs. Returns the
+    /// number of log records dropped by compaction.
+    pub fn checkpoint(&self) -> usize {
+        let state: Vec<(String, Value)> = self.storage.snapshot().into_iter().collect();
+        self.wal.append(LogRecord::Checkpoint { state });
+        self.wal.compact()
+    }
+
+    /// A point-in-time copy of committed state (keys in order).
+    /// Only meaningful when no writer is concurrently active.
+    pub fn snapshot(&self) -> BTreeMap<String, Value> {
+        self.storage.snapshot()
+    }
+
+    /// Non-transactional read of current state. Intended for tests and
+    /// audit dumps; regular code should use a transaction.
+    pub fn peek(&self, key: &str) -> Option<Value> {
+        self.storage.get(key)
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> DbStats {
+        *self.stats.lock()
+    }
+
+    /// Lock-manager counters.
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
+    }
+
+    /// Full WAL copy (audit/tests).
+    pub fn wal_records(&self) -> Vec<LogRecord> {
+        self.wal.records()
+    }
+
+    fn check_up(&self) -> Result<(), DbError> {
+        if self.is_down() {
+            Err(DbError::Unavailable {
+                db: self.name.clone(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub(crate) fn txn_get(&self, txn: TxnId, key: &str) -> Result<Option<Value>, DbError> {
+        if let Err(e) = self.check_up() {
+            self.txn_abort(txn);
+            return Err(e);
+        }
+        match self.locks.acquire(txn, key, LockMode::Shared) {
+            Ok(()) => {
+                self.stats.lock().reads += 1;
+                Ok(self.storage.get(key))
+            }
+            Err(LockError::Deadlock { cycle }) => {
+                self.txn_abort(txn);
+                self.stats.lock().deadlock_aborts += 1;
+                Err(DbError::Deadlock { txn, cycle })
+            }
+        }
+    }
+
+    pub(crate) fn txn_put(
+        &self,
+        txn: TxnId,
+        key: &str,
+        value: Option<Value>,
+    ) -> Result<(), DbError> {
+        if let Err(e) = self.check_up() {
+            self.txn_abort(txn);
+            return Err(e);
+        }
+        match self.locks.acquire(txn, key, LockMode::Exclusive) {
+            Ok(()) => {
+                // WAL rule: log before applying.
+                let before = self.storage.get(key);
+                self.wal.append(LogRecord::Update {
+                    txn,
+                    key: key.to_owned(),
+                    before: before.clone(),
+                    after: value.clone(),
+                });
+                self.storage.apply(key, value);
+                self.stats.lock().writes += 1;
+                Ok(())
+            }
+            Err(LockError::Deadlock { cycle }) => {
+                self.txn_abort(txn);
+                self.stats.lock().deadlock_aborts += 1;
+                Err(DbError::Deadlock { txn, cycle })
+            }
+        }
+    }
+
+    pub(crate) fn txn_commit(&self, txn: TxnId) -> Result<(), DbError> {
+        if let Err(e) = self.check_up() {
+            self.txn_abort(txn);
+            return Err(e);
+        }
+        // The commit point is where local autonomy bites: the database
+        // may refuse the commit even though every operation succeeded.
+        if let Some(inj) = &self.injector {
+            let label = format!("{}/commit", self.name);
+            if inj.decide(&label) == FailureAction::Abort {
+                self.txn_abort(txn);
+                self.stats.lock().injected_aborts += 1;
+                return Err(DbError::InjectedAbort { txn, label });
+            }
+        }
+        self.wal.append(LogRecord::Commit { txn });
+        self.locks.release_all(txn);
+        self.stats.lock().committed += 1;
+        Ok(())
+    }
+
+    pub(crate) fn txn_abort(&self, txn: TxnId) {
+        // Undo in place: restore before-images in reverse log order.
+        let updates = self.wal.updates_of(txn);
+        for (key, before) in updates.into_iter().rev() {
+            self.storage.apply(&key, before);
+        }
+        self.wal.append(LogRecord::Abort { txn });
+        self.locks.release_all(txn);
+        self.stats.lock().aborted += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::{FailurePlan, Injector};
+    use std::sync::Arc;
+
+    #[test]
+    fn commit_makes_writes_visible() {
+        let db = Database::new(DbConfig::named("bank"));
+        let mut t = db.begin();
+        t.put("alice", 100i64).unwrap();
+        t.put("bob", 50i64).unwrap();
+        t.commit().unwrap();
+        assert_eq!(db.peek("alice"), Some(Value::Int(100)));
+        assert_eq!(db.stats().committed, 1);
+        assert_eq!(db.stats().writes, 2);
+    }
+
+    #[test]
+    fn abort_restores_before_images_in_reverse() {
+        let db = Database::new(DbConfig::named("d"));
+        let mut seed = db.begin();
+        seed.put("k", 1i64).unwrap();
+        seed.commit().unwrap();
+
+        let mut t = db.begin();
+        t.put("k", 2i64).unwrap();
+        t.put("k", 3i64).unwrap();
+        t.abort();
+        assert_eq!(db.peek("k"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn injected_commit_abort_rolls_back() {
+        let inj = Injector::new(0);
+        inj.set_plan("flaky/commit", FailurePlan::FirstN(1));
+        let db = Database::new(DbConfig::named("flaky").with_injector(Arc::clone(&inj)));
+
+        let mut t = db.begin();
+        t.put("k", 1i64).unwrap();
+        let err = t.commit().unwrap_err();
+        assert!(matches!(err, DbError::InjectedAbort { .. }));
+        assert_eq!(db.peek("k"), None);
+        assert_eq!(db.stats().injected_aborts, 1);
+
+        // Retry succeeds: the retriable pattern.
+        let mut t2 = db.begin();
+        t2.put("k", 1i64).unwrap();
+        t2.commit().unwrap();
+        assert_eq!(db.peek("k"), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn unavailable_database_fails_and_rolls_back() {
+        let db = Database::new(DbConfig::named("remote"));
+        let mut t = db.begin();
+        t.put("k", 1i64).unwrap();
+        db.set_down(true);
+        let err = t.put("k2", 2i64).unwrap_err();
+        assert!(matches!(err, DbError::Unavailable { .. }));
+        db.set_down(false);
+        assert_eq!(db.peek("k"), None, "partial work undone");
+    }
+
+    #[test]
+    fn crash_then_recover_rebuilds_committed_state() {
+        let db = Database::new(DbConfig::named("d"));
+        let mut t1 = db.begin();
+        t1.put("a", 1i64).unwrap();
+        t1.commit().unwrap();
+        let mut t2 = db.begin();
+        t2.put("b", 2i64).unwrap();
+        // t2 is in flight at the crash: it must not survive.
+        std::mem::forget(t2); // simulate losing the handle in the crash
+        db.crash();
+        assert!(db.is_down());
+        let replayed = db.recover();
+        assert_eq!(replayed, 1);
+        assert_eq!(db.peek("a"), Some(Value::Int(1)));
+        assert_eq!(db.peek("b"), None);
+    }
+
+    #[test]
+    fn checkpoint_bounds_recovery_and_preserves_state() {
+        let db = Database::new(DbConfig::named("d"));
+        for i in 0..20i64 {
+            let mut t = db.begin();
+            t.put(&format!("k{}", i % 5), i).unwrap();
+            t.commit().unwrap();
+        }
+        let before = db.snapshot();
+        let records_before = db.wal_records().len();
+        let dropped = db.checkpoint();
+        assert!(dropped > 0);
+        assert!(db.wal_records().len() < records_before);
+
+        // Recovery from the compacted log reproduces the state.
+        db.crash();
+        let replayed = db.recover();
+        assert_eq!(db.snapshot(), before);
+        assert_eq!(replayed, 5, "one install per live key, no redo tail");
+
+        // Post-checkpoint updates are redone on top of the checkpoint.
+        let mut t = db.begin();
+        t.put("k0", 999i64).unwrap();
+        t.commit().unwrap();
+        db.crash();
+        db.recover();
+        assert_eq!(db.peek("k0"), Some(Value::Int(999)));
+        assert_eq!(db.peek("k4"), before.get("k4").cloned());
+    }
+
+    #[test]
+    fn checkpoint_on_empty_db_is_harmless() {
+        let db = Database::new(DbConfig::named("d"));
+        assert_eq!(db.checkpoint(), 0);
+        db.crash();
+        assert_eq!(db.recover(), 0);
+        assert!(db.snapshot().is_empty());
+    }
+
+    #[test]
+    fn recover_is_idempotent() {
+        let db = Database::new(DbConfig::named("d"));
+        let mut t = db.begin();
+        t.put("a", 1i64).unwrap();
+        t.commit().unwrap();
+        db.crash();
+        db.recover();
+        let snap1 = db.snapshot();
+        db.crash();
+        db.recover();
+        assert_eq!(db.snapshot(), snap1);
+    }
+
+    #[test]
+    fn two_txns_serialize_on_conflict() {
+        let db = Arc::new(Database::new(DbConfig::named("d")));
+        let mut t0 = db.begin();
+        t0.put("x", 0i64).unwrap();
+        t0.commit().unwrap();
+
+        let db2 = Arc::clone(&db);
+        // Writer increments x by 1, 50 times, each in its own txn, on
+        // two threads: final value must be 100 (lost updates would
+        // show less).
+        let work = move |db: Arc<Database>| {
+            for _ in 0..50 {
+                loop {
+                    let mut t = db.begin();
+                    let cur = match t.get("x") {
+                        Ok(v) => v.and_then(|v| v.as_int()).unwrap_or(0),
+                        Err(_) => continue, // deadlock: retry
+                    };
+                    if t.put("x", cur + 1).is_err() {
+                        continue;
+                    }
+                    if t.commit().is_ok() {
+                        break;
+                    }
+                }
+            }
+        };
+        let h = std::thread::spawn(move || work(db2));
+        {
+            let db3 = Arc::clone(&db);
+            work(db3);
+        }
+        h.join().unwrap();
+        assert_eq!(db.peek("x"), Some(Value::Int(100)));
+    }
+
+    #[test]
+    fn deadlock_error_carries_txn() {
+        let db = Arc::new(Database::new(DbConfig::named("d")));
+        let mut seed = db.begin();
+        seed.put("a", 0i64).unwrap();
+        seed.put("b", 0i64).unwrap();
+        seed.commit().unwrap();
+
+        let db2 = Arc::clone(&db);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let h = std::thread::spawn(move || {
+            let mut t = db2.begin();
+            t.put("a", 1i64).unwrap();
+            b2.wait();
+            // May deadlock against the main thread; either outcome ok.
+            let _ = t.put("b", 1i64);
+            let _ = t.commit();
+        });
+        let mut t = db.begin();
+        t.put("b", 2i64).unwrap();
+        barrier.wait();
+        let res = t.put("a", 2i64);
+        // One of the two gets a deadlock; at least the system makes
+        // progress and both threads finish.
+        if let Err(e) = res {
+            assert!(matches!(e, DbError::Deadlock { .. }));
+        } else {
+            let _ = t.commit();
+        }
+        h.join().unwrap();
+    }
+}

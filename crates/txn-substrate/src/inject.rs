@@ -1,0 +1,239 @@
+//! Deterministic failure injection.
+//!
+//! The transaction models reproduced here are *defined by* their
+//! response to failure: a saga aborts partway and compensates; a
+//! retriable subtransaction "will eventually commit if retried a
+//! sufficient number of times"; a pivot either commits or forces a
+//! path switch. To test and benchmark those behaviours the substrate
+//! must fail **on demand and reproducibly**.
+//!
+//! An [`Injector`] maps *labels* (usually a program or database name)
+//! to [`FailurePlan`]s. Each time a labelled operation reaches its
+//! decision point it calls [`Injector::decide`], which counts the
+//! attempt and answers *proceed* or *abort*. Plans express every
+//! pattern the paper's constructions need:
+//!
+//! * `FirstN(k)` — fail the first `k` attempts, then succeed: a
+//!   **retriable** subtransaction that needs `k` retries.
+//! * `Always` — a subtransaction that can never commit (exercises the
+//!   alternative-path machinery of flexible transactions).
+//! * `OnAttempts{..}` — fail exactly the listed attempts: lets tests
+//!   enumerate *every* outcome vector of a transaction exhaustively
+//!   (experiment E4).
+//! * `Probability{p}` — seeded stochastic failures for the benchmark
+//!   sweeps (experiment B3).
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// What a labelled operation should do at its decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureAction {
+    /// Carry on normally.
+    Proceed,
+    /// Unilaterally abort.
+    Abort,
+}
+
+/// A scripted failure pattern for one label.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FailurePlan {
+    /// Never fail (the default for unknown labels).
+    Never,
+    /// Fail every attempt.
+    Always,
+    /// Fail attempts `0..n`, succeed from attempt `n` on.
+    FirstN(u32),
+    /// Fail exactly the listed attempt numbers (0-based).
+    OnAttempts(BTreeSet<u32>),
+    /// Fail each attempt independently with probability `p`,
+    /// drawn from the injector's seeded generator.
+    Probability { p: f64 },
+}
+
+/// Legacy alias kept for API symmetry with the engine's crash tests:
+/// a crash is modelled as clearing volatile state at a chosen point;
+/// the point is identified by a label in the same namespace as abort
+/// plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Crash before the commit record is written (txn is a loser).
+    BeforeCommit,
+    /// Crash after the commit record is written (txn is a winner).
+    AfterCommit,
+}
+
+#[derive(Debug)]
+struct PlanState {
+    plan: FailurePlan,
+    attempts: u32,
+}
+
+/// A shared, thread-safe failure-injection oracle.
+#[derive(Debug)]
+pub struct Injector {
+    plans: Mutex<HashMap<String, PlanState>>,
+    rng: Mutex<StdRng>,
+}
+
+/// Shared handle to an [`Injector`].
+pub type InjectorHandle = Arc<Injector>;
+
+impl Injector {
+    /// Creates an injector whose stochastic plans draw from a
+    /// generator seeded with `seed` (identical seeds ⇒ identical runs).
+    pub fn new(seed: u64) -> InjectorHandle {
+        Arc::new(Self {
+            plans: Mutex::new(HashMap::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        })
+    }
+
+    /// Installs (or replaces) the plan for `label`, resetting its
+    /// attempt counter.
+    pub fn set_plan(&self, label: &str, plan: FailurePlan) {
+        self.plans
+            .lock()
+            .insert(label.to_owned(), PlanState { plan, attempts: 0 });
+    }
+
+    /// Removes the plan for `label` (it reverts to `Never`).
+    pub fn clear_plan(&self, label: &str) {
+        self.plans.lock().remove(label);
+    }
+
+    /// Consults the plan for `label`, counting this call as one
+    /// attempt. Unknown labels always proceed.
+    pub fn decide(&self, label: &str) -> FailureAction {
+        let mut plans = self.plans.lock();
+        let Some(state) = plans.get_mut(label) else {
+            return FailureAction::Proceed;
+        };
+        let attempt = state.attempts;
+        state.attempts += 1;
+        let fail = match &state.plan {
+            FailurePlan::Never => false,
+            FailurePlan::Always => true,
+            FailurePlan::FirstN(n) => attempt < *n,
+            FailurePlan::OnAttempts(set) => set.contains(&attempt),
+            FailurePlan::Probability { p } => {
+                let roll: f64 = self.rng.lock().gen();
+                roll < *p
+            }
+        };
+        if fail {
+            FailureAction::Abort
+        } else {
+            FailureAction::Proceed
+        }
+    }
+
+    /// How many attempts `label` has made so far.
+    pub fn attempts(&self, label: &str) -> u32 {
+        self.plans
+            .lock()
+            .get(label)
+            .map(|s| s.attempts)
+            .unwrap_or(0)
+    }
+}
+
+/// Convenience constructor for [`FailurePlan::OnAttempts`].
+pub fn on_attempts<I: IntoIterator<Item = u32>>(attempts: I) -> FailurePlan {
+    FailurePlan::OnAttempts(attempts.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_labels_proceed() {
+        let inj = Injector::new(0);
+        assert_eq!(inj.decide("nope"), FailureAction::Proceed);
+        assert_eq!(inj.attempts("nope"), 0);
+    }
+
+    #[test]
+    fn first_n_models_retriable() {
+        let inj = Injector::new(0);
+        inj.set_plan("T3", FailurePlan::FirstN(2));
+        assert_eq!(inj.decide("T3"), FailureAction::Abort);
+        assert_eq!(inj.decide("T3"), FailureAction::Abort);
+        assert_eq!(inj.decide("T3"), FailureAction::Proceed);
+        assert_eq!(inj.decide("T3"), FailureAction::Proceed);
+        assert_eq!(inj.attempts("T3"), 4);
+    }
+
+    #[test]
+    fn always_fails() {
+        let inj = Injector::new(0);
+        inj.set_plan("dead", FailurePlan::Always);
+        for _ in 0..5 {
+            assert_eq!(inj.decide("dead"), FailureAction::Abort);
+        }
+    }
+
+    #[test]
+    fn on_attempts_targets_exact_attempts() {
+        let inj = Injector::new(0);
+        inj.set_plan("T", on_attempts([1, 3]));
+        let pattern: Vec<_> = (0..5).map(|_| inj.decide("T")).collect();
+        assert_eq!(
+            pattern,
+            vec![
+                FailureAction::Proceed,
+                FailureAction::Abort,
+                FailureAction::Proceed,
+                FailureAction::Abort,
+                FailureAction::Proceed,
+            ]
+        );
+    }
+
+    #[test]
+    fn probability_is_seed_deterministic() {
+        let run = |seed| {
+            let inj = Injector::new(seed);
+            inj.set_plan("p", FailurePlan::Probability { p: 0.5 });
+            (0..32).map(|_| inj.decide("p")).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42), "same seed, same outcomes");
+        assert_ne!(run(42), run(43), "different seeds diverge (w.h.p.)");
+    }
+
+    #[test]
+    fn set_plan_resets_attempts() {
+        let inj = Injector::new(0);
+        inj.set_plan("x", FailurePlan::FirstN(1));
+        inj.decide("x");
+        inj.decide("x");
+        assert_eq!(inj.attempts("x"), 2);
+        inj.set_plan("x", FailurePlan::FirstN(1));
+        assert_eq!(inj.attempts("x"), 0);
+        assert_eq!(inj.decide("x"), FailureAction::Abort);
+    }
+
+    #[test]
+    fn clear_plan_reverts_to_never() {
+        let inj = Injector::new(0);
+        inj.set_plan("x", FailurePlan::Always);
+        assert_eq!(inj.decide("x"), FailureAction::Abort);
+        inj.clear_plan("x");
+        assert_eq!(inj.decide("x"), FailureAction::Proceed);
+    }
+
+    #[test]
+    fn probability_extremes() {
+        let inj = Injector::new(1);
+        inj.set_plan("zero", FailurePlan::Probability { p: 0.0 });
+        inj.set_plan("one", FailurePlan::Probability { p: 1.0 });
+        for _ in 0..16 {
+            assert_eq!(inj.decide("zero"), FailureAction::Proceed);
+            assert_eq!(inj.decide("one"), FailureAction::Abort);
+        }
+    }
+}

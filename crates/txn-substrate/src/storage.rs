@@ -1,0 +1,132 @@
+//! In-memory key/value storage for one local database.
+//!
+//! Transactions update the store **in place** while holding exclusive
+//! locks (classic strict-2PL with before-image undo); the store itself
+//! is therefore a plain map with no transaction awareness. Atomicity
+//! and isolation live in [`crate::txn`] and [`crate::lock`]; durability
+//! lives in [`crate::wal`].
+
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// The record key type. `String` keys keep examples and traces
+/// readable; the substrate is not performance-critical enough to
+/// justify interned keys.
+pub type Key = String;
+
+/// A thread-safe in-memory key/value store.
+///
+/// A `BTreeMap` (rather than a hash map) keeps iteration order — and
+/// therefore every dump, trace and test fixture — deterministic.
+#[derive(Debug, Default)]
+pub struct Storage {
+    map: RwLock<BTreeMap<Key, Value>>,
+}
+
+impl Storage {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the current value of `key`, if present.
+    pub fn get(&self, key: &str) -> Option<Value> {
+        self.map.read().get(key).cloned()
+    }
+
+    /// Writes `value` under `key`, returning the previous value
+    /// (the before-image the caller must log for undo).
+    pub fn set(&self, key: &str, value: Value) -> Option<Value> {
+        self.map.write().insert(key.to_owned(), value)
+    }
+
+    /// Removes `key`, returning the removed value if it existed.
+    pub fn remove(&self, key: &str) -> Option<Value> {
+        self.map.write().remove(key)
+    }
+
+    /// Applies a logical write: `Some(v)` stores `v`, `None` deletes.
+    /// Returns the before-image. This is the single primitive both
+    /// forward execution and undo/redo use, which guarantees that
+    /// recovery applies exactly the same state transitions as normal
+    /// operation.
+    pub fn apply(&self, key: &str, value: Option<Value>) -> Option<Value> {
+        match value {
+            Some(v) => self.set(key, v),
+            None => self.remove(key),
+        }
+    }
+
+    /// True if the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// A point-in-time copy of the whole store, in key order. Used by
+    /// tests to compare pre/post states and by the recovery tests to
+    /// check that a rebuilt database equals the lost one.
+    pub fn snapshot(&self) -> BTreeMap<Key, Value> {
+        self.map.read().clone()
+    }
+
+    /// Drops every record (simulates losing volatile memory in a
+    /// crash; the WAL survives and recovery rebuilds the map).
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_remove() {
+        let s = Storage::new();
+        assert_eq!(s.get("a"), None);
+        assert_eq!(s.set("a", Value::Int(1)), None);
+        assert_eq!(s.get("a"), Some(Value::Int(1)));
+        assert_eq!(s.set("a", Value::Int(2)), Some(Value::Int(1)));
+        assert_eq!(s.remove("a"), Some(Value::Int(2)));
+        assert_eq!(s.get("a"), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn apply_returns_before_image() {
+        let s = Storage::new();
+        assert_eq!(s.apply("k", Some(Value::Int(1))), None);
+        assert_eq!(s.apply("k", Some(Value::Int(2))), Some(Value::Int(1)));
+        assert_eq!(s.apply("k", None), Some(Value::Int(2)));
+        assert_eq!(s.apply("k", None), None);
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_detached() {
+        let s = Storage::new();
+        s.set("b", Value::Int(2));
+        s.set("a", Value::Int(1));
+        let snap = s.snapshot();
+        assert_eq!(
+            snap.keys().cloned().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+        s.set("a", Value::Int(99));
+        assert_eq!(snap["a"], Value::Int(1), "snapshot unaffected by later writes");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let s = Storage::new();
+        s.set("x", Value::Bool(true));
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! The value type stored in local databases.
+//!
+//! Subtransactions in the reproduced paper manipulate ordinary database
+//! state; the constructions only require that state changes are atomic,
+//! loggable (before/after images) and comparable. A small tagged value
+//! covers everything the examples, tests and benchmarks need.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A database value: the unit read and written by transactions.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer (account balances, counters, quantities).
+    Int(i64),
+    /// UTF-8 string (names, status fields).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+    /// Raw bytes (opaque payloads).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the raw-bytes payload, if this is `Bytes`.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_str(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(vec![1u8, 2]).as_bytes(), Some(&[1u8, 2][..]));
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::from("a b").to_string(), "\"a b\"");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::Bytes(vec![0; 4]).to_string(), "<4 bytes>");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for v in [
+            Value::Int(42),
+            Value::from("hello"),
+            Value::Bool(true),
+            Value::Bytes(vec![9, 8, 7]),
+        ] {
+            let json = serde_json::to_string(&v).unwrap();
+            let back: Value = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn ordering_is_total_within_variant() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::from("a") < Value::from("b"));
+    }
+}

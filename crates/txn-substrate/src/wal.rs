@@ -1,0 +1,427 @@
+//! Write-ahead logging and redo recovery for one local database.
+//!
+//! Each local database logs physiological before/after images of every
+//! update, plus transaction begin/commit/abort records. Two uses:
+//!
+//! 1. **Abort (in-place undo)** — the transaction layer walks its own
+//!    update records backwards and restores before-images.
+//! 2. **Crash recovery (redo)** — the in-memory store is volatile;
+//!    after a (simulated or real) crash, [`Wal::replay_committed`]
+//!    rebuilds it by re-applying the after-images of committed
+//!    transactions in log order. Updates of losers are skipped, which
+//!    makes undo at restart unnecessary: the store is rebuilt from
+//!    empty, so only winner writes ever reach it.
+//!
+//! The log can live purely in memory (fast, for tests and benchmarks
+//! that only crash "logically") or be mirrored to a file of JSON lines
+//! (one record per line, flushed on commit) so recovery across real
+//! process restarts works too.
+
+use crate::storage::Storage;
+use crate::txn::TxnId;
+use crate::value::Value;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Log sequence number: the index of a record in the log.
+pub type Lsn = u64;
+
+/// One write-ahead-log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// A transaction started.
+    Begin { txn: TxnId },
+    /// An update with before/after images (`None` = key absent).
+    Update {
+        txn: TxnId,
+        key: String,
+        before: Option<Value>,
+        after: Option<Value>,
+    },
+    /// The transaction committed; its updates are durable.
+    Commit { txn: TxnId },
+    /// The transaction aborted; its updates have been undone in place.
+    Abort { txn: TxnId },
+    /// A fuzzy-free checkpoint: the complete committed state at a
+    /// quiescent point. Recovery restarts from the **last** checkpoint
+    /// and redoes only the committed updates after it; compaction
+    /// drops everything before it.
+    Checkpoint { state: Vec<(String, Value)> },
+}
+
+impl LogRecord {
+    /// The transaction this record belongs to (`None` for
+    /// checkpoints, which are transaction-independent).
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogRecord::Begin { txn }
+            | LogRecord::Commit { txn }
+            | LogRecord::Abort { txn } => Some(*txn),
+            LogRecord::Update { txn, .. } => Some(*txn),
+            LogRecord::Checkpoint { .. } => None,
+        }
+    }
+}
+
+/// The write-ahead log of one local database.
+#[derive(Debug, Default)]
+pub struct Wal {
+    records: Mutex<Vec<LogRecord>>,
+    file: Option<Mutex<BufWriter<File>>>,
+}
+
+impl Wal {
+    /// An in-memory log (survives a *simulated* crash that clears the
+    /// store but keeps the process alive).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A log mirrored to `path` (appending if the file exists). Each
+    /// record is one JSON line; the writer is flushed on commit/abort
+    /// records so the durability point matches the commit point.
+    pub fn with_file(path: &Path) -> std::io::Result<Self> {
+        let mut wal = Self::new();
+        if path.exists() {
+            let reader = BufReader::new(File::open(path)?);
+            let mut records = Vec::new();
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let rec: LogRecord = serde_json::from_str(&line).map_err(|e| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+                })?;
+                records.push(rec);
+            }
+            wal.records = Mutex::new(records);
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        wal.file = Some(Mutex::new(BufWriter::new(file)));
+        Ok(wal)
+    }
+
+    /// Appends a record, returning its LSN.
+    pub fn append(&self, rec: LogRecord) -> Lsn {
+        let flush = matches!(rec, LogRecord::Commit { .. } | LogRecord::Abort { .. });
+        if let Some(file) = &self.file {
+            let mut w = file.lock();
+            // Serialization of LogRecord cannot fail; IO errors on the
+            // mirror are surfaced as panics because a database whose
+            // log cannot be written must stop.
+            let line = serde_json::to_string(&rec).expect("LogRecord is always serializable");
+            writeln!(w, "{line}").expect("WAL mirror write failed");
+            if flush {
+                w.flush().expect("WAL mirror flush failed");
+            }
+        }
+        let mut records = self.records.lock();
+        records.push(rec);
+        (records.len() - 1) as Lsn
+    }
+
+    /// Number of records in the log.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// True if the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// A copy of the full log (for audit dumps and tests).
+    pub fn records(&self) -> Vec<LogRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Update records of `txn` in log order (the transaction layer
+    /// walks these backwards to undo an abort).
+    pub fn updates_of(&self, txn: TxnId) -> Vec<(String, Option<Value>)> {
+        self.records
+            .lock()
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Update {
+                    txn: t,
+                    key,
+                    before,
+                    ..
+                } if *t == txn => Some((key.clone(), before.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Redo recovery: rebuilds `storage` (assumed empty/cleared). If
+    /// the log contains checkpoints, the state of the **last** one is
+    /// installed first and only records after it are considered;
+    /// committed transactions' after-images are then re-applied in log
+    /// order. Returns the number of updates replayed (checkpoint
+    /// installs count one per key).
+    pub fn replay_committed(&self, storage: &Storage) -> usize {
+        let records = self.records.lock();
+        let start = records
+            .iter()
+            .rposition(|r| matches!(r, LogRecord::Checkpoint { .. }))
+            .unwrap_or(0);
+        let tail = &records[start..];
+        let mut replayed = 0;
+        if let Some(LogRecord::Checkpoint { state }) = tail.first() {
+            for (k, v) in state {
+                storage.apply(k, Some(v.clone()));
+                replayed += 1;
+            }
+        }
+        let committed: std::collections::HashSet<TxnId> = tail
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        for rec in tail {
+            if let LogRecord::Update {
+                txn, key, after, ..
+            } = rec
+            {
+                if committed.contains(txn) {
+                    storage.apply(key, after.clone());
+                    replayed += 1;
+                }
+            }
+        }
+        replayed
+    }
+
+    /// Drops every record before the last checkpoint (log compaction).
+    /// A no-op when the log holds no checkpoint. When the log is
+    /// mirrored to a file, the file is rewritten to match. Returns the
+    /// number of records dropped.
+    pub fn compact(&self) -> usize {
+        let mut records = self.records.lock();
+        let Some(start) = records
+            .iter()
+            .rposition(|r| matches!(r, LogRecord::Checkpoint { .. }))
+        else {
+            return 0;
+        };
+        let dropped = start;
+        records.drain(..start);
+        if let Some(file) = &self.file {
+            // Rewrite the mirror: flush any buffered lines first (the
+            // truncation below acts on the file, not the buffer), then
+            // truncate and re-append the tail.
+            let mut w = file.lock();
+            w.flush().expect("WAL mirror flush failed");
+            let inner = w.get_mut();
+            use std::io::Seek;
+            inner.set_len(0).expect("WAL mirror truncate failed");
+            inner
+                .seek(std::io::SeekFrom::Start(0))
+                .expect("WAL mirror seek failed");
+            for rec in records.iter() {
+                let line =
+                    serde_json::to_string(rec).expect("LogRecord is always serializable");
+                writeln!(w, "{line}").expect("WAL mirror write failed");
+            }
+            w.flush().expect("WAL mirror flush failed");
+        }
+        dropped
+    }
+
+    /// Transactions with a `Begin` but neither `Commit` nor `Abort` —
+    /// the in-flight losers at crash time.
+    pub fn in_flight(&self) -> Vec<TxnId> {
+        let records = self.records.lock();
+        let mut open: Vec<TxnId> = Vec::new();
+        for rec in records.iter() {
+            match rec {
+                LogRecord::Begin { txn } => open.push(*txn),
+                LogRecord::Commit { txn } | LogRecord::Abort { txn } => {
+                    open.retain(|t| t != txn)
+                }
+                LogRecord::Update { .. } | LogRecord::Checkpoint { .. } => {}
+            }
+        }
+        open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnId {
+        TxnId(n)
+    }
+
+    fn upd(txn: u64, key: &str, before: Option<i64>, after: Option<i64>) -> LogRecord {
+        LogRecord::Update {
+            txn: t(txn),
+            key: key.into(),
+            before: before.map(Value::Int),
+            after: after.map(Value::Int),
+        }
+    }
+
+    #[test]
+    fn lsns_are_sequential() {
+        let wal = Wal::new();
+        assert_eq!(wal.append(LogRecord::Begin { txn: t(1) }), 0);
+        assert_eq!(wal.append(upd(1, "k", None, Some(1))), 1);
+        assert_eq!(wal.append(LogRecord::Commit { txn: t(1) }), 2);
+        assert_eq!(wal.len(), 3);
+    }
+
+    #[test]
+    fn replay_redoes_only_committed() {
+        let wal = Wal::new();
+        // Winner txn 1.
+        wal.append(LogRecord::Begin { txn: t(1) });
+        wal.append(upd(1, "a", None, Some(10)));
+        wal.append(LogRecord::Commit { txn: t(1) });
+        // Loser txn 2 (in flight at crash).
+        wal.append(LogRecord::Begin { txn: t(2) });
+        wal.append(upd(2, "b", None, Some(20)));
+        // Aborted txn 3.
+        wal.append(LogRecord::Begin { txn: t(3) });
+        wal.append(upd(3, "c", None, Some(30)));
+        wal.append(LogRecord::Abort { txn: t(3) });
+
+        let storage = Storage::new();
+        let n = wal.replay_committed(&storage);
+        assert_eq!(n, 1);
+        assert_eq!(storage.get("a"), Some(Value::Int(10)));
+        assert_eq!(storage.get("b"), None);
+        assert_eq!(storage.get("c"), None);
+        assert_eq!(wal.in_flight(), vec![t(2)]);
+    }
+
+    #[test]
+    fn replay_applies_in_log_order() {
+        let wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: t(1) });
+        wal.append(upd(1, "k", None, Some(1)));
+        wal.append(LogRecord::Commit { txn: t(1) });
+        wal.append(LogRecord::Begin { txn: t(2) });
+        wal.append(upd(2, "k", Some(1), Some(2)));
+        wal.append(LogRecord::Commit { txn: t(2) });
+        let storage = Storage::new();
+        wal.replay_committed(&storage);
+        assert_eq!(storage.get("k"), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn updates_of_returns_before_images_in_order() {
+        let wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: t(1) });
+        wal.append(upd(1, "x", None, Some(1)));
+        wal.append(upd(1, "x", Some(1), Some(2)));
+        wal.append(upd(2, "y", None, Some(9)));
+        let ups = wal.updates_of(t(1));
+        assert_eq!(
+            ups,
+            vec![
+                ("x".to_string(), None),
+                ("x".to_string(), Some(Value::Int(1)))
+            ]
+        );
+    }
+
+    #[test]
+    fn checkpoint_replay_and_compaction() {
+        let wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: t(1) });
+        wal.append(upd(1, "a", None, Some(1)));
+        wal.append(LogRecord::Commit { txn: t(1) });
+        wal.append(LogRecord::Checkpoint {
+            state: vec![("a".into(), Value::Int(1))],
+        });
+        wal.append(LogRecord::Begin { txn: t(2) });
+        wal.append(upd(2, "b", None, Some(2)));
+        wal.append(LogRecord::Commit { txn: t(2) });
+
+        let storage = Storage::new();
+        let replayed = wal.replay_committed(&storage);
+        assert_eq!(replayed, 2, "1 checkpoint key + 1 redo");
+        assert_eq!(storage.get("a"), Some(Value::Int(1)));
+        assert_eq!(storage.get("b"), Some(Value::Int(2)));
+
+        // Compaction drops the pre-checkpoint records only.
+        let dropped = wal.compact();
+        assert_eq!(dropped, 3);
+        let storage2 = Storage::new();
+        wal.replay_committed(&storage2);
+        assert_eq!(storage2.snapshot(), storage.snapshot());
+        // Compacting again is a no-op (checkpoint is now first).
+        assert_eq!(wal.compact(), 0);
+    }
+
+    #[test]
+    fn compact_without_checkpoint_is_noop() {
+        let wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: t(1) });
+        assert_eq!(wal.compact(), 0);
+        assert_eq!(wal.len(), 1);
+    }
+
+    #[test]
+    fn file_mirror_compaction_rewrites_file() {
+        let dir = std::env::temp_dir().join(format!(
+            "wftx-wal-ckpt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::with_file(&path).unwrap();
+            wal.append(LogRecord::Begin { txn: t(1) });
+            wal.append(upd(1, "k", None, Some(7)));
+            wal.append(LogRecord::Commit { txn: t(1) });
+            wal.append(LogRecord::Checkpoint {
+                state: vec![("k".into(), Value::Int(7))],
+            });
+            assert_eq!(wal.compact(), 3);
+        }
+        // Reopen: only the checkpoint survives, and replay still
+        // reproduces the state.
+        let wal2 = Wal::with_file(&path).unwrap();
+        assert_eq!(wal2.len(), 1);
+        let storage = Storage::new();
+        wal2.replay_committed(&storage);
+        assert_eq!(storage.get("k"), Some(Value::Int(7)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_mirror_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "wftx-wal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::with_file(&path).unwrap();
+            wal.append(LogRecord::Begin { txn: t(7) });
+            wal.append(upd(7, "k", None, Some(42)));
+            wal.append(LogRecord::Commit { txn: t(7) });
+        }
+        // Reopen: records come back and replay rebuilds the store.
+        let wal2 = Wal::with_file(&path).unwrap();
+        assert_eq!(wal2.len(), 3);
+        let storage = Storage::new();
+        wal2.replay_committed(&storage);
+        assert_eq!(storage.get("k"), Some(Value::Int(42)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the substrate's core invariants:
+//! recovery correctness, abort atomicity, and serialisability of the
+//! committed history.
+
+use proptest::prelude::*;
+use txn_substrate::{Database, DbConfig, Value};
+
+/// One scripted operation in a transaction.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, i64),
+    Delete(u8),
+    Get(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8, any::<i64>()).prop_map(|(k, v)| Op::Put(k, v)),
+        (0u8..8).prop_map(Op::Delete),
+        (0u8..8).prop_map(Op::Get),
+    ]
+}
+
+/// A scripted transaction: operations plus whether it commits.
+fn txn_strategy() -> impl Strategy<Value = (Vec<Op>, bool)> {
+    (prop::collection::vec(op_strategy(), 1..6), any::<bool>())
+}
+
+fn key(k: u8) -> String {
+    format!("k{k}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Aborted transactions leave no trace: executing any script where
+    /// some transactions abort yields the same state as executing only
+    /// the committed ones.
+    #[test]
+    fn abort_atomicity(scripts in prop::collection::vec(txn_strategy(), 1..12)) {
+        let full = Database::new(DbConfig::named("full"));
+        let filtered = Database::new(DbConfig::named("filtered"));
+        for (ops, commit) in &scripts {
+            // Run on `full` always; on `filtered` only if committing.
+            let mut t = full.begin();
+            for op in ops {
+                match op {
+                    Op::Put(k, v) => t.put(&key(*k), *v).unwrap(),
+                    Op::Delete(k) => t.delete(&key(*k)).unwrap(),
+                    Op::Get(k) => { t.get(&key(*k)).unwrap(); }
+                }
+            }
+            if *commit {
+                t.commit().unwrap();
+                let mut t2 = filtered.begin();
+                for op in ops {
+                    match op {
+                        Op::Put(k, v) => t2.put(&key(*k), *v).unwrap(),
+                        Op::Delete(k) => t2.delete(&key(*k)).unwrap(),
+                        Op::Get(k) => { t2.get(&key(*k)).unwrap(); }
+                    }
+                }
+                t2.commit().unwrap();
+            } else {
+                t.abort();
+            }
+        }
+        prop_assert_eq!(full.snapshot(), filtered.snapshot());
+    }
+
+    /// Crash–recover reproduces exactly the committed state, from any
+    /// script, any number of times.
+    #[test]
+    fn recovery_reproduces_committed_state(
+        scripts in prop::collection::vec(txn_strategy(), 1..12)
+    ) {
+        let db = Database::new(DbConfig::named("d"));
+        for (ops, commit) in &scripts {
+            let mut t = db.begin();
+            for op in ops {
+                match op {
+                    Op::Put(k, v) => t.put(&key(*k), *v).unwrap(),
+                    Op::Delete(k) => t.delete(&key(*k)).unwrap(),
+                    Op::Get(k) => { t.get(&key(*k)).unwrap(); }
+                }
+            }
+            if *commit { t.commit().unwrap(); } else { t.abort(); }
+        }
+        let before = db.snapshot();
+        db.crash();
+        db.recover();
+        prop_assert_eq!(db.snapshot(), before.clone());
+        // Idempotent.
+        db.crash();
+        db.recover();
+        prop_assert_eq!(db.snapshot(), before);
+    }
+
+    /// A transaction that crashes mid-flight (no commit record) is a
+    /// loser: recovery excludes all of its updates.
+    #[test]
+    fn in_flight_transactions_are_losers(
+        committed_ops in prop::collection::vec(op_strategy(), 1..6),
+        loser_ops in prop::collection::vec(op_strategy(), 1..6),
+    ) {
+        let db = Database::new(DbConfig::named("d"));
+        let mut t = db.begin();
+        for op in &committed_ops {
+            match op {
+                Op::Put(k, v) => t.put(&key(*k), *v).unwrap(),
+                Op::Delete(k) => t.delete(&key(*k)).unwrap(),
+                Op::Get(k) => { t.get(&key(*k)).unwrap(); }
+            }
+        }
+        t.commit().unwrap();
+        let committed_state = db.snapshot();
+
+        let mut loser = db.begin();
+        for op in &loser_ops {
+            match op {
+                Op::Put(k, v) => loser.put(&key(*k), *v).unwrap(),
+                Op::Delete(k) => loser.delete(&key(*k)).unwrap(),
+                Op::Get(k) => { loser.get(&key(*k)).unwrap(); }
+            }
+        }
+        std::mem::forget(loser); // crash with the txn in flight
+        db.crash();
+        db.recover();
+        prop_assert_eq!(db.snapshot(), committed_state);
+    }
+}
+
+/// Concurrent increments with retries never lose updates (strict 2PL
+/// serialisability on the one observable we can count exactly).
+#[test]
+fn concurrent_increments_are_serialisable() {
+    use std::sync::Arc;
+    for threads in [2usize, 4] {
+        let db = Arc::new(Database::new(DbConfig::named("d")));
+        let per = 100;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let db = Arc::clone(&db);
+                s.spawn(move || {
+                    for i in 0..per {
+                        let k = key((i % 3) as u8);
+                        loop {
+                            let mut t = db.begin();
+                            let cur = match t.get(&k) {
+                                Ok(v) => v.and_then(|v| v.as_int()).unwrap_or(0),
+                                Err(_) => continue,
+                            };
+                            if t.put(&k, cur + 1).is_err() {
+                                continue;
+                            }
+                            if t.commit().is_ok() {
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let total: i64 = db
+            .snapshot()
+            .values()
+            .filter_map(Value::as_int)
+            .sum();
+        assert_eq!(total as usize, threads * per, "threads={threads}");
+    }
+}

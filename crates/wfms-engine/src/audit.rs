@@ -1,0 +1,233 @@
+//! Audit trail helpers — §3.3 lists monitoring, accounting and audit
+//! among the features that made workflow products successful. The
+//! journal already records everything; this module renders it.
+
+use crate::event::{Event, InstanceId};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Human-readable audit listing of `events` (one line per event,
+/// prefixed by the tick).
+pub fn render(events: &[Event]) -> Vec<String> {
+    events
+        .iter()
+        .map(|e| format!("[t={}] {}", e.at(), e.describe()))
+        .collect()
+}
+
+/// The compact *trace* of one instance: the ordered list of
+/// "what happened to which activity" tokens the golden-trace tests of
+/// the paper's appendix compare against. Connector evaluations and
+/// container contents are omitted; starts record attempts so retried
+/// activities are visible.
+pub fn trace(events: &[Event], instance: InstanceId) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| e.instance() == Some(instance))
+        .filter_map(|e| match e {
+            Event::ActivityStarted { path, attempt, .. } => {
+                Some(format!("start:{path}#{attempt}"))
+            }
+            Event::ActivityFinished { path, output, .. } => {
+                let rc = output
+                    .get(wfms_model::RC_MEMBER)
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(-1);
+                Some(format!("finish:{path}={rc}"))
+            }
+            Event::ActivityTerminated {
+                path,
+                executed: false,
+                ..
+            } => Some(format!("dead:{path}")),
+            Event::InstanceFinished { .. } => Some("done".to_owned()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The order in which activities *ran* (started), attempts flattened —
+/// the saga/flexible-transaction tests assert compensation order with
+/// this.
+pub fn execution_order(events: &[Event], instance: InstanceId) -> Vec<String> {
+    events
+        .iter()
+        .filter(|e| e.instance() == Some(instance))
+        .filter_map(|e| match e {
+            Event::ActivityStarted { path, .. } => Some(path.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Per-instance summary counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct InstanceSummary {
+    /// Activity executions started (attempts, not unique activities).
+    pub executions: u64,
+    /// Activities terminated having executed.
+    pub completed: u64,
+    /// Activities removed by dead path elimination.
+    pub eliminated: u64,
+    /// Exit-condition reschedules.
+    pub reschedules: u64,
+    /// Connector evaluations (true, false).
+    pub connectors_true: u64,
+    /// Connector evaluations that were false.
+    pub connectors_false: u64,
+    /// Deadline notifications sent.
+    pub notifications: u64,
+}
+
+/// Computes summary counters for `instance`.
+pub fn summarize(events: &[Event], instance: InstanceId) -> InstanceSummary {
+    let mut s = InstanceSummary::default();
+    for e in events.iter().filter(|e| e.instance() == Some(instance)) {
+        match e {
+            Event::ActivityStarted { .. } => s.executions += 1,
+            Event::ActivityTerminated { executed, .. } => {
+                if *executed {
+                    s.completed += 1;
+                } else {
+                    s.eliminated += 1;
+                }
+            }
+            Event::ActivityRescheduled { .. } => s.reschedules += 1,
+            Event::ConnectorEvaluated { value, .. } => {
+                if *value {
+                    s.connectors_true += 1;
+                } else {
+                    s.connectors_false += 1;
+                }
+            }
+            Event::NotificationSent { .. } => s.notifications += 1,
+            _ => {}
+        }
+    }
+    s
+}
+
+/// Exports events as a JSON array (one object per event) for external
+/// tooling.
+pub fn to_json(events: &[Event]) -> String {
+    serde_json::to_string_pretty(events).expect("events are always serializable")
+}
+
+/// Groups execution counts by activity path.
+pub fn executions_by_activity(events: &[Event], instance: InstanceId) -> BTreeMap<String, u64> {
+    let mut map = BTreeMap::new();
+    for e in events.iter().filter(|e| e.instance() == Some(instance)) {
+        if let Event::ActivityStarted { path, .. } = e {
+            *map.entry(path.clone()).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfms_model::Container;
+
+    fn sample() -> Vec<Event> {
+        let i = InstanceId(1);
+        let mut out1 = Container::empty();
+        out1.set("RC", txn_substrate::Value::Int(1));
+        vec![
+            Event::InstanceStarted {
+                instance: i,
+                process: "p".into(),
+                input: Container::empty(),
+                at: 0,
+            },
+            Event::ActivityStarted {
+                instance: i,
+                path: "A".into(),
+                attempt: 0,
+                by: None,
+                input: Container::empty(),
+                at: 1,
+            },
+            Event::ActivityFinished {
+                instance: i,
+                path: "A".into(),
+                attempt: 0,
+                output: out1,
+                at: 2,
+            },
+            Event::ActivityTerminated {
+                instance: i,
+                path: "A".into(),
+                executed: true,
+                at: 2,
+            },
+            Event::ConnectorEvaluated {
+                instance: i,
+                scope: "".into(),
+                from: "A".into(),
+                to: "B".into(),
+                value: false,
+                at: 2,
+            },
+            Event::ActivityTerminated {
+                instance: i,
+                path: "B".into(),
+                executed: false,
+                at: 2,
+            },
+            Event::InstanceFinished {
+                instance: i,
+                output: Container::empty(),
+                at: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_tokens() {
+        let t = trace(&sample(), InstanceId(1));
+        assert_eq!(
+            t,
+            vec!["start:A#0", "finish:A=1", "dead:B", "done"]
+        );
+    }
+
+    #[test]
+    fn summary_counts() {
+        let s = summarize(&sample(), InstanceId(1));
+        assert_eq!(s.executions, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.eliminated, 1);
+        assert_eq!(s.connectors_false, 1);
+        assert_eq!(s.connectors_true, 0);
+    }
+
+    #[test]
+    fn render_includes_ticks() {
+        let lines = render(&sample());
+        assert!(lines[0].starts_with("[t=0] "));
+        assert_eq!(lines.len(), 7);
+    }
+
+    #[test]
+    fn executions_by_activity_counts_attempts() {
+        let mut evs = sample();
+        evs.push(Event::ActivityStarted {
+            instance: InstanceId(1),
+            path: "A".into(),
+            attempt: 1,
+            by: None,
+            input: Container::empty(),
+            at: 4,
+        });
+        let m = executions_by_activity(&evs, InstanceId(1));
+        assert_eq!(m["A"], 2);
+    }
+
+    #[test]
+    fn json_export_parses_back() {
+        let json = to_json(&sample());
+        let back: Vec<Event> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.len(), 7);
+    }
+}

@@ -1,0 +1,679 @@
+//! The engine — the public API tying templates, instances, programs,
+//! the organization, worklists, the journal and the clock together.
+
+use crate::event::{Event, InstanceId, WorkItemId};
+use crate::journal::Journal;
+use crate::navigator;
+use crate::org::OrgModel;
+use crate::state::{split_path, ActState, Instance, InstanceStatus};
+use crate::worklist::{WorkItem, WorkItemState, WorklistError, WorklistStore};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::Arc;
+use txn_substrate::{MultiDatabase, ProgramRegistry, VirtualClock};
+use wfms_model::{validate, Container, ProcessDefinition, ValidationError};
+
+/// Errors surfaced by the engine API.
+#[derive(Debug)]
+pub enum EngineError {
+    /// `register` rejected a definition.
+    Validation(Vec<ValidationError>),
+    /// No template with this name.
+    UnknownProcess(String),
+    /// No instance with this id.
+    UnknownInstance(InstanceId),
+    /// A worklist operation failed.
+    Worklist(WorklistError),
+    /// The addressed activity does not exist or is in the wrong state.
+    BadActivityState {
+        /// Activity path.
+        path: String,
+        /// What the operation needed.
+        expected: &'static str,
+    },
+    /// `run_to_quiescence` exceeded the configured step limit — almost
+    /// always a livelock from an exit condition that can never become
+    /// true.
+    StepLimit(usize),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Validation(errs) => {
+                writeln!(f, "definition rejected with {} error(s):", errs.len())?;
+                for e in errs {
+                    writeln!(f, "  - {e}")?;
+                }
+                Ok(())
+            }
+            EngineError::UnknownProcess(p) => write!(f, "no process template named {p:?}"),
+            EngineError::UnknownInstance(i) => write!(f, "no instance {i}"),
+            EngineError::Worklist(e) => write!(f, "worklist: {e}"),
+            EngineError::BadActivityState { path, expected } => {
+                write!(f, "activity {path:?} is not {expected}")
+            }
+            EngineError::StepLimit(n) => {
+                write!(f, "step limit of {n} reached; livelocked exit condition?")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<WorklistError> for EngineError {
+    fn from(e: WorklistError) -> Self {
+        EngineError::Worklist(e)
+    }
+}
+
+/// Construction-time options.
+pub struct EngineConfig {
+    /// Organization database.
+    pub org: OrgModel,
+    /// Mirror the journal to this file (enables recovery across real
+    /// process restarts).
+    pub journal_path: Option<PathBuf>,
+    /// Upper bound on navigation steps per `run_to_quiescence` call.
+    pub step_limit: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            org: OrgModel::new(),
+            journal_path: None,
+            step_limit: 1_000_000,
+        }
+    }
+}
+
+pub(crate) struct Inner {
+    pub(crate) templates: HashMap<String, Arc<ProcessDefinition>>,
+    pub(crate) instances: BTreeMap<InstanceId, Instance>,
+    pub(crate) org: OrgModel,
+    pub(crate) worklists: WorklistStore,
+    pub(crate) journal: Journal,
+    pub(crate) next_instance: u64,
+    pub(crate) next_item: u64,
+    pub(crate) step_limit: usize,
+}
+
+/// The workflow engine.
+pub struct Engine {
+    pub(crate) inner: Mutex<Inner>,
+    pub(crate) programs: Arc<ProgramRegistry>,
+    pub(crate) multidb: Arc<MultiDatabase>,
+    pub(crate) clock: VirtualClock,
+}
+
+impl Engine {
+    /// Builds an engine with default configuration.
+    pub fn new(multidb: Arc<MultiDatabase>, programs: Arc<ProgramRegistry>) -> Self {
+        Self::with_config(multidb, programs, EngineConfig::default())
+    }
+
+    /// Builds an engine with explicit configuration. The engine shares
+    /// the multidatabase's virtual clock so database events and
+    /// navigation events are on one timeline.
+    ///
+    /// # Panics
+    /// Panics if the journal file cannot be opened.
+    pub fn with_config(
+        multidb: Arc<MultiDatabase>,
+        programs: Arc<ProgramRegistry>,
+        config: EngineConfig,
+    ) -> Self {
+        let journal = match &config.journal_path {
+            Some(p) => Journal::with_file(p).expect("cannot open journal file"),
+            None => Journal::new(),
+        };
+        let clock = multidb.clock().clone();
+        Self {
+            inner: Mutex::new(Inner {
+                templates: HashMap::new(),
+                instances: BTreeMap::new(),
+                org: config.org,
+                worklists: WorklistStore::new(),
+                journal,
+                next_instance: 1,
+                next_item: 1,
+                step_limit: config.step_limit,
+            }),
+            programs,
+            multidb,
+            clock,
+        }
+    }
+
+    /// The engine's virtual clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The shared multidatabase.
+    pub fn multidb(&self) -> &Arc<MultiDatabase> {
+        &self.multidb
+    }
+
+    /// The program registry.
+    pub fn programs(&self) -> &Arc<ProgramRegistry> {
+        &self.programs
+    }
+
+    /// Validates and registers a process template. Registering a new
+    /// version under the same name replaces the template for *future*
+    /// instances; running instances keep their own `Arc`.
+    pub fn register(&self, def: ProcessDefinition) -> Result<(), EngineError> {
+        let errors = validate(&def);
+        if !errors.is_empty() {
+            return Err(EngineError::Validation(errors));
+        }
+        let mut inner = self.inner.lock();
+        inner.templates.insert(def.name.clone(), Arc::new(def));
+        Ok(())
+    }
+
+    /// Registered template names, sorted.
+    pub fn template_names(&self) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut names: Vec<String> = inner.templates.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Starts an instance of `process` with `input` seeding the
+    /// process input container, and navigates its start activities to
+    /// ready. Does not run anything yet — call
+    /// [`Engine::run_to_quiescence`].
+    pub fn start(&self, process: &str, input: Container) -> Result<InstanceId, EngineError> {
+        let mut inner = self.inner.lock();
+        let def = inner
+            .templates
+            .get(process)
+            .ok_or_else(|| EngineError::UnknownProcess(process.to_owned()))?
+            .clone();
+        let id = InstanceId(inner.next_instance);
+        inner.next_instance += 1;
+        let mut inst = Instance::new(id, def);
+        for (k, v) in input.iter() {
+            inst.root.input.set(k, v.clone());
+        }
+        {
+            let Inner {
+                journal,
+                org,
+                worklists,
+                next_item,
+                ..
+            } = &mut *inner;
+            let mut svc = navigator::NavServices {
+                journal,
+                clock: &self.clock,
+                org,
+                worklists,
+                next_item,
+                programs: &self.programs,
+                multidb: &self.multidb,
+            };
+            navigator::start_instance(&mut inst, &mut svc);
+        }
+        inner.instances.insert(id, inst);
+        Ok(id)
+    }
+
+    /// Executes at most one ready automatic activity of `id`. Returns
+    /// `Ok(true)` if an activity ran, `Ok(false)` at quiescence. Used
+    /// by crash tests and benchmarks that need to stop an instance at
+    /// an exact point.
+    pub fn step(&self, id: InstanceId) -> Result<bool, EngineError> {
+        let mut inner = self.inner.lock();
+        let inst = inner
+            .instances
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownInstance(id))?;
+        let Some(path) = navigator::find_runnable(inst) else {
+            return Ok(false);
+        };
+        let Inner {
+            journal,
+            org,
+            worklists,
+            next_item,
+            instances,
+            ..
+        } = &mut *inner;
+        let inst = instances.get_mut(&id).expect("checked above");
+        let mut svc = navigator::NavServices {
+            journal,
+            clock: &self.clock,
+            org,
+            worklists,
+            next_item,
+            programs: &self.programs,
+            multidb: &self.multidb,
+        };
+        navigator::execute_activity(inst, &mut svc, &path, None);
+        Ok(true)
+    }
+
+    /// Runs every ready automatic activity of `id` (including those
+    /// that become ready as a consequence) until none is runnable.
+    /// Manual activities stay on worklists. Returns the instance
+    /// status at quiescence.
+    pub fn run_to_quiescence(&self, id: InstanceId) -> Result<InstanceStatus, EngineError> {
+        let mut inner = self.inner.lock();
+        let limit = inner.step_limit;
+        let mut steps = 0usize;
+        loop {
+            let inst = inner
+                .instances
+                .get_mut(&id)
+                .ok_or(EngineError::UnknownInstance(id))?;
+            let Some(path) = navigator::find_runnable(inst) else {
+                return Ok(inst.status);
+            };
+            steps += 1;
+            if steps > limit {
+                return Err(EngineError::StepLimit(limit));
+            }
+            let Inner {
+                journal,
+                org,
+                worklists,
+                next_item,
+                instances,
+                ..
+            } = &mut *inner;
+            let inst = instances.get_mut(&id).expect("checked above");
+            let mut svc = navigator::NavServices {
+                journal,
+                clock: &self.clock,
+                org,
+                worklists,
+                next_item,
+                programs: &self.programs,
+                multidb: &self.multidb,
+            };
+            navigator::execute_activity(inst, &mut svc, &path, None);
+        }
+    }
+
+    /// Runs every instance to quiescence, in id order.
+    pub fn run_all(&self) -> Result<(), EngineError> {
+        let ids: Vec<InstanceId> = self.inner.lock().instances.keys().copied().collect();
+        for id in ids {
+            self.run_to_quiescence(id)?;
+        }
+        Ok(())
+    }
+
+    /// The worklist of `person` (clones of the visible items).
+    pub fn worklist(&self, person: &str) -> Vec<WorkItem> {
+        self.inner
+            .lock()
+            .worklists
+            .worklist(person)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Claims a work item for `person`; it disappears from every other
+    /// worklist.
+    pub fn claim(&self, item: WorkItemId, person: &str) -> Result<(), EngineError> {
+        let mut inner = self.inner.lock();
+        let at = self.clock.now();
+        inner.worklists.claim(item, person)?;
+        inner.journal.append(Event::WorkItemClaimed {
+            item,
+            person: person.to_owned(),
+            at,
+        });
+        Ok(())
+    }
+
+    /// Releases a claimed work item back to every eligible worklist
+    /// (§3.3: a user may stop work they selected; the activity
+    /// becomes available for load balancing again).
+    pub fn release(&self, item: WorkItemId, person: &str) -> Result<(), EngineError> {
+        let mut inner = self.inner.lock();
+        let at = self.clock.now();
+        inner.worklists.release(item, person)?;
+        inner.journal.append(Event::UserIntervention {
+            instance: inner
+                .worklists
+                .get(item)
+                .map(|it| it.instance)
+                .unwrap_or(InstanceId(0)),
+            path: inner
+                .worklists
+                .get(item)
+                .map(|it| it.path.clone())
+                .unwrap_or_default(),
+            action: format!("release {item} by {person}"),
+            at,
+        });
+        Ok(())
+    }
+
+    /// Marks a person absent (optionally naming a substitute) or
+    /// present again. Affects *future* work-item offers; items already
+    /// offered stay with their original offerees (§3.3's organization
+    /// is consulted at staff-resolution time).
+    pub fn set_absent(&self, person: &str, absent: bool, substitute: Option<&str>) {
+        self.inner.lock().org.set_absent(person, absent, substitute);
+    }
+
+    /// All instances: `(id, process name, status)`.
+    pub fn instances(&self) -> Vec<(InstanceId, String, InstanceStatus)> {
+        self.inner
+            .lock()
+            .instances
+            .values()
+            .map(|i| (i.id, i.def.name.clone(), i.status))
+            .collect()
+    }
+
+    /// Executes a work item `person` has claimed (claiming it first if
+    /// still offered), then continues automatic navigation of the
+    /// instance.
+    pub fn execute_item(&self, item: WorkItemId, person: &str) -> Result<(), EngineError> {
+        let instance;
+        {
+            let mut inner = self.inner.lock();
+            let it = inner
+                .worklists
+                .get(item)
+                .ok_or(EngineError::Worklist(WorklistError::NoSuchItem(item)))?
+                .clone();
+            match &it.state {
+                WorkItemState::Offered => {
+                    inner.worklists.claim(item, person)?;
+                    let at = self.clock.now();
+                    inner.journal.append(Event::WorkItemClaimed {
+                        item,
+                        person: person.to_owned(),
+                        at,
+                    });
+                }
+                WorkItemState::Claimed(p) if p == person => {}
+                WorkItemState::Claimed(p) => {
+                    return Err(EngineError::Worklist(WorklistError::AlreadyClaimed {
+                        item,
+                        by: p.clone(),
+                    }))
+                }
+                WorkItemState::Closed => {
+                    return Err(EngineError::Worklist(WorklistError::Closed(item)))
+                }
+            }
+            instance = it.instance;
+            let path = split_path(&it.path);
+            {
+                let Inner {
+                    journal,
+                    org,
+                    worklists,
+                    next_item,
+                    instances,
+                    ..
+                } = &mut *inner;
+                let inst = instances
+                    .get_mut(&instance)
+                    .ok_or(EngineError::UnknownInstance(instance))?;
+                // The underlying activity must still be ready at the
+                // claimed attempt.
+                let ok = inst
+                    .activity_rt(&path)
+                    .map(|rt| rt.state == ActState::Ready)
+                    .unwrap_or(false);
+                if !ok {
+                    return Err(EngineError::BadActivityState {
+                        path: it.path.clone(),
+                        expected: "ready",
+                    });
+                }
+                let mut svc = navigator::NavServices {
+                    journal,
+                    clock: &self.clock,
+                    org,
+                    worklists,
+                    next_item,
+                    programs: &self.programs,
+                    multidb: &self.multidb,
+                };
+                navigator::execute_activity(inst, &mut svc, &path, Some(person.to_owned()));
+            }
+        }
+        self.run_to_quiescence(instance)?;
+        Ok(())
+    }
+
+    /// Operator intervention (§3.3): forces a ready or running
+    /// activity to finish with return code `rc` and no outputs, then
+    /// continues navigation.
+    pub fn force_finish(
+        &self,
+        id: InstanceId,
+        path: &str,
+        rc: i64,
+    ) -> Result<(), EngineError> {
+        {
+            let mut inner = self.inner.lock();
+            let at = self.clock.now();
+            let Inner {
+                journal,
+                org,
+                worklists,
+                next_item,
+                instances,
+                ..
+            } = &mut *inner;
+            let inst = instances
+                .get_mut(&id)
+                .ok_or(EngineError::UnknownInstance(id))?;
+            let segs = split_path(path);
+            let ok = inst
+                .activity_rt(&segs)
+                .map(|rt| matches!(rt.state, ActState::Ready | ActState::Running))
+                .unwrap_or(false);
+            if !ok {
+                return Err(EngineError::BadActivityState {
+                    path: path.to_owned(),
+                    expected: "ready or running",
+                });
+            }
+            journal.append(Event::UserIntervention {
+                instance: id,
+                path: path.to_owned(),
+                action: format!("force-finish rc={rc}"),
+                at,
+            });
+            let mut svc = navigator::NavServices {
+                journal,
+                clock: &self.clock,
+                org,
+                worklists,
+                next_item,
+                programs: &self.programs,
+                multidb: &self.multidb,
+            };
+            navigator::complete_execution(inst, &mut svc, &segs, rc, BTreeMap::new());
+        }
+        self.run_to_quiescence(id)?;
+        Ok(())
+    }
+
+    /// Cancels a running instance.
+    pub fn cancel(&self, id: InstanceId) -> Result<(), EngineError> {
+        let mut inner = self.inner.lock();
+        let Inner {
+            journal,
+            org,
+            worklists,
+            next_item,
+            instances,
+            ..
+        } = &mut *inner;
+        let inst = instances
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownInstance(id))?;
+        let mut svc = navigator::NavServices {
+            journal,
+            clock: &self.clock,
+            org,
+            worklists,
+            next_item,
+            programs: &self.programs,
+            multidb: &self.multidb,
+        };
+        navigator::cancel_instance(inst, &mut svc);
+        Ok(())
+    }
+
+    /// Advances the virtual clock and delivers due deadline
+    /// notifications. Returns `(activity path, notified person)`
+    /// pairs.
+    pub fn advance_clock(&self, ticks: txn_substrate::Tick) -> Vec<(String, String)> {
+        self.clock.advance(ticks);
+        let mut inner = self.inner.lock();
+        let ids: Vec<InstanceId> = inner.instances.keys().copied().collect();
+        let mut sent = Vec::new();
+        for id in ids {
+            let Inner {
+                journal,
+                org,
+                worklists,
+                next_item,
+                instances,
+                ..
+            } = &mut *inner;
+            let inst = instances.get_mut(&id).expect("id from key scan");
+            if inst.status != InstanceStatus::Running {
+                continue;
+            }
+            let mut svc = navigator::NavServices {
+                journal,
+                clock: &self.clock,
+                org,
+                worklists,
+                next_item,
+                programs: &self.programs,
+                multidb: &self.multidb,
+            };
+            sent.extend(navigator::check_deadlines(inst, &mut svc));
+        }
+        sent
+    }
+
+    /// Current status of an instance.
+    pub fn status(&self, id: InstanceId) -> Result<InstanceStatus, EngineError> {
+        self.inner
+            .lock()
+            .instances
+            .get(&id)
+            .map(|i| i.status)
+            .ok_or(EngineError::UnknownInstance(id))
+    }
+
+    /// The process output container of an instance (final once the
+    /// instance is finished).
+    pub fn output(&self, id: InstanceId) -> Result<Container, EngineError> {
+        self.inner
+            .lock()
+            .instances
+            .get(&id)
+            .map(|i| i.root.output.clone())
+            .ok_or(EngineError::UnknownInstance(id))
+    }
+
+    /// Runtime inspection: `(state, executed, attempt)` of the
+    /// activity at `path`.
+    pub fn activity_state(
+        &self,
+        id: InstanceId,
+        path: &str,
+    ) -> Result<(ActState, bool, u32), EngineError> {
+        let inner = self.inner.lock();
+        let inst = inner
+            .instances
+            .get(&id)
+            .ok_or(EngineError::UnknownInstance(id))?;
+        inst.activity_rt(&split_path(path))
+            .map(|rt| (rt.state, rt.executed, rt.attempt))
+            .ok_or(EngineError::BadActivityState {
+                path: path.to_owned(),
+                expected: "present",
+            })
+    }
+
+    /// All journal events (copy).
+    pub fn journal_events(&self) -> Vec<Event> {
+        self.inner.lock().journal.events()
+    }
+
+    /// Journal events of one instance.
+    pub fn events_for(&self, id: InstanceId) -> Vec<Event> {
+        self.inner.lock().journal.events_for(id)
+    }
+
+    /// Writes an engine checkpoint — a complete snapshot of every
+    /// instance, the worklists and the allocators — into the journal
+    /// and compacts it, bounding recovery replay time (the engine-side
+    /// mirror of [`txn_substrate::Database::checkpoint`]). Safe at any
+    /// quiescent point (no navigation in flight — guaranteed here by
+    /// holding the engine lock). Returns the number of journal events
+    /// dropped by compaction.
+    pub fn checkpoint(&self) -> usize {
+        let inner = self.inner.lock();
+        let instances: Vec<crate::event::InstanceSnapshot> = inner
+            .instances
+            .values()
+            .map(|i| crate::event::InstanceSnapshot {
+                id: i.id,
+                process: i.def.name.clone(),
+                status: i.status,
+                root: i.root.clone(),
+            })
+            .collect();
+        let items: Vec<crate::worklist::WorkItem> = inner
+            .worklists
+            .open_items()
+            .iter()
+            .map(|it| (*it).clone())
+            .collect();
+        // Claimed items survive too: open_items() covers Offered only,
+        // so collect claimed ones explicitly via the persons that hold
+        // them — simplest is to re-walk all items by id range.
+        let mut all_items = items;
+        for id in 1..inner.next_item {
+            if let Some(it) = inner.worklists.get(WorkItemId(id)) {
+                if matches!(it.state, crate::worklist::WorkItemState::Claimed(_))
+                    && !all_items.iter().any(|x| x.id == it.id)
+                {
+                    all_items.push(it.clone());
+                }
+            }
+        }
+        all_items.sort_by_key(|it| it.id);
+        inner.journal.append(Event::EngineCheckpoint {
+            instances,
+            items: all_items,
+            next_instance: inner.next_instance,
+            next_item: inner.next_item,
+            at: self.clock.now(),
+        });
+        inner.journal.compact()
+    }
+
+    /// Simulates a crash: drops all volatile state, keeping only what
+    /// the journal file (if any) holds. Use
+    /// [`crate::recovery::recover`] to rebuild. Consumes the engine so
+    /// no handle can observe the dead state.
+    pub fn crash(self) {
+        drop(self);
+    }
+}

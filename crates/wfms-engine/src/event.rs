@@ -1,0 +1,334 @@
+//! Journal events — the engine's single source of truth.
+//!
+//! Every state transition the navigator makes is recorded as an
+//! [`Event`] *before* the in-memory state changes (write-ahead
+//! discipline, same as the database substrate). Forward recovery
+//! (§3.3 of the paper: "the execution of a process is persistent in
+//! the sense that forward recovery is always guaranteed") is then a
+//! pure replay: rebuild state from events, re-schedule whatever was
+//! running at the crash.
+
+use serde::{Deserialize, Serialize};
+use txn_substrate::Tick;
+use wfms_model::Container;
+
+/// Identifier of one process instance.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct InstanceId(pub u64);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inst#{}", self.0)
+    }
+}
+
+/// Identifier of one work item on a worklist.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct WorkItemId(pub u64);
+
+impl std::fmt::Display for WorkItemId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item#{}", self.0)
+    }
+}
+
+/// A slash-separated path to an activity inside (possibly nested)
+/// blocks, e.g. `"Forward/T2"`.
+pub type ActivityPath = String;
+
+/// One navigation event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A new instance of `process` started with `input`.
+    InstanceStarted {
+        instance: InstanceId,
+        process: String,
+        input: Container,
+        at: Tick,
+    },
+    /// An activity met its start condition (or is a start activity).
+    ActivityReady {
+        instance: InstanceId,
+        path: ActivityPath,
+        attempt: u32,
+        at: Tick,
+    },
+    /// An activity began executing; `by` names the person for manual
+    /// activities. `input` is the materialised input container.
+    ActivityStarted {
+        instance: InstanceId,
+        path: ActivityPath,
+        attempt: u32,
+        by: Option<String>,
+        input: Container,
+        at: Tick,
+    },
+    /// An activity's program (or block) completed; `output` already
+    /// contains the `RC` member.
+    ActivityFinished {
+        instance: InstanceId,
+        path: ActivityPath,
+        attempt: u32,
+        output: Container,
+        at: Tick,
+    },
+    /// The exit condition evaluated false: back to ready (§3.2).
+    ActivityRescheduled {
+        instance: InstanceId,
+        path: ActivityPath,
+        next_attempt: u32,
+        at: Tick,
+    },
+    /// Final state. `executed = false` means the activity was removed
+    /// by dead path elimination without running.
+    ActivityTerminated {
+        instance: InstanceId,
+        path: ActivityPath,
+        executed: bool,
+        at: Tick,
+    },
+    /// A control connector's transition condition was evaluated.
+    ConnectorEvaluated {
+        instance: InstanceId,
+        /// Path prefix of the containing (sub)process, `""` at root.
+        scope: String,
+        from: String,
+        to: String,
+        value: bool,
+        at: Tick,
+    },
+    /// A manual activity was offered to the eligible persons.
+    WorkItemOffered {
+        instance: InstanceId,
+        path: ActivityPath,
+        item: WorkItemId,
+        persons: Vec<String>,
+        at: Tick,
+    },
+    /// A person claimed the work item: it vanishes from every other
+    /// worklist (§3.3).
+    WorkItemClaimed {
+        item: WorkItemId,
+        person: String,
+        at: Tick,
+    },
+    /// A deadline expired and a notification was sent (§3.3).
+    NotificationSent {
+        instance: InstanceId,
+        path: ActivityPath,
+        person: String,
+        at: Tick,
+    },
+    /// A user intervention (§3.3: "the user can stop an activity,
+    /// restart it, force it to finish, and so forth").
+    UserIntervention {
+        instance: InstanceId,
+        path: ActivityPath,
+        action: String,
+        at: Tick,
+    },
+    /// The instance completed: every activity is terminated.
+    InstanceFinished {
+        instance: InstanceId,
+        output: Container,
+        at: Tick,
+    },
+    /// The instance was cancelled by an operator.
+    InstanceCancelled { instance: InstanceId, at: Tick },
+    /// A full engine checkpoint: the complete runtime state at a
+    /// quiescent point. Recovery restarts from the last checkpoint and
+    /// replays only the events after it; journal compaction drops
+    /// everything before it (mirroring the database WAL's checkpoint).
+    EngineCheckpoint {
+        /// Snapshot of every live instance.
+        instances: Vec<InstanceSnapshot>,
+        /// Open and claimed work items.
+        items: Vec<crate::worklist::WorkItem>,
+        /// Instance-id allocator position.
+        next_instance: u64,
+        /// Work-item-id allocator position.
+        next_item: u64,
+        at: Tick,
+    },
+}
+
+/// Serialisable snapshot of one instance (the definition is not
+/// embedded — templates are re-registered at recovery, as with plain
+/// replay).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSnapshot {
+    /// Instance id.
+    pub id: InstanceId,
+    /// Template name.
+    pub process: String,
+    /// Overall status.
+    pub status: crate::state::InstanceStatus,
+    /// The full scope tree (activities, connectors, containers,
+    /// children).
+    pub root: crate::state::ScopeState,
+}
+
+impl Event {
+    /// The instance this event belongs to, if any.
+    pub fn instance(&self) -> Option<InstanceId> {
+        match self {
+            Event::InstanceStarted { instance, .. }
+            | Event::ActivityReady { instance, .. }
+            | Event::ActivityStarted { instance, .. }
+            | Event::ActivityFinished { instance, .. }
+            | Event::ActivityRescheduled { instance, .. }
+            | Event::ActivityTerminated { instance, .. }
+            | Event::ConnectorEvaluated { instance, .. }
+            | Event::WorkItemOffered { instance, .. }
+            | Event::NotificationSent { instance, .. }
+            | Event::UserIntervention { instance, .. }
+            | Event::InstanceFinished { instance, .. }
+            | Event::InstanceCancelled { instance, .. } => Some(*instance),
+            Event::WorkItemClaimed { .. } | Event::EngineCheckpoint { .. } => None,
+        }
+    }
+
+    /// The tick at which the event was journalled.
+    pub fn at(&self) -> Tick {
+        match self {
+            Event::InstanceStarted { at, .. }
+            | Event::ActivityReady { at, .. }
+            | Event::ActivityStarted { at, .. }
+            | Event::ActivityFinished { at, .. }
+            | Event::ActivityRescheduled { at, .. }
+            | Event::ActivityTerminated { at, .. }
+            | Event::ConnectorEvaluated { at, .. }
+            | Event::WorkItemOffered { at, .. }
+            | Event::WorkItemClaimed { at, .. }
+            | Event::NotificationSent { at, .. }
+            | Event::UserIntervention { at, .. }
+            | Event::InstanceFinished { at, .. }
+            | Event::InstanceCancelled { at, .. }
+            | Event::EngineCheckpoint { at, .. } => *at,
+        }
+    }
+
+    /// A compact single-line rendering for audit listings.
+    pub fn describe(&self) -> String {
+        match self {
+            Event::InstanceStarted {
+                instance, process, ..
+            } => format!("{instance} started (process {process:?})"),
+            Event::ActivityReady { path, attempt, .. } => {
+                format!("  {path} ready (attempt {attempt})")
+            }
+            Event::ActivityStarted { path, by, .. } => match by {
+                Some(p) => format!("  {path} started by {p}"),
+                None => format!("  {path} started"),
+            },
+            Event::ActivityFinished { path, output, .. } => {
+                let rc = output
+                    .get(wfms_model::RC_MEMBER)
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(-1);
+                format!("  {path} finished (RC = {rc})")
+            }
+            Event::ActivityRescheduled {
+                path, next_attempt, ..
+            } => format!("  {path} rescheduled (attempt {next_attempt})"),
+            Event::ActivityTerminated { path, executed, .. } => {
+                if *executed {
+                    format!("  {path} terminated")
+                } else {
+                    format!("  {path} terminated by dead path elimination")
+                }
+            }
+            Event::ConnectorEvaluated {
+                scope,
+                from,
+                to,
+                value,
+                ..
+            } => {
+                let prefix = if scope.is_empty() {
+                    String::new()
+                } else {
+                    format!("{scope}/")
+                };
+                format!("  connector {prefix}{from} -> {prefix}{to} = {value}")
+            }
+            Event::WorkItemOffered {
+                path, item, persons, ..
+            } => format!("  {path} offered as {item} to {persons:?}"),
+            Event::WorkItemClaimed { item, person, .. } => {
+                format!("  {item} claimed by {person}")
+            }
+            Event::NotificationSent { path, person, .. } => {
+                format!("  deadline notification for {path} sent to {person}")
+            }
+            Event::UserIntervention { path, action, .. } => {
+                format!("  user intervention on {path}: {action}")
+            }
+            Event::InstanceFinished { instance, .. } => format!("{instance} finished"),
+            Event::InstanceCancelled { instance, .. } => format!("{instance} cancelled"),
+            Event::EngineCheckpoint { instances, .. } => {
+                format!("engine checkpoint ({} instances)", instances.len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(InstanceId(3).to_string(), "inst#3");
+        assert_eq!(WorkItemId(9).to_string(), "item#9");
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::ActivityReady {
+            instance: InstanceId(1),
+            path: "A".into(),
+            attempt: 0,
+            at: 5,
+        };
+        assert_eq!(e.instance(), Some(InstanceId(1)));
+        assert_eq!(e.at(), 5);
+        let c = Event::WorkItemClaimed {
+            item: WorkItemId(1),
+            person: "p".into(),
+            at: 7,
+        };
+        assert_eq!(c.instance(), None);
+        assert_eq!(c.at(), 7);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Event::ConnectorEvaluated {
+            instance: InstanceId(2),
+            scope: "Fwd".into(),
+            from: "T1".into(),
+            to: "T2".into(),
+            value: true,
+            at: 3,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn describe_mentions_dpe() {
+        let e = Event::ActivityTerminated {
+            instance: InstanceId(1),
+            path: "T3".into(),
+            executed: false,
+            at: 0,
+        };
+        assert!(e.describe().contains("dead path elimination"));
+    }
+}

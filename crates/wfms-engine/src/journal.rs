@@ -1,0 +1,178 @@
+//! The persistent execution journal.
+//!
+//! Same shape as the substrate's WAL: an in-memory event list,
+//! optionally mirrored to a file of JSON lines flushed on every
+//! append (navigation events are rare compared to database updates,
+//! so per-event flushing is affordable and makes the recovery point
+//! exact).
+
+use crate::event::Event;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// An append-only journal of navigation events.
+#[derive(Debug, Default)]
+pub struct Journal {
+    events: Mutex<Vec<Event>>,
+    file: Option<Mutex<BufWriter<File>>>,
+}
+
+impl Journal {
+    /// An in-memory journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A journal mirrored to `path`; existing events are loaded first
+    /// (this is how [`crate::recovery`] reopens a crashed engine's
+    /// journal).
+    pub fn with_file(path: &Path) -> std::io::Result<Self> {
+        let mut journal = Self::new();
+        if path.exists() {
+            let reader = BufReader::new(File::open(path)?);
+            let mut events = Vec::new();
+            for line in reader.lines() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let ev: Event = serde_json::from_str(&line)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                events.push(ev);
+            }
+            journal.events = Mutex::new(events);
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        journal.file = Some(Mutex::new(BufWriter::new(file)));
+        Ok(journal)
+    }
+
+    /// Appends an event (and flushes the mirror if one is attached).
+    pub fn append(&self, event: Event) {
+        if let Some(file) = &self.file {
+            let mut w = file.lock();
+            let line = serde_json::to_string(&event).expect("Event is always serializable");
+            writeln!(w, "{line}").expect("journal mirror write failed");
+            w.flush().expect("journal mirror flush failed");
+        }
+        self.events.lock().push(event);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True if no events have been journalled.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// A copy of all events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Drops every event before the last
+    /// [`Event::EngineCheckpoint`] (journal compaction). A no-op when
+    /// no checkpoint exists. When mirrored to a file the file is
+    /// rewritten. Returns the number of events dropped.
+    pub fn compact(&self) -> usize {
+        let mut events = self.events.lock();
+        let Some(start) = events
+            .iter()
+            .rposition(|e| matches!(e, Event::EngineCheckpoint { .. }))
+        else {
+            return 0;
+        };
+        let dropped = start;
+        events.drain(..start);
+        if let Some(file) = &self.file {
+            let mut w = file.lock();
+            use std::io::Seek;
+            w.flush().expect("journal mirror flush failed");
+            let inner = w.get_mut();
+            inner.set_len(0).expect("journal mirror truncate failed");
+            inner
+                .seek(std::io::SeekFrom::Start(0))
+                .expect("journal mirror seek failed");
+            for ev in events.iter() {
+                let line =
+                    serde_json::to_string(ev).expect("Event is always serializable");
+                writeln!(w, "{line}").expect("journal mirror write failed");
+            }
+            w.flush().expect("journal mirror flush failed");
+        }
+        dropped
+    }
+
+    /// Events of one instance, in order.
+    pub fn events_for(&self, instance: crate::event::InstanceId) -> Vec<Event> {
+        self.events
+            .lock()
+            .iter()
+            .filter(|e| e.instance() == Some(instance))
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::InstanceId;
+    use wfms_model::Container;
+
+    fn started(n: u64) -> Event {
+        Event::InstanceStarted {
+            instance: InstanceId(n),
+            process: "p".into(),
+            input: Container::empty(),
+            at: 0,
+        }
+    }
+
+    #[test]
+    fn append_and_filter() {
+        let j = Journal::new();
+        j.append(started(1));
+        j.append(started(2));
+        j.append(Event::InstanceFinished {
+            instance: InstanceId(1),
+            output: Container::empty(),
+            at: 1,
+        });
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.events_for(InstanceId(1)).len(), 2);
+        assert_eq!(j.events_for(InstanceId(2)).len(), 1);
+    }
+
+    #[test]
+    fn file_mirror_reloads() {
+        let dir = std::env::temp_dir().join(format!(
+            "wftx-journal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("engine.journal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::with_file(&path).unwrap();
+            j.append(started(7));
+        }
+        let j2 = Journal::with_file(&path).unwrap();
+        assert_eq!(j2.len(), 1);
+        assert_eq!(j2.events()[0].instance(), Some(InstanceId(7)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_journal() {
+        let j = Journal::new();
+        assert!(j.is_empty());
+        assert_eq!(j.events(), vec![]);
+    }
+}

@@ -1,0 +1,665 @@
+//! The navigator — FlowMark's execution semantics (§3.2, appendix).
+//!
+//! All navigation is deterministic and synchronous: given the same
+//! definition, the same program outcomes and the same user actions,
+//! the journal is byte-for-byte identical. That determinism is what
+//! the golden-trace reproductions of the paper's appendix rely on,
+//! and what makes forward recovery a replay.
+//!
+//! The rules implemented here, straight from the paper:
+//!
+//! * Activities without incoming control connectors are the start
+//!   activities; they become ready when the process starts.
+//! * When an activity terminates, its outgoing connectors' transition
+//!   conditions are evaluated over its output container.
+//! * A target becomes ready when its start condition is met — AND:
+//!   all incoming connectors true; OR: one true.
+//! * **Dead path elimination**: "if an activity will never be executed
+//!   because its start condition evaluates to false, the activity is
+//!   marked as terminated and all the outgoing control connectors from
+//!   that activity are evaluated to false".
+//! * After execution the exit condition is checked over the output
+//!   container; if false the activity is reset to ready.
+//! * The process is finished when all its activities are terminated.
+//! * Blocks are embedded processes: when a block's scope finishes, the
+//!   block activity itself finishes with the scope's output (and loops
+//!   if its own exit condition says so).
+
+use crate::event::{Event, WorkItemId};
+use crate::journal::Journal;
+use crate::org::OrgModel;
+use crate::state::{join_path, ActState, Instance, InstanceStatus, ScopeState};
+use crate::worklist::{WorkItem, WorkItemState, WorklistStore};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use txn_substrate::{
+    MultiDatabase, ProgramContext, ProgramOutcome, ProgramRegistry, Value, VirtualClock,
+};
+use wfms_model::{ActivityKind, Container, StartCondition, RC_MEMBER};
+
+/// Shared services the navigator needs while driving an instance.
+pub struct NavServices<'a> {
+    /// Event journal (append-only).
+    pub journal: &'a Journal,
+    /// Virtual clock for event timestamps and deadlines.
+    pub clock: &'a VirtualClock,
+    /// Organization database for staff resolution.
+    pub org: &'a OrgModel,
+    /// Work-item store for manual activities.
+    pub worklists: &'a mut WorklistStore,
+    /// Work-item id allocator.
+    pub next_item: &'a mut u64,
+    /// Registered transactional programs.
+    pub programs: &'a ProgramRegistry,
+    /// The multidatabase programs run against.
+    pub multidb: &'a Arc<MultiDatabase>,
+}
+
+impl NavServices<'_> {
+    fn now(&self) -> txn_substrate::Tick {
+        self.clock.now()
+    }
+}
+
+/// Starts `inst`: journals the start event and makes the start
+/// activities of the root scope ready.
+pub fn start_instance(inst: &mut Instance, svc: &mut NavServices<'_>) {
+    svc.journal.append(Event::InstanceStarted {
+        instance: inst.id,
+        process: inst.def.name.clone(),
+        input: inst.root.input.clone(),
+        at: svc.now(),
+    });
+    seed_scope(inst, svc, &[]);
+}
+
+/// Makes the start activities of the scope at `scope_path` ready.
+fn seed_scope(inst: &mut Instance, svc: &mut NavServices<'_>, scope_path: &[String]) {
+    let Some((def, _)) = inst.resolve(scope_path) else {
+        return;
+    };
+    let starts: Vec<String> = def
+        .start_activities()
+        .iter()
+        .map(|a| a.name.clone())
+        .collect();
+    for name in starts {
+        let mut path = scope_path.to_vec();
+        path.push(name);
+        make_ready(inst, svc, &path);
+    }
+}
+
+/// Transitions the activity at `path` to ready, offering a work item
+/// if it is manual.
+fn make_ready(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]) {
+    let instance = inst.id;
+    let now = svc.now();
+    let (name, scope_path) = path.split_last().expect("path never empty");
+    let Some((def, scope)) = inst.resolve_mut(scope_path) else {
+        return;
+    };
+    let Some(act) = def.activity(name) else { return };
+    let staff = act.staff.clone();
+    let automatic = act.automatic_start;
+    let rt = scope.activities.get_mut(name).expect("activity exists");
+    rt.state = ActState::Ready;
+    rt.ready_since = Some(now);
+    rt.notified = false;
+    let attempt = rt.attempt;
+    svc.journal.append(Event::ActivityReady {
+        instance,
+        path: join_path(path),
+        attempt,
+        at: now,
+    });
+    if !automatic {
+        let persons = svc.org.resolve(&staff);
+        let item = WorkItemId(*svc.next_item);
+        *svc.next_item += 1;
+        svc.worklists.offer(WorkItem {
+            id: item,
+            instance,
+            path: join_path(path),
+            attempt,
+            offered_to: persons.clone(),
+            state: WorkItemState::Offered,
+            offered_at: now,
+        });
+        svc.journal.append(Event::WorkItemOffered {
+            instance,
+            path: join_path(path),
+            item,
+            persons,
+            at: now,
+        });
+    }
+}
+
+/// Finds the first runnable activity: ready + automatic, scanning
+/// scopes depth-first in definition order (recursing into running
+/// blocks).
+pub fn find_runnable(inst: &Instance) -> Option<Vec<String>> {
+    fn scan(
+        def: &wfms_model::ProcessDefinition,
+        scope: &ScopeState,
+        prefix: &mut Vec<String>,
+    ) -> Option<Vec<String>> {
+        for act in &def.activities {
+            let rt = scope.activities.get(&act.name)?;
+            match rt.state {
+                ActState::Ready if act.automatic_start => {
+                    let mut p = prefix.clone();
+                    p.push(act.name.clone());
+                    return Some(p);
+                }
+                ActState::Running => {
+                    if let ActivityKind::Block { process } = &act.kind {
+                        if let Some(child) = scope.children.get(&act.name) {
+                            prefix.push(act.name.clone());
+                            let found = scan(process, child, prefix);
+                            prefix.pop();
+                            if found.is_some() {
+                                return found;
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    if inst.status != InstanceStatus::Running {
+        return None;
+    }
+    scan(&inst.def, &inst.root, &mut Vec::new())
+}
+
+/// Executes the activity at `path` (which must be ready). `by` names
+/// the person for manual executions; `None` means the engine runs it.
+pub fn execute_activity(
+    inst: &mut Instance,
+    svc: &mut NavServices<'_>,
+    path: &[String],
+    by: Option<String>,
+) {
+    let instance = inst.id;
+    let (name, scope_path) = path.split_last().expect("path never empty");
+
+    // Materialise the input container from the data connectors whose
+    // sources are available (§3.2 flow of data).
+    let input = materialize_input(inst, scope_path, name);
+
+    let Some((def, scope)) = inst.resolve_mut(scope_path) else {
+        return;
+    };
+    let Some(act) = def.activity(name) else { return };
+    let kind = act.kind.clone();
+    let rt = scope.activities.get_mut(name).expect("activity exists");
+    debug_assert_eq!(rt.state, ActState::Ready, "execute requires ready");
+    rt.state = ActState::Running;
+    rt.input = input.clone();
+    let attempt = rt.attempt;
+    svc.journal.append(Event::ActivityStarted {
+        instance,
+        path: join_path(path),
+        attempt,
+        by,
+        input: input.clone(),
+        at: svc.now(),
+    });
+
+    match kind {
+        ActivityKind::NoOp => {
+            // A no-op activity "commits" immediately with rc 1 and
+            // passes its input container through to its output (only
+            // members declared in the output schema survive). The
+            // Figure 2 compensation trigger relies on this to expose
+            // the State_i flags to its outgoing transition conditions.
+            let outputs: BTreeMap<String, Value> = input
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            complete_execution(inst, svc, path, 1, outputs);
+        }
+        ActivityKind::Program { program } => {
+            let mut ctx = ProgramContext::new(Arc::clone(svc.multidb));
+            ctx.attempt = attempt;
+            ctx.params = input
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect();
+            let outcome = svc.programs.invoke(&program, &mut ctx);
+            let (rc, outputs) = match outcome {
+                ProgramOutcome::Committed { rc, outputs } => (rc, outputs),
+                ProgramOutcome::Aborted { rc, .. } => (rc, BTreeMap::new()),
+            };
+            complete_execution(inst, svc, path, rc, outputs);
+        }
+        ActivityKind::Block { process } => {
+            // Start the child scope; its input container is the block
+            // activity's materialised input. The block stays running
+            // until the child scope finishes.
+            let mut child = ScopeState::for_definition(&process);
+            for (k, v) in input.iter() {
+                child.input.set(k, v.clone());
+            }
+            let Some((_, scope)) = inst.resolve_mut(scope_path) else {
+                return;
+            };
+            scope.children.insert(name.clone(), child);
+            seed_scope(inst, svc, path);
+            // An empty block (no activities) finishes immediately;
+            // validation forbids it, but stay safe.
+            check_scope_completion(inst, svc, path);
+        }
+    }
+}
+
+/// Builds the input container of `name` in the scope at `scope_path`.
+fn materialize_input(inst: &Instance, scope_path: &[String], name: &str) -> Container {
+    let Some((def, scope)) = inst.resolve(scope_path) else {
+        return Container::empty();
+    };
+    let Some(act) = def.activity(name) else {
+        return Container::empty();
+    };
+    let mut input = act.input.instantiate();
+    for d in &def.data {
+        let targets_us = matches!(&d.to, wfms_model::DataEndpoint::ActivityInput(a) if a == name);
+        if !targets_us {
+            continue;
+        }
+        let source: Option<&Container> = match &d.from {
+            wfms_model::DataEndpoint::ProcessInput => Some(&scope.input),
+            wfms_model::DataEndpoint::ActivityOutput(s) => scope
+                .activities
+                .get(s)
+                .filter(|rt| rt.is_terminated() && rt.executed)
+                .map(|rt| &rt.output),
+            _ => None,
+        };
+        let Some(source) = source else { continue };
+        for m in &d.mappings {
+            if let Some(v) = source.get(&m.from_member) {
+                input.set(&m.to_member, v.clone());
+            }
+        }
+    }
+    input
+}
+
+/// Records the outcome of an execution: builds the output container
+/// (schema defaults + program outputs + `RC`), journals the finish,
+/// closes work items and decides the exit condition.
+pub fn complete_execution(
+    inst: &mut Instance,
+    svc: &mut NavServices<'_>,
+    path: &[String],
+    rc: i64,
+    outputs: BTreeMap<String, Value>,
+) {
+    let instance = inst.id;
+    let (name, scope_path) = path.split_last().expect("path never empty");
+    let Some((def, scope)) = inst.resolve_mut(scope_path) else {
+        return;
+    };
+    let Some(act) = def.activity(name) else { return };
+    let schema = def.effective_output(act);
+
+    let mut output = schema.instantiate();
+    for (k, v) in outputs {
+        // Only declared members enter the container: schema discipline
+        // (undeclared program outputs are dropped, as in FlowMark where
+        // the API only exposes declared container members).
+        if schema.has(&k) {
+            output.set(&k, v);
+        }
+    }
+    output.set(RC_MEMBER, Value::Int(rc));
+
+    let rt = scope.activities.get_mut(name).expect("activity exists");
+    rt.state = ActState::Finished;
+    rt.output = output.clone();
+    let attempt = rt.attempt;
+    svc.journal.append(Event::ActivityFinished {
+        instance,
+        path: join_path(path),
+        attempt,
+        output: output.clone(),
+        at: svc.now(),
+    });
+    svc.worklists.close_for(instance, &join_path(path));
+    decide_exit(inst, svc, path);
+}
+
+/// Decides the exit condition of a *finished* activity: terminate on
+/// true, reschedule on false (§3.2). Public so recovery can resume an
+/// instance whose journal ends right after an `ActivityFinished`.
+pub fn decide_exit(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]) {
+    let instance = inst.id;
+    let (name, scope_path) = path.split_last().expect("path never empty");
+    let Some((def, scope)) = inst.resolve(scope_path) else {
+        return;
+    };
+    let Some(act) = def.activity(name) else { return };
+    let exit = act.exit.clone();
+    let is_block = act.kind.is_block();
+    let Some(rt) = scope.activities.get(name) else { return };
+    let output = rt.output.clone();
+
+    let exit_ok = match &exit.expr {
+        None => true,
+        Some(e) => e.eval_bool(&output).unwrap_or(true),
+    };
+    if exit_ok {
+        terminate_activity(inst, svc, path, true);
+    } else {
+        let Some((_, scope)) = inst.resolve_mut(scope_path) else {
+            return;
+        };
+        if is_block {
+            // A rescheduled block starts over with a fresh child scope.
+            scope.children.remove(name);
+        }
+        let rt = scope.activities.get_mut(name).expect("activity exists");
+        rt.attempt += 1;
+        let next_attempt = rt.attempt;
+        rt.state = ActState::Waiting; // make_ready flips to Ready
+        svc.journal.append(Event::ActivityRescheduled {
+            instance,
+            path: join_path(path),
+            next_attempt,
+            at: svc.now(),
+        });
+        make_ready(inst, svc, path);
+    }
+}
+
+/// Recovery helper: an activity that was `Running` when the engine
+/// crashed is re-executed from the beginning (§3.3: "the activity will
+/// be rescheduled to be executed from the beginning"). Any stale work
+/// item is closed; a manual activity is re-offered.
+pub fn reset_running_to_ready(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]) {
+    let instance = inst.id;
+    let (name, scope_path) = path.split_last().expect("path never empty");
+    let Some((_, scope)) = inst.resolve_mut(scope_path) else {
+        return;
+    };
+    let Some(rt) = scope.activities.get_mut(name) else { return };
+    if rt.state != ActState::Running {
+        return;
+    }
+    rt.state = ActState::Waiting;
+    svc.worklists.close_for(instance, &join_path(path));
+    make_ready(inst, svc, path);
+}
+
+/// Terminates the activity at `path`. `executed = false` is the dead
+/// path elimination case. Evaluates outgoing connectors, cascades to
+/// targets and checks scope completion.
+pub fn terminate_activity(
+    inst: &mut Instance,
+    svc: &mut NavServices<'_>,
+    path: &[String],
+    executed: bool,
+) {
+    let instance = inst.id;
+    let (name, scope_path) = path.split_last().expect("path never empty");
+    let Some((def, scope)) = inst.resolve_mut(scope_path) else {
+        return;
+    };
+    let rt = scope.activities.get_mut(name).expect("activity exists");
+    rt.state = ActState::Terminated;
+    rt.executed = executed;
+    let output = rt.output.clone();
+    svc.journal.append(Event::ActivityTerminated {
+        instance,
+        path: join_path(path),
+        executed,
+        at: svc.now(),
+    });
+    svc.worklists.close_for(instance, &join_path(path));
+
+    // Data connectors from this activity to the scope's output
+    // container take effect at termination of an executed activity.
+    if executed {
+        for d in &def.data {
+            let from_us =
+                matches!(&d.from, wfms_model::DataEndpoint::ActivityOutput(a) if a == name);
+            if from_us && d.to == wfms_model::DataEndpoint::ProcessOutput {
+                for m in &d.mappings {
+                    if let Some(v) = output.get(&m.from_member) {
+                        scope.output.set(&m.to_member, v.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    // Evaluate outgoing connectors. A dead activity's connectors are
+    // all false (§3.2); an executed one evaluates its transition
+    // conditions over the output container, treating evaluation errors
+    // as false (fail safe).
+    let outgoing: Vec<(String, wfms_model::Expr)> = def
+        .outgoing(name)
+        .into_iter()
+        .map(|c| (c.to.clone(), c.condition.clone()))
+        .collect();
+    for (to, cond) in outgoing {
+        let value = executed && cond.eval_bool(&output).unwrap_or(false);
+        {
+            let Some((_, scope)) = inst.resolve_mut(scope_path) else {
+                return;
+            };
+            scope
+                .connectors
+                .insert((name.clone(), to.clone()), value);
+        }
+        svc.journal.append(Event::ConnectorEvaluated {
+            instance,
+            scope: join_path(scope_path),
+            from: name.clone(),
+            to: to.clone(),
+            value,
+            at: svc.now(),
+        });
+        let mut target_path = scope_path.to_vec();
+        target_path.push(to);
+        update_target(inst, svc, &target_path);
+    }
+
+    check_scope_completion(inst, svc, scope_path);
+}
+
+/// Re-examines a waiting activity's start condition after one of its
+/// incoming connectors was evaluated; makes it ready or dead.
+fn update_target(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]) {
+    let (name, scope_path) = path.split_last().expect("path never empty");
+    let Some((def, scope)) = inst.resolve(scope_path) else {
+        return;
+    };
+    let Some(act) = def.activity(name) else { return };
+    let Some(rt) = scope.activities.get(name) else { return };
+    if rt.state != ActState::Waiting {
+        // Already ready/running/terminated; OR-joins latch on the
+        // first true connector.
+        return;
+    }
+    let values: Vec<Option<bool>> = def
+        .incoming(name)
+        .iter()
+        .map(|c| scope.connector_value(&c.from, &c.to))
+        .collect();
+    let decision = match act.start {
+        StartCondition::And => {
+            if values.contains(&Some(false)) {
+                Some(false) // dead
+            } else if values.iter().all(|v| *v == Some(true)) {
+                Some(true) // ready
+            } else {
+                None // still waiting
+            }
+        }
+        StartCondition::Or => {
+            if values.contains(&Some(true)) {
+                Some(true)
+            } else if values.iter().all(|v| *v == Some(false)) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+    };
+    match decision {
+        Some(true) => make_ready(inst, svc, path),
+        Some(false) => terminate_activity(inst, svc, path, false),
+        None => {}
+    }
+}
+
+/// If every activity of the scope at `scope_path` is terminated, the
+/// scope is finished: the root scope finishes the instance; a block
+/// scope finishes its block activity (which may loop via its exit
+/// condition).
+pub(crate) fn check_scope_completion(
+    inst: &mut Instance,
+    svc: &mut NavServices<'_>,
+    scope_path: &[String],
+) {
+    let instance = inst.id;
+    let Some((_, scope)) = inst.resolve(scope_path) else {
+        return;
+    };
+    if !scope.all_terminated() {
+        return;
+    }
+    let output = scope.output.clone();
+
+    if scope_path.is_empty() {
+        if inst.status == InstanceStatus::Running {
+            inst.status = InstanceStatus::Finished;
+            svc.journal.append(Event::InstanceFinished {
+                instance,
+                output,
+                at: svc.now(),
+            });
+        }
+        return;
+    }
+
+    // A block scope finished: complete the block activity with the
+    // scope's output. The block's return code is the scope output's
+    // RC member when declared, else 1 ("the block ran").
+    let (block_name, parent_path) = scope_path.split_last().expect("non-empty");
+    let Some((_, parent)) = inst.resolve(parent_path) else {
+        return;
+    };
+    let Some(rt) = parent.activities.get(block_name) else {
+        return;
+    };
+    if rt.state != ActState::Running {
+        return; // already completed (idempotence guard)
+    }
+    let rc = output
+        .get(RC_MEMBER)
+        .and_then(|v| v.as_int())
+        .unwrap_or(1);
+    let outputs: BTreeMap<String, Value> = output
+        .iter()
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect();
+    complete_execution(inst, svc, scope_path, rc, outputs);
+}
+
+/// Cancels the instance: closes its work items and journals the
+/// cancellation. Non-terminated activities simply stop navigating.
+pub fn cancel_instance(inst: &mut Instance, svc: &mut NavServices<'_>) {
+    if inst.status != InstanceStatus::Running {
+        return;
+    }
+    inst.status = InstanceStatus::Cancelled;
+    let open: Vec<WorkItemId> = svc
+        .worklists
+        .open_items()
+        .iter()
+        .filter(|it| it.instance == inst.id)
+        .map(|it| it.id)
+        .collect();
+    for id in open {
+        svc.worklists.close(id);
+    }
+    svc.journal.append(Event::InstanceCancelled {
+        instance: inst.id,
+        at: svc.now(),
+    });
+}
+
+/// Sends deadline notifications (§3.3) for ready manual activities
+/// whose deadline elapsed: each eligible person's manager is notified
+/// once per readiness period. Returns `(path, person)` pairs notified.
+pub fn check_deadlines(
+    inst: &mut Instance,
+    svc: &mut NavServices<'_>,
+) -> Vec<(String, String)> {
+    fn scan(
+        def: &wfms_model::ProcessDefinition,
+        scope: &mut ScopeState,
+        prefix: &mut Vec<String>,
+        now: txn_substrate::Tick,
+        org: &OrgModel,
+        due: &mut Vec<(Vec<String>, Vec<String>)>,
+    ) {
+        for act in &def.activities {
+            let Some(rt) = scope.activities.get_mut(&act.name) else {
+                continue;
+            };
+            if rt.state == ActState::Ready && !act.automatic_start && !rt.notified {
+                if let (Some(deadline), Some(since)) = (act.deadline, rt.ready_since) {
+                    if since + deadline <= now {
+                        rt.notified = true;
+                        let mut managers: Vec<String> = org
+                            .resolve(&act.staff)
+                            .iter()
+                            .filter_map(|p| org.manager_of(p).map(|m| m.name.clone()))
+                            .collect();
+                        managers.sort();
+                        managers.dedup();
+                        let mut path = prefix.clone();
+                        path.push(act.name.clone());
+                        due.push((path, managers));
+                    }
+                }
+            }
+            if rt.state == ActState::Running {
+                if let ActivityKind::Block { process } = &act.kind {
+                    if let Some(child) = scope.children.get_mut(&act.name) {
+                        prefix.push(act.name.clone());
+                        scan(process, child, prefix, now, org, due);
+                        prefix.pop();
+                    }
+                }
+            }
+        }
+    }
+
+    let now = svc.now();
+    let mut due = Vec::new();
+    let def = Arc::clone(&inst.def);
+    scan(&def, &mut inst.root, &mut Vec::new(), now, svc.org, &mut due);
+
+    let mut sent = Vec::new();
+    for (path, managers) in due {
+        for person in managers {
+            svc.journal.append(Event::NotificationSent {
+                instance: inst.id,
+                path: join_path(&path),
+                person: person.clone(),
+                at: now,
+            });
+            sent.push((join_path(&path), person));
+        }
+    }
+    sent
+}

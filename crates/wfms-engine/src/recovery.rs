@@ -1,0 +1,504 @@
+//! Forward recovery — §3.3 of the paper:
+//!
+//! > "In most WFMSs the execution of a process is persistent in the
+//! > sense that forward recovery is always guaranteed … In case of
+//! > failures, the process execution will stop. Once the failures have
+//! > been repaired, the process execution is resumed from the point
+//! > where the failure occurred."
+//!
+//! Recovery rebuilds every instance's scope tree by replaying the
+//! journal, then applies the paper's explicit caveat: activities that
+//! were mid-execution at the crash are **re-executed from the
+//! beginning** (workflow activities are not failure atomic; it is the
+//! designer's job to make programs re-runnable — our substrate
+//! programs are transactions, so an interrupted one simply never
+//! committed).
+
+use crate::engine::{Engine, EngineConfig, Inner};
+use crate::event::{Event, InstanceId};
+use crate::journal::Journal;
+use crate::navigator;
+use crate::org::OrgModel;
+use crate::state::{split_path, ActState, Instance, InstanceStatus, ScopeState};
+use crate::worklist::{WorkItem, WorkItemState, WorklistStore};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::path::Path;
+use std::sync::Arc;
+use txn_substrate::{MultiDatabase, ProgramRegistry};
+use wfms_model::{ActivityKind, ProcessDefinition};
+
+/// Errors surfaced by recovery.
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// The journal references a process template that was not supplied
+    /// to [`recover`]. Templates are definitions, not state, so they
+    /// are re-registered by the operator, exactly as in FlowMark where
+    /// process templates live in the definition database.
+    MissingTemplate(String),
+    /// The journal file could not be read.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::MissingTemplate(t) => {
+                write!(f, "journal references unknown template {t:?}")
+            }
+            RecoveryError::Io(e) => write!(f, "journal unreadable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// Rebuilds an engine from the journal at `journal_path`.
+///
+/// `templates` must contain every process definition the journal's
+/// instances were started from. The rebuilt engine appends new events
+/// to the same journal file, so crash–recover cycles can be chained.
+pub fn recover(
+    journal_path: &Path,
+    templates: Vec<ProcessDefinition>,
+    org: OrgModel,
+    multidb: Arc<MultiDatabase>,
+    programs: Arc<ProgramRegistry>,
+) -> Result<Engine, RecoveryError> {
+    let journal = Journal::with_file(journal_path).map_err(RecoveryError::Io)?;
+    let events = journal.events();
+    recover_from(journal, events, templates, org, multidb, programs)
+}
+
+/// In-memory variant used by tests and benchmarks: rebuilds from an
+/// explicit event list (the journal keeps accumulating into `journal`;
+/// if it is empty the replayed events are seeded into it first, so
+/// the recovered engine's history matches the file-based variant).
+pub fn recover_from(
+    journal: Journal,
+    events: Vec<Event>,
+    templates: Vec<ProcessDefinition>,
+    org: OrgModel,
+    multidb: Arc<MultiDatabase>,
+    programs: Arc<ProgramRegistry>,
+) -> Result<Engine, RecoveryError> {
+    if journal.is_empty() {
+        for ev in &events {
+            journal.append(ev.clone());
+        }
+    }
+    let template_map: HashMap<String, Arc<ProcessDefinition>> = templates
+        .into_iter()
+        .map(|d| (d.name.clone(), Arc::new(d)))
+        .collect();
+
+    let mut instances: BTreeMap<InstanceId, Instance> = BTreeMap::new();
+    let mut worklists = WorklistStore::new();
+    let mut next_instance = 1u64;
+    let mut next_item = 1u64;
+    let mut max_tick = 0;
+
+    for ev in &events {
+        max_tick = max_tick.max(ev.at());
+        apply(
+            ev,
+            &template_map,
+            &mut instances,
+            &mut worklists,
+            &mut next_instance,
+            &mut next_item,
+        )?;
+    }
+
+    let clock = multidb.clock().clone();
+    clock.advance_to(max_tick);
+
+    let engine = Engine {
+        inner: Mutex::new(Inner {
+            templates: template_map,
+            instances,
+            org,
+            worklists,
+            journal,
+            next_instance,
+            next_item,
+            step_limit: EngineConfig::default().step_limit,
+        }),
+        programs,
+        multidb,
+        clock,
+    };
+
+    resume(&engine);
+    Ok(engine)
+}
+
+/// Applies one journal event to the state under reconstruction.
+fn apply(
+    ev: &Event,
+    templates: &HashMap<String, Arc<ProcessDefinition>>,
+    instances: &mut BTreeMap<InstanceId, Instance>,
+    worklists: &mut WorklistStore,
+    next_instance: &mut u64,
+    next_item: &mut u64,
+) -> Result<(), RecoveryError> {
+    match ev {
+        Event::InstanceStarted {
+            instance,
+            process,
+            input,
+            ..
+        } => {
+            let def = templates
+                .get(process)
+                .ok_or_else(|| RecoveryError::MissingTemplate(process.clone()))?;
+            let mut inst = Instance::new(*instance, Arc::clone(def));
+            for (k, v) in input.iter() {
+                inst.root.input.set(k, v.clone());
+            }
+            *next_instance = (*next_instance).max(instance.0 + 1);
+            instances.insert(*instance, inst);
+        }
+        Event::ActivityReady {
+            instance,
+            path,
+            attempt,
+            at,
+        } => with_rt(instances, *instance, path, |rt| {
+            rt.state = ActState::Ready;
+            rt.attempt = *attempt;
+            rt.ready_since = Some(*at);
+            rt.notified = false;
+        }),
+        Event::ActivityStarted {
+            instance,
+            path,
+            input,
+            ..
+        } => {
+            let segs = split_path(path);
+            if let Some(inst) = instances.get_mut(instance) {
+                // Record the running state and materialised input.
+                if let Some((name, scope_path)) = segs.split_last() {
+                    let is_block = if let Some((def, scope)) = inst.resolve_mut(scope_path) {
+                        let is_block = def
+                            .activity(name)
+                            .map(|a| a.kind.is_block())
+                            .unwrap_or(false);
+                        if let Some(rt) = scope.activities.get_mut(name) {
+                            rt.state = ActState::Running;
+                            rt.input = input.clone();
+                        }
+                        is_block
+                    } else {
+                        false
+                    };
+                    // A started block opens its child scope; the
+                    // child's own events follow in the journal.
+                    if is_block {
+                        if let Some((def, scope)) = inst.resolve_mut(scope_path) {
+                            if let Some(ActivityKind::Block { process }) =
+                                def.activity(name).map(|a| a.kind.clone())
+                            {
+                                let mut child = ScopeState::for_definition(&process);
+                                for (k, v) in input.iter() {
+                                    child.input.set(k, v.clone());
+                                }
+                                scope.children.insert(name.clone(), child);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Event::ActivityFinished {
+            instance,
+            path,
+            output,
+            ..
+        } => {
+            with_rt(instances, *instance, path, |rt| {
+                rt.state = ActState::Finished;
+                rt.output = output.clone();
+            });
+            // Mirror the live navigator: finishing an activity closes
+            // its work items (a reschedule re-offers a fresh one via
+            // the following WorkItemOffered event).
+            worklists.close_for(*instance, path);
+        }
+        Event::ActivityRescheduled {
+            instance,
+            path,
+            next_attempt,
+            ..
+        } => {
+            let segs = split_path(path);
+            if let Some(inst) = instances.get_mut(instance) {
+                if let Some((name, scope_path)) = segs.split_last() {
+                    if let Some((def, scope)) = inst.resolve_mut(scope_path) {
+                        let is_block = def
+                            .activity(name)
+                            .map(|a| a.kind.is_block())
+                            .unwrap_or(false);
+                        if is_block {
+                            scope.children.remove(name);
+                        }
+                        if let Some(rt) = scope.activities.get_mut(name) {
+                            rt.state = ActState::Waiting;
+                            rt.attempt = *next_attempt;
+                        }
+                    }
+                }
+            }
+        }
+        Event::ActivityTerminated {
+            instance,
+            path,
+            executed,
+            ..
+        } => {
+            let segs = split_path(path);
+            if let Some(inst) = instances.get_mut(instance) {
+                if let Some((name, scope_path)) = segs.split_last() {
+                    if let Some((def, scope)) = inst.resolve_mut(scope_path) {
+                        let mut output = None;
+                        if let Some(rt) = scope.activities.get_mut(name) {
+                            rt.state = ActState::Terminated;
+                            rt.executed = *executed;
+                            if *executed {
+                                output = Some(rt.output.clone());
+                            }
+                        }
+                        // (work items for this path close below)
+                        // Re-apply the activity-output → process-output
+                        // data connectors, as the navigator did live.
+                        if let Some(output) = output {
+                            for d in &def.data {
+                                let from_us = matches!(
+                                    &d.from,
+                                    wfms_model::DataEndpoint::ActivityOutput(a) if a == name
+                                );
+                                if from_us && d.to == wfms_model::DataEndpoint::ProcessOutput {
+                                    for m in &d.mappings {
+                                        if let Some(v) = output.get(&m.from_member) {
+                                            scope.output.set(&m.to_member, v.clone());
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            worklists.close_for(*instance, path);
+        }
+        Event::ConnectorEvaluated {
+            instance,
+            scope,
+            from,
+            to,
+            value,
+            ..
+        } => {
+            let scope_segs = split_path(scope);
+            if let Some(inst) = instances.get_mut(instance) {
+                if let Some((_, sc)) = inst.resolve_mut(&scope_segs) {
+                    sc.connectors.insert((from.clone(), to.clone()), *value);
+                }
+            }
+        }
+        Event::WorkItemOffered {
+            instance,
+            path,
+            item,
+            persons,
+            at,
+        } => {
+            *next_item = (*next_item).max(item.0 + 1);
+            worklists.offer(WorkItem {
+                id: *item,
+                instance: *instance,
+                path: path.clone(),
+                attempt: 0,
+                offered_to: persons.clone(),
+                state: WorkItemState::Offered,
+                offered_at: *at,
+            });
+        }
+        Event::WorkItemClaimed { item, person, .. } => {
+            let _ = worklists.claim(*item, person);
+        }
+        Event::NotificationSent { instance, path, .. } => {
+            with_rt(instances, *instance, path, |rt| rt.notified = true)
+        }
+        Event::UserIntervention { .. } => {}
+        Event::InstanceFinished {
+            instance, output, ..
+        } => {
+            if let Some(inst) = instances.get_mut(instance) {
+                inst.status = InstanceStatus::Finished;
+                for (k, v) in output.iter() {
+                    inst.root.output.set(k, v.clone());
+                }
+            }
+        }
+        Event::InstanceCancelled { instance, .. } => {
+            if let Some(inst) = instances.get_mut(instance) {
+                inst.status = InstanceStatus::Cancelled;
+            }
+            let stale: Vec<_> = worklists
+                .open_items()
+                .iter()
+                .filter(|it| it.instance == *instance)
+                .map(|it| it.id)
+                .collect();
+            for id in stale {
+                worklists.close(id);
+            }
+        }
+        Event::EngineCheckpoint {
+            instances: snaps,
+            items,
+            next_instance: ni,
+            next_item: nw,
+            ..
+        } => {
+            // A checkpoint is the complete engine state: replace
+            // everything reconstructed so far and continue applying
+            // the tail on top of it.
+            instances.clear();
+            for snap in snaps {
+                let def = templates
+                    .get(&snap.process)
+                    .ok_or_else(|| RecoveryError::MissingTemplate(snap.process.clone()))?;
+                let mut inst = Instance::new(snap.id, Arc::clone(def));
+                inst.status = snap.status;
+                inst.root = snap.root.clone();
+                instances.insert(snap.id, inst);
+            }
+            *worklists = WorklistStore::new();
+            for item in items {
+                worklists.offer(item.clone());
+            }
+            *next_instance = *ni;
+            *next_item = *nw;
+        }
+    }
+    Ok(())
+}
+
+fn with_rt(
+    instances: &mut BTreeMap<InstanceId, Instance>,
+    instance: InstanceId,
+    path: &str,
+    f: impl FnOnce(&mut crate::state::ActivityRt),
+) {
+    let segs = split_path(path);
+    if let Some(inst) = instances.get_mut(&instance) {
+        if let Some((name, scope_path)) = segs.split_last() {
+            if let Some((_, scope)) = inst.resolve_mut(scope_path) {
+                if let Some(rt) = scope.activities.get_mut(name) {
+                    f(rt);
+                }
+            }
+        }
+    }
+}
+
+/// Post-replay fix-ups: re-ready crashed `Running` program activities,
+/// re-decide `Finished` activities whose exit decision was lost, and
+/// re-check scope completion (in case the crash hit between the last
+/// termination and the completion event).
+fn resume(engine: &Engine) {
+    let ids: Vec<InstanceId> = engine.inner.lock().instances.keys().copied().collect();
+    for id in ids {
+        let mut inner = engine.inner.lock();
+        let Inner {
+            journal,
+            org,
+            worklists,
+            next_item,
+            instances,
+            ..
+        } = &mut *inner;
+        let Some(inst) = instances.get_mut(&id) else {
+            continue;
+        };
+        if inst.status != InstanceStatus::Running {
+            continue;
+        }
+
+        // Collect fix-up targets (deepest scopes first so child fixes
+        // land before parent completion checks).
+        let mut running_programs: Vec<Vec<String>> = Vec::new();
+        let mut finished: Vec<Vec<String>> = Vec::new();
+        let mut scopes: Vec<Vec<String>> = Vec::new();
+        collect_fixups(
+            &inst.def,
+            &inst.root,
+            &mut Vec::new(),
+            &mut running_programs,
+            &mut finished,
+            &mut scopes,
+        );
+
+        let mut svc = navigator::NavServices {
+            journal,
+            clock: &engine.clock,
+            org,
+            worklists,
+            next_item,
+            programs: &engine.programs,
+            multidb: &engine.multidb,
+        };
+        for path in running_programs {
+            navigator::reset_running_to_ready(inst, &mut svc, &path);
+        }
+        for path in finished {
+            navigator::decide_exit(inst, &mut svc, &path);
+        }
+        scopes.sort_by_key(|s| std::cmp::Reverse(s.len()));
+        for scope in scopes {
+            if inst.status != InstanceStatus::Running {
+                break;
+            }
+            navigator::check_scope_completion(inst, &mut svc, &scope);
+        }
+    }
+}
+
+fn collect_fixups(
+    def: &ProcessDefinition,
+    scope: &ScopeState,
+    prefix: &mut Vec<String>,
+    running_programs: &mut Vec<Vec<String>>,
+    finished: &mut Vec<Vec<String>>,
+    scopes: &mut Vec<Vec<String>>,
+) {
+    scopes.push(prefix.clone());
+    for act in &def.activities {
+        let Some(rt) = scope.activities.get(&act.name) else {
+            continue;
+        };
+        let mut path = prefix.clone();
+        path.push(act.name.clone());
+        match rt.state {
+            ActState::Running => match &act.kind {
+                ActivityKind::Block { process } => {
+                    if let Some(child) = scope.children.get(&act.name) {
+                        prefix.push(act.name.clone());
+                        collect_fixups(process, child, prefix, running_programs, finished, scopes);
+                        prefix.pop();
+                    } else {
+                        // Block recorded running but its child scope was
+                        // never opened (crash inside execute): restart it.
+                        running_programs.push(path);
+                    }
+                }
+                _ => running_programs.push(path),
+            },
+            ActState::Finished => finished.push(path),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Run-time state of process instances.
+//!
+//! §3.2 fixes the activity lifecycle: *ready* → *running* → *finished*
+//! (execution completed) → *terminated* (completed and exit condition
+//! satisfied). We add the implicit pre-state *waiting* (start
+//! condition not yet met); activities removed by dead path elimination
+//! go straight from waiting to terminated with `executed = false`.
+//!
+//! A [`ScopeState`] holds the state of one (sub)process: the paper's
+//! blocks are processes embedded as activities, so an instance is a
+//! tree of scopes mirroring the block nesting of its definition.
+
+use crate::event::InstanceId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use txn_substrate::Tick;
+use wfms_model::{Container, ProcessDefinition};
+
+/// Lifecycle state of one activity instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ActState {
+    /// Start condition not yet met.
+    Waiting,
+    /// Eligible to run (on a worklist if manual).
+    Ready,
+    /// Currently executing (for a block: the child scope is active).
+    Running,
+    /// Execution completed; exit condition not yet decided.
+    Finished,
+    /// Final: either executed successfully or removed by dead path
+    /// elimination (see [`ActivityRt::executed`]).
+    Terminated,
+}
+
+/// Run-time record of one activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityRt {
+    /// Current lifecycle state.
+    pub state: ActState,
+    /// Meaningful when `Terminated`: true if the activity actually
+    /// ran; false if dead path elimination removed it.
+    pub executed: bool,
+    /// Zero-based attempt counter (incremented by exit-condition
+    /// reschedules).
+    pub attempt: u32,
+    /// Materialised input container (valid from `Running` on).
+    pub input: Container,
+    /// Output container (valid from `Finished` on; contains `RC`).
+    pub output: Container,
+    /// Tick at which the activity last became ready (deadline base).
+    pub ready_since: Option<Tick>,
+    /// A deadline notification has been sent for the current readiness
+    /// period.
+    pub notified: bool,
+}
+
+impl ActivityRt {
+    /// Fresh waiting activity.
+    pub fn new() -> Self {
+        Self {
+            state: ActState::Waiting,
+            executed: false,
+            attempt: 0,
+            input: Container::empty(),
+            output: Container::empty(),
+            ready_since: None,
+            notified: false,
+        }
+    }
+
+    /// True once the activity reached its final state.
+    pub fn is_terminated(&self) -> bool {
+        self.state == ActState::Terminated
+    }
+}
+
+impl Default for ActivityRt {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Run-time state of one (sub)process scope.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScopeState {
+    /// Per-activity state, keyed by activity name.
+    pub activities: BTreeMap<String, ActivityRt>,
+    /// Evaluated transition-condition values, keyed by `(from, to)`.
+    /// Absent = not yet evaluated.
+    pub connectors: BTreeMap<(String, String), bool>,
+    /// The scope's input container (process input, or the block
+    /// activity's materialised input).
+    pub input: Container,
+    /// The scope's output container, filled by data connectors to
+    /// `PROCESS.OUTPUT` as activities terminate.
+    pub output: Container,
+    /// Child scopes of block activities that have started, keyed by
+    /// the block activity's name.
+    pub children: BTreeMap<String, ScopeState>,
+}
+
+impl ScopeState {
+    /// Initialises a scope for `def`: all activities waiting,
+    /// containers at schema defaults, no connector values.
+    pub fn for_definition(def: &ProcessDefinition) -> Self {
+        Self {
+            activities: def
+                .activities
+                .iter()
+                .map(|a| (a.name.clone(), ActivityRt::new()))
+                .collect(),
+            connectors: BTreeMap::new(),
+            input: def.input.instantiate(),
+            output: def.output.instantiate(),
+            children: BTreeMap::new(),
+        }
+    }
+
+    /// True when every activity reached `Terminated` — the §3.2
+    /// completion rule ("the process is considered finished when all
+    /// its activities are in the terminated state").
+    pub fn all_terminated(&self) -> bool {
+        self.activities.values().all(ActivityRt::is_terminated)
+    }
+
+    /// Connector value if already evaluated.
+    pub fn connector_value(&self, from: &str, to: &str) -> Option<bool> {
+        self.connectors
+            .get(&(from.to_owned(), to.to_owned()))
+            .copied()
+    }
+}
+
+/// Overall status of a process instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstanceStatus {
+    /// Navigation in progress (possibly idle waiting on humans).
+    Running,
+    /// Every activity terminated; output container final.
+    Finished,
+    /// Cancelled by an operator.
+    Cancelled,
+}
+
+/// One process instance: a definition plus its scope tree.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance identifier.
+    pub id: InstanceId,
+    /// The (validated) process template this instance runs.
+    pub def: Arc<ProcessDefinition>,
+    /// Root scope state.
+    pub root: ScopeState,
+    /// Overall status.
+    pub status: InstanceStatus,
+}
+
+impl Instance {
+    /// Creates a fresh instance of `def`.
+    pub fn new(id: InstanceId, def: Arc<ProcessDefinition>) -> Self {
+        let root = ScopeState::for_definition(&def);
+        Self {
+            id,
+            def,
+            root,
+            status: InstanceStatus::Running,
+        }
+    }
+
+    /// Resolves the definition and mutable scope state addressed by
+    /// `scope_path` (block names from the root; empty = root scope).
+    /// Returns `None` if the path does not name nested blocks or the
+    /// child scope has not started yet.
+    pub fn resolve_mut(
+        &mut self,
+        scope_path: &[String],
+    ) -> Option<(&ProcessDefinition, &mut ScopeState)> {
+        let mut def: &ProcessDefinition = &self.def;
+        let mut scope: &mut ScopeState = &mut self.root;
+        for seg in scope_path {
+            let act = def.activity(seg)?;
+            let wfms_model::ActivityKind::Block { process } = &act.kind else {
+                return None;
+            };
+            def = process;
+            scope = scope.children.get_mut(seg)?;
+        }
+        Some((def, scope))
+    }
+
+    /// Immutable variant of [`Instance::resolve_mut`].
+    pub fn resolve(
+        &self,
+        scope_path: &[String],
+    ) -> Option<(&ProcessDefinition, &ScopeState)> {
+        let mut def: &ProcessDefinition = &self.def;
+        let mut scope: &ScopeState = &self.root;
+        for seg in scope_path {
+            let act = def.activity(seg)?;
+            let wfms_model::ActivityKind::Block { process } = &act.kind else {
+                return None;
+            };
+            def = process;
+            scope = scope.children.get(seg)?;
+        }
+        Some((def, scope))
+    }
+
+    /// The runtime record of the activity at `path` (scope path +
+    /// activity name as the last segment).
+    pub fn activity_rt(&self, path: &[String]) -> Option<&ActivityRt> {
+        let (name, scope_path) = path.split_last()?;
+        let (_, scope) = self.resolve(scope_path)?;
+        scope.activities.get(name)
+    }
+}
+
+/// Joins a path as the slash-separated form used in journal events.
+pub fn join_path(path: &[String]) -> String {
+    path.join("/")
+}
+
+/// Splits a slash-separated journal path back into segments.
+pub fn split_path(path: &str) -> Vec<String> {
+    if path.is_empty() {
+        Vec::new()
+    } else {
+        path.split('/').map(|s| s.to_owned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfms_model::{Activity, ProcessBuilder};
+
+    fn def_with_block() -> ProcessDefinition {
+        let inner = ProcessBuilder::new("inner").program("X", "px").build().unwrap();
+        ProcessBuilder::new("outer")
+            .program("A", "pa")
+            .block("B", inner)
+            .connect("A", "B")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fresh_scope_is_waiting() {
+        let def = def_with_block();
+        let s = ScopeState::for_definition(&def);
+        assert_eq!(s.activities.len(), 2);
+        assert!(s
+            .activities
+            .values()
+            .all(|a| a.state == ActState::Waiting));
+        assert!(!s.all_terminated());
+    }
+
+    #[test]
+    fn all_terminated_counts_every_activity() {
+        let def = def_with_block();
+        let mut s = ScopeState::for_definition(&def);
+        for a in s.activities.values_mut() {
+            a.state = ActState::Terminated;
+        }
+        assert!(s.all_terminated());
+    }
+
+    #[test]
+    fn resolve_walks_block_scopes() {
+        let def = Arc::new(def_with_block());
+        let mut inst = Instance::new(InstanceId(1), Arc::clone(&def));
+        // Child scope not started yet.
+        assert!(inst.resolve_mut(&["B".into()]).is_none());
+        // Start it manually.
+        let inner_def = match &def.activity("B").unwrap().kind {
+            wfms_model::ActivityKind::Block { process } => process.clone(),
+            _ => unreachable!(),
+        };
+        inst.root
+            .children
+            .insert("B".into(), ScopeState::for_definition(&inner_def));
+        let (d, s) = inst.resolve_mut(&["B".into()]).unwrap();
+        assert_eq!(d.name, "inner");
+        assert!(s.activities.contains_key("X"));
+        // Non-block path segment fails.
+        assert!(inst.resolve_mut(&["A".into()]).is_none());
+        assert!(inst.resolve(&["Ghost".into()]).is_none());
+    }
+
+    #[test]
+    fn activity_rt_lookup_by_path() {
+        let def = Arc::new(def_with_block());
+        let inst = Instance::new(InstanceId(1), def);
+        assert!(inst.activity_rt(&["A".into()]).is_some());
+        assert!(inst.activity_rt(&["B".into(), "X".into()]).is_none());
+        assert!(inst.activity_rt(&[]).is_none());
+    }
+
+    #[test]
+    fn path_join_split_round_trip() {
+        let p = vec!["Fwd".to_string(), "T1".to_string()];
+        assert_eq!(join_path(&p), "Fwd/T1");
+        assert_eq!(split_path("Fwd/T1"), p);
+        assert_eq!(split_path(""), Vec::<String>::new());
+        assert_eq!(join_path(&[]), "");
+    }
+
+    #[test]
+    fn non_block_activity_cannot_be_scope() {
+        let def = ProcessBuilder::new("p")
+            .activity(Activity::program("A", "pa"))
+            .build()
+            .unwrap();
+        let inst = Instance::new(InstanceId(1), Arc::new(def));
+        assert!(inst.resolve(&["A".into()]).is_none());
+    }
+}

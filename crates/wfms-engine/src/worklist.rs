@@ -1,0 +1,282 @@
+//! Worklists — how humans interact with the engine.
+//!
+//! §3.3: "Regular users interact with the system using worklists. A
+//! worklist contains the activities that correspond to the user. Note
+//! that the same activity may appear in several worklists
+//! simultaneously, however, as soon as a user selects that activity
+//! for execution, it disappears from all other worklists. This can be
+//! effectively used to perform load balancing."
+//!
+//! A [`WorkItem`] is one offer of one ready manual activity. The store
+//! keeps a single item per offer and materialises per-person views on
+//! demand; claiming is a single atomic state change, so the
+//! vanishes-from-all-other-worklists rule holds by construction.
+
+use crate::event::{InstanceId, WorkItemId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Lifecycle of a work item.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkItemState {
+    /// Visible on every eligible person's worklist.
+    Offered,
+    /// Claimed by one person; invisible to everyone else.
+    Claimed(String),
+    /// The underlying activity completed (or was cancelled).
+    Closed,
+}
+
+/// One offer of a ready manual activity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkItem {
+    /// Unique id.
+    pub id: WorkItemId,
+    /// Owning instance.
+    pub instance: InstanceId,
+    /// Activity path within the instance.
+    pub path: String,
+    /// Attempt number of the underlying activity.
+    pub attempt: u32,
+    /// Persons the item is offered to.
+    pub offered_to: Vec<String>,
+    /// Current state.
+    pub state: WorkItemState,
+    /// Tick at which the item was offered (deadline tracking).
+    pub offered_at: txn_substrate::Tick,
+}
+
+/// Errors from worklist operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorklistError {
+    /// The item does not exist.
+    NoSuchItem(WorkItemId),
+    /// The person is not among the item's offerees.
+    NotEligible { item: WorkItemId, person: String },
+    /// Someone else already claimed the item.
+    AlreadyClaimed { item: WorkItemId, by: String },
+    /// The item is closed.
+    Closed(WorkItemId),
+}
+
+impl std::fmt::Display for WorklistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorklistError::NoSuchItem(id) => write!(f, "{id} does not exist"),
+            WorklistError::NotEligible { item, person } => {
+                write!(f, "{person} is not eligible for {item}")
+            }
+            WorklistError::AlreadyClaimed { item, by } => {
+                write!(f, "{item} already claimed by {by}")
+            }
+            WorklistError::Closed(id) => write!(f, "{id} is closed"),
+        }
+    }
+}
+
+impl std::error::Error for WorklistError {}
+
+/// The store of all work items.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorklistStore {
+    items: BTreeMap<WorkItemId, WorkItem>,
+}
+
+impl WorklistStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new offer.
+    pub fn offer(&mut self, item: WorkItem) {
+        self.items.insert(item.id, item);
+    }
+
+    /// The worklist of `person`: items offered to them and not claimed
+    /// by anyone else, plus items they themselves claimed but have not
+    /// finished.
+    pub fn worklist(&self, person: &str) -> Vec<&WorkItem> {
+        self.items
+            .values()
+            .filter(|it| match &it.state {
+                WorkItemState::Offered => it.offered_to.iter().any(|p| p == person),
+                WorkItemState::Claimed(p) => p == person,
+                WorkItemState::Closed => false,
+            })
+            .collect()
+    }
+
+    /// Claims `item` for `person`. On success the item disappears from
+    /// every other worklist (it is now `Claimed(person)`).
+    pub fn claim(&mut self, item: WorkItemId, person: &str) -> Result<&WorkItem, WorklistError> {
+        let it = self
+            .items
+            .get_mut(&item)
+            .ok_or(WorklistError::NoSuchItem(item))?;
+        match &it.state {
+            WorkItemState::Closed => Err(WorklistError::Closed(item)),
+            WorkItemState::Claimed(by) => Err(WorklistError::AlreadyClaimed {
+                item,
+                by: by.clone(),
+            }),
+            WorkItemState::Offered => {
+                if !it.offered_to.iter().any(|p| p == person) {
+                    return Err(WorklistError::NotEligible {
+                        item,
+                        person: person.to_owned(),
+                    });
+                }
+                it.state = WorkItemState::Claimed(person.to_owned());
+                Ok(&*it)
+            }
+        }
+    }
+
+    /// Releases a claim: the item returns to `Offered` and reappears
+    /// on every eligible worklist (§3.3's "stop an activity" — the
+    /// person hands the work back). Only the claimer may release.
+    pub fn release(&mut self, item: WorkItemId, person: &str) -> Result<(), WorklistError> {
+        let it = self
+            .items
+            .get_mut(&item)
+            .ok_or(WorklistError::NoSuchItem(item))?;
+        match &it.state {
+            WorkItemState::Closed => Err(WorklistError::Closed(item)),
+            WorkItemState::Offered => Ok(()), // already released
+            WorkItemState::Claimed(by) if by == person => {
+                it.state = WorkItemState::Offered;
+                Ok(())
+            }
+            WorkItemState::Claimed(by) => Err(WorklistError::AlreadyClaimed {
+                item,
+                by: by.clone(),
+            }),
+        }
+    }
+
+    /// Closes `item` (activity completed or cancelled).
+    pub fn close(&mut self, item: WorkItemId) {
+        if let Some(it) = self.items.get_mut(&item) {
+            it.state = WorkItemState::Closed;
+        }
+    }
+
+    /// Closes every open item for `(instance, path)` — used when an
+    /// activity is force-finished or its instance is cancelled.
+    pub fn close_for(&mut self, instance: InstanceId, path: &str) {
+        for it in self.items.values_mut() {
+            if it.instance == instance && it.path == path && it.state != WorkItemState::Closed {
+                it.state = WorkItemState::Closed;
+            }
+        }
+    }
+
+    /// Looks up an item.
+    pub fn get(&self, item: WorkItemId) -> Option<&WorkItem> {
+        self.items.get(&item)
+    }
+
+    /// Open (offered, unclaimed) items, in id order.
+    pub fn open_items(&self) -> Vec<&WorkItem> {
+        self.items
+            .values()
+            .filter(|it| it.state == WorkItemState::Offered)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(id: u64, offered_to: &[&str]) -> WorkItem {
+        WorkItem {
+            id: WorkItemId(id),
+            instance: InstanceId(1),
+            path: "A".into(),
+            attempt: 0,
+            offered_to: offered_to.iter().map(|s| s.to_string()).collect(),
+            state: WorkItemState::Offered,
+            offered_at: 0,
+        }
+    }
+
+    #[test]
+    fn offer_appears_on_every_eligible_worklist() {
+        let mut s = WorklistStore::new();
+        s.offer(item(1, &["ann", "bob"]));
+        assert_eq!(s.worklist("ann").len(), 1);
+        assert_eq!(s.worklist("bob").len(), 1);
+        assert_eq!(s.worklist("carol").len(), 0);
+    }
+
+    #[test]
+    fn claim_removes_from_other_worklists() {
+        let mut s = WorklistStore::new();
+        s.offer(item(1, &["ann", "bob"]));
+        s.claim(WorkItemId(1), "ann").unwrap();
+        assert_eq!(s.worklist("ann").len(), 1, "claimer still sees it");
+        assert_eq!(s.worklist("bob").len(), 0, "vanished for bob");
+    }
+
+    #[test]
+    fn double_claim_rejected() {
+        let mut s = WorklistStore::new();
+        s.offer(item(1, &["ann", "bob"]));
+        s.claim(WorkItemId(1), "ann").unwrap();
+        let err = s.claim(WorkItemId(1), "bob").unwrap_err();
+        assert_eq!(
+            err,
+            WorklistError::AlreadyClaimed {
+                item: WorkItemId(1),
+                by: "ann".into()
+            }
+        );
+    }
+
+    #[test]
+    fn ineligible_claim_rejected() {
+        let mut s = WorklistStore::new();
+        s.offer(item(1, &["ann"]));
+        assert!(matches!(
+            s.claim(WorkItemId(1), "mallory"),
+            Err(WorklistError::NotEligible { .. })
+        ));
+    }
+
+    #[test]
+    fn closed_items_invisible_everywhere() {
+        let mut s = WorklistStore::new();
+        s.offer(item(1, &["ann"]));
+        s.close(WorkItemId(1));
+        assert!(s.worklist("ann").is_empty());
+        assert!(matches!(
+            s.claim(WorkItemId(1), "ann"),
+            Err(WorklistError::Closed(_))
+        ));
+    }
+
+    #[test]
+    fn close_for_targets_activity() {
+        let mut s = WorklistStore::new();
+        s.offer(item(1, &["ann"]));
+        let mut other = item(2, &["ann"]);
+        other.path = "B".into();
+        s.offer(other);
+        s.close_for(InstanceId(1), "A");
+        let remaining = s.worklist("ann");
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].path, "B");
+    }
+
+    #[test]
+    fn missing_item_errors() {
+        let mut s = WorklistStore::new();
+        assert!(matches!(
+            s.claim(WorkItemId(9), "ann"),
+            Err(WorklistError::NoSuchItem(_))
+        ));
+        assert!(s.get(WorkItemId(9)).is_none());
+    }
+}

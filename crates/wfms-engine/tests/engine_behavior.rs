@@ -1,0 +1,795 @@
+//! Behavioural tests of the navigator against the semantics §3.2–3.3
+//! of the paper prescribes: state machine, AND/OR joins, dead path
+//! elimination, exit-condition loops, blocks, data flow, worklists,
+//! deadlines, interventions and forward recovery.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use txn_substrate::{
+    FailurePlan, KvProgram, MultiDatabase, ProgramOutcome, ProgramRegistry, Value,
+};
+use wfms_engine::{
+    audit, recover_from, ActState, Engine, EngineConfig, EngineError, InstanceStatus, Journal,
+    OrgModel,
+};
+use wfms_model::{
+    Activity, Container, ContainerSchema, DataType, ProcessBuilder, ProcessDefinition,
+};
+
+/// A test harness bundling federation + programs + engine.
+struct Rig {
+    fed: Arc<MultiDatabase>,
+    programs: Arc<ProgramRegistry>,
+}
+
+impl Rig {
+    fn new() -> Self {
+        let fed = MultiDatabase::new(7);
+        fed.add_database("db");
+        let programs = Arc::new(ProgramRegistry::new());
+        Self { fed, programs }
+    }
+
+    fn engine(&self) -> Engine {
+        Engine::new(Arc::clone(&self.fed), Arc::clone(&self.programs))
+    }
+
+    fn engine_with_org(&self, org: OrgModel) -> Engine {
+        Engine::with_config(
+            Arc::clone(&self.fed),
+            Arc::clone(&self.programs),
+            EngineConfig {
+                org,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// Registers a program that always commits with rc 1 and records
+    /// its execution by appending to the db key `log:<name>`.
+    fn ok_program(&self, name: &str) {
+        let fed = Arc::clone(&self.fed);
+        let pname = name.to_owned();
+        self.programs.register_fn(name, move |_ctx| {
+            let db = fed.db("db").unwrap();
+            loop {
+                let mut t = db.begin();
+                let prev = match t.get("log") {
+                    Ok(v) => v.and_then(|v| v.as_str().map(str::to_owned)).unwrap_or_default(),
+                    Err(_) => continue,
+                };
+                let next = if prev.is_empty() {
+                    pname.clone()
+                } else {
+                    format!("{prev},{pname}")
+                };
+                if t.put("log", next).is_err() {
+                    continue;
+                }
+                if t.commit().is_ok() {
+                    break;
+                }
+            }
+            ProgramOutcome::committed()
+        });
+    }
+
+    /// Registers a program returning a fixed rc without side effects.
+    fn rc_program(&self, name: &str, rc: i64) {
+        self.programs.register_fn(name, move |_ctx| {
+            if rc == 0 {
+                ProgramOutcome::aborted("scripted abort")
+            } else {
+                ProgramOutcome::Committed {
+                    rc,
+                    outputs: BTreeMap::new(),
+                }
+            }
+        });
+    }
+
+    fn log(&self) -> String {
+        self.fed
+            .db("db")
+            .unwrap()
+            .peek("log")
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .unwrap_or_default()
+    }
+}
+
+fn linear(names: &[&str]) -> ProcessDefinition {
+    let mut b = ProcessBuilder::new("linear");
+    for n in names {
+        b = b.program(n, &format!("p_{n}"));
+    }
+    for w in names.windows(2) {
+        b = b.connect_when(w[0], w[1], "RC = 1");
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn linear_chain_runs_in_order() {
+    let rig = Rig::new();
+    for n in ["A", "B", "C"] {
+        rig.ok_program(&format!("p_{n}"));
+    }
+    let engine = rig.engine();
+    engine.register(linear(&["A", "B", "C"])).unwrap();
+    let id = engine.start("linear", Container::empty()).unwrap();
+    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(rig.log(), "p_A,p_B,p_C");
+    let events = engine.journal_events();
+    assert_eq!(
+        audit::execution_order(&events, id),
+        vec!["A", "B", "C"]
+    );
+}
+
+#[test]
+fn false_transition_condition_triggers_dpe_cascade() {
+    // A aborts (rc 0): B and C must be dead-path-eliminated and the
+    // process must still finish (§3.2 appendix behaviour).
+    let rig = Rig::new();
+    rig.rc_program("p_A", 0);
+    rig.ok_program("p_B");
+    rig.ok_program("p_C");
+    let engine = rig.engine();
+    engine.register(linear(&["A", "B", "C"])).unwrap();
+    let id = engine.start("linear", Container::empty()).unwrap();
+    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(rig.log(), "", "B and C never ran");
+    assert_eq!(engine.activity_state(id, "B").unwrap().0, ActState::Terminated);
+    assert!(!engine.activity_state(id, "B").unwrap().1, "not executed");
+    assert!(!engine.activity_state(id, "C").unwrap().1);
+    let s = audit::summarize(&engine.journal_events(), id);
+    assert_eq!(s.eliminated, 2);
+    assert_eq!(s.executions, 1);
+}
+
+#[test]
+fn and_join_waits_for_all_branches() {
+    // Diamond: A -> B, A -> C, B & C -> D (AND join).
+    let rig = Rig::new();
+    for p in ["p_A", "p_B", "p_C", "p_D"] {
+        rig.ok_program(p);
+    }
+    let def = ProcessBuilder::new("diamond")
+        .program("A", "p_A")
+        .program("B", "p_B")
+        .program("C", "p_C")
+        .program("D", "p_D")
+        .connect_when("A", "B", "RC = 1")
+        .connect_when("A", "C", "RC = 1")
+        .connect_when("B", "D", "RC = 1")
+        .connect_when("C", "D", "RC = 1")
+        .build()
+        .unwrap();
+    let engine = rig.engine();
+    engine.register(def).unwrap();
+    let id = engine.start("diamond", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    let order = audit::execution_order(&engine.journal_events(), id);
+    assert_eq!(order.len(), 4);
+    assert_eq!(order[0], "A");
+    assert_eq!(order[3], "D", "D strictly after both branches");
+}
+
+#[test]
+fn and_join_dies_if_any_branch_false() {
+    // B aborts: D (AND join) must be eliminated even though C is fine.
+    let rig = Rig::new();
+    rig.ok_program("p_A");
+    rig.rc_program("p_B", 0);
+    rig.ok_program("p_C");
+    rig.ok_program("p_D");
+    let def = ProcessBuilder::new("diamond")
+        .program("A", "p_A")
+        .program("B", "p_B")
+        .program("C", "p_C")
+        .program("D", "p_D")
+        .connect_when("A", "B", "RC = 1")
+        .connect_when("A", "C", "RC = 1")
+        .connect_when("B", "D", "RC = 1")
+        .connect_when("C", "D", "RC = 1")
+        .build()
+        .unwrap();
+    let engine = rig.engine();
+    engine.register(def).unwrap();
+    let id = engine.start("diamond", Container::empty()).unwrap();
+    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    let (state, executed, _) = engine.activity_state(id, "D").unwrap();
+    assert_eq!(state, ActState::Terminated);
+    assert!(!executed);
+    // C still ran.
+    assert!(engine.activity_state(id, "C").unwrap().1);
+}
+
+#[test]
+fn or_join_starts_on_first_true_and_runs_once() {
+    let rig = Rig::new();
+    for p in ["p_A", "p_B", "p_C", "p_D"] {
+        rig.ok_program(p);
+    }
+    let def = ProcessBuilder::new("orjoin")
+        .program("A", "p_A")
+        .program("B", "p_B")
+        .program("C", "p_C")
+        .activity(Activity::program("D", "p_D").or_start())
+        .connect_when("A", "B", "RC = 1")
+        .connect_when("A", "C", "RC = 1")
+        .connect_when("B", "D", "RC = 1")
+        .connect_when("C", "D", "RC = 1")
+        .build()
+        .unwrap();
+    let engine = rig.engine();
+    engine.register(def).unwrap();
+    let id = engine.start("orjoin", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    let by_act = audit::executions_by_activity(&engine.journal_events(), id);
+    assert_eq!(by_act["D"], 1, "OR join latches on first true");
+}
+
+#[test]
+fn or_join_dead_only_when_all_false() {
+    let rig = Rig::new();
+    rig.ok_program("p_A");
+    rig.rc_program("p_B", 0);
+    rig.ok_program("p_C");
+    rig.ok_program("p_D");
+    let def = ProcessBuilder::new("orjoin")
+        .program("A", "p_A")
+        .program("B", "p_B")
+        .program("C", "p_C")
+        .activity(Activity::program("D", "p_D").or_start())
+        .connect_when("A", "B", "RC = 1")
+        .connect_when("A", "C", "RC = 1")
+        .connect_when("B", "D", "RC = 1")
+        .connect_when("C", "D", "RC = 1")
+        .build()
+        .unwrap();
+    let engine = rig.engine();
+    engine.register(def).unwrap();
+    let id = engine.start("orjoin", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    assert!(engine.activity_state(id, "D").unwrap().1, "C's true suffices");
+
+    // Now both branches abort: D must die.
+    let rig2 = Rig::new();
+    rig2.ok_program("p_A");
+    rig2.rc_program("p_B", 0);
+    rig2.rc_program("p_C", 0);
+    rig2.ok_program("p_D");
+    let def2 = ProcessBuilder::new("orjoin")
+        .program("A", "p_A")
+        .program("B", "p_B")
+        .program("C", "p_C")
+        .activity(Activity::program("D", "p_D").or_start())
+        .connect_when("A", "B", "RC = 1")
+        .connect_when("A", "C", "RC = 1")
+        .connect_when("B", "D", "RC = 1")
+        .connect_when("C", "D", "RC = 1")
+        .build()
+        .unwrap();
+    let engine2 = rig2.engine();
+    engine2.register(def2).unwrap();
+    let id2 = engine2.start("orjoin", Container::empty()).unwrap();
+    assert_eq!(
+        engine2.run_to_quiescence(id2).unwrap(),
+        InstanceStatus::Finished
+    );
+    assert!(!engine2.activity_state(id2, "D").unwrap().1);
+}
+
+#[test]
+fn exit_condition_reschedules_until_true() {
+    // The program aborts twice then commits (retriable); the exit
+    // condition RC = 1 loops the activity until commit — the §3.2
+    // loop mechanism the saga compensations rely on.
+    let rig = Rig::new();
+    rig.fed.injector().set_plan("retry_me", FailurePlan::FirstN(2));
+    rig.programs
+        .register(Arc::new(KvProgram::write("retry_me", "db", "done", 1i64)));
+    let def = ProcessBuilder::new("loopy")
+        .activity(Activity::program("R", "retry_me").with_exit("RC = 1"))
+        .build()
+        .unwrap();
+    let engine = rig.engine();
+    engine.register(def).unwrap();
+    let id = engine.start("loopy", Container::empty()).unwrap();
+    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    let (_, _, attempts) = engine.activity_state(id, "R").unwrap();
+    assert_eq!(attempts, 2, "two reschedules before success");
+    let s = audit::summarize(&engine.journal_events(), id);
+    assert_eq!(s.reschedules, 2);
+    assert_eq!(s.executions, 3);
+    assert_eq!(rig.fed.db("db").unwrap().peek("done"), Some(Value::Int(1)));
+}
+
+#[test]
+fn livelocked_exit_condition_hits_step_limit() {
+    let rig = Rig::new();
+    rig.rc_program("always_fails", 0);
+    let def = ProcessBuilder::new("stuck")
+        .activity(Activity::program("R", "always_fails").with_exit("RC = 1"))
+        .build()
+        .unwrap();
+    let engine = Engine::with_config(
+        Arc::clone(&rig.fed),
+        Arc::clone(&rig.programs),
+        EngineConfig {
+            step_limit: 50,
+            ..EngineConfig::default()
+        },
+    );
+    engine.register(def).unwrap();
+    let id = engine.start("stuck", Container::empty()).unwrap();
+    assert!(matches!(
+        engine.run_to_quiescence(id),
+        Err(EngineError::StepLimit(50))
+    ));
+}
+
+#[test]
+fn data_flows_between_activities_and_process_containers() {
+    // Producer writes `n` to its output; consumer receives it as `m`
+    // and copies it to the process output.
+    let rig = Rig::new();
+    rig.programs.register_fn("produce", |_ctx| ProgramOutcome::Committed {
+        rc: 1,
+        outputs: [("n".to_string(), Value::Int(41))].into_iter().collect(),
+    });
+    rig.programs.register_fn("consume", |ctx| {
+        let n = ctx.params.get("m").and_then(|v| v.as_int()).unwrap_or(-1);
+        ProgramOutcome::Committed {
+            rc: 1,
+            outputs: [("total".to_string(), Value::Int(n + 1))]
+                .into_iter()
+                .collect(),
+        }
+    });
+    let def = ProcessBuilder::new("dataflow")
+        .input(ContainerSchema::of(&[("seed", DataType::Int)]))
+        .output(ContainerSchema::of(&[("result", DataType::Int)]))
+        .activity(
+            Activity::program("P", "produce")
+                .with_output(ContainerSchema::of(&[("n", DataType::Int)])),
+        )
+        .activity(
+            Activity::program("C", "consume")
+                .with_input(ContainerSchema::of(&[("m", DataType::Int)]))
+                .with_output(ContainerSchema::of(&[("total", DataType::Int)])),
+        )
+        .connect_when("P", "C", "RC = 1")
+        .map_data("P", "C", &[("n", "m")])
+        .map_to_process_output("C", &[("total", "result")])
+        .build()
+        .unwrap();
+    let engine = rig.engine();
+    engine.register(def).unwrap();
+    let mut input = Container::empty();
+    input.set("seed", Value::Int(5));
+    let id = engine.start("dataflow", input).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    let out = engine.output(id).unwrap();
+    assert_eq!(out.get("result"), Some(&Value::Int(42)));
+}
+
+#[test]
+fn undeclared_program_outputs_are_dropped() {
+    let rig = Rig::new();
+    rig.programs.register_fn("chatty", |_ctx| ProgramOutcome::Committed {
+        rc: 1,
+        outputs: [
+            ("declared".to_string(), Value::Int(1)),
+            ("undeclared".to_string(), Value::Int(2)),
+        ]
+        .into_iter()
+        .collect(),
+    });
+    let def = ProcessBuilder::new("schema")
+        .activity(
+            Activity::program("A", "chatty")
+                .with_output(ContainerSchema::of(&[("declared", DataType::Int)])),
+        )
+        .build()
+        .unwrap();
+    let engine = rig.engine();
+    engine.register(def).unwrap();
+    let id = engine.start("schema", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    let events = engine.events_for(id);
+    let output = events
+        .iter()
+        .find_map(|e| match e {
+            wfms_engine::Event::ActivityFinished { output, .. } => Some(output.clone()),
+            _ => None,
+        })
+        .unwrap();
+    assert_eq!(output.get("declared"), Some(&Value::Int(1)));
+    assert_eq!(output.get("undeclared"), None);
+}
+
+#[test]
+fn block_runs_embedded_process_and_bubbles_output() {
+    let rig = Rig::new();
+    rig.ok_program("p_X");
+    rig.programs.register_fn("p_Y", |_ctx| ProgramOutcome::Committed {
+        rc: 1,
+        outputs: [("v".to_string(), Value::Int(9))].into_iter().collect(),
+    });
+    let inner = ProcessBuilder::new("inner")
+        .output(ContainerSchema::of(&[("v", DataType::Int)]))
+        .program("X", "p_X")
+        .activity(
+            Activity::program("Y", "p_Y")
+                .with_output(ContainerSchema::of(&[("v", DataType::Int)])),
+        )
+        .connect_when("X", "Y", "RC = 1")
+        .map_to_process_output("Y", &[("v", "v")])
+        .build()
+        .unwrap();
+    let outer = ProcessBuilder::new("outer")
+        .output(ContainerSchema::of(&[("out", DataType::Int)]))
+        .program("A", "p_A")
+        .block("B", inner)
+        .connect_when("A", "B", "RC = 1")
+        .map_to_process_output("B", &[("v", "out")])
+        .build()
+        .unwrap();
+    rig.ok_program("p_A");
+    let engine = rig.engine();
+    engine.register(outer).unwrap();
+    let id = engine.start("outer", Container::empty()).unwrap();
+    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(engine.output(id).unwrap().get("out"), Some(&Value::Int(9)));
+    // Nested paths appear in the journal.
+    let order = audit::execution_order(&engine.journal_events(), id);
+    assert_eq!(order, vec!["A", "B", "B/X", "B/Y"]);
+}
+
+#[test]
+fn block_exit_condition_loops_whole_block() {
+    // The block's inner activity returns rc 0 on attempt 0 and rc 1
+    // afterwards; the *block's* RC comes from the inner process output
+    // and the block's exit condition re-runs the entire block.
+    let rig = Rig::new();
+    let calls = Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let calls2 = Arc::clone(&calls);
+    rig.programs.register_fn("flaky", move |_ctx| {
+        if calls2.fetch_add(1, std::sync::atomic::Ordering::SeqCst) == 0 {
+            // Only the very first invocation (first block round) fails.
+            ProgramOutcome::Aborted {
+                rc: 0,
+                reason: "first round fails".into(),
+            }
+        } else {
+            ProgramOutcome::committed()
+        }
+    });
+    // Inner process exposes RC of its activity as the block RC.
+    let inner = ProcessBuilder::new("inner")
+        .output(ContainerSchema::of(&[("RC", DataType::Int)]))
+        .activity(Activity::program("F", "flaky"))
+        .map_to_process_output("F", &[("RC", "RC")])
+        .build()
+        .unwrap();
+    let mut outer = ProcessBuilder::new("outer")
+        .block("B", inner)
+        .build()
+        .unwrap();
+    // The block's own exit condition re-runs the entire block until
+    // the embedded process reports RC = 1.
+    outer.activities[0].exit = wfms_model::process::ExitCondition::when("RC = 1");
+    assert!(wfms_model::validate(&outer).is_empty());
+    let engine = rig.engine();
+    engine.register(outer).unwrap();
+    let id = engine.start("outer", Container::empty()).unwrap();
+    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    let (_, _, attempts) = engine.activity_state(id, "B").unwrap();
+    assert!(attempts >= 1, "block looped at least once");
+}
+
+#[test]
+fn manual_activity_waits_on_worklist_and_claim_is_exclusive() {
+    let rig = Rig::new();
+    rig.ok_program("p_M");
+    let org = OrgModel::new()
+        .person("boss", &["manager"])
+        .person_under("ann", &["clerk"], "boss", 2)
+        .person_under("bob", &["clerk"], "boss", 2);
+    let def = ProcessBuilder::new("manual")
+        .activity(Activity::program("M", "p_M").for_role("clerk"))
+        .build()
+        .unwrap();
+    let engine = rig.engine_with_org(org);
+    engine.register(def).unwrap();
+    let id = engine.start("manual", Container::empty()).unwrap();
+    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Running);
+
+    // Both clerks see the item; claiming removes it from the other's
+    // list (§3.3 load balancing).
+    let ann_items = engine.worklist("ann");
+    let bob_items = engine.worklist("bob");
+    assert_eq!(ann_items.len(), 1);
+    assert_eq!(bob_items.len(), 1);
+    assert_eq!(ann_items[0].id, bob_items[0].id);
+    engine.claim(ann_items[0].id, "ann").unwrap();
+    assert!(engine.worklist("bob").is_empty());
+    assert!(matches!(
+        engine.claim(ann_items[0].id, "bob"),
+        Err(EngineError::Worklist(_))
+    ));
+
+    engine.execute_item(ann_items[0].id, "ann").unwrap();
+    assert_eq!(engine.status(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(rig.log(), "p_M");
+    assert!(engine.worklist("ann").is_empty());
+}
+
+#[test]
+fn deadline_notifies_manager_once() {
+    let rig = Rig::new();
+    rig.ok_program("p_M");
+    let org = OrgModel::new()
+        .person("boss", &["manager"])
+        .person_under("ann", &["clerk"], "boss", 2);
+    let def = ProcessBuilder::new("slow")
+        .activity(
+            Activity::program("M", "p_M")
+                .for_role("clerk")
+                .with_deadline(10),
+        )
+        .build()
+        .unwrap();
+    let engine = rig.engine_with_org(org);
+    engine.register(def).unwrap();
+    let id = engine.start("slow", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+
+    assert!(engine.advance_clock(5).is_empty(), "not yet due");
+    let sent = engine.advance_clock(6);
+    assert_eq!(sent, vec![("M".to_string(), "boss".to_string())]);
+    assert!(engine.advance_clock(100).is_empty(), "notified only once");
+    let s = audit::summarize(&engine.journal_events(), id);
+    assert_eq!(s.notifications, 1);
+}
+
+#[test]
+fn force_finish_unblocks_manual_activity() {
+    let rig = Rig::new();
+    rig.ok_program("p_M");
+    rig.ok_program("p_N");
+    let org = OrgModel::new().person("ann", &["clerk"]);
+    let def = ProcessBuilder::new("forced")
+        .activity(Activity::program("M", "p_M").for_role("clerk"))
+        .program("N", "p_N")
+        .connect_when("M", "N", "RC = 1")
+        .build()
+        .unwrap();
+    let engine = rig.engine_with_org(org);
+    engine.register(def).unwrap();
+    let id = engine.start("forced", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    assert_eq!(engine.status(id).unwrap(), InstanceStatus::Running);
+
+    engine.force_finish(id, "M", 1).unwrap();
+    assert_eq!(engine.status(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(rig.log(), "p_N", "M itself never ran; N did");
+    // Work item is gone.
+    assert!(engine.worklist("ann").is_empty());
+}
+
+#[test]
+fn cancel_stops_navigation_and_clears_worklists() {
+    let rig = Rig::new();
+    rig.ok_program("p_M");
+    let org = OrgModel::new().person("ann", &["clerk"]);
+    let def = ProcessBuilder::new("cancelme")
+        .activity(Activity::program("M", "p_M").for_role("clerk"))
+        .build()
+        .unwrap();
+    let engine = rig.engine_with_org(org);
+    engine.register(def).unwrap();
+    let id = engine.start("cancelme", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    assert_eq!(engine.worklist("ann").len(), 1);
+    engine.cancel(id).unwrap();
+    assert_eq!(engine.status(id).unwrap(), InstanceStatus::Cancelled);
+    assert!(engine.worklist("ann").is_empty());
+    // Cancelled instances do not navigate further.
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Cancelled
+    );
+}
+
+#[test]
+fn register_rejects_invalid_definition() {
+    let rig = Rig::new();
+    let engine = rig.engine();
+    let bad = ProcessBuilder::new("bad")
+        .program("A", "p")
+        .connect("A", "Ghost")
+        .build_unchecked();
+    assert!(matches!(
+        engine.register(bad),
+        Err(EngineError::Validation(_))
+    ));
+    assert!(matches!(
+        engine.start("bad", Container::empty()),
+        Err(EngineError::UnknownProcess(_))
+    ));
+}
+
+#[test]
+fn recovery_resumes_from_journal_events() {
+    // Run half the process, "crash" (drop the engine keeping the
+    // events), recover, and finish. The recovered run must execute
+    // only the remaining activities.
+    let rig = Rig::new();
+    for n in ["A", "B", "C"] {
+        rig.ok_program(&format!("p_{n}"));
+    }
+    let def = linear(&["A", "B", "C"]);
+
+    // Manual-start B so the instance pauses mid-way.
+    let mut def2 = def.clone();
+    def2.activities[1] = Activity::program("B", "p_B").for_role("clerk");
+    let org = OrgModel::new().person("ann", &["clerk"]);
+
+    let engine = rig.engine_with_org(org.clone());
+    engine.register(def2.clone()).unwrap();
+    let id = engine.start("linear", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    assert_eq!(rig.log(), "p_A", "paused before B");
+
+    let events = engine.journal_events();
+    drop(engine); // crash
+
+    let recovered = recover_from(
+        Journal::new(),
+        events,
+        vec![def2],
+        org,
+        Arc::clone(&rig.fed),
+        Arc::clone(&rig.programs),
+    )
+    .unwrap();
+    assert_eq!(recovered.status(id).unwrap(), InstanceStatus::Running);
+    // The work item survived recovery.
+    let items = recovered.worklist("ann");
+    assert_eq!(items.len(), 1);
+    recovered.execute_item(items[0].id, "ann").unwrap();
+    assert_eq!(recovered.status(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(rig.log(), "p_A,p_B,p_C", "A not re-run; B and C ran once");
+}
+
+#[test]
+fn recovery_restarts_activity_that_was_running() {
+    // Simulate a crash mid-activity: journal ends with ActivityStarted.
+    let rig = Rig::new();
+    for n in ["A", "B"] {
+        rig.ok_program(&format!("p_{n}"));
+    }
+    let def = linear(&["A", "B"]);
+    let engine = rig.engine();
+    engine.register(def.clone()).unwrap();
+    let id = engine.start("linear", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    let mut events = engine.journal_events();
+    drop(engine);
+
+    // Truncate the journal to just after B started (the crash point):
+    // drop B's finish/termination and the instance finish.
+    let cut = events
+        .iter()
+        .position(|e| {
+            matches!(e, wfms_engine::Event::ActivityStarted { path, .. } if path == "B")
+        })
+        .unwrap();
+    events.truncate(cut + 1);
+
+    let recovered = recover_from(
+        Journal::new(),
+        events,
+        vec![def],
+        OrgModel::new(),
+        Arc::clone(&rig.fed),
+        Arc::clone(&rig.programs),
+    )
+    .unwrap();
+    assert_eq!(recovered.status(id).unwrap(), InstanceStatus::Running);
+    recovered.run_to_quiescence(id).unwrap();
+    assert_eq!(recovered.status(id).unwrap(), InstanceStatus::Finished);
+    // B ran twice in total (once before the crash, once after) — the
+    // paper's re-execute-from-the-beginning caveat.
+    assert_eq!(rig.log(), "p_A,p_B,p_B");
+}
+
+#[test]
+fn recovery_via_journal_file_round_trip() {
+    let dir = std::env::temp_dir().join(format!("wftx-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("engine.journal");
+    let _ = std::fs::remove_file(&path);
+
+    let rig = Rig::new();
+    for n in ["A", "B"] {
+        rig.ok_program(&format!("p_{n}"));
+    }
+    let mut def = linear(&["A", "B"]);
+    def.activities[1] = Activity::program("B", "p_B").for_role("clerk");
+    let org = OrgModel::new().person("ann", &["clerk"]);
+
+    {
+        let engine = Engine::with_config(
+            Arc::clone(&rig.fed),
+            Arc::clone(&rig.programs),
+            EngineConfig {
+                org: org.clone(),
+                journal_path: Some(path.clone()),
+                ..EngineConfig::default()
+            },
+        );
+        engine.register(def.clone()).unwrap();
+        let id = engine.start("linear", Container::empty()).unwrap();
+        engine.run_to_quiescence(id).unwrap();
+        engine.crash();
+    }
+
+    let recovered = wfms_engine::recover(
+        &path,
+        vec![def],
+        org,
+        Arc::clone(&rig.fed),
+        Arc::clone(&rig.programs),
+    )
+    .unwrap();
+    let items = recovered.worklist("ann");
+    assert_eq!(items.len(), 1);
+    recovered.execute_item(items[0].id, "ann").unwrap();
+    assert_eq!(rig.log(), "p_A,p_B");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn process_input_reaches_first_activity() {
+    let rig = Rig::new();
+    rig.programs.register_fn("greet", |ctx| {
+        let who = ctx
+            .params
+            .get("who")
+            .and_then(|v| v.as_str().map(str::to_owned))
+            .unwrap_or_default();
+        ProgramOutcome::Committed {
+            rc: 1,
+            outputs: [("greeting".to_string(), Value::from(format!("hi {who}")))]
+                .into_iter()
+                .collect(),
+        }
+    });
+    let def = ProcessBuilder::new("greeter")
+        .input(ContainerSchema::of(&[("name", DataType::Str)]))
+        .output(ContainerSchema::of(&[("msg", DataType::Str)]))
+        .activity(
+            Activity::program("G", "greet")
+                .with_input(ContainerSchema::of(&[("who", DataType::Str)]))
+                .with_output(ContainerSchema::of(&[("greeting", DataType::Str)])),
+        )
+        .map_process_input("G", &[("name", "who")])
+        .map_to_process_output("G", &[("greeting", "msg")])
+        .build()
+        .unwrap();
+    let engine = rig.engine();
+    engine.register(def).unwrap();
+    let mut input = Container::empty();
+    input.set("name", Value::from("ann"));
+    let id = engine.start("greeter", input).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    assert_eq!(
+        engine.output(id).unwrap().get("msg"),
+        Some(&Value::from("hi ann"))
+    );
+}

@@ -1,0 +1,63 @@
+//! FDL diagnostics.
+//!
+//! The Figure 5 pipeline reports problems at two stages: *import*
+//! (syntax — produced by the [`crate::parser`]) and *translation*
+//! (semantics — produced by `wfms_model::validate` on the compiled
+//! definition). Both are surfaced as [`FdlError`]s with source
+//! positions so the Exotica pre-processor can point back at the
+//! offending line.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An FDL error with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FdlError {
+    /// Where the problem was detected.
+    pub pos: Pos,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl FdlError {
+    /// Builds an error.
+    pub fn new(pos: Pos, msg: impl Into<String>) -> Self {
+        Self {
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for FdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FDL error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for FdlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = FdlError::new(Pos { line: 3, col: 7 }, "unexpected END");
+        assert_eq!(e.to_string(), "FDL error at 3:7: unexpected END");
+    }
+}

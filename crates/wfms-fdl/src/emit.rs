@@ -1,0 +1,328 @@
+//! The FDL emitter: [`ProcessDefinition`] → canonical FDL text.
+//!
+//! This is the output format of the Exotica/FMTM pre-processor
+//! (Figure 5: "it then takes the user specification and converts it
+//! into a FlowMark process in FDL format"). Emission is canonical —
+//! stable member order, explicit conditions — so `parse(emit(d))`
+//! reproduces `d` structurally (the round-trip property tests pin
+//! this).
+
+use txn_substrate::Value;
+use wfms_model::{
+    Activity, ActivityKind, ContainerSchema, DataEndpoint, Expr, ProcessDefinition,
+    StaffAssignment, StartCondition,
+};
+
+/// Renders a process definition as FDL text.
+pub fn emit(def: &ProcessDefinition) -> String {
+    let mut out = String::new();
+    emit_process(def, 0, &mut out, true);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn emit_process(def: &ProcessDefinition, level: usize, out: &mut String, top: bool) {
+    if top {
+        indent(out, level);
+        out.push_str(&format!(
+            "PROCESS {} VERSION {}\n",
+            quote_if_needed(&def.name),
+            def.version
+        ));
+    }
+    let inner = level + 1;
+    if !def.description.is_empty() {
+        indent(out, inner);
+        out.push_str(&format!("DESCRIPTION {}\n", quote(&def.description)));
+    }
+    if !def.input.members.is_empty() {
+        indent(out, inner);
+        out.push_str(&format!("INPUT {}\n", schema(&def.input)));
+    }
+    if !def.output.members.is_empty() {
+        indent(out, inner);
+        out.push_str(&format!("OUTPUT {}\n", schema(&def.output)));
+    }
+    for act in &def.activities {
+        emit_activity(act, inner, out);
+    }
+    for c in &def.control {
+        indent(out, inner);
+        if c.condition == Expr::truth() {
+            out.push_str(&format!("CONTROL FROM {} TO {}\n", c.from, c.to));
+        } else {
+            out.push_str(&format!(
+                "CONTROL FROM {} TO {} WHEN {}\n",
+                c.from,
+                c.to,
+                quote(&c.condition.to_string())
+            ));
+        }
+    }
+    for d in &def.data {
+        indent(out, inner);
+        let maps: Vec<String> = d
+            .mappings
+            .iter()
+            .map(|m| format!("{} -> {}", m.from_member, m.to_member))
+            .collect();
+        out.push_str(&format!(
+            "DATA FROM {} TO {} MAP {}\n",
+            endpoint(&d.from),
+            endpoint(&d.to),
+            maps.join(", ")
+        ));
+    }
+    if top {
+        indent(out, level);
+        out.push_str("END\n");
+    }
+}
+
+fn emit_activity(act: &Activity, level: usize, out: &mut String) {
+    indent(out, level);
+    match &act.kind {
+        ActivityKind::Program { program } => {
+            out.push_str(&format!(
+                "ACTIVITY {} PROGRAM {}\n",
+                act.name,
+                quote(program)
+            ));
+            emit_act_opts(act, level + 1, out);
+            indent(out, level);
+            out.push_str("END\n");
+        }
+        ActivityKind::NoOp => {
+            out.push_str(&format!("NOOP {}\n", act.name));
+            emit_act_opts(act, level + 1, out);
+            indent(out, level);
+            out.push_str("END\n");
+        }
+        ActivityKind::Block { process } => {
+            out.push_str(&format!("BLOCK {}\n", act.name));
+            // Facade options first (the block's own start/exit/staff);
+            // containers come from the inner process.
+            emit_act_opts_no_containers(act, level + 1, out);
+            emit_process(process, level, out, false);
+            indent(out, level);
+            out.push_str("END\n");
+        }
+    }
+}
+
+fn emit_act_opts(act: &Activity, level: usize, out: &mut String) {
+    if !act.input.members.is_empty() {
+        indent(out, level);
+        out.push_str(&format!("INPUT {}\n", schema(&act.input)));
+    }
+    if !act.output.members.is_empty() {
+        indent(out, level);
+        out.push_str(&format!("OUTPUT {}\n", schema(&act.output)));
+    }
+    emit_act_opts_no_containers(act, level, out);
+    if !act.description.is_empty() {
+        indent(out, level);
+        out.push_str(&format!("DESCRIPTION {}\n", quote(&act.description)));
+    }
+}
+
+fn emit_act_opts_no_containers(act: &Activity, level: usize, out: &mut String) {
+    if act.start == StartCondition::Or {
+        indent(out, level);
+        out.push_str("START OR\n");
+    }
+    if let Some(expr) = &act.exit.expr {
+        indent(out, level);
+        out.push_str(&format!("EXIT WHEN {}\n", quote(&expr.to_string())));
+    }
+    match &act.staff {
+        StaffAssignment::Automatic => {}
+        StaffAssignment::Role(r) => {
+            indent(out, level);
+            out.push_str(&format!("ROLE {}\n", quote(r)));
+        }
+        StaffAssignment::Person(p) => {
+            indent(out, level);
+            out.push_str(&format!("PERSON {}\n", quote(p)));
+        }
+    }
+    if let Some(d) = act.deadline {
+        indent(out, level);
+        out.push_str(&format!("DEADLINE {d}\n"));
+    }
+    // MANUAL only needs stating when no staff assignment implies it;
+    // AUTOMATIC only when a staff assignment would imply manual.
+    match (&act.staff, act.automatic_start) {
+        (StaffAssignment::Automatic, false) => {
+            indent(out, level);
+            out.push_str("MANUAL\n");
+        }
+        (StaffAssignment::Role(_) | StaffAssignment::Person(_), true) => {
+            indent(out, level);
+            out.push_str("AUTOMATIC\n");
+        }
+        _ => {}
+    }
+}
+
+fn schema(s: &ContainerSchema) -> String {
+    let members: Vec<String> = s
+        .members
+        .iter()
+        .map(|m| {
+            let base = format!("{}: {}", m.name, m.ty);
+            match &m.default {
+                Some(Value::Int(n)) => format!("{base} DEFAULT {n}"),
+                Some(Value::Str(st)) => format!("{base} DEFAULT {}", quote(st)),
+                // BOOL defaults and bytes are not representable in FDL;
+                // the type's neutral default applies.
+                _ => base,
+            }
+        })
+        .collect();
+    format!("( {} )", members.join(", "))
+}
+
+fn endpoint(e: &DataEndpoint) -> String {
+    match e {
+        DataEndpoint::ProcessInput => "PROCESS.INPUT".into(),
+        DataEndpoint::ProcessOutput => "PROCESS.OUTPUT".into(),
+        DataEndpoint::ActivityInput(a) => format!("{a}.INPUT"),
+        DataEndpoint::ActivityOutput(a) => format!("{a}.OUTPUT"),
+    }
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\\\""))
+}
+
+fn quote_if_needed(s: &str) -> String {
+    if !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && s.chars().next().map(|c| !c.is_ascii_digit()).unwrap_or(false)
+        && !crate::lexer::KEYWORDS.contains(&s.to_ascii_uppercase().as_str())
+    {
+        s.to_owned()
+    } else {
+        quote(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use wfms_model::{ContainerSchema, DataType, ProcessBuilder};
+
+    #[test]
+    fn emit_then_parse_round_trips_structurally() {
+        let def = ProcessBuilder::new("demo")
+            .describe("round trip")
+            .input(ContainerSchema::of(&[("seed", DataType::Int)]))
+            .output(ContainerSchema::of(&[("result", DataType::Str)]))
+            .activity(
+                wfms_model::Activity::program("A", "prog_a")
+                    .with_output(ContainerSchema::of(&[("x", DataType::Int)]))
+                    .with_exit("RC = 1")
+                    .for_role("clerk")
+                    .with_deadline(10),
+            )
+            .activity(
+                wfms_model::Activity::program("B", "prog_b")
+                    .with_input(ContainerSchema::of(&[("y", DataType::Int)]))
+                    .or_start(),
+            )
+            .connect_when("A", "B", "RC = 1 AND x > 3")
+            .map_data("A", "B", &[("x", "y")])
+            .build()
+            .unwrap();
+        let text = emit(&def);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, def, "FDL:\n{text}");
+    }
+
+    #[test]
+    fn blocks_round_trip() {
+        let inner = ProcessBuilder::new("Fwd")
+            .output(ContainerSchema::of(&[("RC", DataType::Int)]))
+            .program("T1", "p1")
+            .program("T2", "p2")
+            .connect_when("T1", "T2", "RC = 1")
+            .map_to_process_output("T2", &[("RC", "RC")])
+            .build_unchecked();
+        let mut def = ProcessBuilder::new("outer").block("Fwd", inner).build().unwrap();
+        def.activities[0].exit = wfms_model::process::ExitCondition::when("RC = 1");
+        let text = emit(&def);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, def, "FDL:\n{text}");
+    }
+
+    #[test]
+    fn names_needing_quotes_are_quoted() {
+        let def = ProcessBuilder::new("has spaces")
+            .program("A", "p")
+            .build()
+            .unwrap();
+        let text = emit(&def);
+        assert!(text.contains("PROCESS \"has spaces\""));
+        assert_eq!(parse(&text).unwrap().name, "has spaces");
+    }
+
+    #[test]
+    fn keyword_name_is_quoted() {
+        let def = ProcessBuilder::new("process")
+            .program("A", "p")
+            .build()
+            .unwrap();
+        let text = emit(&def);
+        assert!(text.contains("PROCESS \"process\""));
+        assert_eq!(parse(&text).unwrap().name, "process");
+    }
+
+    #[test]
+    fn defaults_round_trip() {
+        let mut schema = ContainerSchema::empty();
+        schema.members.push(wfms_model::MemberDecl::with_default(
+            "n",
+            DataType::Int,
+            Value::Int(5),
+        ));
+        schema.members.push(wfms_model::MemberDecl::with_default(
+            "s",
+            DataType::Str,
+            Value::Str("x \"y\"".into()),
+        ));
+        let def = ProcessBuilder::new("d")
+            .input(schema)
+            .program("A", "p")
+            .build()
+            .unwrap();
+        let back = parse(&emit(&def)).unwrap();
+        assert_eq!(back.input, def.input);
+    }
+
+    #[test]
+    fn manual_automatic_flags_round_trip() {
+        let mut def = ProcessBuilder::new("m")
+            .program("A", "p")
+            .build()
+            .unwrap();
+        def.activities[0].automatic_start = false; // manual, no staff
+        let back = parse(&emit(&def)).unwrap();
+        assert!(!back.activity("A").unwrap().automatic_start);
+
+        let mut def2 = ProcessBuilder::new("m2")
+            .activity(wfms_model::Activity::program("A", "p").for_role("r"))
+            .build()
+            .unwrap();
+        def2.activities[0].automatic_start = true; // role but automatic
+        let back2 = parse(&emit(&def2)).unwrap();
+        assert!(back2.activity("A").unwrap().automatic_start);
+    }
+}

@@ -1,0 +1,316 @@
+//! The FDL lexer.
+
+use crate::diag::{FdlError, Pos};
+
+/// FDL keywords (case-insensitive in source, canonical upper-case
+/// here).
+pub const KEYWORDS: &[&str] = &[
+    "PROCESS",
+    "VERSION",
+    "DESCRIPTION",
+    "INPUT",
+    "OUTPUT",
+    "ACTIVITY",
+    "PROGRAM",
+    "BLOCK",
+    "NOOP",
+    "CONTROL",
+    "DATA",
+    "FROM",
+    "TO",
+    "WHEN",
+    "MAP",
+    "START",
+    "EXIT",
+    "ROLE",
+    "PERSON",
+    "DEADLINE",
+    "MANUAL",
+    "AUTOMATIC",
+    "AND",
+    "OR",
+    "END",
+    "INT",
+    "STRING",
+    "BOOL",
+    "DEFAULT",
+];
+
+/// One FDL token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Keyword (canonical upper-case form).
+    Kw(&'static str),
+    /// Identifier (activity names, member names).
+    Ident(String),
+    /// String literal (names with spaces, conditions, program names).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Punctuation: `(`, `)`, `:`, `,`, `.`, `->`.
+    Punct(&'static str),
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Kw(k) => write!(f, "{k}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Punct(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}
+
+/// Tokenises FDL source. Comments run from `//` or `--` to end of
+/// line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, FdlError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => bump!(),
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+            }
+            '-' if bytes.get(i + 1) == Some(&b'>') => {
+                out.push(Spanned {
+                    tok: Tok::Punct("->"),
+                    pos,
+                });
+                bump!();
+                bump!();
+            }
+            '-' if bytes
+                .get(i + 1)
+                .map(|b| b.is_ascii_digit())
+                .unwrap_or(false) =>
+            {
+                bump!(); // consume '-'
+                let mut n: i64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((bytes[i] - b'0') as i64))
+                        .ok_or_else(|| FdlError::new(pos, "integer literal overflows i64"))?;
+                    bump!();
+                }
+                out.push(Spanned {
+                    tok: Tok::Int(-n),
+                    pos,
+                });
+            }
+            '(' | ')' | ':' | ',' | '.' => {
+                let p = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ':' => ":",
+                    ',' => ",",
+                    _ => ".",
+                };
+                out.push(Spanned {
+                    tok: Tok::Punct(p),
+                    pos,
+                });
+                bump!();
+            }
+            '"' => {
+                bump!(); // opening quote
+                let mut buf: Vec<u8> = Vec::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(FdlError::new(pos, "unterminated string literal"));
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            bump!();
+                            break;
+                        }
+                        b'\\' if bytes.get(i + 1) == Some(&b'"') => {
+                            buf.push(b'"');
+                            bump!();
+                            bump!();
+                        }
+                        b'\n' => {
+                            return Err(FdlError::new(
+                                pos,
+                                "string literal spans end of line",
+                            ))
+                        }
+                        b => {
+                            buf.push(b);
+                            bump!();
+                        }
+                    }
+                }
+                // The source is a &str, so any byte run sliced out of
+                // it is valid UTF-8 (escapes only splice in ASCII).
+                let s = String::from_utf8(buf)
+                    .expect("string literal bytes come from valid UTF-8 source");
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    pos,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((bytes[i] - b'0') as i64))
+                        .ok_or_else(|| FdlError::new(pos, "integer literal overflows i64"))?;
+                    bump!();
+                }
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    pos,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                let word = &src[start..i];
+                let upper = word.to_ascii_uppercase();
+                match KEYWORDS.iter().find(|k| **k == upper) {
+                    Some(k) => out.push(Spanned {
+                        tok: Tok::Kw(k),
+                        pos,
+                    }),
+                    None => out.push(Spanned {
+                        tok: Tok::Ident(word.to_owned()),
+                        pos,
+                    }),
+                }
+            }
+            other => {
+                return Err(FdlError::new(
+                    pos,
+                    format!("unexpected character {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_identifiers() {
+        assert_eq!(
+            toks("PROCESS demo Activity t1"),
+            vec![
+                Tok::Kw("PROCESS"),
+                Tok::Ident("demo".into()),
+                Tok::Kw("ACTIVITY"),
+                Tok::Ident("t1".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_arrow() {
+        assert_eq!(
+            toks("( x : INT , y ) -> z"),
+            vec![
+                Tok::Punct("("),
+                Tok::Ident("x".into()),
+                Tok::Punct(":"),
+                Tok::Kw("INT"),
+                Tok::Punct(","),
+                Tok::Ident("y".into()),
+                Tok::Punct(")"),
+                Tok::Punct("->"),
+                Tok::Ident("z".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            toks(r#""RC = 1" "he said \"hi\"""#),
+            vec![
+                Tok::Str("RC = 1".into()),
+                Tok::Str("he said \"hi\"".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn integers_incl_negative() {
+        assert_eq!(
+            toks("42 -7"),
+            vec![Tok::Int(42), Tok::Int(-7)]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("PROCESS // trailing words END\n-- another comment\ndemo"),
+            vec![Tok::Kw("PROCESS"), Tok::Ident("demo".into())]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let spanned = lex("PROCESS\n  demo").unwrap();
+        assert_eq!(spanned[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(spanned[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = lex("ok @").unwrap_err();
+        assert_eq!(err.pos, Pos { line: 1, col: 4 });
+        assert!(lex("\"open").is_err());
+        assert!(lex("\"no\nnewlines\"").is_err());
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

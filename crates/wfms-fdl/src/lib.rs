@@ -1,0 +1,39 @@
+//! # wfms-fdl
+//!
+//! FDL — a FlowMark-Definition-Language-style textual format for
+//! workflow process definitions, reproducing the import/export stage
+//! of the paper's Figure 5 pipeline:
+//!
+//! ```text
+//! ATM specification --Exotica/FMTM--> FDL --import--> ProcessDefinition
+//!                                           (parse)    (validate)
+//! ```
+//!
+//! * [`parse`] — FDL text → [`wfms_model::ProcessDefinition`], with
+//!   positioned syntax diagnostics.
+//! * [`parse_and_validate`] — additionally runs the meta-model's
+//!   static validation (the Figure 5 "translator checks the
+//!   semantics" stage).
+//! * [`emit()`](emit::emit) — canonical FDL text from a definition;
+//!   `parse(emit(d)) == d` structurally.
+//!
+//! ```
+//! let src = r#"
+//!     PROCESS hello
+//!       ACTIVITY Greet PROGRAM "say_hi" END
+//!     END
+//! "#;
+//! let def = wfms_fdl::parse_and_validate(src).unwrap();
+//! assert_eq!(def.name, "hello");
+//! let round = wfms_fdl::parse(&wfms_fdl::emit(&def)).unwrap();
+//! assert_eq!(round, def);
+//! ```
+
+pub mod diag;
+pub mod emit;
+pub mod lexer;
+pub mod parser;
+
+pub use diag::{FdlError, Pos};
+pub use emit::emit;
+pub use parser::{parse, parse_and_validate};

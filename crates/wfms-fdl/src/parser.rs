@@ -1,0 +1,633 @@
+//! The FDL parser: token stream → [`ProcessDefinition`].
+//!
+//! The grammar (keywords case-insensitive, `//` and `--` comments):
+//!
+//! ```text
+//! process   := PROCESS name [VERSION int] body END
+//! body      := { DESCRIPTION str | INPUT schema | OUTPUT schema
+//!              | activity | block | noop | control | data }
+//! schema    := '(' [ member { ',' member } ] ')'
+//! member    := ident ':' (INT|STRING|BOOL) [DEFAULT (int|str)]
+//! activity  := ACTIVITY ident PROGRAM str { actopt } END
+//! noop      := NOOP ident { actopt } END
+//! block     := BLOCK ident { actopt | body-item } END
+//! actopt    := DESCRIPTION str | INPUT schema | OUTPUT schema
+//!            | START (AND|OR) | EXIT WHEN str
+//!            | ROLE str | PERSON str | DEADLINE int
+//!            | MANUAL | AUTOMATIC
+//! control   := CONTROL FROM ident TO ident [WHEN str]
+//! data      := DATA FROM endpoint TO endpoint MAP map { ',' map }
+//! endpoint  := (PROCESS | ident) '.' (INPUT | OUTPUT)
+//! map       := ident '->' ident
+//! ```
+//!
+//! Conditions are quoted strings in the expression language of
+//! [`wfms_model::Expr`]; they are parsed eagerly so syntax errors in a
+//! condition surface at import time with the position of the string
+//! literal — matching the Figure 5 pipeline, where the import stage
+//! catches syntactic inconsistencies.
+
+use crate::diag::{FdlError, Pos};
+use crate::lexer::{lex, Spanned, Tok};
+use txn_substrate::Value;
+use wfms_model::{
+    validate, Activity, ActivityKind, ContainerSchema, ControlConnector, DataConnector,
+    DataEndpoint, DataType, Expr, Mapping, MemberDecl, ProcessDefinition, StaffAssignment,
+    StartCondition, ValidationError,
+};
+
+/// Parses FDL source into an (unvalidated) process definition.
+pub fn parse(src: &str) -> Result<ProcessDefinition, FdlError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let def = p.process()?;
+    if p.pos != p.tokens.len() {
+        return Err(FdlError::new(
+            p.here(),
+            format!("unexpected trailing {}", p.tokens[p.pos].tok),
+        ));
+    }
+    Ok(def)
+}
+
+/// Parses and statically validates; validation findings are reported
+/// as position-less diagnostics after the syntactic ones.
+pub fn parse_and_validate(src: &str) -> Result<ProcessDefinition, Vec<FdlError>> {
+    let def = parse(src).map_err(|e| vec![e])?;
+    let errors: Vec<FdlError> = validate(&def)
+        .into_iter()
+        .map(|e: ValidationError| FdlError::new(Pos::default(), e.to_string()))
+        .collect();
+    if errors.is_empty() {
+        Ok(def)
+    } else {
+        Err(errors)
+    }
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn here(&self) -> Pos {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.pos)
+            .unwrap_or_else(|| {
+                self.tokens
+                    .last()
+                    .map(|s| s.pos)
+                    .unwrap_or_default()
+            })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &'static str) -> Result<(), FdlError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Kw(k)) if k == kw => Ok(()),
+            other => Err(FdlError::new(
+                pos,
+                format!("expected {kw}, found {}", tok_name(other)),
+            )),
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), FdlError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Punct(q)) if q == p => Ok(()),
+            other => Err(FdlError::new(
+                pos,
+                format!("expected {p:?}, found {}", tok_name(other)),
+            )),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, FdlError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(FdlError::new(
+                pos,
+                format!("expected an identifier, found {}", tok_name(other)),
+            )),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, FdlError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Str(s)) => Ok(s),
+            other => Err(FdlError::new(
+                pos,
+                format!("expected a string literal, found {}", tok_name(other)),
+            )),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, FdlError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(n),
+            other => Err(FdlError::new(
+                pos,
+                format!("expected an integer, found {}", tok_name(other)),
+            )),
+        }
+    }
+
+    fn name(&mut self) -> Result<String, FdlError> {
+        // Process names may be identifiers or quoted strings.
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Ident(s)) | Some(Tok::Str(s)) => Ok(s),
+            other => Err(FdlError::new(
+                pos,
+                format!("expected a name, found {}", tok_name(other)),
+            )),
+        }
+    }
+
+    fn condition(&mut self) -> Result<Expr, FdlError> {
+        let pos = self.here();
+        let text = self.string()?;
+        Expr::parse(&text)
+            .map_err(|e| FdlError::new(pos, format!("invalid condition {text:?}: {e}")))
+    }
+
+    fn process(&mut self) -> Result<ProcessDefinition, FdlError> {
+        self.expect_kw("PROCESS")?;
+        let name = self.name()?;
+        let mut def = ProcessDefinition::new(&name);
+        if self.peek() == Some(&Tok::Kw("VERSION")) {
+            self.bump();
+            def.version = self.int()? as u32;
+        }
+        self.body(&mut def)?;
+        self.expect_kw("END")?;
+        Ok(def)
+    }
+
+    /// Parses body items shared by processes and blocks.
+    fn body(&mut self, def: &mut ProcessDefinition) -> Result<(), FdlError> {
+        loop {
+            match self.peek() {
+                Some(Tok::Kw("DESCRIPTION")) => {
+                    self.bump();
+                    def.description = self.string()?;
+                }
+                Some(Tok::Kw("INPUT")) => {
+                    self.bump();
+                    def.input = self.schema()?;
+                }
+                Some(Tok::Kw("OUTPUT")) => {
+                    self.bump();
+                    def.output = self.schema()?;
+                }
+                Some(Tok::Kw("ACTIVITY")) => {
+                    let a = self.activity()?;
+                    def.activities.push(a);
+                }
+                Some(Tok::Kw("NOOP")) => {
+                    let a = self.noop()?;
+                    def.activities.push(a);
+                }
+                Some(Tok::Kw("BLOCK")) => {
+                    let a = self.block()?;
+                    def.activities.push(a);
+                }
+                Some(Tok::Kw("CONTROL")) => {
+                    self.bump();
+                    self.expect_kw("FROM")?;
+                    let from = self.ident()?;
+                    self.expect_kw("TO")?;
+                    let to = self.ident()?;
+                    let condition = if self.peek() == Some(&Tok::Kw("WHEN")) {
+                        self.bump();
+                        self.condition()?
+                    } else {
+                        Expr::truth()
+                    };
+                    def.control.push(ControlConnector {
+                        from,
+                        to,
+                        condition,
+                    });
+                }
+                Some(Tok::Kw("DATA")) => {
+                    self.bump();
+                    self.expect_kw("FROM")?;
+                    let from = self.endpoint()?;
+                    self.expect_kw("TO")?;
+                    let to = self.endpoint()?;
+                    self.expect_kw("MAP")?;
+                    let mut mappings = vec![self.mapping()?];
+                    while self.peek() == Some(&Tok::Punct(",")) {
+                        self.bump();
+                        mappings.push(self.mapping()?);
+                    }
+                    def.data.push(DataConnector { from, to, mappings });
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn schema(&mut self) -> Result<ContainerSchema, FdlError> {
+        self.expect_punct("(")?;
+        let mut schema = ContainerSchema::empty();
+        if self.peek() == Some(&Tok::Punct(")")) {
+            self.bump();
+            return Ok(schema);
+        }
+        loop {
+            let name = self.ident()?;
+            self.expect_punct(":")?;
+            let pos = self.here();
+            let ty = match self.bump() {
+                Some(Tok::Kw("INT")) => DataType::Int,
+                Some(Tok::Kw("STRING")) => DataType::Str,
+                Some(Tok::Kw("BOOL")) => DataType::Bool,
+                other => {
+                    return Err(FdlError::new(
+                        pos,
+                        format!("expected a type (INT, STRING, BOOL), found {}", tok_name(other)),
+                    ))
+                }
+            };
+            let default = if self.peek() == Some(&Tok::Kw("DEFAULT")) {
+                self.bump();
+                let pos = self.here();
+                match self.bump() {
+                    Some(Tok::Int(n)) => Some(Value::Int(n)),
+                    Some(Tok::Str(s)) => Some(Value::Str(s)),
+                    other => {
+                        return Err(FdlError::new(
+                            pos,
+                            format!(
+                                "expected a default literal, found {}",
+                                tok_name(other)
+                            ),
+                        ))
+                    }
+                }
+            } else {
+                None
+            };
+            schema.members.push(MemberDecl {
+                name,
+                ty,
+                default,
+            });
+            match self.bump() {
+                Some(Tok::Punct(",")) => continue,
+                Some(Tok::Punct(")")) => break,
+                other => {
+                    return Err(FdlError::new(
+                        self.here(),
+                        format!("expected ',' or ')', found {}", tok_name(other)),
+                    ))
+                }
+            }
+        }
+        Ok(schema)
+    }
+
+    fn activity(&mut self) -> Result<Activity, FdlError> {
+        self.expect_kw("ACTIVITY")?;
+        let name = self.ident()?;
+        self.expect_kw("PROGRAM")?;
+        let program = self.name()?;
+        let mut act = Activity::program(&name, &program);
+        self.act_opts(&mut act)?;
+        self.expect_kw("END")?;
+        Ok(act)
+    }
+
+    fn noop(&mut self) -> Result<Activity, FdlError> {
+        self.expect_kw("NOOP")?;
+        let name = self.ident()?;
+        let mut act = Activity::noop(&name);
+        self.act_opts(&mut act)?;
+        self.expect_kw("END")?;
+        Ok(act)
+    }
+
+    fn block(&mut self) -> Result<Activity, FdlError> {
+        self.expect_kw("BLOCK")?;
+        let name = self.ident()?;
+        let mut inner = ProcessDefinition::new(&name);
+        let mut act = Activity::noop(&name); // kind replaced below
+        // Block bodies interleave activity options (for the block
+        // facade) with nested body items (for the inner process).
+        loop {
+            match self.peek() {
+                Some(Tok::Kw("START"))
+                | Some(Tok::Kw("EXIT"))
+                | Some(Tok::Kw("ROLE"))
+                | Some(Tok::Kw("PERSON"))
+                | Some(Tok::Kw("DEADLINE"))
+                | Some(Tok::Kw("MANUAL"))
+                | Some(Tok::Kw("AUTOMATIC")) => {
+                    self.act_opt(&mut act)?;
+                }
+                Some(Tok::Kw("DESCRIPTION"))
+                | Some(Tok::Kw("INPUT"))
+                | Some(Tok::Kw("OUTPUT"))
+                | Some(Tok::Kw("ACTIVITY"))
+                | Some(Tok::Kw("NOOP"))
+                | Some(Tok::Kw("BLOCK"))
+                | Some(Tok::Kw("CONTROL"))
+                | Some(Tok::Kw("DATA")) => {
+                    self.body(&mut inner)?;
+                }
+                _ => break,
+            }
+        }
+        self.expect_kw("END")?;
+        // The block facade's containers mirror the inner process's.
+        act.input = inner.input.clone();
+        act.output = inner.output.clone();
+        act.kind = ActivityKind::Block {
+            process: Box::new(inner),
+        };
+        Ok(act)
+    }
+
+    fn act_opts(&mut self, act: &mut Activity) -> Result<(), FdlError> {
+        while matches!(
+            self.peek(),
+            Some(Tok::Kw(
+                "DESCRIPTION"
+                    | "INPUT"
+                    | "OUTPUT"
+                    | "START"
+                    | "EXIT"
+                    | "ROLE"
+                    | "PERSON"
+                    | "DEADLINE"
+                    | "MANUAL"
+                    | "AUTOMATIC"
+            ))
+        ) {
+            self.act_opt(act)?;
+        }
+        Ok(())
+    }
+
+    fn act_opt(&mut self, act: &mut Activity) -> Result<(), FdlError> {
+        let pos = self.here();
+        match self.bump() {
+            Some(Tok::Kw("DESCRIPTION")) => act.description = self.string()?,
+            Some(Tok::Kw("INPUT")) => act.input = self.schema()?,
+            Some(Tok::Kw("OUTPUT")) => act.output = self.schema()?,
+            Some(Tok::Kw("START")) => match self.bump() {
+                Some(Tok::Kw("AND")) => act.start = StartCondition::And,
+                Some(Tok::Kw("OR")) => act.start = StartCondition::Or,
+                other => {
+                    return Err(FdlError::new(
+                        pos,
+                        format!("expected AND or OR after START, found {}", tok_name(other)),
+                    ))
+                }
+            },
+            Some(Tok::Kw("EXIT")) => {
+                self.expect_kw("WHEN")?;
+                act.exit.expr = Some(self.condition()?);
+            }
+            Some(Tok::Kw("ROLE")) => {
+                act.staff = StaffAssignment::Role(self.name()?);
+                act.automatic_start = false;
+            }
+            Some(Tok::Kw("PERSON")) => {
+                act.staff = StaffAssignment::Person(self.name()?);
+                act.automatic_start = false;
+            }
+            Some(Tok::Kw("DEADLINE")) => act.deadline = Some(self.int()? as u64),
+            Some(Tok::Kw("MANUAL")) => act.automatic_start = false,
+            Some(Tok::Kw("AUTOMATIC")) => act.automatic_start = true,
+            other => {
+                return Err(FdlError::new(
+                    pos,
+                    format!("unexpected {}", tok_name(other)),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn endpoint(&mut self) -> Result<DataEndpoint, FdlError> {
+        let pos = self.here();
+        let owner = match self.bump() {
+            Some(Tok::Kw("PROCESS")) => None,
+            Some(Tok::Ident(s)) => Some(s),
+            other => {
+                return Err(FdlError::new(
+                    pos,
+                    format!(
+                        "expected PROCESS or an activity name, found {}",
+                        tok_name(other)
+                    ),
+                ))
+            }
+        };
+        self.expect_punct(".")?;
+        let pos = self.here();
+        let is_input = match self.bump() {
+            Some(Tok::Kw("INPUT")) => true,
+            Some(Tok::Kw("OUTPUT")) => false,
+            other => {
+                return Err(FdlError::new(
+                    pos,
+                    format!("expected INPUT or OUTPUT, found {}", tok_name(other)),
+                ))
+            }
+        };
+        Ok(match (owner, is_input) {
+            (None, true) => DataEndpoint::ProcessInput,
+            (None, false) => DataEndpoint::ProcessOutput,
+            (Some(a), true) => DataEndpoint::ActivityInput(a),
+            (Some(a), false) => DataEndpoint::ActivityOutput(a),
+        })
+    }
+
+    fn mapping(&mut self) -> Result<Mapping, FdlError> {
+        let from = self.ident()?;
+        self.expect_punct("->")?;
+        let to = self.ident()?;
+        Ok(Mapping {
+            from_member: from,
+            to_member: to,
+        })
+    }
+}
+
+fn tok_name(t: Option<Tok>) -> String {
+    match t {
+        Some(t) => t.to_string(),
+        None => "end of input".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = r#"
+        PROCESS trip_booking VERSION 2
+          DESCRIPTION "book a trip"
+          INPUT ( budget: INT DEFAULT 100, traveller: STRING )
+          OUTPUT ( total: INT )
+
+          ACTIVITY BookFlight PROGRAM "book_flight"
+            DESCRIPTION "reserve the flight"
+            INPUT ( limit: INT )
+            OUTPUT ( price: INT )
+            ROLE "agent"
+            DEADLINE 50
+          END
+
+          ACTIVITY BookHotel PROGRAM "book_hotel"
+            OUTPUT ( price: INT )
+            EXIT WHEN "RC = 1"
+          END
+
+          CONTROL FROM BookFlight TO BookHotel WHEN "RC = 1"
+          DATA FROM PROCESS.INPUT TO BookFlight.INPUT MAP budget -> limit
+          DATA FROM BookHotel.OUTPUT TO PROCESS.OUTPUT MAP price -> total
+        END
+    "#;
+
+    #[test]
+    fn parses_demo_process() {
+        let def = parse(DEMO).unwrap();
+        assert_eq!(def.name, "trip_booking");
+        assert_eq!(def.version, 2);
+        assert_eq!(def.description, "book a trip");
+        assert_eq!(def.activities.len(), 2);
+        let bf = def.activity("BookFlight").unwrap();
+        assert_eq!(bf.staff, StaffAssignment::Role("agent".into()));
+        assert!(!bf.automatic_start);
+        assert_eq!(bf.deadline, Some(50));
+        let bh = def.activity("BookHotel").unwrap();
+        assert!(bh.exit.expr.is_some());
+        assert_eq!(def.control.len(), 1);
+        assert_eq!(def.data.len(), 2);
+        assert_eq!(
+            def.input.member("budget").unwrap().default,
+            Some(Value::Int(100))
+        );
+    }
+
+    #[test]
+    fn demo_validates() {
+        assert!(parse_and_validate(DEMO).is_ok());
+    }
+
+    #[test]
+    fn blocks_nest() {
+        let src = r#"
+            PROCESS outer
+              BLOCK Fwd
+                OUTPUT ( RC: INT )
+                EXIT WHEN "RC = 1"
+                ACTIVITY T1 PROGRAM "p1" END
+                ACTIVITY T2 PROGRAM "p2" END
+                CONTROL FROM T1 TO T2 WHEN "RC = 1"
+                DATA FROM T2.OUTPUT TO PROCESS.OUTPUT MAP RC -> RC
+              END
+            END
+        "#;
+        let def = parse_and_validate(src).unwrap();
+        let block = def.activity("Fwd").unwrap();
+        assert!(block.kind.is_block());
+        assert!(block.exit.expr.is_some(), "EXIT applies to the facade");
+        match &block.kind {
+            ActivityKind::Block { process } => {
+                assert_eq!(process.activities.len(), 2);
+                assert_eq!(process.name, "Fwd");
+            }
+            _ => unreachable!(),
+        }
+        assert!(block.output.has("RC"), "facade mirrors inner output");
+    }
+
+    #[test]
+    fn noop_and_or_start() {
+        let src = r#"
+            PROCESS p
+              NOOP Nop START OR END
+              ACTIVITY A PROGRAM "pa" END
+              CONTROL FROM A TO Nop WHEN "RC = 0"
+            END
+        "#;
+        let def = parse(src).unwrap();
+        let nop = def.activity("Nop").unwrap();
+        assert_eq!(nop.kind, ActivityKind::NoOp);
+        assert_eq!(nop.start, StartCondition::Or);
+    }
+
+    #[test]
+    fn syntax_errors_have_positions() {
+        let err = parse("PROCESS p ACTIVITY END END").unwrap_err();
+        assert!(err.pos.line >= 1);
+        assert!(err.msg.contains("identifier"));
+
+        let err2 = parse("PROCESS p ACTIVITY A PROGRAM \"x\" EXIT WHEN \"AND\" END END")
+            .unwrap_err();
+        assert!(err2.msg.contains("invalid condition"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse("PROCESS p END leftover").is_err());
+    }
+
+    #[test]
+    fn validation_errors_reported() {
+        let errs = parse_and_validate(
+            "PROCESS p ACTIVITY A PROGRAM \"x\" END CONTROL FROM A TO Ghost END",
+        )
+        .unwrap_err();
+        assert!(errs[0].msg.contains("Ghost"));
+    }
+
+    #[test]
+    fn person_assignment_and_manual() {
+        let src = r#"
+            PROCESS p
+              ACTIVITY A PROGRAM "x" PERSON "ann" END
+              ACTIVITY B PROGRAM "y" MANUAL END
+              ACTIVITY C PROGRAM "z" ROLE "r" AUTOMATIC END
+            END
+        "#;
+        let def = parse(src).unwrap();
+        assert_eq!(
+            def.activity("A").unwrap().staff,
+            StaffAssignment::Person("ann".into())
+        );
+        assert!(!def.activity("B").unwrap().automatic_start);
+        // AUTOMATIC after ROLE re-enables engine start.
+        assert!(def.activity("C").unwrap().automatic_start);
+    }
+
+    #[test]
+    fn empty_schema_allowed() {
+        let def = parse("PROCESS p ACTIVITY A PROGRAM \"x\" INPUT ( ) END END").unwrap();
+        assert!(def.activity("A").unwrap().input.members.is_empty());
+    }
+}

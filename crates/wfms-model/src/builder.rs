@@ -1,0 +1,230 @@
+//! A fluent builder for process definitions.
+//!
+//! Used throughout the tests, the examples and — most importantly — by
+//! the Exotica/FMTM translator, which assembles Figure 2 / Figure 4
+//! processes programmatically.
+
+use crate::activity::Activity;
+use crate::connector::{ControlConnector, DataConnector, DataEndpoint};
+use crate::container::ContainerSchema;
+use crate::process::ProcessDefinition;
+use crate::validate::{validate, ValidationError};
+
+/// Builds a [`ProcessDefinition`] incrementally.
+#[derive(Debug)]
+pub struct ProcessBuilder {
+    process: ProcessDefinition,
+}
+
+impl From<ProcessDefinition> for ProcessBuilder {
+    /// Re-opens an existing definition for further building — used by
+    /// translators that post-process generated processes.
+    fn from(process: ProcessDefinition) -> Self {
+        Self { process }
+    }
+}
+
+impl ProcessBuilder {
+    /// Starts a builder for a process named `name`.
+    pub fn new(name: &str) -> Self {
+        Self {
+            process: ProcessDefinition::new(name),
+        }
+    }
+
+    /// Sets the version number.
+    pub fn version(mut self, version: u32) -> Self {
+        self.process.version = version;
+        self
+    }
+
+    /// Sets the description.
+    pub fn describe(mut self, text: &str) -> Self {
+        self.process.description = text.to_owned();
+        self
+    }
+
+    /// Sets the process input schema.
+    pub fn input(mut self, schema: ContainerSchema) -> Self {
+        self.process.input = schema;
+        self
+    }
+
+    /// Sets the process output schema.
+    pub fn output(mut self, schema: ContainerSchema) -> Self {
+        self.process.output = schema;
+        self
+    }
+
+    /// Adds a fully built activity.
+    pub fn activity(mut self, activity: Activity) -> Self {
+        self.process.activities.push(activity);
+        self
+    }
+
+    /// Adds a program activity (customise with `Activity::program`
+    /// plus [`ProcessBuilder::activity`] when more options are
+    /// needed).
+    pub fn program(self, name: &str, program: &str) -> Self {
+        self.activity(Activity::program(name, program))
+    }
+
+    /// Adds a block activity embedding `inner`. The block facade's
+    /// containers are copied from the embedded process so the
+    /// block-container validation rule holds by construction.
+    pub fn block(self, name: &str, inner: ProcessDefinition) -> Self {
+        let input = inner.input.clone();
+        let output = inner.output.clone();
+        self.activity(
+            Activity::block(name, inner)
+                .with_input(input)
+                .with_output(output),
+        )
+    }
+
+    /// Adds a no-op activity.
+    pub fn noop(self, name: &str) -> Self {
+        self.activity(Activity::noop(name))
+    }
+
+    /// Adds an unconditional control connector.
+    pub fn connect(mut self, from: &str, to: &str) -> Self {
+        self.process.control.push(ControlConnector::new(from, to));
+        self
+    }
+
+    /// Adds a control connector guarded by `condition`.
+    ///
+    /// # Panics
+    /// Panics on a syntactically invalid condition.
+    pub fn connect_when(mut self, from: &str, to: &str, condition: &str) -> Self {
+        self.process
+            .control
+            .push(ControlConnector::when(from, to, condition));
+        self
+    }
+
+    /// Adds a data connector from `from`'s output container to `to`'s
+    /// input container.
+    pub fn map_data(mut self, from: &str, to: &str, pairs: &[(&str, &str)]) -> Self {
+        self.process.data.push(DataConnector::new(
+            DataEndpoint::ActivityOutput(from.to_owned()),
+            DataEndpoint::ActivityInput(to.to_owned()),
+            pairs,
+        ));
+        self
+    }
+
+    /// Maps process input members into `to`'s input container.
+    pub fn map_process_input(mut self, to: &str, pairs: &[(&str, &str)]) -> Self {
+        self.process.data.push(DataConnector::new(
+            DataEndpoint::ProcessInput,
+            DataEndpoint::ActivityInput(to.to_owned()),
+            pairs,
+        ));
+        self
+    }
+
+    /// Maps `from`'s output members into the process output container.
+    pub fn map_to_process_output(mut self, from: &str, pairs: &[(&str, &str)]) -> Self {
+        self.process.data.push(DataConnector::new(
+            DataEndpoint::ActivityOutput(from.to_owned()),
+            DataEndpoint::ProcessOutput,
+            pairs,
+        ));
+        self
+    }
+
+    /// Returns the definition without validating (the FDL emitter and
+    /// negative tests need malformed processes too).
+    pub fn build_unchecked(self) -> ProcessDefinition {
+        self.process
+    }
+
+    /// Validates and returns the definition, or every finding.
+    pub fn build(self) -> Result<ProcessDefinition, Vec<ValidationError>> {
+        let errors = validate(&self.process);
+        if errors.is_empty() {
+            Ok(self.process)
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    #[test]
+    fn linear_process_builds_valid() {
+        let p = ProcessBuilder::new("demo")
+            .describe("three step chain")
+            .program("A", "pa")
+            .program("B", "pb")
+            .program("C", "pc")
+            .connect_when("A", "B", "RC = 1")
+            .connect_when("B", "C", "RC = 1")
+            .build()
+            .unwrap();
+        assert_eq!(p.activity_names(), vec!["A", "B", "C"]);
+        assert_eq!(p.topo_order().unwrap(), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn invalid_process_returns_all_errors() {
+        let errs = ProcessBuilder::new("bad")
+            .program("A", "pa")
+            .connect("A", "Ghost1")
+            .connect("A", "Ghost2")
+            .build()
+            .unwrap_err();
+        assert_eq!(errs.len(), 2);
+    }
+
+    #[test]
+    fn block_facade_copies_containers() {
+        let inner = ProcessBuilder::new("inner")
+            .input(ContainerSchema::of(&[("in", DataType::Int)]))
+            .output(ContainerSchema::of(&[("out", DataType::Int)]))
+            .program("X", "px")
+            .build_unchecked();
+        let outer = ProcessBuilder::new("outer")
+            .block("B", inner)
+            .build()
+            .unwrap();
+        let b = outer.activity("B").unwrap();
+        assert!(b.input.has("in"));
+        assert!(b.output.has("out"));
+    }
+
+    #[test]
+    fn data_mappings_validate() {
+        let p = ProcessBuilder::new("d")
+            .input(ContainerSchema::of(&[("seed", DataType::Int)]))
+            .output(ContainerSchema::of(&[("result", DataType::Int)]))
+            .activity(
+                Activity::program("A", "pa")
+                    .with_input(ContainerSchema::of(&[("n", DataType::Int)]))
+                    .with_output(ContainerSchema::of(&[("m", DataType::Int)])),
+            )
+            .map_process_input("A", &[("seed", "n")])
+            .map_to_process_output("A", &[("m", "result")])
+            .build()
+            .unwrap();
+        assert_eq!(p.data.len(), 2);
+    }
+
+    #[test]
+    fn version_and_description() {
+        let p = ProcessBuilder::new("v")
+            .version(3)
+            .describe("described")
+            .program("A", "pa")
+            .build()
+            .unwrap();
+        assert_eq!(p.version, 3);
+        assert_eq!(p.description, "described");
+    }
+}

@@ -1,0 +1,215 @@
+//! Control and data connectors — the edges of the process graph.
+
+use crate::expr::Expr;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A control connector: "the order in which activities are executed"
+/// (§3.2), guarded by a *transition condition* evaluated over the
+/// **source** activity's output container when the source terminates.
+/// A connector that evaluates false does not trigger its target and
+/// feeds dead path elimination instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlConnector {
+    /// Source activity name.
+    pub from: String,
+    /// Target activity name.
+    pub to: String,
+    /// Transition condition; `Expr::truth()` for unconditional edges.
+    pub condition: Expr,
+}
+
+impl ControlConnector {
+    /// An unconditional connector.
+    pub fn new(from: &str, to: &str) -> Self {
+        Self {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            condition: Expr::truth(),
+        }
+    }
+
+    /// A connector guarded by `condition` (parsed).
+    ///
+    /// # Panics
+    /// Panics on a syntactically invalid expression (builder
+    /// convenience; use [`Expr::parse`] for user input).
+    pub fn when(from: &str, to: &str, condition: &str) -> Self {
+        Self {
+            from: from.to_owned(),
+            to: to.to_owned(),
+            condition: Expr::parse(condition).expect("invalid transition condition"),
+        }
+    }
+}
+
+impl fmt::Display for ControlConnector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} [{}]", self.from, self.to, self.condition)
+    }
+}
+
+/// One end of a data connector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataEndpoint {
+    /// The process's own input container (valid as a source).
+    ProcessInput,
+    /// The process's own output container (valid as a sink).
+    ProcessOutput,
+    /// The input container of the named activity (valid as a sink).
+    ActivityInput(String),
+    /// The output container of the named activity (valid as a source).
+    ActivityOutput(String),
+}
+
+impl DataEndpoint {
+    /// True if this endpoint may appear as a data-connector source.
+    pub fn is_source(&self) -> bool {
+        matches!(
+            self,
+            DataEndpoint::ProcessInput | DataEndpoint::ActivityOutput(_)
+        )
+    }
+
+    /// True if this endpoint may appear as a data-connector sink.
+    pub fn is_sink(&self) -> bool {
+        matches!(
+            self,
+            DataEndpoint::ProcessOutput | DataEndpoint::ActivityInput(_)
+        )
+    }
+
+    /// The activity this endpoint refers to, if any.
+    pub fn activity(&self) -> Option<&str> {
+        match self {
+            DataEndpoint::ActivityInput(a) | DataEndpoint::ActivityOutput(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataEndpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataEndpoint::ProcessInput => f.write_str("PROCESS.INPUT"),
+            DataEndpoint::ProcessOutput => f.write_str("PROCESS.OUTPUT"),
+            DataEndpoint::ActivityInput(a) => write!(f, "{a}.INPUT"),
+            DataEndpoint::ActivityOutput(a) => write!(f, "{a}.OUTPUT"),
+        }
+    }
+}
+
+/// One member-to-member copy within a data connector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Member read from the source container.
+    pub from_member: String,
+    /// Member written in the sink container.
+    pub to_member: String,
+}
+
+impl Mapping {
+    /// Builds a mapping.
+    pub fn new(from_member: &str, to_member: &str) -> Self {
+        Self {
+            from_member: from_member.to_owned(),
+            to_member: to_member.to_owned(),
+        }
+    }
+}
+
+/// A data connector: "a series of mappings between output data
+/// containers and input data containers" (§3.2). The Figure 2 saga
+/// construction leans on these twice: activity outputs (`State_i`)
+/// flow to the forward block's output, and the forward block's output
+/// flows into the compensation block's input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataConnector {
+    /// Source container.
+    pub from: DataEndpoint,
+    /// Sink container.
+    pub to: DataEndpoint,
+    /// Member copies applied in order.
+    pub mappings: Vec<Mapping>,
+}
+
+impl DataConnector {
+    /// Builds a data connector from `(from_member, to_member)` pairs.
+    pub fn new(from: DataEndpoint, to: DataEndpoint, pairs: &[(&str, &str)]) -> Self {
+        Self {
+            from,
+            to,
+            mappings: pairs.iter().map(|(f, t)| Mapping::new(f, t)).collect(),
+        }
+    }
+}
+
+impl fmt::Display for DataConnector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} => {} {{", self.from, self.to)?;
+        for (i, m) in self.mappings.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{} -> {}", m.from_member, m.to_member)?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconditional_connector_is_true() {
+        let c = ControlConnector::new("A", "B");
+        assert_eq!(c.condition, Expr::truth());
+        assert_eq!(c.to_string(), "A -> B [TRUE]");
+    }
+
+    #[test]
+    fn conditional_connector_parses() {
+        let c = ControlConnector::when("T1", "T2", "RC = 1");
+        assert_eq!(c.to_string(), "T1 -> T2 [(RC = 1)]");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid transition condition")]
+    fn invalid_condition_panics() {
+        let _ = ControlConnector::when("A", "B", "AND AND");
+    }
+
+    #[test]
+    fn endpoint_direction_rules() {
+        assert!(DataEndpoint::ProcessInput.is_source());
+        assert!(!DataEndpoint::ProcessInput.is_sink());
+        assert!(DataEndpoint::ProcessOutput.is_sink());
+        assert!(!DataEndpoint::ProcessOutput.is_source());
+        assert!(DataEndpoint::ActivityOutput("A".into()).is_source());
+        assert!(DataEndpoint::ActivityInput("A".into()).is_sink());
+        assert!(!DataEndpoint::ActivityInput("A".into()).is_source());
+    }
+
+    #[test]
+    fn endpoint_activity_accessor() {
+        assert_eq!(
+            DataEndpoint::ActivityInput("X".into()).activity(),
+            Some("X")
+        );
+        assert_eq!(DataEndpoint::ProcessInput.activity(), None);
+    }
+
+    #[test]
+    fn data_connector_display() {
+        let d = DataConnector::new(
+            DataEndpoint::ActivityOutput("T1".into()),
+            DataEndpoint::ProcessOutput,
+            &[("State_1", "State_1"), ("RC", "RC_1")],
+        );
+        assert_eq!(
+            d.to_string(),
+            "T1.OUTPUT => PROCESS.OUTPUT {State_1 -> State_1, RC -> RC_1}"
+        );
+    }
+}

@@ -1,0 +1,256 @@
+//! Data containers: the typed variable records flowing between
+//! activities.
+//!
+//! Every activity (and the process itself) has an **input container**
+//! and an **output container** (§3.2): "a sequence of typed variables
+//! and structures". A [`ContainerSchema`] declares the members; a
+//! [`Container`] is the run-time instance holding values. Data
+//! connectors copy members between containers; the engine materialises
+//! them when an activity starts and when it terminates.
+
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use txn_substrate::Value;
+
+/// Declaration of one container member.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemberDecl {
+    /// Member name (unique within the container).
+    pub name: String,
+    /// Member type.
+    pub ty: DataType,
+    /// Optional explicit default; when absent the type's neutral
+    /// default is used.
+    pub default: Option<Value>,
+}
+
+impl MemberDecl {
+    /// A member with the type's neutral default.
+    pub fn new(name: &str, ty: DataType) -> Self {
+        Self {
+            name: name.to_owned(),
+            ty,
+            default: None,
+        }
+    }
+
+    /// A member with an explicit default value.
+    pub fn with_default(name: &str, ty: DataType, default: Value) -> Self {
+        Self {
+            name: name.to_owned(),
+            ty,
+            default: Some(default),
+        }
+    }
+
+    /// The value a fresh container holds for this member.
+    pub fn initial_value(&self) -> Value {
+        self.default
+            .clone()
+            .unwrap_or_else(|| self.ty.default_value())
+    }
+}
+
+/// An ordered sequence of member declarations.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ContainerSchema {
+    /// Members in declaration order.
+    pub members: Vec<MemberDecl>,
+}
+
+impl ContainerSchema {
+    /// The empty schema.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn of(members: &[(&str, DataType)]) -> Self {
+        Self {
+            members: members
+                .iter()
+                .map(|(n, t)| MemberDecl::new(n, *t))
+                .collect(),
+        }
+    }
+
+    /// Adds a member (builder style).
+    pub fn with(mut self, name: &str, ty: DataType) -> Self {
+        self.members.push(MemberDecl::new(name, ty));
+        self
+    }
+
+    /// Looks up a member declaration by name.
+    pub fn member(&self, name: &str) -> Option<&MemberDecl> {
+        self.members.iter().find(|m| m.name == name)
+    }
+
+    /// True if `name` is declared.
+    pub fn has(&self, name: &str) -> bool {
+        self.member(name).is_some()
+    }
+
+    /// Member names that appear more than once (a validation error).
+    pub fn duplicate_names(&self) -> Vec<String> {
+        let mut seen = std::collections::BTreeMap::new();
+        for m in &self.members {
+            *seen.entry(m.name.clone()).or_insert(0u32) += 1;
+        }
+        seen.into_iter()
+            .filter(|&(_, n)| n > 1)
+            .map(|(name, _)| name)
+            .collect()
+    }
+
+    /// Instantiates a fresh container with every member at its
+    /// initial value.
+    pub fn instantiate(&self) -> Container {
+        Container {
+            values: self
+                .members
+                .iter()
+                .map(|m| (m.name.clone(), m.initial_value()))
+                .collect(),
+        }
+    }
+}
+
+/// A run-time container: member name → value.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Container {
+    values: BTreeMap<String, Value>,
+}
+
+impl Container {
+    /// An empty container (no members).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Reads a member.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.values.get(name)
+    }
+
+    /// Writes a member. The engine type-checks against the schema at
+    /// mapping time; `set` itself is schema-agnostic so recovery can
+    /// replay journal entries verbatim.
+    pub fn set(&mut self, name: &str, value: Value) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// True if the member exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.values.contains_key(name)
+    }
+
+    /// Iterates members in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.values.iter()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the container holds no members.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Checks this container against `schema`: every declared member
+    /// present and well-typed. Returns the offending member names.
+    pub fn type_errors(&self, schema: &ContainerSchema) -> Vec<String> {
+        let mut errors = Vec::new();
+        for m in &schema.members {
+            match self.values.get(&m.name) {
+                Some(v) if m.ty.admits(v) => {}
+                _ => errors.push(m.name.clone()),
+            }
+        }
+        errors
+    }
+}
+
+impl FromIterator<(String, Value)> for Container {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Self {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_uses_defaults() {
+        let schema = ContainerSchema::empty()
+            .with("RC", DataType::Int)
+            .with("who", DataType::Str);
+        let c = schema.instantiate();
+        assert_eq!(c.get("RC"), Some(&Value::Int(0)));
+        assert_eq!(c.get("who"), Some(&Value::Str(String::new())));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn explicit_defaults_win() {
+        let schema = ContainerSchema {
+            members: vec![MemberDecl::with_default(
+                "n",
+                DataType::Int,
+                Value::Int(42),
+            )],
+        };
+        assert_eq!(schema.instantiate().get("n"), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn duplicate_names_detected() {
+        let schema = ContainerSchema::empty()
+            .with("a", DataType::Int)
+            .with("b", DataType::Int)
+            .with("a", DataType::Str);
+        assert_eq!(schema.duplicate_names(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn type_errors_flags_missing_and_mistyped() {
+        let schema = ContainerSchema::of(&[("x", DataType::Int), ("y", DataType::Bool)]);
+        let mut c = Container::empty();
+        c.set("x", Value::Str("oops".into()));
+        let errs = c.type_errors(&schema);
+        assert_eq!(errs, vec!["x".to_string(), "y".to_string()]);
+        c.set("x", Value::Int(1));
+        c.set("y", Value::Bool(true));
+        assert!(c.type_errors(&schema).is_empty());
+    }
+
+    #[test]
+    fn iter_is_name_ordered() {
+        let mut c = Container::empty();
+        c.set("z", Value::Int(1));
+        c.set("a", Value::Int(2));
+        let names: Vec<_> = c.iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(names, vec!["a".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let c: Container = vec![("k".to_string(), Value::Int(3))].into_iter().collect();
+        assert_eq!(c.get("k"), Some(&Value::Int(3)));
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn schema_member_lookup() {
+        let schema = ContainerSchema::of(&[("m", DataType::Str)]);
+        assert!(schema.has("m"));
+        assert!(!schema.has("n"));
+        assert_eq!(schema.member("m").unwrap().ty, DataType::Str);
+    }
+}

@@ -1,0 +1,222 @@
+//! Graphviz DOT export of process definitions.
+//!
+//! Renders a process as the paper draws its figures: activities as
+//! nodes (blocks as clustered subgraphs, exactly like the framed
+//! blocks of Figure 2 and Figure 4), control connectors as solid edges
+//! labelled with their transition conditions, data connectors as
+//! dashed edges. `dot -Tsvg` on the output of
+//! [`to_dot`] reproduces the paper's figures from the *generated*
+//! processes.
+
+use crate::activity::{Activity, ActivityKind, StartCondition};
+use crate::connector::DataEndpoint;
+use crate::expr::Expr;
+use crate::process::ProcessDefinition;
+use std::fmt::Write as _;
+
+/// Renders `def` as a Graphviz digraph.
+pub fn to_dot(def: &ProcessDefinition) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", ident(&def.name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"Helvetica\"];");
+    let _ = writeln!(out, "  labelloc=t; label={};", quote(&def.name));
+    emit_scope(def, "", &mut out, 1);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+/// Emits one scope's activities and connectors; `prefix` namespaces
+/// node ids across nested blocks.
+fn emit_scope(def: &ProcessDefinition, prefix: &str, out: &mut String, level: usize) {
+    for act in &def.activities {
+        let id = node_id(prefix, &act.name);
+        match &act.kind {
+            ActivityKind::Block { process } => {
+                indent(out, level);
+                let _ = writeln!(out, "subgraph cluster_{id} {{");
+                indent(out, level + 1);
+                let _ = writeln!(out, "label={}; style=rounded;", quote(&act.name));
+                // Anchor node so edges can target the block itself.
+                indent(out, level + 1);
+                let _ = writeln!(
+                    out,
+                    "{id} [label={}, shape=point, style=invis];",
+                    quote(&act.name)
+                );
+                emit_scope(process, &format!("{id}_"), out, level + 1);
+                indent(out, level);
+                let _ = writeln!(out, "}}");
+            }
+            ActivityKind::NoOp => {
+                indent(out, level);
+                let _ = writeln!(
+                    out,
+                    "{id} [label={}, shape=circle];",
+                    quote(&act.name)
+                );
+            }
+            ActivityKind::Program { program } => {
+                indent(out, level);
+                let shape = decoration(act);
+                let _ = writeln!(
+                    out,
+                    "{id} [label={}{shape}];",
+                    quote(&format!("{}\\n({program})", act.name))
+                );
+            }
+        }
+    }
+    for c in &def.control {
+        let from = node_id(prefix, &c.from);
+        let to = node_id(prefix, &c.to);
+        indent(out, level);
+        if c.condition == Expr::truth() {
+            let _ = writeln!(out, "{from} -> {to};");
+        } else {
+            let _ = writeln!(
+                out,
+                "{from} -> {to} [label={}];",
+                quote(&c.condition.to_string())
+            );
+        }
+    }
+    for d in &def.data {
+        let from = endpoint_id(prefix, &d.from);
+        let to = endpoint_id(prefix, &d.to);
+        let (Some(from), Some(to)) = (from, to) else {
+            continue; // process-level containers have no node
+        };
+        indent(out, level);
+        let _ = writeln!(out, "{from} -> {to} [style=dashed, color=gray50];");
+    }
+}
+
+fn decoration(act: &Activity) -> String {
+    let mut extra = String::new();
+    if act.start == StartCondition::Or {
+        extra.push_str(", peripheries=2"); // OR-join drawn double-framed
+    }
+    if act.exit.expr.is_some() {
+        extra.push_str(", style=\"bold\""); // looping activity
+    }
+    extra
+}
+
+fn endpoint_id(prefix: &str, e: &DataEndpoint) -> Option<String> {
+    match e {
+        DataEndpoint::ActivityInput(a) | DataEndpoint::ActivityOutput(a) => {
+            Some(node_id(prefix, a))
+        }
+        _ => None,
+    }
+}
+
+fn node_id(prefix: &str, name: &str) -> String {
+    format!("{prefix}{}", ident(name))
+}
+
+fn ident(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if s.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(true) {
+        s.insert(0, '_');
+    }
+    s
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", s.replace('"', "\\\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProcessBuilder;
+
+    #[test]
+    fn flat_process_renders_nodes_and_edges() {
+        let def = ProcessBuilder::new("demo")
+            .program("A", "pa")
+            .program("B", "pb")
+            .connect_when("A", "B", "RC = 1")
+            .build()
+            .unwrap();
+        let dot = to_dot(&def);
+        assert!(dot.starts_with("digraph demo {"));
+        assert!(dot.contains("A [label=\"A\\n(pa)\"]"));
+        assert!(dot.contains("A -> B [label=\"(RC = 1)\"];"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn blocks_render_as_clusters() {
+        let inner = ProcessBuilder::new("Fwd")
+            .program("T1", "p1")
+            .build()
+            .unwrap();
+        let def = ProcessBuilder::new("outer").block("Fwd", inner).build().unwrap();
+        let dot = to_dot(&def);
+        assert!(dot.contains("subgraph cluster_Fwd {"));
+        assert!(dot.contains("Fwd_T1 [label=\"T1"));
+    }
+
+    #[test]
+    fn noop_is_a_circle_and_or_join_double_framed() {
+        let def = ProcessBuilder::new("p")
+            .noop("NOP")
+            .activity(
+                crate::activity::Activity::program("X", "px")
+                    .or_start()
+                    .with_exit("RC = 1"),
+            )
+            .connect("NOP", "X")
+            .build()
+            .unwrap();
+        let dot = to_dot(&def);
+        assert!(dot.contains("NOP [label=\"NOP\", shape=circle];"));
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("style=\"bold\""));
+        assert!(dot.contains("NOP -> X;"), "unconditional edge unlabelled");
+    }
+
+    #[test]
+    fn data_connectors_are_dashed() {
+        let def = ProcessBuilder::new("p")
+            .activity(
+                crate::activity::Activity::program("A", "pa").with_output(
+                    crate::container::ContainerSchema::of(&[("x", crate::types::DataType::Int)]),
+                ),
+            )
+            .activity(
+                crate::activity::Activity::program("B", "pb").with_input(
+                    crate::container::ContainerSchema::of(&[("y", crate::types::DataType::Int)]),
+                ),
+            )
+            .connect("A", "B")
+            .map_data("A", "B", &[("x", "y")])
+            .build()
+            .unwrap();
+        let dot = to_dot(&def);
+        assert!(dot.contains("A -> B [style=dashed, color=gray50];"));
+    }
+
+    #[test]
+    fn weird_names_become_valid_identifiers() {
+        let def = ProcessBuilder::new("9 weird name!")
+            .program("A-B", "p")
+            .build()
+            .unwrap();
+        let dot = to_dot(&def);
+        assert!(dot.starts_with("digraph _9_weird_name_ {"));
+        assert!(dot.contains("A_B [label=\"A-B"));
+    }
+}

@@ -1,0 +1,846 @@
+//! The condition-expression language.
+//!
+//! Transition conditions, exit conditions and start-condition guards
+//! are expressions over container members: the paper's examples test
+//! return codes (`RC = 0`) and recorded activity states
+//! (`State_3 = 1`). The language here is the small, total language
+//! those idioms need:
+//!
+//! ```text
+//! expr  := or
+//! or    := and ( OR and )*
+//! and   := not ( AND not )*
+//! not   := NOT not | cmp
+//! cmp   := add ( ( = | <> | < | <= | > | >= ) add )?
+//! add   := mul ( ( + | - ) mul )*
+//! mul   := unary ( ( * | / | % ) unary )*
+//! unary := - unary | prim
+//! prim  := INT | STRING | TRUE | FALSE | IDENT | ( expr )
+//! ```
+//!
+//! Identifiers (`RC`, `State_1`, …) resolve through an [`Env`].
+//! Evaluation is strict and typed: comparing an integer to a string,
+//! or referencing an unknown member, is an [`ExprError`] — the static
+//! validator rejects such expressions at import time, and the engine
+//! treats a run-time error as "condition false" plus an audit warning,
+//! mirroring a production engine's fail-safe behaviour.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use txn_substrate::Value;
+
+/// Binary comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// Binary arithmetic operators (integers only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero is an error)
+    Div,
+    /// `%` (remainder; zero modulus is an error)
+    Mod,
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        })
+    }
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Container-member reference.
+    Var(String),
+    /// Comparison.
+    Cmp(Box<Expr>, CmpOp, Box<Expr>),
+    /// Integer arithmetic.
+    Arith(Box<Expr>, ArithOp, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// Integer negation.
+    Neg(Box<Expr>),
+}
+
+/// Errors from parsing or evaluating an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// Syntax error at byte offset, with a message.
+    Parse { at: usize, msg: String },
+    /// Reference to a member the environment does not define.
+    UnknownVar(String),
+    /// Operator applied to operands of the wrong type.
+    TypeMismatch { op: String, lhs: String, rhs: String },
+    /// Division or remainder by zero.
+    DivisionByZero,
+    /// A boolean was required (condition position) but another type
+    /// was produced.
+    NotBoolean(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Parse { at, msg } => write!(f, "parse error at offset {at}: {msg}"),
+            ExprError::UnknownVar(v) => write!(f, "unknown variable {v:?}"),
+            ExprError::TypeMismatch { op, lhs, rhs } => {
+                write!(f, "type mismatch: {lhs} {op} {rhs}")
+            }
+            ExprError::DivisionByZero => f.write_str("division by zero"),
+            ExprError::NotBoolean(t) => write!(f, "expected a boolean condition, got {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// Variable-resolution environment.
+pub trait Env {
+    /// Resolves a variable to its value, if defined.
+    fn lookup(&self, name: &str) -> Option<Value>;
+}
+
+/// An [`Env`] backed by a map — used in tests and by the engine when
+/// evaluating a condition against a single container.
+#[derive(Debug, Clone, Default)]
+pub struct MapEnv(pub BTreeMap<String, Value>);
+
+impl MapEnv {
+    /// Builds an environment from `(name, value)` pairs.
+    pub fn of(pairs: &[(&str, Value)]) -> Self {
+        Self(
+            pairs
+                .iter()
+                .map(|(n, v)| (n.to_string(), v.clone()))
+                .collect(),
+        )
+    }
+}
+
+impl Env for MapEnv {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.0.get(name).cloned()
+    }
+}
+
+impl Env for crate::container::Container {
+    fn lookup(&self, name: &str) -> Option<Value> {
+        self.get(name).cloned()
+    }
+}
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Int(_) => "INT",
+        Value::Str(_) => "STRING",
+        Value::Bool(_) => "BOOL",
+        Value::Bytes(_) => "BYTES",
+    }
+}
+
+impl Expr {
+    /// Shorthand: the constant `TRUE` expression (FlowMark's default
+    /// transition condition).
+    pub fn truth() -> Expr {
+        Expr::Lit(Value::Bool(true))
+    }
+
+    /// Shorthand: `var = int` — the workhorse comparison of the
+    /// paper's constructions.
+    pub fn var_eq_int(var: &str, n: i64) -> Expr {
+        Expr::Cmp(
+            Box::new(Expr::Var(var.to_owned())),
+            CmpOp::Eq,
+            Box::new(Expr::Lit(Value::Int(n))),
+        )
+    }
+
+    /// Evaluates the expression in `env`.
+    pub fn eval(&self, env: &dyn Env) -> Result<Value, ExprError> {
+        match self {
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Var(name) => env
+                .lookup(name)
+                .ok_or_else(|| ExprError::UnknownVar(name.clone())),
+            Expr::Cmp(l, op, r) => {
+                let lv = l.eval(env)?;
+                let rv = r.eval(env)?;
+                let b = match (&lv, &rv) {
+                    (Value::Int(a), Value::Int(b)) => Self::cmp_ord(a.cmp(b), *op),
+                    (Value::Str(a), Value::Str(b)) => Self::cmp_ord(a.cmp(b), *op),
+                    (Value::Bool(a), Value::Bool(b)) => match op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        _ => {
+                            return Err(ExprError::TypeMismatch {
+                                op: op.to_string(),
+                                lhs: "BOOL".into(),
+                                rhs: "BOOL".into(),
+                            })
+                        }
+                    },
+                    _ => {
+                        return Err(ExprError::TypeMismatch {
+                            op: op.to_string(),
+                            lhs: type_name(&lv).into(),
+                            rhs: type_name(&rv).into(),
+                        })
+                    }
+                };
+                Ok(Value::Bool(b))
+            }
+            Expr::Arith(l, op, r) => {
+                let lv = l.eval(env)?;
+                let rv = r.eval(env)?;
+                match (&lv, &rv) {
+                    (Value::Int(a), Value::Int(b)) => {
+                        let out = match op {
+                            ArithOp::Add => a.wrapping_add(*b),
+                            ArithOp::Sub => a.wrapping_sub(*b),
+                            ArithOp::Mul => a.wrapping_mul(*b),
+                            ArithOp::Div => {
+                                if *b == 0 {
+                                    return Err(ExprError::DivisionByZero);
+                                }
+                                a.wrapping_div(*b)
+                            }
+                            ArithOp::Mod => {
+                                if *b == 0 {
+                                    return Err(ExprError::DivisionByZero);
+                                }
+                                a.wrapping_rem(*b)
+                            }
+                        };
+                        Ok(Value::Int(out))
+                    }
+                    _ => Err(ExprError::TypeMismatch {
+                        op: op.to_string(),
+                        lhs: type_name(&lv).into(),
+                        rhs: type_name(&rv).into(),
+                    }),
+                }
+            }
+            Expr::And(l, r) => {
+                // Short-circuit, left to right.
+                if !l.eval(env)?.as_bool().ok_or_else(|| {
+                    ExprError::NotBoolean("left operand of AND".into())
+                })? {
+                    return Ok(Value::Bool(false));
+                }
+                let rv = r.eval(env)?;
+                rv.as_bool()
+                    .map(Value::Bool)
+                    .ok_or_else(|| ExprError::NotBoolean("right operand of AND".into()))
+            }
+            Expr::Or(l, r) => {
+                if l.eval(env)?.as_bool().ok_or_else(|| {
+                    ExprError::NotBoolean("left operand of OR".into())
+                })? {
+                    return Ok(Value::Bool(true));
+                }
+                let rv = r.eval(env)?;
+                rv.as_bool()
+                    .map(Value::Bool)
+                    .ok_or_else(|| ExprError::NotBoolean("right operand of OR".into()))
+            }
+            Expr::Not(e) => {
+                let v = e.eval(env)?;
+                v.as_bool()
+                    .map(|b| Value::Bool(!b))
+                    .ok_or_else(|| ExprError::NotBoolean("operand of NOT".into()))
+            }
+            Expr::Neg(e) => {
+                let v = e.eval(env)?;
+                v.as_int()
+                    .map(|i| Value::Int(i.wrapping_neg()))
+                    .ok_or_else(|| ExprError::NotBoolean("operand of unary -".into()))
+            }
+        }
+    }
+
+    fn cmp_ord(ord: std::cmp::Ordering, op: CmpOp) -> bool {
+        use std::cmp::Ordering::*;
+        match op {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// Evaluates and requires a boolean result (condition position).
+    pub fn eval_bool(&self, env: &dyn Env) -> Result<bool, ExprError> {
+        let v = self.eval(env)?;
+        v.as_bool()
+            .ok_or_else(|| ExprError::NotBoolean(type_name(&v).into()))
+    }
+
+    /// All variable names referenced by the expression, sorted and
+    /// deduplicated — the static validator checks each against the
+    /// relevant container schema.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Var(v) => out.push(v.clone()),
+            Expr::Cmp(l, _, r) | Expr::Arith(l, _, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.collect_vars(out),
+        }
+    }
+
+    /// Parses an expression from its textual form.
+    pub fn parse(input: &str) -> Result<Expr, ExprError> {
+        let tokens = lex(input)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let e = p.or_expr()?;
+        if p.pos != p.tokens.len() {
+            return Err(ExprError::Parse {
+                at: p.tokens[p.pos].1,
+                msg: format!("unexpected trailing token {:?}", p.tokens[p.pos].0),
+            });
+        }
+        Ok(e)
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Renders the expression in the concrete syntax accepted by
+    /// [`Expr::parse`]; `parse(x.to_string())` re-produces `x`'s
+    /// semantics (parenthesisation is explicit, so the round trip is
+    /// structural too).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(Value::Int(i)) => write!(f, "{i}"),
+            Expr::Lit(Value::Str(s)) => write!(f, "\"{}\"", s.replace('"', "\\\"")),
+            Expr::Lit(Value::Bool(b)) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Expr::Lit(Value::Bytes(_)) => f.write_str("<bytes>"),
+            Expr::Var(v) => f.write_str(v),
+            Expr::Cmp(l, op, r) => write!(f, "({l} {op} {r})"),
+            Expr::Arith(l, op, r) => write!(f, "({l} {op} {r})"),
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer / parser
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Int(i64),
+    Str(String),
+    Ident(String),
+    Kw(&'static str), // AND OR NOT TRUE FALSE
+    Op(&'static str), // = <> < <= > >= + - * / % ( )
+}
+
+fn lex(input: &str) -> Result<Vec<(Tok, usize)>, ExprError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '(' | ')' | '+' | '*' | '/' | '%' | '=' | '-' => {
+                let op = match c {
+                    '(' => "(",
+                    ')' => ")",
+                    '+' => "+",
+                    '*' => "*",
+                    '/' => "/",
+                    '%' => "%",
+                    '=' => "=",
+                    _ => "-",
+                };
+                out.push((Tok::Op(op), start));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Op("<="), start));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push((Tok::Op("<>"), start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Op("<"), start));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Op(">="), start));
+                    i += 2;
+                } else {
+                    out.push((Tok::Op(">"), start));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    // Accept `!=` as a synonym for `<>`.
+                    out.push((Tok::Op("<>"), start));
+                    i += 2;
+                } else {
+                    return Err(ExprError::Parse {
+                        at: start,
+                        msg: "unexpected '!'".into(),
+                    });
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => {
+                            return Err(ExprError::Parse {
+                                at: start,
+                                msg: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') if bytes.get(i + 1) == Some(&b'"') => {
+                            s.push('"');
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push((Tok::Str(s), start));
+            }
+            c if c.is_ascii_digit() => {
+                let mut n: i64 = 0;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add((bytes[i] - b'0') as i64))
+                        .ok_or(ExprError::Parse {
+                            at: start,
+                            msg: "integer literal overflows i64".into(),
+                        })?;
+                    i += 1;
+                }
+                out.push((Tok::Int(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                match word.to_ascii_uppercase().as_str() {
+                    "AND" => out.push((Tok::Kw("AND"), start)),
+                    "OR" => out.push((Tok::Kw("OR"), start)),
+                    "NOT" => out.push((Tok::Kw("NOT"), start)),
+                    "TRUE" => out.push((Tok::Kw("TRUE"), start)),
+                    "FALSE" => out.push((Tok::Kw("FALSE"), start)),
+                    _ => out.push((Tok::Ident(word.to_owned()), start)),
+                }
+            }
+            other => {
+                return Err(ExprError::Parse {
+                    at: start,
+                    msg: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|&(_, at)| at)
+            .unwrap_or_else(|| self.tokens.last().map(|&(_, at)| at + 1).unwrap_or(0))
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Some(&Tok::Kw("OR")) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.not_expr()?;
+        while self.peek() == Some(&Tok::Kw("AND")) {
+            self.bump();
+            let rhs = self.not_expr()?;
+            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ExprError> {
+        if self.peek() == Some(&Tok::Kw("NOT")) {
+            self.bump();
+            let e = self.not_expr()?;
+            return Ok(Expr::Not(Box::new(e)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ExprError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::Op("=")) => Some(CmpOp::Eq),
+            Some(Tok::Op("<>")) => Some(CmpOp::Ne),
+            Some(Tok::Op("<")) => Some(CmpOp::Lt),
+            Some(Tok::Op("<=")) => Some(CmpOp::Le),
+            Some(Tok::Op(">")) => Some(CmpOp::Gt),
+            Some(Tok::Op(">=")) => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            return Ok(Expr::Cmp(Box::new(lhs), op, Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Op("+")) => ArithOp::Add,
+                Some(Tok::Op("-")) => ArithOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Arith(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ExprError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Op("*")) => ArithOp::Mul,
+                Some(Tok::Op("/")) => ArithOp::Div,
+                Some(Tok::Op("%")) => ArithOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Arith(Box::new(lhs), op, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ExprError> {
+        if self.peek() == Some(&Tok::Op("-")) {
+            self.bump();
+            let e = self.unary_expr()?;
+            // Fold unary minus on integer literals so `-1` parses to
+            // the literal −1: parsing is then a normalising function
+            // and `parse ∘ display` is idempotent (the round-trip
+            // property the FDL emitter relies on).
+            if let Expr::Lit(Value::Int(n)) = e {
+                return Ok(Expr::Lit(Value::Int(n.wrapping_neg())));
+            }
+            return Ok(Expr::Neg(Box::new(e)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ExprError> {
+        let at = self.here();
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Expr::Lit(Value::Int(n))),
+            Some(Tok::Str(s)) => Ok(Expr::Lit(Value::Str(s))),
+            Some(Tok::Kw("TRUE")) => Ok(Expr::Lit(Value::Bool(true))),
+            Some(Tok::Kw("FALSE")) => Ok(Expr::Lit(Value::Bool(false))),
+            Some(Tok::Ident(name)) => Ok(Expr::Var(name)),
+            Some(Tok::Op("(")) => {
+                let e = self.or_expr()?;
+                match self.bump() {
+                    Some(Tok::Op(")")) => Ok(e),
+                    _ => Err(ExprError::Parse {
+                        at,
+                        msg: "expected ')'".into(),
+                    }),
+                }
+            }
+            other => Err(ExprError::Parse {
+                at,
+                msg: format!("expected a value, variable or '(' but found {other:?}"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env() -> MapEnv {
+        MapEnv::of(&[
+            ("RC", Value::Int(0)),
+            ("State_1", Value::Int(1)),
+            ("name", Value::from("alice")),
+            ("flag", Value::Bool(true)),
+        ])
+    }
+
+    fn eval_str(s: &str) -> Result<Value, ExprError> {
+        Expr::parse(s).unwrap().eval(&env())
+    }
+
+    #[test]
+    fn paper_idioms() {
+        assert_eq!(eval_str("RC = 0").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("RC = 1").unwrap(), Value::Bool(false));
+        assert_eq!(eval_str("State_1 = 1").unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("RC = 0 AND State_1 = 1").unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn precedence_and_over_or_cmp_over_and() {
+        // OR(AND(a,b),c) shape: "FALSE AND FALSE OR TRUE" == TRUE
+        assert_eq!(eval_str("FALSE AND FALSE OR TRUE").unwrap(), Value::Bool(true));
+        // Comparison binds tighter than AND.
+        assert_eq!(eval_str("1 = 1 AND 2 = 2").unwrap(), Value::Bool(true));
+        // Arithmetic binds tighter than comparison.
+        assert_eq!(eval_str("1 + 2 * 3 = 7").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn not_and_parens() {
+        assert_eq!(eval_str("NOT (RC = 1)").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("NOT NOT flag").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn string_and_bool_comparisons() {
+        assert_eq!(eval_str("name = \"alice\"").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("name <> \"bob\"").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("name < \"bob\"").unwrap(), Value::Bool(true));
+        assert_eq!(eval_str("flag = TRUE").unwrap(), Value::Bool(true));
+        assert!(matches!(
+            eval_str("flag < TRUE"),
+            Err(ExprError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bang_eq_synonym() {
+        assert_eq!(eval_str("RC != 1").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(eval_str("7 / 2").unwrap(), Value::Int(3));
+        assert_eq!(eval_str("7 % 2").unwrap(), Value::Int(1));
+        assert_eq!(eval_str("-3 + 5").unwrap(), Value::Int(2));
+        assert_eq!(eval_str("10 - 2 - 3").unwrap(), Value::Int(5), "left assoc");
+        assert!(matches!(eval_str("1 / 0"), Err(ExprError::DivisionByZero)));
+        assert!(matches!(eval_str("1 % 0"), Err(ExprError::DivisionByZero)));
+    }
+
+    #[test]
+    fn unknown_variable_errors() {
+        assert!(matches!(
+            eval_str("Ghost = 1"),
+            Err(ExprError::UnknownVar(_))
+        ));
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(matches!(
+            eval_str("RC = \"x\""),
+            Err(ExprError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            eval_str("name + 1"),
+            Err(ExprError::TypeMismatch { .. })
+        ));
+        assert!(matches!(eval_str("NOT 3"), Err(ExprError::NotBoolean(_))));
+        assert!(matches!(
+            eval_str("1 AND TRUE"),
+            Err(ExprError::NotBoolean(_))
+        ));
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        // RHS references an unknown variable but is never evaluated.
+        assert_eq!(
+            eval_str("FALSE AND Ghost = 1").unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(eval_str("TRUE OR Ghost = 1").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        match Expr::parse("RC = ") {
+            Err(ExprError::Parse { msg, .. }) => assert!(msg.contains("expected a value")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(Expr::parse("(RC = 1").is_err());
+        assert!(Expr::parse("RC = 1 )").is_err());
+        assert!(Expr::parse("\"unterminated").is_err());
+        assert!(Expr::parse("a ! b").is_err());
+        assert!(Expr::parse("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn variables_sorted_and_deduped() {
+        let e = Expr::parse("State_2 = 1 AND State_1 = 1 OR State_2 = 0").unwrap();
+        assert_eq!(
+            e.variables(),
+            vec!["State_1".to_string(), "State_2".to_string()]
+        );
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        for src in [
+            "RC = 0 AND State_1 = 1",
+            "NOT (a = 1 OR b <> 2)",
+            "1 + 2 * 3 - -4 >= x / 2 % 3",
+            "name = \"al\\\"ice\"",
+            "TRUE OR FALSE",
+        ] {
+            let e = Expr::parse(src).unwrap();
+            let rendered = e.to_string();
+            let re = Expr::parse(&rendered).unwrap();
+            assert_eq!(re, e, "round trip of {src:?} via {rendered:?}");
+        }
+    }
+
+    #[test]
+    fn dotted_identifiers_allowed() {
+        let e = Expr::parse("order.total > 100").unwrap();
+        let env = MapEnv::of(&[("order.total", Value::Int(150))]);
+        assert_eq!(e.eval(&env).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(eval_str("true and not false").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn eval_bool_rejects_non_bool() {
+        let e = Expr::parse("1 + 1").unwrap();
+        assert!(matches!(e.eval_bool(&env()), Err(ExprError::NotBoolean(_))));
+        let t = Expr::parse("1 = 1").unwrap();
+        assert!(t.eval_bool(&env()).unwrap());
+    }
+
+    #[test]
+    fn container_is_an_env() {
+        use crate::container::Container;
+        let mut c = Container::empty();
+        c.set("RC", Value::Int(1));
+        let e = Expr::var_eq_int("RC", 1);
+        assert!(e.eval_bool(&c).unwrap());
+    }
+}

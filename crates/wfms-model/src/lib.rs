@@ -1,0 +1,64 @@
+//! # wfms-model
+//!
+//! The workflow **meta-model** of the reproduced paper (Alonso et al.,
+//! *Advanced Transaction Models in Workflow Contexts*, ICDE 1996,
+//! §3.2 / Figure 1), following the Workflow Management Coalition
+//! reference model with FlowMark's concrete vocabulary:
+//!
+//! * [`ProcessDefinition`] — an acyclic directed graph of activities
+//!   with typed input/output containers, start and termination
+//!   metadata.
+//! * [`Activity`] — one step: a **program activity** (runs a registered
+//!   transactional program), a **process activity / block** (runs an
+//!   embedded subprocess — the paper's nesting and loop mechanism), or
+//!   a **no-op** (the NOP trigger of the Figure 2 compensation block).
+//! * [`ControlConnector`] — flow of control, guarded by a *transition
+//!   condition* over the source activity's output container.
+//! * [`DataConnector`] — flow of data: member-wise mappings between
+//!   containers.
+//! * [`Container`]/[`ContainerSchema`] — sequences of typed variables;
+//!   every activity has an input and an output container, and the
+//!   engine injects the reserved member `RC` (the program's return
+//!   code) into every output container, which is what the paper's
+//!   conditions (`RC = 0`, `State_1 = 1`) test.
+//! * [`Expr`] — the condition-expression language (comparisons,
+//!   boolean connectives, integer arithmetic) with a parser and an
+//!   evaluator, used by transition conditions and exit conditions.
+//! * [`StartCondition`] — AND/OR join semantics; [`ExitCondition`] —
+//!   re-execute-until-true loop semantics (§3.2).
+//! * [`validate()`](validate::validate) — static checks mirroring the FlowMark import stage
+//!   of Figure 5: dangling connectors, cycles, type mismatches,
+//!   unresolvable variables, duplicate names.
+//!
+//! The model is pure data: no execution semantics live here (see
+//! `wfms-engine`), no concrete syntax (see `wfms-fdl`). This keeps the
+//! layering of the paper's Figure 5 intact: specification → model →
+//! executable template.
+
+pub mod activity;
+pub mod builder;
+pub mod connector;
+pub mod container;
+pub mod dot;
+pub mod expr;
+pub mod process;
+pub mod types;
+pub mod validate;
+
+pub use activity::{Activity, ActivityKind, StaffAssignment};
+pub use builder::ProcessBuilder;
+pub use connector::{ControlConnector, DataConnector, DataEndpoint, Mapping};
+pub use container::{Container, ContainerSchema, MemberDecl};
+pub use dot::to_dot;
+pub use expr::{Env, Expr, ExprError, MapEnv};
+pub use process::{ExitCondition, ProcessDefinition, StartCondition};
+pub use types::DataType;
+pub use validate::{validate, ValidationError};
+
+/// Reserved output-container member holding an activity's return code.
+///
+/// The engine writes the invoked program's return code here after every
+/// execution; transition conditions and exit conditions read it. The
+/// paper's constructions rely on the convention *committed ⇒ `RC = 1`,
+/// aborted ⇒ `RC = 0`* (§4.2).
+pub const RC_MEMBER: &str = "RC";

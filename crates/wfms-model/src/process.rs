@@ -1,0 +1,263 @@
+//! Process definitions — the acyclic directed graphs of Figure 1.
+
+use crate::activity::{Activity, ActivityKind};
+use crate::connector::{ControlConnector, DataConnector};
+use crate::container::ContainerSchema;
+use crate::types::DataType;
+use crate::RC_MEMBER;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+pub use crate::activity::{ExitCondition, StartCondition};
+
+/// A workflow process: "a description of the sequence of steps to be
+/// completed to accomplish some goal … a name, version number, start
+/// and termination conditions and additional data for security, audit
+/// and control" (§3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessDefinition {
+    /// Process name.
+    pub name: String,
+    /// Version number (FlowMark processes are versioned templates).
+    pub version: u32,
+    /// Free-form description.
+    pub description: String,
+    /// Process-level input container schema.
+    pub input: ContainerSchema,
+    /// Process-level output container schema.
+    pub output: ContainerSchema,
+    /// The steps.
+    pub activities: Vec<Activity>,
+    /// Flow of control.
+    pub control: Vec<ControlConnector>,
+    /// Flow of data.
+    pub data: Vec<DataConnector>,
+}
+
+impl ProcessDefinition {
+    /// An empty process named `name`, version 1.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            version: 1,
+            description: String::new(),
+            input: ContainerSchema::empty(),
+            output: ContainerSchema::empty(),
+            activities: Vec::new(),
+            control: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Looks up an activity by name.
+    pub fn activity(&self, name: &str) -> Option<&Activity> {
+        self.activities.iter().find(|a| a.name == name)
+    }
+
+    /// True if an activity named `name` exists.
+    pub fn has_activity(&self, name: &str) -> bool {
+        self.activity(name).is_some()
+    }
+
+    /// Activity names in declaration order.
+    pub fn activity_names(&self) -> Vec<&str> {
+        self.activities.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// The starting activities: those with no incoming control
+    /// connector (§3.2 — set to `ready` when the process starts).
+    pub fn start_activities(&self) -> Vec<&Activity> {
+        self.activities
+            .iter()
+            .filter(|a| !self.control.iter().any(|c| c.to == a.name))
+            .collect()
+    }
+
+    /// Incoming control connectors of `name`, in declaration order.
+    pub fn incoming(&self, name: &str) -> Vec<&ControlConnector> {
+        self.control.iter().filter(|c| c.to == name).collect()
+    }
+
+    /// Outgoing control connectors of `name`, in declaration order.
+    pub fn outgoing(&self, name: &str) -> Vec<&ControlConnector> {
+        self.control.iter().filter(|c| c.from == name).collect()
+    }
+
+    /// The *effective* output schema of an activity: its declared
+    /// schema plus the implicit `RC : INT` member the engine writes
+    /// after every execution (see [`crate::RC_MEMBER`]).
+    pub fn effective_output(&self, activity: &Activity) -> ContainerSchema {
+        let mut schema = activity.output.clone();
+        if !schema.has(RC_MEMBER) {
+            schema
+                .members
+                .insert(0, crate::container::MemberDecl::new(RC_MEMBER, DataType::Int));
+        }
+        schema
+    }
+
+    /// Kahn topological order of the activities, or `None` if the
+    /// control graph has a cycle (workflow models are acyclic by
+    /// definition, §3.2; loops are expressed with exit conditions and
+    /// blocks instead).
+    pub fn topo_order(&self) -> Option<Vec<&str>> {
+        let mut indegree: HashMap<&str, usize> = self
+            .activities
+            .iter()
+            .map(|a| (a.name.as_str(), 0))
+            .collect();
+        for c in &self.control {
+            if let Some(d) = indegree.get_mut(c.to.as_str()) {
+                *d += 1;
+            }
+        }
+        // Operate over *unique* names: duplicate activity names are a
+        // separate validation error and must not panic the sort.
+        let unique = indegree.len();
+        let mut queue: VecDeque<&str> = {
+            let mut seen = std::collections::HashSet::new();
+            self.activities
+                .iter()
+                .map(|a| a.name.as_str())
+                .filter(|n| seen.insert(*n) && indegree.get(n) == Some(&0))
+                .collect()
+        };
+        let mut order = Vec::with_capacity(unique);
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for c in self.control.iter().filter(|c| c.from == n) {
+                if let Some(d) = indegree.get_mut(c.to.as_str()) {
+                    *d = d.saturating_sub(1);
+                    if *d == 0 {
+                        queue.push_back(c.to.as_str());
+                    }
+                }
+            }
+        }
+        (order.len() == unique).then_some(order)
+    }
+
+    /// Total number of activities including those inside blocks,
+    /// recursively — a size metric the benchmarks report.
+    pub fn total_activities(&self) -> usize {
+        self.activities
+            .iter()
+            .map(|a| match &a.kind {
+                ActivityKind::Block { process } => 1 + process.total_activities(),
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Maximum block-nesting depth (a flat process has depth 1).
+    pub fn nesting_depth(&self) -> usize {
+        1 + self
+            .activities
+            .iter()
+            .filter_map(|a| match &a.kind {
+                ActivityKind::Block { process } => Some(process.nesting_depth()),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::ControlConnector;
+
+    fn linear3() -> ProcessDefinition {
+        let mut p = ProcessDefinition::new("p");
+        p.activities = vec![
+            Activity::program("A", "pa"),
+            Activity::program("B", "pb"),
+            Activity::program("C", "pc"),
+        ];
+        p.control = vec![
+            ControlConnector::new("A", "B"),
+            ControlConnector::new("B", "C"),
+        ];
+        p
+    }
+
+    #[test]
+    fn start_activities_have_no_incoming() {
+        let p = linear3();
+        let starts: Vec<_> = p.start_activities().iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(starts, vec!["A"]);
+    }
+
+    #[test]
+    fn incoming_outgoing() {
+        let p = linear3();
+        assert_eq!(p.incoming("B").len(), 1);
+        assert_eq!(p.outgoing("B").len(), 1);
+        assert_eq!(p.incoming("A").len(), 0);
+        assert_eq!(p.outgoing("C").len(), 0);
+    }
+
+    #[test]
+    fn topo_order_linear() {
+        let p = linear3();
+        assert_eq!(p.topo_order().unwrap(), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn topo_order_detects_cycle() {
+        let mut p = linear3();
+        p.control.push(ControlConnector::new("C", "A"));
+        assert!(p.topo_order().is_none());
+    }
+
+    #[test]
+    fn effective_output_injects_rc_once() {
+        let p = linear3();
+        let a = p.activity("A").unwrap();
+        let schema = p.effective_output(a);
+        assert!(schema.has(RC_MEMBER));
+        assert_eq!(
+            schema
+                .members
+                .iter()
+                .filter(|m| m.name == RC_MEMBER)
+                .count(),
+            1
+        );
+        // Declared RC is not duplicated.
+        let mut a2 = a.clone();
+        a2.output = ContainerSchema::of(&[(RC_MEMBER, DataType::Int)]);
+        let schema2 = p.effective_output(&a2);
+        assert_eq!(
+            schema2
+                .members
+                .iter()
+                .filter(|m| m.name == RC_MEMBER)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn size_metrics_recurse_into_blocks() {
+        let inner = linear3();
+        let mut outer = ProcessDefinition::new("outer");
+        outer.activities = vec![
+            Activity::program("X", "px"),
+            Activity::block("B", inner),
+        ];
+        assert_eq!(outer.total_activities(), 5);
+        assert_eq!(outer.nesting_depth(), 2);
+        let flat = linear3();
+        assert_eq!(flat.nesting_depth(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = linear3();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProcessDefinition = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests of the condition-expression language:
+//! display/parse round-trips, evaluator totality and algebraic
+//! properties used by the navigator.
+
+use proptest::prelude::*;
+use txn_substrate::Value;
+use wfms_model::{Env, Expr, MapEnv};
+
+/// Random expression trees over a small variable universe.
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-100i64..100).prop_map(|n| Expr::Lit(Value::Int(n))),
+        any::<bool>().prop_map(|b| Expr::Lit(Value::Bool(b))),
+        "[a-c]{1,4}".prop_map(|s| Expr::Lit(Value::Str(s))),
+        prop_oneof![Just("RC"), Just("State_1"), Just("x"), Just("y")]
+            .prop_map(|v| Expr::Var(v.to_owned())),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Cmp(
+                Box::new(a),
+                wfms_model::expr::CmpOp::Eq,
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Cmp(
+                Box::new(a),
+                wfms_model::expr::CmpOp::Lt,
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Arith(
+                Box::new(a),
+                wfms_model::expr::ArithOp::Add,
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Arith(
+                Box::new(a),
+                wfms_model::expr::ArithOp::Div,
+                Box::new(b)
+            )),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
+            inner.prop_map(|a| Expr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn env_strategy() -> impl Strategy<Value = MapEnv> {
+    (
+        -5i64..5,
+        -5i64..5,
+        prop_oneof![
+            (-5i64..5).prop_map(Value::Int),
+            any::<bool>().prop_map(Value::Bool),
+            "[a-c]{0,3}".prop_map(Value::from),
+        ],
+        prop_oneof![
+            (-5i64..5).prop_map(Value::Int),
+            any::<bool>().prop_map(Value::Bool),
+        ],
+    )
+        .prop_map(|(rc, s1, x, y)| {
+            MapEnv(
+                [
+                    ("RC".to_string(), Value::Int(rc)),
+                    ("State_1".to_string(), Value::Int(s1)),
+                    ("x".to_string(), x),
+                    ("y".to_string(), y),
+                ]
+                .into_iter()
+                .collect(),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Display emits text that parses back to the same tree, up to
+    /// the parser's normal form (unary minus on integer literals is
+    /// folded): one round normalises, further rounds are identity,
+    /// and the normal form is semantically equal to the original.
+    #[test]
+    fn display_parse_round_trip(e in expr_strategy(), env in env_strategy()) {
+        let text = e.to_string();
+        let n1 = Expr::parse(&text)
+            .unwrap_or_else(|err| panic!("reparse of {text:?} failed: {err}"));
+        let n2 = Expr::parse(&n1.to_string()).unwrap();
+        prop_assert_eq!(&n2, &n1, "normal form must be a fixed point");
+        prop_assert_eq!(n1.eval(&env), e.eval(&env), "normalisation preserves meaning");
+    }
+
+    /// Evaluation is total as a function: it never panics, and it is
+    /// deterministic.
+    #[test]
+    fn eval_is_deterministic(e in expr_strategy(), env in env_strategy()) {
+        let a = e.eval(&env);
+        let b = e.eval(&env);
+        prop_assert_eq!(a, b);
+    }
+
+    /// `variables()` is sound: evaluation only ever reports
+    /// `UnknownVar` for names outside the declared set, and an
+    /// environment defining all reported variables never produces
+    /// `UnknownVar`.
+    #[test]
+    fn variables_is_sound(e in expr_strategy(), env in env_strategy()) {
+        for v in e.variables() {
+            prop_assert!(env.lookup(&v).is_some(), "strategy env covers {v}");
+        }
+        if let Err(wfms_model::ExprError::UnknownVar(v)) = e.eval(&env) {
+            prop_assert!(false, "env covers all vars but {v} was unknown");
+        }
+    }
+
+    /// De Morgan on the condition algebra, modulo evaluation errors:
+    /// when both sides evaluate cleanly, NOT(a AND b) == NOT a OR NOT b.
+    /// (Short-circuiting can make one side error where the other does
+    /// not, so error cases are exempt.)
+    #[test]
+    fn de_morgan_holds_on_clean_evaluations(
+        a in expr_strategy(),
+        b in expr_strategy(),
+        env in env_strategy(),
+    ) {
+        let lhs = Expr::Not(Box::new(Expr::And(Box::new(a.clone()), Box::new(b.clone()))));
+        let rhs = Expr::Or(
+            Box::new(Expr::Not(Box::new(a))),
+            Box::new(Expr::Not(Box::new(b))),
+        );
+        if let (Ok(l), Ok(r)) = (lhs.eval(&env), rhs.eval(&env)) {
+            prop_assert_eq!(l, r);
+        }
+    }
+
+    /// Parsing arbitrary garbage never panics.
+    #[test]
+    fn parse_never_panics(s in "\\PC{0,40}") {
+        let _ = Expr::parse(&s);
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: define a small workflow process with the builder, run
+//! it on the engine against the transactional substrate, and inspect
+//! the audit trail.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+use txn_substrate::{KvProgram, MultiDatabase, ProgramOutcome, ProgramRegistry, Value};
+use wftx::engine::{audit, Engine, InstanceStatus};
+use wftx::model::{Activity, Container, ContainerSchema, DataType, ProcessBuilder};
+
+fn main() {
+    // 1. A federation with one local database, and two registered
+    //    transactional programs.
+    let fed = MultiDatabase::new(0);
+    fed.add_database("orders");
+    let programs = Arc::new(ProgramRegistry::new());
+    programs.register(Arc::new(KvProgram::write(
+        "reserve_stock",
+        "orders",
+        "stock/reserved",
+        1i64,
+    )));
+    programs.register_fn("price_order", |ctx| {
+        let qty = ctx.params.get("qty").and_then(|v| v.as_int()).unwrap_or(0);
+        ProgramOutcome::Committed {
+            rc: 1,
+            outputs: [("total".to_string(), Value::Int(qty * 25))]
+                .into_iter()
+                .collect(),
+        }
+    });
+
+    // 2. A two-step process: reserve stock, then price the order. The
+    //    order quantity flows from the process input container into
+    //    the pricing activity; the computed total flows out.
+    let process = ProcessBuilder::new("order_entry")
+        .describe("reserve stock, then price the order")
+        .input(ContainerSchema::of(&[("quantity", DataType::Int)]))
+        .output(ContainerSchema::of(&[("amount_due", DataType::Int)]))
+        .program("Reserve", "reserve_stock")
+        .activity(
+            Activity::program("Price", "price_order")
+                .with_input(ContainerSchema::of(&[("qty", DataType::Int)]))
+                .with_output(ContainerSchema::of(&[("total", DataType::Int)])),
+        )
+        .connect_when("Reserve", "Price", "RC = 1")
+        .map_process_input("Price", &[("quantity", "qty")])
+        .map_to_process_output("Price", &[("total", "amount_due")])
+        .build()
+        .expect("definition validates");
+
+    // 3. Run an instance.
+    let engine = Engine::new(Arc::clone(&fed), programs);
+    engine.register(process).unwrap();
+    let mut input = Container::empty();
+    input.set("quantity", Value::Int(4));
+    let id = engine.start("order_entry", input).unwrap();
+    let status = engine.run_to_quiescence(id).unwrap();
+    assert_eq!(status, InstanceStatus::Finished);
+
+    // 4. Results: the process output container and the audit trail.
+    let output = engine.output(id).unwrap();
+    println!("instance {id} finished");
+    println!(
+        "amount due: {}",
+        output.get("amount_due").and_then(|v| v.as_int()).unwrap()
+    );
+    println!(
+        "stock reserved in db: {:?}",
+        fed.db("orders").unwrap().peek("stock/reserved")
+    );
+    println!("\naudit trail:");
+    for line in audit::render(&engine.journal_events()) {
+        println!("  {line}");
+    }
+}

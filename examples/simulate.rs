@@ -1,0 +1,125 @@
+//! Process simulation — one of the §3.3 features the paper credits
+//! WFMSs with ("they do provide a great deal of support for …
+//! monitoring, accounting, simulation …"): Monte-Carlo execution of
+//! the Figure 3 flexible transaction with per-step business durations
+//! and stochastic failures, reporting commit rates, path selection and
+//! the makespan distribution.
+//!
+//! ```sh
+//! cargo run --release --example simulate
+//! ```
+
+use atm::fixtures;
+use std::sync::Arc;
+use txn_substrate::{FailurePlan, KvProgram, MultiDatabase, ProgramRegistry, Value};
+use wftx::engine::Engine;
+use wftx::model::Container;
+
+/// Business durations in hours (virtual-clock ticks).
+const DURATIONS: &[(&str, u64)] = &[
+    ("T1", 2),  // reserve
+    ("T2", 8),  // contract (pivot)
+    ("T3", 24), // manual fallback processing (retriable)
+    ("T4", 4),  // payment authorization (pivot)
+    ("T5", 6),  // shipping leg A
+    ("T6", 6),  // shipping leg B
+    ("T7", 16), // alternative carrier (retriable)
+    ("T8", 4),  // final confirmation (pivot)
+];
+
+fn main() {
+    let spec = fixtures::figure3_spec();
+    let def = exotica::translate_flex(&spec).expect("figure 3 translates");
+    println!("simulating {:?} — {} trials per failure level\n", def.name, 500);
+    println!(
+        "{:>6} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8} {:>8}",
+        "p", "commit%", "via_p1", "via_p2", "via_p3", "p50(h)", "p90(h)", "max(h)"
+    );
+
+    for p10 in 0..=5 {
+        let p = p10 as f64 / 10.0;
+        let trials = 500;
+        let mut makespans = Vec::with_capacity(trials);
+        let mut via = [0u32; 3];
+        let mut aborted = 0u32;
+
+        for trial in 0..trials {
+            let fed = MultiDatabase::new(10_000 + trial as u64);
+            fed.add_database("db");
+            let registry = Arc::new(ProgramRegistry::new());
+            for (step, hours) in DURATIONS {
+                registry.register(Arc::new(
+                    KvProgram::write(&format!("prog_{step}"), "db", step, 1i64)
+                        .with_label(step)
+                        .with_duration(*hours),
+                ));
+                registry.register(Arc::new(
+                    KvProgram::write(&format!("comp_{step}"), "db", step, Value::Int(-1))
+                        .with_duration(hours / 2),
+                ));
+            }
+            // Pivots and compensatables fail stochastically; retriable
+            // steps are flaky but bounded (they must eventually
+            // commit, so a capped FirstN models their transient
+            // failures).
+            for st in &spec.steps {
+                if st.class.is_retriable() {
+                    fed.injector().set_plan(
+                        &st.name,
+                        FailurePlan::FirstN(if trial % 3 == 0 { 1 } else { 0 }),
+                    );
+                } else {
+                    fed.injector()
+                        .set_plan(&st.name, FailurePlan::Probability { p });
+                }
+            }
+
+            let engine = Engine::new(Arc::clone(&fed), registry);
+            engine.register(def.clone()).unwrap();
+            let id = engine.start("figure3", Container::empty()).unwrap();
+            engine.run_to_quiescence(id).unwrap();
+            let out = engine.output(id).unwrap();
+            let committed = out.get("Committed").and_then(|v| v.as_int()) == Some(1);
+            if committed {
+                for (k, count) in via.iter_mut().enumerate() {
+                    if out
+                        .get(&exotica::flexible::via_member(k))
+                        .and_then(|v| v.as_int())
+                        == Some(1)
+                    {
+                        *count += 1;
+                        break;
+                    }
+                }
+            } else {
+                aborted += 1;
+            }
+            makespans.push(engine.clock().now());
+        }
+
+        makespans.sort_unstable();
+        let q = |f: f64| makespans[((makespans.len() - 1) as f64 * f) as usize];
+        let commit_pct =
+            (trials as u32 - aborted) as f64 / trials as f64 * 100.0;
+        println!(
+            "{:>6.1} {:>7.1}% {:>7} {:>7} {:>7} {:>8} {:>8} {:>8}",
+            p,
+            commit_pct,
+            via[0],
+            via[1],
+            via[2],
+            q(0.5),
+            q(0.9),
+            makespans.last().unwrap()
+        );
+    }
+
+    println!(
+        "\nreading: as per-step reliability degrades, commits shift from the\n\
+         preferred path p1 to the fallbacks, and the makespan distribution\n\
+         grows a long tail (failed-late runs pay forward work + compensation\n\
+         + the fallback path). This is the §3.3 'simulation' capability: the\n\
+         same engine, template and programs as production, run against a\n\
+         virtual clock."
+    );
+}

@@ -1,0 +1,17 @@
+-- The flexible transaction of Figure 3 (Alonso et al., ICDE 1996).
+-- Try:
+--   cargo run -p exotica --bin fmtm -- translate examples/specs/figure3.flex
+--   cargo run -p exotica --bin fmtm -- run examples/specs/figure3.flex --fail T8=always --trace
+FLEXIBLE figure3
+  STEP T1 PROGRAM "prog_T1" COMPENSATION "comp_T1"
+  STEP T2 PROGRAM "prog_T2" PIVOT
+  STEP T3 PROGRAM "prog_T3" RETRIABLE
+  STEP T4 PROGRAM "prog_T4" PIVOT
+  STEP T5 PROGRAM "prog_T5" COMPENSATION "comp_T5"
+  STEP T6 PROGRAM "prog_T6" COMPENSATION "comp_T6"
+  STEP T7 PROGRAM "prog_T7" RETRIABLE
+  STEP T8 PROGRAM "prog_T8" PIVOT
+  PATH T1 T2 T4 T5 T6 T8
+  PATH T1 T2 T4 T7
+  PATH T1 T2 T3
+END

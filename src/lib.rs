@@ -1,0 +1,61 @@
+//! # wftx — Advanced Transaction Models in Workflow Contexts
+//!
+//! Facade crate re-exporting the whole stack. See the README for the
+//! architecture and `DESIGN.md` for the paper-to-module map.
+//!
+//! * [`substrate`] — autonomous local databases (strict 2PL, WAL,
+//!   failure injection): the multidatabase the subtransactions run on.
+//! * [`model`] — the FlowMark/WfMC workflow meta-model (Figure 1).
+//! * [`fdl`] — the FlowMark-Definition-Language-style textual format.
+//! * [`engine`] — the navigator: execution, dead path elimination,
+//!   worklists, organization, forward recovery.
+//! * [`atm`] — advanced transaction models (sagas, flexible
+//!   transactions) as specifications and native executors.
+//! * [`exotica`] — the Exotica/FMTM pre-processor translating ATM
+//!   specifications into workflow processes (Figures 2, 4 and 5).
+//!
+//! The headline act, end to end — a saga specification compiled to a
+//! workflow process and executed with a scripted failure:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wftx::substrate::{FailurePlan, KvProgram, MultiDatabase, ProgramRegistry, Value};
+//! use wftx::engine::{Engine, InstanceStatus};
+//! use wftx::model::Container;
+//!
+//! // Figure 5, stage by stage: spec text → template (via FDL).
+//! let out = wftx::exotica::run_pipeline(r#"
+//!     SAGA transfer
+//!       STEP Debit  PROGRAM "debit"  COMPENSATION "undo_debit"
+//!       STEP Credit PROGRAM "credit" COMPENSATION "undo_credit"
+//!     END
+//! "#).unwrap();
+//!
+//! // A multidatabase with the programs the saga names.
+//! let fed = MultiDatabase::new(0);
+//! fed.add_database("bank");
+//! let programs = Arc::new(ProgramRegistry::new());
+//! programs.register(Arc::new(KvProgram::write("debit", "bank", "debit", 1i64).with_label("Debit")));
+//! programs.register(Arc::new(KvProgram::write("undo_debit", "bank", "debit", Value::Int(-1))));
+//! programs.register(Arc::new(KvProgram::write("credit", "bank", "credit", 1i64).with_label("Credit")));
+//! programs.register(Arc::new(KvProgram::write("undo_credit", "bank", "credit", Value::Int(-1))));
+//! // The credit leg always refuses: the saga must compensate.
+//! fed.injector().set_plan("Credit", FailurePlan::Always);
+//!
+//! let engine = Engine::new(fed.clone(), programs);
+//! engine.register(out.process).unwrap();
+//! let id = engine.start("transfer", Container::empty()).unwrap();
+//! assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+//!
+//! // García-Molina/Salem guarantee: the debit was compensated.
+//! assert_eq!(engine.output(id).unwrap().get("Committed"), Some(&Value::Int(0)));
+//! assert_eq!(fed.db("bank").unwrap().peek("debit"), Some(Value::Int(-1)));
+//! assert_eq!(fed.db("bank").unwrap().peek("credit"), None);
+//! ```
+
+pub use atm;
+pub use exotica;
+pub use txn_substrate as substrate;
+pub use wfms_engine as engine;
+pub use wfms_fdl as fdl;
+pub use wfms_model as model;

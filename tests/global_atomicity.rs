@@ -1,0 +1,126 @@
+//! The §2 argument, executable: under identical site failures, a
+//! two-phase-commit global transaction violates atomicity (heuristic
+//! outcome) or blocks other work, while the saga over the same sites
+//! ends in a consistent state (all effects present or all
+//! compensated) without ever holding cross-site locks.
+
+use atm::{GlobalTxn, SiteWrites, StepSpec, TwoPcExecutor, TwoPcOutcome};
+use std::sync::Arc;
+use txn_substrate::{FailurePlan, KvProgram, MultiDatabase, ProgramRegistry, Value};
+
+const SITES: [&str; 3] = ["site_a", "site_b", "site_c"];
+const KEYS: [&str; 3] = ["x", "y", "z"];
+
+fn fed() -> Arc<MultiDatabase> {
+    let fed = MultiDatabase::new(0);
+    for s in SITES {
+        fed.add_database(s);
+    }
+    fed
+}
+
+fn global_txn() -> GlobalTxn {
+    GlobalTxn {
+        name: "g".into(),
+        sites: SITES
+            .iter()
+            .zip(KEYS)
+            .map(|(db, key)| SiteWrites {
+                db: (*db).to_string(),
+                writes: vec![(key.to_string(), Value::Int(1))],
+            })
+            .collect(),
+    }
+}
+
+/// The same business intent as [`global_txn`], as a saga: one
+/// compensatable step per site.
+fn saga_over_sites(registry: &ProgramRegistry) -> atm::SagaSpec {
+    let mut steps = Vec::new();
+    for (db, key) in SITES.iter().zip(KEYS) {
+        let forward = format!("write_{db}");
+        let comp = format!("undo_{db}");
+        registry.register(Arc::new(
+            KvProgram::write(&forward, db, key, 1i64).with_label(db),
+        ));
+        registry.register(Arc::new(KvProgram::delete(&comp, db, key)));
+        steps.push(StepSpec::compensatable(db, &forward, &comp));
+    }
+    atm::SagaSpec::linear("sites", steps)
+}
+
+/// Values of the three keys across the three sites.
+fn state(fed: &Arc<MultiDatabase>) -> Vec<Option<i64>> {
+    SITES
+        .iter()
+        .zip(KEYS)
+        .map(|(db, key)| fed.db(db).unwrap().peek(key).and_then(|v| v.as_int()))
+        .collect()
+}
+
+#[test]
+fn twopc_goes_heuristic_where_the_saga_stays_consistent() {
+    // site_b refuses its commit in both worlds.
+    // --- 2PC world ---
+    let fed_2pc = fed();
+    fed_2pc
+        .injector()
+        .set_plan("site_b/commit", FailurePlan::Always);
+    let res = TwoPcExecutor::new(Arc::clone(&fed_2pc)).run(&global_txn());
+    assert!(matches!(res.outcome, TwoPcOutcome::Heuristic { .. }));
+    let s = state(&fed_2pc);
+    assert_eq!(s, vec![Some(1), None, Some(1)], "torn global state");
+
+    // --- saga world (same failure: site_b's forward step aborts) ---
+    let fed_saga = fed();
+    let registry = Arc::new(ProgramRegistry::new());
+    let spec = saga_over_sites(&registry);
+    fed_saga.injector().set_plan("site_b", FailurePlan::Always);
+    let exec = atm::SagaExecutor::new(Arc::clone(&fed_saga), registry);
+    let out = exec.run(&spec).unwrap();
+    assert!(!out.is_committed());
+    let s = state(&fed_saga);
+    assert_eq!(
+        s,
+        vec![None, None, None],
+        "saga backed out site_a; nothing torn"
+    );
+}
+
+#[test]
+fn saga_commits_where_twopc_would_have_blocked() {
+    // site_c is down when its turn comes. 2PC blocks (and in our
+    // implementation gives up); the saga observes an abort at the
+    // site_c step and compensates — a *defined* outcome either way.
+    let fed_2pc = fed();
+    let exec2pc = TwoPcExecutor::new(Arc::clone(&fed_2pc));
+    let res = exec2pc.run_with_probe(&global_txn(), || {
+        fed_2pc.db("site_a").unwrap().set_down(true);
+    });
+    assert!(matches!(res.outcome, TwoPcOutcome::Blocked { .. }));
+
+    let fed_saga = fed();
+    let registry = Arc::new(ProgramRegistry::new());
+    let spec = saga_over_sites(&registry);
+    fed_saga.db("site_c").unwrap().set_down(true);
+    let exec = atm::SagaExecutor::new(Arc::clone(&fed_saga), registry);
+    let out = exec.run(&spec).unwrap();
+    assert!(!out.is_committed(), "saga aborted cleanly");
+    assert_eq!(state(&fed_saga)[0], None, "site_a write compensated");
+    assert_eq!(state(&fed_saga)[1], None, "site_b write compensated");
+}
+
+#[test]
+fn both_commit_on_the_happy_path() {
+    let fed_2pc = fed();
+    let res = TwoPcExecutor::new(Arc::clone(&fed_2pc)).run(&global_txn());
+    assert_eq!(res.outcome, TwoPcOutcome::Committed);
+    assert_eq!(state(&fed_2pc), vec![Some(1), Some(1), Some(1)]);
+
+    let fed_saga = fed();
+    let registry = Arc::new(ProgramRegistry::new());
+    let spec = saga_over_sites(&registry);
+    let exec = atm::SagaExecutor::new(Arc::clone(&fed_saga), registry);
+    assert!(exec.run(&spec).unwrap().is_committed());
+    assert_eq!(state(&fed_saga), vec![Some(1), Some(1), Some(1)]);
+}
