@@ -4,7 +4,12 @@
 //! fmtm translate <spec-file>            emit the generated FDL
 //! fmtm dot <spec-file>                  emit Graphviz DOT of the process
 //! fmtm check <spec-file>                run all pipeline stages, report diagnostics
+//! fmtm lint <file> [options]            static analysis of an FDL or ATM spec file
 //! fmtm run <spec-file> [options]        execute the translated process
+//!
+//! lint options:
+//!   --format json                       machine-readable output
+//!   --allow CODE                        suppress a WA0xx code (repeatable)
 //!
 //! run options:
 //!   --fail LABEL=always                 subtransaction LABEL always aborts
@@ -33,9 +38,10 @@ fn main() -> ExitCode {
         Some("translate") => translate(&args[1..]),
         Some("dot") => dot(&args[1..]),
         Some("check") => check(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("run") => run(&args[1..]),
         _ => {
-            eprintln!("usage: fmtm <translate|check|run> <spec-file> [options]");
+            eprintln!("usage: fmtm <translate|dot|check|lint|run> <spec-file> [options]");
             eprintln!("see `crates/exotica/src/bin/fmtm.rs` for option details");
             ExitCode::from(2)
         }
@@ -120,6 +126,81 @@ fn check(args: &[String]) -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut json = false;
+    let mut allowed: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("json") => json = true,
+                    Some("human") => json = false,
+                    Some(other) => {
+                        eprintln!("fmtm lint: --format needs human or json, got {other:?}");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("fmtm lint: --format needs human or json");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "--allow" => {
+                let Some(code) = args.get(i + 1) else {
+                    eprintln!("fmtm lint: --allow needs a WA0xx code");
+                    return ExitCode::from(2);
+                };
+                allowed.push(code.clone());
+                i += 2;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("fmtm lint: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+            other => {
+                if path.replace(other).is_some() {
+                    eprintln!("fmtm lint: expected exactly one file");
+                    return ExitCode::from(2);
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("fmtm lint: missing file (FDL process or ATM spec)");
+        return ExitCode::from(2);
+    };
+    let src = match load(path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    let diags = match exotica::lint_source(&src, &allowed) {
+        Ok(diags) => diags,
+        Err(e) => {
+            eprintln!("fmtm lint: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if json {
+        println!("{}", wfms_analyzer::render_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{path}: {}", d.render());
+        }
+        if diags.is_empty() {
+            println!("{path}: clean");
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

@@ -25,22 +25,28 @@
 //! * [`specfmt`] — the textual specification format the pre-processor
 //!   accepts (the "user specification" of Figure 5).
 //! * [`pipeline`] — the end-to-end driver with the per-stage error
-//!   taxonomy (spec syntax → model rules → translation → FDL import).
+//!   taxonomy (spec syntax → model rules → translation → FDL import →
+//!   static analysis).
+//! * [`lint`] — the `fmtm lint` front end: sniffs whether a file is
+//!   FDL or an ATM spec and runs the matching `wfms-analyzer` battery
+//!   with source positions attached.
 //! * [`verify`] — the equivalence harness: runs a specification both
 //!   natively (`atm::native`) and as a translated workflow process
 //!   under identical failure scripts and compares outcomes, database
 //!   state and compensation activity.
 
 pub mod flexible;
+pub mod lint;
 pub mod pipeline;
 pub mod saga;
 pub mod specfmt;
 pub mod verify;
 
 pub use flexible::translate_flex;
-pub use pipeline::{run_pipeline, AtmSpec, PipelineError, PipelineOutput};
+pub use lint::{lint_source, sniff, LintTarget};
+pub use pipeline::{import_and_analyze, run_pipeline, AtmSpec, PipelineError, PipelineOutput};
 pub use saga::{translate_saga, translate_saga_flat};
-pub use specfmt::{emit_spec, parse_spec, ParsedSpec};
+pub use specfmt::{emit_spec, parse_spec, parse_spec_spanned, ParsedSpec, SpecSpans};
 pub use verify::{compare_flex, compare_saga, EquivalenceReport};
 
 use atm::WellFormedError;

@@ -1,0 +1,156 @@
+//! Lint front end shared by `fmtm lint` and the golden tests.
+//!
+//! Accepts either kind of source text the toolchain works with and
+//! runs the appropriate `wfms-analyzer` battery:
+//!
+//! * **FDL** (first keyword `PROCESS`) — parsed with provenance, so
+//!   every finding carries the line/column of the offending element.
+//! * **ATM specs** (first keyword `SAGA` or `FLEXIBLE`) — the
+//!   ATM-level lints run against the parsed spec with step positions
+//!   from [`SpecSpans`](crate::specfmt::SpecSpans); if those are
+//!   clean, the spec is translated
+//!   and the generated process is analysed too (position-less, since
+//!   the FDL it would point into is machine-generated).
+
+use crate::flexible::translate_flex;
+use crate::saga::translate_saga;
+use crate::specfmt::{parse_spec_spanned, ParsedSpec};
+use wfms_analyzer::{has_errors, Analyzer, Diagnostic};
+use wfms_fdl::Pos;
+
+/// What kind of source text a file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LintTarget {
+    /// FlowMark Definition Language (a `PROCESS`).
+    Fdl,
+    /// An ATM specification (`SAGA` or `FLEXIBLE`).
+    Spec,
+}
+
+/// Sniffs the source kind from its first keyword, skipping blank
+/// lines and `--`/`//` comment lines.
+pub fn sniff(src: &str) -> Option<LintTarget> {
+    for line in src.lines() {
+        let text = line.trim();
+        if text.is_empty() || text.starts_with("--") || text.starts_with("//") {
+            continue;
+        }
+        let word = text
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_uppercase();
+        return match word.as_str() {
+            "PROCESS" => Some(LintTarget::Fdl),
+            "SAGA" | "FLEXIBLE" => Some(LintTarget::Spec),
+            _ => None,
+        };
+    }
+    None
+}
+
+/// Lints one source text. `allowed` suppresses the given `WA0xx`
+/// codes. Returns `Err` with a message when the text does not parse
+/// at all (lints need a parsed artifact to look at).
+pub fn lint_source(src: &str, allowed: &[String]) -> Result<Vec<Diagnostic>, String> {
+    let analyzer = || {
+        let mut a = Analyzer::new();
+        for code in allowed {
+            a = a.allow(code);
+        }
+        a
+    };
+    match sniff(src) {
+        Some(LintTarget::Fdl) => {
+            let (def, prov) =
+                wfms_fdl::parse_with_provenance(src).map_err(|e| e.to_string())?;
+            Ok(analyzer().check_process(&def, Some(&prov)))
+        }
+        Some(LintTarget::Spec) => {
+            let (spec, spans) = parse_spec_spanned(src).map_err(|e| e.to_string())?;
+            let mut diags = match &spec {
+                ParsedSpec::Saga(s) => analyzer().check_saga(s),
+                ParsedSpec::Flexible(f) => analyzer().check_flex(f),
+            };
+            for d in &mut diags {
+                if d.pos.is_none() {
+                    let line = d
+                        .element
+                        .as_ref()
+                        .and_then(|e| spans.steps.get(e).copied())
+                        .unwrap_or(spans.header);
+                    if line > 0 {
+                        d.pos = Some(Pos { line, col: 1 });
+                    }
+                }
+            }
+            // Spec-level errors make the translation meaningless;
+            // likewise a spec outside the supported translation class
+            // is `fmtm check`'s concern, not a lint finding.
+            if !has_errors(&diags) {
+                let translated = match &spec {
+                    ParsedSpec::Saga(s) => translate_saga(s),
+                    ParsedSpec::Flexible(f) => translate_flex(f),
+                };
+                if let Ok(process) = translated {
+                    diags.extend(analyzer().check_process(&process, None));
+                }
+            }
+            Ok(diags)
+        }
+        None => Err("unrecognised source: expected PROCESS, SAGA or FLEXIBLE".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sniffs_through_comments() {
+        assert_eq!(sniff("-- c\n\nPROCESS p END"), Some(LintTarget::Fdl));
+        assert_eq!(sniff("// c\nsaga s\nEND"), Some(LintTarget::Spec));
+        assert_eq!(sniff("FLEXIBLE f\nEND"), Some(LintTarget::Spec));
+        assert_eq!(sniff("-- only a comment"), None);
+        assert_eq!(sniff("WHAT is this"), None);
+    }
+
+    #[test]
+    fn fdl_findings_have_positions() {
+        let src = "PROCESS p\n  ACTIVITY A PROGRAM \"a\" END\n  ACTIVITY B PROGRAM \"b\" END\n  CONTROL FROM A TO B WHEN \"1 = 2\"\nEND";
+        let diags = lint_source(src, &[]).unwrap();
+        assert!(diags.iter().any(|d| d.code == "WA031"));
+        assert!(diags.iter().all(|d| d.pos.is_some()), "{diags:?}");
+    }
+
+    #[test]
+    fn spec_findings_point_at_step_lines() {
+        let src = "SAGA s\n  STEP A PROGRAM \"p\" COMPENSATION \"c\"\n  STEP B PROGRAM \"q\"\nEND";
+        let diags = lint_source(src, &[]).unwrap();
+        let d = diags.iter().find(|d| d.code == "WA052").expect("WA052");
+        assert_eq!(d.pos.map(|p| p.line), Some(3));
+    }
+
+    #[test]
+    fn clean_spec_also_lints_its_translation() {
+        let src = "SAGA s\n  STEP A PROGRAM \"p\" COMPENSATION \"c\"\nEND";
+        let diags = lint_source(src, &[]).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_list_respected() {
+        let src = "SAGA s\n  STEP A PROGRAM \"p\"\nEND";
+        let diags = lint_source(src, &[]).unwrap();
+        assert!(!diags.is_empty());
+        let codes: Vec<String> = diags.iter().map(|d| d.code.to_owned()).collect();
+        let diags = lint_source(src, &codes).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unparseable_source_is_an_error() {
+        assert!(lint_source("neither fish nor fowl", &[]).is_err());
+        assert!(lint_source("PROCESS p ACTIVITY END", &[]).is_err());
+    }
+}

@@ -21,6 +21,7 @@ use crate::saga::translate_saga;
 use crate::specfmt::{parse_spec, ParsedSpec, SpecSyntaxError};
 use crate::TranslateError;
 use atm::WellFormedError;
+use wfms_analyzer::{Analyzer, Diagnostic, Severity};
 use wfms_fdl::FdlError;
 use wfms_model::ProcessDefinition;
 
@@ -41,6 +42,11 @@ pub enum PipelineError {
     /// Stage 4: the emitted FDL failed to re-import — a translator or
     /// emitter bug, surfaced for completeness of the taxonomy.
     FdlImport(Vec<FdlError>),
+    /// Stage 5: the imported process failed static analysis — the
+    /// `wfms-analyzer` battery found error-severity defects
+    /// (unreachable activities, read-before-write container accesses,
+    /// statically dead compensation paths, …).
+    Analysis(Vec<Diagnostic>),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -62,6 +68,13 @@ impl std::fmt::Display for PipelineError {
                 }
                 Ok(())
             }
+            PipelineError::Analysis(diags) => {
+                writeln!(f, "[stage 5: analysis]")?;
+                for d in diags {
+                    writeln!(f, "  - {}", d.render())?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -78,6 +91,42 @@ pub struct PipelineOutput {
     /// The validated, executable process template (stage 4 output) —
     /// re-imported from the FDL, proving the textual hand-off works.
     pub process: ProcessDefinition,
+    /// Non-fatal analyzer findings (stage 5): warnings and notes that
+    /// did not block the pipeline. Error-severity findings abort with
+    /// [`PipelineError::Analysis`] instead.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// Stages 4–5 on FDL text: imports the definition (syntax + semantic
+/// validation, with source provenance) and runs the `wfms-analyzer`
+/// battery over it. Error-severity findings reject the process; the
+/// surviving warnings and notes are returned alongside it.
+///
+/// This is the verification gate `run_pipeline` applies to its own
+/// translator output; it is public so externally produced FDL can be
+/// held to the same standard.
+pub fn import_and_analyze(
+    fdl: &str,
+) -> Result<(ProcessDefinition, Vec<Diagnostic>), PipelineError> {
+    let (process, provenance) =
+        wfms_fdl::parse_with_provenance(fdl).map_err(|e| PipelineError::FdlImport(vec![e]))?;
+    let semantic: Vec<FdlError> = wfms_model::validate(&process)
+        .iter()
+        .map(|e| FdlError::new(provenance.locate(e).unwrap_or_default(), e.to_string()))
+        .collect();
+    if !semantic.is_empty() {
+        return Err(PipelineError::FdlImport(semantic));
+    }
+
+    // Stage 5: static analysis over the imported process.
+    let diags = Analyzer::new().check_process(&process, Some(&provenance));
+    let (errors, rest): (Vec<Diagnostic>, Vec<Diagnostic>) = diags
+        .into_iter()
+        .partition(|d| d.severity == Severity::Error);
+    if !errors.is_empty() {
+        return Err(PipelineError::Analysis(errors));
+    }
+    Ok((process, rest))
 }
 
 /// Runs the full pipeline on a specification text.
@@ -115,12 +164,17 @@ pub fn run_pipeline(spec_text: &str) -> Result<PipelineOutput, PipelineError> {
     .map_err(PipelineError::Translation)?;
     let fdl = wfms_fdl::emit(&translated);
 
-    // Stage 4: import the FDL (syntax + semantic validation), yielding
-    // the executable template.
-    let process = wfms_fdl::parse_and_validate(&fdl).map_err(PipelineError::FdlImport)?;
+    // Stages 4–5: import the FDL (syntax + semantic validation) and
+    // statically analyse it, yielding the executable template.
+    let (process, diagnostics) = import_and_analyze(&fdl)?;
     debug_assert_eq!(process, translated, "FDL round trip must be lossless");
 
-    Ok(PipelineOutput { spec, fdl, process })
+    Ok(PipelineOutput {
+        spec,
+        fdl,
+        process,
+        diagnostics,
+    })
 }
 
 #[cfg(test)]
@@ -168,6 +222,67 @@ mod tests {
         let err = run_pipeline("SAGA s\nSTEP A PROGRAM \"p\"\nEND").unwrap_err();
         assert!(matches!(err, PipelineError::ModelRules(_)));
         assert!(err.to_string().contains("stage 2"));
+    }
+
+    #[test]
+    fn translations_are_analyzer_clean() {
+        let out = run_pipeline(SAGA_SRC).unwrap();
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        let src = crate::specfmt::emit_spec(&AtmSpec::Flexible(
+            atm::fixtures::figure3_spec(),
+        ));
+        let out = run_pipeline(&src).unwrap();
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn stage5_rejects_unreachable_compensation_block() {
+        // Break the translator's own output: make the Forward →
+        // Compensation trigger statically false. The compensation
+        // block is then dead code and the import gate must refuse it,
+        // naming the block and its FDL position.
+        let out = run_pipeline(SAGA_SRC).unwrap();
+        let needle = "WHEN \"(RC = 0)\"";
+        assert!(out.fdl.contains(needle), "fdl:\n{}", out.fdl);
+        let doctored = out.fdl.replace(needle, "WHEN \"(1 = 0)\"");
+        let err = import_and_analyze(&doctored).unwrap_err();
+        let PipelineError::Analysis(diags) = &err else {
+            panic!("expected analysis rejection, got {err}");
+        };
+        let d = diags
+            .iter()
+            .find(|d| d.code == "WA035")
+            .unwrap_or_else(|| panic!("expected WA035 in {diags:?}"));
+        assert_eq!(d.element.as_deref(), Some("Compensation"));
+        assert!(d.pos.is_some_and(|p| p.line > 1), "position: {:?}", d.pos);
+        assert!(err.to_string().contains("stage 5"));
+    }
+
+    #[test]
+    fn stage5_rejects_read_before_write() {
+        let fdl = "PROCESS p\n  ACTIVITY A PROGRAM \"a\" END\n  ACTIVITY B PROGRAM \"b\" INPUT ( amount: INT ) END\n  CONTROL FROM A TO B\nEND\n";
+        let err = import_and_analyze(fdl).unwrap_err();
+        let PipelineError::Analysis(diags) = &err else {
+            panic!("expected analysis rejection, got {err}");
+        };
+        let d = diags
+            .iter()
+            .find(|d| d.code == "WA041")
+            .unwrap_or_else(|| panic!("expected WA041 in {diags:?}"));
+        assert_eq!(d.element.as_deref(), Some("B"));
+        assert_eq!(d.pos.map(|p| p.line), Some(3));
+    }
+
+    #[test]
+    fn stage5_passes_warnings_through() {
+        // A dead write is a warning: the process ships, with the
+        // finding attached to the output.
+        let fdl = "PROCESS p\n  ACTIVITY A PROGRAM \"a\" OUTPUT ( unused: INT ) END\nEND\n";
+        let (process, diags) = import_and_analyze(fdl).unwrap();
+        assert_eq!(process.name, "p");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "WA043");
+        assert_eq!(diags[0].severity, Severity::Warning);
     }
 
     #[test]

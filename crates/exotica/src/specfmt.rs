@@ -61,12 +61,33 @@ impl std::fmt::Display for SpecSyntaxError {
 
 impl std::error::Error for SpecSyntaxError {}
 
+/// Line numbers (1-based) of the elements of a parsed specification,
+/// recorded by [`parse_spec_spanned`] so analysis diagnostics can
+/// point back at the spec text.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecSpans {
+    /// Line of the `SAGA`/`FLEXIBLE` header.
+    pub header: u32,
+    /// Line of each `STEP`, by step name (last occurrence wins, which
+    /// points duplicate-step findings at the offending line).
+    pub steps: std::collections::BTreeMap<String, u32>,
+    /// Line of each `PATH`, in declaration order.
+    pub paths: Vec<u32>,
+}
+
 /// Parses one specification.
 pub fn parse_spec(src: &str) -> Result<ParsedSpec, SpecSyntaxError> {
+    parse_spec_spanned(src).map(|(spec, _)| spec)
+}
+
+/// Parses one specification, also recording the line number of each
+/// element (see [`SpecSpans`]).
+pub fn parse_spec_spanned(src: &str) -> Result<(ParsedSpec, SpecSpans), SpecSyntaxError> {
     let mut steps: Vec<StepSpec> = Vec::new();
     let mut paths: Vec<Vec<String>> = Vec::new();
     let mut header: Option<(bool, String)> = None; // (is_saga, name)
     let mut ended = false;
+    let mut spans = SpecSpans::default();
 
     for (lineno, raw) in src.lines().enumerate() {
         let line = lineno as u32 + 1;
@@ -97,6 +118,7 @@ pub fn parse_spec(src: &str) -> Result<ParsedSpec, SpecSyntaxError> {
                     });
                 }
                 header = Some((head == "SAGA", tokens[1].clone()));
+                spans.header = line;
             }
             "STEP" => {
                 if header.is_none() {
@@ -105,7 +127,9 @@ pub fn parse_spec(src: &str) -> Result<ParsedSpec, SpecSyntaxError> {
                         msg: "STEP before the SAGA/FLEXIBLE header".into(),
                     });
                 }
-                steps.push(parse_step(&tokens, line)?);
+                let step = parse_step(&tokens, line)?;
+                spans.steps.insert(step.name.clone(), line);
+                steps.push(step);
             }
             "PATH" => {
                 match &header {
@@ -129,6 +153,7 @@ pub fn parse_spec(src: &str) -> Result<ParsedSpec, SpecSyntaxError> {
                         msg: "PATH needs at least one step".into(),
                     });
                 }
+                spans.paths.push(line);
                 paths.push(tokens[1..].to_vec());
             }
             "END" => ended = true,
@@ -153,15 +178,16 @@ pub fn parse_spec(src: &str) -> Result<ParsedSpec, SpecSyntaxError> {
             msg: "missing END".into(),
         });
     }
-    if is_saga {
-        Ok(ParsedSpec::Saga(SagaSpec::linear(&name, steps)))
+    let spec = if is_saga {
+        ParsedSpec::Saga(SagaSpec::linear(&name, steps))
     } else {
-        Ok(ParsedSpec::Flexible(FlexSpec {
+        ParsedSpec::Flexible(FlexSpec {
             name,
             steps,
             paths,
-        }))
-    }
+        })
+    };
+    Ok((spec, spans))
 }
 
 /// Renders a specification back to its textual form (canonical).
@@ -394,6 +420,20 @@ mod tests {
                 "source {src:?} produced {err:?}, expected {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn spans_record_element_lines() {
+        let src = "SAGA s\n  STEP A PROGRAM \"p\" COMPENSATION \"c\"\n\n  STEP B PROGRAM \"q\" COMPENSATION \"d\"\nEND\n";
+        let (_, spans) = parse_spec_spanned(src).unwrap();
+        assert_eq!(spans.header, 1);
+        assert_eq!(spans.steps.get("A"), Some(&2));
+        assert_eq!(spans.steps.get("B"), Some(&4));
+        assert!(spans.paths.is_empty());
+
+        let src = "FLEXIBLE f\n  STEP A PROGRAM \"p\" RETRIABLE\n  PATH A\nEND\n";
+        let (_, spans) = parse_spec_spanned(src).unwrap();
+        assert_eq!(spans.paths, vec![3]);
     }
 
     #[test]

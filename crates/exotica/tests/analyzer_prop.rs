@@ -1,0 +1,134 @@
+//! Property: specifications that pass the analyzer clean also
+//! translate and execute without navigator errors — the stage-5 gate
+//! admits exactly the processes the engine can actually run, including
+//! under failure injection.
+
+use atm::{fixtures, FlexSpec, StepSpec};
+use exotica::{AtmSpec, PipelineOutput};
+use proptest::prelude::*;
+use std::sync::Arc;
+use txn_substrate::{FailurePlan, KvProgram, MultiDatabase, ProgramRegistry, Value};
+use wfms_engine::{Engine, InstanceStatus};
+use wfms_model::Container;
+
+/// Provisions programs for every step the way `fmtm run` does and
+/// drives the translated process to quiescence.
+fn execute(out: &PipelineOutput, plans: &[(String, FailurePlan)], seed: u64) -> InstanceStatus {
+    let fed = MultiDatabase::new(seed);
+    let registry = Arc::new(ProgramRegistry::new());
+    let steps: Vec<(String, String, Option<String>)> = match &out.spec {
+        AtmSpec::Saga(s) => s
+            .steps()
+            .map(|st| (st.name.clone(), st.program.clone(), st.compensation.clone()))
+            .collect(),
+        AtmSpec::Flexible(f) => f
+            .steps
+            .iter()
+            .map(|st| (st.name.clone(), st.program.clone(), st.compensation.clone()))
+            .collect(),
+    };
+    for (i, (step, program, compensation)) in steps.iter().enumerate() {
+        let site = format!("site_{}", char::from(b'a' + (i % 3) as u8));
+        if fed.db(&site).is_none() {
+            fed.add_database(&site);
+        }
+        registry.register(Arc::new(
+            KvProgram::write(program, &site, step, 1i64).with_label(step),
+        ));
+        if let Some(comp) = compensation {
+            registry.register(Arc::new(KvProgram::write(comp, &site, step, Value::Int(-1))));
+        }
+    }
+    for (label, plan) in plans {
+        fed.injector().set_plan(label, plan.clone());
+    }
+    let engine = Engine::new(fed, registry);
+    engine.register(out.process.clone()).expect("register");
+    let id = engine
+        .start(&out.process.name, Container::empty())
+        .expect("start");
+    engine.run_to_quiescence(id).expect("no navigator errors")
+}
+
+/// The full claim for one spec: lints clean as text, passes the
+/// pipeline with no findings at all, and executes to `Finished`.
+fn assert_clean_and_runs(spec: &AtmSpec, plans: &[(String, FailurePlan)], seed: u64) {
+    let text = exotica::emit_spec(spec);
+    let diags = exotica::lint_source(&text, &[]).expect("spec parses");
+    assert!(diags.is_empty(), "lint findings on {text}:\n{diags:?}");
+    let out = exotica::run_pipeline(&text).expect("pipeline accepts");
+    assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+    let status = execute(&out, plans, seed);
+    assert_eq!(status, InstanceStatus::Finished, "plans: {plans:?}");
+}
+
+/// A flexible transaction from the statically translatable,
+/// well-formed family: compensatable prefix, optional pivot, retriable
+/// tail, one path covering all steps in order.
+fn flex_family(m: usize, with_pivot: bool, k: usize) -> FlexSpec {
+    let mut steps = Vec::new();
+    for i in 0..m {
+        steps.push(StepSpec::compensatable(
+            &format!("C{i}"),
+            &format!("do_C{i}"),
+            &format!("undo_C{i}"),
+        ));
+    }
+    if with_pivot {
+        steps.push(StepSpec::pivot("P", "do_P"));
+    }
+    for i in 0..k {
+        steps.push(StepSpec::retriable(&format!("R{i}"), &format!("do_R{i}")));
+    }
+    let path: Vec<&str> = steps.iter().map(|s| s.name.as_str()).collect();
+    let paths = vec![path];
+    FlexSpec::new("f", steps.clone(), paths)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn clean_sagas_execute_under_any_abort_position(
+        n in 1usize..8,
+        abort_at in 0usize..10,
+        seed in 0u64..100,
+    ) {
+        let spec = AtmSpec::Saga(fixtures::linear_saga("s", n));
+        let plans: Vec<(String, FailurePlan)> = if (1..=n).contains(&abort_at) {
+            vec![(format!("S{abort_at}"), FailurePlan::Always)]
+        } else {
+            vec![]
+        };
+        assert_clean_and_runs(&spec, &plans, seed);
+    }
+
+    #[test]
+    fn clean_flexes_execute_with_and_without_failures(
+        m in 0usize..4,
+        with_pivot in any::<bool>(),
+        k in 0usize..3,
+        fail_comp in 0usize..6,
+        seed in 0u64..100,
+    ) {
+        // At least one step (the shim has no prop_assume; widen the
+        // empty corner into the smallest member of the family).
+        let k = if m + usize::from(with_pivot) + k == 0 { 1 } else { k };
+        let flex = flex_family(m, with_pivot, k);
+        // Permanently fail at most one non-retriable step (a retriable
+        // step failing forever livelocks by design).
+        let plans: Vec<(String, FailurePlan)> = if fail_comp < m {
+            vec![(format!("C{fail_comp}"), FailurePlan::Always)]
+        } else if fail_comp == m && with_pivot {
+            vec![("P".to_string(), FailurePlan::Always)]
+        } else {
+            vec![]
+        };
+        assert_clean_and_runs(&AtmSpec::Flexible(flex), &plans, seed);
+    }
+}
+
+#[test]
+fn figure3_is_clean_and_executes() {
+    assert_clean_and_runs(&AtmSpec::Flexible(fixtures::figure3_spec()), &[], 7);
+}

@@ -1,0 +1,5 @@
+-- WA051: the path references a step that was never declared.
+FLEXIBLE f
+  STEP R PROGRAM "r" RETRIABLE
+  PATH R Ghost
+END

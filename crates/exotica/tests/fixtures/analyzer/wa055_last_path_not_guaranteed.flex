@@ -1,0 +1,6 @@
+-- WA055: after the last path's pivot, C is not retriable.
+FLEXIBLE f
+  STEP P PROGRAM "p" PIVOT
+  STEP C PROGRAM "c" COMPENSATION "undo_c"
+  PATH P C
+END

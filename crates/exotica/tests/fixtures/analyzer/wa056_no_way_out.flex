@@ -1,0 +1,9 @@
+-- WA056: abandoning path 0 at P would strand committed step R,
+-- which has no compensation.
+FLEXIBLE f
+  STEP R PROGRAM "r" RETRIABLE
+  STEP P PROGRAM "p" PIVOT
+  STEP S PROGRAM "s" RETRIABLE
+  PATH R P
+  PATH S
+END

@@ -1,0 +1,443 @@
+//! # wfms-analyzer
+//!
+//! A unified static-analysis and lint pass over compiled workflow
+//! process graphs ([`wfms_model::ProcessDefinition`]) and
+//! advanced-transaction-model specifications ([`atm::SagaSpec`],
+//! [`atm::FlexSpec`]).
+//!
+//! The paper's Figure 5 pipeline runs a *translator* that "checks the
+//! semantics" of an imported definition before it reaches the engine.
+//! This crate extends that checkpoint from hard meta-model rules to a
+//! full lint battery: every finding is a [`Diagnostic`] with a stable
+//! `WA0xx` code, a [`Severity`], the slash-separated process path, and
+//! — when the definition came from FDL text — the source position of
+//! the offending element via [`wfms_fdl::Provenance`].
+//!
+//! Code ranges (see `docs/analyzer.md` for the full table):
+//!
+//! * `WA001`–`WA015` — meta-model rules lifted from
+//!   [`wfms_model::validate()`] (severity error).
+//! * `WA020`–`WA022` — control-flow graph shape: orphan activities,
+//!   unreachable activities, cycles with a witness path.
+//! * `WA031`–`WA035` — condition analysis via constant folding on
+//!   [`wfms_model::Expr`]: statically false/true conditions,
+//!   guaranteed evaluation errors, statically dead activities.
+//! * `WA041`–`WA043` — data-flow def-use over containers:
+//!   read-before-write, overwritten writes, dead writes.
+//! * `WA051`–`WA057` — ATM-level rules: the S/F well-formedness
+//!   conditions of [`atm::wellformed`] plus saga pivot placement.
+//!
+//! ```
+//! let src = r#"
+//!     PROCESS p
+//!       ACTIVITY A PROGRAM "a" END
+//!       ACTIVITY B PROGRAM "b" END
+//!       CONTROL FROM A TO B WHEN "1 = 2"
+//!     END
+//! "#;
+//! let (def, prov) = wfms_fdl::parse_with_provenance(src).unwrap();
+//! let diags = wfms_analyzer::Analyzer::new().check_process(&def, Some(&prov));
+//! assert!(diags.iter().any(|d| d.code == "WA031")); // always-false connector
+//! assert!(diags.iter().any(|d| d.code == "WA035")); // B statically dead
+//! ```
+
+pub mod atmlint;
+pub mod conditions;
+pub mod dataflow;
+pub mod graph;
+pub mod model;
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use wfms_fdl::{Pos, Provenance};
+use wfms_model::{ActivityKind, ProcessDefinition};
+
+/// How serious a finding is.
+///
+/// Ordered by severity: `Error < Warning < Note` in sort order so the
+/// most severe findings list first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The process will misbehave at run time (or violates a hard
+    /// model rule); the Exotica pipeline refuses to ship it.
+    Error,
+    /// Suspicious but not definitely broken.
+    Warning,
+    /// Stylistic or informational.
+    Note,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        })
+    }
+}
+
+/// One analysis finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"WA021"`.
+    pub code: &'static str,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Slash-separated process path (`outer/Fwd`), or the spec name
+    /// for ATM-level findings.
+    pub process: String,
+    /// The element concerned — an activity, connector label, or step
+    /// name — when the finding is narrower than the whole process.
+    pub element: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+    /// Source position in the originating FDL or spec text, when the
+    /// definition was parsed from text.
+    pub pos: Option<Pos>,
+}
+
+impl Diagnostic {
+    /// Builds a position-less diagnostic.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        process: impl Into<String>,
+        element: Option<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            code,
+            severity,
+            process: process.into(),
+            element,
+            message: message.into(),
+            pos: None,
+        }
+    }
+
+    /// Attaches a source position.
+    pub fn with_pos(mut self, pos: Option<Pos>) -> Self {
+        self.pos = pos;
+        self
+    }
+
+    /// Renders the finding for terminals:
+    /// `error[WA021] at 3:5: [p] activity "B" can never start`.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}]", self.severity, self.code);
+        if let Some(pos) = self.pos {
+            out.push_str(&format!(" at {pos}"));
+        }
+        out.push_str(": ");
+        if !self.process.is_empty() {
+            out.push_str(&format!("[{}] ", self.process));
+        }
+        out.push_str(&self.message);
+        out
+    }
+
+    /// Renders the finding as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut fields = vec![
+            format!("\"code\":{}", json_str(self.code)),
+            format!("\"severity\":{}", json_str(&self.severity.to_string())),
+            format!("\"process\":{}", json_str(&self.process)),
+        ];
+        if let Some(e) = &self.element {
+            fields.push(format!("\"element\":{}", json_str(e)));
+        }
+        if let Some(pos) = self.pos {
+            fields.push(format!("\"line\":{}", pos.line));
+            fields.push(format!("\"col\":{}", pos.col));
+        }
+        fields.push(format!("\"message\":{}", json_str(&self.message)));
+        format!("{{{}}}", fields.join(","))
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Renders a slice of diagnostics as a JSON array.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Everything a process-level lint can see: the process under
+/// analysis, its slash path, and optional source provenance.
+pub struct ProcessCtx<'a> {
+    /// The process (or nested block) being checked.
+    pub process: &'a ProcessDefinition,
+    /// Slash-separated path from the root definition.
+    pub path: String,
+    /// Source positions, when the definition came from FDL text.
+    pub provenance: Option<&'a Provenance>,
+}
+
+impl ProcessCtx<'_> {
+    /// Position of an activity in this process, if known.
+    pub fn pos_activity(&self, name: &str) -> Option<Pos> {
+        self.provenance.and_then(|p| p.activity(&self.path, name))
+    }
+
+    /// Position of a control connector in this process, if known.
+    pub fn pos_control(&self, from: &str, to: &str) -> Option<Pos> {
+        self.provenance
+            .and_then(|p| p.control(&self.path, from, to))
+    }
+
+    /// Position of a data connector (by `from => to` label), if known.
+    pub fn pos_data(&self, label: &str) -> Option<Pos> {
+        self.provenance.and_then(|p| p.data(&self.path, label))
+    }
+
+    /// Position of the process header itself, if known.
+    pub fn pos_process(&self) -> Option<Pos> {
+        self.provenance.and_then(|p| p.process(&self.path))
+    }
+}
+
+/// A single lint pass over one process level.
+///
+/// Implementations push findings into `out`; the [`Analyzer`] walks
+/// nested blocks and applies the allow-list afterwards.
+pub trait Lint {
+    /// Short machine name (`"graph"`, `"dataflow"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The diagnostic codes this lint can emit.
+    fn codes(&self) -> &'static [&'static str];
+
+    /// `true` if the lint must run only once, at the root definition
+    /// (used by lints that recurse into blocks themselves).
+    fn root_only(&self) -> bool {
+        false
+    }
+
+    /// Runs the lint over one process level.
+    fn check(&self, ctx: &ProcessCtx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The analyzer: a configured battery of [`Lint`]s plus an allow-list
+/// of suppressed codes.
+pub struct Analyzer {
+    lints: Vec<Box<dyn Lint>>,
+    allowed: BTreeSet<String>,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Analyzer {
+    /// An analyzer with the full built-in battery.
+    pub fn new() -> Self {
+        Self {
+            lints: vec![
+                Box::new(model::ModelLint),
+                Box::new(graph::GraphLint),
+                Box::new(conditions::ConditionLint),
+                Box::new(dataflow::DataFlowLint),
+            ],
+            allowed: BTreeSet::new(),
+        }
+    }
+
+    /// An analyzer with no built-in lints (add custom ones with
+    /// [`Analyzer::with_lint`]).
+    pub fn empty() -> Self {
+        Self {
+            lints: Vec::new(),
+            allowed: BTreeSet::new(),
+        }
+    }
+
+    /// Adds a lint pass.
+    pub fn with_lint(mut self, lint: Box<dyn Lint>) -> Self {
+        self.lints.push(lint);
+        self
+    }
+
+    /// Suppresses a diagnostic code (e.g. `"WA032"`).
+    pub fn allow(mut self, code: &str) -> Self {
+        self.allowed.insert(code.to_owned());
+        self
+    }
+
+    /// Runs every applicable lint over the definition and all nested
+    /// blocks, returning findings sorted by severity, then position.
+    pub fn check_process(
+        &self,
+        def: &ProcessDefinition,
+        provenance: Option<&Provenance>,
+    ) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.walk(def, def.name.clone(), provenance, true, &mut out);
+        self.finish(out)
+    }
+
+    fn walk(
+        &self,
+        def: &ProcessDefinition,
+        path: String,
+        provenance: Option<&Provenance>,
+        is_root: bool,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let ctx = ProcessCtx {
+            process: def,
+            path: path.clone(),
+            provenance,
+        };
+        for lint in &self.lints {
+            if lint.root_only() && !is_root {
+                continue;
+            }
+            lint.check(&ctx, out);
+        }
+        for act in &def.activities {
+            if let ActivityKind::Block { process } = &act.kind {
+                self.walk(
+                    process,
+                    format!("{path}/{}", process.name),
+                    provenance,
+                    false,
+                    out,
+                );
+            }
+        }
+    }
+
+    /// Checks a saga specification against the ATM-level lints.
+    pub fn check_saga(&self, spec: &atm::SagaSpec) -> Vec<Diagnostic> {
+        self.finish(atmlint::check_saga_spec(spec))
+    }
+
+    /// Checks a flexible-transaction specification against the
+    /// ATM-level lints.
+    pub fn check_flex(&self, spec: &atm::FlexSpec) -> Vec<Diagnostic> {
+        self.finish(atmlint::check_flex_spec(spec))
+    }
+
+    fn finish(&self, mut out: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        out.retain(|d| !self.allowed.contains(d.code));
+        out.sort_by(|a, b| {
+            (a.severity, &a.process, a.pos.map(|p| (p.line, p.col)), a.code)
+                .cmp(&(b.severity, &b.process, b.pos.map(|p| (p.line, p.col)), b.code))
+        });
+        out.dedup();
+        out
+    }
+}
+
+/// Whether any finding is [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_errors_first() {
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Note);
+    }
+
+    #[test]
+    fn render_includes_code_position_and_path() {
+        let d = Diagnostic::new(
+            "WA021",
+            Severity::Error,
+            "p",
+            Some("B".into()),
+            "activity \"B\" can never start",
+        )
+        .with_pos(Some(Pos { line: 3, col: 5 }));
+        assert_eq!(
+            d.render(),
+            "error[WA021] at 3:5: [p] activity \"B\" can never start"
+        );
+    }
+
+    #[test]
+    fn json_rendering_escapes_and_structures() {
+        let d = Diagnostic::new(
+            "WA013",
+            Severity::Warning,
+            "p",
+            None,
+            "unknown \"var\"\n",
+        );
+        assert_eq!(
+            d.to_json(),
+            "{\"code\":\"WA013\",\"severity\":\"warning\",\"process\":\"p\",\
+             \"message\":\"unknown \\\"var\\\"\\n\"}"
+        );
+        let arr = render_json(&[d.clone(), d]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("WA013").count(), 2);
+    }
+
+    #[test]
+    fn allow_filters_codes() {
+        let src = r#"
+            PROCESS p
+              ACTIVITY A PROGRAM "a" END
+              ACTIVITY B PROGRAM "b" END
+              CONTROL FROM A TO B WHEN "1 = 1"
+            END
+        "#;
+        let (def, prov) = wfms_fdl::parse_with_provenance(src).unwrap();
+        let diags = Analyzer::new().check_process(&def, Some(&prov));
+        assert!(diags.iter().any(|d| d.code == "WA032"));
+        let diags = Analyzer::new()
+            .allow("WA032")
+            .check_process(&def, Some(&prov));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn clean_process_has_no_findings() {
+        let src = r#"
+            PROCESS p
+              OUTPUT ( total: INT )
+              ACTIVITY A PROGRAM "a" OUTPUT ( x: INT ) END
+              ACTIVITY B PROGRAM "b" INPUT ( y: INT ) OUTPUT ( total: INT ) END
+              CONTROL FROM A TO B WHEN "RC = 0"
+              DATA FROM A.OUTPUT TO B.INPUT MAP x -> y
+              DATA FROM B.OUTPUT TO PROCESS.OUTPUT MAP total -> total
+            END
+        "#;
+        let (def, prov) = wfms_fdl::parse_with_provenance(src).unwrap();
+        let diags = Analyzer::new().check_process(&def, Some(&prov));
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -13,7 +13,12 @@
 //!   positioned syntax diagnostics.
 //! * [`parse_and_validate`] — additionally runs the meta-model's
 //!   static validation (the Figure 5 "translator checks the
-//!   semantics" stage).
+//!   semantics" stage), attaching the source position of each
+//!   offending element.
+//! * [`parse_with_provenance`] — also returns a [`Provenance`] side
+//!   table mapping compiled elements (activities, connectors, nested
+//!   blocks) back to their FDL positions, for downstream analyses
+//!   such as the `wfms-analyzer` lint battery.
 //! * [`emit()`](emit::emit) — canonical FDL text from a definition;
 //!   `parse(emit(d)) == d` structurally.
 //!
@@ -33,7 +38,9 @@ pub mod diag;
 pub mod emit;
 pub mod lexer;
 pub mod parser;
+pub mod provenance;
 
 pub use diag::{FdlError, Pos};
 pub use emit::emit;
-pub use parser::{parse, parse_and_validate};
+pub use parser::{parse, parse_and_validate, parse_with_provenance};
+pub use provenance::Provenance;

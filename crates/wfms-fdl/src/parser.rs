@@ -29,6 +29,7 @@
 
 use crate::diag::{FdlError, Pos};
 use crate::lexer::{lex, Spanned, Tok};
+use crate::provenance::Provenance;
 use txn_substrate::Value;
 use wfms_model::{
     validate, Activity, ActivityKind, ContainerSchema, ControlConnector, DataConnector,
@@ -38,8 +39,22 @@ use wfms_model::{
 
 /// Parses FDL source into an (unvalidated) process definition.
 pub fn parse(src: &str) -> Result<ProcessDefinition, FdlError> {
+    parse_with_provenance(src).map(|(def, _)| def)
+}
+
+/// Parses FDL source into an (unvalidated) process definition plus a
+/// [`Provenance`] table mapping each compiled element — process and
+/// block headers, activities, control and data connectors — back to
+/// its source position, so later analyses can report findings at the
+/// originating FDL line.
+pub fn parse_with_provenance(src: &str) -> Result<(ProcessDefinition, Provenance), FdlError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        path: Vec::new(),
+        prov: Provenance::default(),
+    };
     let def = p.process()?;
     if p.pos != p.tokens.len() {
         return Err(FdlError::new(
@@ -47,16 +62,19 @@ pub fn parse(src: &str) -> Result<ProcessDefinition, FdlError> {
             format!("unexpected trailing {}", p.tokens[p.pos].tok),
         ));
     }
-    Ok(def)
+    Ok((def, p.prov))
 }
 
-/// Parses and statically validates; validation findings are reported
-/// as position-less diagnostics after the syntactic ones.
+/// Parses and statically validates; validation findings carry the
+/// source position of the element they concern (the duplicate
+/// activity, the offending connector, …) where one is known.
 pub fn parse_and_validate(src: &str) -> Result<ProcessDefinition, Vec<FdlError>> {
-    let def = parse(src).map_err(|e| vec![e])?;
+    let (def, prov) = parse_with_provenance(src).map_err(|e| vec![e])?;
     let errors: Vec<FdlError> = validate(&def)
         .into_iter()
-        .map(|e: ValidationError| FdlError::new(Pos::default(), e.to_string()))
+        .map(|e: ValidationError| {
+            FdlError::new(prov.locate(&e).unwrap_or_default(), e.to_string())
+        })
         .collect();
     if errors.is_empty() {
         Ok(def)
@@ -68,6 +86,9 @@ pub fn parse_and_validate(src: &str) -> Result<ProcessDefinition, Vec<FdlError>>
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
+    /// Stack of enclosing process/block names (provenance key path).
+    path: Vec<String>,
+    prov: Provenance,
 }
 
 impl Parser {
@@ -169,16 +190,26 @@ impl Parser {
             .map_err(|e| FdlError::new(pos, format!("invalid condition {text:?}: {e}")))
     }
 
+    /// Slash-separated path of the process being parsed — matches the
+    /// path labels `wfms_model::validate` uses for nested blocks.
+    fn cur_path(&self) -> String {
+        self.path.join("/")
+    }
+
     fn process(&mut self) -> Result<ProcessDefinition, FdlError> {
+        let pos = self.here();
         self.expect_kw("PROCESS")?;
         let name = self.name()?;
         let mut def = ProcessDefinition::new(&name);
+        self.path.push(name);
+        self.prov.record_process(&self.cur_path(), pos);
         if self.peek() == Some(&Tok::Kw("VERSION")) {
             self.bump();
             def.version = self.int()? as u32;
         }
         self.body(&mut def)?;
         self.expect_kw("END")?;
+        self.path.pop();
         Ok(def)
     }
 
@@ -211,6 +242,7 @@ impl Parser {
                     def.activities.push(a);
                 }
                 Some(Tok::Kw("CONTROL")) => {
+                    let pos = self.here();
                     self.bump();
                     self.expect_kw("FROM")?;
                     let from = self.ident()?;
@@ -222,6 +254,7 @@ impl Parser {
                     } else {
                         Expr::truth()
                     };
+                    self.prov.record_control(&self.cur_path(), &from, &to, pos);
                     def.control.push(ControlConnector {
                         from,
                         to,
@@ -229,6 +262,7 @@ impl Parser {
                     });
                 }
                 Some(Tok::Kw("DATA")) => {
+                    let pos = self.here();
                     self.bump();
                     self.expect_kw("FROM")?;
                     let from = self.endpoint()?;
@@ -240,6 +274,8 @@ impl Parser {
                         self.bump();
                         mappings.push(self.mapping()?);
                     }
+                    self.prov
+                        .record_data(&self.cur_path(), &format!("{from} => {to}"), pos);
                     def.data.push(DataConnector { from, to, mappings });
                 }
                 _ => return Ok(()),
@@ -308,8 +344,10 @@ impl Parser {
     }
 
     fn activity(&mut self) -> Result<Activity, FdlError> {
+        let pos = self.here();
         self.expect_kw("ACTIVITY")?;
         let name = self.ident()?;
+        self.prov.record_activity(&self.cur_path(), &name, pos);
         self.expect_kw("PROGRAM")?;
         let program = self.name()?;
         let mut act = Activity::program(&name, &program);
@@ -319,8 +357,10 @@ impl Parser {
     }
 
     fn noop(&mut self) -> Result<Activity, FdlError> {
+        let pos = self.here();
         self.expect_kw("NOOP")?;
         let name = self.ident()?;
+        self.prov.record_activity(&self.cur_path(), &name, pos);
         let mut act = Activity::noop(&name);
         self.act_opts(&mut act)?;
         self.expect_kw("END")?;
@@ -328,8 +368,14 @@ impl Parser {
     }
 
     fn block(&mut self) -> Result<Activity, FdlError> {
+        let pos = self.here();
         self.expect_kw("BLOCK")?;
         let name = self.ident()?;
+        // The facade activity lives in the enclosing process; the
+        // block body defines a nested process under an extended path.
+        self.prov.record_activity(&self.cur_path(), &name, pos);
+        self.path.push(name.clone());
+        self.prov.record_process(&self.cur_path(), pos);
         let mut inner = ProcessDefinition::new(&name);
         let mut act = Activity::noop(&name); // kind replaced below
         // Block bodies interleave activity options (for the block
@@ -359,6 +405,7 @@ impl Parser {
             }
         }
         self.expect_kw("END")?;
+        self.path.pop();
         // The block facade's containers mirror the inner process's.
         act.input = inner.input.clone();
         act.output = inner.output.clone();
@@ -604,6 +651,54 @@ mod tests {
         )
         .unwrap_err();
         assert!(errs[0].msg.contains("Ghost"));
+    }
+
+    #[test]
+    fn validation_errors_carry_source_positions() {
+        let src = "PROCESS p\n  ACTIVITY A PROGRAM \"x\" END\n  CONTROL FROM A TO Ghost\nEND";
+        let errs = parse_and_validate(src).unwrap_err();
+        assert!(errs[0].msg.contains("Ghost"));
+        // Position of the CONTROL keyword on line 3.
+        assert_eq!(errs[0].pos.line, 3);
+        assert!(errs[0].pos.col >= 1);
+    }
+
+    #[test]
+    fn provenance_records_element_positions() {
+        let (def, prov) = parse_with_provenance(DEMO).unwrap();
+        assert_eq!(def.name, "trip_booking");
+        let proc_pos = prov.process("trip_booking").unwrap();
+        let act_pos = prov.activity("trip_booking", "BookFlight").unwrap();
+        let ctl_pos = prov
+            .control("trip_booking", "BookFlight", "BookHotel")
+            .unwrap();
+        let data_pos = prov
+            .data("trip_booking", "PROCESS.INPUT => BookFlight.INPUT")
+            .unwrap();
+        assert!(proc_pos.line >= 1);
+        assert!(act_pos.line > proc_pos.line, "activity after header");
+        assert!(ctl_pos.line > act_pos.line, "connector after activities");
+        assert!(data_pos.line > ctl_pos.line);
+        assert!(prov.activity("trip_booking", "Ghost").is_none());
+    }
+
+    #[test]
+    fn provenance_paths_follow_nested_blocks() {
+        let src = r#"
+            PROCESS outer
+              BLOCK Fwd
+                OUTPUT ( RC: INT )
+                ACTIVITY T1 PROGRAM "p1" END
+              END
+            END
+        "#;
+        let (_, prov) = parse_with_provenance(src).unwrap();
+        // Facade activity in the enclosing process, inner elements
+        // under the slash path used by the validator.
+        assert!(prov.activity("outer", "Fwd").is_some());
+        assert!(prov.process("outer/Fwd").is_some());
+        assert!(prov.activity("outer/Fwd", "T1").is_some());
+        assert!(prov.activity("outer", "T1").is_none());
     }
 
     #[test]

@@ -346,6 +346,85 @@ impl Expr {
         }
     }
 
+    /// Constant-folds the expression, mirroring [`Expr::eval`]'s
+    /// semantics on variable-free subexpressions.
+    ///
+    /// * Literal-only subtrees that evaluate without error are replaced
+    ///   by their value (`1 + 2 = 3` folds to `TRUE`).
+    /// * `AND`/`OR` short-circuit exactly like `eval`: a statically
+    ///   `FALSE` left operand folds the whole conjunction even when the
+    ///   right side references variables or would error (`FALSE AND
+    ///   Ghost = 1` folds to `FALSE`), and a statically `TRUE` left
+    ///   operand of `OR` folds to `TRUE`. A `TRUE` left operand of
+    ///   `AND` (resp. `FALSE` of `OR`) folds to the right operand.
+    /// * Subtrees whose evaluation is guaranteed to error (`1 / 0`,
+    ///   literal type mismatches) are left unfolded so the run-time
+    ///   behaviour — the engine treats an evaluation error as
+    ///   "condition false" plus an audit warning — stays observable;
+    ///   see [`Expr::const_error`].
+    ///
+    /// Folding is a sound static analysis: for every environment, the
+    /// folded expression evaluates to the same value as the original
+    /// whenever the original evaluates successfully.
+    pub fn const_fold(&self) -> Expr {
+        let folded = match self {
+            Expr::Lit(_) | Expr::Var(_) => self.clone(),
+            Expr::Cmp(l, op, r) => {
+                Expr::Cmp(Box::new(l.const_fold()), *op, Box::new(r.const_fold()))
+            }
+            Expr::Arith(l, op, r) => {
+                Expr::Arith(Box::new(l.const_fold()), *op, Box::new(r.const_fold()))
+            }
+            Expr::And(l, r) => {
+                let lf = l.const_fold();
+                match lf {
+                    Expr::Lit(Value::Bool(false)) => return Expr::Lit(Value::Bool(false)),
+                    Expr::Lit(Value::Bool(true)) => return r.const_fold(),
+                    _ => Expr::And(Box::new(lf), Box::new(r.const_fold())),
+                }
+            }
+            Expr::Or(l, r) => {
+                let lf = l.const_fold();
+                match lf {
+                    Expr::Lit(Value::Bool(true)) => return Expr::Lit(Value::Bool(true)),
+                    Expr::Lit(Value::Bool(false)) => return r.const_fold(),
+                    _ => Expr::Or(Box::new(lf), Box::new(r.const_fold())),
+                }
+            }
+            Expr::Not(e) => Expr::Not(Box::new(e.const_fold())),
+            Expr::Neg(e) => Expr::Neg(Box::new(e.const_fold())),
+        };
+        if folded.variables().is_empty() {
+            if let Ok(v) = folded.eval(&MapEnv::default()) {
+                return Expr::Lit(v);
+            }
+        }
+        folded
+    }
+
+    /// The expression's value if it is a compile-time constant
+    /// (folds to a single literal), `None` otherwise.
+    pub fn const_value(&self) -> Option<Value> {
+        match self.const_fold() {
+            Expr::Lit(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The evaluation error this expression is statically guaranteed
+    /// to produce in *every* environment, if any — e.g. `1 / 0 = 1`
+    /// always raises [`ExprError::DivisionByZero`]. The engine treats
+    /// such errors as "condition false" plus an audit warning, so a
+    /// guaranteed error makes the condition statically false.
+    pub fn const_error(&self) -> Option<ExprError> {
+        let folded = self.const_fold();
+        if folded.variables().is_empty() {
+            folded.eval(&MapEnv::default()).err()
+        } else {
+            None
+        }
+    }
+
     /// Parses an expression from its textual form.
     pub fn parse(input: &str) -> Result<Expr, ExprError> {
         let tokens = lex(input)?;
@@ -842,5 +921,74 @@ mod tests {
         c.set("RC", Value::Int(1));
         let e = Expr::var_eq_int("RC", 1);
         assert!(e.eval_bool(&c).unwrap());
+    }
+
+    #[test]
+    fn const_fold_literal_subtrees() {
+        let folds = [
+            ("1 + 2 = 3", "TRUE"),
+            ("2 > 3", "FALSE"),
+            ("-(2 + 3)", "-5"),
+            ("NOT (1 = 1)", "FALSE"),
+            ("\"a\" < \"b\"", "TRUE"),
+        ];
+        for (src, expect) in folds {
+            let folded = Expr::parse(src).unwrap().const_fold();
+            assert_eq!(folded.to_string(), expect, "folding {src:?}");
+        }
+    }
+
+    #[test]
+    fn const_fold_short_circuits_like_eval() {
+        // FALSE AND <anything> folds even when the right side has
+        // variables or would error — mirroring eval's short-circuit.
+        let e = Expr::parse("1 = 2 AND Ghost / 0 = 1").unwrap();
+        assert_eq!(e.const_value(), Some(Value::Bool(false)));
+        let e = Expr::parse("1 = 1 OR Ghost = 1").unwrap();
+        assert_eq!(e.const_value(), Some(Value::Bool(true)));
+        // TRUE AND x folds to x; FALSE OR x folds to x.
+        let e = Expr::parse("1 = 1 AND RC = 0").unwrap();
+        assert_eq!(e.const_fold(), Expr::parse("RC = 0").unwrap());
+        let e = Expr::parse("1 = 2 OR RC = 0").unwrap();
+        assert_eq!(e.const_fold(), Expr::parse("RC = 0").unwrap());
+    }
+
+    #[test]
+    fn const_fold_keeps_variable_expressions() {
+        let e = Expr::parse("RC = 1 + 1").unwrap();
+        let folded = e.const_fold();
+        assert_eq!(folded, Expr::parse("RC = 2").unwrap());
+        assert_eq!(folded.const_value(), None);
+    }
+
+    #[test]
+    fn const_error_detects_guaranteed_failures() {
+        let e = Expr::parse("1 / 0 = 1").unwrap();
+        assert!(matches!(e.const_error(), Some(ExprError::DivisionByZero)));
+        assert_eq!(e.const_value(), None);
+        // A variable keeps the outcome environment-dependent.
+        let e = Expr::parse("RC / 0 = 1").unwrap();
+        assert_eq!(e.const_error(), None);
+        // Sound expressions report no guaranteed error.
+        assert_eq!(Expr::parse("RC = 1").unwrap().const_error(), None);
+    }
+
+    #[test]
+    fn const_fold_agrees_with_eval() {
+        for src in [
+            "1 + 2 * 3 > 4",
+            "RC > 1 AND 2 = 2",
+            "1 = 2 AND RC = 1",
+            "NOT (RC = 1 OR 1 = 1)",
+            "-RC + -(1 + 1)",
+        ] {
+            let e = Expr::parse(src).unwrap();
+            let folded = e.const_fold();
+            assert_eq!(
+                folded.eval(&env()).ok(),
+                e.eval(&env()).ok(),
+                "folded {src:?} must evaluate identically"
+            );
+        }
     }
 }

@@ -698,4 +698,25 @@ mod tests {
         let errs = validate(&p);
         assert!(errs[0].to_string().contains("[solo]"));
     }
+
+    #[test]
+    fn one_pass_reports_every_violation() {
+        // The validator keeps going after the first finding — tools
+        // like `fmtm lint` rely on getting the complete list at once.
+        let mut p = ok_process();
+        p.activities.push(Activity::program("A", "pa")); // duplicate name
+        p.activities.push(Activity::program("C", "")); // no program
+        p.control.push(ControlConnector::when("A", "A", "RC = 1")); // self loop
+        p.control.push(ControlConnector::when("A", "Ghost", "RC = 1")); // unknown
+        let errs = validate(&p);
+        for expect in [
+            |e: &ValidationError| matches!(e, ValidationError::DuplicateActivity { activity, .. } if activity == "A"),
+            |e: &ValidationError| matches!(e, ValidationError::MissingProgramName { activity, .. } if activity == "C"),
+            |e: &ValidationError| matches!(e, ValidationError::SelfLoop { activity, .. } if activity == "A"),
+            |e: &ValidationError| matches!(e, ValidationError::UnknownEndpoint { endpoint, .. } if endpoint == "Ghost"),
+        ] {
+            assert!(errs.iter().any(expect), "missing a variant in {errs:?}");
+        }
+        assert!(errs.len() >= 4, "{errs:?}");
+    }
 }

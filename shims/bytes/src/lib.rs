@@ -1,0 +1,2 @@
+//! Offline shim for `bytes`: the workspace declares the dependency but
+//! never uses it, so this crate is intentionally empty.

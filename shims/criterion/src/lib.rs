@@ -1,0 +1,215 @@
+//! Offline shim for `criterion`: runs each benchmark closure a small
+//! fixed number of iterations and prints a one-line mean timing. Good
+//! enough for the CI smoke run (`cargo bench -- --quick`); it does NOT
+//! implement statistical sampling, HTML reports, or baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations measured per benchmark (after one warmup call).
+const MEASURED_ITERS: u64 = 3;
+
+/// Identifier for a parameterised benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self {
+            label: name.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Timing callback handle passed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        black_box(routine()); // warmup
+        let start = Instant::now();
+        for _ in 0..MEASURED_ITERS {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = MEASURED_ITERS;
+    }
+
+    /// Lets the routine time itself: `routine(iters)` must return the
+    /// elapsed time for `iters` iterations.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        self.total = routine(MEASURED_ITERS);
+        self.iters = MEASURED_ITERS;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let per_iter = if bencher.iters > 0 {
+        bencher.total / bencher.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    println!("{label:<48} time: {}/iter", format_duration(per_iter));
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's iteration count is
+    /// fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        run_one(&format!("{}/{}", self.name, id.label), |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut f = f;
+        run_one(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: &str,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        run_one(name, |b| f(b));
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main`, running every group (CLI flags such as `--quick`
+/// are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        // One warmup + MEASURED_ITERS timed calls.
+        assert_eq!(runs, 1 + MEASURED_ITERS as u32);
+    }
+
+    #[test]
+    fn iter_custom_records_reported_time() {
+        let mut c = Criterion::default();
+        c.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(100 * iters))
+        });
+    }
+}

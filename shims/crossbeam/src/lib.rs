@@ -1,0 +1,147 @@
+//! Offline shim for `crossbeam` over `std::sync::mpsc`.
+//!
+//! Only the `channel` module is provided, and only the operations the
+//! workspace uses: `unbounded`, `bounded`, cloneable senders,
+//! `recv`/`recv_timeout`/`try_recv`, and blocking iteration.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub use std::sync::mpsc::SendError;
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        tx: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                tx: self.tx.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking if the channel is bounded and full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.tx {
+                Tx::Unbounded(s) => s.send(value),
+                Tx::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv()
+        }
+
+        /// Blocks up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.rx.recv_timeout(timeout)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv()
+        }
+
+        /// Blocking iterator draining the channel until all senders
+        /// are dropped.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.rx.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.rx.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.rx.iter()
+        }
+    }
+
+    /// Creates a channel with unlimited capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                tx: Tx::Unbounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+
+    /// Creates a channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                tx: Tx::Bounded(tx),
+            },
+            Receiver { rx },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn unbounded_fan_in_drains_on_drop() {
+            let (tx, rx) = unbounded();
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            drop(tx);
+            for h in handles {
+                h.join().unwrap();
+            }
+            let mut got: Vec<i32> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn bounded_recv_timeout_times_out_when_empty() {
+            let (_tx, rx) = bounded::<i32>(1);
+            assert!(rx.recv_timeout(Duration::from_millis(10)).is_err());
+        }
+    }
+}

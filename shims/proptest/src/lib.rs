@@ -1,0 +1,966 @@
+//! Offline shim for `proptest`: a deterministic property-testing
+//! mini-framework exposing the subset of the proptest 1.x API this
+//! workspace uses — `Strategy` with `prop_map` / `prop_flat_map` /
+//! `prop_filter` / `prop_recursive` / `boxed`, regex-subset string
+//! strategies, tuple/vec composition, `prop_oneof!`, `proptest!`,
+//! `prop_assert*!`, `prop::collection::vec` and `prop::option::of`.
+//!
+//! Differences from upstream: generation is seeded deterministically
+//! (no environment overrides), failing inputs are reported but NOT
+//! shrunk, and the regex dialect covers only what the workspace's
+//! generators need (literals, classes with ranges / negation / `&&`
+//! intersection, `\PC`, `\d`, `\w`, `\s`, and `{m}` / `{m,n}` / `?` /
+//! `*` / `+` quantifiers).
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic SplitMix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn seeded(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform index in `0..n` (`n > 0`).
+        pub fn index(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+
+    /// Runner configuration (field-compatible construction with
+    /// upstream: `ProptestConfig::with_cases(n)` or struct update
+    /// syntax over `Default`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per property.
+        pub cases: u32,
+        /// Cap on strategy rejections (filters) per property.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Failure raised by `prop_assert!` and friends inside a property
+    /// body.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        msg: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self { msg: msg.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    /// Drives one property: generates inputs and runs the body.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> Self {
+            Self {
+                config,
+                rng: TestRng::seeded(0xC0FF_EE00_5EED),
+            }
+        }
+
+        /// Runs `test` against `config.cases` generated inputs.
+        /// Returns the first failure, formatted with the offending
+        /// input's debug representation.
+        pub fn run<S>(
+            &mut self,
+            strategy: &S,
+            test: impl Fn(S::Value) -> Result<(), TestCaseError>,
+        ) -> Result<(), String>
+        where
+            S: crate::strategy::Strategy,
+            S::Value: fmt::Debug,
+        {
+            let mut rejects = 0u32;
+            for case in 0..self.config.cases {
+                let value = loop {
+                    match strategy.generate(&mut self.rng) {
+                        Ok(v) => break v,
+                        Err(r) => {
+                            rejects += 1;
+                            if rejects > self.config.max_global_rejects {
+                                return Err(format!(
+                                    "too many strategy rejections ({rejects}): {}",
+                                    r.0
+                                ));
+                            }
+                        }
+                    }
+                };
+                let repr = format!("{value:?}");
+                if let Err(e) = test(value) {
+                    return Err(format!(
+                        "property failed at case {case}/{}: {e}\ninput: {repr}",
+                        self.config.cases
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A generation attempt was rejected (e.g. by `prop_filter`).
+    #[derive(Debug, Clone)]
+    pub struct Rejected(pub String);
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected>;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { base: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                base: self,
+                reason: reason.into(),
+                pred,
+            }
+        }
+
+        /// Recursive strategies: `f` maps a strategy for the current
+        /// depth to a strategy one level deeper; leaves come from
+        /// `self`. `desired_size` / `expected_branch_size` are
+        /// accepted for API compatibility but depth alone bounds the
+        /// trees here.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let base = self.boxed();
+            let mut current = base.clone();
+            for _ in 0..depth {
+                let deeper = f(current).boxed();
+                // Bias 2:1 toward recursing until the depth budget is
+                // spent; the innermost level is pure leaves.
+                current = Union::new(vec![base.clone(), deeper.clone(), deeper]).boxed();
+            }
+            current
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> Result<T, Rejected>;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn DynStrategy<T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejected> {
+            Ok(self.0.clone())
+        }
+    }
+
+    /// Uniform choice between alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+            let i = rng.index(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> Result<O, Rejected> {
+            self.base.generate(rng).map(&self.f)
+        }
+    }
+
+    /// `prop_flat_map` adapter.
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> Result<S2::Value, Rejected> {
+            let seed = self.base.generate(rng)?;
+            (self.f)(seed).generate(rng)
+        }
+    }
+
+    /// `prop_filter` adapter: retries locally, then rejects upward.
+    pub struct Filter<S, F> {
+        base: S,
+        reason: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+            for _ in 0..64 {
+                let v = self.base.generate(rng)?;
+                if (self.pred)(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(Rejected(self.reason.clone()))
+        }
+    }
+
+    // ---- tuple composition (element-wise) ------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+                    Ok(($(self.$idx.generate(rng)?,)+))
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!(
+        (A.0),
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10),
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11),
+    );
+
+    /// A `Vec` of strategies generates element-wise.
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    // ---- numeric ranges ------------------------------------------------
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                    if self.start >= self.end {
+                        return Err(Rejected("empty range".into()));
+                    }
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    Ok((self.start as i128 + off as i128) as $t)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                    let (start, end) = (*self.start(), *self.end());
+                    if start > end {
+                        return Err(Rejected("empty range".into()));
+                    }
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    Ok((start as i128 + off as i128) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    // ---- regex-subset string strategies --------------------------------
+
+    /// String literals act as regex-subset generators.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> Result<String, Rejected> {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+/// Regex-subset string generation backing `impl Strategy for &str`.
+pub mod string {
+    use crate::strategy::Rejected;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    const PRINTABLE: std::ops::RangeInclusive<u8> = 0x20..=0x7E;
+
+    fn printable_set() -> BTreeSet<char> {
+        PRINTABLE.map(char::from).collect()
+    }
+
+    struct Piece {
+        chars: Vec<char>,
+        min: u32,
+        max: u32,
+    }
+
+    struct PatternParser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        pattern: &'a str,
+    }
+
+    impl<'a> PatternParser<'a> {
+        fn fail(&self, msg: &str) -> ! {
+            panic!(
+                "proptest shim: unsupported regex {:?}: {msg}",
+                self.pattern
+            )
+        }
+
+        fn escape_set(&mut self) -> BTreeSet<char> {
+            match self.chars.next() {
+                Some('P') => {
+                    // `\PC` — "not in Unicode category Other": the
+                    // shim generates printable ASCII.
+                    match self.chars.next() {
+                        Some('C') => printable_set(),
+                        _ => self.fail("only \\PC is supported of \\P escapes"),
+                    }
+                }
+                Some('d') => ('0'..='9').collect(),
+                Some('w') => ('a'..='z')
+                    .chain('A'..='Z')
+                    .chain('0'..='9')
+                    .chain(std::iter::once('_'))
+                    .collect(),
+                Some('s') => [' ', '\t', '\n', '\r'].into_iter().collect(),
+                Some(c) => std::iter::once(c).collect(),
+                None => self.fail("dangling backslash"),
+            }
+        }
+
+        /// Parses one `[...]` class body (after the `[`), consuming
+        /// the closing `]`. Supports negation, ranges, nested classes
+        /// and `&&` intersection.
+        fn class(&mut self) -> BTreeSet<char> {
+            let mut result: Option<BTreeSet<char>> = None;
+            loop {
+                let (operand, done) = self.class_operand();
+                result = Some(match result {
+                    None => operand,
+                    Some(acc) => acc.intersection(&operand).copied().collect(),
+                });
+                if done {
+                    return result.unwrap_or_default();
+                }
+            }
+        }
+
+        fn class_operand(&mut self) -> (BTreeSet<char>, bool) {
+            let negated = if self.chars.peek() == Some(&'^') {
+                self.chars.next();
+                true
+            } else {
+                false
+            };
+            let mut set = BTreeSet::new();
+            let done = loop {
+                match self.chars.next() {
+                    None => self.fail("unterminated character class"),
+                    Some(']') => break true,
+                    Some('&') if self.chars.peek() == Some(&'&') => {
+                        self.chars.next();
+                        break false;
+                    }
+                    Some('[') => {
+                        set.extend(self.class());
+                    }
+                    Some('\\') => {
+                        set.extend(self.escape_set());
+                    }
+                    Some(c) => {
+                        // Range `c-d` unless `-` is the last char.
+                        if self.chars.peek() == Some(&'-') {
+                            let mut lookahead = self.chars.clone();
+                            lookahead.next();
+                            if !matches!(lookahead.peek(), Some(']') | None) {
+                                self.chars.next(); // the '-'
+                                let end = match self.chars.next() {
+                                    Some('\\') => {
+                                        let s = self.escape_set();
+                                        *s.iter().next().unwrap_or(&c)
+                                    }
+                                    Some(e) => e,
+                                    None => self.fail("unterminated range"),
+                                };
+                                set.extend(
+                                    (c as u32..=end as u32).filter_map(char::from_u32),
+                                );
+                                continue;
+                            }
+                        }
+                        set.insert(c);
+                    }
+                }
+            };
+            if negated {
+                let universe = printable_set();
+                (universe.difference(&set).copied().collect(), done)
+            } else {
+                (set, done)
+            }
+        }
+
+        fn quantifier(&mut self) -> (u32, u32) {
+            match self.chars.peek() {
+                Some('{') => {
+                    self.chars.next();
+                    let mut min_text = String::new();
+                    let mut max_text = None;
+                    loop {
+                        match self.chars.next() {
+                            Some('}') => break,
+                            Some(',') => max_text = Some(String::new()),
+                            Some(c) if c.is_ascii_digit() => match &mut max_text {
+                                Some(t) => t.push(c),
+                                None => min_text.push(c),
+                            },
+                            _ => self.fail("bad {m,n} quantifier"),
+                        }
+                    }
+                    let min: u32 = min_text.parse().unwrap_or(0);
+                    let max = match max_text {
+                        None => min,
+                        Some(t) => t.parse().unwrap_or(min),
+                    };
+                    (min, max)
+                }
+                Some('?') => {
+                    self.chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    self.chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    self.chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        }
+
+        fn pieces(&mut self) -> Vec<Piece> {
+            let mut pieces = Vec::new();
+            while let Some(c) = self.chars.next() {
+                let chars: Vec<char> = match c {
+                    '[' => self.class().into_iter().collect(),
+                    '\\' => self.escape_set().into_iter().collect(),
+                    '(' | ')' | '|' | '.' | '^' | '$' => {
+                        self.fail("groups, alternation and anchors are not supported")
+                    }
+                    c => vec![c],
+                };
+                let (min, max) = self.quantifier();
+                pieces.push(Piece { chars, min, max });
+            }
+            pieces
+        }
+    }
+
+    /// Generates one string matching the regex-subset `pattern`.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> Result<String, Rejected> {
+        let mut parser = PatternParser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        };
+        let pieces = parser.pieces();
+        let mut out = String::new();
+        for piece in &pieces {
+            if piece.chars.is_empty() {
+                return Err(Rejected(format!(
+                    "empty character class in pattern {pattern:?}"
+                )));
+            }
+            let reps = piece.min + (rng.next_u64() % (piece.max - piece.min + 1) as u64) as u32;
+            for _ in 0..reps {
+                out.push(piece.chars[rng.index(piece.chars.len())]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Rejected, Strategy};
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn sample(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn sample(rng: &mut TestRng) -> Self {
+            rng.bool()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn sample(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for f64 {
+        fn sample(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+            Ok(T::sample(rng))
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Rejected, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Element-count bounds accepted by [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors with a size drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+            let span = (self.size.max - self.size.min + 1) as u64;
+            let len = self.size.min + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(strategy, 0..4)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::{Rejected, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy for optional values (3:1 biased toward `Some`).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+            if rng.next_u64() % 4 == 0 {
+                Ok(None)
+            } else {
+                self.inner.generate(rng).map(Some)
+            }
+        }
+    }
+
+    /// `prop::option::of(strategy)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+// ---- macros ------------------------------------------------------------
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Property assertion: fails the current case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)*)
+        );
+    }};
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategy = ($($strat,)*);
+                let outcome = runner.run(&strategy, |($($arg,)*)| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
+                if let ::std::result::Result::Err(message) = outcome {
+                    ::std::panic!("{}", message);
+                }
+            }
+        )*
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { .. }`
+/// becomes a `#[test]` (the attribute is written by the caller) that
+/// runs the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+/// The glob-imported API surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// `prop::collection`, `prop::option` namespace.
+    pub mod prop {
+        pub use crate::{collection, option};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subsets_generate_matching_strings() {
+        let mut rng = crate::test_runner::TestRng::seeded(1);
+        for _ in 0..200 {
+            let s = crate::string::generate_from_pattern("[A-Za-z_][A-Za-z0-9_]{0,8}", &mut rng)
+                .unwrap();
+            assert!((1..=9).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic()
+                || s.starts_with('_'));
+        }
+        for _ in 0..200 {
+            let s =
+                crate::string::generate_from_pattern("[ -~&&[^\\\\]]{0,12}", &mut rng).unwrap();
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c) && c != '\\'));
+        }
+        for _ in 0..50 {
+            let s = crate::string::generate_from_pattern("\\PC{0,80}", &mut rng).unwrap();
+            assert!(s.len() <= 80);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(n in -50i64..50, m in 1u32..9) {
+            prop_assert!((-50..50).contains(&n));
+            prop_assert!((1..9).contains(&m));
+        }
+
+        #[test]
+        fn oneof_and_filter_compose(
+            v in prop_oneof![Just(1u64), Just(2), (5u64..9).prop_map(|x| x)]
+                .prop_filter("nonzero", |v| *v != 2)
+        ) {
+            prop_assert_ne!(&v, &2);
+        }
+
+        #[test]
+        fn collections_and_options(
+            xs in prop::collection::vec((0usize..5, any::<bool>()), 0..6),
+            o in prop::option::of(Just("x")),
+        ) {
+            prop_assert!(xs.len() < 6);
+            if let Some(s) = o {
+                prop_assert_eq!(s, "x");
+            }
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = (-5i64..5).prop_map(Tree::Leaf).boxed().prop_recursive(
+            4,
+            32,
+            2,
+            |inner| {
+                (inner.clone(), inner)
+                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            },
+        );
+        let mut rng = crate::test_runner::TestRng::seeded(3);
+        for _ in 0..100 {
+            let t = strat.generate(&mut rng).unwrap();
+            assert!(depth(&t) <= 4, "depth bound violated: {t:?}");
+        }
+    }
+}

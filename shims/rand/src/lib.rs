@@ -1,0 +1,147 @@
+//! Offline shim for `rand` 0.8: a deterministic SplitMix64 generator
+//! behind the `StdRng` / `SeedableRng` / `Rng` names the workspace
+//! uses. Not cryptographic; statistically fine for failure injection
+//! and test data.
+
+/// Core random source: a stream of `u64`s.
+pub trait RngCore {
+    /// Returns the next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Conversion from raw bits to a sampled value, used by [`Rng::gen`].
+pub trait SampleUniform: Sized {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl SampleUniform for u64 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng()
+    }
+}
+
+impl SampleUniform for u32 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 32) as u32
+    }
+}
+
+impl SampleUniform for i64 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() as i64
+    }
+}
+
+impl SampleUniform for usize {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() as usize
+    }
+}
+
+impl SampleUniform for bool {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() & 1 == 1
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value of type `T` (for floats: `[0, 1)`).
+    fn gen<T: SampleUniform>(&mut self) -> T {
+        let mut next = || self.next_u64();
+        T::sample(&mut next)
+    }
+
+    /// Samples uniformly from `low..high` (half-open).
+    fn gen_range(&mut self, range: std::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        range.start + self.next_u64() % span
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators shipped with the crate.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: SplitMix64 (Steele, Lea & Flood 2014).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = r.gen_range(5..9);
+            assert!((5..9).contains(&x));
+        }
+    }
+}

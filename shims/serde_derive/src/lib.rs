@@ -1,0 +1,431 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` implemented directly over
+//! `proc_macro::TokenStream` (no syn/quote in this environment).
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//! plain (non-generic) structs with named fields, tuple structs, unit
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! `#[serde(...)]` attributes are NOT supported and other attributes
+//! are ignored. Unsupported shapes produce a `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+// ---- parsed shape ------------------------------------------------------
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+type Iter = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(iter: &mut Iter) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracket group of the attribute.
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    iter.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consumes tokens until a comma at angle-bracket depth zero (the end
+/// of a field type or enum discriminant). Returns after eating the
+/// comma, or at end of stream.
+fn skip_to_top_level_comma(iter: &mut Iter) {
+    let mut angle_depth = 0i32;
+    for tok in iter.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Parses `name: Type, ...` field lists (struct bodies and struct-like
+/// enum variants), returning the field names in order.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter: Iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => return Ok(fields),
+            Some(TokenTree::Ident(id)) => {
+                fields.push(id.to_string());
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    _ => return Err(format!("expected `:` after field `{id}`")),
+                }
+                skip_to_top_level_comma(&mut iter);
+            }
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+        }
+    }
+}
+
+/// Counts the fields of a tuple-struct / tuple-variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut iter: Iter = body.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        if iter.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        skip_to_top_level_comma(&mut iter);
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut iter: Iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut iter);
+        match iter.next() {
+            None => return Ok(variants),
+            Some(TokenTree::Ident(id)) => {
+                let name = id.to_string();
+                let kind = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = count_tuple_fields(g.stream());
+                        iter.next();
+                        VariantKind::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream())?;
+                        iter.next();
+                        VariantKind::Named(fields)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                variants.push(Variant { name, kind });
+                // Eats an optional `= discriminant` and the trailing comma.
+                skip_to_top_level_comma(&mut iter);
+            }
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut iter: Iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is not supported by the serde shim derive"));
+    }
+    match kind.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::NamedStruct(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                name,
+                shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+                name,
+                shape: Shape::UnitStruct,
+            }),
+            other => Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())?),
+            }),
+            other => Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---- code generation ---------------------------------------------------
+
+const IMPL_ATTRS: &str =
+    "#[automatically_derived]\n#[allow(unused_variables, unreachable_patterns, clippy::all)]\n";
+
+fn named_fields_to_content(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::serde::Content::Str(::std::string::String::from({f:?})), \
+                 ::serde::Serialize::to_content(&{access_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn named_fields_from_content(
+    type_path: &str,
+    fields: &[String],
+    source: &str,
+    context: &str,
+) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: match ::serde::Content::field({source}, {f:?}) {{ \
+                   ::std::option::Option::Some(v) => ::serde::Deserialize::from_content(v)?, \
+                   ::std::option::Option::None => return ::std::result::Result::Err(\
+                     ::serde::Error::msg(concat!(\"missing field `\", {f:?}, \"` in {context}\"))), \
+                 }}"
+            )
+        })
+        .collect();
+    format!(
+        "::std::result::Result::Ok({type_path} {{ {} }})",
+        inits.join(", ")
+    )
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => named_fields_to_content(fields, "self."),
+        Shape::UnitStruct => "::serde::Content::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\
+                             ::std::string::String::from({vname:?})),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_content(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Content::Seq(::std::vec![{}])",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(::std::vec![\
+                                 (::serde::Content::Str(::std::string::String::from({vname:?})), {inner})]),",
+                                binders.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inner = named_fields_to_content(fields, "");
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Content::Map(::std::vec![\
+                                 (::serde::Content::Str(::std::string::String::from({vname:?})), {inner})]),",
+                                fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Serialize for {name} {{\n\
+           fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            named_fields_from_content(name, fields, "content", name)
+        }
+        Shape::UnitStruct => format!(
+            "match content {{ \
+               ::serde::Content::Null => ::std::result::Result::Ok({name}), \
+               _ => ::std::result::Result::Err(::serde::Error::msg(\
+                 \"expected null for unit struct {name}\")), \
+             }}"
+        ),
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                .collect();
+            format!(
+                "match content {{ \
+                   ::serde::Content::Seq(items) if items.len() == {n} => \
+                     ::std::result::Result::Ok({name}({})), \
+                   _ => ::std::result::Result::Err(::serde::Error::msg(\
+                     \"expected {n}-element sequence for {name}\")), \
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("{vname:?} => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    let decode = match &v.kind {
+                        VariantKind::Unit => return None,
+                        VariantKind::Tuple(1) => format!(
+                            "::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_content(value)?))"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "match value {{ \
+                                   ::serde::Content::Seq(items) if items.len() == {n} => \
+                                     ::std::result::Result::Ok({name}::{vname}({})), \
+                                   _ => ::std::result::Result::Err(::serde::Error::msg(\
+                                     \"expected {n}-element sequence for variant {vname} of {name}\")), \
+                                 }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => named_fields_from_content(
+                            &format!("{name}::{vname}"),
+                            fields,
+                            "value",
+                            &format!("{name}::{vname}"),
+                        ),
+                    };
+                    Some(format!("{vname:?} => {{ {decode} }}"))
+                })
+                .collect();
+            format!(
+                "match content {{ \
+                   ::serde::Content::Str(tag) => match tag.as_str() {{ \
+                     {} \
+                     other => ::std::result::Result::Err(::serde::Error::msg(\
+                       ::std::format!(\"unknown unit variant `{{other}}` of {name}\"))), \
+                   }}, \
+                   ::serde::Content::Map(entries) if entries.len() == 1 => {{ \
+                     let (tag_content, value) = &entries[0]; \
+                     let tag = match tag_content {{ \
+                       ::serde::Content::Str(s) => s.as_str(), \
+                       _ => return ::std::result::Result::Err(::serde::Error::msg(\
+                         \"expected string variant tag for {name}\")), \
+                     }}; \
+                     match tag {{ \
+                       {} \
+                       other => ::std::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"unknown variant `{{other}}` of {name}\"))), \
+                     }} \
+                   }}, \
+                   _ => ::std::result::Result::Err(::serde::Error::msg(\
+                     \"expected string or single-entry map for enum {name}\")), \
+                 }}",
+                unit_arms.join(" "),
+                data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{IMPL_ATTRS}impl ::serde::Deserialize for {name} {{\n\
+           fn from_content(content: &::serde::Content) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+// ---- entry points ------------------------------------------------------
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_serialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde shim codegen error: {e}"))),
+        Err(e) => error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen_deserialize(&parsed)
+            .parse()
+            .unwrap_or_else(|e| error(&format!("serde shim codegen error: {e}"))),
+        Err(e) => error(&e),
+    }
+}
