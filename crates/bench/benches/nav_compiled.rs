@@ -1,0 +1,36 @@
+//! Experiment B13 — compiled-template navigation: the indexed
+//! navigator (interned activity ids, CSR adjacency, precompiled
+//! condition plans, ready-heap) vs. the string-keyed reference
+//! interpreter on chains of growing length.
+//!
+//! Each engine registers (and compiles) its template once; the timed
+//! body is start + run-to-quiescence, i.e. pure navigation. Shape
+//! claim: the reference interpreter rescans the definition after
+//! every step (quadratic in chain length), the compiled navigator
+//! pops a ready-heap (near-linear), so the speedup is ≥2× at 100
+//! activities and widens with process size.
+
+use bench::nav::{compiled_engine, reference_engine, run_compiled_once, run_reference_once};
+use bench::{chain_process, plain_world};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn nav_compiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nav_compiled");
+    group.sample_size(20);
+    for n in [25usize, 100, 400] {
+        let def = chain_process(n, "ok");
+        let w = plain_world(0);
+        let mut reference = reference_engine(&w, &def);
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| run_reference_once(&mut reference, "chain"))
+        });
+        let engine = compiled_engine(&w, &def);
+        group.bench_with_input(BenchmarkId::new("compiled", n), &n, |b, _| {
+            b.iter(|| run_compiled_once(&engine, "chain"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, nav_compiled);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Experiment B14 — multi-instance scheduler throughput: `run_all`
+//! (sequential) vs. `run_all_parallel(n)` on 1 000 saga-shaped
+//! instances with pure programs.
+//!
+//! Shape claim: instances are independent, so throughput scales with
+//! worker count (≥3× at 8 workers) until navigation becomes
+//! memory-bound; the sharded journal merge keeps the output
+//! byte-identical to the sequential run.
+
+use bench::nav::{engine_with_instances, pure_saga_world, saga_process};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+const STEPS: usize = 8;
+const INSTANCES: usize = 1_000;
+
+fn parallel_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_throughput");
+    group.sample_size(10);
+    let def = saga_process(STEPS);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        // Engine construction and instance seeding are
+                        // setup, not scheduler work: time only the run.
+                        let w = pure_saga_world(STEPS);
+                        let engine = engine_with_instances(&w, &def, INSTANCES);
+                        let start = Instant::now();
+                        if workers == 1 {
+                            engine.run_all().unwrap();
+                        } else {
+                            engine.run_all_parallel(workers).unwrap();
+                        }
+                        total += start.elapsed();
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_throughput);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! `navbench` — measures the two headline navigation numbers and
+//! writes them to `BENCH_nav.json` (the artifact uploaded by CI):
+//!
+//! * **nav_compiled**: per-run navigation latency of the compiled
+//!   engine vs. the string-keyed reference interpreter on a
+//!   100-activity chain (templates registered once; the timed body is
+//!   start + run-to-quiescence);
+//! * **parallel_throughput**: instances/sec of `run_all` vs.
+//!   `run_all_parallel(8)` on 1 000 saga-shaped instances.
+//!
+//! The host's core count is recorded alongside the numbers: the
+//! scheduler can only show parallel speedup on multi-core hardware
+//! (on a single core the worker threads just time-slice).
+//!
+//! ```sh
+//! cargo run --release -p bench --bin navbench -- [--quick] [--out PATH]
+//! ```
+
+use bench::nav::{
+    assert_all_finished, compiled_engine, engine_with_instances, pure_saga_world,
+    reference_engine, run_compiled_once, run_reference_once, saga_process,
+};
+use bench::{chain_process, plain_world, time_us};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_nav.json".to_string());
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (iters, chain_len, instances): (u32, usize, usize) =
+        if quick { (15, 100, 200) } else { (50, 100, 1000) };
+
+    // -- nav_compiled: 100-activity chain, register once, run many --
+    let def = chain_process(chain_len, "ok");
+    let w = plain_world(0);
+    let mut reference = reference_engine(&w, &def);
+    let t_ref = time_us(iters, || {
+        run_reference_once(&mut reference, "chain");
+    });
+    let engine = compiled_engine(&w, &def);
+    let t_compiled = time_us(iters, || {
+        run_compiled_once(&engine, "chain");
+    });
+    let nav_speedup = t_ref / t_compiled;
+    println!("nav_compiled ({chain_len}-activity chain, mean of {iters}):");
+    println!("  reference  {t_ref:>10.1} µs/run");
+    println!("  compiled   {t_compiled:>10.1} µs/run   ({nav_speedup:.2}x)");
+
+    // -- parallel_throughput: saga-shaped instances, pure programs --
+    let steps = 8;
+    let saga = saga_process(steps);
+    let runs = if quick { 3 } else { 5 };
+    let throughput = |workers: usize| {
+        let mut best = f64::MIN;
+        for _ in 0..runs {
+            let w = pure_saga_world(steps);
+            let engine = engine_with_instances(&w, &saga, instances);
+            let start = Instant::now();
+            if workers == 1 {
+                engine.run_all().unwrap();
+            } else {
+                engine.run_all_parallel(workers).unwrap();
+            }
+            let dt = start.elapsed().as_secs_f64();
+            assert_all_finished(&engine);
+            best = best.max(instances as f64 / dt);
+        }
+        best
+    };
+    let seq = throughput(1);
+    let par8 = throughput(8);
+    let par_speedup = par8 / seq;
+    println!(
+        "parallel_throughput ({instances} saga instances, {steps} steps, \
+         best of {runs}, {cores} core(s)):"
+    );
+    println!("  sequential {seq:>10.0} instances/sec");
+    println!("  8 workers  {par8:>10.0} instances/sec   ({par_speedup:.2}x)");
+
+    // The workspace serde_json shim has no `json!` macro; the schema
+    // is fixed, so emit it directly.
+    let json = format!(
+        "{{\n  \"cores\": {cores},\n  \
+         \"nav_compiled\": {{\n    \"chain_len\": {chain_len},\n    \
+         \"reference_us\": {t_ref:.1},\n    \"compiled_us\": {t_compiled:.1},\n    \
+         \"speedup\": {nav_speedup:.2}\n  }},\n  \
+         \"parallel_throughput\": {{\n    \"instances\": {instances},\n    \
+         \"saga_steps\": {steps},\n    \"sequential_per_sec\": {seq:.0},\n    \
+         \"workers8_per_sec\": {par8:.0},\n    \"speedup\": {par_speedup:.2}\n  }},\n  \
+         \"quick\": {quick}\n}}\n"
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("wrote {out}");
+}

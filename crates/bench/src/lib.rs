@@ -2,6 +2,8 @@
 //! bench per experiment in EXPERIMENTS.md, plus the `report` binary
 //! that prints the per-figure tables).
 
+pub mod nav;
+
 use atm::fixtures;
 use std::sync::Arc;
 use txn_substrate::{FailurePlan, KvProgram, MultiDatabase, ProgramRegistry};

@@ -31,6 +31,8 @@ fn main() {
     b10_makespan();
     b11_global_atomicity();
     b12_simulation();
+    b13_nav_compiled();
+    b14_parallel_throughput();
 }
 
 /// E-series: functional reproduction of every figure / appendix trace.
@@ -584,6 +586,59 @@ fn b7_translator() {
         exotica::translate_flex(&f3).unwrap();
     });
     println!("figure3 flexible translation: {t:.1} µs\n");
+}
+
+fn b13_nav_compiled() {
+    use bench::nav::{compiled_engine, reference_engine, run_compiled_once, run_reference_once};
+    println!("-- B13: compiled navigator vs reference interpreter (µs/run, mean of 50) --");
+    println!("{:>6} {:>12} {:>12} {:>8}", "n", "reference", "compiled", "speedup");
+    for n in [25usize, 100, 400] {
+        let def = chain_process(n, "ok");
+        let w = plain_world(0);
+        let mut reference = reference_engine(&w, &def);
+        let t_ref = time_us(50, || {
+            run_reference_once(&mut reference, "chain");
+        });
+        let engine = compiled_engine(&w, &def);
+        let t_cmp = time_us(50, || {
+            run_compiled_once(&engine, "chain");
+        });
+        println!("{:>6} {:>12.1} {:>12.1} {:>8.2}", n, t_ref, t_cmp, t_ref / t_cmp);
+    }
+    println!();
+}
+
+fn b14_parallel_throughput() {
+    use bench::nav::{assert_all_finished, engine_with_instances, pure_saga_world, saga_process};
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "-- B14: multi-instance scheduler (1000 saga instances, 8 steps, best of 3, \
+         {cores} core(s)) --"
+    );
+    println!("{:>8} {:>14} {:>8}", "workers", "instances/s", "speedup");
+    let def = saga_process(8);
+    let mut base = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let mut best = f64::MIN;
+        for _ in 0..3 {
+            let w = pure_saga_world(8);
+            let engine = engine_with_instances(&w, &def, 1000);
+            let start = std::time::Instant::now();
+            if workers == 1 {
+                engine.run_all().unwrap();
+            } else {
+                engine.run_all_parallel(workers).unwrap();
+            }
+            let dt = start.elapsed().as_secs_f64();
+            assert_all_finished(&engine);
+            best = best.max(1000.0 / dt);
+        }
+        if workers == 1 {
+            base = best;
+        }
+        println!("{:>8} {:>14.0} {:>8.2}", workers, best, best / base);
+    }
+    println!();
 }
 
 fn b8_substrate() {

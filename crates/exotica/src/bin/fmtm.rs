@@ -18,6 +18,9 @@
 //!   --seed N                            injector seed (default 0)
 //!   --trace                             print the execution trace
 //!   --audit                             print the full audit trail
+//!   --instances M                       start M instances (default 1)
+//!   --parallel N                        drive instances across N worker
+//!                                       threads and report instances/sec
 //! ```
 //!
 //! Programs are auto-provisioned: each step's forward program writes
@@ -232,6 +235,8 @@ fn run(args: &[String]) -> ExitCode {
     let mut seed = 0u64;
     let mut trace = false;
     let mut audit_flag = false;
+    let mut instances = 1usize;
+    let mut parallel = 0usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -268,6 +273,22 @@ fn run(args: &[String]) -> ExitCode {
             "--audit" => {
                 audit_flag = true;
                 i += 1;
+            }
+            "--instances" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    eprintln!("fmtm run: --instances needs a number");
+                    return ExitCode::from(2);
+                };
+                instances = n;
+                i += 2;
+            }
+            "--parallel" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    eprintln!("fmtm run: --parallel needs a worker count");
+                    return ExitCode::from(2);
+                };
+                parallel = n;
+                i += 2;
             }
             other => {
                 eprintln!("fmtm run: unknown option {other:?}");
@@ -320,27 +341,56 @@ fn run(args: &[String]) -> ExitCode {
     }
 
     let engine = Engine::new(Arc::clone(&fed), registry);
-    if let Err(e) = engine.register(out.process.clone()) {
+    // The pipeline already validated and compiled the process
+    // (stage 6); hand the executable template straight to the engine.
+    engine.register_compiled(Arc::clone(&out.template));
+    let ids: Vec<_> = (0..instances.max(1))
+        .map(|_| {
+            engine
+                .start(&out.process.name, Container::empty())
+                .expect("registered above")
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let run_result = if parallel > 1 {
+        engine.run_all_parallel(parallel)
+    } else {
+        engine.run_all()
+    };
+    let elapsed = started.elapsed();
+    if let Err(e) = run_result {
         eprintln!("fmtm: {e}");
         return ExitCode::FAILURE;
     }
-    let id = engine
-        .start(&out.process.name, Container::empty())
-        .expect("registered above");
-    match engine.run_to_quiescence(id) {
-        Ok(InstanceStatus::Finished) => {}
-        Ok(other) => {
-            eprintln!("fmtm: instance ended in state {other:?}");
-            return ExitCode::FAILURE;
-        }
-        Err(e) => {
-            eprintln!("fmtm: {e}");
-            return ExitCode::FAILURE;
+    for &id in &ids {
+        match engine.status(id).expect("instance exists") {
+            InstanceStatus::Finished => {}
+            other => {
+                eprintln!("fmtm: instance {id} ended in state {other:?}");
+                return ExitCode::FAILURE;
+            }
         }
     }
+    if parallel > 1 || instances > 1 {
+        let secs = elapsed.as_secs_f64();
+        println!(
+            "scheduler: {} instance(s), {} worker(s), {:.3} ms, {:.0} instances/sec",
+            ids.len(),
+            parallel.max(1),
+            secs * 1e3,
+            if secs > 0.0 { ids.len() as f64 / secs } else { f64::INFINITY },
+        );
+    }
 
-    let output = engine.output(id).expect("instance exists");
-    let committed = output.get("Committed").and_then(|v| v.as_int()) == Some(1);
+    let id = *ids.first().expect("at least one instance");
+    let committed = ids.iter().all(|&i| {
+        engine
+            .output(i)
+            .expect("instance exists")
+            .get("Committed")
+            .and_then(|v| v.as_int())
+            == Some(1)
+    });
     println!(
         "{} {:?}: {}",
         match &out.spec {

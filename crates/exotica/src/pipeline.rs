@@ -21,7 +21,9 @@ use crate::saga::translate_saga;
 use crate::specfmt::{parse_spec, ParsedSpec, SpecSyntaxError};
 use crate::TranslateError;
 use atm::WellFormedError;
+use std::sync::Arc;
 use wfms_analyzer::{Analyzer, Diagnostic, Severity};
+use wfms_engine::CompiledProcess;
 use wfms_fdl::FdlError;
 use wfms_model::ProcessDefinition;
 
@@ -95,6 +97,13 @@ pub struct PipelineOutput {
     /// did not block the pipeline. Error-severity findings abort with
     /// [`PipelineError::Analysis`] instead.
     pub diagnostics: Vec<Diagnostic>,
+    /// The compiled executable template (stage 6) — Figure 5's final
+    /// step, "this internal format is translated into an executable
+    /// FlowMark process": interned activity ids, indexed connector
+    /// adjacency, constant-folded condition plans. Hand it to
+    /// [`wfms_engine::Engine::register_compiled`] to run instances
+    /// without recompiling.
+    pub template: Arc<CompiledProcess>,
 }
 
 /// Stages 4–5 on FDL text: imports the definition (syntax + semantic
@@ -169,11 +178,16 @@ pub fn run_pipeline(spec_text: &str) -> Result<PipelineOutput, PipelineError> {
     let (process, diagnostics) = import_and_analyze(&fdl)?;
     debug_assert_eq!(process, translated, "FDL round trip must be lossless");
 
+    // Stage 6: lower the validated process into the engine's compiled
+    // executable template.
+    let template = Arc::new(CompiledProcess::compile(process.clone()));
+
     Ok(PipelineOutput {
         spec,
         fdl,
         process,
         diagnostics,
+        template,
     })
 }
 
@@ -197,6 +211,14 @@ mod tests {
         assert!(out.fdl.contains("BLOCK Compensation"));
         assert_eq!(out.process.name, "trip");
         assert!(wfms_model::validate(&out.process).is_empty());
+        // Stage 6: the compiled template is over the same definition.
+        assert_eq!(out.template.name(), "trip");
+        assert_eq!(*out.template.def, out.process);
+        assert_eq!(
+            out.template.root.len(),
+            out.process.activities.len(),
+            "root scope compiles one slot per declared activity"
+        );
     }
 
     #[test]

@@ -1,0 +1,571 @@
+//! Compiled process templates — the "executable process template" at
+//! the end of the paper's Figure 5 pipeline.
+//!
+//! [`Engine::register`](crate::Engine::register) lowers each validated
+//! [`ProcessDefinition`] into a [`CompiledProcess`] once, so the
+//! navigator never rescans the definition on the hot path:
+//!
+//! * activity names are interned to dense `u32` ids in declaration
+//!   order ([`wfms_model::Interner`]), so per-scope runtime state is a
+//!   plain vector indexed by id;
+//! * control connectors become a CSR-style adjacency: edges live in
+//!   one vector (in declaration order, which fixes journal event
+//!   order), and every activity carries its incoming/outgoing edge-id
+//!   lists;
+//! * transition and exit conditions are constant-folded
+//!   ([`wfms_model::Expr::const_fold`]) into [`CondPlan`]s — statically
+//!   true/false conditions (including guaranteed evaluation errors,
+//!   which the engine maps to a constant) skip expression evaluation
+//!   entirely at run time;
+//! * data connectors are flattened into per-activity mapping tables
+//!   ([`DataIn`] for input materialisation, `data_out` for
+//!   process-output propagation);
+//! * the effective output schema (declared members + the reserved `RC`
+//!   member) is precomputed per activity;
+//! * deadline-bearing and manual activities are indexed so
+//!   [`check_deadlines`](crate::navigator::check_deadlines) and
+//!   worklist maintenance skip instances that cannot need them.
+//!
+//! Compilation is deterministic: ids are declaration positions, so a
+//! template compiled at recovery time addresses the same state slots
+//! as the one that produced the journal.
+
+use std::sync::Arc;
+use txn_substrate::Tick;
+use wfms_model::{
+    ActivityKind, Container, ContainerSchema, DataEndpoint, Expr, Interner, ProcessDefinition,
+    StaffAssignment, StartCondition,
+};
+
+/// Dense per-scope activity id (declaration position).
+pub type ActId = u32;
+
+/// Dense per-scope control-connector id (declaration position).
+pub type EdgeId = u32;
+
+/// A path of activity ids from the root scope: every prefix element
+/// names a block activity, the last element the addressed activity.
+/// Lexicographic order on id paths is exactly the navigator's
+/// depth-first declaration-order scan, which is what makes the ready
+/// queue a plain binary heap.
+pub type IdPath = Vec<ActId>;
+
+/// A precompiled condition: the constant-folded expression, or the
+/// constant it folds to. Guaranteed evaluation errors fold to the
+/// constant the engine would produce at run time (transition
+/// conditions error to `false`, exit conditions to `true`), so the
+/// run-time error path disappears from compiled templates.
+#[derive(Debug, Clone)]
+pub enum CondPlan {
+    /// Statically true — no evaluation needed.
+    AlwaysTrue,
+    /// Statically false — no evaluation needed.
+    AlwaysFalse,
+    /// Genuinely dynamic; the stored expression is already folded.
+    Dynamic(Expr),
+}
+
+impl CondPlan {
+    /// Compiles a transition condition. The engine evaluates these as
+    /// `expr.eval_bool(output).unwrap_or(false)`, so a guaranteed
+    /// error is statically false.
+    pub fn transition(expr: &Expr) -> Self {
+        let folded = expr.const_fold();
+        match folded.const_value() {
+            Some(v) => {
+                if v.as_bool() == Some(true) {
+                    CondPlan::AlwaysTrue
+                } else {
+                    // A non-boolean constant errors at eval time,
+                    // which the transition rule maps to false.
+                    CondPlan::AlwaysFalse
+                }
+            }
+            None => {
+                if folded.const_error().is_some() {
+                    CondPlan::AlwaysFalse
+                } else {
+                    CondPlan::Dynamic(folded)
+                }
+            }
+        }
+    }
+
+    /// Compiles an exit condition. The engine evaluates these as
+    /// `expr.eval_bool(output).unwrap_or(true)`, so a guaranteed error
+    /// is statically true; an absent condition is always true.
+    pub fn exit(expr: &Option<Expr>) -> Self {
+        let Some(expr) = expr else {
+            return CondPlan::AlwaysTrue;
+        };
+        let folded = expr.const_fold();
+        match folded.const_value() {
+            Some(v) => {
+                if v.as_bool() == Some(false) {
+                    CondPlan::AlwaysFalse
+                } else {
+                    // True, or a non-boolean constant (eval error →
+                    // exit-ok).
+                    CondPlan::AlwaysTrue
+                }
+            }
+            None => {
+                if folded.const_error().is_some() {
+                    CondPlan::AlwaysTrue
+                } else {
+                    CondPlan::Dynamic(folded)
+                }
+            }
+        }
+    }
+
+    /// Evaluates a transition plan over `output` (errors are false).
+    pub fn eval_transition(&self, output: &Container) -> bool {
+        match self {
+            CondPlan::AlwaysTrue => true,
+            CondPlan::AlwaysFalse => false,
+            CondPlan::Dynamic(e) => e.eval_bool(output).unwrap_or(false),
+        }
+    }
+
+    /// Evaluates an exit plan over `output` (errors are true).
+    pub fn eval_exit(&self, output: &Container) -> bool {
+        match self {
+            CondPlan::AlwaysTrue => true,
+            CondPlan::AlwaysFalse => false,
+            CondPlan::Dynamic(e) => e.eval_bool(output).unwrap_or(true),
+        }
+    }
+}
+
+/// One compiled control connector.
+#[derive(Debug, Clone)]
+pub struct CompiledEdge {
+    /// Source activity id.
+    pub from: ActId,
+    /// Target activity id.
+    pub to: ActId,
+    /// Precompiled transition condition.
+    pub cond: CondPlan,
+}
+
+/// Source side of a flattened input-data mapping.
+#[derive(Debug, Clone)]
+pub enum DataSource {
+    /// The scope's input container.
+    ProcessInput,
+    /// The output container of the activity with this id (applies only
+    /// once that activity terminated after executing).
+    ActivityOutput(ActId),
+}
+
+/// One flattened data connector feeding an activity's input container.
+#[derive(Debug, Clone)]
+pub struct DataIn {
+    /// Where the values come from.
+    pub source: DataSource,
+    /// `(from_member, to_member)` copies, in declaration order.
+    pub mappings: Vec<(String, String)>,
+}
+
+/// What a compiled activity executes.
+#[derive(Debug, Clone)]
+pub enum CompiledKind {
+    /// Pass-through no-op (commits with `RC = 1`).
+    NoOp,
+    /// Invokes the named transactional program.
+    Program(String),
+    /// Runs an embedded subprocess.
+    Block(Arc<CompiledScope>),
+}
+
+/// One activity, fully indexed.
+#[derive(Debug, Clone)]
+pub struct CompiledActivity {
+    /// Activity name (for journal paths and API lookups).
+    pub name: String,
+    /// Program / block / no-op.
+    pub kind: CompiledKind,
+    /// Engine-started when ready (vs worklist-offered).
+    pub automatic: bool,
+    /// AND/OR join semantics.
+    pub start: StartCondition,
+    /// Precompiled exit condition.
+    pub exit: CondPlan,
+    /// Staff assignment for manual activities.
+    pub staff: StaffAssignment,
+    /// Deadline in ticks for manual activities.
+    pub deadline: Option<Tick>,
+    /// Input container schema.
+    pub input: ContainerSchema,
+    /// Effective output schema: declared members plus `RC`.
+    pub eff_output: ContainerSchema,
+    /// Incoming control-connector edge ids, in declaration order.
+    pub incoming: Vec<EdgeId>,
+    /// Outgoing control-connector edge ids, in declaration order.
+    pub outgoing: Vec<EdgeId>,
+    /// Flattened data connectors into this activity's input.
+    pub data_in: Vec<DataIn>,
+    /// `(from_member, to_member)` copies from this activity's output
+    /// into the scope's output container, applied at termination.
+    pub data_out: Vec<(String, String)>,
+}
+
+/// One compiled (sub)process scope.
+#[derive(Debug, Clone)]
+pub struct CompiledScope {
+    /// Scope name (process or block name).
+    pub name: String,
+    /// Activities indexed by [`ActId`] (declaration order).
+    pub acts: Vec<CompiledActivity>,
+    /// `name → ActId` for API path resolution.
+    pub interner: Interner,
+    /// Control connectors indexed by [`EdgeId`] (declaration order).
+    pub edges: Vec<CompiledEdge>,
+    /// Activities with no incoming connectors, in declaration order.
+    pub starts: Vec<ActId>,
+    /// Manual activities with a deadline, directly in this scope.
+    pub deadline_acts: Vec<ActId>,
+    /// True if this scope or any nested block has a deadline-bearing
+    /// manual activity.
+    pub any_deadlines: bool,
+    /// True if this scope or any nested block has a manual activity.
+    pub any_manual: bool,
+    /// Scope input container schema.
+    pub input: ContainerSchema,
+    /// Scope output container schema.
+    pub output: ContainerSchema,
+}
+
+impl CompiledScope {
+    fn compile(def: &ProcessDefinition) -> Self {
+        let mut interner = Interner::new();
+        for a in &def.activities {
+            interner.intern(&a.name);
+        }
+        let id_of = |name: &str| -> Option<ActId> { interner.get(name) };
+
+        let mut edges = Vec::with_capacity(def.control.len());
+        let mut incoming: Vec<Vec<EdgeId>> = vec![Vec::new(); def.activities.len()];
+        let mut outgoing: Vec<Vec<EdgeId>> = vec![Vec::new(); def.activities.len()];
+        for c in &def.control {
+            let (Some(from), Some(to)) = (id_of(&c.from), id_of(&c.to)) else {
+                // Validation rejects dangling connectors; tolerate
+                // them here so compile is total.
+                continue;
+            };
+            let e = edges.len() as EdgeId;
+            edges.push(CompiledEdge {
+                from,
+                to,
+                cond: CondPlan::transition(&c.condition),
+            });
+            outgoing[from as usize].push(e);
+            incoming[to as usize].push(e);
+        }
+
+        let mut acts = Vec::with_capacity(def.activities.len());
+        let mut any_deadlines = false;
+        let mut any_manual = false;
+        let mut deadline_acts = Vec::new();
+        for (i, a) in def.activities.iter().enumerate() {
+            let kind = match &a.kind {
+                ActivityKind::NoOp => CompiledKind::NoOp,
+                ActivityKind::Program { program } => CompiledKind::Program(program.clone()),
+                ActivityKind::Block { process } => {
+                    let child = CompiledScope::compile(process);
+                    any_deadlines |= child.any_deadlines;
+                    any_manual |= child.any_manual;
+                    CompiledKind::Block(Arc::new(child))
+                }
+            };
+            if !a.automatic_start {
+                any_manual = true;
+                if a.deadline.is_some() {
+                    any_deadlines = true;
+                    deadline_acts.push(i as ActId);
+                }
+            }
+
+            let mut data_in = Vec::new();
+            let mut data_out = Vec::new();
+            for d in &def.data {
+                if matches!(&d.to, DataEndpoint::ActivityInput(t) if t == &a.name) {
+                    let source = match &d.from {
+                        DataEndpoint::ProcessInput => Some(DataSource::ProcessInput),
+                        DataEndpoint::ActivityOutput(s) => {
+                            id_of(s).map(DataSource::ActivityOutput)
+                        }
+                        _ => None,
+                    };
+                    if let Some(source) = source {
+                        data_in.push(DataIn {
+                            source,
+                            mappings: d
+                                .mappings
+                                .iter()
+                                .map(|m| (m.from_member.clone(), m.to_member.clone()))
+                                .collect(),
+                        });
+                    }
+                }
+                if matches!(&d.from, DataEndpoint::ActivityOutput(s) if s == &a.name)
+                    && d.to == DataEndpoint::ProcessOutput
+                {
+                    for m in &d.mappings {
+                        data_out.push((m.from_member.clone(), m.to_member.clone()));
+                    }
+                }
+            }
+
+            acts.push(CompiledActivity {
+                name: a.name.clone(),
+                kind,
+                automatic: a.automatic_start,
+                start: a.start,
+                exit: CondPlan::exit(&a.exit.expr),
+                staff: a.staff.clone(),
+                deadline: a.deadline,
+                input: a.input.clone(),
+                eff_output: def.effective_output(a),
+                incoming: std::mem::take(&mut incoming[i]),
+                outgoing: std::mem::take(&mut outgoing[i]),
+                data_in,
+                data_out,
+            });
+        }
+
+        let starts: Vec<ActId> = acts
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.incoming.is_empty())
+            .map(|(i, _)| i as ActId)
+            .collect();
+
+        Self {
+            name: def.name.clone(),
+            acts,
+            interner,
+            edges,
+            starts,
+            deadline_acts,
+            any_deadlines,
+            any_manual,
+            input: def.input.clone(),
+            output: def.output.clone(),
+        }
+    }
+
+    /// The compiled activity behind `id`.
+    #[inline]
+    pub fn act(&self, id: ActId) -> &CompiledActivity {
+        &self.acts[id as usize]
+    }
+
+    /// The id of `name`, if the scope declares it.
+    #[inline]
+    pub fn id(&self, name: &str) -> Option<ActId> {
+        self.interner.get(name)
+    }
+
+    /// The child scope of the block activity `id`, if it is a block.
+    #[inline]
+    pub fn child_scope(&self, id: ActId) -> Option<&Arc<CompiledScope>> {
+        match &self.acts.get(id as usize)?.kind {
+            CompiledKind::Block(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The edge id of the connector `from → to`, if declared.
+    pub fn edge_id(&self, from: &str, to: &str) -> Option<EdgeId> {
+        let (f, t) = (self.id(from)?, self.id(to)?);
+        self.acts[f as usize]
+            .outgoing
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e as usize].to == t)
+    }
+
+    /// Number of activities.
+    pub fn len(&self) -> usize {
+        self.acts.len()
+    }
+
+    /// True when the scope declares no activities.
+    pub fn is_empty(&self) -> bool {
+        self.acts.is_empty()
+    }
+}
+
+/// A process definition lowered into its executable form. Cheap to
+/// clone (`Arc` inside); templates are shared by every instance and
+/// every worker thread.
+#[derive(Debug, Clone)]
+pub struct CompiledProcess {
+    /// The source definition (kept for API compatibility, FDL
+    /// re-emission and diagnostics; the navigator never reads it).
+    pub def: Arc<ProcessDefinition>,
+    /// The compiled root scope.
+    pub root: Arc<CompiledScope>,
+}
+
+impl CompiledProcess {
+    /// Compiles `def`. Deterministic: ids are declaration positions.
+    pub fn compile(def: ProcessDefinition) -> Self {
+        Self::compile_arc(Arc::new(def))
+    }
+
+    /// Compiles a definition already behind an `Arc`.
+    pub fn compile_arc(def: Arc<ProcessDefinition>) -> Self {
+        let root = Arc::new(CompiledScope::compile(&def));
+        Self { def, root }
+    }
+
+    /// The process name.
+    pub fn name(&self) -> &str {
+        &self.def.name
+    }
+
+    /// Resolves a name path (block names, then an activity name) into
+    /// an [`IdPath`].
+    pub fn resolve_path(&self, segs: &[String]) -> Option<IdPath> {
+        let mut scope: &CompiledScope = &self.root;
+        let mut ids = Vec::with_capacity(segs.len());
+        for (i, seg) in segs.iter().enumerate() {
+            let id = scope.id(seg)?;
+            ids.push(id);
+            if i + 1 < segs.len() {
+                scope = scope.child_scope(id)?;
+            }
+        }
+        Some(ids)
+    }
+
+    /// Renders an [`IdPath`] back to the slash-separated journal form.
+    pub fn path_string(&self, ids: &[ActId]) -> String {
+        let mut out = String::new();
+        let mut scope: &CompiledScope = &self.root;
+        for (i, &id) in ids.iter().enumerate() {
+            if i > 0 {
+                out.push('/');
+            }
+            out.push_str(&scope.act(id).name);
+            if i + 1 < ids.len() {
+                scope = scope.child_scope(id).expect("prefix ids name blocks");
+            }
+        }
+        out
+    }
+
+    /// The compiled scope addressed by a (possibly empty) prefix of
+    /// block ids.
+    pub fn scope_at(&self, scope_ids: &[ActId]) -> Option<&Arc<CompiledScope>> {
+        let mut scope = &self.root;
+        for &id in scope_ids {
+            scope = scope.child_scope(id)?;
+        }
+        Some(scope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfms_model::ProcessBuilder;
+
+    fn nested() -> ProcessDefinition {
+        let inner = ProcessBuilder::new("inner")
+            .program("X", "px")
+            .program("Y", "py")
+            .connect_when("X", "Y", "RC = 1")
+            .build()
+            .unwrap();
+        ProcessBuilder::new("outer")
+            .program("A", "pa")
+            .block("B", inner)
+            .connect_when("A", "B", "RC = 1")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ids_are_declaration_positions() {
+        let t = CompiledProcess::compile(nested());
+        assert_eq!(t.root.id("A"), Some(0));
+        assert_eq!(t.root.id("B"), Some(1));
+        assert_eq!(t.root.starts, vec![0]);
+        let b = t.root.child_scope(1).unwrap();
+        assert_eq!(b.id("X"), Some(0));
+        assert_eq!(b.id("Y"), Some(1));
+        assert_eq!(b.edges.len(), 1);
+        assert_eq!(b.edges[0].from, 0);
+        assert_eq!(b.edges[0].to, 1);
+    }
+
+    #[test]
+    fn adjacency_matches_declaration() {
+        let t = CompiledProcess::compile(nested());
+        assert_eq!(t.root.act(0).outgoing, vec![0]);
+        assert_eq!(t.root.act(1).incoming, vec![0]);
+        assert_eq!(t.root.edge_id("A", "B"), Some(0));
+        assert_eq!(t.root.edge_id("B", "A"), None);
+    }
+
+    #[test]
+    fn path_round_trip() {
+        let t = CompiledProcess::compile(nested());
+        let segs = vec!["B".to_owned(), "X".to_owned()];
+        let ids = t.resolve_path(&segs).unwrap();
+        assert_eq!(ids, vec![1, 0]);
+        assert_eq!(t.path_string(&ids), "B/X");
+        assert!(t.resolve_path(&["Ghost".to_owned()]).is_none());
+        assert!(t
+            .resolve_path(&["A".to_owned(), "X".to_owned()])
+            .is_none());
+    }
+
+    #[test]
+    fn constant_conditions_fold() {
+        let e = Expr::parse("1 = 1").unwrap();
+        assert!(matches!(CondPlan::transition(&e), CondPlan::AlwaysTrue));
+        let f = Expr::parse("1 = 2").unwrap();
+        assert!(matches!(CondPlan::transition(&f), CondPlan::AlwaysFalse));
+        // Guaranteed evaluation error: transition false, exit true.
+        let err = Expr::parse("1 / 0 = 1").unwrap();
+        assert!(matches!(CondPlan::transition(&err), CondPlan::AlwaysFalse));
+        assert!(matches!(
+            CondPlan::exit(&Some(err)),
+            CondPlan::AlwaysTrue
+        ));
+        let dynamic = Expr::parse("RC = 1").unwrap();
+        assert!(matches!(
+            CondPlan::transition(&dynamic),
+            CondPlan::Dynamic(_)
+        ));
+        assert!(matches!(CondPlan::exit(&None), CondPlan::AlwaysTrue));
+    }
+
+    #[test]
+    fn effective_output_includes_rc() {
+        let t = CompiledProcess::compile(nested());
+        assert!(t.root.act(0).eff_output.has(wfms_model::RC_MEMBER));
+    }
+
+    #[test]
+    fn manual_and_deadline_flags() {
+        let auto = CompiledProcess::compile(nested());
+        assert!(!auto.root.any_manual);
+        assert!(!auto.root.any_deadlines);
+        assert!(auto.root.deadline_acts.is_empty());
+
+        let m = wfms_model::Activity::program("M", "pm")
+            .for_role("clerk")
+            .with_deadline(5);
+        let def = ProcessBuilder::new("p").activity(m).build().unwrap();
+        let t = CompiledProcess::compile(def);
+        assert!(t.root.any_manual);
+        assert!(t.root.any_deadlines);
+        assert_eq!(t.root.deadline_acts, vec![0]);
+    }
+}

@@ -1,15 +1,25 @@
 //! The engine — the public API tying templates, instances, programs,
 //! the organization, worklists, the journal and the clock together.
+//!
+//! State is split into independently locked fields (templates,
+//! instances, organization, worklists; the journal synchronises
+//! internally and the id allocators are atomics) instead of one big
+//! mutex. Navigation of one instance only ever holds the instances
+//! lock plus, transiently, the org/worklist locks — which is what lets
+//! [`Engine::run_all_parallel`] drive disjoint instances from several
+//! worker threads at once.
 
+use crate::compiled::CompiledProcess;
 use crate::event::{Event, InstanceId, WorkItemId};
 use crate::journal::Journal;
-use crate::navigator;
+use crate::navigator::{self, NavServices};
 use crate::org::OrgModel;
 use crate::state::{split_path, ActState, Instance, InstanceStatus};
 use crate::worklist::{WorkItem, WorkItemState, WorklistError, WorklistStore};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use txn_substrate::{MultiDatabase, ProgramRegistry, VirtualClock};
 use wfms_model::{validate, Container, ProcessDefinition, ValidationError};
@@ -90,20 +100,16 @@ impl Default for EngineConfig {
     }
 }
 
-pub(crate) struct Inner {
-    pub(crate) templates: HashMap<String, Arc<ProcessDefinition>>,
-    pub(crate) instances: BTreeMap<InstanceId, Instance>,
-    pub(crate) org: OrgModel,
-    pub(crate) worklists: WorklistStore,
-    pub(crate) journal: Journal,
-    pub(crate) next_instance: u64,
-    pub(crate) next_item: u64,
-    pub(crate) step_limit: usize,
-}
-
 /// The workflow engine.
 pub struct Engine {
-    pub(crate) inner: Mutex<Inner>,
+    pub(crate) templates: Mutex<HashMap<String, Arc<CompiledProcess>>>,
+    pub(crate) instances: Mutex<BTreeMap<InstanceId, Instance>>,
+    pub(crate) org: Mutex<OrgModel>,
+    pub(crate) worklists: Mutex<WorklistStore>,
+    pub(crate) journal: Journal,
+    pub(crate) next_instance: AtomicU64,
+    pub(crate) next_item: AtomicU64,
+    pub(crate) step_limit: usize,
     pub(crate) programs: Arc<ProgramRegistry>,
     pub(crate) multidb: Arc<MultiDatabase>,
     pub(crate) clock: VirtualClock,
@@ -132,16 +138,14 @@ impl Engine {
         };
         let clock = multidb.clock().clone();
         Self {
-            inner: Mutex::new(Inner {
-                templates: HashMap::new(),
-                instances: BTreeMap::new(),
-                org: config.org,
-                worklists: WorklistStore::new(),
-                journal,
-                next_instance: 1,
-                next_item: 1,
-                step_limit: config.step_limit,
-            }),
+            templates: Mutex::new(HashMap::new()),
+            instances: Mutex::new(BTreeMap::new()),
+            org: Mutex::new(config.org),
+            worklists: Mutex::new(WorklistStore::new()),
+            journal,
+            next_instance: AtomicU64::new(1),
+            next_item: AtomicU64::new(1),
+            step_limit: config.step_limit,
             programs,
             multidb,
             clock,
@@ -163,7 +167,39 @@ impl Engine {
         &self.programs
     }
 
-    /// Validates and registers a process template. Registering a new
+    /// Navigation services bound to the main journal.
+    fn services(&self) -> NavServices<'_> {
+        NavServices {
+            journal: &self.journal,
+            clock: &self.clock,
+            org: &self.org,
+            worklists: &self.worklists,
+            next_item: &self.next_item,
+            programs: &self.programs,
+            multidb: &self.multidb,
+        }
+    }
+
+    /// Navigation services writing to `journal` instead of the main
+    /// journal — used by the parallel scheduler's per-worker shards.
+    fn services_with<'a>(&'a self, journal: &'a Journal) -> NavServices<'a> {
+        NavServices {
+            journal,
+            clock: &self.clock,
+            org: &self.org,
+            worklists: &self.worklists,
+            next_item: &self.next_item,
+            programs: &self.programs,
+            multidb: &self.multidb,
+        }
+    }
+
+    /// Validates a definition and registers its **compiled template**
+    /// (Figure 5's import stage: specification → validated model →
+    /// executable template). Compilation interns activity names,
+    /// builds the connector adjacency, constant-folds every transition
+    /// and exit condition and flattens the data-connector maps — all
+    /// navigation then runs on the indexed form. Registering a new
     /// version under the same name replaces the template for *future*
     /// instances; running instances keep their own `Arc`.
     pub fn register(&self, def: ProcessDefinition) -> Result<(), EngineError> {
@@ -171,15 +207,27 @@ impl Engine {
         if !errors.is_empty() {
             return Err(EngineError::Validation(errors));
         }
-        let mut inner = self.inner.lock();
-        inner.templates.insert(def.name.clone(), Arc::new(def));
+        let tpl = Arc::new(CompiledProcess::compile_arc(Arc::new(def)));
+        self.register_compiled(tpl);
         Ok(())
+    }
+
+    /// Registers an already compiled template (e.g. one produced by a
+    /// front-end pipeline that validated the definition itself).
+    pub fn register_compiled(&self, tpl: Arc<CompiledProcess>) {
+        self.templates
+            .lock()
+            .insert(tpl.name().to_owned(), tpl);
+    }
+
+    /// The compiled template registered under `name`.
+    pub fn template(&self, name: &str) -> Option<Arc<CompiledProcess>> {
+        self.templates.lock().get(name).cloned()
     }
 
     /// Registered template names, sorted.
     pub fn template_names(&self) -> Vec<String> {
-        let inner = self.inner.lock();
-        let mut names: Vec<String> = inner.templates.keys().cloned().collect();
+        let mut names: Vec<String> = self.templates.lock().keys().cloned().collect();
         names.sort();
         names
     }
@@ -189,38 +237,17 @@ impl Engine {
     /// ready. Does not run anything yet — call
     /// [`Engine::run_to_quiescence`].
     pub fn start(&self, process: &str, input: Container) -> Result<InstanceId, EngineError> {
-        let mut inner = self.inner.lock();
-        let def = inner
-            .templates
-            .get(process)
-            .ok_or_else(|| EngineError::UnknownProcess(process.to_owned()))?
-            .clone();
-        let id = InstanceId(inner.next_instance);
-        inner.next_instance += 1;
-        let mut inst = Instance::new(id, def);
+        let tpl = self
+            .template(process)
+            .ok_or_else(|| EngineError::UnknownProcess(process.to_owned()))?;
+        let mut instances = self.instances.lock();
+        let id = InstanceId(self.next_instance.fetch_add(1, Ordering::Relaxed));
+        let mut inst = Instance::new(id, tpl);
         for (k, v) in input.iter() {
             inst.root.input.set(k, v.clone());
         }
-        {
-            let Inner {
-                journal,
-                org,
-                worklists,
-                next_item,
-                ..
-            } = &mut *inner;
-            let mut svc = navigator::NavServices {
-                journal,
-                clock: &self.clock,
-                org,
-                worklists,
-                next_item,
-                programs: &self.programs,
-                multidb: &self.multidb,
-            };
-            navigator::start_instance(&mut inst, &mut svc);
-        }
-        inner.instances.insert(id, inst);
+        navigator::start_instance(&mut inst, &self.services());
+        instances.insert(id, inst);
         Ok(id)
     }
 
@@ -229,33 +256,14 @@ impl Engine {
     /// by crash tests and benchmarks that need to stop an instance at
     /// an exact point.
     pub fn step(&self, id: InstanceId) -> Result<bool, EngineError> {
-        let mut inner = self.inner.lock();
-        let inst = inner
-            .instances
+        let mut instances = self.instances.lock();
+        let inst = instances
             .get_mut(&id)
             .ok_or(EngineError::UnknownInstance(id))?;
         let Some(path) = navigator::find_runnable(inst) else {
             return Ok(false);
         };
-        let Inner {
-            journal,
-            org,
-            worklists,
-            next_item,
-            instances,
-            ..
-        } = &mut *inner;
-        let inst = instances.get_mut(&id).expect("checked above");
-        let mut svc = navigator::NavServices {
-            journal,
-            clock: &self.clock,
-            org,
-            worklists,
-            next_item,
-            programs: &self.programs,
-            multidb: &self.multidb,
-        };
-        navigator::execute_activity(inst, &mut svc, &path, None);
+        navigator::execute_activity(inst, &self.services(), &path, None);
         Ok(true)
     }
 
@@ -264,57 +272,102 @@ impl Engine {
     /// Manual activities stay on worklists. Returns the instance
     /// status at quiescence.
     pub fn run_to_quiescence(&self, id: InstanceId) -> Result<InstanceStatus, EngineError> {
-        let mut inner = self.inner.lock();
-        let limit = inner.step_limit;
-        let mut steps = 0usize;
-        loop {
-            let inst = inner
-                .instances
-                .get_mut(&id)
-                .ok_or(EngineError::UnknownInstance(id))?;
-            let Some(path) = navigator::find_runnable(inst) else {
-                return Ok(inst.status);
-            };
-            steps += 1;
-            if steps > limit {
-                return Err(EngineError::StepLimit(limit));
-            }
-            let Inner {
-                journal,
-                org,
-                worklists,
-                next_item,
-                instances,
-                ..
-            } = &mut *inner;
-            let inst = instances.get_mut(&id).expect("checked above");
-            let mut svc = navigator::NavServices {
-                journal,
-                clock: &self.clock,
-                org,
-                worklists,
-                next_item,
-                programs: &self.programs,
-                multidb: &self.multidb,
-            };
-            navigator::execute_activity(inst, &mut svc, &path, None);
+        let mut instances = self.instances.lock();
+        let inst = instances
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownInstance(id))?;
+        match navigator::drive_to_quiescence(inst, &self.services(), self.step_limit) {
+            Some(_) => Ok(inst.status),
+            None => Err(EngineError::StepLimit(self.step_limit)),
         }
     }
 
     /// Runs every instance to quiescence, in id order.
     pub fn run_all(&self) -> Result<(), EngineError> {
-        let ids: Vec<InstanceId> = self.inner.lock().instances.keys().copied().collect();
+        let ids: Vec<InstanceId> = self.instances.lock().keys().copied().collect();
         for id in ids {
             self.run_to_quiescence(id)?;
         }
         Ok(())
     }
 
+    /// Runs every instance to quiescence across `n_threads` worker
+    /// threads — the multi-instance scheduler. Instances are disjoint
+    /// state machines, so each worker drives its claimed instance
+    /// against a **private journal shard**; at the end the shards are
+    /// merged into the main journal in instance-id order, which makes
+    /// the resulting journal identical to a sequential
+    /// [`Engine::run_all`] whenever the programs themselves are
+    /// deterministic and order-independent (programs contending on
+    /// shared database keys may of course commit or abort differently
+    /// under concurrency — exactly as real FlowMark runtime servers
+    /// racing on a shared multidatabase would).
+    ///
+    /// The first error (by instance id) is returned after all workers
+    /// finish; remaining instances still run.
+    pub fn run_all_parallel(&self, n_threads: usize) -> Result<(), EngineError> {
+        let n = n_threads.max(1);
+        struct Slot {
+            id: InstanceId,
+            inst: Mutex<Option<Instance>>,
+            shard: Journal,
+            err: Mutex<Option<EngineError>>,
+        }
+        // Take the instances out of the engine for the duration of the
+        // run: public accessors would observe an empty map, but no
+        // navigation can race with the workers.
+        let taken = std::mem::take(&mut *self.instances.lock());
+        let slots: Vec<Slot> = taken
+            .into_iter()
+            .map(|(id, inst)| Slot {
+                id,
+                inst: Mutex::new(Some(inst)),
+                shard: Journal::new(),
+                err: Mutex::new(None),
+            })
+            .collect();
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..n {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = slots.get(i) else { break };
+                    let mut guard = slot.inst.lock();
+                    let inst = guard.as_mut().expect("slot filled above");
+                    let svc = self.services_with(&slot.shard);
+                    if navigator::drive_to_quiescence(inst, &svc, self.step_limit).is_none() {
+                        *slot.err.lock() = Some(EngineError::StepLimit(self.step_limit));
+                    }
+                });
+            }
+        });
+
+        // Merge shards and reinstate the instances in id order. The
+        // events are gathered first so the journal lock (and its
+        // mirror flush) is taken once, not once per instance.
+        let mut first_err = None;
+        let mut merged = Vec::new();
+        let mut instances = self.instances.lock();
+        for slot in slots {
+            merged.extend(slot.shard.into_events());
+            let inst = slot.inst.into_inner().expect("worker returns the instance");
+            instances.insert(slot.id, inst);
+            if first_err.is_none() {
+                first_err = slot.err.into_inner();
+            }
+        }
+        self.journal.append_batch(merged);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// The worklist of `person` (clones of the visible items).
     pub fn worklist(&self, person: &str) -> Vec<WorkItem> {
-        self.inner
+        self.worklists
             .lock()
-            .worklists
             .worklist(person)
             .into_iter()
             .cloned()
@@ -324,10 +377,9 @@ impl Engine {
     /// Claims a work item for `person`; it disappears from every other
     /// worklist.
     pub fn claim(&self, item: WorkItemId, person: &str) -> Result<(), EngineError> {
-        let mut inner = self.inner.lock();
         let at = self.clock.now();
-        inner.worklists.claim(item, person)?;
-        inner.journal.append(Event::WorkItemClaimed {
+        self.worklists.lock().claim(item, person)?;
+        self.journal.append(Event::WorkItemClaimed {
             item,
             person: person.to_owned(),
             at,
@@ -339,20 +391,17 @@ impl Engine {
     /// (§3.3: a user may stop work they selected; the activity
     /// becomes available for load balancing again).
     pub fn release(&self, item: WorkItemId, person: &str) -> Result<(), EngineError> {
-        let mut inner = self.inner.lock();
         let at = self.clock.now();
-        inner.worklists.release(item, person)?;
-        inner.journal.append(Event::UserIntervention {
-            instance: inner
-                .worklists
-                .get(item)
-                .map(|it| it.instance)
-                .unwrap_or(InstanceId(0)),
-            path: inner
-                .worklists
-                .get(item)
-                .map(|it| it.path.clone())
-                .unwrap_or_default(),
+        let mut worklists = self.worklists.lock();
+        worklists.release(item, person)?;
+        let (instance, path) = worklists
+            .get(item)
+            .map(|it| (it.instance, it.path.clone()))
+            .unwrap_or((InstanceId(0), String::new()));
+        drop(worklists);
+        self.journal.append(Event::UserIntervention {
+            instance,
+            path,
             action: format!("release {item} by {person}"),
             at,
         });
@@ -364,16 +413,15 @@ impl Engine {
     /// offered stay with their original offerees (§3.3's organization
     /// is consulted at staff-resolution time).
     pub fn set_absent(&self, person: &str, absent: bool, substitute: Option<&str>) {
-        self.inner.lock().org.set_absent(person, absent, substitute);
+        self.org.lock().set_absent(person, absent, substitute);
     }
 
     /// All instances: `(id, process name, status)`.
     pub fn instances(&self) -> Vec<(InstanceId, String, InstanceStatus)> {
-        self.inner
+        self.instances
             .lock()
-            .instances
             .values()
-            .map(|i| (i.id, i.def.name.clone(), i.status))
+            .map(|i| (i.id, i.tpl.name().to_owned(), i.status))
             .collect()
     }
 
@@ -381,19 +429,17 @@ impl Engine {
     /// still offered), then continues automatic navigation of the
     /// instance.
     pub fn execute_item(&self, item: WorkItemId, person: &str) -> Result<(), EngineError> {
-        let instance;
-        {
-            let mut inner = self.inner.lock();
-            let it = inner
-                .worklists
+        let it = {
+            let mut worklists = self.worklists.lock();
+            let it = worklists
                 .get(item)
                 .ok_or(EngineError::Worklist(WorklistError::NoSuchItem(item)))?
                 .clone();
             match &it.state {
                 WorkItemState::Offered => {
-                    inner.worklists.claim(item, person)?;
+                    worklists.claim(item, person)?;
                     let at = self.clock.now();
-                    inner.journal.append(Event::WorkItemClaimed {
+                    self.journal.append(Event::WorkItemClaimed {
                         item,
                         person: person.to_owned(),
                         at,
@@ -410,46 +456,36 @@ impl Engine {
                     return Err(EngineError::Worklist(WorklistError::Closed(item)))
                 }
             }
-            instance = it.instance;
-            let path = split_path(&it.path);
-            {
-                let Inner {
-                    journal,
-                    org,
-                    worklists,
-                    next_item,
-                    instances,
-                    ..
-                } = &mut *inner;
-                let inst = instances
-                    .get_mut(&instance)
-                    .ok_or(EngineError::UnknownInstance(instance))?;
-                // The underlying activity must still be ready at the
-                // claimed attempt.
-                let ok = inst
-                    .activity_rt(&path)
-                    .map(|rt| rt.state == ActState::Ready)
-                    .unwrap_or(false);
-                if !ok {
-                    return Err(EngineError::BadActivityState {
-                        path: it.path.clone(),
-                        expected: "ready",
-                    });
-                }
-                let mut svc = navigator::NavServices {
-                    journal,
-                    clock: &self.clock,
-                    org,
-                    worklists,
-                    next_item,
-                    programs: &self.programs,
-                    multidb: &self.multidb,
-                };
-                navigator::execute_activity(inst, &mut svc, &path, Some(person.to_owned()));
-            }
+            it
+        };
+        let mut instances = self.instances.lock();
+        let inst = instances
+            .get_mut(&it.instance)
+            .ok_or(EngineError::UnknownInstance(it.instance))?;
+        let path = inst
+            .resolve_names(&split_path(&it.path))
+            .ok_or_else(|| EngineError::BadActivityState {
+                path: it.path.clone(),
+                expected: "present",
+            })?;
+        // The underlying activity must still be ready at the claimed
+        // attempt.
+        let ok = inst
+            .activity_rt(&path)
+            .map(|rt| rt.state == ActState::Ready)
+            .unwrap_or(false);
+        if !ok {
+            return Err(EngineError::BadActivityState {
+                path: it.path.clone(),
+                expected: "ready",
+            });
         }
-        self.run_to_quiescence(instance)?;
-        Ok(())
+        let svc = self.services();
+        navigator::execute_activity(inst, &svc, &path, Some(person.to_owned()));
+        match navigator::drive_to_quiescence(inst, &svc, self.step_limit) {
+            Some(_) => Ok(()),
+            None => Err(EngineError::StepLimit(self.step_limit)),
+        }
     }
 
     /// Operator intervention (§3.3): forces a ready or running
@@ -461,119 +497,70 @@ impl Engine {
         path: &str,
         rc: i64,
     ) -> Result<(), EngineError> {
-        {
-            let mut inner = self.inner.lock();
-            let at = self.clock.now();
-            let Inner {
-                journal,
-                org,
-                worklists,
-                next_item,
-                instances,
-                ..
-            } = &mut *inner;
-            let inst = instances
-                .get_mut(&id)
-                .ok_or(EngineError::UnknownInstance(id))?;
-            let segs = split_path(path);
-            let ok = inst
-                .activity_rt(&segs)
-                .map(|rt| matches!(rt.state, ActState::Ready | ActState::Running))
-                .unwrap_or(false);
-            if !ok {
-                return Err(EngineError::BadActivityState {
-                    path: path.to_owned(),
-                    expected: "ready or running",
-                });
-            }
-            journal.append(Event::UserIntervention {
-                instance: id,
+        let mut instances = self.instances.lock();
+        let at = self.clock.now();
+        let inst = instances
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownInstance(id))?;
+        let segs = inst.resolve_names(&split_path(path));
+        let ok = segs
+            .as_deref()
+            .and_then(|p| inst.activity_rt(p))
+            .map(|rt| matches!(rt.state, ActState::Ready | ActState::Running))
+            .unwrap_or(false);
+        if !ok {
+            return Err(EngineError::BadActivityState {
                 path: path.to_owned(),
-                action: format!("force-finish rc={rc}"),
-                at,
+                expected: "ready or running",
             });
-            let mut svc = navigator::NavServices {
-                journal,
-                clock: &self.clock,
-                org,
-                worklists,
-                next_item,
-                programs: &self.programs,
-                multidb: &self.multidb,
-            };
-            navigator::complete_execution(inst, &mut svc, &segs, rc, BTreeMap::new());
         }
-        self.run_to_quiescence(id)?;
-        Ok(())
+        let segs = segs.expect("checked above");
+        self.journal.append(Event::UserIntervention {
+            instance: id,
+            path: path.to_owned(),
+            action: format!("force-finish rc={rc}"),
+            at,
+        });
+        let svc = self.services();
+        navigator::complete_execution(inst, &svc, &segs, rc, BTreeMap::new());
+        match navigator::drive_to_quiescence(inst, &svc, self.step_limit) {
+            Some(_) => Ok(()),
+            None => Err(EngineError::StepLimit(self.step_limit)),
+        }
     }
 
     /// Cancels a running instance.
     pub fn cancel(&self, id: InstanceId) -> Result<(), EngineError> {
-        let mut inner = self.inner.lock();
-        let Inner {
-            journal,
-            org,
-            worklists,
-            next_item,
-            instances,
-            ..
-        } = &mut *inner;
+        let mut instances = self.instances.lock();
         let inst = instances
             .get_mut(&id)
             .ok_or(EngineError::UnknownInstance(id))?;
-        let mut svc = navigator::NavServices {
-            journal,
-            clock: &self.clock,
-            org,
-            worklists,
-            next_item,
-            programs: &self.programs,
-            multidb: &self.multidb,
-        };
-        navigator::cancel_instance(inst, &mut svc);
+        navigator::cancel_instance(inst, &self.services());
         Ok(())
     }
 
     /// Advances the virtual clock and delivers due deadline
     /// notifications. Returns `(activity path, notified person)`
-    /// pairs.
+    /// pairs. Instances whose compiled template declares no deadline
+    /// at all are skipped without touching their state.
     pub fn advance_clock(&self, ticks: txn_substrate::Tick) -> Vec<(String, String)> {
         self.clock.advance(ticks);
-        let mut inner = self.inner.lock();
-        let ids: Vec<InstanceId> = inner.instances.keys().copied().collect();
+        let mut instances = self.instances.lock();
+        let svc = self.services();
         let mut sent = Vec::new();
-        for id in ids {
-            let Inner {
-                journal,
-                org,
-                worklists,
-                next_item,
-                instances,
-                ..
-            } = &mut *inner;
-            let inst = instances.get_mut(&id).expect("id from key scan");
-            if inst.status != InstanceStatus::Running {
+        for inst in instances.values_mut() {
+            if inst.status != InstanceStatus::Running || !inst.tpl.root.any_deadlines {
                 continue;
             }
-            let mut svc = navigator::NavServices {
-                journal,
-                clock: &self.clock,
-                org,
-                worklists,
-                next_item,
-                programs: &self.programs,
-                multidb: &self.multidb,
-            };
-            sent.extend(navigator::check_deadlines(inst, &mut svc));
+            sent.extend(navigator::check_deadlines(inst, &svc));
         }
         sent
     }
 
     /// Current status of an instance.
     pub fn status(&self, id: InstanceId) -> Result<InstanceStatus, EngineError> {
-        self.inner
+        self.instances
             .lock()
-            .instances
             .get(&id)
             .map(|i| i.status)
             .ok_or(EngineError::UnknownInstance(id))
@@ -582,9 +569,8 @@ impl Engine {
     /// The process output container of an instance (final once the
     /// instance is finished).
     pub fn output(&self, id: InstanceId) -> Result<Container, EngineError> {
-        self.inner
+        self.instances
             .lock()
-            .instances
             .get(&id)
             .map(|i| i.root.output.clone())
             .ok_or(EngineError::UnknownInstance(id))
@@ -597,12 +583,12 @@ impl Engine {
         id: InstanceId,
         path: &str,
     ) -> Result<(ActState, bool, u32), EngineError> {
-        let inner = self.inner.lock();
-        let inst = inner
-            .instances
+        let instances = self.instances.lock();
+        let inst = instances
             .get(&id)
             .ok_or(EngineError::UnknownInstance(id))?;
-        inst.activity_rt(&split_path(path))
+        inst.resolve_names(&split_path(path))
+            .and_then(|p| inst.activity_rt(&p))
             .map(|rt| (rt.state, rt.executed, rt.attempt))
             .ok_or(EngineError::BadActivityState {
                 path: path.to_owned(),
@@ -612,12 +598,12 @@ impl Engine {
 
     /// All journal events (copy).
     pub fn journal_events(&self) -> Vec<Event> {
-        self.inner.lock().journal.events()
+        self.journal.events()
     }
 
     /// Journal events of one instance.
     pub fn events_for(&self, id: InstanceId) -> Vec<Event> {
-        self.inner.lock().journal.events_for(id)
+        self.journal.events_for(id)
     }
 
     /// Writes an engine checkpoint — a complete snapshot of every
@@ -625,33 +611,31 @@ impl Engine {
     /// and compacts it, bounding recovery replay time (the engine-side
     /// mirror of [`txn_substrate::Database::checkpoint`]). Safe at any
     /// quiescent point (no navigation in flight — guaranteed here by
-    /// holding the engine lock). Returns the number of journal events
-    /// dropped by compaction.
+    /// holding the instances lock). Returns the number of journal
+    /// events dropped.
     pub fn checkpoint(&self) -> usize {
-        let inner = self.inner.lock();
-        let instances: Vec<crate::event::InstanceSnapshot> = inner
-            .instances
+        let instances = self.instances.lock();
+        let worklists = self.worklists.lock();
+        let snaps: Vec<crate::event::InstanceSnapshot> = instances
             .values()
             .map(|i| crate::event::InstanceSnapshot {
                 id: i.id,
-                process: i.def.name.clone(),
+                process: i.tpl.name().to_owned(),
                 status: i.status,
                 root: i.root.clone(),
             })
             .collect();
-        let items: Vec<crate::worklist::WorkItem> = inner
-            .worklists
+        let next_item = self.next_item.load(Ordering::Relaxed);
+        let mut all_items: Vec<WorkItem> = worklists
             .open_items()
             .iter()
             .map(|it| (*it).clone())
             .collect();
         // Claimed items survive too: open_items() covers Offered only,
-        // so collect claimed ones explicitly via the persons that hold
-        // them — simplest is to re-walk all items by id range.
-        let mut all_items = items;
-        for id in 1..inner.next_item {
-            if let Some(it) = inner.worklists.get(WorkItemId(id)) {
-                if matches!(it.state, crate::worklist::WorkItemState::Claimed(_))
+        // so collect claimed ones explicitly by id range.
+        for id in 1..next_item {
+            if let Some(it) = worklists.get(WorkItemId(id)) {
+                if matches!(it.state, WorkItemState::Claimed(_))
                     && !all_items.iter().any(|x| x.id == it.id)
                 {
                     all_items.push(it.clone());
@@ -659,14 +643,14 @@ impl Engine {
             }
         }
         all_items.sort_by_key(|it| it.id);
-        inner.journal.append(Event::EngineCheckpoint {
-            instances,
+        self.journal.append(Event::EngineCheckpoint {
+            instances: snaps,
             items: all_items,
-            next_instance: inner.next_instance,
-            next_item: inner.next_item,
+            next_instance: self.next_instance.load(Ordering::Relaxed),
+            next_item,
             at: self.clock.now(),
         });
-        inner.journal.compact()
+        self.journal.compact()
     }
 
     /// Simulates a crash: drops all volatile state, keeping only what

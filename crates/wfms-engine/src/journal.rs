@@ -60,6 +60,30 @@ impl Journal {
         self.events.lock().push(event);
     }
 
+    /// Appends a batch of events with a single lock acquisition and a
+    /// single flush of the mirror — how the parallel scheduler merges
+    /// per-worker journal shards back into the main journal.
+    pub fn append_batch(&self, batch: Vec<Event>) {
+        if batch.is_empty() {
+            return;
+        }
+        if let Some(file) = &self.file {
+            let mut w = file.lock();
+            for event in &batch {
+                let line = serde_json::to_string(event).expect("Event is always serializable");
+                writeln!(w, "{line}").expect("journal mirror write failed");
+            }
+            w.flush().expect("journal mirror flush failed");
+        }
+        self.events.lock().extend(batch);
+    }
+
+    /// Consumes the journal, returning its events (shards are
+    /// in-memory only, so there is no mirror to close).
+    pub fn into_events(self) -> Vec<Event> {
+        self.events.into_inner()
+    }
+
     /// Number of events.
     pub fn len(&self) -> usize {
         self.events.lock().len()

@@ -42,8 +42,10 @@
 //! ```
 
 pub mod audit;
+pub mod compiled;
 pub mod engine;
 pub mod event;
+pub mod interp;
 pub mod journal;
 pub mod navigator;
 pub mod org;
@@ -51,7 +53,9 @@ pub mod recovery;
 pub mod state;
 pub mod worklist;
 
+pub use compiled::{ActId, CompiledProcess, CompiledScope, EdgeId, IdPath};
 pub use engine::{Engine, EngineConfig, EngineError};
+pub use interp::RefEngine;
 pub use event::{Event, InstanceId, InstanceSnapshot, WorkItemId};
 pub use journal::Journal;
 pub use org::{OrgModel, Person};

@@ -24,31 +24,46 @@
 //! * Blocks are embedded processes: when a block's scope finishes, the
 //!   block activity itself finishes with the scope's output (and loops
 //!   if its own exit condition says so).
+//!
+//! Navigation runs entirely on the [`CompiledProcess`](crate::compiled::CompiledProcess) template:
+//! activities and connectors are addressed by dense ids, conditions
+//! are precompiled [`CondPlan`](crate::compiled::CondPlan)s, and the
+//! per-instance ready queue replaces the historical rescan of the
+//! definition on every step (see [`find_runnable`]). Services are
+//! shared references, so independent instances can be navigated from
+//! multiple worker threads concurrently (each against its own journal
+//! shard — see [`crate::Engine::run_all_parallel`]).
 
+use crate::compiled::{ActId, CompiledKind, CompiledScope, DataSource, IdPath};
 use crate::event::{Event, WorkItemId};
 use crate::journal::Journal;
 use crate::org::OrgModel;
-use crate::state::{join_path, ActState, Instance, InstanceStatus, ScopeState};
+use crate::state::{ActState, Instance, InstanceStatus, ScopeState};
 use crate::worklist::{WorkItem, WorkItemState, WorklistStore};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use txn_substrate::{
     MultiDatabase, ProgramContext, ProgramOutcome, ProgramRegistry, Value, VirtualClock,
 };
-use wfms_model::{ActivityKind, Container, StartCondition, RC_MEMBER};
+use wfms_model::{Container, StartCondition, RC_MEMBER};
 
 /// Shared services the navigator needs while driving an instance.
+/// Every field is a shared reference: the navigator mutates only the
+/// instance it drives, so one `NavServices` can serve many worker
+/// threads (pointed at per-worker journal shards).
 pub struct NavServices<'a> {
-    /// Event journal (append-only).
+    /// Event journal (append-only, internally synchronised).
     pub journal: &'a Journal,
     /// Virtual clock for event timestamps and deadlines.
     pub clock: &'a VirtualClock,
     /// Organization database for staff resolution.
-    pub org: &'a OrgModel,
+    pub org: &'a Mutex<OrgModel>,
     /// Work-item store for manual activities.
-    pub worklists: &'a mut WorklistStore,
+    pub worklists: &'a Mutex<WorklistStore>,
     /// Work-item id allocator.
-    pub next_item: &'a mut u64,
+    pub next_item: &'a AtomicU64,
     /// Registered transactional programs.
     pub programs: &'a ProgramRegistry,
     /// The multidatabase programs run against.
@@ -63,64 +78,64 @@ impl NavServices<'_> {
 
 /// Starts `inst`: journals the start event and makes the start
 /// activities of the root scope ready.
-pub fn start_instance(inst: &mut Instance, svc: &mut NavServices<'_>) {
+pub fn start_instance(inst: &mut Instance, svc: &NavServices<'_>) {
     svc.journal.append(Event::InstanceStarted {
         instance: inst.id,
-        process: inst.def.name.clone(),
+        process: inst.tpl.def.name.clone(),
         input: inst.root.input.clone(),
         at: svc.now(),
     });
     seed_scope(inst, svc, &[]);
 }
 
-/// Makes the start activities of the scope at `scope_path` ready.
-fn seed_scope(inst: &mut Instance, svc: &mut NavServices<'_>, scope_path: &[String]) {
-    let Some((def, _)) = inst.resolve(scope_path) else {
+/// Makes the start activities of the scope at `scope_ids` ready.
+fn seed_scope(inst: &mut Instance, svc: &NavServices<'_>, scope_ids: &[ActId]) {
+    let tpl = Arc::clone(&inst.tpl);
+    let Some(cs) = tpl.scope_at(scope_ids) else {
         return;
     };
-    let starts: Vec<String> = def
-        .start_activities()
-        .iter()
-        .map(|a| a.name.clone())
-        .collect();
-    for name in starts {
-        let mut path = scope_path.to_vec();
-        path.push(name);
+    let mut path = scope_ids.to_vec();
+    for &start in &cs.starts {
+        path.push(start);
         make_ready(inst, svc, &path);
+        path.pop();
     }
 }
 
-/// Transitions the activity at `path` to ready, offering a work item
-/// if it is manual.
-fn make_ready(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]) {
+/// Transitions the activity at `path` to ready: queues it for the
+/// engine if automatic, offers a work item if manual.
+fn make_ready(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
     let instance = inst.id;
     let now = svc.now();
-    let (name, scope_path) = path.split_last().expect("path never empty");
-    let Some((def, scope)) = inst.resolve_mut(scope_path) else {
+    let tpl = Arc::clone(&inst.tpl);
+    let (&id, scope_ids) = path.split_last().expect("path never empty");
+    let Some(cs) = tpl.scope_at(scope_ids) else {
         return;
     };
-    let Some(act) = def.activity(name) else { return };
-    let staff = act.staff.clone();
-    let automatic = act.automatic_start;
-    let rt = scope.activities.get_mut(name).expect("activity exists");
+    let act = cs.act(id);
+    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
+        return;
+    };
+    let rt = scope.rt_mut(id);
     rt.state = ActState::Ready;
     rt.ready_since = Some(now);
     rt.notified = false;
     let attempt = rt.attempt;
     svc.journal.append(Event::ActivityReady {
         instance,
-        path: join_path(path),
+        path: tpl.path_string(path),
         attempt,
         at: now,
     });
-    if !automatic {
-        let persons = svc.org.resolve(&staff);
-        let item = WorkItemId(*svc.next_item);
-        *svc.next_item += 1;
-        svc.worklists.offer(WorkItem {
+    if act.automatic {
+        inst.push_ready(path.to_vec());
+    } else {
+        let persons = svc.org.lock().resolve(&act.staff);
+        let item = WorkItemId(svc.next_item.fetch_add(1, Ordering::Relaxed));
+        svc.worklists.lock().offer(WorkItem {
             id: item,
             instance,
-            path: join_path(path),
+            path: tpl.path_string(path),
             attempt,
             offered_to: persons.clone(),
             state: WorkItemState::Offered,
@@ -128,7 +143,7 @@ fn make_ready(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]) {
         });
         svc.journal.append(Event::WorkItemOffered {
             instance,
-            path: join_path(path),
+            path: tpl.path_string(path),
             item,
             persons,
             at: now,
@@ -136,82 +151,116 @@ fn make_ready(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]) {
     }
 }
 
-/// Finds the first runnable activity: ready + automatic, scanning
-/// scopes depth-first in definition order (recursing into running
-/// blocks).
-pub fn find_runnable(inst: &Instance) -> Option<Vec<String>> {
-    fn scan(
-        def: &wfms_model::ProcessDefinition,
-        scope: &ScopeState,
-        prefix: &mut Vec<String>,
-    ) -> Option<Vec<String>> {
-        for act in &def.activities {
-            let rt = scope.activities.get(&act.name)?;
-            match rt.state {
-                ActState::Ready if act.automatic_start => {
-                    let mut p = prefix.clone();
-                    p.push(act.name.clone());
-                    return Some(p);
-                }
-                ActState::Running => {
-                    if let ActivityKind::Block { process } = &act.kind {
-                        if let Some(child) = scope.children.get(&act.name) {
-                            prefix.push(act.name.clone());
-                            let found = scan(process, child, prefix);
-                            prefix.pop();
-                            if found.is_some() {
-                                return found;
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
-        }
-        None
-    }
+/// Pops the next runnable activity (ready + automatic) off the
+/// instance's ready queue. The queue is a min-heap on id paths, whose
+/// lexicographic order equals the historical depth-first
+/// declaration-order scan; stale entries are validated away here.
+pub fn find_runnable(inst: &mut Instance) -> Option<IdPath> {
     if inst.status != InstanceStatus::Running {
         return None;
     }
-    scan(&inst.def, &inst.root, &mut Vec::new())
+    while let Some(std::cmp::Reverse(path)) = inst.ready.pop() {
+        if is_runnable(inst, &path) {
+            return Some(path);
+        }
+    }
+    None
+}
+
+/// A queued path is still runnable iff every prefix block is `Running`
+/// with its child scope open and the final activity is `Ready` and
+/// automatic.
+fn is_runnable(inst: &Instance, path: &[ActId]) -> bool {
+    let Some((&id, scope_ids)) = path.split_last() else {
+        return false;
+    };
+    let mut cs: &CompiledScope = &inst.tpl.root;
+    let mut st: &ScopeState = &inst.root;
+    for &block in scope_ids {
+        if st.rt(block).state != ActState::Running {
+            return false;
+        }
+        let (Some(child_cs), Some(child_st)) = (cs.child_scope(block), st.child(block)) else {
+            return false;
+        };
+        cs = child_cs;
+        st = child_st;
+    }
+    st.rt(id).state == ActState::Ready && cs.act(id).automatic
+}
+
+/// Drives `inst` until no automatic activity is runnable. Returns the
+/// number of steps taken, or `None` if `limit` was exceeded.
+pub(crate) fn drive_to_quiescence(
+    inst: &mut Instance,
+    svc: &NavServices<'_>,
+    limit: usize,
+) -> Option<usize> {
+    let mut steps = 0usize;
+    while let Some(path) = find_runnable(inst) {
+        steps += 1;
+        if steps > limit {
+            return None;
+        }
+        execute_activity(inst, svc, &path, None);
+    }
+    Some(steps)
 }
 
 /// Executes the activity at `path` (which must be ready). `by` names
 /// the person for manual executions; `None` means the engine runs it.
 pub fn execute_activity(
     inst: &mut Instance,
-    svc: &mut NavServices<'_>,
-    path: &[String],
+    svc: &NavServices<'_>,
+    path: &[ActId],
     by: Option<String>,
 ) {
     let instance = inst.id;
-    let (name, scope_path) = path.split_last().expect("path never empty");
+    let tpl = Arc::clone(&inst.tpl);
+    let (&id, scope_ids) = path.split_last().expect("path never empty");
+    let Some(cs) = tpl.scope_at(scope_ids) else {
+        return;
+    };
+    let act = cs.act(id);
 
     // Materialise the input container from the data connectors whose
     // sources are available (§3.2 flow of data).
-    let input = materialize_input(inst, scope_path, name);
-
-    let Some((def, scope)) = inst.resolve_mut(scope_path) else {
+    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
         return;
     };
-    let Some(act) = def.activity(name) else { return };
-    let kind = act.kind.clone();
-    let rt = scope.activities.get_mut(name).expect("activity exists");
+    let mut input = act.input.instantiate();
+    for d in &act.data_in {
+        let source: Option<&Container> = match &d.source {
+            DataSource::ProcessInput => Some(&scope.input),
+            DataSource::ActivityOutput(src) => {
+                let rt = scope.rt(*src);
+                (rt.is_terminated() && rt.executed).then_some(&rt.output)
+            }
+        };
+        let Some(source) = source else { continue };
+        for (from, to) in &d.mappings {
+            if let Some(v) = source.get(from) {
+                input.set(to, v.clone());
+            }
+        }
+    }
+
+    let rt = scope.rt_mut(id);
     debug_assert_eq!(rt.state, ActState::Ready, "execute requires ready");
     rt.state = ActState::Running;
     rt.input = input.clone();
     let attempt = rt.attempt;
     svc.journal.append(Event::ActivityStarted {
         instance,
-        path: join_path(path),
+        path: tpl.path_string(path),
         attempt,
         by,
         input: input.clone(),
         at: svc.now(),
     });
 
-    match kind {
-        ActivityKind::NoOp => {
+    match &act.kind {
+        CompiledKind::NoOp => {
             // A no-op activity "commits" immediately with rc 1 and
             // passes its input container through to its output (only
             // members declared in the output schema survive). The
@@ -223,32 +272,32 @@ pub fn execute_activity(
                 .collect();
             complete_execution(inst, svc, path, 1, outputs);
         }
-        ActivityKind::Program { program } => {
+        CompiledKind::Program(program) => {
             let mut ctx = ProgramContext::new(Arc::clone(svc.multidb));
             ctx.attempt = attempt;
             ctx.params = input
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect();
-            let outcome = svc.programs.invoke(&program, &mut ctx);
+            let outcome = svc.programs.invoke(program, &mut ctx);
             let (rc, outputs) = match outcome {
                 ProgramOutcome::Committed { rc, outputs } => (rc, outputs),
                 ProgramOutcome::Aborted { rc, .. } => (rc, BTreeMap::new()),
             };
             complete_execution(inst, svc, path, rc, outputs);
         }
-        ActivityKind::Block { process } => {
+        CompiledKind::Block(child) => {
             // Start the child scope; its input container is the block
             // activity's materialised input. The block stays running
             // until the child scope finishes.
-            let mut child = ScopeState::for_definition(&process);
+            let mut child_state = ScopeState::for_scope(child);
             for (k, v) in input.iter() {
-                child.input.set(k, v.clone());
+                child_state.input.set(k, v.clone());
             }
-            let Some((_, scope)) = inst.resolve_mut(scope_path) else {
+            let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
                 return;
             };
-            scope.children.insert(name.clone(), child);
+            scope.set_child(id, child_state);
             seed_scope(inst, svc, path);
             // An empty block (no activities) finishes immediately;
             // validation forbids it, but stay safe.
@@ -257,56 +306,26 @@ pub fn execute_activity(
     }
 }
 
-/// Builds the input container of `name` in the scope at `scope_path`.
-fn materialize_input(inst: &Instance, scope_path: &[String], name: &str) -> Container {
-    let Some((def, scope)) = inst.resolve(scope_path) else {
-        return Container::empty();
-    };
-    let Some(act) = def.activity(name) else {
-        return Container::empty();
-    };
-    let mut input = act.input.instantiate();
-    for d in &def.data {
-        let targets_us = matches!(&d.to, wfms_model::DataEndpoint::ActivityInput(a) if a == name);
-        if !targets_us {
-            continue;
-        }
-        let source: Option<&Container> = match &d.from {
-            wfms_model::DataEndpoint::ProcessInput => Some(&scope.input),
-            wfms_model::DataEndpoint::ActivityOutput(s) => scope
-                .activities
-                .get(s)
-                .filter(|rt| rt.is_terminated() && rt.executed)
-                .map(|rt| &rt.output),
-            _ => None,
-        };
-        let Some(source) = source else { continue };
-        for m in &d.mappings {
-            if let Some(v) = source.get(&m.from_member) {
-                input.set(&m.to_member, v.clone());
-            }
-        }
-    }
-    input
-}
-
 /// Records the outcome of an execution: builds the output container
 /// (schema defaults + program outputs + `RC`), journals the finish,
 /// closes work items and decides the exit condition.
 pub fn complete_execution(
     inst: &mut Instance,
-    svc: &mut NavServices<'_>,
-    path: &[String],
+    svc: &NavServices<'_>,
+    path: &[ActId],
     rc: i64,
     outputs: BTreeMap<String, Value>,
 ) {
     let instance = inst.id;
-    let (name, scope_path) = path.split_last().expect("path never empty");
-    let Some((def, scope)) = inst.resolve_mut(scope_path) else {
+    let tpl = Arc::clone(&inst.tpl);
+    let (&id, scope_ids) = path.split_last().expect("path never empty");
+    let Some(cs) = tpl.scope_at(scope_ids) else {
         return;
     };
-    let Some(act) = def.activity(name) else { return };
-    let schema = def.effective_output(act);
+    let schema = &cs.act(id).eff_output;
+    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
+        return;
+    };
 
     let mut output = schema.instantiate();
     for (k, v) in outputs {
@@ -319,57 +338,54 @@ pub fn complete_execution(
     }
     output.set(RC_MEMBER, Value::Int(rc));
 
-    let rt = scope.activities.get_mut(name).expect("activity exists");
+    let rt = scope.rt_mut(id);
     rt.state = ActState::Finished;
     rt.output = output.clone();
     let attempt = rt.attempt;
     svc.journal.append(Event::ActivityFinished {
         instance,
-        path: join_path(path),
+        path: tpl.path_string(path),
         attempt,
-        output: output.clone(),
+        output,
         at: svc.now(),
     });
-    svc.worklists.close_for(instance, &join_path(path));
+    if tpl.root.any_manual {
+        svc.worklists
+            .lock()
+            .close_for(instance, &tpl.path_string(path));
+    }
     decide_exit(inst, svc, path);
 }
 
 /// Decides the exit condition of a *finished* activity: terminate on
 /// true, reschedule on false (§3.2). Public so recovery can resume an
 /// instance whose journal ends right after an `ActivityFinished`.
-pub fn decide_exit(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]) {
+pub fn decide_exit(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
     let instance = inst.id;
-    let (name, scope_path) = path.split_last().expect("path never empty");
-    let Some((def, scope)) = inst.resolve(scope_path) else {
+    let tpl = Arc::clone(&inst.tpl);
+    let (&id, scope_ids) = path.split_last().expect("path never empty");
+    let Some(cs) = tpl.scope_at(scope_ids) else {
         return;
     };
-    let Some(act) = def.activity(name) else { return };
-    let exit = act.exit.clone();
-    let is_block = act.kind.is_block();
-    let Some(rt) = scope.activities.get(name) else { return };
-    let output = rt.output.clone();
-
-    let exit_ok = match &exit.expr {
-        None => true,
-        Some(e) => e.eval_bool(&output).unwrap_or(true),
+    let act = cs.act(id);
+    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
+        return;
     };
+    let exit_ok = act.exit.eval_exit(&scope.rt(id).output);
     if exit_ok {
         terminate_activity(inst, svc, path, true);
     } else {
-        let Some((_, scope)) = inst.resolve_mut(scope_path) else {
-            return;
-        };
-        if is_block {
+        if matches!(act.kind, CompiledKind::Block(_)) {
             // A rescheduled block starts over with a fresh child scope.
-            scope.children.remove(name);
+            scope.remove_child(id);
         }
-        let rt = scope.activities.get_mut(name).expect("activity exists");
+        let rt = scope.rt_mut(id);
         rt.attempt += 1;
         let next_attempt = rt.attempt;
         rt.state = ActState::Waiting; // make_ready flips to Ready
         svc.journal.append(Event::ActivityRescheduled {
             instance,
-            path: join_path(path),
+            path: tpl.path_string(path),
             next_attempt,
             at: svc.now(),
         });
@@ -381,18 +397,23 @@ pub fn decide_exit(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[Strin
 /// crashed is re-executed from the beginning (§3.3: "the activity will
 /// be rescheduled to be executed from the beginning"). Any stale work
 /// item is closed; a manual activity is re-offered.
-pub fn reset_running_to_ready(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]) {
+pub fn reset_running_to_ready(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
     let instance = inst.id;
-    let (name, scope_path) = path.split_last().expect("path never empty");
-    let Some((_, scope)) = inst.resolve_mut(scope_path) else {
+    let tpl = Arc::clone(&inst.tpl);
+    let (&id, scope_ids) = path.split_last().expect("path never empty");
+    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
         return;
     };
-    let Some(rt) = scope.activities.get_mut(name) else { return };
+    let rt = scope.rt_mut(id);
     if rt.state != ActState::Running {
         return;
     }
     rt.state = ActState::Waiting;
-    svc.worklists.close_for(instance, &join_path(path));
+    if tpl.root.any_manual {
+        svc.worklists
+            .lock()
+            .close_for(instance, &tpl.path_string(path));
+    }
     make_ready(inst, svc, path);
 }
 
@@ -401,111 +422,116 @@ pub fn reset_running_to_ready(inst: &mut Instance, svc: &mut NavServices<'_>, pa
 /// targets and checks scope completion.
 pub fn terminate_activity(
     inst: &mut Instance,
-    svc: &mut NavServices<'_>,
-    path: &[String],
+    svc: &NavServices<'_>,
+    path: &[ActId],
     executed: bool,
 ) {
     let instance = inst.id;
-    let (name, scope_path) = path.split_last().expect("path never empty");
-    let Some((def, scope)) = inst.resolve_mut(scope_path) else {
+    let tpl = Arc::clone(&inst.tpl);
+    let (&id, scope_ids) = path.split_last().expect("path never empty");
+    let Some(cs) = tpl.scope_at(scope_ids) else {
         return;
     };
-    let rt = scope.activities.get_mut(name).expect("activity exists");
+    let act = cs.act(id);
+    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
+        return;
+    };
+    let rt = scope.rt_mut(id);
     rt.state = ActState::Terminated;
     rt.executed = executed;
-    let output = rt.output.clone();
     svc.journal.append(Event::ActivityTerminated {
         instance,
-        path: join_path(path),
+        path: tpl.path_string(path),
         executed,
         at: svc.now(),
     });
-    svc.worklists.close_for(instance, &join_path(path));
+    if tpl.root.any_manual {
+        svc.worklists
+            .lock()
+            .close_for(instance, &tpl.path_string(path));
+    }
 
     // Data connectors from this activity to the scope's output
     // container take effect at termination of an executed activity.
-    if executed {
-        for d in &def.data {
-            let from_us =
-                matches!(&d.from, wfms_model::DataEndpoint::ActivityOutput(a) if a == name);
-            if from_us && d.to == wfms_model::DataEndpoint::ProcessOutput {
-                for m in &d.mappings {
-                    if let Some(v) = output.get(&m.from_member) {
-                        scope.output.set(&m.to_member, v.clone());
-                    }
-                }
+    if executed && !act.data_out.is_empty() {
+        let output = scope.rt(id).output.clone();
+        for (from, to) in &act.data_out {
+            if let Some(v) = output.get(from) {
+                scope.output.set(to, v.clone());
             }
         }
     }
 
     // Evaluate outgoing connectors. A dead activity's connectors are
-    // all false (§3.2); an executed one evaluates its transition
-    // conditions over the output container, treating evaluation errors
-    // as false (fail safe).
-    let outgoing: Vec<(String, wfms_model::Expr)> = def
-        .outgoing(name)
-        .into_iter()
-        .map(|c| (c.to.clone(), c.condition.clone()))
-        .collect();
-    for (to, cond) in outgoing {
-        let value = executed && cond.eval_bool(&output).unwrap_or(false);
-        {
-            let Some((_, scope)) = inst.resolve_mut(scope_path) else {
-                return;
-            };
-            scope
-                .connectors
-                .insert((name.clone(), to.clone()), value);
-        }
+    // all false (§3.2); an executed one evaluates its precompiled
+    // transition plans over the output container (evaluation errors
+    // are false — fail safe — and statically constant conditions were
+    // folded at compile time).
+    let scope_name = tpl.path_string(scope_ids);
+    for &edge_id in &act.outgoing {
+        let edge = &cs.edges[edge_id as usize];
+        let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
+            return;
+        };
+        let value = executed && edge.cond.eval_transition(&scope.rt(id).output);
+        scope.connectors[edge_id as usize] = Some(value);
         svc.journal.append(Event::ConnectorEvaluated {
             instance,
-            scope: join_path(scope_path),
-            from: name.clone(),
-            to: to.clone(),
+            scope: scope_name.clone(),
+            from: act.name.clone(),
+            to: cs.act(edge.to).name.clone(),
             value,
             at: svc.now(),
         });
-        let mut target_path = scope_path.to_vec();
-        target_path.push(to);
+        let mut target_path = scope_ids.to_vec();
+        target_path.push(edge.to);
         update_target(inst, svc, &target_path);
     }
 
-    check_scope_completion(inst, svc, scope_path);
+    check_scope_completion(inst, svc, scope_ids);
 }
 
 /// Re-examines a waiting activity's start condition after one of its
 /// incoming connectors was evaluated; makes it ready or dead.
-fn update_target(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]) {
-    let (name, scope_path) = path.split_last().expect("path never empty");
-    let Some((def, scope)) = inst.resolve(scope_path) else {
+fn update_target(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
+    let tpl = Arc::clone(&inst.tpl);
+    let (&id, scope_ids) = path.split_last().expect("path never empty");
+    let Some(cs) = tpl.scope_at(scope_ids) else {
         return;
     };
-    let Some(act) = def.activity(name) else { return };
-    let Some(rt) = scope.activities.get(name) else { return };
-    if rt.state != ActState::Waiting {
+    let act = cs.act(id);
+    let Some((_, scope)) = inst.resolve(scope_ids) else {
+        return;
+    };
+    if scope.rt(id).state != ActState::Waiting {
         // Already ready/running/terminated; OR-joins latch on the
         // first true connector.
         return;
     }
-    let values: Vec<Option<bool>> = def
-        .incoming(name)
-        .iter()
-        .map(|c| scope.connector_value(&c.from, &c.to))
-        .collect();
+    let mut any_true = false;
+    let mut any_false = false;
+    let mut any_pending = false;
+    for &e in &act.incoming {
+        match scope.connector_value(e) {
+            Some(true) => any_true = true,
+            Some(false) => any_false = true,
+            None => any_pending = true,
+        }
+    }
     let decision = match act.start {
         StartCondition::And => {
-            if values.contains(&Some(false)) {
+            if any_false {
                 Some(false) // dead
-            } else if values.iter().all(|v| *v == Some(true)) {
+            } else if !any_pending {
                 Some(true) // ready
             } else {
                 None // still waiting
             }
         }
         StartCondition::Or => {
-            if values.contains(&Some(true)) {
+            if any_true {
                 Some(true)
-            } else if values.iter().all(|v| *v == Some(false)) {
+            } else if !any_pending {
                 Some(false)
             } else {
                 None
@@ -519,17 +545,17 @@ fn update_target(inst: &mut Instance, svc: &mut NavServices<'_>, path: &[String]
     }
 }
 
-/// If every activity of the scope at `scope_path` is terminated, the
+/// If every activity of the scope at `scope_ids` is terminated, the
 /// scope is finished: the root scope finishes the instance; a block
 /// scope finishes its block activity (which may loop via its exit
 /// condition).
 pub(crate) fn check_scope_completion(
     inst: &mut Instance,
-    svc: &mut NavServices<'_>,
-    scope_path: &[String],
+    svc: &NavServices<'_>,
+    scope_ids: &[ActId],
 ) {
     let instance = inst.id;
-    let Some((_, scope)) = inst.resolve(scope_path) else {
+    let Some((_, scope)) = inst.resolve(scope_ids) else {
         return;
     };
     if !scope.all_terminated() {
@@ -537,7 +563,7 @@ pub(crate) fn check_scope_completion(
     }
     let output = scope.output.clone();
 
-    if scope_path.is_empty() {
+    if scope_ids.is_empty() {
         if inst.status == InstanceStatus::Running {
             inst.status = InstanceStatus::Finished;
             svc.journal.append(Event::InstanceFinished {
@@ -552,14 +578,11 @@ pub(crate) fn check_scope_completion(
     // A block scope finished: complete the block activity with the
     // scope's output. The block's return code is the scope output's
     // RC member when declared, else 1 ("the block ran").
-    let (block_name, parent_path) = scope_path.split_last().expect("non-empty");
-    let Some((_, parent)) = inst.resolve(parent_path) else {
+    let (&block_id, parent_ids) = scope_ids.split_last().expect("non-empty");
+    let Some((_, parent)) = inst.resolve(parent_ids) else {
         return;
     };
-    let Some(rt) = parent.activities.get(block_name) else {
-        return;
-    };
-    if rt.state != ActState::Running {
+    if parent.rt(block_id).state != ActState::Running {
         return; // already completed (idempotence guard)
     }
     let rc = output
@@ -570,25 +593,27 @@ pub(crate) fn check_scope_completion(
         .iter()
         .map(|(k, v)| (k.clone(), v.clone()))
         .collect();
-    complete_execution(inst, svc, scope_path, rc, outputs);
+    complete_execution(inst, svc, scope_ids, rc, outputs);
 }
 
 /// Cancels the instance: closes its work items and journals the
 /// cancellation. Non-terminated activities simply stop navigating.
-pub fn cancel_instance(inst: &mut Instance, svc: &mut NavServices<'_>) {
+pub fn cancel_instance(inst: &mut Instance, svc: &NavServices<'_>) {
     if inst.status != InstanceStatus::Running {
         return;
     }
     inst.status = InstanceStatus::Cancelled;
-    let open: Vec<WorkItemId> = svc
-        .worklists
-        .open_items()
-        .iter()
-        .filter(|it| it.instance == inst.id)
-        .map(|it| it.id)
-        .collect();
-    for id in open {
-        svc.worklists.close(id);
+    if inst.tpl.root.any_manual {
+        let mut worklists = svc.worklists.lock();
+        let open: Vec<WorkItemId> = worklists
+            .open_items()
+            .iter()
+            .filter(|it| it.instance == inst.id)
+            .map(|it| it.id)
+            .collect();
+        for id in open {
+            worklists.close(id);
+        }
     }
     svc.journal.append(Event::InstanceCancelled {
         instance: inst.id,
@@ -599,23 +624,31 @@ pub fn cancel_instance(inst: &mut Instance, svc: &mut NavServices<'_>) {
 /// Sends deadline notifications (§3.3) for ready manual activities
 /// whose deadline elapsed: each eligible person's manager is notified
 /// once per readiness period. Returns `(path, person)` pairs notified.
+///
+/// The compiled template indexes deadline-bearing activities per scope
+/// ([`CompiledScope::deadline_acts`]) and records whether any exist at
+/// all ([`CompiledScope::any_deadlines`]), so instances without
+/// deadlines return without scanning anything.
 pub fn check_deadlines(
     inst: &mut Instance,
-    svc: &mut NavServices<'_>,
+    svc: &NavServices<'_>,
 ) -> Vec<(String, String)> {
+    if !inst.tpl.root.any_deadlines {
+        return Vec::new();
+    }
+
     fn scan(
-        def: &wfms_model::ProcessDefinition,
+        cs: &CompiledScope,
         scope: &mut ScopeState,
-        prefix: &mut Vec<String>,
+        prefix: &mut IdPath,
         now: txn_substrate::Tick,
         org: &OrgModel,
-        due: &mut Vec<(Vec<String>, Vec<String>)>,
+        due: &mut Vec<(IdPath, Vec<String>)>,
     ) {
-        for act in &def.activities {
-            let Some(rt) = scope.activities.get_mut(&act.name) else {
-                continue;
-            };
-            if rt.state == ActState::Ready && !act.automatic_start && !rt.notified {
+        for &id in &cs.deadline_acts {
+            let act = cs.act(id);
+            let rt = scope.rt_mut(id);
+            if rt.state == ActState::Ready && !rt.notified {
                 if let (Some(deadline), Some(since)) = (act.deadline, rt.ready_since) {
                     if since + deadline <= now {
                         rt.notified = true;
@@ -627,16 +660,22 @@ pub fn check_deadlines(
                         managers.sort();
                         managers.dedup();
                         let mut path = prefix.clone();
-                        path.push(act.name.clone());
+                        path.push(id);
                         due.push((path, managers));
                     }
                 }
             }
-            if rt.state == ActState::Running {
-                if let ActivityKind::Block { process } = &act.kind {
-                    if let Some(child) = scope.children.get_mut(&act.name) {
-                        prefix.push(act.name.clone());
-                        scan(process, child, prefix, now, org, due);
+        }
+        for (i, act) in cs.acts.iter().enumerate() {
+            if let CompiledKind::Block(child_cs) = &act.kind {
+                if !child_cs.any_deadlines {
+                    continue;
+                }
+                let id = i as ActId;
+                if scope.rt(id).state == ActState::Running {
+                    if let Some(child) = scope.child_mut(id) {
+                        prefix.push(id);
+                        scan(child_cs, child, prefix, now, org, due);
                         prefix.pop();
                     }
                 }
@@ -646,19 +685,23 @@ pub fn check_deadlines(
 
     let now = svc.now();
     let mut due = Vec::new();
-    let def = Arc::clone(&inst.def);
-    scan(&def, &mut inst.root, &mut Vec::new(), now, svc.org, &mut due);
+    let tpl = Arc::clone(&inst.tpl);
+    {
+        let org = svc.org.lock();
+        scan(&tpl.root, &mut inst.root, &mut Vec::new(), now, &org, &mut due);
+    }
 
     let mut sent = Vec::new();
     for (path, managers) in due {
+        let path_str = tpl.path_string(&path);
         for person in managers {
             svc.journal.append(Event::NotificationSent {
                 instance: inst.id,
-                path: join_path(&path),
+                path: path_str.clone(),
                 person: person.clone(),
                 at: now,
             });
-            sent.push((join_path(&path), person));
+            sent.push((path_str.clone(), person));
         }
     }
     sent

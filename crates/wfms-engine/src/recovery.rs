@@ -13,8 +13,16 @@
 //! designer's job to make programs re-runnable — our substrate
 //! programs are transactions, so an interrupted one simply never
 //! committed).
+//!
+//! The journal records human-readable string paths (it is an audit
+//! trail first); replay resolves them against the **compiled
+//! template** once per event, and all reconstructed state is the same
+//! indexed [`ScopeState`] the live navigator uses — compilation is
+//! deterministic, so ids assigned at recovery address exactly the
+//! slots the crashed engine used.
 
-use crate::engine::{Engine, EngineConfig, Inner};
+use crate::compiled::{ActId, CompiledKind, CompiledProcess, CompiledScope, IdPath};
+use crate::engine::{Engine, EngineConfig};
 use crate::event::{Event, InstanceId};
 use crate::journal::Journal;
 use crate::navigator;
@@ -24,9 +32,10 @@ use crate::worklist::{WorkItem, WorkItemState, WorklistStore};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use txn_substrate::{MultiDatabase, ProgramRegistry};
-use wfms_model::{ActivityKind, ProcessDefinition};
+use wfms_model::ProcessDefinition;
 
 /// Errors surfaced by recovery.
 #[derive(Debug)]
@@ -87,9 +96,12 @@ pub fn recover_from(
             journal.append(ev.clone());
         }
     }
-    let template_map: HashMap<String, Arc<ProcessDefinition>> = templates
+    let template_map: HashMap<String, Arc<CompiledProcess>> = templates
         .into_iter()
-        .map(|d| (d.name.clone(), Arc::new(d)))
+        .map(|d| {
+            let tpl = Arc::new(CompiledProcess::compile_arc(Arc::new(d)));
+            (tpl.name().to_owned(), tpl)
+        })
         .collect();
 
     let mut instances: BTreeMap<InstanceId, Instance> = BTreeMap::new();
@@ -110,20 +122,24 @@ pub fn recover_from(
         )?;
     }
 
+    // Rebuild the ready queues: replay set activity states directly,
+    // bypassing the live navigator's queue maintenance.
+    for inst in instances.values_mut() {
+        inst.rebuild_ready();
+    }
+
     let clock = multidb.clock().clone();
     clock.advance_to(max_tick);
 
     let engine = Engine {
-        inner: Mutex::new(Inner {
-            templates: template_map,
-            instances,
-            org,
-            worklists,
-            journal,
-            next_instance,
-            next_item,
-            step_limit: EngineConfig::default().step_limit,
-        }),
+        templates: Mutex::new(template_map),
+        instances: Mutex::new(instances),
+        org: Mutex::new(org),
+        worklists: Mutex::new(worklists),
+        journal,
+        next_instance: AtomicU64::new(next_instance),
+        next_item: AtomicU64::new(next_item),
+        step_limit: EngineConfig::default().step_limit,
         programs,
         multidb,
         clock,
@@ -136,7 +152,7 @@ pub fn recover_from(
 /// Applies one journal event to the state under reconstruction.
 fn apply(
     ev: &Event,
-    templates: &HashMap<String, Arc<ProcessDefinition>>,
+    templates: &HashMap<String, Arc<CompiledProcess>>,
     instances: &mut BTreeMap<InstanceId, Instance>,
     worklists: &mut WorklistStore,
     next_instance: &mut u64,
@@ -149,10 +165,10 @@ fn apply(
             input,
             ..
         } => {
-            let def = templates
+            let tpl = templates
                 .get(process)
                 .ok_or_else(|| RecoveryError::MissingTemplate(process.clone()))?;
-            let mut inst = Instance::new(*instance, Arc::clone(def));
+            let mut inst = Instance::new(*instance, Arc::clone(tpl));
             for (k, v) in input.iter() {
                 inst.root.input.set(k, v.clone());
             }
@@ -176,38 +192,26 @@ fn apply(
             input,
             ..
         } => {
-            let segs = split_path(path);
-            if let Some(inst) = instances.get_mut(instance) {
-                // Record the running state and materialised input.
-                if let Some((name, scope_path)) = segs.split_last() {
-                    let is_block = if let Some((def, scope)) = inst.resolve_mut(scope_path) {
-                        let is_block = def
-                            .activity(name)
-                            .map(|a| a.kind.is_block())
-                            .unwrap_or(false);
-                        if let Some(rt) = scope.activities.get_mut(name) {
-                            rt.state = ActState::Running;
-                            rt.input = input.clone();
-                        }
-                        is_block
-                    } else {
-                        false
-                    };
-                    // A started block opens its child scope; the
-                    // child's own events follow in the journal.
-                    if is_block {
-                        if let Some((def, scope)) = inst.resolve_mut(scope_path) {
-                            if let Some(ActivityKind::Block { process }) =
-                                def.activity(name).map(|a| a.kind.clone())
-                            {
-                                let mut child = ScopeState::for_definition(&process);
-                                for (k, v) in input.iter() {
-                                    child.input.set(k, v.clone());
-                                }
-                                scope.children.insert(name.clone(), child);
-                            }
-                        }
+            let Some((inst, ids)) = resolve(instances, *instance, path) else {
+                return Ok(());
+            };
+            let tpl = Arc::clone(&inst.tpl);
+            let (&id, scope_ids) = ids.split_last().expect("path never empty");
+            let Some(cs) = tpl.scope_at(scope_ids) else {
+                return Ok(());
+            };
+            if let Some((_, scope)) = inst.resolve_mut(scope_ids) {
+                let rt = scope.rt_mut(id);
+                rt.state = ActState::Running;
+                rt.input = input.clone();
+                // A started block opens its child scope; the child's
+                // own events follow in the journal.
+                if let CompiledKind::Block(child_cs) = &cs.act(id).kind {
+                    let mut child = ScopeState::for_scope(child_cs);
+                    for (k, v) in input.iter() {
+                        child.input.set(k, v.clone());
                     }
+                    scope.set_child(id, child);
                 }
             }
         }
@@ -232,23 +236,21 @@ fn apply(
             next_attempt,
             ..
         } => {
-            let segs = split_path(path);
-            if let Some(inst) = instances.get_mut(instance) {
-                if let Some((name, scope_path)) = segs.split_last() {
-                    if let Some((def, scope)) = inst.resolve_mut(scope_path) {
-                        let is_block = def
-                            .activity(name)
-                            .map(|a| a.kind.is_block())
-                            .unwrap_or(false);
-                        if is_block {
-                            scope.children.remove(name);
-                        }
-                        if let Some(rt) = scope.activities.get_mut(name) {
-                            rt.state = ActState::Waiting;
-                            rt.attempt = *next_attempt;
-                        }
-                    }
+            let Some((inst, ids)) = resolve(instances, *instance, path) else {
+                return Ok(());
+            };
+            let tpl = Arc::clone(&inst.tpl);
+            let (&id, scope_ids) = ids.split_last().expect("path never empty");
+            let Some(cs) = tpl.scope_at(scope_ids) else {
+                return Ok(());
+            };
+            if let Some((_, scope)) = inst.resolve_mut(scope_ids) {
+                if matches!(cs.act(id).kind, CompiledKind::Block(_)) {
+                    scope.remove_child(id);
                 }
+                let rt = scope.rt_mut(id);
+                rt.state = ActState::Waiting;
+                rt.attempt = *next_attempt;
             }
         }
         Event::ActivityTerminated {
@@ -257,34 +259,22 @@ fn apply(
             executed,
             ..
         } => {
-            let segs = split_path(path);
-            if let Some(inst) = instances.get_mut(instance) {
-                if let Some((name, scope_path)) = segs.split_last() {
-                    if let Some((def, scope)) = inst.resolve_mut(scope_path) {
-                        let mut output = None;
-                        if let Some(rt) = scope.activities.get_mut(name) {
-                            rt.state = ActState::Terminated;
-                            rt.executed = *executed;
-                            if *executed {
-                                output = Some(rt.output.clone());
-                            }
-                        }
-                        // (work items for this path close below)
-                        // Re-apply the activity-output → process-output
-                        // data connectors, as the navigator did live.
-                        if let Some(output) = output {
-                            for d in &def.data {
-                                let from_us = matches!(
-                                    &d.from,
-                                    wfms_model::DataEndpoint::ActivityOutput(a) if a == name
-                                );
-                                if from_us && d.to == wfms_model::DataEndpoint::ProcessOutput {
-                                    for m in &d.mappings {
-                                        if let Some(v) = output.get(&m.from_member) {
-                                            scope.output.set(&m.to_member, v.clone());
-                                        }
-                                    }
-                                }
+            if let Some((inst, ids)) = resolve(instances, *instance, path) {
+                let tpl = Arc::clone(&inst.tpl);
+                let (&id, scope_ids) = ids.split_last().expect("path never empty");
+                if let (Some(cs), Some((_, scope))) =
+                    (tpl.scope_at(scope_ids), inst.resolve_mut(scope_ids))
+                {
+                    let rt = scope.rt_mut(id);
+                    rt.state = ActState::Terminated;
+                    rt.executed = *executed;
+                    // Re-apply the activity-output → scope-output data
+                    // connectors, as the navigator did live.
+                    if *executed {
+                        let output = scope.rt(id).output.clone();
+                        for (from, to) in &cs.act(id).data_out {
+                            if let Some(v) = output.get(from) {
+                                scope.output.set(to, v.clone());
                             }
                         }
                     }
@@ -300,10 +290,17 @@ fn apply(
             value,
             ..
         } => {
-            let scope_segs = split_path(scope);
+            let scope_names = split_path(scope);
             if let Some(inst) = instances.get_mut(instance) {
-                if let Some((_, sc)) = inst.resolve_mut(&scope_segs) {
-                    sc.connectors.insert((from.clone(), to.clone()), *value);
+                let tpl = Arc::clone(&inst.tpl);
+                if let Some(scope_ids) = tpl.resolve_path(&scope_names) {
+                    if let (Some(cs), Some((_, sc))) =
+                        (tpl.scope_at(&scope_ids), inst.resolve_mut(&scope_ids))
+                    {
+                        if let Some(edge) = cs.edge_id(from, to) {
+                            sc.connectors[edge as usize] = Some(*value);
+                        }
+                    }
                 }
             }
         }
@@ -368,10 +365,10 @@ fn apply(
             // the tail on top of it.
             instances.clear();
             for snap in snaps {
-                let def = templates
+                let tpl = templates
                     .get(&snap.process)
                     .ok_or_else(|| RecoveryError::MissingTemplate(snap.process.clone()))?;
-                let mut inst = Instance::new(snap.id, Arc::clone(def));
+                let mut inst = Instance::new(snap.id, Arc::clone(tpl));
                 inst.status = snap.status;
                 inst.root = snap.root.clone();
                 instances.insert(snap.id, inst);
@@ -387,20 +384,28 @@ fn apply(
     Ok(())
 }
 
+/// Resolves a journalled string path to id form against the instance's
+/// compiled template.
+fn resolve<'a>(
+    instances: &'a mut BTreeMap<InstanceId, Instance>,
+    instance: InstanceId,
+    path: &str,
+) -> Option<(&'a mut Instance, IdPath)> {
+    let inst = instances.get_mut(&instance)?;
+    let ids = inst.tpl.resolve_path(&split_path(path))?;
+    Some((inst, ids))
+}
+
 fn with_rt(
     instances: &mut BTreeMap<InstanceId, Instance>,
     instance: InstanceId,
     path: &str,
     f: impl FnOnce(&mut crate::state::ActivityRt),
 ) {
-    let segs = split_path(path);
-    if let Some(inst) = instances.get_mut(&instance) {
-        if let Some((name, scope_path)) = segs.split_last() {
-            if let Some((_, scope)) = inst.resolve_mut(scope_path) {
-                if let Some(rt) = scope.activities.get_mut(name) {
-                    f(rt);
-                }
-            }
+    if let Some((inst, ids)) = resolve(instances, instance, path) {
+        let (&id, scope_ids) = ids.split_last().expect("path never empty");
+        if let Some((_, scope)) = inst.resolve_mut(scope_ids) {
+            f(scope.rt_mut(id));
         }
     }
 }
@@ -410,31 +415,29 @@ fn with_rt(
 /// re-check scope completion (in case the crash hit between the last
 /// termination and the completion event).
 fn resume(engine: &Engine) {
-    let ids: Vec<InstanceId> = engine.inner.lock().instances.keys().copied().collect();
-    for id in ids {
-        let mut inner = engine.inner.lock();
-        let Inner {
-            journal,
-            org,
-            worklists,
-            next_item,
-            instances,
-            ..
-        } = &mut *inner;
-        let Some(inst) = instances.get_mut(&id) else {
-            continue;
-        };
+    let mut instances = engine.instances.lock();
+    let svc = crate::navigator::NavServices {
+        journal: &engine.journal,
+        clock: &engine.clock,
+        org: &engine.org,
+        worklists: &engine.worklists,
+        next_item: &engine.next_item,
+        programs: &engine.programs,
+        multidb: &engine.multidb,
+    };
+    for inst in instances.values_mut() {
         if inst.status != InstanceStatus::Running {
             continue;
         }
 
-        // Collect fix-up targets (deepest scopes first so child fixes
-        // land before parent completion checks).
-        let mut running_programs: Vec<Vec<String>> = Vec::new();
-        let mut finished: Vec<Vec<String>> = Vec::new();
-        let mut scopes: Vec<Vec<String>> = Vec::new();
+        // Collect fix-up targets (deepest scopes last-in so child
+        // fixes land before parent completion checks).
+        let tpl = Arc::clone(&inst.tpl);
+        let mut running_programs: Vec<IdPath> = Vec::new();
+        let mut finished: Vec<IdPath> = Vec::new();
+        let mut scopes: Vec<IdPath> = Vec::new();
         collect_fixups(
-            &inst.def,
+            &tpl.root,
             &inst.root,
             &mut Vec::new(),
             &mut running_programs,
@@ -442,52 +445,49 @@ fn resume(engine: &Engine) {
             &mut scopes,
         );
 
-        let mut svc = navigator::NavServices {
-            journal,
-            clock: &engine.clock,
-            org,
-            worklists,
-            next_item,
-            programs: &engine.programs,
-            multidb: &engine.multidb,
-        };
         for path in running_programs {
-            navigator::reset_running_to_ready(inst, &mut svc, &path);
+            navigator::reset_running_to_ready(inst, &svc, &path);
         }
         for path in finished {
-            navigator::decide_exit(inst, &mut svc, &path);
+            navigator::decide_exit(inst, &svc, &path);
         }
         scopes.sort_by_key(|s| std::cmp::Reverse(s.len()));
         for scope in scopes {
             if inst.status != InstanceStatus::Running {
                 break;
             }
-            navigator::check_scope_completion(inst, &mut svc, &scope);
+            navigator::check_scope_completion(inst, &svc, &scope);
         }
     }
 }
 
 fn collect_fixups(
-    def: &ProcessDefinition,
+    cs: &CompiledScope,
     scope: &ScopeState,
-    prefix: &mut Vec<String>,
-    running_programs: &mut Vec<Vec<String>>,
-    finished: &mut Vec<Vec<String>>,
-    scopes: &mut Vec<Vec<String>>,
+    prefix: &mut IdPath,
+    running_programs: &mut Vec<IdPath>,
+    finished: &mut Vec<IdPath>,
+    scopes: &mut Vec<IdPath>,
 ) {
     scopes.push(prefix.clone());
-    for act in &def.activities {
-        let Some(rt) = scope.activities.get(&act.name) else {
-            continue;
-        };
+    for (i, act) in cs.acts.iter().enumerate() {
+        let id = i as ActId;
+        let rt = scope.rt(id);
         let mut path = prefix.clone();
-        path.push(act.name.clone());
+        path.push(id);
         match rt.state {
             ActState::Running => match &act.kind {
-                ActivityKind::Block { process } => {
-                    if let Some(child) = scope.children.get(&act.name) {
-                        prefix.push(act.name.clone());
-                        collect_fixups(process, child, prefix, running_programs, finished, scopes);
+                CompiledKind::Block(child_cs) => {
+                    if let Some(child) = scope.child(id) {
+                        prefix.push(id);
+                        collect_fixups(
+                            child_cs,
+                            child,
+                            prefix,
+                            running_programs,
+                            finished,
+                            scopes,
+                        );
                         prefix.pop();
                     } else {
                         // Block recorded running but its child scope was

@@ -9,10 +9,19 @@
 //! A [`ScopeState`] holds the state of one (sub)process: the paper's
 //! blocks are processes embedded as activities, so an instance is a
 //! tree of scopes mirroring the block nesting of its definition.
+//!
+//! State is indexed, not keyed: activity records live in a vector
+//! indexed by the compiled template's dense [`ActId`]s, connector
+//! values in a vector indexed by [`EdgeId`](crate::compiled::EdgeId) — the hot navigator paths
+//! never touch a string map. Journal events still carry name paths
+//! (the durable format is independent of compilation), and the
+//! conversions live on [`Instance`].
 
+use crate::compiled::{ActId, CompiledKind, CompiledProcess, CompiledScope, IdPath};
 use crate::event::InstanceId;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 use txn_substrate::Tick;
 use wfms_model::{Container, ProcessDefinition};
@@ -81,39 +90,94 @@ impl Default for ActivityRt {
     }
 }
 
-/// Run-time state of one (sub)process scope.
+/// Run-time state of one (sub)process scope, indexed by the compiled
+/// template's dense ids.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ScopeState {
-    /// Per-activity state, keyed by activity name.
-    pub activities: BTreeMap<String, ActivityRt>,
-    /// Evaluated transition-condition values, keyed by `(from, to)`.
-    /// Absent = not yet evaluated.
-    pub connectors: BTreeMap<(String, String), bool>,
+    /// Per-activity state, indexed by [`ActId`].
+    pub activities: Vec<ActivityRt>,
+    /// Evaluated transition-condition values, indexed by
+    /// [`crate::compiled::EdgeId`]. `None` = not yet evaluated.
+    pub connectors: Vec<Option<bool>>,
     /// The scope's input container (process input, or the block
     /// activity's materialised input).
     pub input: Container,
     /// The scope's output container, filled by data connectors to
     /// `PROCESS.OUTPUT` as activities terminate.
     pub output: Container,
-    /// Child scopes of block activities that have started, keyed by
-    /// the block activity's name.
-    pub children: BTreeMap<String, ScopeState>,
+    /// Child scopes of block activities that have started, as
+    /// `(block ActId, state)` pairs sorted by id. (A vector of pairs,
+    /// not a map, so the serialized form has string-free keys — JSON
+    /// maps require string keys.)
+    pub children: Vec<(ActId, ScopeState)>,
 }
 
 impl ScopeState {
-    /// Initialises a scope for `def`: all activities waiting,
-    /// containers at schema defaults, no connector values.
+    /// Initialises a scope for a compiled template: all activities
+    /// waiting, containers at schema defaults, no connector values.
+    pub fn for_scope(scope: &CompiledScope) -> Self {
+        Self {
+            activities: vec![ActivityRt::new(); scope.acts.len()],
+            connectors: vec![None; scope.edges.len()],
+            input: scope.input.instantiate(),
+            output: scope.output.instantiate(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Initialises a scope straight from a definition (same layout:
+    /// ids are declaration positions). Kept for tests and tooling that
+    /// have no compiled template at hand.
     pub fn for_definition(def: &ProcessDefinition) -> Self {
         Self {
-            activities: def
-                .activities
-                .iter()
-                .map(|a| (a.name.clone(), ActivityRt::new()))
-                .collect(),
-            connectors: BTreeMap::new(),
+            activities: vec![ActivityRt::new(); def.activities.len()],
+            connectors: vec![None; def.control.len()],
             input: def.input.instantiate(),
             output: def.output.instantiate(),
-            children: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The runtime record of activity `id`.
+    #[inline]
+    pub fn rt(&self, id: ActId) -> &ActivityRt {
+        &self.activities[id as usize]
+    }
+
+    /// Mutable variant of [`ScopeState::rt`].
+    #[inline]
+    pub fn rt_mut(&mut self, id: ActId) -> &mut ActivityRt {
+        &mut self.activities[id as usize]
+    }
+
+    /// The child scope of block `id`, if started.
+    pub fn child(&self, id: ActId) -> Option<&ScopeState> {
+        self.children
+            .binary_search_by_key(&id, |(i, _)| *i)
+            .ok()
+            .map(|i| &self.children[i].1)
+    }
+
+    /// Mutable variant of [`ScopeState::child`].
+    pub fn child_mut(&mut self, id: ActId) -> Option<&mut ScopeState> {
+        self.children
+            .binary_search_by_key(&id, |(i, _)| *i)
+            .ok()
+            .map(|i| &mut self.children[i].1)
+    }
+
+    /// Inserts or replaces the child scope of block `id`.
+    pub fn set_child(&mut self, id: ActId, state: ScopeState) {
+        match self.children.binary_search_by_key(&id, |(i, _)| *i) {
+            Ok(i) => self.children[i].1 = state,
+            Err(i) => self.children.insert(i, (id, state)),
+        }
+    }
+
+    /// Removes the child scope of block `id`.
+    pub fn remove_child(&mut self, id: ActId) {
+        if let Ok(i) = self.children.binary_search_by_key(&id, |(i, _)| *i) {
+            self.children.remove(i);
         }
     }
 
@@ -121,14 +185,13 @@ impl ScopeState {
     /// completion rule ("the process is considered finished when all
     /// its activities are in the terminated state").
     pub fn all_terminated(&self) -> bool {
-        self.activities.values().all(ActivityRt::is_terminated)
+        self.activities.iter().all(ActivityRt::is_terminated)
     }
 
     /// Connector value if already evaluated.
-    pub fn connector_value(&self, from: &str, to: &str) -> Option<bool> {
-        self.connectors
-            .get(&(from.to_owned(), to.to_owned()))
-            .copied()
+    #[inline]
+    pub fn connector_value(&self, edge: crate::compiled::EdgeId) -> Option<bool> {
+        self.connectors[edge as usize]
     }
 }
 
@@ -143,76 +206,139 @@ pub enum InstanceStatus {
     Cancelled,
 }
 
-/// One process instance: a definition plus its scope tree.
+/// One process instance: a compiled template plus its scope tree and a
+/// ready queue of automatic activities.
+///
+/// The ready queue is a min-heap on [`IdPath`]s. Lexicographic order
+/// on id paths equals the navigator's historical depth-first
+/// declaration-order scan (ids are declaration positions, and a path
+/// is a strict prefix of any path through it), so popping the heap
+/// reproduces the exact sequential execution order — the journals stay
+/// byte-for-byte identical — without rescanning the definition on
+/// every step. Entries are validated lazily at pop time; stale ones
+/// (the activity moved on, or its enclosing block closed) are
+/// discarded.
 #[derive(Debug, Clone)]
 pub struct Instance {
     /// Instance identifier.
     pub id: InstanceId,
-    /// The (validated) process template this instance runs.
-    pub def: Arc<ProcessDefinition>,
+    /// The compiled template this instance runs.
+    pub tpl: Arc<CompiledProcess>,
     /// Root scope state.
     pub root: ScopeState,
     /// Overall status.
     pub status: InstanceStatus,
+    /// Ready automatic activities (min-heap; may hold stale entries).
+    pub(crate) ready: BinaryHeap<Reverse<IdPath>>,
 }
 
 impl Instance {
-    /// Creates a fresh instance of `def`.
-    pub fn new(id: InstanceId, def: Arc<ProcessDefinition>) -> Self {
-        let root = ScopeState::for_definition(&def);
+    /// Creates a fresh instance of `tpl`.
+    pub fn new(id: InstanceId, tpl: Arc<CompiledProcess>) -> Self {
+        let root = ScopeState::for_scope(&tpl.root);
         Self {
             id,
-            def,
+            tpl,
             root,
             status: InstanceStatus::Running,
+            ready: BinaryHeap::new(),
         }
     }
 
-    /// Resolves the definition and mutable scope state addressed by
-    /// `scope_path` (block names from the root; empty = root scope).
+    /// The source process definition.
+    pub fn def(&self) -> &Arc<ProcessDefinition> {
+        &self.tpl.def
+    }
+
+    /// Resolves the compiled scope and scope state addressed by
+    /// `scope_ids` (block ids from the root; empty = root scope).
     /// Returns `None` if the path does not name nested blocks or the
     /// child scope has not started yet.
+    pub fn resolve(&self, scope_ids: &[ActId]) -> Option<(&CompiledScope, &ScopeState)> {
+        let mut cs: &CompiledScope = &self.tpl.root;
+        let mut st: &ScopeState = &self.root;
+        for &id in scope_ids {
+            cs = cs.child_scope(id)?;
+            st = st.child(id)?;
+        }
+        Some((cs, st))
+    }
+
+    /// Mutable variant of [`Instance::resolve`].
     pub fn resolve_mut(
         &mut self,
-        scope_path: &[String],
-    ) -> Option<(&ProcessDefinition, &mut ScopeState)> {
-        let mut def: &ProcessDefinition = &self.def;
-        let mut scope: &mut ScopeState = &mut self.root;
-        for seg in scope_path {
-            let act = def.activity(seg)?;
-            let wfms_model::ActivityKind::Block { process } = &act.kind else {
-                return None;
-            };
-            def = process;
-            scope = scope.children.get_mut(seg)?;
+        scope_ids: &[ActId],
+    ) -> Option<(&CompiledScope, &mut ScopeState)> {
+        let mut cs: &CompiledScope = &self.tpl.root;
+        let mut st: &mut ScopeState = &mut self.root;
+        for &id in scope_ids {
+            cs = cs.child_scope(id)?;
+            st = st.child_mut(id)?;
         }
-        Some((def, scope))
+        Some((cs, st))
     }
 
-    /// Immutable variant of [`Instance::resolve_mut`].
-    pub fn resolve(
-        &self,
-        scope_path: &[String],
-    ) -> Option<(&ProcessDefinition, &ScopeState)> {
-        let mut def: &ProcessDefinition = &self.def;
-        let mut scope: &ScopeState = &self.root;
-        for seg in scope_path {
-            let act = def.activity(seg)?;
-            let wfms_model::ActivityKind::Block { process } = &act.kind else {
-                return None;
-            };
-            def = process;
-            scope = scope.children.get(seg)?;
+    /// The runtime record of the activity at `path` (scope ids plus
+    /// the activity id as the last element).
+    pub fn activity_rt(&self, path: &[ActId]) -> Option<&ActivityRt> {
+        let (&id, scope_ids) = path.split_last()?;
+        let (cs, st) = self.resolve(scope_ids)?;
+        if (id as usize) < cs.acts.len() {
+            Some(st.rt(id))
+        } else {
+            None
         }
-        Some((def, scope))
     }
 
-    /// The runtime record of the activity at `path` (scope path +
-    /// activity name as the last segment).
-    pub fn activity_rt(&self, path: &[String]) -> Option<&ActivityRt> {
-        let (name, scope_path) = path.split_last()?;
-        let (_, scope) = self.resolve(scope_path)?;
-        scope.activities.get(name)
+    /// Resolves a slash-separated name path to an [`IdPath`].
+    pub fn resolve_names(&self, segs: &[String]) -> Option<IdPath> {
+        self.tpl.resolve_path(segs)
+    }
+
+    /// Renders an [`IdPath`] as the slash-separated journal form.
+    pub fn path_string(&self, ids: &[ActId]) -> String {
+        self.tpl.path_string(ids)
+    }
+
+    /// Queues a ready automatic activity for execution.
+    pub(crate) fn push_ready(&mut self, path: IdPath) {
+        self.ready.push(Reverse(path));
+    }
+
+    /// Rebuilds the ready queue from the scope tree — used after
+    /// recovery replay and checkpoint restore, which mutate state
+    /// without navigating.
+    pub(crate) fn rebuild_ready(&mut self) {
+        fn scan(
+            cs: &CompiledScope,
+            st: &ScopeState,
+            prefix: &mut IdPath,
+            out: &mut Vec<IdPath>,
+        ) {
+            for (i, rt) in st.activities.iter().enumerate() {
+                let id = i as ActId;
+                match rt.state {
+                    ActState::Ready if cs.act(id).automatic => {
+                        let mut p = prefix.clone();
+                        p.push(id);
+                        out.push(p);
+                    }
+                    ActState::Running => {
+                        if let (CompiledKind::Block(child_cs), Some(child_st)) =
+                            (&cs.act(id).kind, st.child(id))
+                        {
+                            prefix.push(id);
+                            scan(child_cs, child_st, prefix, out);
+                            prefix.pop();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut paths = Vec::new();
+        scan(&self.tpl.root, &self.root, &mut Vec::new(), &mut paths);
+        self.ready = paths.into_iter().map(Reverse).collect();
     }
 }
 
@@ -245,23 +371,31 @@ mod tests {
             .unwrap()
     }
 
+    fn tpl() -> Arc<CompiledProcess> {
+        Arc::new(CompiledProcess::compile(def_with_block()))
+    }
+
     #[test]
     fn fresh_scope_is_waiting() {
-        let def = def_with_block();
-        let s = ScopeState::for_definition(&def);
+        let s = ScopeState::for_definition(&def_with_block());
         assert_eq!(s.activities.len(), 2);
-        assert!(s
-            .activities
-            .values()
-            .all(|a| a.state == ActState::Waiting));
+        assert!(s.activities.iter().all(|a| a.state == ActState::Waiting));
         assert!(!s.all_terminated());
+        assert_eq!(s.connectors, vec![None]);
+    }
+
+    #[test]
+    fn for_scope_matches_for_definition_layout() {
+        let t = tpl();
+        let a = ScopeState::for_scope(&t.root);
+        let b = ScopeState::for_definition(&def_with_block());
+        assert_eq!(a, b);
     }
 
     #[test]
     fn all_terminated_counts_every_activity() {
-        let def = def_with_block();
-        let mut s = ScopeState::for_definition(&def);
-        for a in s.activities.values_mut() {
+        let mut s = ScopeState::for_definition(&def_with_block());
+        for a in &mut s.activities {
             a.state = ActState::Terminated;
         }
         assert!(s.all_terminated());
@@ -269,33 +403,62 @@ mod tests {
 
     #[test]
     fn resolve_walks_block_scopes() {
-        let def = Arc::new(def_with_block());
-        let mut inst = Instance::new(InstanceId(1), Arc::clone(&def));
+        let t = tpl();
+        let mut inst = Instance::new(InstanceId(1), Arc::clone(&t));
+        let b = t.root.id("B").unwrap();
         // Child scope not started yet.
-        assert!(inst.resolve_mut(&["B".into()]).is_none());
+        assert!(inst.resolve_mut(&[b]).is_none());
         // Start it manually.
-        let inner_def = match &def.activity("B").unwrap().kind {
-            wfms_model::ActivityKind::Block { process } => process.clone(),
-            _ => unreachable!(),
-        };
-        inst.root
-            .children
-            .insert("B".into(), ScopeState::for_definition(&inner_def));
-        let (d, s) = inst.resolve_mut(&["B".into()]).unwrap();
-        assert_eq!(d.name, "inner");
-        assert!(s.activities.contains_key("X"));
+        let child = ScopeState::for_scope(t.root.child_scope(b).unwrap());
+        inst.root.set_child(b, child);
+        let (cs, st) = inst.resolve_mut(&[b]).unwrap();
+        assert_eq!(cs.name, "inner");
+        assert_eq!(st.activities.len(), 1);
         // Non-block path segment fails.
-        assert!(inst.resolve_mut(&["A".into()]).is_none());
-        assert!(inst.resolve(&["Ghost".into()]).is_none());
+        let a = t.root.id("A").unwrap();
+        assert!(inst.resolve_mut(&[a]).is_none());
+        assert!(inst.resolve(&[9]).is_none());
     }
 
     #[test]
     fn activity_rt_lookup_by_path() {
-        let def = Arc::new(def_with_block());
-        let inst = Instance::new(InstanceId(1), def);
-        assert!(inst.activity_rt(&["A".into()]).is_some());
-        assert!(inst.activity_rt(&["B".into(), "X".into()]).is_none());
+        let t = tpl();
+        let inst = Instance::new(InstanceId(1), t);
+        assert!(inst.activity_rt(&[0]).is_some());
+        assert!(inst.activity_rt(&[1, 0]).is_none(), "child not started");
         assert!(inst.activity_rt(&[]).is_none());
+    }
+
+    #[test]
+    fn children_sorted_and_replaceable() {
+        let mut s = ScopeState::default();
+        s.set_child(3, ScopeState::default());
+        s.set_child(1, ScopeState::default());
+        assert_eq!(s.children[0].0, 1);
+        assert_eq!(s.children[1].0, 3);
+        assert!(s.child(1).is_some());
+        assert!(s.child(2).is_none());
+        s.remove_child(1);
+        assert!(s.child(1).is_none());
+        assert_eq!(s.children.len(), 1);
+    }
+
+    #[test]
+    fn rebuild_ready_finds_nested_ready_autos() {
+        let t = tpl();
+        let mut inst = Instance::new(InstanceId(1), Arc::clone(&t));
+        let b = t.root.id("B").unwrap();
+        inst.root.rt_mut(b).state = ActState::Running;
+        let mut child = ScopeState::for_scope(t.root.child_scope(b).unwrap());
+        child.activities[0].state = ActState::Ready;
+        inst.root.set_child(b, child);
+        inst.root.rt_mut(0).state = ActState::Ready;
+        inst.rebuild_ready();
+        let mut popped = Vec::new();
+        while let Some(Reverse(p)) = inst.ready.pop() {
+            popped.push(p);
+        }
+        assert_eq!(popped, vec![vec![0], vec![b, 0]]);
     }
 
     #[test]
@@ -313,7 +476,18 @@ mod tests {
             .activity(Activity::program("A", "pa"))
             .build()
             .unwrap();
-        let inst = Instance::new(InstanceId(1), Arc::new(def));
-        assert!(inst.resolve(&["A".into()]).is_none());
+        let inst = Instance::new(InstanceId(1), Arc::new(CompiledProcess::compile(def)));
+        assert!(inst.resolve(&[0]).is_none());
+    }
+
+    #[test]
+    fn serde_round_trip_of_scope_state() {
+        let t = tpl();
+        let mut s = ScopeState::for_scope(&t.root);
+        s.connectors[0] = Some(true);
+        s.set_child(1, ScopeState::default());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ScopeState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
     }
 }

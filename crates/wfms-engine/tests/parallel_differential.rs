@@ -1,0 +1,223 @@
+//! Differential tests for the two navigation paths introduced with
+//! compiled templates:
+//!
+//! * **compiled vs. reference**: the indexed navigator must produce
+//!   exactly the event sequence of [`RefEngine`], the string-keyed
+//!   definition-walking interpreter kept as an executable
+//!   specification;
+//! * **parallel vs. sequential**: [`Engine::run_all_parallel`] must be
+//!   observationally identical to [`Engine::run_all`] — same per
+//!   instance statuses, outputs, event sequences, and (because shards
+//!   are merged in instance-id order) the same whole journal — for
+//!   programs that are deterministic and order-independent.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use txn_substrate::{MultiDatabase, ProgramOutcome, ProgramRegistry};
+use wfms_engine::{Engine, InstanceId, InstanceStatus, RefEngine};
+use wfms_model::{
+    Activity, Container, ControlConnector, Expr, ProcessBuilder, ProcessDefinition,
+    StartCondition,
+};
+
+/// A generated scenario: a DAG over `n` activities with edges
+/// (i < j), per-activity OR/AND joins and per-activity commit/abort
+/// outcomes.
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+    or_join: Vec<bool>,
+    commits: Vec<bool>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..9).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        (
+            prop::collection::vec((0usize..n, 0usize..n), 0..=max_edges),
+            prop::collection::vec(any::<bool>(), n),
+            prop::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(move |(raw_edges, or_join, commits)| {
+                let mut seen = BTreeSet::new();
+                let edges = raw_edges
+                    .into_iter()
+                    .filter_map(|(a, b)| {
+                        let (a, b) = (a.min(b), a.max(b));
+                        (a != b && seen.insert((a, b))).then_some((a, b))
+                    })
+                    .collect();
+                Scenario {
+                    n,
+                    edges,
+                    or_join,
+                    commits,
+                }
+            })
+    })
+}
+
+fn build(s: &Scenario) -> ProcessDefinition {
+    let mut def = ProcessDefinition::new("prop");
+    for i in 0..s.n {
+        let mut a = Activity::program(&format!("A{i}"), &format!("prog{i}"));
+        if s.or_join[i] {
+            a.start = StartCondition::Or;
+        }
+        def.activities.push(a);
+    }
+    for &(a, b) in &s.edges {
+        def.control.push(ControlConnector {
+            from: format!("A{a}"),
+            to: format!("A{b}"),
+            condition: Expr::var_eq_int("RC", 1),
+        });
+    }
+    def
+}
+
+/// Programs are pure functions of their scripted outcome — no shared
+/// state, no attempt counters — so instance execution order cannot
+/// influence results and the parallel/sequential comparison is exact.
+fn world(s: &Scenario) -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
+    let fed = MultiDatabase::new(0);
+    let registry = Arc::new(ProgramRegistry::new());
+    for (i, &commit) in s.commits.iter().enumerate() {
+        registry.register_fn(&format!("prog{i}"), move |_| {
+            if commit {
+                ProgramOutcome::committed()
+            } else {
+                ProgramOutcome::aborted("scripted")
+            }
+        });
+    }
+    (fed, registry)
+}
+
+fn engine_with(s: &Scenario) -> Engine {
+    let def = build(s);
+    assert!(wfms_model::validate(&def).is_empty());
+    let (fed, registry) = world(s);
+    let engine = Engine::new(fed, registry);
+    engine.register(def).unwrap();
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The compiled navigator reproduces the reference interpreter's
+    /// event stream exactly — same events, same order, same payloads.
+    #[test]
+    fn compiled_navigator_matches_reference_interpreter(s in scenario()) {
+        let engine = engine_with(&s);
+        let id = engine.start("prop", Container::empty()).unwrap();
+        let status = engine.run_to_quiescence(id).unwrap();
+
+        let (fed, registry) = world(&s);
+        let mut reference = RefEngine::new(fed, registry);
+        reference.register(build(&s));
+        let rid = reference.start("prop", Container::empty());
+        let ref_status = reference.run_to_quiescence(rid);
+
+        prop_assert_eq!(status, ref_status);
+        prop_assert_eq!(engine.output(id).unwrap(), reference.output(rid));
+        prop_assert_eq!(engine.journal_events(), reference.events().to_vec());
+    }
+
+    /// Parallel execution is observationally identical to sequential:
+    /// statuses, outputs, per-instance event sequences and the merged
+    /// journal all agree.
+    #[test]
+    fn parallel_matches_sequential(s in scenario(), m in 1usize..6, workers in 1usize..5) {
+        let seq = engine_with(&s);
+        let par = engine_with(&s);
+        let ids: Vec<InstanceId> = (0..m)
+            .map(|_| {
+                let a = seq.start("prop", Container::empty()).unwrap();
+                let b = par.start("prop", Container::empty()).unwrap();
+                prop_assert_eq!(a, b);
+                Ok(a)
+            })
+            .collect::<Result<_, TestCaseError>>()?;
+
+        seq.run_all().unwrap();
+        par.run_all_parallel(workers).unwrap();
+
+        for &id in &ids {
+            prop_assert_eq!(seq.status(id).unwrap(), par.status(id).unwrap());
+            prop_assert_eq!(seq.output(id).unwrap(), par.output(id).unwrap());
+            prop_assert_eq!(seq.events_for(id), par.events_for(id));
+        }
+        prop_assert_eq!(seq.journal_events(), par.journal_events());
+    }
+}
+
+/// A deterministic, non-proptest smoke of the scheduler at scale:
+/// 100 chain instances across 8 workers, byte-identical journal to
+/// the sequential run.
+#[test]
+fn hundred_instances_parallel_equals_sequential() {
+    fn build_engine() -> Engine {
+        let fed = MultiDatabase::new(0);
+        let registry = Arc::new(ProgramRegistry::new());
+        registry.register_fn("ok", |_| ProgramOutcome::committed());
+        let mut b = ProcessBuilder::new("chain");
+        for i in 0..10 {
+            b = b.program(&format!("A{i}"), "ok");
+            if i > 0 {
+                b = b.connect_when(&format!("A{}", i - 1), &format!("A{i}"), "RC = 1");
+            }
+        }
+        let engine = Engine::new(fed, registry);
+        engine.register(b.build().unwrap()).unwrap();
+        engine
+    }
+
+    let seq = build_engine();
+    let par = build_engine();
+    for _ in 0..100 {
+        seq.start("chain", Container::empty()).unwrap();
+        par.start("chain", Container::empty()).unwrap();
+    }
+    seq.run_all().unwrap();
+    par.run_all_parallel(8).unwrap();
+
+    for (id, _, status) in seq.instances() {
+        assert_eq!(status, InstanceStatus::Finished);
+        assert_eq!(par.status(id).unwrap(), InstanceStatus::Finished);
+    }
+    assert_eq!(seq.journal_events(), par.journal_events());
+}
+
+/// The step-limit error surfaces from parallel workers too (first
+/// failing instance by id).
+#[test]
+fn parallel_propagates_step_limit() {
+    let fed = MultiDatabase::new(0);
+    let registry = Arc::new(ProgramRegistry::new());
+    registry.register_fn("ok", |_| ProgramOutcome::committed());
+    // Exit condition can never hold: RC is always 1.
+    let mut act = Activity::program("A", "ok");
+    act.exit = wfms_model::ExitCondition {
+        expr: Some(Expr::var_eq_int("RC", 0)),
+    };
+    let def = ProcessBuilder::new("livelock")
+        .activity(act)
+        .build()
+        .unwrap();
+    let engine = Engine::with_config(
+        fed,
+        registry,
+        wfms_engine::EngineConfig {
+            step_limit: 50,
+            ..Default::default()
+        },
+    );
+    engine.register(def).unwrap();
+    engine.start("livelock", Container::empty()).unwrap();
+    let err = engine.run_all_parallel(4).unwrap_err();
+    assert!(matches!(err, wfms_engine::EngineError::StepLimit(50)), "{err}");
+}

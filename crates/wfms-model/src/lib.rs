@@ -41,6 +41,7 @@ pub mod connector;
 pub mod container;
 pub mod dot;
 pub mod expr;
+pub mod intern;
 pub mod process;
 pub mod types;
 pub mod validate;
@@ -51,6 +52,7 @@ pub use connector::{ControlConnector, DataConnector, DataEndpoint, Mapping};
 pub use container::{Container, ContainerSchema, MemberDecl};
 pub use dot::to_dot;
 pub use expr::{Env, Expr, ExprError, MapEnv};
+pub use intern::Interner;
 pub use process::{ExitCondition, ProcessDefinition, StartCondition};
 pub use types::DataType;
 pub use validate::{validate, ValidationError};
