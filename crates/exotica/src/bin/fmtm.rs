@@ -6,6 +6,7 @@
 //! fmtm check <spec-file>                run all pipeline stages, report diagnostics
 //! fmtm lint <file> [options]            static analysis of an FDL or ATM spec file
 //! fmtm run <spec-file> [options]        execute the translated process
+//! fmtm crashtest <spec-file> [options]  crash-point sweep of the translated process
 //!
 //! lint options:
 //!   --format json                       machine-readable output
@@ -21,6 +22,20 @@
 //!   --instances M                       start M instances (default 1)
 //!   --parallel N                        drive instances across N worker
 //!                                       threads and report instances/sec
+//!
+//! crashtest options:
+//!   --fail LABEL=PLAN                   as for run; applied to every scenario
+//!   --seed N                            injector seed (default 0)
+//!   --instances M                       start M instances per scenario
+//!   --report PATH                       write the sweep reports as JSON
+//!   --no-torn-tail                      skip the torn half-written event
+//!   --quick                             sweep only the scenario given by
+//!                                       --fail/--seed; the default also
+//!                                       sweeps one always-fails variant
+//!                                       per step (scenarios whose
+//!                                       *reference* run does not terminate,
+//!                                       e.g. a retriable step forced to
+//!                                       always fail, are skipped)
 //! ```
 //!
 //! Programs are auto-provisioned: each step's forward program writes
@@ -43,8 +58,9 @@ fn main() -> ExitCode {
         Some("check") => check(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("crashtest") => crashtest(&args[1..]),
         _ => {
-            eprintln!("usage: fmtm <translate|dot|check|lint|run> <spec-file> [options]");
+            eprintln!("usage: fmtm <translate|dot|check|lint|run|crashtest> <spec-file> [options]");
             eprintln!("see `crates/exotica/src/bin/fmtm.rs` for option details");
             ExitCode::from(2)
         }
@@ -222,6 +238,56 @@ fn parse_plan(text: &str) -> Option<FailurePlan> {
     None
 }
 
+/// `(name, program, compensation)` for every step of a parsed spec.
+fn steps_of(spec: &exotica::ParsedSpec) -> Vec<(String, String, Option<String>)> {
+    match spec {
+        exotica::ParsedSpec::Saga(s) => s
+            .steps()
+            .map(|st| (st.name.clone(), st.program.clone(), st.compensation.clone()))
+            .collect(),
+        exotica::ParsedSpec::Flexible(f) => f
+            .steps
+            .iter()
+            .map(|st| (st.name.clone(), st.program.clone(), st.compensation.clone()))
+            .collect(),
+    }
+}
+
+/// Auto-provisions a fresh federation and program registry for a
+/// spec's steps: each forward program writes `<step> = 1` on a site
+/// chosen round-robin (consulting the injector under the step name),
+/// each compensation writes `<step> = -1`; then installs the failure
+/// plans.
+fn provision(
+    steps: &[(String, String, Option<String>)],
+    seed: u64,
+    plans: &[(String, FailurePlan)],
+) -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
+    let fed = MultiDatabase::new(seed);
+    let registry = Arc::new(ProgramRegistry::new());
+    for (i, (step, program, compensation)) in steps.iter().enumerate() {
+        let site = format!("site_{}", char::from(b'a' + (i % 3) as u8));
+        if fed.db(&site).is_none() {
+            fed.add_database(&site);
+        }
+        registry.register(Arc::new(
+            KvProgram::write(program, &site, step, 1i64).with_label(step),
+        ));
+        if let Some(comp) = compensation {
+            registry.register(Arc::new(KvProgram::write(
+                comp,
+                &site,
+                step,
+                Value::Int(-1),
+            )));
+        }
+    }
+    for (label, plan) in plans {
+        fed.injector().set_plan(label, plan.clone());
+    }
+    (fed, registry)
+}
+
 fn run(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!("fmtm run: missing spec file");
@@ -306,39 +372,8 @@ fn run(args: &[String]) -> ExitCode {
     };
 
     // Auto-provision the multidatabase and programs for the spec.
-    let fed = MultiDatabase::new(seed);
-    let registry = Arc::new(ProgramRegistry::new());
-    let steps: Vec<(String, String, Option<String>)> = match &out.spec {
-        exotica::ParsedSpec::Saga(s) => s
-            .steps()
-            .map(|st| (st.name.clone(), st.program.clone(), st.compensation.clone()))
-            .collect(),
-        exotica::ParsedSpec::Flexible(f) => f
-            .steps
-            .iter()
-            .map(|st| (st.name.clone(), st.program.clone(), st.compensation.clone()))
-            .collect(),
-    };
-    for (i, (step, program, compensation)) in steps.iter().enumerate() {
-        let site = format!("site_{}", char::from(b'a' + (i % 3) as u8));
-        if fed.db(&site).is_none() {
-            fed.add_database(&site);
-        }
-        registry.register(Arc::new(
-            KvProgram::write(program, &site, step, 1i64).with_label(step),
-        ));
-        if let Some(comp) = compensation {
-            registry.register(Arc::new(KvProgram::write(
-                comp,
-                &site,
-                step,
-                Value::Int(-1),
-            )));
-        }
-    }
-    for (label, plan) in &plans {
-        fed.injector().set_plan(label, plan.clone());
-    }
+    let steps = steps_of(&out.spec);
+    let (fed, registry) = provision(&steps, seed, &plans);
 
     let engine = Engine::new(Arc::clone(&fed), registry);
     // The pipeline already validated and compiled the process
@@ -422,6 +457,175 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
     if committed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}
+
+/// `fmtm crashtest` — the §3.3 forward-recovery oracle from the
+/// command line: for every journal prefix of the translated process's
+/// reference run, simulate an engine crash (optionally with a torn
+/// half-written trailing event), recover, resume, and require the
+/// outcome to be indistinguishable from the uncrashed run.
+fn crashtest(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("fmtm crashtest: missing spec file");
+        return ExitCode::from(2);
+    };
+    let src = match load(path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    let mut plans: Vec<(String, FailurePlan)> = Vec::new();
+    let mut seed = 0u64;
+    let mut instances = 1usize;
+    let mut report_path: Option<String> = None;
+    let mut torn_tail = true;
+    let mut quick = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fail" => {
+                let Some(kv) = args.get(i + 1) else {
+                    eprintln!("fmtm crashtest: --fail needs LABEL=PLAN");
+                    return ExitCode::from(2);
+                };
+                let Some((label, plan_text)) = kv.split_once('=') else {
+                    eprintln!("fmtm crashtest: --fail needs LABEL=PLAN, got {kv:?}");
+                    return ExitCode::from(2);
+                };
+                let Some(plan) = parse_plan(plan_text) else {
+                    eprintln!(
+                        "fmtm crashtest: unknown plan {plan_text:?} (use always, first:N, attempts:..)"
+                    );
+                    return ExitCode::from(2);
+                };
+                plans.push((label.to_owned(), plan));
+                i += 2;
+            }
+            "--seed" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    eprintln!("fmtm crashtest: --seed needs a number");
+                    return ExitCode::from(2);
+                };
+                seed = n;
+                i += 2;
+            }
+            "--instances" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    eprintln!("fmtm crashtest: --instances needs a number");
+                    return ExitCode::from(2);
+                };
+                instances = n;
+                i += 2;
+            }
+            "--report" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("fmtm crashtest: --report needs a path");
+                    return ExitCode::from(2);
+                };
+                report_path = Some(p.clone());
+                i += 2;
+            }
+            "--no-torn-tail" => {
+                torn_tail = false;
+                i += 1;
+            }
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("fmtm crashtest: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let out = match exotica::run_pipeline(&src) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("fmtm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let steps = steps_of(&out.spec);
+
+    // The scenario matrix: the run as configured on the command line,
+    // plus (unless --quick) one variant per step where that step
+    // always refuses — the sweep then covers both the forward path and
+    // every compensation/alternative-path routing the spec can take.
+    let mut scenarios: Vec<(String, Vec<(String, FailurePlan)>)> =
+        vec![("as-configured".to_owned(), plans.clone())];
+    if !quick {
+        for (step, _, _) in &steps {
+            let mut with = plans.clone();
+            with.push((step.clone(), FailurePlan::Always));
+            scenarios.push((format!("fail-{step}"), with));
+        }
+    }
+
+    let starts: Vec<(String, Container)> = (0..instances.max(1))
+        .map(|_| (out.process.name.clone(), Container::empty()))
+        .collect();
+    let cfg = wfms_engine::SweepConfig { torn_tail };
+    let mut reports: Vec<wfms_engine::SweepReport> = Vec::new();
+    let mut skipped = 0usize;
+    for (label, scenario_plans) in &scenarios {
+        let result = wfms_engine::crashtest::sweep(
+            label,
+            std::slice::from_ref(&out.process),
+            &starts,
+            &|| provision(&steps, seed, scenario_plans),
+            &cfg,
+        );
+        match result {
+            Ok(report) => {
+                println!("{}", report.summary());
+                reports.push(report);
+            }
+            Err(e) if label == "as-configured" => {
+                eprintln!("fmtm crashtest: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                // An auto-generated variant whose reference run does
+                // not terminate (e.g. a retriable step forced to
+                // always fail) poses no recovery question: skip it.
+                println!("{label}: skipped ({e})");
+                skipped += 1;
+            }
+        }
+    }
+
+    let all_ok = reports.iter().all(|r| r.ok());
+    let points: usize = reports.iter().map(|r| r.total_events + 1).sum();
+    println!(
+        "crashtest {:?}: {} scenario(s), {} crash point(s), {} skipped: {}",
+        out.spec.name(),
+        reports.len(),
+        points,
+        skipped,
+        if all_ok { "OK" } else { "FAILED" }
+    );
+
+    if let Some(p) = report_path {
+        let body = format!(
+            "[{}]",
+            reports
+                .iter()
+                .map(|r| r.to_json())
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        if let Err(e) = std::fs::write(&p, body) {
+            eprintln!("fmtm crashtest: cannot write report {p:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if all_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(3)

@@ -22,6 +22,14 @@
 //!   (experiment E4).
 //! * `Probability{p}` — seeded stochastic failures for the benchmark
 //!   sweeps (experiment B3).
+//!
+//! Stochastic plans are reproducible even under the engine's parallel
+//! scheduler: each label owns its **own** random stream, seeded with
+//! `seed ⊕ fnv1a(label)`. With one shared generator the decision a
+//! label saw would depend on how many draws *other* labels had made
+//! first — i.e. on thread interleaving — and `run_all_parallel` would
+//! diverge from the sequential run. Per-label streams make a label's
+//! k-th draw a pure function of `(seed, label, k)`.
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -70,34 +78,62 @@ pub enum CrashPoint {
 struct PlanState {
     plan: FailurePlan,
     attempts: u32,
+    /// This label's private random stream (seeded `seed ⊕
+    /// fnv1a(label)`), consulted only by `Probability` plans. Keeping
+    /// it per label makes stochastic decisions independent of what any
+    /// other label draws, so parallel and sequential runs agree.
+    rng: StdRng,
+}
+
+/// FNV-1a over the label bytes: a stable, dependency-free 64-bit hash
+/// (`std`'s `DefaultHasher` is explicitly allowed to change between
+/// releases, which would silently reshuffle every seeded benchmark).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// A shared, thread-safe failure-injection oracle.
 #[derive(Debug)]
 pub struct Injector {
     plans: Mutex<HashMap<String, PlanState>>,
-    rng: Mutex<StdRng>,
+    seed: u64,
 }
 
 /// Shared handle to an [`Injector`].
 pub type InjectorHandle = Arc<Injector>;
 
 impl Injector {
-    /// Creates an injector whose stochastic plans draw from a
-    /// generator seeded with `seed` (identical seeds ⇒ identical runs).
+    /// Creates an injector whose stochastic plans draw from per-label
+    /// generators derived from `seed` (identical seeds ⇒ identical
+    /// runs, regardless of scheduling).
     pub fn new(seed: u64) -> InjectorHandle {
         Arc::new(Self {
             plans: Mutex::new(HashMap::new()),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            seed,
         })
     }
 
+    /// The base seed the per-label streams are derived from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Installs (or replaces) the plan for `label`, resetting its
-    /// attempt counter.
+    /// attempt counter and re-seeding its random stream.
     pub fn set_plan(&self, label: &str, plan: FailurePlan) {
-        self.plans
-            .lock()
-            .insert(label.to_owned(), PlanState { plan, attempts: 0 });
+        self.plans.lock().insert(
+            label.to_owned(),
+            PlanState {
+                plan,
+                attempts: 0,
+                rng: StdRng::seed_from_u64(self.seed ^ fnv1a(label.as_bytes())),
+            },
+        );
     }
 
     /// Removes the plan for `label` (it reverts to `Never`).
@@ -120,8 +156,9 @@ impl Injector {
             FailurePlan::FirstN(n) => attempt < *n,
             FailurePlan::OnAttempts(set) => set.contains(&attempt),
             FailurePlan::Probability { p } => {
-                let roll: f64 = self.rng.lock().gen();
-                roll < *p
+                let p = *p;
+                let roll: f64 = state.rng.gen();
+                roll < p
             }
         };
         if fail {
@@ -224,6 +261,32 @@ mod tests {
         assert_eq!(inj.decide("x"), FailureAction::Abort);
         inj.clear_plan("x");
         assert_eq!(inj.decide("x"), FailureAction::Proceed);
+    }
+
+    #[test]
+    fn probability_streams_are_per_label() {
+        // Label "a"'s k-th decision is a pure function of (seed,
+        // label, k): interleaving draws on other labels — which is
+        // exactly what a parallel scheduler does — must not perturb it.
+        let solo = {
+            let inj = Injector::new(7);
+            inj.set_plan("a", FailurePlan::Probability { p: 0.5 });
+            (0..32).map(|_| inj.decide("a")).collect::<Vec<_>>()
+        };
+        let interleaved = {
+            let inj = Injector::new(7);
+            inj.set_plan("a", FailurePlan::Probability { p: 0.5 });
+            inj.set_plan("b", FailurePlan::Probability { p: 0.5 });
+            (0..32)
+                .map(|i| {
+                    for _ in 0..(i % 3) {
+                        inj.decide("b");
+                    }
+                    inj.decide("a")
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(solo, interleaved, "label streams are independent");
     }
 
     #[test]

@@ -38,6 +38,7 @@
 
 pub mod clock;
 pub mod db;
+pub mod durability;
 pub mod inject;
 pub mod lock;
 pub mod multidb;
@@ -49,6 +50,7 @@ pub mod wal;
 
 pub use clock::{Tick, VirtualClock};
 pub use db::{Database, DbConfig, DbError, DbStats};
+pub use durability::{DurabilityPolicy, MirrorError, TailReport, TornTail};
 pub use inject::{on_attempts, CrashPoint, FailureAction, FailurePlan, Injector, InjectorHandle};
 pub use lock::{LockError, LockManager, LockMode, LockStats};
 pub use multidb::MultiDatabase;

@@ -14,17 +14,28 @@
 //!
 //! The log can live purely in memory (fast, for tests and benchmarks
 //! that only crash "logically") or be mirrored to a file of JSON lines
-//! (one record per line, flushed on commit) so recovery across real
-//! process restarts works too.
+//! under a [`DurabilityPolicy`]. Commit and abort records always force
+//! a flush regardless of policy — the durability point is the commit
+//! point. Reopening a mirrored log tolerates a **torn tail** (a crash
+//! mid-append leaves a partial final line; it is truncated away with a
+//! diagnostic) while still rejecting mid-file corruption; see
+//! [`crate::durability::read_json_lines`] and `docs/recovery.md`.
+//!
+//! Mirror I/O errors do not panic: the first error is remembered
+//! ([`Wal::mirror_error`]), the file mirror is disabled, and the log
+//! keeps serving from memory so the owning database can surface the
+//! failure at its API boundary instead of dying mid-transaction.
 
+use crate::durability::{
+    atomic_rewrite, read_json_lines, DurabilityPolicy, DurableWriter, MirrorError, TailReport,
+};
 use crate::storage::Storage;
 use crate::txn::TxnId;
 use crate::value::Value;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
 
 /// Log sequence number: the index of a record in the log.
 pub type Lsn = u64;
@@ -66,11 +77,26 @@ impl LogRecord {
     }
 }
 
+/// The file mirror of a [`Wal`]: the policy-driven writer plus the
+/// path (needed for atomic compaction rewrites).
+#[derive(Debug)]
+struct WalMirror {
+    writer: DurableWriter,
+    path: PathBuf,
+}
+
 /// The write-ahead log of one local database.
+///
+/// Lock order (matters for the append/compact race): `records` is
+/// always acquired **before** `mirror`, and the `records` lock is held
+/// across the mirror write — so the file's record order is exactly the
+/// in-memory order, and a concurrent `compact` can never rewrite the
+/// file while an append sits between "in memory" and "in file".
 #[derive(Debug, Default)]
 pub struct Wal {
     records: Mutex<Vec<LogRecord>>,
-    file: Option<Mutex<BufWriter<File>>>,
+    mirror: Mutex<Option<WalMirror>>,
+    mirror_error: Mutex<Option<MirrorError>>,
 }
 
 impl Wal {
@@ -80,48 +106,106 @@ impl Wal {
         Self::default()
     }
 
-    /// A log mirrored to `path` (appending if the file exists). Each
-    /// record is one JSON line; the writer is flushed on commit/abort
-    /// records so the durability point matches the commit point.
+    /// A log mirrored to `path` (appending if the file exists) under
+    /// the default [`DurabilityPolicy::PerEvent`].
     pub fn with_file(path: &Path) -> std::io::Result<Self> {
-        let mut wal = Self::new();
-        if path.exists() {
-            let reader = BufReader::new(File::open(path)?);
-            let mut records = Vec::new();
-            for line in reader.lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let rec: LogRecord = serde_json::from_str(&line).map_err(|e| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, e)
-                })?;
-                records.push(rec);
-            }
-            wal.records = Mutex::new(records);
-        }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        wal.file = Some(Mutex::new(BufWriter::new(file)));
-        Ok(wal)
+        Self::with_file_policy(path, DurabilityPolicy::default())
     }
 
-    /// Appends a record, returning its LSN.
-    pub fn append(&self, rec: LogRecord) -> Lsn {
-        let flush = matches!(rec, LogRecord::Commit { .. } | LogRecord::Abort { .. });
-        if let Some(file) = &self.file {
-            let mut w = file.lock();
-            // Serialization of LogRecord cannot fail; IO errors on the
-            // mirror are surfaced as panics because a database whose
-            // log cannot be written must stop.
-            let line = serde_json::to_string(&rec).expect("LogRecord is always serializable");
-            writeln!(w, "{line}").expect("WAL mirror write failed");
-            if flush {
-                w.flush().expect("WAL mirror flush failed");
+    /// A log mirrored to `path` under an explicit durability policy.
+    /// Commit/abort records force a flush under every policy.
+    pub fn with_file_policy(path: &Path, policy: DurabilityPolicy) -> std::io::Result<Self> {
+        Self::with_file_report(path, policy).map(|(wal, _)| wal)
+    }
+
+    /// Like [`Wal::with_file_policy`] but also returns the
+    /// [`TailReport`] of the reopen — tests and recovery audits use it
+    /// to observe whether a torn tail was truncated.
+    pub fn with_file_report(
+        path: &Path,
+        policy: DurabilityPolicy,
+    ) -> std::io::Result<(Self, TailReport)> {
+        let wal = Self::new();
+        let mut report = TailReport::default();
+        if path.exists() {
+            let (records, rep) = read_json_lines::<LogRecord>(path)?;
+            if let Some(tail) = &rep.torn_tail {
+                eprintln!(
+                    "wal: torn tail in {} at byte {}: truncated partial record {:?}",
+                    path.display(),
+                    tail.offset,
+                    tail.discarded
+                );
             }
+            report = rep;
+            *wal.records.lock() = records;
         }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        *wal.mirror.lock() = Some(WalMirror {
+            writer: DurableWriter::new(file, policy),
+            path: path.to_path_buf(),
+        });
+        Ok((wal, report))
+    }
+
+    /// Test-only: mirrors the log to an already-open `file` (e.g. one
+    /// opened read-only, to exercise the mirror-failure path).
+    #[doc(hidden)]
+    pub fn with_injected_file(file: std::fs::File, path: PathBuf, policy: DurabilityPolicy) -> Self {
+        let wal = Self::new();
+        *wal.mirror.lock() = Some(WalMirror {
+            writer: DurableWriter::new(file, policy),
+            path,
+        });
+        wal
+    }
+
+    /// The first mirror I/O error hit, if any. Once set, the file
+    /// mirror is disabled and the log serves from memory only.
+    pub fn mirror_error(&self) -> Option<MirrorError> {
+        self.mirror_error.lock().clone()
+    }
+
+    /// Records the first mirror failure and disables the mirror.
+    fn fail_mirror(guard: &mut Option<WalMirror>, sticky: &Mutex<Option<MirrorError>>, context: &str, e: &std::io::Error) {
+        let err = MirrorError::new(context, e);
+        eprintln!("wal: {err}; disabling file mirror, log continues in memory");
+        let mut slot = sticky.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        *guard = None;
+    }
+
+    /// Appends a record, returning its LSN. Never panics on mirror
+    /// I/O failure — see [`Wal::mirror_error`].
+    pub fn append(&self, rec: LogRecord) -> Lsn {
+        let barrier = matches!(rec, LogRecord::Commit { .. } | LogRecord::Abort { .. });
+        // Serialization of LogRecord cannot fail: every variant is
+        // plain data with serializable fields.
+        let line = serde_json::to_string(&rec).expect("LogRecord is always serializable");
         let mut records = self.records.lock();
         records.push(rec);
-        (records.len() - 1) as Lsn
+        let lsn = (records.len() - 1) as Lsn;
+        let mut guard = self.mirror.lock();
+        if let Some(m) = guard.as_mut() {
+            if let Err(e) = m.writer.append_line(&line, barrier) {
+                Self::fail_mirror(&mut guard, &self.mirror_error, "append", &e);
+            }
+        }
+        lsn
+    }
+
+    /// Forces buffered mirror lines to the file (a durability barrier
+    /// under any policy; a no-op for unmirrored logs).
+    pub fn flush(&self) {
+        let _records = self.records.lock();
+        let mut guard = self.mirror.lock();
+        if let Some(m) = guard.as_mut() {
+            if let Err(e) = m.writer.flush() {
+                Self::fail_mirror(&mut guard, &self.mirror_error, "flush", &e);
+            }
+        }
     }
 
     /// Number of records in the log.
@@ -200,8 +284,10 @@ impl Wal {
 
     /// Drops every record before the last checkpoint (log compaction).
     /// A no-op when the log holds no checkpoint. When the log is
-    /// mirrored to a file, the file is rewritten to match. Returns the
-    /// number of records dropped.
+    /// mirrored to a file, the file is **atomically rewritten** (temp
+    /// file + rename): a crash during compaction leaves either the old
+    /// or the new complete file, never a half-truncated one. Returns
+    /// the number of records dropped.
     pub fn compact(&self) -> usize {
         let mut records = self.records.lock();
         let Some(start) = records
@@ -212,24 +298,15 @@ impl Wal {
         };
         let dropped = start;
         records.drain(..start);
-        if let Some(file) = &self.file {
-            // Rewrite the mirror: flush any buffered lines first (the
-            // truncation below acts on the file, not the buffer), then
-            // truncate and re-append the tail.
-            let mut w = file.lock();
-            w.flush().expect("WAL mirror flush failed");
-            let inner = w.get_mut();
-            use std::io::Seek;
-            inner.set_len(0).expect("WAL mirror truncate failed");
-            inner
-                .seek(std::io::SeekFrom::Start(0))
-                .expect("WAL mirror seek failed");
-            for rec in records.iter() {
-                let line =
-                    serde_json::to_string(rec).expect("LogRecord is always serializable");
-                writeln!(w, "{line}").expect("WAL mirror write failed");
+        let mut guard = self.mirror.lock();
+        if let Some(m) = guard.as_mut() {
+            let lines = records
+                .iter()
+                .map(|rec| serde_json::to_string(rec).expect("LogRecord is always serializable"));
+            match atomic_rewrite(&m.path, lines) {
+                Ok(file) => m.writer.replace_file(file),
+                Err(e) => Self::fail_mirror(&mut guard, &self.mirror_error, "compact", &e),
             }
-            w.flush().expect("WAL mirror flush failed");
         }
         dropped
     }
@@ -267,6 +344,16 @@ mod tests {
             before: before.map(Value::Int),
             after: after.map(Value::Int),
         }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wftx-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -372,12 +459,7 @@ mod tests {
 
     #[test]
     fn file_mirror_compaction_rewrites_file() {
-        let dir = std::env::temp_dir().join(format!(
-            "wftx-wal-ckpt-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmp_dir("ckpt");
         let path = dir.join("db.wal");
         let _ = std::fs::remove_file(&path);
         {
@@ -389,9 +471,11 @@ mod tests {
                 state: vec![("k".into(), Value::Int(7))],
             });
             assert_eq!(wal.compact(), 3);
+            assert!(wal.mirror_error().is_none());
         }
         // Reopen: only the checkpoint survives, and replay still
-        // reproduces the state.
+        // reproduces the state. The compaction temp file is gone.
+        assert!(!dir.join("db.rewrite-tmp").exists());
         let wal2 = Wal::with_file(&path).unwrap();
         assert_eq!(wal2.len(), 1);
         let storage = Storage::new();
@@ -402,12 +486,7 @@ mod tests {
 
     #[test]
     fn file_mirror_round_trips() {
-        let dir = std::env::temp_dir().join(format!(
-            "wftx-wal-test-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmp_dir("roundtrip");
         let path = dir.join("db.wal");
         let _ = std::fs::remove_file(&path);
         {
@@ -422,6 +501,129 @@ mod tests {
         let storage = Storage::new();
         wal2.replay_committed(&storage);
         assert_eq!(storage.get("k"), Some(Value::Int(42)));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_reopen_recovers() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("db.wal");
+        {
+            let wal = Wal::with_file(&path).unwrap();
+            wal.append(LogRecord::Begin { txn: t(1) });
+            wal.append(upd(1, "k", None, Some(5)));
+            wal.append(LogRecord::Commit { txn: t(1) });
+        }
+        // Simulate a crash mid-append: half of a Begin record.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"Begin\":{{\"tx").unwrap();
+        }
+        let (wal2, report) =
+            Wal::with_file_report(&path, DurabilityPolicy::PerEvent).unwrap();
+        assert_eq!(wal2.len(), 3, "complete records survive");
+        let tail = report.torn_tail.expect("torn tail reported");
+        assert_eq!(tail.discarded, "{\"Begin\":{\"tx");
+        let storage = Storage::new();
+        wal2.replay_committed(&storage);
+        assert_eq!(storage.get("k"), Some(Value::Int(5)));
+        // The WAL is writable again after truncation: new appends land
+        // on a clean record boundary.
+        wal2.append(LogRecord::Begin { txn: t(2) });
+        wal2.append(LogRecord::Abort { txn: t(2) });
+        drop(wal2);
+        let wal3 = Wal::with_file(&path).unwrap();
+        assert_eq!(wal3.len(), 5);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_still_rejected() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join("db.wal");
+        std::fs::write(
+            &path,
+            "{\"Begin\":{\"txn\":1}}\ngarbage\n{\"Commit\":{\"txn\":1}}\n",
+        )
+        .unwrap();
+        let err = Wal::with_file(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mirror_write_failure_is_sticky_not_fatal() {
+        let dir = tmp_dir("sticky");
+        let path = dir.join("db.wal");
+        std::fs::write(&path, "").unwrap();
+        // A read-only handle makes every write fail (EBADF), which
+        // stands in for disk-full without needing a full disk.
+        let ro = OpenOptions::new().read(true).open(&path).unwrap();
+        let wal =
+            Wal::with_injected_file(ro, path.clone(), DurabilityPolicy::PerEvent);
+        let lsn = wal.append(LogRecord::Begin { txn: t(1) });
+        assert_eq!(lsn, 0, "in-memory log keeps working");
+        let err = wal.mirror_error().expect("first failure recorded");
+        assert!(err.message.contains("append"), "{err}");
+        // Later appends neither panic nor overwrite the first error.
+        wal.append(LogRecord::Commit { txn: t(1) });
+        assert_eq!(wal.mirror_error(), Some(err));
+        assert_eq!(wal.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_policy_commit_is_still_a_barrier() {
+        let dir = tmp_dir("batch");
+        let path = dir.join("db.wal");
+        let wal =
+            Wal::with_file_policy(&path, DurabilityPolicy::Batched { n: 100 }).unwrap();
+        wal.append(LogRecord::Begin { txn: t(1) });
+        wal.append(upd(1, "k", None, Some(1)));
+        // Nothing flushed yet under Batched{100}...
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "");
+        // ...but a commit record forces the group to disk.
+        wal.append(LogRecord::Commit { txn: t(1) });
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk.lines().count(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_append_and_compact_keep_file_consistent() {
+        let dir = tmp_dir("race");
+        let path = dir.join("db.wal");
+        let wal = std::sync::Arc::new(Wal::with_file(&path).unwrap());
+        wal.append(LogRecord::Checkpoint { state: vec![] });
+        let appender = {
+            let wal = wal.clone();
+            std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    wal.append(LogRecord::Begin { txn: t(i) });
+                    wal.append(LogRecord::Abort { txn: t(i) });
+                }
+            })
+        };
+        let compactor = {
+            let wal = wal.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    wal.compact();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        appender.join().unwrap();
+        compactor.join().unwrap();
+        assert!(wal.mirror_error().is_none());
+        wal.flush();
+        let in_memory = wal.records();
+        drop(wal);
+        // The file must hold exactly the in-memory records: no append
+        // lost to a concurrent rewrite, no duplicated tail.
+        let wal2 = Wal::with_file(&path).unwrap();
+        assert_eq!(wal2.records(), in_memory);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -1,0 +1,447 @@
+//! Deterministic crash-point sweep — the standing oracle for §3.3's
+//! "forward recovery is always guaranteed".
+//!
+//! The paper's claim is universally quantified: *wherever* the engine
+//! dies, recovery resumes the process from that point. Sampling a few
+//! crash sites (as the step-granularity tests in `recovery_e2e.rs` do)
+//! cannot establish that; in the spirit of the model-checking
+//! approaches to transactional workflows, the sweep **enumerates every
+//! failure point** instead. For each prefix length `k` of a reference
+//! run's journal it simulates a crash that preserved exactly the first
+//! `k` events (optionally plus a torn half-written event `k+1`),
+//! recovers with [`crate::recovery::recover`], resumes to quiescence,
+//! and requires the recovered run to be indistinguishable from the
+//! uncrashed one. The crash kills the *engine*; the journal file and
+//! the federation's databases are durable and survive (§2.1's
+//! autonomous local systems), so each crash point re-runs the process
+//! on its own world with a file journal, drops the engine, truncates
+//! the journal to the `k`-event prefix, and recovers in place.
+//! Indistinguishable means:
+//!
+//! * every instance whose `InstanceStarted` survived reaches the same
+//!   final status and process output;
+//! * the journal's first `k` events are untouched (recovery never
+//!   rewrites history);
+//! * the events appended after recovery equal the reference run's
+//!   suffix, modulo **re-dispatch duplicates**: an activity that was
+//!   mid-execution at the crash is re-executed from the beginning
+//!   (§3.3's explicit caveat), so its `ActivityReady`/`ActivityStarted`
+//!   may be journalled a second time at the same `(path, attempt)` —
+//!   those repeats are filtered before comparing, and nothing else is;
+//! * the final contents of every database in the federation match —
+//!   resumption may re-apply idempotent writes, never different ones.
+//!
+//! Scope: the sweep drives **automatic** activities (the appendix
+//! fixtures and the property-test DAGs are fully automatic; manual
+//! work items need a scripted user, which step-granularity tests
+//! cover). Failure plans consulted by programs must be
+//! attempt-insensitive (`Always`/`Never`/probability with a fixed
+//! decision per label): re-execution legitimately consumes extra
+//! injector attempts, exactly as a real re-run would.
+//!
+//! Instances whose start event was lost are gone entirely — there is
+//! nothing durable to recover them *from*; a client would resubmit.
+//! The sweep checks that they are cleanly absent, not half-present.
+
+use crate::engine::EngineConfig;
+use crate::event::{Event, InstanceId};
+use crate::org::OrgModel;
+use crate::recovery;
+use crate::state::InstanceStatus;
+use serde::Serialize;
+use std::collections::{BTreeMap, HashSet};
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use txn_substrate::{MultiDatabase, ProgramRegistry};
+use wfms_model::{Container, ProcessDefinition};
+
+/// A factory producing a **fresh, identically-configured world** —
+/// federation (databases populated, injector plans installed) and
+/// program registry — for the reference run and for every crash
+/// point. Worlds must be deterministic: same factory, same behaviour.
+pub type WorldFactory<'a> = dyn Fn() -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) + 'a;
+
+/// Sweep options.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Additionally write a torn (half-serialized, newline-less) copy
+    /// of event `k+1` after each `k`-event prefix, exercising the
+    /// torn-tail truncation on every reopen.
+    pub torn_tail: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self { torn_tail: true }
+    }
+}
+
+/// Outcome of one simulated crash point.
+#[derive(Debug, Clone, Serialize)]
+pub struct CrashPointResult {
+    /// Number of journal events that survived the crash.
+    pub k: usize,
+    /// Recovery reproduced the reference run.
+    pub ok: bool,
+    /// First divergence, empty when `ok`.
+    pub detail: String,
+}
+
+/// Outcome of a full sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepReport {
+    /// Caller-supplied label (process/fixture name).
+    pub label: String,
+    /// Reference journal length (the sweep runs `0..=total_events`).
+    pub total_events: usize,
+    /// Whether torn tails were injected at each point.
+    pub torn_tail: bool,
+    /// Crash points that recovered correctly.
+    pub passed: usize,
+    /// Crash points that diverged.
+    pub failed: usize,
+    /// Only the failing points (an all-green sweep stays small).
+    pub failures: Vec<CrashPointResult>,
+}
+
+impl SweepReport {
+    /// True when every crash point recovered correctly.
+    pub fn ok(&self) -> bool {
+        self.failed == 0
+    }
+
+    /// The report as a JSON document (for the CI artifact).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("SweepReport is always serializable")
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {}/{} crash points ok{}{}",
+            self.label,
+            self.passed,
+            self.passed + self.failed,
+            if self.torn_tail { " (torn tails injected)" } else { "" },
+            if self.failed > 0 {
+                format!("; first failure at k={}", self.failures[0].k)
+            } else {
+                String::new()
+            }
+        )
+    }
+}
+
+/// Identity of a dispatch event, used to filter re-dispatch
+/// duplicates: `(ready? started?, instance, path, attempt)`. Within
+/// one run a given activity attempt is dispatched at most once, so a
+/// suffix event whose key already occurs in the prefix can only be the
+/// recovery re-dispatch of an in-flight activity.
+fn dispatch_key(ev: &Event) -> Option<(bool, InstanceId, String, u32)> {
+    match ev {
+        Event::ActivityReady {
+            instance,
+            path,
+            attempt,
+            ..
+        } => Some((false, *instance, path.clone(), *attempt)),
+        Event::ActivityStarted {
+            instance,
+            path,
+            attempt,
+            ..
+        } => Some((true, *instance, path.clone(), *attempt)),
+        _ => None,
+    }
+}
+
+static SWEEP_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Runs the crash-point sweep for the given templates and instance
+/// starts. `make_world` is invoked once for the reference run and once
+/// per crash point. Returns `Err` only if the *reference* run itself
+/// fails; divergences at crash points are recorded in the report.
+pub fn sweep(
+    label: &str,
+    templates: &[ProcessDefinition],
+    starts: &[(String, Container)],
+    make_world: &WorldFactory<'_>,
+    cfg: &SweepConfig,
+) -> Result<SweepReport, String> {
+    // Reference run, in memory (the crash prefixes are materialised to
+    // files below; the reference itself never crashes).
+    let (multidb, programs) = make_world();
+    let engine = crate::Engine::with_config(multidb.clone(), programs, EngineConfig::default());
+    for t in templates {
+        engine
+            .register(t.clone())
+            .map_err(|e| format!("reference register failed: {e}"))?;
+    }
+    let mut ids = Vec::new();
+    for (process, input) in starts {
+        ids.push(
+            engine
+                .start(process, input.clone())
+                .map_err(|e| format!("reference start failed: {e}"))?,
+        );
+    }
+    engine
+        .run_all()
+        .map_err(|e| format!("reference run failed: {e}"))?;
+    let ref_events = engine.journal_events();
+    let ref_status: BTreeMap<InstanceId, InstanceStatus> = ids
+        .iter()
+        .map(|&id| (id, engine.status(id).expect("started above")))
+        .collect();
+    let ref_outputs: BTreeMap<InstanceId, Container> = ids
+        .iter()
+        .map(|&id| (id, engine.output(id).expect("started above")))
+        .collect();
+    let ref_db = federation_snapshot(&multidb);
+    drop(engine);
+
+    let dir = std::env::temp_dir().join(format!(
+        "wfms-crashsweep-{}-{}",
+        std::process::id(),
+        SWEEP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create sweep dir: {e}"))?;
+
+    let n = ref_events.len();
+    let mut report = SweepReport {
+        label: label.to_owned(),
+        total_events: n,
+        torn_tail: cfg.torn_tail,
+        passed: 0,
+        failed: 0,
+        failures: Vec::new(),
+    };
+    for k in 0..=n {
+        let detail = run_crash_point(
+            &dir,
+            k,
+            templates,
+            starts,
+            &ref_events,
+            &ref_status,
+            &ref_outputs,
+            &ref_db,
+            make_world,
+            cfg,
+        );
+        match detail {
+            None => report.passed += 1,
+            Some(detail) => {
+                report.failed += 1;
+                report.failures.push(CrashPointResult {
+                    k,
+                    ok: false,
+                    detail,
+                });
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(report)
+}
+
+/// The final committed contents of every database in the federation.
+fn federation_snapshot(
+    multidb: &Arc<MultiDatabase>,
+) -> BTreeMap<String, BTreeMap<String, txn_substrate::Value>> {
+    multidb
+        .names()
+        .into_iter()
+        .filter_map(|name| {
+            let db = multidb.db(&name)?;
+            Some((name, db.snapshot()))
+        })
+        .collect()
+}
+
+/// One crash point: re-run the process on a fresh world against a
+/// file journal, "crash" by dropping the engine and truncating the
+/// journal to its `k`-event prefix (plus optional torn tail), recover
+/// **against the same federation** — local databases are durable,
+/// autonomous systems that survive an engine crash (§2.1) — resume,
+/// compare. Returns `None` on success, `Some(first divergence)`
+/// otherwise.
+#[allow(clippy::too_many_arguments)]
+fn run_crash_point(
+    dir: &std::path::Path,
+    k: usize,
+    templates: &[ProcessDefinition],
+    starts: &[(String, Container)],
+    ref_events: &[Event],
+    ref_status: &BTreeMap<InstanceId, InstanceStatus>,
+    ref_outputs: &BTreeMap<InstanceId, Container>,
+    ref_db: &BTreeMap<String, BTreeMap<String, txn_substrate::Value>>,
+    make_world: &WorldFactory<'_>,
+    cfg: &SweepConfig,
+) -> Option<String> {
+    let path = dir.join(format!("crash_{k}.journal"));
+    let (multidb, programs) = make_world();
+
+    // Pre-crash run: same deterministic world, journal mirrored to a
+    // file. It must reproduce the reference journal byte for byte —
+    // otherwise the factory is not deterministic and every comparison
+    // below would be meaningless.
+    {
+        let engine = crate::Engine::with_config(
+            multidb.clone(),
+            programs.clone(),
+            EngineConfig {
+                journal_path: Some(path.clone()),
+                ..EngineConfig::default()
+            },
+        );
+        for t in templates {
+            if let Err(e) = engine.register(t.clone()) {
+                return Some(format!("pre-crash register failed: {e}"));
+            }
+        }
+        for (process, input) in starts {
+            if let Err(e) = engine.start(process, input.clone()) {
+                return Some(format!("pre-crash start failed: {e}"));
+            }
+        }
+        if let Err(e) = engine.run_all() {
+            return Some(format!("pre-crash run failed: {e}"));
+        }
+        if engine.journal_events() != ref_events {
+            return Some("world factory is not deterministic: pre-crash run diverged".to_owned());
+        }
+        // The crash: the engine vanishes; the journal file and the
+        // federation's databases survive.
+        drop(engine);
+    }
+
+    // Truncate the journal to what a crash after event `k` would have
+    // left durable.
+    {
+        let mut f = match std::fs::File::create(&path) {
+            Ok(f) => f,
+            Err(e) => return Some(format!("cannot write prefix: {e}")),
+        };
+        for ev in &ref_events[..k] {
+            let line = serde_json::to_string(ev).expect("Event is always serializable");
+            if let Err(e) = writeln!(f, "{line}") {
+                return Some(format!("cannot write prefix: {e}"));
+            }
+        }
+        if cfg.torn_tail && k < ref_events.len() {
+            // The crash interrupted the append of event k+1: half its
+            // bytes reached the file, no trailing newline.
+            let line = serde_json::to_string(&ref_events[k]).expect("serializable");
+            let torn = &line[..line.len() / 2];
+            if let Err(e) = write!(f, "{torn}") {
+                return Some(format!("cannot write torn tail: {e}"));
+            }
+        }
+    }
+
+    let engine = match recovery::recover(
+        &path,
+        templates.to_vec(),
+        OrgModel::new(),
+        multidb.clone(),
+        programs,
+    ) {
+        Ok(e) => e,
+        Err(e) => return Some(format!("recover failed: {e}")),
+    };
+    if let Err(e) = engine.run_all() {
+        return Some(format!("resume failed: {e}"));
+    }
+
+    // Which reference instances survived the crash? Only those whose
+    // InstanceStarted made it into the prefix exist anywhere.
+    let known: HashSet<InstanceId> = ref_events[..k]
+        .iter()
+        .filter_map(|e| match e {
+            Event::InstanceStarted { instance, .. } => Some(*instance),
+            _ => None,
+        })
+        .collect();
+    let have: HashSet<InstanceId> = engine.instances().iter().map(|(id, _, _)| *id).collect();
+    if have != known {
+        return Some(format!(
+            "instance set mismatch: recovered {have:?}, journal prefix knows {known:?}"
+        ));
+    }
+
+    for (&id, &want) in ref_status {
+        if !known.contains(&id) {
+            continue;
+        }
+        match engine.status(id) {
+            Ok(got) if got == want => {}
+            Ok(got) => return Some(format!("instance {id}: status {got:?} != {want:?}")),
+            Err(e) => return Some(format!("instance {id}: {e}")),
+        }
+        let want_out = &ref_outputs[&id];
+        match engine.output(id) {
+            Ok(got) if got == *want_out => {}
+            Ok(got) => {
+                return Some(format!("instance {id}: output {got:?} != {want_out:?}"))
+            }
+            Err(e) => return Some(format!("instance {id}: {e}")),
+        }
+    }
+
+    // Journal: prefix untouched, suffix equal to the reference's
+    // (modulo re-dispatch duplicates; restricted to surviving
+    // instances — lost ones have no events on either side to compare).
+    let rec_events = engine.journal_events();
+    if rec_events.len() < k || rec_events[..k] != ref_events[..k] {
+        return Some("recovery rewrote the journal prefix".to_owned());
+    }
+    let prefix_keys: HashSet<_> = ref_events[..k].iter().filter_map(dispatch_key).collect();
+    let rec_suffix: Vec<&Event> = rec_events[k..]
+        .iter()
+        .filter(|e| match dispatch_key(e) {
+            Some(key) => !prefix_keys.contains(&key),
+            None => true,
+        })
+        .collect();
+    let want_suffix: Vec<&Event> = ref_events[k..]
+        .iter()
+        .filter(|e| match e.instance() {
+            Some(id) => known.contains(&id),
+            None => true,
+        })
+        .collect();
+    if rec_suffix.len() != want_suffix.len()
+        || rec_suffix
+            .iter()
+            .zip(&want_suffix)
+            .any(|(a, b)| **a != **b)
+    {
+        let at = rec_suffix
+            .iter()
+            .zip(&want_suffix)
+            .position(|(a, b)| **a != **b)
+            .unwrap_or(want_suffix.len().min(rec_suffix.len()));
+        return Some(format!(
+            "journal suffix diverges at event {} (recovered {} vs reference {} events): \
+             recovered={:?} reference={:?}",
+            k + at,
+            rec_suffix.len(),
+            want_suffix.len(),
+            rec_suffix.get(at).map(|e| e.describe()),
+            want_suffix.get(at).map(|e| e.describe()),
+        ));
+    }
+
+    // Databases are durable and shared with the pre-crash run, so the
+    // final federation state must equal the reference's — resumption
+    // may re-apply idempotent writes but must never apply *different*
+    // ones (e.g. wrongly re-running a compensated activity would flip
+    // a marker back and be caught here).
+    let got_db = federation_snapshot(&multidb);
+    if got_db != *ref_db {
+        return Some(format!("database state diverges: {got_db:?} != {ref_db:?}"));
+    }
+    None
+}

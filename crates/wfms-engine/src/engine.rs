@@ -21,7 +21,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use txn_substrate::{MultiDatabase, ProgramRegistry, VirtualClock};
+use txn_substrate::{DurabilityPolicy, MirrorError, MultiDatabase, ProgramRegistry, VirtualClock};
 use wfms_model::{validate, Container, ProcessDefinition, ValidationError};
 
 /// Errors surfaced by the engine API.
@@ -46,6 +46,12 @@ pub enum EngineError {
     /// always a livelock from an exit condition that can never become
     /// true.
     StepLimit(usize),
+    /// The journal's file mirror failed (disk full, permissions, …).
+    /// The in-memory journal and all instance state are intact — the
+    /// engine *parks* rather than panicking — but nothing further is
+    /// durable, so the caller must decide whether to carry on
+    /// memory-only or stop and repair.
+    Journal(MirrorError),
 }
 
 impl std::fmt::Display for EngineError {
@@ -67,6 +73,9 @@ impl std::fmt::Display for EngineError {
             EngineError::StepLimit(n) => {
                 write!(f, "step limit of {n} reached; livelocked exit condition?")
             }
+            EngineError::Journal(e) => {
+                write!(f, "journal mirror failed (instances parked): {e}")
+            }
         }
     }
 }
@@ -79,6 +88,12 @@ impl From<WorklistError> for EngineError {
     }
 }
 
+impl From<MirrorError> for EngineError {
+    fn from(e: MirrorError) -> Self {
+        EngineError::Journal(e)
+    }
+}
+
 /// Construction-time options.
 pub struct EngineConfig {
     /// Organization database.
@@ -86,6 +101,9 @@ pub struct EngineConfig {
     /// Mirror the journal to this file (enables recovery across real
     /// process restarts).
     pub journal_path: Option<PathBuf>,
+    /// When the journal mirror flushes/syncs (ignored without
+    /// `journal_path`). See [`DurabilityPolicy`].
+    pub durability: DurabilityPolicy,
     /// Upper bound on navigation steps per `run_to_quiescence` call.
     pub step_limit: usize,
 }
@@ -95,6 +113,7 @@ impl Default for EngineConfig {
         Self {
             org: OrgModel::new(),
             journal_path: None,
+            durability: DurabilityPolicy::default(),
             step_limit: 1_000_000,
         }
     }
@@ -133,7 +152,8 @@ impl Engine {
         config: EngineConfig,
     ) -> Self {
         let journal = match &config.journal_path {
-            Some(p) => Journal::with_file(p).expect("cannot open journal file"),
+            Some(p) => Journal::with_file_policy(p, config.durability)
+                .expect("cannot open journal file"),
             None => Journal::new(),
         };
         let clock = multidb.clock().clone();
@@ -149,6 +169,18 @@ impl Engine {
             programs,
             multidb,
             clock,
+        }
+    }
+
+    /// Surfaces a journal-mirror failure as [`EngineError::Journal`].
+    /// Checked at every navigation entry point: once the mirror is
+    /// broken nothing further would be durable, so affected instances
+    /// park (their in-memory state is untouched and still queryable)
+    /// instead of the engine panicking mid-navigation.
+    fn check_journal(&self) -> Result<(), EngineError> {
+        match self.journal.mirror_error() {
+            Some(e) => Err(EngineError::Journal(e)),
+            None => Ok(()),
         }
     }
 
@@ -256,6 +288,7 @@ impl Engine {
     /// by crash tests and benchmarks that need to stop an instance at
     /// an exact point.
     pub fn step(&self, id: InstanceId) -> Result<bool, EngineError> {
+        self.check_journal()?;
         let mut instances = self.instances.lock();
         let inst = instances
             .get_mut(&id)
@@ -264,6 +297,7 @@ impl Engine {
             return Ok(false);
         };
         navigator::execute_activity(inst, &self.services(), &path, None);
+        self.check_journal()?;
         Ok(true)
     }
 
@@ -272,12 +306,16 @@ impl Engine {
     /// Manual activities stay on worklists. Returns the instance
     /// status at quiescence.
     pub fn run_to_quiescence(&self, id: InstanceId) -> Result<InstanceStatus, EngineError> {
+        self.check_journal()?;
         let mut instances = self.instances.lock();
         let inst = instances
             .get_mut(&id)
             .ok_or(EngineError::UnknownInstance(id))?;
         match navigator::drive_to_quiescence(inst, &self.services(), self.step_limit) {
-            Some(_) => Ok(inst.status),
+            Some(_) => {
+                self.check_journal()?;
+                Ok(inst.status)
+            }
             None => Err(EngineError::StepLimit(self.step_limit)),
         }
     }
@@ -360,7 +398,7 @@ impl Engine {
         self.journal.append_batch(merged);
         match first_err {
             Some(e) => Err(e),
-            None => Ok(()),
+            None => self.check_journal(),
         }
     }
 
@@ -429,6 +467,7 @@ impl Engine {
     /// still offered), then continues automatic navigation of the
     /// instance.
     pub fn execute_item(&self, item: WorkItemId, person: &str) -> Result<(), EngineError> {
+        self.check_journal()?;
         let it = {
             let mut worklists = self.worklists.lock();
             let it = worklists
@@ -497,6 +536,7 @@ impl Engine {
         path: &str,
         rc: i64,
     ) -> Result<(), EngineError> {
+        self.check_journal()?;
         let mut instances = self.instances.lock();
         let at = self.clock.now();
         let inst = instances

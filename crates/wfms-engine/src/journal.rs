@@ -1,22 +1,54 @@
 //! The persistent execution journal.
 //!
 //! Same shape as the substrate's WAL: an in-memory event list,
-//! optionally mirrored to a file of JSON lines flushed on every
-//! append (navigation events are rare compared to database updates,
-//! so per-event flushing is affordable and makes the recovery point
-//! exact).
+//! optionally mirrored to a file of JSON lines. *When* those lines
+//! reach the file is governed by a
+//! [`DurabilityPolicy`]: the default
+//! `PerEvent` flushes the writer after every append (navigation events
+//! are rare compared to database updates, so per-event flushing is
+//! affordable and makes the recovery point exact **for process
+//! crashes** — bytes handed to the OS survive the process dying, but
+//! only `PerEventSync` pushes them through the page cache to stable
+//! storage, and `Batched{n}` may leave up to `n-1` complete events
+//! unflushed). See `docs/recovery.md` for how the crash-point sweep
+//! exercises each policy's loss window.
+//!
+//! Reopening a mirrored journal tolerates a **torn tail**: a crash
+//! mid-append leaves a partial final line, which is truncated away
+//! with a diagnostic (mid-file corruption is still rejected). Mirror
+//! I/O errors never panic the engine: the first error is remembered
+//! ([`Journal::mirror_error`]), the mirror is disabled, and the
+//! in-memory journal keeps working so the engine can park the
+//! affected instances instead of dying mid-navigation.
 
 use crate::event::Event;
 use parking_lot::Mutex;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::fs::OpenOptions;
+use std::path::{Path, PathBuf};
+use txn_substrate::durability::{
+    atomic_rewrite, read_json_lines, DurabilityPolicy, DurableWriter, MirrorError, TailReport,
+};
+
+/// The file mirror of a [`Journal`]: the policy-driven writer plus
+/// the path (needed for atomic compaction rewrites).
+#[derive(Debug)]
+struct JournalMirror {
+    writer: DurableWriter,
+    path: PathBuf,
+}
 
 /// An append-only journal of navigation events.
+///
+/// Lock order: `events` is always acquired **before** `mirror`, and
+/// held across the mirror write, so the file's event order is exactly
+/// the in-memory order and a concurrent [`Journal::compact`] can
+/// never rewrite the file while an append sits between "in memory"
+/// and "in file".
 #[derive(Debug, Default)]
 pub struct Journal {
     events: Mutex<Vec<Event>>,
-    file: Option<Mutex<BufWriter<File>>>,
+    mirror: Mutex<Option<JournalMirror>>,
+    mirror_error: Mutex<Option<MirrorError>>,
 }
 
 impl Journal {
@@ -25,39 +57,102 @@ impl Journal {
         Self::default()
     }
 
-    /// A journal mirrored to `path`; existing events are loaded first
-    /// (this is how [`crate::recovery`] reopens a crashed engine's
-    /// journal).
+    /// A journal mirrored to `path` under the default
+    /// [`DurabilityPolicy::PerEvent`]; existing events are loaded
+    /// first (this is how [`crate::recovery`] reopens a crashed
+    /// engine's journal).
     pub fn with_file(path: &Path) -> std::io::Result<Self> {
-        let mut journal = Self::new();
-        if path.exists() {
-            let reader = BufReader::new(File::open(path)?);
-            let mut events = Vec::new();
-            for line in reader.lines() {
-                let line = line?;
-                if line.trim().is_empty() {
-                    continue;
-                }
-                let ev: Event = serde_json::from_str(&line)
-                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-                events.push(ev);
-            }
-            journal.events = Mutex::new(events);
-        }
-        let file = OpenOptions::new().create(true).append(true).open(path)?;
-        journal.file = Some(Mutex::new(BufWriter::new(file)));
-        Ok(journal)
+        Self::with_file_policy(path, DurabilityPolicy::default())
     }
 
-    /// Appends an event (and flushes the mirror if one is attached).
-    pub fn append(&self, event: Event) {
-        if let Some(file) = &self.file {
-            let mut w = file.lock();
-            let line = serde_json::to_string(&event).expect("Event is always serializable");
-            writeln!(w, "{line}").expect("journal mirror write failed");
-            w.flush().expect("journal mirror flush failed");
+    /// A journal mirrored to `path` under an explicit durability
+    /// policy.
+    pub fn with_file_policy(path: &Path, policy: DurabilityPolicy) -> std::io::Result<Self> {
+        Self::with_file_report(path, policy).map(|(j, _)| j)
+    }
+
+    /// Like [`Journal::with_file_policy`] but also returns the
+    /// [`TailReport`] of the reopen, so callers (and the crash sweep)
+    /// can observe whether a torn tail was truncated.
+    pub fn with_file_report(
+        path: &Path,
+        policy: DurabilityPolicy,
+    ) -> std::io::Result<(Self, TailReport)> {
+        let journal = Self::new();
+        let mut report = TailReport::default();
+        if path.exists() {
+            let (events, rep) = read_json_lines::<Event>(path)?;
+            if let Some(tail) = &rep.torn_tail {
+                eprintln!(
+                    "journal: torn tail in {} at byte {}: truncated partial event {:?}",
+                    path.display(),
+                    tail.offset,
+                    tail.discarded
+                );
+            }
+            report = rep;
+            *journal.events.lock() = events;
         }
-        self.events.lock().push(event);
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        *journal.mirror.lock() = Some(JournalMirror {
+            writer: DurableWriter::new(file, policy),
+            path: path.to_path_buf(),
+        });
+        Ok((journal, report))
+    }
+
+    /// Test-only: mirrors the journal to an already-open `file` (e.g.
+    /// one opened read-only, to exercise the mirror-failure path).
+    #[doc(hidden)]
+    pub fn with_injected_file(
+        file: std::fs::File,
+        path: PathBuf,
+        policy: DurabilityPolicy,
+    ) -> Self {
+        let journal = Self::new();
+        *journal.mirror.lock() = Some(JournalMirror {
+            writer: DurableWriter::new(file, policy),
+            path,
+        });
+        journal
+    }
+
+    /// The first mirror I/O error hit, if any. Once set, the file
+    /// mirror is disabled and the journal serves from memory only; the
+    /// engine surfaces this as
+    /// [`EngineError::Journal`](crate::EngineError::Journal).
+    pub fn mirror_error(&self) -> Option<MirrorError> {
+        self.mirror_error.lock().clone()
+    }
+
+    /// Records the first mirror failure and disables the mirror.
+    fn fail_mirror(
+        guard: &mut Option<JournalMirror>,
+        sticky: &Mutex<Option<MirrorError>>,
+        context: &str,
+        e: &std::io::Error,
+    ) {
+        let err = MirrorError::new(context, e);
+        eprintln!("journal: {err}; disabling file mirror, journal continues in memory");
+        let mut slot = sticky.lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+        *guard = None;
+    }
+
+    /// Appends an event. Mirror I/O failures do not panic; they are
+    /// reported through [`Journal::mirror_error`].
+    pub fn append(&self, event: Event) {
+        let line = serde_json::to_string(&event).expect("Event is always serializable");
+        let mut events = self.events.lock();
+        events.push(event);
+        let mut guard = self.mirror.lock();
+        if let Some(m) = guard.as_mut() {
+            if let Err(e) = m.writer.append_line(&line, false) {
+                Self::fail_mirror(&mut guard, &self.mirror_error, "append", &e);
+            }
+        }
     }
 
     /// Appends a batch of events with a single lock acquisition and a
@@ -67,15 +162,36 @@ impl Journal {
         if batch.is_empty() {
             return;
         }
-        if let Some(file) = &self.file {
-            let mut w = file.lock();
-            for event in &batch {
-                let line = serde_json::to_string(event).expect("Event is always serializable");
-                writeln!(w, "{line}").expect("journal mirror write failed");
+        let lines: Vec<String> = batch
+            .iter()
+            .map(|event| serde_json::to_string(event).expect("Event is always serializable"))
+            .collect();
+        let mut events = self.events.lock();
+        events.extend(batch);
+        let mut guard = self.mirror.lock();
+        if let Some(m) = guard.as_mut() {
+            let last = lines.len() - 1;
+            for (i, line) in lines.iter().enumerate() {
+                // Only the final line of the batch is a potential flush
+                // point: the batch becomes one group commit.
+                if let Err(e) = m.writer.append_line(line, i == last) {
+                    Self::fail_mirror(&mut guard, &self.mirror_error, "append", &e);
+                    break;
+                }
             }
-            w.flush().expect("journal mirror flush failed");
         }
-        self.events.lock().extend(batch);
+    }
+
+    /// Forces buffered mirror lines to the file (a durability barrier
+    /// under any policy; a no-op for unmirrored journals).
+    pub fn flush(&self) {
+        let _events = self.events.lock();
+        let mut guard = self.mirror.lock();
+        if let Some(m) = guard.as_mut() {
+            if let Err(e) = m.writer.flush() {
+                Self::fail_mirror(&mut guard, &self.mirror_error, "flush", &e);
+            }
+        }
     }
 
     /// Consumes the journal, returning its events (shards are
@@ -101,8 +217,11 @@ impl Journal {
 
     /// Drops every event before the last
     /// [`Event::EngineCheckpoint`] (journal compaction). A no-op when
-    /// no checkpoint exists. When mirrored to a file the file is
-    /// rewritten. Returns the number of events dropped.
+    /// no checkpoint exists. When mirrored to a file, the file is
+    /// **atomically rewritten** (temp file + rename): a crash during
+    /// compaction leaves either the old or the new complete file,
+    /// never a half-truncated one. Returns the number of events
+    /// dropped.
     pub fn compact(&self) -> usize {
         let mut events = self.events.lock();
         let Some(start) = events
@@ -113,21 +232,15 @@ impl Journal {
         };
         let dropped = start;
         events.drain(..start);
-        if let Some(file) = &self.file {
-            let mut w = file.lock();
-            use std::io::Seek;
-            w.flush().expect("journal mirror flush failed");
-            let inner = w.get_mut();
-            inner.set_len(0).expect("journal mirror truncate failed");
-            inner
-                .seek(std::io::SeekFrom::Start(0))
-                .expect("journal mirror seek failed");
-            for ev in events.iter() {
-                let line =
-                    serde_json::to_string(ev).expect("Event is always serializable");
-                writeln!(w, "{line}").expect("journal mirror write failed");
+        let mut guard = self.mirror.lock();
+        if let Some(m) = guard.as_mut() {
+            let lines = events
+                .iter()
+                .map(|ev| serde_json::to_string(ev).expect("Event is always serializable"));
+            match atomic_rewrite(&m.path, lines) {
+                Ok(file) => m.writer.replace_file(file),
+                Err(e) => Self::fail_mirror(&mut guard, &self.mirror_error, "compact", &e),
             }
-            w.flush().expect("journal mirror flush failed");
         }
         dropped
     }
@@ -158,6 +271,16 @@ mod tests {
         }
     }
 
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "wftx-journal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn append_and_filter() {
         let j = Journal::new();
@@ -175,12 +298,7 @@ mod tests {
 
     #[test]
     fn file_mirror_reloads() {
-        let dir = std::env::temp_dir().join(format!(
-            "wftx-journal-test-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = tmp_dir("reload");
         let path = dir.join("engine.journal");
         let _ = std::fs::remove_file(&path);
         {
@@ -198,5 +316,60 @@ mod tests {
         let j = Journal::new();
         assert!(j.is_empty());
         assert_eq!(j.events(), vec![]);
+    }
+
+    #[test]
+    fn torn_tail_reopen_recovers() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("engine.journal");
+        {
+            let j = Journal::with_file(&path).unwrap();
+            j.append(started(1));
+            j.append(started(2));
+        }
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{{\"InstanceStar").unwrap();
+        }
+        let (j2, report) =
+            Journal::with_file_report(&path, DurabilityPolicy::PerEvent).unwrap();
+        assert_eq!(j2.len(), 2, "complete events survive the torn tail");
+        assert!(report.torn_tail.is_some());
+        // Appends after truncation land on a clean record boundary.
+        j2.append(started(3));
+        drop(j2);
+        let j3 = Journal::with_file(&path).unwrap();
+        assert_eq!(j3.len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mirror_failure_is_sticky_not_fatal() {
+        let dir = tmp_dir("sticky");
+        let path = dir.join("engine.journal");
+        std::fs::write(&path, "").unwrap();
+        let ro = OpenOptions::new().read(true).open(&path).unwrap();
+        let j = Journal::with_injected_file(ro, path.clone(), DurabilityPolicy::PerEvent);
+        j.append(started(1));
+        let err = j.mirror_error().expect("first failure recorded");
+        j.append(started(2));
+        assert_eq!(j.mirror_error(), Some(err), "first error wins");
+        assert_eq!(j.len(), 2, "in-memory journal keeps working");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batched_policy_append_batch_is_one_group_commit() {
+        let dir = tmp_dir("batch");
+        let path = dir.join("engine.journal");
+        let j =
+            Journal::with_file_policy(&path, DurabilityPolicy::Batched { n: 1000 }).unwrap();
+        j.append(started(1));
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "", "buffered");
+        j.append_batch(vec![started(2), started(3)]);
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(on_disk.lines().count(), 3, "batch end flushes the group");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

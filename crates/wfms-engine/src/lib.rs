@@ -43,6 +43,7 @@
 
 pub mod audit;
 pub mod compiled;
+pub mod crashtest;
 pub mod engine;
 pub mod event;
 pub mod interp;
@@ -54,6 +55,7 @@ pub mod state;
 pub mod worklist;
 
 pub use compiled::{ActId, CompiledProcess, CompiledScope, EdgeId, IdPath};
+pub use crashtest::{CrashPointResult, SweepConfig, SweepReport};
 pub use engine::{Engine, EngineConfig, EngineError};
 pub use interp::RefEngine;
 pub use event::{Event, InstanceId, InstanceSnapshot, WorkItemId};

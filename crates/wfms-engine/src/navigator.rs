@@ -417,6 +417,87 @@ pub fn reset_running_to_ready(inst: &mut Instance, svc: &NavServices<'_>, path: 
     make_ready(inst, svc, path);
 }
 
+/// Recovery helper: re-derives the fate of a `Waiting` activity whose
+/// deciding events were lost to a crash. Two cases the journal replay
+/// cannot see:
+///
+/// * a **start activity** (no incoming connectors) whose
+///   `ActivityReady` was cut off — the crash hit between the
+///   `InstanceStarted`/block-`ActivityStarted` event and the seeding
+///   of the scope, or between an `ActivityRescheduled` and its
+///   re-ready. Seed semantics apply: make it ready unconditionally
+///   (its start condition has nothing to wait for).
+/// * a joined activity whose incoming connectors were all evaluated
+///   (the `ConnectorEvaluated` events are in the journal) but whose
+///   ready/dead decision event was cut off — re-run the start-condition
+///   decision. Undecidable joins are left waiting, exactly as live.
+pub(crate) fn renavigate_waiting(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
+    let tpl = Arc::clone(&inst.tpl);
+    let (&id, scope_ids) = path.split_last().expect("path never empty");
+    let Some(cs) = tpl.scope_at(scope_ids) else {
+        return;
+    };
+    let Some((_, scope)) = inst.resolve(scope_ids) else {
+        return;
+    };
+    if scope.rt(id).state != ActState::Waiting {
+        return; // an earlier fix-up's cascade already decided it
+    }
+    if cs.act(id).incoming.is_empty() {
+        make_ready(inst, svc, path);
+    } else {
+        update_target(inst, svc, path);
+    }
+}
+
+/// Recovery helper: completes the connector evaluations of a
+/// `Terminated` activity interrupted mid-[`terminate_activity`] — the
+/// `ActivityTerminated` event is in the journal but some outgoing
+/// `ConnectorEvaluated` events (and their target cascades) were lost.
+/// Only edges the replay found unevaluated are (re)evaluated, in
+/// declaration order, exactly as the live path would have continued.
+pub(crate) fn reevaluate_outgoing(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
+    let instance = inst.id;
+    let tpl = Arc::clone(&inst.tpl);
+    let (&id, scope_ids) = path.split_last().expect("path never empty");
+    let Some(cs) = tpl.scope_at(scope_ids) else {
+        return;
+    };
+    let act = cs.act(id);
+    let executed = {
+        let Some((_, scope)) = inst.resolve(scope_ids) else {
+            return;
+        };
+        if scope.rt(id).state != ActState::Terminated {
+            return;
+        }
+        scope.rt(id).executed
+    };
+    let scope_name = tpl.path_string(scope_ids);
+    for &edge_id in &act.outgoing {
+        let edge = &cs.edges[edge_id as usize];
+        let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
+            return;
+        };
+        if scope.connectors[edge_id as usize].is_some() {
+            continue; // evaluated before the crash
+        }
+        let value = executed && edge.cond.eval_transition(&scope.rt(id).output);
+        scope.connectors[edge_id as usize] = Some(value);
+        svc.journal.append(Event::ConnectorEvaluated {
+            instance,
+            scope: scope_name.clone(),
+            from: act.name.clone(),
+            to: cs.act(edge.to).name.clone(),
+            value,
+            at: svc.now(),
+        });
+        let mut target_path = scope_ids.to_vec();
+        target_path.push(edge.to);
+        update_target(inst, svc, &target_path);
+    }
+}
+
 /// Terminates the activity at `path`. `executed = false` is the dead
 /// path elimination case. Evaluates outgoing connectors, cascades to
 /// targets and checks scope completion.

@@ -410,11 +410,25 @@ fn with_rt(
     }
 }
 
-/// Post-replay fix-ups: re-ready crashed `Running` program activities,
-/// re-decide `Finished` activities whose exit decision was lost, and
-/// re-check scope completion (in case the crash hit between the last
-/// termination and the completion event).
+/// Post-replay fix-ups for the (at most one) navigation operation the
+/// crash interrupted mid-append:
+///
+/// * re-ready crashed `Running` program activities (§3.3: re-executed
+///   from the beginning);
+/// * re-seed/re-decide `Waiting` activities whose ready/dead decision
+///   event was cut off (lost seeding after `InstanceStarted`, lost
+///   re-ready after `ActivityRescheduled`, lost join decision after
+///   the final `ConnectorEvaluated`);
+/// * complete the outgoing-connector evaluations of `Terminated`
+///   activities interrupted mid-cascade — processed innermost-first
+///   (reverse order of their `ActivityTerminated` events), unwinding
+///   the crashed navigation's call stack the way the live run would
+///   have;
+/// * re-decide `Finished` activities whose exit decision was lost;
+/// * re-check scope completion (in case the crash hit between the last
+///   termination and the completion event).
 fn resume(engine: &Engine) {
+    let events = engine.journal.events();
     let mut instances = engine.instances.lock();
     let svc = crate::navigator::NavServices {
         journal: &engine.journal,
@@ -433,26 +447,46 @@ fn resume(engine: &Engine) {
         // Collect fix-up targets (deepest scopes last-in so child
         // fixes land before parent completion checks).
         let tpl = Arc::clone(&inst.tpl);
-        let mut running_programs: Vec<IdPath> = Vec::new();
-        let mut finished: Vec<IdPath> = Vec::new();
-        let mut scopes: Vec<IdPath> = Vec::new();
-        collect_fixups(
-            &tpl.root,
-            &inst.root,
-            &mut Vec::new(),
-            &mut running_programs,
-            &mut finished,
-            &mut scopes,
-        );
+        let mut fx = Fixups::default();
+        collect_fixups(&tpl.root, &inst.root, &mut Vec::new(), &mut fx);
 
-        for path in running_programs {
+        for path in fx.running_programs {
             navigator::reset_running_to_ready(inst, &svc, &path);
         }
-        for path in finished {
+        for path in fx.waiting {
+            navigator::renavigate_waiting(inst, &svc, &path);
+        }
+        // A crash inside a dead-path cascade leaves a *stack* of
+        // terminated activities with unevaluated outgoing connectors:
+        // terminate(A) → update_target(B) → terminate(B) → … died
+        // somewhere inside B. The live run would finish B's edges
+        // before returning to A's remaining ones, so process the
+        // stack innermost-first — i.e. in reverse order of the
+        // `ActivityTerminated` events in the journal.
+        let mut terminated: Vec<(usize, IdPath)> = fx
+            .terminated_missing
+            .into_iter()
+            .map(|p| {
+                let ps = tpl.path_string(&p);
+                let pos = events
+                    .iter()
+                    .rposition(|e| {
+                        matches!(e, Event::ActivityTerminated { instance, path, .. }
+                            if *instance == inst.id && *path == ps)
+                    })
+                    .unwrap_or(0);
+                (pos, p)
+            })
+            .collect();
+        terminated.sort_by_key(|(pos, _)| std::cmp::Reverse(*pos));
+        for (_, path) in terminated {
+            navigator::reevaluate_outgoing(inst, &svc, &path);
+        }
+        for path in fx.finished {
             navigator::decide_exit(inst, &svc, &path);
         }
-        scopes.sort_by_key(|s| std::cmp::Reverse(s.len()));
-        for scope in scopes {
+        fx.scopes.sort_by_key(|s| std::cmp::Reverse(s.len()));
+        for scope in fx.scopes {
             if inst.status != InstanceStatus::Running {
                 break;
             }
@@ -461,15 +495,18 @@ fn resume(engine: &Engine) {
     }
 }
 
-fn collect_fixups(
-    cs: &CompiledScope,
-    scope: &ScopeState,
-    prefix: &mut IdPath,
-    running_programs: &mut Vec<IdPath>,
-    finished: &mut Vec<IdPath>,
-    scopes: &mut Vec<IdPath>,
-) {
-    scopes.push(prefix.clone());
+/// Fix-up targets gathered in one depth-first declaration-order walk.
+#[derive(Default)]
+struct Fixups {
+    running_programs: Vec<IdPath>,
+    waiting: Vec<IdPath>,
+    terminated_missing: Vec<IdPath>,
+    finished: Vec<IdPath>,
+    scopes: Vec<IdPath>,
+}
+
+fn collect_fixups(cs: &CompiledScope, scope: &ScopeState, prefix: &mut IdPath, fx: &mut Fixups) {
+    fx.scopes.push(prefix.clone());
     for (i, act) in cs.acts.iter().enumerate() {
         let id = i as ActId;
         let rt = scope.rt(id);
@@ -480,25 +517,28 @@ fn collect_fixups(
                 CompiledKind::Block(child_cs) => {
                     if let Some(child) = scope.child(id) {
                         prefix.push(id);
-                        collect_fixups(
-                            child_cs,
-                            child,
-                            prefix,
-                            running_programs,
-                            finished,
-                            scopes,
-                        );
+                        collect_fixups(child_cs, child, prefix, fx);
                         prefix.pop();
                     } else {
                         // Block recorded running but its child scope was
                         // never opened (crash inside execute): restart it.
-                        running_programs.push(path);
+                        fx.running_programs.push(path);
                     }
                 }
-                _ => running_programs.push(path),
+                _ => fx.running_programs.push(path),
             },
-            ActState::Finished => finished.push(path),
-            _ => {}
+            ActState::Waiting => fx.waiting.push(path),
+            ActState::Terminated => {
+                if act
+                    .outgoing
+                    .iter()
+                    .any(|&e| scope.connector_value(e).is_none())
+                {
+                    fx.terminated_missing.push(path);
+                }
+            }
+            ActState::Finished => fx.finished.push(path),
+            ActState::Ready => {}
         }
     }
 }

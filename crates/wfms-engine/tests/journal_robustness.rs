@@ -1,0 +1,295 @@
+//! Journal failure modes end to end: a real torn journal file
+//! (committed fixture), mirror write failures parking instances
+//! instead of killing the engine, compaction racing appends, and
+//! recovery from a compacted journal after a crash.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use txn_substrate::{DurabilityPolicy, KvProgram, MultiDatabase, ProgramRegistry};
+use wfms_engine::{
+    recover, recover_from, Engine, EngineConfig, EngineError, Event, InstanceStatus, Journal,
+    OrgModel,
+};
+use wfms_model::{Container, ProcessBuilder, ProcessDefinition};
+
+/// The fixture process: a three-step chain writing markers A, B, C on
+/// one database. Shared by the committed torn-tail fixture and its
+/// regenerator so the journal can always be replayed.
+fn fixture_process() -> ProcessDefinition {
+    let mut b = ProcessBuilder::new("fix");
+    for (i, step) in ["A", "B", "C"].iter().enumerate() {
+        b = b.program(step, &format!("do_{step}"));
+        if i > 0 {
+            b = b.connect_when(["A", "B", "C"][i - 1], step, "RC = 1");
+        }
+    }
+    b.build().unwrap()
+}
+
+fn fixture_world() -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
+    let fed = MultiDatabase::new(0);
+    fed.add_database("fixdb");
+    let registry = Arc::new(ProgramRegistry::new());
+    for step in ["A", "B", "C"] {
+        registry.register(Arc::new(
+            KvProgram::write(&format!("do_{step}"), "fixdb", step, 1i64).with_label(step),
+        ));
+    }
+    (fed, registry)
+}
+
+fn fixture_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/torn_tail.journal")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wfms-jrobust-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Regression for the reopen path that used to fail with
+/// `InvalidData`: a journal whose final record was half-written by a
+/// dying engine (the committed fixture is a real engine-written
+/// journal, truncated mid-record — see
+/// `regenerate_torn_tail_fixture`). Recovery must truncate the torn
+/// tail, replay the intact prefix and finish the run.
+#[test]
+fn committed_torn_tail_fixture_recovers() {
+    let dir = temp_dir("fixture");
+    let path = dir.join("torn.journal");
+    std::fs::copy(fixture_path(), &path).unwrap();
+    let raw = std::fs::read(&path).unwrap();
+    assert!(
+        !raw.ends_with(b"\n") && !raw.is_empty(),
+        "fixture must end in a torn (newline-less) record"
+    );
+
+    let (fed, registry) = fixture_world();
+    // Databases are durable and survive the crash: the fixture journal
+    // records activity A as finished, so its transaction had committed
+    // on fixdb before the engine died. Replay never re-executes
+    // finished activities — reproduce that committed state by invoking
+    // the same program the pre-crash run did.
+    let mut ctx = txn_substrate::ProgramContext::new(fed.clone());
+    assert!(registry.invoke("do_A", &mut ctx).is_committed());
+    let engine = recover(
+        &path,
+        vec![fixture_process()],
+        OrgModel::new(),
+        fed.clone(),
+        registry,
+    )
+    .unwrap();
+    engine.run_all().unwrap();
+    let (id, _, status) = engine.instances()[0];
+    assert_eq!(status, InstanceStatus::Finished);
+    for step in ["A", "B", "C"] {
+        assert_eq!(
+            fed.db("fixdb").unwrap().peek(step),
+            Some(1i64.into()),
+            "{step}"
+        );
+    }
+    drop(engine);
+
+    // The reopen repaired the file in place: reading it again is clean
+    // and ends exactly at the recovered run's last event.
+    let (journal, report) = Journal::with_file_report(&path, DurabilityPolicy::default()).unwrap();
+    assert!(report.torn_tail.is_none(), "file was repaired on reopen");
+    assert!(journal
+        .events()
+        .iter()
+        .any(|e| matches!(e, Event::InstanceFinished { instance, .. } if *instance == id)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Rebuilds `tests/fixtures/torn_tail.journal`: run the fixture chain
+/// against a file journal, then cut the file after 8 complete events
+/// plus the first half of event 9 — exactly what a crash mid-append
+/// leaves behind. Run with
+/// `cargo test -p wfms-engine --test journal_robustness -- --ignored`.
+#[test]
+#[ignore = "writes the committed fixture; run by hand when the event format changes"]
+fn regenerate_torn_tail_fixture() {
+    let dir = temp_dir("regen");
+    let path = dir.join("full.journal");
+    let (fed, registry) = fixture_world();
+    let engine = Engine::with_config(
+        fed,
+        registry,
+        EngineConfig {
+            journal_path: Some(path.clone()),
+            ..EngineConfig::default()
+        },
+    );
+    engine.register(fixture_process()).unwrap();
+    let id = engine.start("fix", Container::empty()).unwrap();
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
+    engine.crash();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() > 9, "fixture run too short: {}", lines.len());
+    let mut torn = String::new();
+    for line in &lines[..8] {
+        torn.push_str(line);
+        torn.push('\n');
+    }
+    torn.push_str(&lines[8][..lines[8].len() / 2]);
+    std::fs::write(fixture_path(), torn).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A journal whose file mirror cannot be written (here: the handle is
+/// read-only, as after an fd mixup or a remount) must not panic the
+/// engine. The first error is remembered, navigation parks with
+/// [`EngineError::Journal`], and the instance's in-memory state stays
+/// queryable.
+#[test]
+fn mirror_write_failure_parks_instances_not_the_engine() {
+    let dir = temp_dir("park");
+    let path = dir.join("readonly.journal");
+    std::fs::write(&path, "").unwrap();
+    let file = std::fs::OpenOptions::new().read(true).open(&path).unwrap();
+    let journal = Journal::with_injected_file(file, path.clone(), DurabilityPolicy::default());
+
+    let (fed, registry) = fixture_world();
+    let engine = recover_from(
+        journal,
+        Vec::new(),
+        vec![fixture_process()],
+        OrgModel::new(),
+        fed,
+        registry,
+    )
+    .unwrap();
+    let id = engine.start("fix", Container::empty()).unwrap();
+    let err = engine.run_to_quiescence(id).unwrap_err();
+    assert!(matches!(err, EngineError::Journal(_)), "{err}");
+
+    // Parked, not dead: state and journal are still readable, and the
+    // error is sticky rather than replaced by later failures.
+    assert_eq!(engine.status(id).unwrap(), InstanceStatus::Running);
+    assert!(!engine.journal_events().is_empty());
+    let first = engine.run_to_quiescence(id).unwrap_err();
+    assert_eq!(format!("{first}"), format!("{err}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Appends racing `compact()` on a mirrored journal: the lock order
+/// (events before mirror, held across the file write) must keep the
+/// file a consistent, parseable prefix-free copy of memory at all
+/// times. The appender replays a real run's events — including its
+/// `EngineCheckpoint`, so compaction genuinely drops lines — while the
+/// compactor runs concurrently.
+#[test]
+fn concurrent_append_and_compact_keep_file_consistent() {
+    // One real run, checkpointed halfway so its event stream contains
+    // an EngineCheckpoint for compact() to find.
+    let (fed, registry) = fixture_world();
+    let engine = Engine::new(fed, registry);
+    engine.register(fixture_process()).unwrap();
+    let id = engine.start("fix", Container::empty()).unwrap();
+    for _ in 0..6 {
+        engine.step(id).unwrap();
+    }
+    engine.checkpoint();
+    engine.run_to_quiescence(id).unwrap();
+    let events = engine.journal_events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::EngineCheckpoint { .. })));
+
+    let dir = temp_dir("race");
+    let path = dir.join("race.journal");
+    let journal = Arc::new(Journal::with_file(&path).unwrap());
+    std::thread::scope(|s| {
+        let appender = Arc::clone(&journal);
+        let evs = events.clone();
+        s.spawn(move || {
+            for _ in 0..20 {
+                for ev in &evs {
+                    appender.append(ev.clone());
+                }
+            }
+        });
+        let compactor = Arc::clone(&journal);
+        s.spawn(move || {
+            for _ in 0..200 {
+                compactor.compact();
+                std::thread::yield_now();
+            }
+        });
+    });
+    journal.flush();
+    assert!(journal.mirror_error().is_none());
+
+    // The file parses cleanly (no torn tail, no interleaved garbage)
+    // and holds exactly the in-memory events.
+    let in_memory = journal.events();
+    drop(journal);
+    let (reopened, report) =
+        Journal::with_file_report(&path, DurabilityPolicy::default()).unwrap();
+    assert!(report.torn_tail.is_none());
+    assert_eq!(reopened.events(), in_memory);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash *after* a checkpoint compaction: the journal file starts at
+/// the `EngineCheckpoint`, not at `InstanceStarted`, and recovery must
+/// rebuild from the snapshot then resume the tail of the run.
+#[test]
+fn recovery_after_compaction_and_crash() {
+    let dir = temp_dir("compact-crash");
+    let path = dir.join("compacted.journal");
+    let (fed, registry) = fixture_world();
+    let engine = Engine::with_config(
+        fed.clone(),
+        Arc::clone(&registry),
+        EngineConfig {
+            journal_path: Some(path.clone()),
+            ..EngineConfig::default()
+        },
+    );
+    engine.register(fixture_process()).unwrap();
+    let id = engine.start("fix", Container::empty()).unwrap();
+    for _ in 0..6 {
+        engine.step(id).unwrap();
+    }
+    let dropped = engine.checkpoint();
+    assert!(dropped > 0, "checkpoint must compact the journal");
+    // A little more progress after the checkpoint, then the crash.
+    engine.step(id).unwrap();
+    engine.step(id).unwrap();
+    engine.crash();
+
+    let engine2 = recover(
+        &path,
+        vec![fixture_process()],
+        OrgModel::new(),
+        fed.clone(),
+        registry,
+    )
+    .unwrap();
+    assert!(matches!(
+        engine2.journal_events().first(),
+        Some(Event::EngineCheckpoint { .. })
+    ));
+    assert_eq!(
+        engine2.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
+    for step in ["A", "B", "C"] {
+        assert_eq!(
+            fed.db("fixdb").unwrap().peek(step),
+            Some(1i64.into()),
+            "{step}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

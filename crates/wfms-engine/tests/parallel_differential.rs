@@ -192,6 +192,73 @@ fn hundred_instances_parallel_equals_sequential() {
     assert_eq!(seq.journal_events(), par.journal_events());
 }
 
+/// `FailurePlan::Probability` decisions must not depend on worker
+/// scheduling: each label draws from its own seeded stream
+/// (`seed ^ hash(label)`), so the k-th decision for a label is a pure
+/// function of the seed — not of which thread asked first. Before
+/// per-label streams, all labels shared one global RNG and any
+/// cross-label interleaving change (exactly what `run_all_parallel`
+/// introduces) reshuffled every decision. Each process here carries
+/// its own labels so a label's draw order is instance-local.
+#[test]
+fn probability_injection_parallel_equals_sequential() {
+    fn build_engine(seed: u64) -> Engine {
+        let fed = MultiDatabase::new(seed);
+        fed.add_database("db");
+        let registry = Arc::new(ProgramRegistry::new());
+        let engine = Engine::new(Arc::clone(&fed), Arc::clone(&registry));
+        for j in 0..6 {
+            let mut b = ProcessBuilder::new(&format!("proc{j}"));
+            for i in 0..4 {
+                let label = format!("p{j}a{i}");
+                registry.register(Arc::new(
+                    txn_substrate::KvProgram::write(&label, "db", &label, 1i64)
+                        .with_label(&label),
+                ));
+                fed.injector()
+                    .set_plan(&label, txn_substrate::FailurePlan::Probability { p: 0.5 });
+                b = b.program(&format!("A{i}"), &label);
+                if i > 0 {
+                    b = b.connect_when(&format!("A{}", i - 1), &format!("A{i}"), "RC = 1");
+                }
+            }
+            engine.register(b.build().unwrap()).unwrap();
+        }
+        engine
+    }
+
+    for seed in [0u64, 7, 41] {
+        let seq = build_engine(seed);
+        let par = build_engine(seed);
+        let ids: Vec<InstanceId> = (0..6)
+            .map(|j| {
+                let a = seq.start(&format!("proc{j}"), Container::empty()).unwrap();
+                let b = par.start(&format!("proc{j}"), Container::empty()).unwrap();
+                assert_eq!(a, b);
+                a
+            })
+            .collect();
+        seq.run_all().unwrap();
+        par.run_all_parallel(4).unwrap();
+        for &id in &ids {
+            assert_eq!(seq.status(id).unwrap(), par.status(id).unwrap(), "seed {seed}");
+            assert_eq!(seq.output(id).unwrap(), par.output(id).unwrap(), "seed {seed}");
+            assert_eq!(seq.events_for(id), par.events_for(id), "seed {seed}");
+        }
+        assert_eq!(seq.journal_events(), par.journal_events(), "seed {seed}");
+        // The scripted coin actually lands both ways across the run —
+        // otherwise this differential would be vacuous.
+        let committed = (0..6)
+            .flat_map(|j| (0..4).map(move |i| format!("p{j}a{i}")))
+            .filter(|label| seq.multidb().db("db").unwrap().peek(label).is_some())
+            .count();
+        assert!(
+            committed > 0 && committed < 24,
+            "seed {seed}: all draws identical ({committed}/24 committed)"
+        );
+    }
+}
+
 /// The step-limit error surfaces from parallel workers too (first
 /// failing instance by id).
 #[test]
