@@ -1,0 +1,36 @@
+//! Experiment B15 — observability overhead: the compiled navigator on
+//! a 100-activity chain with the observability layer off (default
+//! engine: every probe is one branch on a disabled flag) vs. on (live
+//! metrics registry — atomic counters, log-linear latency histograms —
+//! plus the trace sink at its no-op default).
+//!
+//! Shape claim: "on" stays within 5% of "off" at 100 activities, and
+//! "off" is indistinguishable from the pre-observability engine — the
+//! disabled path does no atomic work at all. The same two data points
+//! are emitted into `BENCH_nav.json` by the `navbench` binary so CI
+//! can track the overhead without running Criterion.
+
+use bench::nav::{compiled_engine, observed_engine, run_compiled_once};
+use bench::{chain_process, plain_world};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn observe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observe_overhead");
+    group.sample_size(20);
+    for n in [25usize, 100, 400] {
+        let def = chain_process(n, "ok");
+        let w = plain_world(0);
+        let off = compiled_engine(&w, &def);
+        group.bench_with_input(BenchmarkId::new("off", n), &n, |b, _| {
+            b.iter(|| run_compiled_once(&off, "chain"))
+        });
+        let on = observed_engine(&w, &def);
+        group.bench_with_input(BenchmarkId::new("on", n), &n, |b, _| {
+            b.iter(|| run_compiled_once(&on, "chain"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, observe_overhead);
+criterion_main!(benches);

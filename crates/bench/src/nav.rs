@@ -7,7 +7,7 @@ use crate::World;
 use atm::fixtures;
 use std::sync::Arc;
 use txn_substrate::{MultiDatabase, ProgramOutcome, ProgramRegistry};
-use wfms_engine::{Engine, InstanceStatus, RefEngine};
+use wfms_engine::{Engine, EngineConfig, InstanceStatus, Observer, RefEngine};
 use wfms_model::{Container, ProcessDefinition};
 
 /// The saga-translated process used by the scheduler benchmarks:
@@ -67,6 +67,23 @@ pub fn run_compiled_once(engine: &Engine, process: &str) -> InstanceStatus {
     engine.run_to_quiescence(id).expect("no step limit")
 }
 
+/// Like [`compiled_engine`], but with the observability layer turned
+/// on (live metrics registry + trace sink). The `observe_overhead`
+/// benchmark compares this against the default engine, whose observer
+/// hooks collapse to a single branch on a disabled flag.
+pub fn observed_engine(world: &World, def: &ProcessDefinition) -> Engine {
+    let engine = Engine::with_config(
+        Arc::clone(&world.0),
+        Arc::clone(&world.1),
+        EngineConfig {
+            observer: Some(Arc::new(Observer::enabled())),
+            ..EngineConfig::default()
+        },
+    );
+    engine.register(def.clone()).expect("validated");
+    engine
+}
+
 /// A fresh engine over `world` with `def` registered and `m`
 /// instances started, ready for `run_all` / `run_all_parallel`.
 pub fn engine_with_instances(world: &World, def: &ProcessDefinition, m: usize) -> Engine {
@@ -103,6 +120,16 @@ mod tests {
         );
         let engine = compiled_engine(&w, &def);
         assert_eq!(run_compiled_once(&engine, "chain"), InstanceStatus::Finished);
+    }
+
+    #[test]
+    fn observed_engine_records_latencies() {
+        let def = chain_process(10, "ok");
+        let w = crate::plain_world(0);
+        let engine = observed_engine(&w, &def);
+        assert_eq!(run_compiled_once(&engine, "chain"), InstanceStatus::Finished);
+        let m = engine.metrics();
+        assert!(m.activities.values().any(|s| s.count > 0));
     }
 
     #[test]

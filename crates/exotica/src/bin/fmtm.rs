@@ -6,6 +6,7 @@
 //! fmtm check <spec-file>                run all pipeline stages, report diagnostics
 //! fmtm lint <file> [options]            static analysis of an FDL or ATM spec file
 //! fmtm run <spec-file> [options]        execute the translated process
+//! fmtm top <spec-file> [options]        run with a live metrics display
 //! fmtm crashtest <spec-file> [options]  crash-point sweep of the translated process
 //!
 //! lint options:
@@ -22,6 +23,16 @@
 //!   --instances M                       start M instances (default 1)
 //!   --parallel N                        drive instances across N worker
 //!                                       threads and report instances/sec
+//!   --metrics-out FILE                  enable the observability layer and
+//!                                       write the metrics snapshot to FILE
+//!                                       after the run (Prometheus text when
+//!                                       FILE ends in .prom, JSON otherwise)
+//!
+//! top options:
+//!   --instances M                       start M instances (default 8)
+//!   --every K                           print a frame every K navigation
+//!                                       steps (default 25)
+//!   --fail/--seed                       as for run
 //!
 //! crashtest options:
 //!   --fail LABEL=PLAN                   as for run; applied to every scenario
@@ -47,7 +58,7 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 use txn_substrate::{FailurePlan, KvProgram, MultiDatabase, ProgramRegistry, Value};
-use wfms_engine::{audit, Engine, InstanceStatus};
+use wfms_engine::{audit, Engine, EngineConfig, InstanceStatus, Observer};
 use wfms_model::Container;
 
 fn main() -> ExitCode {
@@ -58,9 +69,12 @@ fn main() -> ExitCode {
         Some("check") => check(&args[1..]),
         Some("lint") => lint(&args[1..]),
         Some("run") => run(&args[1..]),
+        Some("top") => top(&args[1..]),
         Some("crashtest") => crashtest(&args[1..]),
         _ => {
-            eprintln!("usage: fmtm <translate|dot|check|lint|run|crashtest> <spec-file> [options]");
+            eprintln!(
+                "usage: fmtm <translate|dot|check|lint|run|top|crashtest> <spec-file> [options]"
+            );
             eprintln!("see `crates/exotica/src/bin/fmtm.rs` for option details");
             ExitCode::from(2)
         }
@@ -139,6 +153,12 @@ fn check(args: &[String]) -> ExitCode {
                 out.process.control.len(),
                 out.fdl.len(),
             );
+            let total: u128 = out.stage_nanos.iter().map(|(_, n)| n).sum();
+            print!("stages ({:.1} ms):", total as f64 / 1e6);
+            for (stage, nanos) in &out.stage_nanos {
+                print!(" {stage}={:.0}us", *nanos as f64 / 1e3);
+            }
+            println!();
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -303,6 +323,7 @@ fn run(args: &[String]) -> ExitCode {
     let mut audit_flag = false;
     let mut instances = 1usize;
     let mut parallel = 0usize;
+    let mut metrics_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -356,6 +377,14 @@ fn run(args: &[String]) -> ExitCode {
                 parallel = n;
                 i += 2;
             }
+            "--metrics-out" => {
+                let Some(p) = args.get(i + 1) else {
+                    eprintln!("fmtm run: --metrics-out needs a file path");
+                    return ExitCode::from(2);
+                };
+                metrics_out = Some(p.clone());
+                i += 2;
+            }
             other => {
                 eprintln!("fmtm run: unknown option {other:?}");
                 return ExitCode::from(2);
@@ -375,7 +404,18 @@ fn run(args: &[String]) -> ExitCode {
     let steps = steps_of(&out.spec);
     let (fed, registry) = provision(&steps, seed, &plans);
 
-    let engine = Engine::new(Arc::clone(&fed), registry);
+    // The observability layer stays off (a disabled observer, one
+    // branch per hook) unless a metrics snapshot was asked for.
+    let engine = Engine::with_config(
+        Arc::clone(&fed),
+        registry,
+        EngineConfig {
+            observer: metrics_out
+                .is_some()
+                .then(|| Arc::new(Observer::enabled())),
+            ..EngineConfig::default()
+        },
+    );
     // The pipeline already validated and compiled the process
     // (stage 6); hand the executable template straight to the engine.
     engine.register_compiled(Arc::clone(&out.template));
@@ -456,10 +496,190 @@ fn run(args: &[String]) -> ExitCode {
             println!("  {line}");
         }
     }
+    if let Some(path) = metrics_out {
+        let snapshot = engine.metrics();
+        let body = if path.ends_with(".prom") {
+            snapshot.to_prometheus()
+        } else {
+            snapshot.to_json()
+        };
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("fmtm run: cannot write metrics {path:?}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("metrics: wrote {path}");
+    }
     if committed {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(3)
+    }
+}
+
+/// `fmtm top` — a live, plain-text metrics display: starts M
+/// instances with the observability layer enabled, drives them one
+/// navigation step at a time round-robin, and prints a frame of the
+/// busiest activities every K steps. No ANSI escapes — frames are
+/// sequential, so the output pipes and diffs cleanly; the last frame
+/// is the final snapshot.
+fn top(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("fmtm top: missing spec file");
+        return ExitCode::from(2);
+    };
+    let src = match load(path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    let mut plans: Vec<(String, FailurePlan)> = Vec::new();
+    let mut seed = 0u64;
+    let mut instances = 8usize;
+    let mut every = 25usize;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--fail" => {
+                let Some(plan) = args
+                    .get(i + 1)
+                    .and_then(|kv| kv.split_once('='))
+                    .and_then(|(l, p)| parse_plan(p).map(|plan| (l.to_owned(), plan)))
+                else {
+                    eprintln!("fmtm top: --fail needs LABEL=PLAN");
+                    return ExitCode::from(2);
+                };
+                plans.push(plan);
+                i += 2;
+            }
+            "--seed" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    eprintln!("fmtm top: --seed needs a number");
+                    return ExitCode::from(2);
+                };
+                seed = n;
+                i += 2;
+            }
+            "--instances" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    eprintln!("fmtm top: --instances needs a number");
+                    return ExitCode::from(2);
+                };
+                instances = n;
+                i += 2;
+            }
+            "--every" => {
+                let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) else {
+                    eprintln!("fmtm top: --every needs a step count");
+                    return ExitCode::from(2);
+                };
+                every = n.max(1);
+                i += 2;
+            }
+            other => {
+                eprintln!("fmtm top: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let out = match exotica::run_pipeline(&src) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("fmtm: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let steps = steps_of(&out.spec);
+    let (fed, registry) = provision(&steps, seed, &plans);
+    let engine = Engine::with_config(
+        Arc::clone(&fed),
+        registry,
+        EngineConfig {
+            observer: Some(Arc::new(Observer::enabled())),
+            ..EngineConfig::default()
+        },
+    );
+    engine.register_compiled(Arc::clone(&out.template));
+    let ids: Vec<_> = (0..instances.max(1))
+        .map(|_| {
+            engine
+                .start(&out.process.name, Container::empty())
+                .expect("registered above")
+        })
+        .collect();
+
+    // Round-robin one navigation step per instance per lap, a frame
+    // every `every` steps.
+    let mut steps_run = 0usize;
+    let mut frame = 0usize;
+    let mut active = true;
+    while active {
+        active = false;
+        for &id in &ids {
+            match engine.step(id) {
+                Ok(true) => {
+                    active = true;
+                    steps_run += 1;
+                    if steps_run.is_multiple_of(every) {
+                        frame += 1;
+                        print_frame(&engine, frame, steps_run);
+                    }
+                }
+                Ok(false) => {}
+                Err(e) => {
+                    eprintln!("fmtm top: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    frame += 1;
+    print_frame(&engine, frame, steps_run);
+    println!(
+        "done: {} instance(s), {} navigation step(s)",
+        ids.len(),
+        steps_run
+    );
+    ExitCode::SUCCESS
+}
+
+/// One `fmtm top` frame: instance states, engine counters and the
+/// activities ranked by total time spent, busiest first.
+fn print_frame(engine: &Engine, frame: usize, steps_run: usize) {
+    let m = engine.metrics();
+    println!("--- frame {frame} (after {steps_run} steps) ---");
+    println!(
+        "instances: {} running, {} finished, {} cancelled | work items: {} offered, {} claimed, {} closed",
+        m.instances_running,
+        m.instances_finished,
+        m.instances_cancelled,
+        m.items_offered,
+        m.items_claimed,
+        m.items_closed,
+    );
+    println!(
+        "nav: {} executions, {} retries, {} reschedules, {} dead paths, {} compensations | journal: {} events",
+        m.counters.get("nav.executions").copied().unwrap_or(0),
+        m.counters.get("nav.retries").copied().unwrap_or(0),
+        m.counters.get("nav.reschedules").copied().unwrap_or(0),
+        m.counters.get("nav.dead_paths").copied().unwrap_or(0),
+        m.counters.get("nav.compensations").copied().unwrap_or(0),
+        m.journal_events,
+    );
+    let mut rows: Vec<_> = m.activities.iter().filter(|(_, s)| s.count > 0).collect();
+    rows.sort_by(|a, b| {
+        let ta = a.1.count as u128 * a.1.mean_ns as u128;
+        let tb = b.1.count as u128 * b.1.mean_ns as u128;
+        tb.cmp(&ta).then_with(|| a.0.cmp(b.0))
+    });
+    println!(
+        "{:<28} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "activity", "count", "mean_ns", "p50_ns", "p99_ns", "max_ns"
+    );
+    for (label, s) in rows.iter().take(10) {
+        println!(
+            "{label:<28} {:>6} {:>10} {:>10} {:>10} {:>10}",
+            s.count, s.mean_ns, s.p50_ns, s.p99_ns, s.max_ns
+        );
     }
 }
 
@@ -609,6 +829,22 @@ fn crashtest(args: &[String]) -> ExitCode {
         skipped,
         if all_ok { "OK" } else { "FAILED" }
     );
+    // What recovery actually repaired across the sweep — a sweep that
+    // passes with all-zero fix-ups exercised nothing.
+    let mut fixups: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for r in &reports {
+        for (name, v) in &r.recovery_fixups {
+            *fixups.entry(name.as_str()).or_insert(0) += v;
+        }
+    }
+    print!("recovery fix-ups:");
+    if fixups.is_empty() {
+        print!(" none");
+    }
+    for (name, v) in &fixups {
+        print!(" {}={v}", name.strip_prefix("recovery.").unwrap_or(name));
+    }
+    println!();
 
     if let Some(p) = report_path {
         let body = format!(

@@ -104,6 +104,11 @@ pub struct PipelineOutput {
     /// [`wfms_engine::Engine::register_compiled`] to run instances
     /// without recompiling.
     pub template: Arc<CompiledProcess>,
+    /// Wall-clock nanoseconds spent in each pipeline stage, in stage
+    /// order: parse, model rules, translate+emit, import+analyze,
+    /// compile. Observability for the pre-processor itself — `fmtm
+    /// check` prints these alongside the stage report.
+    pub stage_nanos: Vec<(&'static str, u128)>,
 }
 
 /// Stages 4–5 on FDL text: imports the definition (syntax + semantic
@@ -152,11 +157,16 @@ pub fn import_and_analyze(
 /// assert_eq!(out.process.total_activities(), 2 + 2 + 3);
 /// ```
 pub fn run_pipeline(spec_text: &str) -> Result<PipelineOutput, PipelineError> {
+    let mut stage_nanos: Vec<(&'static str, u128)> = Vec::with_capacity(5);
+
     // Stage 1: parse the user specification.
+    let t0 = std::time::Instant::now();
     let spec = parse_spec(spec_text).map_err(PipelineError::SpecSyntax)?;
+    stage_nanos.push(("parse", t0.elapsed().as_nanos()));
 
     // Stage 2: model-rule checking (also re-run inside the
     // translators; surfaced here as its own stage for the taxonomy).
+    let t0 = std::time::Instant::now();
     let rule_errors = match &spec {
         AtmSpec::Saga(s) => atm::check_saga(s),
         AtmSpec::Flexible(x) => atm::check_flex(x),
@@ -164,23 +174,30 @@ pub fn run_pipeline(spec_text: &str) -> Result<PipelineOutput, PipelineError> {
     if !rule_errors.is_empty() {
         return Err(PipelineError::ModelRules(rule_errors));
     }
+    stage_nanos.push(("model-rules", t0.elapsed().as_nanos()));
 
     // Stage 3: translate to a workflow process and emit FDL.
+    let t0 = std::time::Instant::now();
     let translated = match &spec {
         AtmSpec::Saga(s) => translate_saga(s),
         AtmSpec::Flexible(x) => translate_flex(x),
     }
     .map_err(PipelineError::Translation)?;
     let fdl = wfms_fdl::emit(&translated);
+    stage_nanos.push(("translate", t0.elapsed().as_nanos()));
 
     // Stages 4–5: import the FDL (syntax + semantic validation) and
     // statically analyse it, yielding the executable template.
+    let t0 = std::time::Instant::now();
     let (process, diagnostics) = import_and_analyze(&fdl)?;
     debug_assert_eq!(process, translated, "FDL round trip must be lossless");
+    stage_nanos.push(("import-analyze", t0.elapsed().as_nanos()));
 
     // Stage 6: lower the validated process into the engine's compiled
     // executable template.
+    let t0 = std::time::Instant::now();
     let template = Arc::new(CompiledProcess::compile(process.clone()));
+    stage_nanos.push(("compile", t0.elapsed().as_nanos()));
 
     Ok(PipelineOutput {
         spec,
@@ -188,6 +205,7 @@ pub fn run_pipeline(spec_text: &str) -> Result<PipelineOutput, PipelineError> {
         process,
         diagnostics,
         template,
+        stage_nanos,
     })
 }
 
@@ -229,6 +247,16 @@ mod tests {
         let out = run_pipeline(&src).unwrap();
         assert!(out.fdl.contains("BLOCK Blk_T5_T6"));
         assert!(out.process.has_activity("T8"));
+    }
+
+    #[test]
+    fn pipeline_reports_per_stage_timings() {
+        let out = run_pipeline(SAGA_SRC).unwrap();
+        let stages: Vec<&str> = out.stage_nanos.iter().map(|(s, _)| *s).collect();
+        assert_eq!(
+            stages,
+            ["parse", "model-rules", "translate", "import-analyze", "compile"]
+        );
     }
 
     #[test]

@@ -247,6 +247,11 @@ impl Database {
         self.locks.stats()
     }
 
+    /// WAL append/flush counters.
+    pub fn wal_stats(&self) -> crate::wal::WalStats {
+        self.wal.stats()
+    }
+
     /// Full WAL copy (audit/tests).
     pub fn wal_records(&self) -> Vec<LogRecord> {
         self.wal.records()

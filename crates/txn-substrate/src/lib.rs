@@ -61,4 +61,4 @@ pub use program::{
 pub use storage::{Key, Storage};
 pub use txn::{Transaction, TxnId, TxnStatus};
 pub use value::Value;
-pub use wal::{LogRecord, Lsn, Wal};
+pub use wal::{LogRecord, Lsn, Wal, WalStats};

@@ -84,7 +84,8 @@ struct LmState {
     stats: LockStats,
 }
 
-/// Counters exposed for the substrate benchmarks (experiment B8).
+/// Counters exposed for the substrate benchmarks (experiment B8) and
+/// the engine's observability snapshot.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct LockStats {
     /// Locks granted without waiting.
@@ -95,6 +96,9 @@ pub struct LockStats {
     pub deadlocks: u64,
     /// Shared→exclusive upgrades granted.
     pub upgrades: u64,
+    /// Total wall-clock nanoseconds requests spent blocked (both
+    /// eventually granted and deadlock-refused waits).
+    pub wait_nanos: u64,
 }
 
 /// The lock manager of one local database.
@@ -116,11 +120,13 @@ impl LockManager {
     /// wait-for cycle; the caller is expected to abort `txn`.
     pub fn acquire(&self, txn: TxnId, key: &str, mode: LockMode) -> Result<(), LockError> {
         let mut st = self.state.lock();
-        let mut registered = false;
+        let mut wait_start: Option<std::time::Instant> = None;
         loop {
+            let registered = wait_start.is_some();
             if Self::try_grant(&mut st, txn, key, mode, registered) {
-                if registered {
+                if let Some(t0) = wait_start {
                     Self::clear_waiter(&mut st, txn, key);
+                    st.stats.wait_nanos += t0.elapsed().as_nanos() as u64;
                 } else {
                     st.stats.immediate_grants += 1;
                 }
@@ -132,7 +138,7 @@ impl LockManager {
                     .or_default()
                     .waiters
                     .push_back((txn, mode));
-                registered = true;
+                wait_start = Some(std::time::Instant::now());
                 st.stats.waits += 1;
             }
             // (Re)compute this waiter's outgoing wait-for edges and run
@@ -143,6 +149,9 @@ impl LockManager {
                 Self::clear_waiter(&mut st, txn, key);
                 st.waits_for.remove(&txn);
                 st.stats.deadlocks += 1;
+                if let Some(t0) = wait_start {
+                    st.stats.wait_nanos += t0.elapsed().as_nanos() as u64;
+                }
                 return Err(LockError::Deadlock { cycle });
             }
             self.wakeup.wait(&mut st);

@@ -85,6 +85,20 @@ struct WalMirror {
     path: PathBuf,
 }
 
+/// Append/flush counters of one WAL, exposed for the engine's
+/// observability snapshot (atomically maintained; reading never blocks
+/// writers).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since creation.
+    pub appends: u64,
+    /// Appends that forced a flush (commit/abort durability barriers).
+    pub barrier_flushes: u64,
+    /// Total wall-clock nanoseconds spent in mirror file I/O
+    /// (append + policy-driven flush). Zero for in-memory logs.
+    pub mirror_nanos: u64,
+}
+
 /// The write-ahead log of one local database.
 ///
 /// Lock order (matters for the append/compact race): `records` is
@@ -97,6 +111,9 @@ pub struct Wal {
     records: Mutex<Vec<LogRecord>>,
     mirror: Mutex<Option<WalMirror>>,
     mirror_error: Mutex<Option<MirrorError>>,
+    appends: std::sync::atomic::AtomicU64,
+    barrier_flushes: std::sync::atomic::AtomicU64,
+    mirror_nanos: std::sync::atomic::AtomicU64,
 }
 
 impl Wal {
@@ -180,6 +197,7 @@ impl Wal {
     /// Appends a record, returning its LSN. Never panics on mirror
     /// I/O failure — see [`Wal::mirror_error`].
     pub fn append(&self, rec: LogRecord) -> Lsn {
+        use std::sync::atomic::Ordering;
         let barrier = matches!(rec, LogRecord::Commit { .. } | LogRecord::Abort { .. });
         // Serialization of LogRecord cannot fail: every variant is
         // plain data with serializable fields.
@@ -187,13 +205,31 @@ impl Wal {
         let mut records = self.records.lock();
         records.push(rec);
         let lsn = (records.len() - 1) as Lsn;
+        self.appends.fetch_add(1, Ordering::Relaxed);
+        if barrier {
+            self.barrier_flushes.fetch_add(1, Ordering::Relaxed);
+        }
         let mut guard = self.mirror.lock();
         if let Some(m) = guard.as_mut() {
-            if let Err(e) = m.writer.append_line(&line, barrier) {
+            let t0 = std::time::Instant::now();
+            let result = m.writer.append_line(&line, barrier);
+            self.mirror_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if let Err(e) = result {
                 Self::fail_mirror(&mut guard, &self.mirror_error, "append", &e);
             }
         }
         lsn
+    }
+
+    /// Snapshot of the append/flush counters.
+    pub fn stats(&self) -> WalStats {
+        use std::sync::atomic::Ordering;
+        WalStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            barrier_flushes: self.barrier_flushes.load(Ordering::Relaxed),
+            mirror_nanos: self.mirror_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// Forces buffered mirror lines to the file (a durability barrier

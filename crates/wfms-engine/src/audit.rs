@@ -29,11 +29,12 @@ pub fn trace(events: &[Event], instance: InstanceId) -> Vec<String> {
                 Some(format!("start:{path}#{attempt}"))
             }
             Event::ActivityFinished { path, output, .. } => {
-                let rc = output
-                    .get(wfms_model::RC_MEMBER)
-                    .and_then(|v| v.as_int())
-                    .unwrap_or(-1);
-                Some(format!("finish:{path}={rc}"))
+                // An absent RC member must not masquerade as a genuine
+                // return code of -1: render it as the distinct `?`.
+                Some(match output.get(wfms_model::RC_MEMBER).and_then(|v| v.as_int()) {
+                    Some(rc) => format!("finish:{path}={rc}"),
+                    None => format!("finish:{path}=?"),
+                })
             }
             Event::ActivityTerminated {
                 path,
@@ -190,6 +191,34 @@ mod tests {
             t,
             vec!["start:A#0", "finish:A=1", "dead:B", "done"]
         );
+    }
+
+    /// Regression: an `ActivityFinished` whose output carries no `RC`
+    /// member (possible for events produced by external tooling or
+    /// future activity kinds) used to render as `finish:A=-1`,
+    /// indistinguishable from a real return code of −1.
+    #[test]
+    fn trace_renders_missing_rc_as_question_mark() {
+        let i = InstanceId(1);
+        let evs = vec![Event::ActivityFinished {
+            instance: i,
+            path: "A".into(),
+            attempt: 0,
+            output: Container::empty(),
+            at: 2,
+        }];
+        assert_eq!(trace(&evs, i), vec!["finish:A=?"]);
+        // A genuine −1 still renders as −1.
+        let mut out = Container::empty();
+        out.set("RC", txn_substrate::Value::Int(-1));
+        let evs = vec![Event::ActivityFinished {
+            instance: i,
+            path: "A".into(),
+            attempt: 0,
+            output: out,
+            at: 2,
+        }];
+        assert_eq!(trace(&evs, i), vec!["finish:A=-1"]);
     }
 
     #[test]

@@ -103,6 +103,13 @@ pub struct SweepReport {
     pub failed: usize,
     /// Only the failing points (an all-green sweep stays small).
     pub failures: Vec<CrashPointResult>,
+    /// Recovery work performed across every crash point, summed from
+    /// each recovered engine's `recovery.*` counters: how many running
+    /// activities were restarted, waiting joins re-navigated,
+    /// connector sets re-evaluated, exits re-decided and stale claims
+    /// released over the whole sweep. A sweep that passes while these
+    /// stay zero exercised nothing — CI asserts on them.
+    pub recovery_fixups: BTreeMap<String, u64>,
 }
 
 impl SweepReport {
@@ -216,6 +223,7 @@ pub fn sweep(
         passed: 0,
         failed: 0,
         failures: Vec::new(),
+        recovery_fixups: BTreeMap::new(),
     };
     for k in 0..=n {
         let detail = run_crash_point(
@@ -229,6 +237,7 @@ pub fn sweep(
             &ref_db,
             make_world,
             cfg,
+            &mut report.recovery_fixups,
         );
         match detail {
             None => report.passed += 1,
@@ -279,6 +288,7 @@ fn run_crash_point(
     ref_db: &BTreeMap<String, BTreeMap<String, txn_substrate::Value>>,
     make_world: &WorldFactory<'_>,
     cfg: &SweepConfig,
+    fixups: &mut BTreeMap<String, u64>,
 ) -> Option<String> {
     let path = dir.join(format!("crash_{k}.journal"));
     let (multidb, programs) = make_world();
@@ -353,6 +363,13 @@ fn run_crash_point(
     };
     if let Err(e) = engine.run_all() {
         return Some(format!("resume failed: {e}"));
+    }
+    // Recovery fix-up counters record unconditionally (cold path), so
+    // even this observer-less engine reports what recovery repaired.
+    for (name, v) in engine.metrics().counters {
+        if name.starts_with("recovery.") && v > 0 {
+            *fixups.entry(name).or_insert(0) += v;
+        }
     }
 
     // Which reference instances survived the crash? Only those whose

@@ -12,6 +12,7 @@
 use crate::compiled::CompiledProcess;
 use crate::event::{Event, InstanceId, WorkItemId};
 use crate::journal::Journal;
+use crate::metrics::{EngineObs, JournalProbes, ScopeProbes};
 use crate::navigator::{self, NavServices};
 use crate::org::OrgModel;
 use crate::state::{split_path, ActState, Instance, InstanceStatus};
@@ -23,6 +24,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use txn_substrate::{DurabilityPolicy, MirrorError, MultiDatabase, ProgramRegistry, VirtualClock};
 use wfms_model::{validate, Container, ProcessDefinition, ValidationError};
+use wfms_observe::Observer;
 
 /// Errors surfaced by the engine API.
 #[derive(Debug)]
@@ -106,6 +108,12 @@ pub struct EngineConfig {
     pub durability: DurabilityPolicy,
     /// Upper bound on navigation steps per `run_to_quiescence` call.
     pub step_limit: usize,
+    /// Observability: pass [`Observer::enabled`] (or
+    /// [`Observer::with_sink`]) to record per-activity latency
+    /// histograms, navigator counters and journal flush timing. `None`
+    /// (the default) installs a disabled observer — every hot-path
+    /// hook reduces to one branch and records nothing.
+    pub observer: Option<Arc<Observer>>,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +123,7 @@ impl Default for EngineConfig {
             journal_path: None,
             durability: DurabilityPolicy::default(),
             step_limit: 1_000_000,
+            observer: None,
         }
     }
 }
@@ -132,6 +141,10 @@ pub struct Engine {
     pub(crate) programs: Arc<ProgramRegistry>,
     pub(crate) multidb: Arc<MultiDatabase>,
     pub(crate) clock: VirtualClock,
+    pub(crate) obs: EngineObs,
+    /// Per-template probe trees, built lazily on first start and shared
+    /// by every instance of the template (keyed by template name).
+    pub(crate) probes: Mutex<HashMap<String, Arc<ScopeProbes>>>,
 }
 
 impl Engine {
@@ -156,6 +169,13 @@ impl Engine {
                 .expect("cannot open journal file"),
             None => Journal::new(),
         };
+        let observer = config
+            .observer
+            .unwrap_or_else(|| Arc::new(Observer::disabled()));
+        if observer.is_enabled() {
+            journal.attach_probes(JournalProbes::new(observer.registry()));
+        }
+        let obs = EngineObs::new(observer);
         let clock = multidb.clock().clone();
         Self {
             templates: Mutex::new(HashMap::new()),
@@ -169,6 +189,8 @@ impl Engine {
             programs,
             multidb,
             clock,
+            obs,
+            probes: Mutex::new(HashMap::new()),
         }
     }
 
@@ -209,6 +231,7 @@ impl Engine {
             next_item: &self.next_item,
             programs: &self.programs,
             multidb: &self.multidb,
+            obs: &self.obs,
         }
     }
 
@@ -223,7 +246,16 @@ impl Engine {
             next_item: &self.next_item,
             programs: &self.programs,
             multidb: &self.multidb,
+            obs: &self.obs,
         }
+    }
+
+    /// The probe tree for `tpl`, built on first use and cached.
+    fn probes_for(&self, tpl: &Arc<CompiledProcess>) -> Arc<ScopeProbes> {
+        let mut cache = self.probes.lock();
+        Arc::clone(cache.entry(tpl.name().to_owned()).or_insert_with(|| {
+            ScopeProbes::build(&tpl.root, self.obs.observer.registry())
+        }))
     }
 
     /// Validates a definition and registers its **compiled template**
@@ -275,6 +307,9 @@ impl Engine {
         let mut instances = self.instances.lock();
         let id = InstanceId(self.next_instance.fetch_add(1, Ordering::Relaxed));
         let mut inst = Instance::new(id, tpl);
+        if self.obs.enabled() {
+            inst.probes = Some(self.probes_for(&inst.tpl));
+        }
         for (k, v) in input.iter() {
             inst.root.input.set(k, v.clone());
         }

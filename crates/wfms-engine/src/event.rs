@@ -226,11 +226,12 @@ impl Event {
                 None => format!("  {path} started"),
             },
             Event::ActivityFinished { path, output, .. } => {
-                let rc = output
-                    .get(wfms_model::RC_MEMBER)
-                    .and_then(|v| v.as_int())
-                    .unwrap_or(-1);
-                format!("  {path} finished (RC = {rc})")
+                // Same distinction as `audit::trace`: no RC member is
+                // rendered `?`, never conflated with a real −1.
+                match output.get(wfms_model::RC_MEMBER).and_then(|v| v.as_int()) {
+                    Some(rc) => format!("  {path} finished (RC = {rc})"),
+                    None => format!("  {path} finished (RC = ?)"),
+                }
             }
             Event::ActivityRescheduled {
                 path, next_attempt, ..

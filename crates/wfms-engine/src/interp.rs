@@ -5,24 +5,27 @@
 //! original engine did: string-keyed activity maps, a depth-first
 //! rescan of the definition on every step to find the next runnable
 //! activity, and transition/exit conditions evaluated from their
-//! `Expr` trees on every use. It supports exactly the automatic
-//! fragment of the semantics (program, no-op and block activities;
-//! AND/OR joins; dead path elimination; exit-condition loops; data
-//! connectors) and journals the same [`Event`]s in the same order as
-//! the compiled navigator, so it serves two purposes:
+//! `Expr` trees on every use. It supports the full single-threaded
+//! semantics — program, no-op and block activities; AND/OR joins; dead
+//! path elimination; exit-condition loops; data connectors; **manual
+//! activities** with worklists, claims and deadline notifications —
+//! and journals the same [`Event`]s in the same order as the compiled
+//! navigator, so it serves two purposes:
 //!
 //! * the **baseline** for the `nav_compiled` benchmark — the honest
 //!   "before" of the optimisation, not a strawman;
 //! * a **differential oracle**: property tests drive random process
-//!   graphs through both engines and require identical event
-//!   sequences, statuses and outputs.
+//!   graphs (including manual and deadline-bearing activities) through
+//!   both engines and require identical event sequences, statuses and
+//!   outputs.
 //!
-//! Manual activities, worklists, deadlines and recovery are out of
-//! scope here — those paths are exercised against the real engine
-//! directly.
+//! Recovery and parallel scheduling stay out of scope — those paths
+//! are exercised against the real engine directly.
 
-use crate::event::{Event, InstanceId};
+use crate::event::{Event, InstanceId, WorkItemId};
+use crate::org::OrgModel;
 use crate::state::{join_path, ActState, ActivityRt, InstanceStatus};
+use crate::worklist::{WorkItem, WorkItemState, WorklistError, WorklistStore};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use txn_substrate::{
@@ -111,11 +114,24 @@ pub struct RefEngine {
     multidb: Arc<MultiDatabase>,
     clock: VirtualClock,
     next_instance: u64,
+    org: OrgModel,
+    worklists: WorklistStore,
+    next_item: u64,
 }
 
 impl RefEngine {
     /// Builds a reference engine sharing the multidatabase's clock.
     pub fn new(multidb: Arc<MultiDatabase>, programs: Arc<ProgramRegistry>) -> Self {
+        Self::with_org(multidb, programs, OrgModel::new())
+    }
+
+    /// Builds a reference engine with an organization model, enabling
+    /// manual activities and deadline notifications.
+    pub fn with_org(
+        multidb: Arc<MultiDatabase>,
+        programs: Arc<ProgramRegistry>,
+        org: OrgModel,
+    ) -> Self {
         let clock = multidb.clock().clone();
         Self {
             defs: HashMap::new(),
@@ -125,6 +141,9 @@ impl RefEngine {
             multidb,
             clock,
             next_instance: 1,
+            org,
+            worklists: WorklistStore::new(),
+            next_item: 1,
         }
     }
 
@@ -163,11 +182,164 @@ impl RefEngine {
     pub fn run_to_quiescence(&mut self, id: InstanceId) -> InstanceStatus {
         let mut inst = self.instances.remove(&id).expect("known instance");
         while let Some(path) = Self::find_runnable(&inst) {
-            self.execute_activity(&mut inst, &path);
+            self.execute_activity(&mut inst, &path, None);
         }
         let status = inst.status;
         self.instances.insert(id, inst);
         status
+    }
+
+    /// The worklist of `person`, as the real engine reports it.
+    pub fn worklist(&self, person: &str) -> Vec<WorkItem> {
+        self.worklists
+            .worklist(person)
+            .into_iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Executes a work item on behalf of `person` (claiming it first
+    /// if still offered), then continues automatic navigation — the
+    /// oracle twin of [`crate::Engine::execute_item`].
+    pub fn execute_item(
+        &mut self,
+        item: WorkItemId,
+        person: &str,
+    ) -> Result<(), WorklistError> {
+        let it = self
+            .worklists
+            .get(item)
+            .ok_or(WorklistError::NoSuchItem(item))?
+            .clone();
+        match &it.state {
+            WorkItemState::Offered => {
+                self.worklists.claim(item, person)?;
+                self.journal.push(Event::WorkItemClaimed {
+                    item,
+                    person: person.to_owned(),
+                    at: self.clock.now(),
+                });
+            }
+            WorkItemState::Claimed(p) if p == person => {}
+            WorkItemState::Claimed(p) => {
+                return Err(WorklistError::AlreadyClaimed {
+                    item,
+                    by: p.clone(),
+                })
+            }
+            WorkItemState::Closed => return Err(WorklistError::Closed(item)),
+        }
+        let mut inst = self
+            .instances
+            .remove(&it.instance)
+            .expect("item's instance exists");
+        let path: Vec<String> = it.path.split('/').map(str::to_owned).collect();
+        let ready = inst
+            .resolve(&path[..path.len() - 1])
+            .and_then(|(_, s)| s.activities.get(&path[path.len() - 1]))
+            .is_some_and(|rt| rt.state == ActState::Ready);
+        assert!(ready, "open work item implies a ready activity");
+        self.execute_activity(&mut inst, &path, Some(person.to_owned()));
+        while let Some(p) = Self::find_runnable(&inst) {
+            self.execute_activity(&mut inst, &p, None);
+        }
+        self.instances.insert(it.instance, inst);
+        Ok(())
+    }
+
+    /// Advances the virtual clock and delivers due deadline
+    /// notifications, instance by instance in id order — the oracle
+    /// twin of [`crate::Engine::advance_clock`].
+    pub fn advance_clock(&mut self, ticks: txn_substrate::Tick) -> Vec<(String, String)> {
+        self.clock.advance(ticks);
+        let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+        let mut sent = Vec::new();
+        for id in ids {
+            let mut inst = self.instances.remove(&id).expect("known instance");
+            if inst.status == InstanceStatus::Running {
+                sent.extend(self.check_deadlines(&mut inst));
+            }
+            self.instances.insert(id, inst);
+        }
+        sent
+    }
+
+    /// Walks the definition for ready manual activities whose deadline
+    /// elapsed, notifying each eligible person's manager once per
+    /// readiness period. Scan order matches the compiled navigator:
+    /// deadline activities of a scope in declaration order, then
+    /// running blocks in declaration order.
+    fn check_deadlines(&mut self, inst: &mut RefInstance) -> Vec<(String, String)> {
+        fn scan(
+            def: &ProcessDefinition,
+            scope: &mut RefScope,
+            prefix: &mut Vec<String>,
+            now: txn_substrate::Tick,
+            org: &OrgModel,
+            due: &mut Vec<(Vec<String>, Vec<String>)>,
+        ) {
+            for act in &def.activities {
+                if act.automatic_start {
+                    continue;
+                }
+                let Some(deadline) = act.deadline else { continue };
+                let Some(rt) = scope.activities.get_mut(&act.name) else {
+                    continue;
+                };
+                if rt.state == ActState::Ready && !rt.notified {
+                    if let Some(since) = rt.ready_since {
+                        if since + deadline <= now {
+                            rt.notified = true;
+                            let mut managers: Vec<String> = org
+                                .resolve(&act.staff)
+                                .iter()
+                                .filter_map(|p| org.manager_of(p).map(|m| m.name.clone()))
+                                .collect();
+                            managers.sort();
+                            managers.dedup();
+                            let mut path = prefix.clone();
+                            path.push(act.name.clone());
+                            due.push((path, managers));
+                        }
+                    }
+                }
+            }
+            for act in &def.activities {
+                if let ActivityKind::Block { process } = &act.kind {
+                    let running = scope
+                        .activities
+                        .get(&act.name)
+                        .is_some_and(|rt| rt.state == ActState::Running);
+                    if running {
+                        if let Some(child) = scope.children.get_mut(&act.name) {
+                            prefix.push(act.name.clone());
+                            scan(process, child, prefix, now, org, due);
+                            prefix.pop();
+                        }
+                    }
+                }
+            }
+        }
+
+        let now = self.clock.now();
+        let mut due = Vec::new();
+        let def = Arc::clone(&inst.def);
+        scan(&def, &mut inst.root, &mut Vec::new(), now, &self.org, &mut due);
+
+        let mut sent = Vec::new();
+        for (path, managers) in due {
+            let path_str = join_path(&path);
+            for person in managers {
+                self.journal.push(Event::NotificationSent {
+                    instance: inst.id,
+                    path: path_str.clone(),
+                    person: person.clone(),
+                    at: now,
+                });
+                sent.push((path_str.clone(), person));
+            }
+        }
+        sent
     }
 
     /// Runs every instance to quiescence, in id order.
@@ -222,9 +394,12 @@ impl RefEngine {
         let instance = inst.id;
         let now = self.clock.now();
         let (name, scope_path) = path.split_last().expect("path never empty");
-        let Some((_, scope)) = inst.resolve_mut(scope_path) else {
+        let Some((def, scope)) = inst.resolve_mut(scope_path) else {
             return;
         };
+        let act = def.activity(name).expect("activity exists");
+        let automatic = act.automatic_start;
+        let staff = act.staff.clone();
         let rt = scope.activities.get_mut(name).expect("activity exists");
         rt.state = ActState::Ready;
         rt.ready_since = Some(now);
@@ -236,6 +411,27 @@ impl RefEngine {
             attempt,
             at: now,
         });
+        if !automatic {
+            let persons = self.org.resolve(&staff);
+            let item = WorkItemId(self.next_item);
+            self.next_item += 1;
+            self.worklists.offer(WorkItem {
+                id: item,
+                instance,
+                path: join_path(path),
+                attempt,
+                offered_to: persons.clone(),
+                state: WorkItemState::Offered,
+                offered_at: now,
+            });
+            self.journal.push(Event::WorkItemOffered {
+                instance,
+                path: join_path(path),
+                item,
+                persons,
+                at: now,
+            });
+        }
     }
 
     /// The original hot path: rescan the definition depth-first in
@@ -277,7 +473,7 @@ impl RefEngine {
         scan(&inst.def, &inst.root, &mut Vec::new())
     }
 
-    fn execute_activity(&mut self, inst: &mut RefInstance, path: &[String]) {
+    fn execute_activity(&mut self, inst: &mut RefInstance, path: &[String], by: Option<String>) {
         let instance = inst.id;
         let (name, scope_path) = path.split_last().expect("path never empty");
         let input = Self::materialize_input(inst, scope_path, name);
@@ -295,7 +491,7 @@ impl RefEngine {
             instance,
             path: join_path(path),
             attempt,
-            by: None,
+            by,
             input: input.clone(),
             at: self.clock.now(),
         });
@@ -404,6 +600,7 @@ impl RefEngine {
             output: output.clone(),
             at: self.clock.now(),
         });
+        self.worklists.close_for(instance, &join_path(path));
         self.decide_exit(inst, path);
     }
 
@@ -462,6 +659,7 @@ impl RefEngine {
             executed,
             at: self.clock.now(),
         });
+        self.worklists.close_for(instance, &join_path(path));
 
         if executed {
             for d in &def.data {

@@ -22,9 +22,11 @@
 //! affected instances instead of dying mid-navigation.
 
 use crate::event::Event;
+use crate::metrics::JournalProbes;
 use parking_lot::Mutex;
 use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 use txn_substrate::durability::{
     atomic_rewrite, read_json_lines, DurabilityPolicy, DurableWriter, MirrorError, TailReport,
 };
@@ -49,6 +51,10 @@ pub struct Journal {
     events: Mutex<Vec<Event>>,
     mirror: Mutex<Option<JournalMirror>>,
     mirror_error: Mutex<Option<MirrorError>>,
+    /// Observability instruments, attached by the engine when its
+    /// observer is enabled. `OnceLock::get` on the (common) empty cell
+    /// is a single atomic load, so unobserved journals pay nothing.
+    probes: OnceLock<JournalProbes>,
 }
 
 impl Journal {
@@ -141,9 +147,21 @@ impl Journal {
         *guard = None;
     }
 
+    /// Attaches metrics probes (append counts, append/flush latency,
+    /// batch sizes). First attachment wins; called once by the engine
+    /// at construction when observability is enabled.
+    pub(crate) fn attach_probes(&self, probes: JournalProbes) {
+        let _ = self.probes.set(probes);
+    }
+
     /// Appends an event. Mirror I/O failures do not panic; they are
     /// reported through [`Journal::mirror_error`].
     pub fn append(&self, event: Event) {
+        // Latency is sampled 1-in-16; the append counter stays exact.
+        let t0 = self
+            .probes
+            .get()
+            .and_then(|p| p.sample_tick().then(std::time::Instant::now));
         let line = serde_json::to_string(&event).expect("Event is always serializable");
         let mut events = self.events.lock();
         events.push(event);
@@ -151,6 +169,12 @@ impl Journal {
         if let Some(m) = guard.as_mut() {
             if let Err(e) = m.writer.append_line(&line, false) {
                 Self::fail_mirror(&mut guard, &self.mirror_error, "append", &e);
+            }
+        }
+        if let Some(p) = self.probes.get() {
+            p.appends.inc();
+            if let Some(t0) = t0 {
+                p.append_ns.record(t0.elapsed().as_nanos() as u64);
             }
         }
     }
@@ -161,6 +185,10 @@ impl Journal {
     pub fn append_batch(&self, batch: Vec<Event>) {
         if batch.is_empty() {
             return;
+        }
+        if let Some(p) = self.probes.get() {
+            p.appends.add(batch.len() as u64);
+            p.batch_size.record(batch.len() as u64);
         }
         let lines: Vec<String> = batch
             .iter()

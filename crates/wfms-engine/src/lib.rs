@@ -48,6 +48,7 @@ pub mod engine;
 pub mod event;
 pub mod interp;
 pub mod journal;
+pub mod metrics;
 pub mod navigator;
 pub mod org;
 pub mod recovery;
@@ -60,6 +61,8 @@ pub use engine::{Engine, EngineConfig, EngineError};
 pub use interp::RefEngine;
 pub use event::{Event, InstanceId, InstanceSnapshot, WorkItemId};
 pub use journal::Journal;
+pub use metrics::{DbMetrics, EngineMetrics, LatencySummary};
+pub use wfms_observe::Observer;
 pub use org::{OrgModel, Person};
 pub use recovery::{recover, recover_from, RecoveryError};
 pub use state::{ActState, ActivityRt, Instance, InstanceStatus, ScopeState};

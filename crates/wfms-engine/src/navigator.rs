@@ -37,6 +37,7 @@
 use crate::compiled::{ActId, CompiledKind, CompiledScope, DataSource, IdPath};
 use crate::event::{Event, WorkItemId};
 use crate::journal::Journal;
+use crate::metrics::EngineObs;
 use crate::org::OrgModel;
 use crate::state::{ActState, Instance, InstanceStatus, ScopeState};
 use crate::worklist::{WorkItem, WorkItemState, WorklistStore};
@@ -68,6 +69,11 @@ pub struct NavServices<'a> {
     pub programs: &'a ProgramRegistry,
     /// The multidatabase programs run against.
     pub multidb: &'a Arc<MultiDatabase>,
+    /// Observability instruments (pre-resolved counters/gauges; see
+    /// [`crate::metrics`]). Hot-path hooks are gated on
+    /// [`EngineObs::enabled`]; none of them journal events or read the
+    /// clock, so journals stay byte-identical with metrics on.
+    pub(crate) obs: &'a EngineObs,
 }
 
 impl NavServices<'_> {
@@ -79,6 +85,9 @@ impl NavServices<'_> {
 /// Starts `inst`: journals the start event and makes the start
 /// activities of the root scope ready.
 pub fn start_instance(inst: &mut Instance, svc: &NavServices<'_>) {
+    svc.obs
+        .observer
+        .trace_event("instance.start", || format!("{} {}", inst.id, inst.tpl.def.name));
     svc.journal.append(Event::InstanceStarted {
         instance: inst.id,
         process: inst.tpl.def.name.clone(),
@@ -129,7 +138,13 @@ fn make_ready(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
     });
     if act.automatic {
         inst.push_ready(path.to_vec());
+        if svc.obs.enabled() {
+            svc.obs.ready_depth.record_max(inst.ready.len() as i64);
+        }
     } else {
+        if svc.obs.enabled() {
+            svc.obs.items_offered.inc();
+        }
         let persons = svc.org.lock().resolve(&act.staff);
         let item = WorkItemId(svc.next_item.fetch_add(1, Ordering::Relaxed));
         svc.worklists.lock().offer(WorkItem {
@@ -259,6 +274,19 @@ pub fn execute_activity(
         at: svc.now(),
     });
 
+    let _span = svc.obs.enabled().then(|| {
+        svc.obs.executions.inc();
+        if attempt > 0 {
+            svc.obs.retries.inc();
+        }
+        svc.obs
+            .observer
+            .span("activity.execute", || tpl.path_string(path))
+    });
+    // Start→finish latency clock: probes are only handed to instances
+    // of observed engines, so this is one `None` check otherwise.
+    let t0 = inst.probes.as_ref().map(|_| std::time::Instant::now());
+
     match &act.kind {
         CompiledKind::NoOp => {
             // A no-op activity "commits" immediately with rc 1 and
@@ -271,6 +299,7 @@ pub fn execute_activity(
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect();
             complete_execution(inst, svc, path, 1, outputs);
+            record_latency(inst, path, t0);
         }
         CompiledKind::Program(program) => {
             let mut ctx = ProgramContext::new(Arc::clone(svc.multidb));
@@ -285,6 +314,7 @@ pub fn execute_activity(
                 ProgramOutcome::Aborted { rc, .. } => (rc, BTreeMap::new()),
             };
             complete_execution(inst, svc, path, rc, outputs);
+            record_latency(inst, path, t0);
         }
         CompiledKind::Block(child) => {
             // Start the child scope; its input container is the block
@@ -302,7 +332,19 @@ pub fn execute_activity(
             // An empty block (no activities) finishes immediately;
             // validation forbids it, but stay safe.
             check_scope_completion(inst, svc, path);
+            // No latency probe for blocks: a block "runs" across many
+            // navigation steps, so its wall-clock span is the sum of
+            // its inner activities' probes.
         }
+    }
+}
+
+/// Records start→finish latency into the instance's pre-resolved probe
+/// for `path`. `t0` is `Some` only on observed engines.
+fn record_latency(inst: &Instance, path: &[ActId], t0: Option<std::time::Instant>) {
+    let Some(t0) = t0 else { return };
+    if let Some(h) = inst.probes.as_ref().and_then(|p| p.probe(path)) {
+        h.record(t0.elapsed().as_nanos() as u64);
     }
 }
 
@@ -337,6 +379,20 @@ pub fn complete_execution(
         }
     }
     output.set(RC_MEMBER, Value::Int(rc));
+
+    if svc.obs.enabled() {
+        // Count executions that ran inside a compensation block (the
+        // saga translation nests undo activities in a block named
+        // "Compensation" — see the atm crate's saga lowering).
+        if let Some((&bid, parents)) = scope_ids.split_last() {
+            if tpl
+                .scope_at(parents)
+                .is_some_and(|pcs| pcs.act(bid).name == "Compensation")
+            {
+                svc.obs.compensations.inc();
+            }
+        }
+    }
 
     let rt = scope.rt_mut(id);
     rt.state = ActState::Finished;
@@ -375,6 +431,9 @@ pub fn decide_exit(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
     if exit_ok {
         terminate_activity(inst, svc, path, true);
     } else {
+        if svc.obs.enabled() {
+            svc.obs.reschedules.inc();
+        }
         if matches!(act.kind, CompiledKind::Block(_)) {
             // A rescheduled block starts over with a fresh child scope.
             scope.remove_child(id);
@@ -517,6 +576,9 @@ pub fn terminate_activity(
     let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
         return;
     };
+    if !executed && svc.obs.enabled() {
+        svc.obs.dead_paths.inc();
+    }
     let rt = scope.rt_mut(id);
     rt.state = ActState::Terminated;
     rt.executed = executed;
@@ -647,6 +709,9 @@ pub(crate) fn check_scope_completion(
     if scope_ids.is_empty() {
         if inst.status == InstanceStatus::Running {
             inst.status = InstanceStatus::Finished;
+            svc.obs
+                .observer
+                .trace_event("instance.finished", || format!("{instance}"));
             svc.journal.append(Event::InstanceFinished {
                 instance,
                 output,
@@ -784,6 +849,11 @@ pub fn check_deadlines(
             });
             sent.push((path_str.clone(), person));
         }
+    }
+    // Deadline checks run off the clock-advance path (cold), so count
+    // unconditionally — recovered engines report them too.
+    if !sent.is_empty() {
+        svc.obs.notifications.add(sent.len() as u64);
     }
     sent
 }

@@ -25,6 +25,7 @@ use crate::compiled::{ActId, CompiledKind, CompiledProcess, CompiledScope, IdPat
 use crate::engine::{Engine, EngineConfig};
 use crate::event::{Event, InstanceId};
 use crate::journal::Journal;
+use crate::metrics::EngineObs;
 use crate::navigator;
 use crate::org::OrgModel;
 use crate::state::{split_path, ActState, Instance, InstanceStatus, ScopeState};
@@ -36,6 +37,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use txn_substrate::{MultiDatabase, ProgramRegistry};
 use wfms_model::ProcessDefinition;
+use wfms_observe::Observer;
 
 /// Errors surfaced by recovery.
 #[derive(Debug)]
@@ -128,6 +130,14 @@ pub fn recover_from(
         inst.rebuild_ready();
     }
 
+    // Claims are leases held by a live session: the replay just
+    // re-claimed items for workers that died with the crashed engine,
+    // which would park those items on dead worklists forever. Put them
+    // back on offer. Not journalled — replaying the same journal again
+    // (a chained crash–recover cycle) re-claims and re-releases
+    // identically, so the repair is deterministic.
+    let stale_claims = worklists.release_stale_claims();
+
     let clock = multidb.clock().clone();
     clock.advance_to(max_tick);
 
@@ -143,7 +153,17 @@ pub fn recover_from(
         programs,
         multidb,
         clock,
+        obs: EngineObs::new(Arc::new(Observer::disabled())),
+        probes: Mutex::new(HashMap::new()),
     };
+    if stale_claims > 0 {
+        engine
+            .obs
+            .observer
+            .registry()
+            .counter("recovery.stale_claims_released")
+            .add(stale_claims as u64);
+    }
 
     resume(&engine);
     Ok(engine)
@@ -438,7 +458,16 @@ fn resume(engine: &Engine) {
         next_item: &engine.next_item,
         programs: &engine.programs,
         multidb: &engine.multidb,
+        obs: &engine.obs,
     };
+    // Recovery is cold: count every fix-up category unconditionally so
+    // `Engine::metrics` answers "what did recovery repair" even on
+    // engines without an enabled observer.
+    let reg = engine.obs.observer.registry();
+    let fix_running = reg.counter("recovery.fixups.running_restarted");
+    let fix_waiting = reg.counter("recovery.fixups.waiting_renavigated");
+    let fix_terminated = reg.counter("recovery.fixups.connectors_reevaluated");
+    let fix_finished = reg.counter("recovery.fixups.exits_redecided");
     for inst in instances.values_mut() {
         if inst.status != InstanceStatus::Running {
             continue;
@@ -449,6 +478,10 @@ fn resume(engine: &Engine) {
         let tpl = Arc::clone(&inst.tpl);
         let mut fx = Fixups::default();
         collect_fixups(&tpl.root, &inst.root, &mut Vec::new(), &mut fx);
+        fix_running.add(fx.running_programs.len() as u64);
+        fix_waiting.add(fx.waiting.len() as u64);
+        fix_terminated.add(fx.terminated_missing.len() as u64);
+        fix_finished.add(fx.finished.len() as u64);
 
         for path in fx.running_programs {
             navigator::reset_running_to_ready(inst, &svc, &path);

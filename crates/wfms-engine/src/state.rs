@@ -230,6 +230,10 @@ pub struct Instance {
     pub status: InstanceStatus,
     /// Ready automatic activities (min-heap; may hold stale entries).
     pub(crate) ready: BinaryHeap<Reverse<IdPath>>,
+    /// Pre-resolved latency probes for this instance's template; `None`
+    /// unless the owning engine's observer is enabled. Runtime-only —
+    /// never serialised into snapshots or the journal.
+    pub(crate) probes: Option<Arc<crate::metrics::ScopeProbes>>,
 }
 
 impl Instance {
@@ -242,6 +246,7 @@ impl Instance {
             root,
             status: InstanceStatus::Running,
             ready: BinaryHeap::new(),
+            probes: None,
         }
     }
 

@@ -172,6 +172,38 @@ impl WorklistStore {
         }
     }
 
+    /// Releases every claimed item back to `Offered`, returning how
+    /// many were released. Claims are leases held by a live engine
+    /// session: after a crash the claiming worker's session is gone,
+    /// so recovery calls this to put claimed-but-unstarted items back
+    /// on every eligible worklist instead of leaving them parked on a
+    /// dead worker forever. (Items whose activity had already started
+    /// are re-offered separately by the running-activity fix-up.)
+    pub fn release_stale_claims(&mut self) -> usize {
+        let mut released = 0;
+        for it in self.items.values_mut() {
+            if matches!(it.state, WorkItemState::Claimed(_)) {
+                it.state = WorkItemState::Offered;
+                released += 1;
+            }
+        }
+        released
+    }
+
+    /// Counts items by state: `(offered, claimed, closed)` — the
+    /// worklist portion of the engine's metrics snapshot.
+    pub fn state_counts(&self) -> (u64, u64, u64) {
+        let (mut offered, mut claimed, mut closed) = (0, 0, 0);
+        for it in self.items.values() {
+            match it.state {
+                WorkItemState::Offered => offered += 1,
+                WorkItemState::Claimed(_) => claimed += 1,
+                WorkItemState::Closed => closed += 1,
+            }
+        }
+        (offered, claimed, closed)
+    }
+
     /// Looks up an item.
     pub fn get(&self, item: WorkItemId) -> Option<&WorkItem> {
         self.items.get(&item)
@@ -268,6 +300,24 @@ mod tests {
         let remaining = s.worklist("ann");
         assert_eq!(remaining.len(), 1);
         assert_eq!(remaining[0].path, "B");
+    }
+
+    #[test]
+    fn release_stale_claims_reoffers_only_claimed_items() {
+        let mut s = WorklistStore::new();
+        s.offer(item(1, &["ann", "bob"]));
+        s.offer(item(2, &["ann"]));
+        let mut closed = item(3, &["ann"]);
+        closed.state = WorkItemState::Closed;
+        s.offer(closed);
+        s.claim(WorkItemId(1), "ann").unwrap();
+        assert_eq!(s.release_stale_claims(), 1);
+        assert_eq!(s.get(WorkItemId(1)).unwrap().state, WorkItemState::Offered);
+        assert_eq!(s.get(WorkItemId(2)).unwrap().state, WorkItemState::Offered);
+        assert_eq!(s.get(WorkItemId(3)).unwrap().state, WorkItemState::Closed);
+        // Bob sees the item again: the dead worker's lease is gone.
+        assert_eq!(s.worklist("bob").len(), 1);
+        assert_eq!(s.release_stale_claims(), 0);
     }
 
     #[test]

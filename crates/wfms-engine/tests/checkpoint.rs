@@ -98,7 +98,7 @@ fn checkpoint_compacts_and_recovery_resumes_from_it() {
 }
 
 #[test]
-fn checkpoint_preserves_claimed_items() {
+fn checkpoint_claimed_items_are_reoffered_on_recovery() {
     let (fed, registry) = world();
     let org = OrgModel::new().person("ann", &["clerk"]).person("bob", &["clerk"]);
     let def = manual_then_auto();
@@ -115,6 +115,7 @@ fn checkpoint_preserves_claimed_items() {
     engine.run_to_quiescence(id).unwrap();
     let item = engine.worklist("ann")[0].id;
     engine.claim(item, "ann").unwrap();
+    assert!(engine.worklist("bob").is_empty(), "claimed items vanish");
     engine.checkpoint();
     let events = engine.journal_events();
     engine.crash();
@@ -128,11 +129,13 @@ fn checkpoint_preserves_claimed_items() {
         registry,
     )
     .unwrap();
-    // The claim survived: bob cannot see or take the item, ann can run
-    // it.
-    assert!(recovered.worklist("bob").is_empty());
+    // The item survived the checkpoint, but the claim did not: a claim
+    // is a lease held by the crashed session, so recovery releases it
+    // back onto every eligible worklist instead of parking it on a
+    // dead worker. Bob can now take over the work.
+    assert_eq!(recovered.worklist("bob").len(), 1, "lease released");
     assert_eq!(recovered.worklist("ann").len(), 1);
-    recovered.execute_item(item, "ann").unwrap();
+    recovered.execute_item(item, "bob").unwrap();
     assert_eq!(recovered.status(id).unwrap(), InstanceStatus::Finished);
 }
 

@@ -240,6 +240,51 @@ fn concurrent_append_and_compact_keep_file_consistent() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A work item claimed just before the crash (journal ends with
+/// `WorkItemClaimed`, the activity never started) must not stay
+/// claimed by the dead worker's session after recovery. The claim is a
+/// lease: recovery replays it, then releases it back onto every
+/// eligible worklist, so a colleague can pick the work up. This used
+/// to leave the item parked on the dead worker forever.
+#[test]
+fn claimed_item_is_reoffered_after_crash_recovery() {
+    let dir = temp_dir("stale-claim");
+    let path = dir.join("claimed.journal");
+    let def = ProcessBuilder::new("m")
+        .activity(wfms_model::Activity::program("M", "do_A").for_role("clerk"))
+        .build()
+        .unwrap();
+    let org = OrgModel::new()
+        .person("ann", &["clerk"])
+        .person("bob", &["clerk"]);
+    let (fed, registry) = fixture_world();
+    let engine = Engine::with_config(
+        fed.clone(),
+        Arc::clone(&registry),
+        EngineConfig {
+            org: org.clone(),
+            journal_path: Some(path.clone()),
+            ..EngineConfig::default()
+        },
+    );
+    engine.register(def.clone()).unwrap();
+    let id = engine.start("m", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    let item = engine.worklist("ann")[0].id;
+    engine.claim(item, "ann").unwrap();
+    assert!(engine.worklist("bob").is_empty(), "claim hides the item");
+    engine.crash();
+
+    let recovered = recover(&path, vec![def], org, fed, registry).unwrap();
+    // Ann's session died with the engine; the lease is gone and both
+    // clerks see the offer again.
+    assert_eq!(recovered.worklist("ann").len(), 1, "re-offered to ann");
+    assert_eq!(recovered.worklist("bob").len(), 1, "re-offered to bob");
+    recovered.execute_item(item, "bob").unwrap();
+    assert_eq!(recovered.status(id).unwrap(), InstanceStatus::Finished);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Crash *after* a checkpoint compaction: the journal file starts at
 /// the `EngineCheckpoint`, not at `InstanceStarted`, and recovery must
 /// rebuild from the snapshot then resume the tail of the run.

@@ -1,0 +1,336 @@
+//! The engine observability layer end to end: metrics snapshots on
+//! observed and unobserved engines, counter semantics (executions,
+//! retries, dead paths, work items, notifications), journal probes,
+//! trace sinks — and the invariant everything else depends on: the
+//! journal is **byte-for-byte identical** with observability enabled.
+
+use std::sync::Arc;
+use txn_substrate::{KvProgram, MultiDatabase, ProgramOutcome, ProgramRegistry};
+use wfms_engine::{recover, Engine, EngineConfig, InstanceStatus, OrgModel};
+use wfms_model::{Activity, Container, ProcessBuilder, ProcessDefinition};
+use wfms_observe::{Observer, RecordingSink, TraceKind};
+
+fn world() -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
+    let fed = MultiDatabase::new(0);
+    fed.add_database("db");
+    let registry = Arc::new(ProgramRegistry::new());
+    registry.register(Arc::new(KvProgram::write("mark_a", "db", "a", 1i64)));
+    registry.register(Arc::new(KvProgram::write("mark_b", "db", "b", 1i64)));
+    (fed, registry)
+}
+
+/// A → (B | C): B runs when RC = 1, C is dead-path-eliminated.
+fn branching() -> ProcessDefinition {
+    ProcessBuilder::new("branch")
+        .program("A", "mark_a")
+        .program("B", "mark_b")
+        .program("C", "mark_b")
+        .connect_when("A", "B", "RC = 1")
+        .connect_when("A", "C", "RC = 2")
+        .build()
+        .unwrap()
+}
+
+fn observed_engine(
+    fed: Arc<MultiDatabase>,
+    registry: Arc<ProgramRegistry>,
+    org: OrgModel,
+) -> Engine {
+    Engine::with_config(
+        fed,
+        registry,
+        EngineConfig {
+            org,
+            observer: Some(Arc::new(Observer::enabled())),
+            ..EngineConfig::default()
+        },
+    )
+}
+
+#[test]
+fn metrics_snapshot_has_latency_counters_and_federation() {
+    let (fed, registry) = world();
+    let engine = observed_engine(Arc::clone(&fed), registry, OrgModel::new());
+    engine.register(branching()).unwrap();
+    for _ in 0..3 {
+        let id = engine.start("branch", Container::empty()).unwrap();
+        assert_eq!(
+            engine.run_to_quiescence(id).unwrap(),
+            InstanceStatus::Finished
+        );
+    }
+
+    let m = engine.metrics();
+    assert_eq!(m.instances_finished, 3);
+    assert_eq!(m.instances_running, 0);
+
+    // Per-activity latency: A and B executed three times each; C never
+    // ran (dead path), so its histogram is registered but empty.
+    assert_eq!(m.activities["A"].count, 3);
+    assert_eq!(m.activities["B"].count, 3);
+    assert_eq!(m.activities["C"].count, 0);
+    assert!(m.activities["A"].max_ns > 0, "a real duration was recorded");
+    assert!(m.activities["A"].p50_ns <= m.activities["A"].p99_ns);
+
+    // Navigator counters.
+    assert_eq!(m.counters["nav.executions"], 6, "A and B, three runs");
+    assert_eq!(m.counters["nav.dead_paths"], 3, "C eliminated per run");
+    assert_eq!(m.counters["nav.retries"], 0);
+    assert!(m.gauges["engine.ready_heap_depth"] >= 1);
+
+    // Journal probes: every event of every run went through append.
+    assert_eq!(
+        m.counters["journal.appends"],
+        m.journal_events,
+        "append counter matches the journal length"
+    );
+    // Append latency is sampled 1-in-16 (the first append always
+    // samples), so the histogram holds a subset of the appends.
+    let sampled = m.histograms["journal.append_ns"].count;
+    assert!(sampled >= 1 && sampled <= m.journal_events);
+    assert_eq!(sampled, m.journal_events.div_ceil(16));
+
+    // Federation statistics come straight from the substrate.
+    assert_eq!(m.federation.len(), 1);
+    let db = &m.federation[0];
+    assert_eq!(db.name, "db");
+    assert_eq!(db.txns_committed, 6);
+    assert_eq!(db.writes, 6);
+    assert!(db.wal_appends > 0);
+}
+
+#[test]
+fn unobserved_engine_still_reports_cold_metrics() {
+    let (fed, registry) = world();
+    let engine = Engine::new(Arc::clone(&fed), registry);
+    engine.register(branching()).unwrap();
+    let id = engine.start("branch", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+
+    let m = engine.metrics();
+    assert_eq!(m.instances_finished, 1);
+    assert!(m.activities.is_empty(), "no probes without an observer");
+    assert_eq!(m.counters["nav.executions"], 0, "hot hooks gated off");
+    assert_eq!(m.federation[0].txns_committed, 2, "substrate still counts");
+    assert!(m.journal_events > 0);
+}
+
+#[test]
+fn retries_and_reschedules_count_exit_condition_loops() {
+    let (fed, _) = world();
+    let registry = Arc::new(ProgramRegistry::new());
+    // Commits rc = attempt + 1: the exit condition "RC >= 2" fails once.
+    registry.register_fn("flaky", |ctx| ProgramOutcome::Committed {
+        rc: i64::from(ctx.attempt) + 1,
+        outputs: Default::default(),
+    });
+    let def = ProcessBuilder::new("loopy")
+        .activity(Activity::program("F", "flaky").with_exit("RC >= 2"))
+        .build()
+        .unwrap();
+    let engine = observed_engine(fed, registry, OrgModel::new());
+    engine.register(def).unwrap();
+    let id = engine.start("loopy", Container::empty()).unwrap();
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
+
+    let m = engine.metrics();
+    assert_eq!(m.counters["nav.executions"], 2, "attempt 0 and attempt 1");
+    assert_eq!(m.counters["nav.reschedules"], 1);
+    assert_eq!(m.counters["nav.retries"], 1);
+    assert_eq!(m.activities["F"].count, 2, "both attempts timed");
+}
+
+#[test]
+fn worklist_and_notification_counters() {
+    let (fed, registry) = world();
+    let org = OrgModel::new()
+        .person("boss", &["manager"])
+        .person_under("ann", &["clerk"], "boss", 2);
+    let def = ProcessBuilder::new("m")
+        .activity(
+            Activity::program("M", "mark_a")
+                .for_role("clerk")
+                .with_deadline(5),
+        )
+        .build()
+        .unwrap();
+    let engine = observed_engine(fed, registry, org);
+    engine.register(def).unwrap();
+    let id = engine.start("m", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+
+    let m = engine.metrics();
+    assert_eq!(m.counters["worklist.items_offered"], 1);
+    assert_eq!(m.items_offered, 1);
+    assert_eq!(m.counters["nav.notifications"], 0);
+
+    // Blow the deadline: ann's manager is notified.
+    engine.advance_clock(10);
+    let m = engine.metrics();
+    assert_eq!(m.counters["nav.notifications"], 1);
+
+    let item = engine.worklist("ann")[0].id;
+    engine.execute_item(item, "ann").unwrap();
+    let m = engine.metrics();
+    assert_eq!(m.items_offered, 0);
+    assert_eq!(m.items_closed, 1);
+    assert_eq!(engine.status(id).unwrap(), InstanceStatus::Finished);
+}
+
+/// The load-bearing invariant: enabling observability changes *no*
+/// journal bytes. Hooks never append events and never advance the
+/// clock, so the golden appendix traces hold with metrics on.
+#[test]
+fn journal_is_byte_identical_with_observability_enabled() {
+    let run = |observer: Option<Arc<Observer>>| -> Vec<String> {
+        let (fed, registry) = world();
+        let engine = Engine::with_config(
+            fed,
+            registry,
+            EngineConfig {
+                observer,
+                ..EngineConfig::default()
+            },
+        );
+        engine.register(branching()).unwrap();
+        for _ in 0..3 {
+            let id = engine.start("branch", Container::empty()).unwrap();
+            engine.run_to_quiescence(id).unwrap();
+        }
+        engine
+            .journal_events()
+            .iter()
+            .map(|e| serde_json::to_string(e).unwrap())
+            .collect()
+    };
+    let plain = run(None);
+    let observed = run(Some(Arc::new(Observer::enabled())));
+    assert_eq!(plain, observed, "observability must not perturb the journal");
+}
+
+#[test]
+fn parallel_run_records_into_shared_instruments() {
+    let (fed, registry) = world();
+    let engine = observed_engine(fed, registry, OrgModel::new());
+    engine.register(branching()).unwrap();
+    for _ in 0..16 {
+        engine.start("branch", Container::empty()).unwrap();
+    }
+    engine.run_all_parallel(4).unwrap();
+
+    let m = engine.metrics();
+    assert_eq!(m.instances_finished, 16);
+    assert_eq!(m.counters["nav.executions"], 32, "atomics survive threads");
+    assert_eq!(m.activities["A"].count, 16);
+    // The shard merge lands as one batched append on the main journal.
+    assert!(m.histograms["journal.batch_size"].count >= 1);
+    assert!(m.histograms["journal.batch_size"].max_ns > 1);
+}
+
+#[test]
+fn trace_sink_sees_spans_and_instance_events() {
+    let (fed, registry) = world();
+    let sink = Arc::new(RecordingSink::new());
+    let observer = Arc::new(
+        Observer::enabled().with_sink(Arc::clone(&sink) as Arc<dyn wfms_observe::TraceSink>),
+    );
+    let engine = Engine::with_config(
+        fed,
+        registry,
+        EngineConfig {
+            observer: Some(observer),
+            ..EngineConfig::default()
+        },
+    );
+    engine.register(branching()).unwrap();
+    let id = engine.start("branch", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+
+    let events = sink.events();
+    let starts = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Event && e.name == "instance.start")
+        .count();
+    assert_eq!(starts, 1);
+    let exec_spans: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Enter && e.name == "activity.execute")
+        .collect();
+    assert_eq!(exec_spans.len(), 2, "A and B entered");
+    assert!(exec_spans.iter().any(|e| e.detail == "A"));
+    let exits = events
+        .iter()
+        .filter(|e| e.kind == TraceKind::Exit && e.name == "activity.execute")
+        .count();
+    assert_eq!(exits, 2, "span guards closed");
+    assert!(events
+        .iter()
+        .any(|e| e.kind == TraceKind::Event && e.name == "instance.finished"));
+}
+
+#[test]
+fn exposition_formats_render_the_snapshot() {
+    let (fed, registry) = world();
+    let engine = observed_engine(fed, registry, OrgModel::new());
+    engine.register(branching()).unwrap();
+    let id = engine.start("branch", Container::empty()).unwrap();
+    engine.run_to_quiescence(id).unwrap();
+    let m = engine.metrics();
+
+    let json = m.to_json();
+    assert!(json.contains("\"instances_finished\": 1"), "{json}");
+    assert!(json.contains("\"activities\""));
+    assert!(json.contains("\"A\""));
+    assert!(json.contains("\"txns_committed\": 2"));
+
+    let prom = m.to_prometheus();
+    assert!(prom.contains("# TYPE nav_executions counter"));
+    assert!(prom.contains("nav_executions 2"));
+    assert!(prom.contains("engine_instances_finished 1"));
+    assert!(prom.contains("engine_act_latency_ns{label=\"A\",quantile=\"0.5\"}"));
+    assert!(prom.contains("db_txns_committed{db=\"db\"} 2"));
+}
+
+#[test]
+fn recovery_fixups_are_counted_on_unobserved_engines() {
+    let dir = std::env::temp_dir().join(format!("wfms-obs-rec-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("rec.journal");
+    let def = branching();
+    let (fed, registry) = world();
+    let engine = Engine::with_config(
+        Arc::clone(&fed),
+        Arc::clone(&registry),
+        EngineConfig {
+            journal_path: Some(path.clone()),
+            ..EngineConfig::default()
+        },
+    );
+    engine.register(def.clone()).unwrap();
+    let id = engine.start("branch", Container::empty()).unwrap();
+    engine.step(id).unwrap(); // A ran; B is ready, C is dead
+    engine.crash();
+
+    let recovered = recover(&path, vec![def], OrgModel::new(), fed, registry).unwrap();
+    let m = recovered.metrics();
+    // Cold-path recovery counters exist even though no observer was
+    // ever configured; this run needed no fix-ups (clean step
+    // boundary), so they read zero — but they are *present*.
+    for key in [
+        "recovery.fixups.running_restarted",
+        "recovery.fixups.waiting_renavigated",
+        "recovery.fixups.connectors_reevaluated",
+        "recovery.fixups.exits_redecided",
+    ] {
+        assert!(m.counters.contains_key(key), "{key} registered");
+    }
+    assert_eq!(
+        recovered.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

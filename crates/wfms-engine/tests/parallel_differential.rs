@@ -12,57 +12,93 @@
 //!   programs that are deterministic and order-independent.
 
 use proptest::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use txn_substrate::{MultiDatabase, ProgramOutcome, ProgramRegistry};
-use wfms_engine::{Engine, InstanceId, InstanceStatus, RefEngine};
+use wfms_engine::{
+    Engine, EngineConfig, Event, InstanceId, InstanceStatus, OrgModel, RefEngine, WorkItem,
+    WorkItemId,
+};
 use wfms_model::{
     Activity, Container, ControlConnector, Expr, ProcessBuilder, ProcessDefinition,
     StartCondition,
 };
 
 /// A generated scenario: a DAG over `n` activities with edges
-/// (i < j), per-activity OR/AND joins and per-activity commit/abort
-/// outcomes.
+/// (i < j), per-activity OR/AND joins, per-activity commit/abort
+/// outcomes, and (for staffed scenarios) per-activity manual-start and
+/// deadline flags.
 #[derive(Debug, Clone)]
 struct Scenario {
     n: usize,
     edges: Vec<(usize, usize)>,
     or_join: Vec<bool>,
     commits: Vec<bool>,
+    manual: Vec<bool>,
+    deadline: Vec<bool>,
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    (2usize..9).prop_flat_map(|n| {
+fn scenario_with(staffed: bool) -> impl Strategy<Value = Scenario> {
+    (2usize..9).prop_flat_map(move |n| {
         let max_edges = n * (n - 1) / 2;
+        let flags = if staffed {
+            prop::collection::vec(any::<bool>(), n).boxed()
+        } else {
+            Just(vec![false; n]).boxed()
+        };
         (
             prop::collection::vec((0usize..n, 0usize..n), 0..=max_edges),
             prop::collection::vec(any::<bool>(), n),
             prop::collection::vec(any::<bool>(), n),
+            flags.clone(),
+            flags,
         )
-            .prop_map(move |(raw_edges, or_join, commits)| {
-                let mut seen = BTreeSet::new();
-                let edges = raw_edges
-                    .into_iter()
-                    .filter_map(|(a, b)| {
-                        let (a, b) = (a.min(b), a.max(b));
-                        (a != b && seen.insert((a, b))).then_some((a, b))
-                    })
-                    .collect();
-                Scenario {
-                    n,
-                    edges,
-                    or_join,
-                    commits,
-                }
-            })
+            .prop_map(
+                move |(raw_edges, or_join, commits, manual, deadline)| {
+                    let mut seen = BTreeSet::new();
+                    let edges = raw_edges
+                        .into_iter()
+                        .filter_map(|(a, b)| {
+                            let (a, b) = (a.min(b), a.max(b));
+                            (a != b && seen.insert((a, b))).then_some((a, b))
+                        })
+                        .collect();
+                    Scenario {
+                        n,
+                        edges,
+                        or_join,
+                        commits,
+                        manual,
+                        deadline,
+                    }
+                },
+            )
     })
+}
+
+/// Purely automatic scenarios, as the original generator emitted.
+fn scenario() -> impl Strategy<Value = Scenario> {
+    scenario_with(false)
+}
+
+/// Scenarios that may mix manual (role-assigned) and deadline-bearing
+/// activities into the DAG, exercising the compiled `any_manual` /
+/// `any_deadlines` paths against the oracle and the parallel
+/// scheduler.
+fn staffed_scenario() -> impl Strategy<Value = Scenario> {
+    scenario_with(true)
 }
 
 fn build(s: &Scenario) -> ProcessDefinition {
     let mut def = ProcessDefinition::new("prop");
     for i in 0..s.n {
         let mut a = Activity::program(&format!("A{i}"), &format!("prog{i}"));
+        if s.manual[i] {
+            a = a.for_role("clerk");
+            if s.deadline[i] {
+                a = a.with_deadline(2);
+            }
+        }
         if s.or_join[i] {
             a.start = StartCondition::Or;
         }
@@ -76,6 +112,15 @@ fn build(s: &Scenario) -> ProcessDefinition {
         });
     }
     def
+}
+
+/// Two clerks under one manager: work items fan out to both, and
+/// deadline notifications have somewhere to go.
+fn clerks() -> OrgModel {
+    OrgModel::new()
+        .person("boss", &["manager"])
+        .person_under("ann", &["clerk"], "boss", 2)
+        .person_under("bob", &["clerk"], "boss", 2)
 }
 
 /// Programs are pure functions of their scripted outcome — no shared
@@ -103,6 +148,62 @@ fn engine_with(s: &Scenario) -> Engine {
     let engine = Engine::new(fed, registry);
     engine.register(def).unwrap();
     engine
+}
+
+fn engine_with_org(s: &Scenario) -> Engine {
+    let def = build(s);
+    assert!(wfms_model::validate(&def).is_empty());
+    let (fed, registry) = world(s);
+    let engine = Engine::with_config(
+        fed,
+        registry,
+        EngineConfig {
+            org: clerks(),
+            ..EngineConfig::default()
+        },
+    );
+    engine.register(def).unwrap();
+    engine
+}
+
+/// Rewrites work-item ids to their order of first appearance in the
+/// event stream. Parallel runs race the shared id allocator, so two
+/// observationally identical executions may hand out different ids;
+/// everything else about the events must still match exactly.
+fn normalize_item_ids(mut events: Vec<Event>) -> Vec<Event> {
+    let mut map: HashMap<WorkItemId, WorkItemId> = HashMap::new();
+    let mut next = 1u64;
+    for e in &mut events {
+        match e {
+            Event::WorkItemOffered { item, .. } => {
+                let id = *map.entry(*item).or_insert_with(|| {
+                    let v = WorkItemId(next);
+                    next += 1;
+                    v
+                });
+                *item = id;
+            }
+            Event::WorkItemClaimed { item, .. } => {
+                if let Some(id) = map.get(item) {
+                    *item = *id;
+                }
+            }
+            _ => {}
+        }
+    }
+    events
+}
+
+/// The id-free identity of a work item, for matching items across
+/// engines whose allocators diverged.
+fn item_key(it: &WorkItem) -> (InstanceId, String, u32, Vec<String>, txn_substrate::Tick) {
+    (
+        it.instance,
+        it.path.clone(),
+        it.attempt,
+        it.offered_to.clone(),
+        it.offered_at,
+    )
 }
 
 proptest! {
@@ -152,6 +253,103 @@ proptest! {
             prop_assert_eq!(seq.events_for(id), par.events_for(id));
         }
         prop_assert_eq!(seq.journal_events(), par.journal_events());
+    }
+
+    /// Manual and deadline-bearing activities against the oracle: the
+    /// compiled navigator's worklist offers, claims, deadline
+    /// notifications and post-item navigation must reproduce
+    /// [`RefEngine`]'s event stream exactly. Work is drained with a
+    /// deterministic policy (lowest open item id, person alternating
+    /// by id) with a clock tick per round so deadlines actually fire.
+    #[test]
+    fn manual_and_deadline_scenarios_match_reference(s in staffed_scenario()) {
+        let engine = engine_with_org(&s);
+        let id = engine.start("prop", Container::empty()).unwrap();
+        engine.run_to_quiescence(id).unwrap();
+
+        let (fed, registry) = world(&s);
+        let mut reference = RefEngine::with_org(fed, registry, clerks());
+        reference.register(build(&s));
+        let rid = reference.start("prop", Container::empty());
+        reference.run_to_quiescence(rid);
+
+        // Both engines allocate item ids sequentially from 1, so in
+        // this single-threaded differential the ids line up exactly.
+        loop {
+            prop_assert_eq!(engine.advance_clock(1), reference.advance_clock(1));
+            prop_assert_eq!(engine.worklist("ann"), reference.worklist("ann"));
+            prop_assert_eq!(engine.worklist("bob"), reference.worklist("bob"));
+            let Some(item) = engine.worklist("ann").iter().map(|it| it.id).min() else {
+                break;
+            };
+            let person = if item.0 % 2 == 0 { "bob" } else { "ann" };
+            engine.execute_item(item, person).unwrap();
+            reference.execute_item(item, person).unwrap();
+        }
+
+        prop_assert_eq!(engine.status(id).unwrap(), reference.status(rid));
+        prop_assert_eq!(engine.output(id).unwrap(), reference.output(rid));
+        prop_assert_eq!(engine.journal_events(), reference.events().to_vec());
+    }
+
+    /// Manual activities under the parallel scheduler: automatic
+    /// navigation halts at the same worklist frontier as the
+    /// sequential run, deadline notifications agree, and draining the
+    /// items sequentially converges to identical final states. Item
+    /// ids race on the shared allocator across workers, so events are
+    /// compared modulo first-appearance id normalization and items are
+    /// matched by `(instance, path, attempt, ...)` instead of id.
+    #[test]
+    fn parallel_run_with_manual_matches_sequential(
+        s in staffed_scenario(),
+        m in 1usize..4,
+        workers in 1usize..5,
+    ) {
+        let seq = engine_with_org(&s);
+        let par = engine_with_org(&s);
+        let ids: Vec<InstanceId> = (0..m)
+            .map(|_| {
+                let a = seq.start("prop", Container::empty()).unwrap();
+                let b = par.start("prop", Container::empty()).unwrap();
+                prop_assert_eq!(a, b);
+                Ok(a)
+            })
+            .collect::<Result<_, TestCaseError>>()?;
+
+        seq.run_all().unwrap();
+        par.run_all_parallel(workers).unwrap();
+
+        // Clock only moves between navigation phases; both engines see
+        // the same readiness ages, so the same notifications fire.
+        prop_assert_eq!(seq.advance_clock(3), par.advance_clock(3));
+
+        loop {
+            let mut sq = seq.worklist("ann");
+            let mut pq = par.worklist("ann");
+            sq.sort_by_key(item_key);
+            pq.sort_by_key(item_key);
+            let sk: Vec<_> = sq.iter().map(item_key).collect();
+            let pk: Vec<_> = pq.iter().map(item_key).collect();
+            prop_assert_eq!(sk, pk, "same open frontier modulo item ids");
+            let (Some(s_it), Some(p_it)) = (sq.first(), pq.first()) else {
+                break;
+            };
+            seq.execute_item(s_it.id, "ann").unwrap();
+            par.execute_item(p_it.id, "ann").unwrap();
+        }
+
+        for &id in &ids {
+            prop_assert_eq!(seq.status(id).unwrap(), par.status(id).unwrap());
+            prop_assert_eq!(seq.output(id).unwrap(), par.output(id).unwrap());
+            prop_assert_eq!(
+                normalize_item_ids(seq.events_for(id)),
+                normalize_item_ids(par.events_for(id))
+            );
+        }
+        prop_assert_eq!(
+            normalize_item_ids(seq.journal_events()),
+            normalize_item_ids(par.journal_events())
+        );
     }
 }
 

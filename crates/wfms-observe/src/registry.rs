@@ -1,0 +1,196 @@
+//! The named-instrument registry.
+//!
+//! Instruments are created on first use and shared by name; callers
+//! that care about hot-path cost resolve their `Arc` handles once and
+//! keep them (see the engine's probe structs) — the registry lookup is
+//! for wiring and exposition, not the record path.
+
+use crate::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramVec};
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// Named counters, gauges, histograms and histogram families.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    hists: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    families: RwLock<BTreeMap<String, Arc<HistogramVec>>>,
+}
+
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(v) = map.read().expect("observe lock").get(name) {
+        return Arc::clone(v);
+    }
+    let mut w = map.write().expect("observe lock");
+    Arc::clone(w.entry(name.to_owned()).or_default())
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// The gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// The histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create(&self.hists, name)
+    }
+
+    /// The histogram family named `name`.
+    pub fn histogram_vec(&self, name: &str) -> Arc<HistogramVec> {
+        get_or_create(&self.families, name)
+    }
+
+    /// Snapshots every instrument.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .expect("observe lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("observe lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .hists
+                .read()
+                .expect("observe lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            families: self
+                .families
+                .read()
+                .expect("observe lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Registry`]'s instruments, ready for
+/// rendering.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Histogram-family summaries: name → sorted (label, summary).
+    pub families: BTreeMap<String, Vec<(String, HistogramSnapshot)>>,
+}
+
+/// `foo.bar-baz` → `foo_bar_baz` (Prometheus metric name charset).
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn prom_hist(out: &mut String, name: &str, label: Option<&str>, s: &HistogramSnapshot) {
+    let tag = |q: &str| match label {
+        Some(l) => format!("{name}{{label=\"{l}\",quantile=\"{q}\"}}"),
+        None => format!("{name}{{quantile=\"{q}\"}}"),
+    };
+    let bare = |suffix: &str| match label {
+        Some(l) => format!("{name}_{suffix}{{label=\"{l}\"}}"),
+        None => format!("{name}_{suffix}"),
+    };
+    out.push_str(&format!("{} {}\n", tag("0.5"), s.p50));
+    out.push_str(&format!("{} {}\n", tag("0.95"), s.p95));
+    out.push_str(&format!("{} {}\n", tag("0.99"), s.p99));
+    out.push_str(&format!("{} {}\n", bare("count"), s.count));
+    out.push_str(&format!("{} {}\n", bare("sum"), s.sum));
+    out.push_str(&format!("{} {}\n", bare("max"), s.max));
+}
+
+impl RegistrySnapshot {
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (histograms as quantile summaries).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, s) in &self.histograms {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            prom_hist(&mut out, &n, None, s);
+        }
+        for (name, labels) in &self.families {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} summary\n"));
+            for (label, s) in labels {
+                prom_hist(&mut out, &n, Some(label), s);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let r = Registry::new();
+        r.counter("a.b").add(3);
+        assert_eq!(r.counter("a.b").get(), 3);
+        r.gauge("g").set(-4);
+        assert_eq!(r.gauge("g").get(), -4);
+        r.histogram("h").record(10);
+        assert_eq!(r.histogram("h").count(), 1);
+        r.histogram_vec("f").observe("x", 1);
+        assert_eq!(r.histogram_vec("f").with_label("x").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_and_prometheus_rendering() {
+        let r = Registry::new();
+        r.counter("engine.steps").add(42);
+        r.gauge("heap.depth").record_max(7);
+        r.histogram("flush.ns").record(1000);
+        r.histogram_vec("act.latency_ns").observe("T1", 500);
+
+        let snap = r.snapshot();
+        assert_eq!(snap.counters["engine.steps"], 42);
+        assert_eq!(snap.gauges["heap.depth"], 7);
+        assert_eq!(snap.histograms["flush.ns"].count, 1);
+        assert_eq!(snap.families["act.latency_ns"][0].0, "T1");
+
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE engine_steps counter"));
+        assert!(text.contains("engine_steps 42"));
+        assert!(text.contains("heap_depth 7"));
+        assert!(text.contains("flush_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("act_latency_ns{label=\"T1\",quantile=\"0.99\"}"));
+        assert!(text.contains("act_latency_ns_count{label=\"T1\"} 1"));
+    }
+}

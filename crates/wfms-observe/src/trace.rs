@@ -1,0 +1,156 @@
+//! Structured span/event tracing.
+//!
+//! The engine emits [`TraceEvent`]s to a [`TraceSink`] — span
+//! enter/exit pairs around units of work (activity execution,
+//! recovery, checkpointing) and point events for milestones. The
+//! default [`NoopSink`] declines events up front
+//! ([`TraceSink::wants_events`] is false), so an unconfigured engine
+//! never even formats the detail strings.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A span opened.
+    Enter,
+    /// A span closed; `nanos` holds its wall-clock duration.
+    Exit,
+    /// A point event.
+    Event,
+}
+
+/// One structured trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Enter, exit or point.
+    pub kind: TraceKind,
+    /// Static span/event name (e.g. `"activity"`, `"recovery"`).
+    pub name: &'static str,
+    /// Span id correlating enter and exit (0 for point events).
+    pub id: u64,
+    /// Free-form detail (instance, path, …); empty on exits.
+    pub detail: String,
+    /// Span duration in nanoseconds (exits only).
+    pub nanos: u64,
+}
+
+/// Receiver of trace records. Implementations must be cheap and
+/// non-blocking — sinks run inline on engine threads.
+pub trait TraceSink: Send + Sync {
+    /// Consumes one record.
+    fn record(&self, ev: &TraceEvent);
+
+    /// False to suppress event construction entirely (the default
+    /// sink); hooks skip formatting when the sink does not want input.
+    fn wants_events(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything; reports `wants_events() == false` so callers
+/// skip the work of building events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&self, _ev: &TraceEvent) {}
+
+    fn wants_events(&self) -> bool {
+        false
+    }
+}
+
+/// Buffers every record in memory — for tests and the `fmtm top`
+/// development view.
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl RecordingSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace lock").clone()
+    }
+
+    /// Drops all buffered records.
+    pub fn clear(&self) {
+        self.events.lock().expect("trace lock").clear();
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&self, ev: &TraceEvent) {
+        self.events.lock().expect("trace lock").push(ev.clone());
+    }
+}
+
+/// RAII guard for a span: emits the exit record (with duration) on
+/// drop. Obtained from [`Observer::span`](crate::Observer::span).
+pub struct SpanGuard<'a> {
+    live: Option<(&'a dyn TraceSink, &'static str, u64, Instant)>,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn inert() -> Self {
+        Self { live: None }
+    }
+
+    pub(crate) fn live(sink: &'a dyn TraceSink, name: &'static str, id: u64) -> Self {
+        Self {
+            live: Some((sink, name, id, Instant::now())),
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((sink, name, id, started)) = self.live.take() {
+            sink.record(&TraceEvent {
+                kind: TraceKind::Exit,
+                name,
+                id,
+                detail: String::new(),
+                nanos: started.elapsed().as_nanos() as u64,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_declines_events() {
+        assert!(!NoopSink.wants_events());
+        NoopSink.record(&TraceEvent {
+            kind: TraceKind::Event,
+            name: "x",
+            id: 0,
+            detail: String::new(),
+            nanos: 0,
+        });
+    }
+
+    #[test]
+    fn recording_sink_buffers_and_clears() {
+        let sink = RecordingSink::new();
+        {
+            let _g = SpanGuard::live(&sink, "unit", 9);
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, TraceKind::Exit);
+        assert_eq!(evs[0].id, 9);
+        sink.clear();
+        assert!(sink.events().is_empty());
+    }
+}
