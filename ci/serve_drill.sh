@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# Serve smoke + crash-restart drill.
+#
+# 1. Start `fmtm serve` (2 shards), drive ~200 submissions through
+#    `fmtm load`, record every accepted instance id.
+# 2. kill -9 the server mid-flight, restart it on the same data
+#    directory, and assert every previously-accepted instance is
+#    recovered and reaches `finished` — the ACK-implies-durable
+#    guarantee of the group-commit path.
+# 3. Separately, assert admission control: with a tiny queue and a
+#    throttled worker, a burst must see explicit `overloaded` answers
+#    and zero transport errors.
+#
+# Artifacts (server logs, load reports, id list) land in $ART for CI
+# upload. Exits non-zero on any lost instance or drill failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMTM=target/release/fmtm
+PORT="${DRILL_PORT:-7413}"
+URL="127.0.0.1:${PORT}"
+ART="${DRILL_ART:-drill-artifacts}"
+DATA="$(mktemp -d)"
+SERVE_PID=""
+
+mkdir -p "$ART"
+
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DATA"
+}
+trap cleanup EXIT
+
+if [ ! -x "$FMTM" ]; then
+  cargo build --release -p exotica --bin fmtm
+fi
+
+echo "== phase 1: serve + load 200 =="
+"$FMTM" serve examples/specs/trip.saga examples/specs/figure3.flex \
+  --shards 2 --port "$PORT" --data "$DATA" >"$ART/serve-1.log" 2>&1 &
+SERVE_PID=$!
+
+"$FMTM" load --url "$URL" --wait-ready 30 --count 200 --rps 2000 \
+  --connections 4 --ids-out "$ART/ids.txt" | tee "$ART/load-1.txt"
+
+ACCEPTED=$(wc -l <"$ART/ids.txt")
+if [ "$ACCEPTED" -lt 1 ]; then
+  echo "drill: no accepted submissions recorded" >&2
+  exit 1
+fi
+echo "drill: $ACCEPTED accepted ids recorded"
+
+echo "== phase 2: kill -9 and restart on the same journals =="
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+"$FMTM" serve examples/specs/trip.saga examples/specs/figure3.flex \
+  --shards 2 --port "$PORT" --data "$DATA" >"$ART/serve-2.log" 2>&1 &
+SERVE_PID=$!
+
+# --verify exits 3 if any recorded id is missing or not finished.
+"$FMTM" load --url "$URL" --wait-ready 30 \
+  --verify "$ART/ids.txt" --verify-timeout 60 | tee "$ART/verify.txt"
+
+# Fresh submissions after recovery must still be accepted.
+"$FMTM" load --url "$URL" --count 50 --rps 2000 | tee "$ART/load-2.txt"
+"$FMTM" load --url "$URL" --stop
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+if ! grep -q "stopped (journals drained and checkpointed)" "$ART/serve-2.log"; then
+  echo "drill: graceful stop did not drain" >&2
+  exit 1
+fi
+
+echo "== phase 3: admission control under a tiny queue =="
+DATA2="$(mktemp -d)"
+"$FMTM" serve examples/specs/trip.saga \
+  --shards 1 --port "$PORT" --data "$DATA2" \
+  --queue 4 --throttle-ms 5 >"$ART/serve-3.log" 2>&1 &
+SERVE_PID=$!
+
+"$FMTM" load --url "$URL" --wait-ready 30 --count 200 --rps 5000 \
+  --connections 8 | tee "$ART/load-overload.txt"
+"$FMTM" load --url "$URL" --stop
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+rm -rf "$DATA2"
+
+OVERLOADED=$(sed -n 's/^load: .* accepted, \([0-9]*\) overloaded.*/\1/p' "$ART/load-overload.txt")
+ERRORS=$(sed -n 's/^load: .* overloaded, \([0-9]*\) errors.*/\1/p' "$ART/load-overload.txt")
+if [ -z "$OVERLOADED" ] || [ "$OVERLOADED" -eq 0 ]; then
+  echo "drill: expected overloaded rejections past the high-water mark, got none" >&2
+  exit 1
+fi
+if [ -z "$ERRORS" ] || [ "$ERRORS" -ne 0 ]; then
+  echo "drill: transport errors during overload burst: $ERRORS" >&2
+  exit 1
+fi
+
+echo "drill: ok ($ACCEPTED instances survived kill -9; $OVERLOADED overloaded answers under backpressure)"

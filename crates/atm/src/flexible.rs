@@ -136,10 +136,7 @@ mod tests {
     fn duplicate_step_definitions_flagged() {
         let s = FlexSpec::new(
             "dup",
-            vec![
-                FlexStep::pivot("T1", "p"),
-                FlexStep::pivot("T1", "q"),
-            ],
+            vec![FlexStep::pivot("T1", "p"), FlexStep::pivot("T1", "q")],
             vec![vec!["T1"]],
         );
         assert_eq!(

@@ -229,11 +229,7 @@ impl FlexExecutor {
         }
     }
 
-    fn compensate(
-        &self,
-        step: &crate::spec::StepSpec,
-        trace: &mut AtmTrace,
-    ) -> Result<(), String> {
+    fn compensate(&self, step: &crate::spec::StepSpec, trace: &mut AtmTrace) -> Result<(), String> {
         let comp = step
             .compensation
             .as_deref()
@@ -280,10 +276,7 @@ mod tests {
         let (fed, exec) = rig();
         let res = exec.run(&figure3_spec()).unwrap();
         assert_eq!(res.outcome, FlexOutcome::CommittedVia(0));
-        assert_eq!(
-            res.committed,
-            vec!["T1", "T2", "T4", "T5", "T6", "T8"]
-        );
+        assert_eq!(res.committed, vec!["T1", "T2", "T4", "T5", "T6", "T8"]);
         for t in ["T1", "T2", "T4", "T5", "T6", "T8"] {
             assert_eq!(marker(&fed, t), Some(1));
         }
@@ -399,10 +392,7 @@ mod tests {
         fed.injector().set_plan("T3", FailurePlan::Always);
         exec.max_retries = 5;
         let res = exec.run(&figure3_spec()).unwrap();
-        assert_eq!(
-            res.outcome,
-            FlexOutcome::Stuck { step: "T3".into() }
-        );
+        assert_eq!(res.outcome, FlexOutcome::Stuck { step: "T3".into() });
     }
 
     #[test]

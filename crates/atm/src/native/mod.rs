@@ -8,6 +8,6 @@
 //! final database state and compensation order.
 
 pub mod flex_exec;
-pub mod twopc;
 pub mod saga_exec;
 pub mod trace;
+pub mod twopc;

@@ -351,7 +351,9 @@ mod tests {
         let spec = SagaSpec::staged(
             "staged",
             vec![
-                vec![crate::spec::StepSpec::compensatable("S1", "do_S1", "undo_S1")],
+                vec![crate::spec::StepSpec::compensatable(
+                    "S1", "do_S1", "undo_S1",
+                )],
                 vec![
                     crate::spec::StepSpec::compensatable("S2", "do_S2", "undo_S2"),
                     crate::spec::StepSpec::compensatable("S3", "do_S3", "undo_S3"),
@@ -369,7 +371,9 @@ mod tests {
         let spec = SagaSpec::staged(
             "par",
             vec![
-                vec![crate::spec::StepSpec::compensatable("S1", "do_S1", "undo_S1")],
+                vec![crate::spec::StepSpec::compensatable(
+                    "S1", "do_S1", "undo_S1",
+                )],
                 (2..=5)
                     .map(|i| {
                         crate::spec::StepSpec::compensatable(
@@ -379,7 +383,9 @@ mod tests {
                         )
                     })
                     .collect(),
-                vec![crate::spec::StepSpec::compensatable("S6", "do_S6", "undo_S6")],
+                vec![crate::spec::StepSpec::compensatable(
+                    "S6", "do_S6", "undo_S6",
+                )],
             ],
         );
         let exec = SagaExecutor::new(Arc::clone(&fed), registry);
@@ -404,7 +410,9 @@ mod tests {
         let spec = SagaSpec::staged(
             "par",
             vec![
-                vec![crate::spec::StepSpec::compensatable("S1", "do_S1", "undo_S1")],
+                vec![crate::spec::StepSpec::compensatable(
+                    "S1", "do_S1", "undo_S1",
+                )],
                 (2..=5)
                     .map(|i| {
                         crate::spec::StepSpec::compensatable(
@@ -430,7 +438,11 @@ mod tests {
             let m = fixtures::marker(&fed, &format!("S{i}"));
             assert_ne!(m, Some(1), "S{i} left committed after rollback");
         }
-        assert_eq!(fixtures::marker(&fed, "S1"), Some(-1), "S1 surely committed");
+        assert_eq!(
+            fixtures::marker(&fed, "S1"),
+            Some(-1),
+            "S1 surely committed"
+        );
         // Compensations happened in reverse commit order.
         let committed = res.trace.committed();
         let compensated = res.trace.compensated();
@@ -444,8 +456,12 @@ mod tests {
             let (fed_a, reg_a) = rig(3);
             let (fed_b, reg_b) = rig(3);
             if let Some(j) = abort_at {
-                fed_a.injector().set_plan(&format!("S{j}"), FailurePlan::Always);
-                fed_b.injector().set_plan(&format!("S{j}"), FailurePlan::Always);
+                fed_a
+                    .injector()
+                    .set_plan(&format!("S{j}"), FailurePlan::Always);
+                fed_b
+                    .injector()
+                    .set_plan(&format!("S{j}"), FailurePlan::Always);
             }
             let spec = fixtures::linear_saga("s", 3);
             let seq = SagaExecutor::new(Arc::clone(&fed_a), reg_a)
@@ -468,10 +484,7 @@ mod tests {
     fn ill_formed_saga_rejected() {
         let (fed, registry) = rig(1);
         let exec = SagaExecutor::new(fed, registry);
-        let bad = SagaSpec::linear(
-            "bad",
-            vec![crate::spec::StepSpec::pivot("P", "prog")],
-        );
+        let bad = SagaSpec::linear("bad", vec![crate::spec::StepSpec::pivot("P", "prog")]);
         assert!(exec.run(&bad).is_err());
     }
 }

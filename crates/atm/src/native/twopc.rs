@@ -103,11 +103,7 @@ impl TwoPcExecutor {
     /// Runs `global`, invoking `between_phases` after every site has
     /// prepared (locks held everywhere) and before the first commit —
     /// the window the blocking tests probe.
-    pub fn run_with_probe(
-        &self,
-        global: &GlobalTxn,
-        between_phases: impl FnOnce(),
-    ) -> TwoPcResult {
+    pub fn run_with_probe(&self, global: &GlobalTxn, between_phases: impl FnOnce()) -> TwoPcResult {
         let mut trace = AtmTrace::default();
 
         // Resolve every site handle up front; the transactions below
@@ -293,7 +289,8 @@ mod tests {
                 let _ = tx.send(r.is_ok());
             });
             assert!(
-                rx.recv_timeout(std::time::Duration::from_millis(100)).is_err(),
+                rx.recv_timeout(std::time::Duration::from_millis(100))
+                    .is_err(),
                 "local transaction must be stalled behind the global lock"
             );
             // Now the coordinator's target site crashes.

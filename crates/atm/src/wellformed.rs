@@ -150,9 +150,7 @@ pub fn check_flex(spec: &FlexSpec) -> Vec<WellFormedError> {
     // F3: between pivots (and before the first pivot), only
     // compensatable or retriable steps.
     for (pi, path) in spec.paths.iter().enumerate() {
-        let last_pivot = path
-            .iter()
-            .rposition(|n| spec.class_of(n).is_pivot());
+        let last_pivot = path.iter().rposition(|n| spec.class_of(n).is_pivot());
         for (i, name) in path.iter().enumerate() {
             let class = spec.class_of(name);
             if class.is_pivot() {
@@ -318,9 +316,9 @@ mod tests {
         t3.class = txn_substrate::StepClass::Compensatable;
         t3.compensation = Some("c3".into());
         let errs = check_flex(&spec);
-        assert!(errs.iter().any(
-            |e| matches!(e, WellFormedError::LastPathNotGuaranteed { step } if step == "T3")
-        ));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, WellFormedError::LastPathNotGuaranteed { step } if step == "T3")));
     }
 
     #[test]
@@ -334,9 +332,9 @@ mod tests {
         t3.class = txn_substrate::StepClass::Pivot;
         t3.compensation = None;
         let errs = check_flex(&spec);
-        assert!(errs.iter().any(
-            |e| matches!(e, WellFormedError::LastPathNotGuaranteed { step } if step == "T3")
-        ));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, WellFormedError::LastPathNotGuaranteed { step } if step == "T3")));
     }
 
     #[test]

@@ -33,25 +33,21 @@ fn recovery(c: &mut Criterion) {
     for instances in [2usize, 8, 32, 128] {
         let (events, def) = journal_events(instances);
         let label = events.len();
-        group.bench_with_input(
-            BenchmarkId::new("replay_events", label),
-            &label,
-            |b, _| {
-                b.iter(|| {
-                    let w = saga_world(8, 0);
-                    let engine = recover_from(
-                        Journal::new(),
-                        events.clone(),
-                        vec![def.clone()],
-                        OrgModel::new(),
-                        Arc::clone(&w.0),
-                        Arc::clone(&w.1),
-                    )
-                    .unwrap();
-                    assert_eq!(engine.journal_events().len(), events.len());
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("replay_events", label), &label, |b, _| {
+            b.iter(|| {
+                let w = saga_world(8, 0);
+                let engine = recover_from(
+                    Journal::new(),
+                    events.clone(),
+                    vec![def.clone()],
+                    OrgModel::new(),
+                    Arc::clone(&w.0),
+                    Arc::clone(&w.1),
+                )
+                .unwrap();
+                assert_eq!(engine.journal_events().len(), events.len());
+            })
+        });
     }
     // Baseline: running one instance from scratch, for comparison with
     // replaying one instance's journal.

@@ -1,0 +1,87 @@
+//! Experiment B15 — service-runtime throughput: submissions through
+//! the sharded instance manager, at the pool layer (group-commit
+//! batching, no network) and over the HTTP loopback (full wire
+//! protocol, keep-alive connection).
+//!
+//! Shape claim: the pool path amortises one journal flush over a
+//! batch of starts, so per-submit cost stays well under a synchronous
+//! per-instance flush; the HTTP path adds parse + serialize overhead
+//! but stays in the same order of magnitude on loopback.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use txn_substrate::{MultiDatabase, ProgramOutcome, ProgramRegistry};
+use wfms_model::{Container, ProcessBuilder, ProcessDefinition};
+use wfms_observe::Registry;
+use wfms_server::{Http1Client, PoolConfig, Server, ServerConfig, ShardPool, SubmitOutcome};
+
+fn provision(_shard: usize) -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
+    let fed = MultiDatabase::new(0);
+    fed.add_database("db");
+    let registry = Arc::new(ProgramRegistry::new());
+    registry.register_fn("ok", |_| ProgramOutcome::committed());
+    (fed, registry)
+}
+
+fn auto_process() -> ProcessDefinition {
+    ProcessBuilder::new("auto")
+        .program("A", "ok")
+        .program("B", "ok")
+        .connect_when("A", "B", "RC = 1")
+        .build()
+        .unwrap()
+}
+
+fn open_pool(dir: &std::path::Path, shards: usize) -> ShardPool {
+    let mut cfg = PoolConfig::new(dir);
+    cfg.shards = shards;
+    cfg.templates = vec![auto_process()];
+    ShardPool::open(cfg, Arc::new(Registry::new()), &provision).unwrap()
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wfms-serve-bench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+
+    // Pool layer: start + run-to-quiescence + group-commit, no wire.
+    for shards in [1usize, 2, 4] {
+        let dir = fresh_dir(&format!("pool{shards}"));
+        let pool = open_pool(&dir, shards);
+        group.bench_with_input(BenchmarkId::new("pool_submit", shards), &shards, |b, _| {
+            b.iter(|| {
+                let outcome = pool.submit("auto", Container::empty());
+                assert!(matches!(outcome, SubmitOutcome::Accepted { .. }));
+            })
+        });
+        pool.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Wire layer: the same submission over an HTTP/1.1 keep-alive
+    // loopback connection, JSON both ways.
+    let dir = fresh_dir("http");
+    let pool = open_pool(&dir, 1);
+    let server = Server::start(Arc::new(pool), ServerConfig::new("auto")).unwrap();
+    let url = server.local_addr().to_string();
+    let mut client = Http1Client::new(&url);
+    group.bench_function("http_submit", |b| {
+        b.iter(|| {
+            let (code, _body) = client.request("POST", "/instances", Some("{}")).unwrap();
+            assert_eq!(code, 201);
+        })
+    });
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    group.finish();
+}
+
+criterion_group!(benches, serve_throughput);
+criterion_main!(benches);

@@ -56,9 +56,7 @@ fn uncontended(c: &mut Criterion) {
                                     loop {
                                         let mut t = db.begin();
                                         let cur = match t.get(&key) {
-                                            Ok(v) => v
-                                                .and_then(|v| v.as_int())
-                                                .unwrap_or(0),
+                                            Ok(v) => v.and_then(|v| v.as_int()).unwrap_or(0),
                                             Err(_) => continue,
                                         };
                                         if t.put(&key, cur + 1).is_err() {

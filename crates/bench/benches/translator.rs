@@ -24,8 +24,7 @@ fn translator(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("import_fdl", n), &n, |b, _| {
             b.iter(|| wfms_fdl::parse_and_validate(&fdl).unwrap())
         });
-        let spec_text =
-            exotica::emit_spec(&exotica::ParsedSpec::Saga(spec.clone()));
+        let spec_text = exotica::emit_spec(&exotica::ParsedSpec::Saga(spec.clone()));
         group.bench_with_input(BenchmarkId::new("full_pipeline", n), &n, |b, _| {
             b.iter(|| exotica::run_pipeline(&spec_text).unwrap())
         });

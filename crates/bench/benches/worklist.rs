@@ -32,30 +32,26 @@ fn worklist(c: &mut Criterion) {
     for m in [1usize, 4, 16, 64] {
         let org = org_with_clerks(m);
         let def = manual_process();
-        group.bench_with_input(
-            BenchmarkId::new("offer_claim_execute", m),
-            &m,
-            |b, &m| {
-                b.iter(|| {
-                    let w = bench::plain_world(0);
-                    let engine = Engine::with_config(
-                        Arc::clone(&w.0),
-                        Arc::clone(&w.1),
-                        EngineConfig {
-                            org: org.clone(),
-                            ..EngineConfig::default()
-                        },
-                    );
-                    engine.register(def.clone()).unwrap();
-                    let id = engine.start("manual", Container::empty()).unwrap();
-                    engine.run_to_quiescence(id).unwrap();
-                    // Everybody sees it; the last clerk claims it.
-                    let who = format!("clerk{}", m - 1);
-                    let item = engine.worklist(&who)[0].id;
-                    engine.execute_item(item, &who).unwrap();
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("offer_claim_execute", m), &m, |b, &m| {
+            b.iter(|| {
+                let w = bench::plain_world(0);
+                let engine = Engine::with_config(
+                    Arc::clone(&w.0),
+                    Arc::clone(&w.1),
+                    EngineConfig {
+                        org: org.clone(),
+                        ..EngineConfig::default()
+                    },
+                );
+                engine.register(def.clone()).unwrap();
+                let id = engine.start("manual", Container::empty()).unwrap();
+                engine.run_to_quiescence(id).unwrap();
+                // Everybody sees it; the last clerk claims it.
+                let who = format!("clerk{}", m - 1);
+                let item = engine.worklist(&who)[0].id;
+                engine.execute_item(item, &who).unwrap();
+            })
+        });
         // Worklist view cost with k open items.
         group.bench_with_input(BenchmarkId::new("view_100_items", m), &m, |b, _| {
             let w = bench::plain_world(0);

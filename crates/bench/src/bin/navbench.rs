@@ -20,8 +20,8 @@
 //! ```
 
 use bench::nav::{
-    assert_all_finished, compiled_engine, engine_with_instances, observed_engine,
-    pure_saga_world, reference_engine, run_compiled_once, run_reference_once, saga_process,
+    assert_all_finished, compiled_engine, engine_with_instances, observed_engine, pure_saga_world,
+    reference_engine, run_compiled_once, run_reference_once, saga_process,
 };
 use bench::{chain_process, plain_world, time_us};
 use std::time::Instant;
@@ -37,8 +37,11 @@ fn main() {
         .unwrap_or_else(|| "BENCH_nav.json".to_string());
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let (iters, chain_len, instances): (u32, usize, usize) =
-        if quick { (15, 100, 200) } else { (50, 100, 1000) };
+    let (iters, chain_len, instances): (u32, usize, usize) = if quick {
+        (15, 100, 200)
+    } else {
+        (50, 100, 1000)
+    };
 
     // -- nav_compiled: 100-activity chain, register once, run many --
     let def = chain_process(chain_len, "ok");

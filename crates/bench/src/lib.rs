@@ -103,11 +103,7 @@ pub fn diamond_process(width: usize, depth: usize, head_prog: &str) -> ProcessDe
         }
         b = b.connect_when("Head", &format!("B{w}_0"), "RC = 1");
         for d in 1..depth {
-            b = b.connect_when(
-                &format!("B{w}_{}", d - 1),
-                &format!("B{w}_{d}"),
-                "RC = 1",
-            );
+            b = b.connect_when(&format!("B{w}_{}", d - 1), &format!("B{w}_{d}"), "RC = 1");
         }
     }
     b = b.program("Tail", "ok");
@@ -160,19 +156,14 @@ mod tests {
         let w = plain_world(0);
         let chain = chain_process(16, "fail");
         let engine = run_process(&w, &chain);
-        let s = wfms_engine::audit::summarize(
-            &engine.journal_events(),
-            wfms_engine::InstanceId(1),
-        );
+        let s = wfms_engine::audit::summarize(&engine.journal_events(), wfms_engine::InstanceId(1));
         assert_eq!(s.eliminated, 15, "whole chain dead-path-eliminated");
 
         let d = diamond_process(3, 2, "ok");
         let w2 = plain_world(0);
         let engine2 = run_process(&w2, &d);
-        let s2 = wfms_engine::audit::summarize(
-            &engine2.journal_events(),
-            wfms_engine::InstanceId(1),
-        );
+        let s2 =
+            wfms_engine::audit::summarize(&engine2.journal_events(), wfms_engine::InstanceId(1));
         assert_eq!(s2.executions, 3 * 2 + 2);
         assert_eq!(s2.eliminated, 0);
     }

@@ -119,7 +119,10 @@ mod tests {
             InstanceStatus::Finished
         );
         let engine = compiled_engine(&w, &def);
-        assert_eq!(run_compiled_once(&engine, "chain"), InstanceStatus::Finished);
+        assert_eq!(
+            run_compiled_once(&engine, "chain"),
+            InstanceStatus::Finished
+        );
     }
 
     #[test]
@@ -127,7 +130,10 @@ mod tests {
         let def = chain_process(10, "ok");
         let w = crate::plain_world(0);
         let engine = observed_engine(&w, &def);
-        assert_eq!(run_compiled_once(&engine, "chain"), InstanceStatus::Finished);
+        assert_eq!(
+            run_compiled_once(&engine, "chain"),
+            InstanceStatus::Finished
+        );
         let m = engine.metrics();
         assert!(m.activities.values().any(|s| s.count > 0));
     }

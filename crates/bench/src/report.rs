@@ -42,7 +42,10 @@ fn e_series() {
     let def = exotica::translate_saga(&fixtures::linear_saga("e1", 3)).unwrap();
     let fdl = wfms_fdl::emit(&def);
     let back = wfms_fdl::parse_and_validate(&fdl).unwrap();
-    println!("E1 figure1  meta-model + FDL round trip: {}", ok(back == def));
+    println!(
+        "E1 figure1  meta-model + FDL round trip: {}",
+        ok(back == def)
+    );
 
     // E2: saga guarantee at every abort point (n = 6).
     let n = 6;
@@ -62,7 +65,10 @@ fn e_series() {
         }
         all &= okay;
     }
-    println!("E2 figure2  saga translation, all abort points: {}", ok(all));
+    println!(
+        "E2 figure2  saga translation, all abort points: {}",
+        ok(all)
+    );
 
     // E3: Figure 3 spec well-formed, three paths.
     let f3 = fixtures::figure3_spec();
@@ -84,12 +90,18 @@ fn e_series() {
         let r = exotica::compare_flex(&f3, installer, &plans, 1).unwrap();
         all &= r.equivalent();
     }
-    println!("E4 figure4  flex translation ≡ native (all failures): {}", ok(all));
+    println!(
+        "E4 figure4  flex translation ≡ native (all failures): {}",
+        ok(all)
+    );
 
     // E5: pipeline stages.
     let spec_text = exotica::emit_spec(&exotica::ParsedSpec::Flexible(f3.clone()));
     let out = exotica::run_pipeline(&spec_text);
-    println!("E5 figure5  spec→FDL→template pipeline: {}", ok(out.is_ok()));
+    println!(
+        "E5 figure5  spec→FDL→template pipeline: {}",
+        ok(out.is_ok())
+    );
 
     println!("E6/E7 appendix traces: covered by `cargo test --test appendix_traces`\n");
 }
@@ -144,14 +156,26 @@ fn b10_makespan() {
     use txn_substrate::{KvProgram, Value};
     println!("-- B10: simulated business makespan of Figure 3 scenarios (virtual ticks) --");
     let durations: &[(&str, u64)] = &[
-        ("T1", 10), ("T2", 20), ("T3", 40), ("T4", 20),
-        ("T5", 30), ("T6", 30), ("T7", 50), ("T8", 20),
+        ("T1", 10),
+        ("T2", 20),
+        ("T3", 40),
+        ("T4", 20),
+        ("T5", 30),
+        ("T6", 30),
+        ("T7", 50),
+        ("T8", 20),
     ];
     let scenarios: &[(&str, Vec<(&str, FailurePlan)>)] = &[
         ("happy (p1)", vec![]),
-        ("T8 fails (comp T6,T5; p2)", vec![("T8", FailurePlan::Always)]),
+        (
+            "T8 fails (comp T6,T5; p2)",
+            vec![("T8", FailurePlan::Always)],
+        ),
         ("T4 fails (p3)", vec![("T4", FailurePlan::Always)]),
-        ("T4 fails + T3 flaky x2", vec![("T4", FailurePlan::Always), ("T3", FailurePlan::FirstN(2))]),
+        (
+            "T4 fails + T3 flaky x2",
+            vec![("T4", FailurePlan::Always), ("T3", FailurePlan::FirstN(2))],
+        ),
         ("T2 fails (abort)", vec![("T2", FailurePlan::Always)]),
     ];
     let def = exotica::translate_flex(&fixtures::figure3_spec()).unwrap();
@@ -189,7 +213,9 @@ fn b11_global_atomicity() {
     use atm::{GlobalTxn, SiteWrites, StepSpec, TwoPcExecutor, TwoPcOutcome};
     use txn_substrate::{KvProgram, Value};
     println!("-- B11: 2PC global transaction vs saga under per-site commit failures --");
-    println!("   (1000 trials/point, 3 sites; probability p of unilateral abort at each site's commit)");
+    println!(
+        "   (1000 trials/point, 3 sites; probability p of unilateral abort at each site's commit)"
+    );
     println!(
         "{:>5} {:>10} {:>10} {:>10} | {:>10} {:>12} {:>6}",
         "p", "2pc_ok", "2pc_abort", "2pc_TORN", "saga_ok", "saga_comp", "torn"
@@ -229,13 +255,16 @@ fn b11_global_atomicity() {
             let mut steps = Vec::new();
             for s in sites {
                 fed.add_database(s);
-                fed.injector()
-                    .set_plan(s, FailurePlan::Probability { p });
+                fed.injector().set_plan(s, FailurePlan::Probability { p });
                 registry.register(Arc::new(
                     KvProgram::write(&format!("w_{s}"), s, "k", 1i64).with_label(s),
                 ));
                 registry.register(Arc::new(KvProgram::delete(&format!("u_{s}"), s, "k")));
-                steps.push(StepSpec::compensatable(s, &format!("w_{s}"), &format!("u_{s}")));
+                steps.push(StepSpec::compensatable(
+                    s,
+                    &format!("w_{s}"),
+                    &format!("u_{s}"),
+                ));
             }
             let exec = atm::SagaExecutor::new(Arc::clone(&fed), registry);
             let res = exec.run(&atm::SagaSpec::linear("s", steps)).unwrap();
@@ -266,8 +295,14 @@ fn b12_simulation() {
     println!("-- B12: Monte-Carlo process simulation (Figure 3, durations as B10) --");
     println!("   (the §3.3 'simulation' WFMS feature: makespan distribution at failure prob p)");
     let durations: &[(&str, u64)] = &[
-        ("T1", 10), ("T2", 20), ("T3", 40), ("T4", 20),
-        ("T5", 30), ("T6", 30), ("T7", 50), ("T8", 20),
+        ("T1", 10),
+        ("T2", 20),
+        ("T3", 40),
+        ("T4", 20),
+        ("T5", 30),
+        ("T6", 30),
+        ("T7", 50),
+        ("T8", 20),
     ];
     let spec = fixtures::figure3_spec();
     let def = exotica::translate_flex(&spec).unwrap();
@@ -335,7 +370,10 @@ fn b12_simulation() {
 
 fn b1_saga_scaling() {
     println!("-- B1: saga latency, native vs workflow (µs/run, mean of 200) --");
-    println!("{:>4} {:>12} {:>12} {:>7}", "n", "native", "workflow", "ratio");
+    println!(
+        "{:>4} {:>12} {:>12} {:>7}",
+        "n", "native", "workflow", "ratio"
+    );
     for n in [2usize, 4, 8, 16, 32, 64] {
         let spec = fixtures::linear_saga("s", n);
         let def = exotica::translate_saga(&spec).unwrap();
@@ -512,7 +550,10 @@ fn b5_recovery() {
             )
             .unwrap();
         });
-        println!("{:>10} {:>12.1}   (after engine checkpoint: 128 instances -> {len} events)", len, t);
+        println!(
+            "{:>10} {:>12.1}   (after engine checkpoint: 128 instances -> {len} events)",
+            len, t
+        );
     }
     println!();
 }
@@ -591,7 +632,10 @@ fn b7_translator() {
 fn b13_nav_compiled() {
     use bench::nav::{compiled_engine, reference_engine, run_compiled_once, run_reference_once};
     println!("-- B13: compiled navigator vs reference interpreter (µs/run, mean of 50) --");
-    println!("{:>6} {:>12} {:>12} {:>8}", "n", "reference", "compiled", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>8}",
+        "n", "reference", "compiled", "speedup"
+    );
     for n in [25usize, 100, 400] {
         let def = chain_process(n, "ok");
         let w = plain_world(0);
@@ -603,7 +647,13 @@ fn b13_nav_compiled() {
         let t_cmp = time_us(50, || {
             run_compiled_once(&engine, "chain");
         });
-        println!("{:>6} {:>12.1} {:>12.1} {:>8.2}", n, t_ref, t_cmp, t_ref / t_cmp);
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>8.2}",
+            n,
+            t_ref,
+            t_cmp,
+            t_ref / t_cmp
+        );
     }
     println!();
 }

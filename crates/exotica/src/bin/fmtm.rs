@@ -8,6 +8,8 @@
 //! fmtm run <spec-file> [options]        execute the translated process
 //! fmtm top <spec-file> [options]        run with a live metrics display
 //! fmtm crashtest <spec-file> [options]  crash-point sweep of the translated process
+//! fmtm serve <spec-file>... [options]   long-lived workflow service (HTTP/1.1 JSON)
+//! fmtm load [options]                   load generator / client for fmtm serve
 //!
 //! lint options:
 //!   --format json                       machine-readable output
@@ -47,6 +49,45 @@
 //!                                       *reference* run does not terminate,
 //!                                       e.g. a retriable step forced to
 //!                                       always fail, are skipped)
+//!
+//! serve options:
+//!   --shards N                          shard count: N engines, journals and
+//!                                       worker threads (default 1)
+//!   --port P                            TCP port (default 7313; 0 = ephemeral)
+//!   --addr IP                           bind address (default 127.0.0.1)
+//!   --data DIR                          data directory for server.meta.json and
+//!                                       the shard journals (default fmtm-data)
+//!   --queue H                           per-shard admission high-water mark
+//!                                       (default 1024); submits beyond it are
+//!                                       answered 429 Overloaded
+//!   --batch B                           max submissions per group commit
+//!                                       (default 64)
+//!   --durability POLICY                 per-event | sync | batched:N
+//!                                       (default batched:64)
+//!   --seed N                            substrate seed (default 0)
+//!   --person NAME=role[,role...]        add a person to the organization
+//!                                       (repeatable; for specs with manual
+//!                                       activities)
+//!   --throttle-ms T                     delay each submission T ms in the
+//!                                       shard worker (drills only: makes
+//!                                       Overloaded deterministic)
+//!
+//! load options:
+//!   --url URL                           target, e.g. http://127.0.0.1:7313
+//!   --process NAME                      process to start (server default
+//!                                       otherwise)
+//!   --count N | --duration S            stop after N requests or S seconds
+//!   --rps R                             pace requests at R/sec (unpaced
+//!                                       otherwise)
+//!   --connections C                     concurrent connections (default 4)
+//!   --ids-out FILE                      write accepted instance ids, one per
+//!                                       line
+//!   --verify FILE                       poll the ids in FILE until every one
+//!                                       is finished (exit 3 on timeout)
+//!   --verify-timeout S                  verification deadline (default 60)
+//!   --wait-ready S                      poll /healthz up to S seconds first
+//!   --drain                             POST /admin/drain when done
+//!   --stop                              POST /admin/stop when done
 //! ```
 //!
 //! Programs are auto-provisioned: each step's forward program writes
@@ -55,10 +96,11 @@
 //! `<step> = -1`; forward programs consult the failure injector under
 //! the step name.
 
+use exotica::{provision, steps_of, steps_of_all};
 use std::process::ExitCode;
 use std::sync::Arc;
-use txn_substrate::{FailurePlan, KvProgram, MultiDatabase, ProgramRegistry, Value};
-use wfms_engine::{audit, Engine, EngineConfig, InstanceStatus, Observer};
+use txn_substrate::{DurabilityPolicy, FailurePlan};
+use wfms_engine::{audit, Engine, EngineConfig, InstanceStatus, Observer, OrgModel};
 use wfms_model::Container;
 
 fn main() -> ExitCode {
@@ -71,9 +113,11 @@ fn main() -> ExitCode {
         Some("run") => run(&args[1..]),
         Some("top") => top(&args[1..]),
         Some("crashtest") => crashtest(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        Some("load") => load_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fmtm <translate|dot|check|lint|run|top|crashtest> <spec-file> [options]"
+                "usage: fmtm <translate|dot|check|lint|run|top|crashtest|serve|load> [options]"
             );
             eprintln!("see `crates/exotica/src/bin/fmtm.rs` for option details");
             ExitCode::from(2)
@@ -258,56 +302,6 @@ fn parse_plan(text: &str) -> Option<FailurePlan> {
     None
 }
 
-/// `(name, program, compensation)` for every step of a parsed spec.
-fn steps_of(spec: &exotica::ParsedSpec) -> Vec<(String, String, Option<String>)> {
-    match spec {
-        exotica::ParsedSpec::Saga(s) => s
-            .steps()
-            .map(|st| (st.name.clone(), st.program.clone(), st.compensation.clone()))
-            .collect(),
-        exotica::ParsedSpec::Flexible(f) => f
-            .steps
-            .iter()
-            .map(|st| (st.name.clone(), st.program.clone(), st.compensation.clone()))
-            .collect(),
-    }
-}
-
-/// Auto-provisions a fresh federation and program registry for a
-/// spec's steps: each forward program writes `<step> = 1` on a site
-/// chosen round-robin (consulting the injector under the step name),
-/// each compensation writes `<step> = -1`; then installs the failure
-/// plans.
-fn provision(
-    steps: &[(String, String, Option<String>)],
-    seed: u64,
-    plans: &[(String, FailurePlan)],
-) -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
-    let fed = MultiDatabase::new(seed);
-    let registry = Arc::new(ProgramRegistry::new());
-    for (i, (step, program, compensation)) in steps.iter().enumerate() {
-        let site = format!("site_{}", char::from(b'a' + (i % 3) as u8));
-        if fed.db(&site).is_none() {
-            fed.add_database(&site);
-        }
-        registry.register(Arc::new(
-            KvProgram::write(program, &site, step, 1i64).with_label(step),
-        ));
-        if let Some(comp) = compensation {
-            registry.register(Arc::new(KvProgram::write(
-                comp,
-                &site,
-                step,
-                Value::Int(-1),
-            )));
-        }
-    }
-    for (label, plan) in plans {
-        fed.injector().set_plan(label, plan.clone());
-    }
-    (fed, registry)
-}
-
 fn run(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!("fmtm run: missing spec file");
@@ -410,9 +404,7 @@ fn run(args: &[String]) -> ExitCode {
         Arc::clone(&fed),
         registry,
         EngineConfig {
-            observer: metrics_out
-                .is_some()
-                .then(|| Arc::new(Observer::enabled())),
+            observer: metrics_out.is_some().then(|| Arc::new(Observer::enabled())),
             ..EngineConfig::default()
         },
     );
@@ -453,7 +445,11 @@ fn run(args: &[String]) -> ExitCode {
             ids.len(),
             parallel.max(1),
             secs * 1e3,
-            if secs > 0.0 { ids.len() as f64 / secs } else { f64::INFINITY },
+            if secs > 0.0 {
+                ids.len() as f64 / secs
+            } else {
+                f64::INFINITY
+            },
         );
     }
 
@@ -473,7 +469,11 @@ fn run(args: &[String]) -> ExitCode {
             exotica::ParsedSpec::Flexible(_) => "flexible transaction",
         },
         out.spec.name(),
-        if committed { "COMMITTED" } else { "ABORTED (compensated)" }
+        if committed {
+            "COMMITTED"
+        } else {
+            "ABORTED (compensated)"
+        }
     );
     print!("markers:");
     for (step, _, _) in &steps {
@@ -866,4 +866,341 @@ fn crashtest(args: &[String]) -> ExitCode {
     } else {
         ExitCode::from(3)
     }
+}
+
+/// `fmtm serve` — the long-lived workflow service: translates the
+/// given specs once, opens (or reopens) the sharded instance manager
+/// on the data directory, and serves the HTTP/1.1 JSON protocol until
+/// `POST /admin/stop`.
+fn serve(args: &[String]) -> ExitCode {
+    let mut spec_paths: Vec<String> = Vec::new();
+    let mut shards = 1usize;
+    let mut port = 7313u16;
+    let mut addr = "127.0.0.1".to_owned();
+    let mut data_dir = "fmtm-data".to_owned();
+    let mut queue = 1024usize;
+    let mut batch = 64usize;
+    let mut durability = DurabilityPolicy::Batched { n: 64 };
+    let mut seed = 0u64;
+    let mut persons: Vec<(String, Vec<String>)> = Vec::new();
+    let mut throttle_ms = 0u64;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--shards" | "--port" | "--addr" | "--data" | "--queue" | "--batch"
+            | "--durability" | "--seed" | "--person" | "--throttle-ms" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("fmtm serve: {flag} needs a value");
+                    return ExitCode::from(2);
+                };
+                let ok = match flag {
+                    "--shards" => value.parse().map(|n: usize| shards = n.max(1)).is_ok(),
+                    "--port" => value.parse().map(|p| port = p).is_ok(),
+                    "--addr" => {
+                        addr = value.clone();
+                        true
+                    }
+                    "--data" => {
+                        data_dir = value.clone();
+                        true
+                    }
+                    "--queue" => value.parse().map(|n: usize| queue = n.max(1)).is_ok(),
+                    "--batch" => value.parse().map(|n: usize| batch = n.max(1)).is_ok(),
+                    "--durability" => match parse_durability(value) {
+                        Some(d) => {
+                            durability = d;
+                            true
+                        }
+                        None => false,
+                    },
+                    "--seed" => value.parse().map(|n| seed = n).is_ok(),
+                    "--person" => match value.split_once('=') {
+                        Some((name, roles)) => {
+                            persons.push((
+                                name.to_owned(),
+                                roles.split(',').map(str::to_owned).collect(),
+                            ));
+                            true
+                        }
+                        None => false,
+                    },
+                    "--throttle-ms" => value.parse().map(|n| throttle_ms = n).is_ok(),
+                    _ => unreachable!("outer match narrowed the flag"),
+                };
+                if !ok {
+                    eprintln!("fmtm serve: bad value {value:?} for {flag}");
+                    return ExitCode::from(2);
+                }
+                i += 2;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("fmtm serve: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+            path => {
+                spec_paths.push(path.to_owned());
+                i += 1;
+            }
+        }
+    }
+    if spec_paths.is_empty() {
+        eprintln!("fmtm serve: at least one spec file is required");
+        return ExitCode::from(2);
+    }
+
+    let mut templates = Vec::new();
+    let mut specs = Vec::new();
+    let mut default_process = String::new();
+    for path in &spec_paths {
+        let src = match load(path) {
+            Ok(s) => s,
+            Err(c) => return c,
+        };
+        match exotica::run_pipeline(&src) {
+            Ok(out) => {
+                if default_process.is_empty() {
+                    default_process = out.process.name.clone();
+                }
+                templates.push(out.process);
+                specs.push(out.spec);
+            }
+            Err(e) => {
+                eprintln!("fmtm serve: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut org = OrgModel::new();
+    for (name, roles) in &persons {
+        let roles: Vec<&str> = roles.iter().map(String::as_str).collect();
+        org = org.person(name, &roles);
+    }
+    let steps = steps_of_all(&specs);
+
+    let mut cfg = wfms_server::PoolConfig::new(&data_dir);
+    cfg.shards = shards;
+    cfg.queue_capacity = queue;
+    cfg.batch_max = batch;
+    cfg.durability = durability;
+    cfg.org = org;
+    cfg.templates = templates;
+    cfg.throttle = (throttle_ms > 0).then(|| std::time::Duration::from_millis(throttle_ms));
+
+    let registry = Arc::new(wfms_observe::Registry::new());
+    let provision_shard =
+        move |shard: usize| provision(&steps, seed.wrapping_add(shard as u64), &[]);
+    let pool = match wfms_server::ShardPool::open(cfg, registry, &provision_shard) {
+        Ok(pool) => Arc::new(pool),
+        Err(e) => {
+            eprintln!("fmtm serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let recovered = pool.recovered_instances();
+
+    let server_cfg = wfms_server::ServerConfig {
+        addr,
+        port,
+        default_process,
+        read_timeout: std::time::Duration::from_secs(30),
+    };
+    let server = match wfms_server::Server::start(pool, server_cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fmtm serve: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "serving {} template(s) at http://{} (shards {}, queue {}, batch {}, data {})",
+        spec_paths.len(),
+        server.local_addr(),
+        shards,
+        queue,
+        batch,
+        data_dir,
+    );
+    if recovered > 0 {
+        println!("recovered and resumed {recovered} in-flight instance(s)");
+    }
+    server.wait_stop();
+    server.shutdown(true);
+    println!("stopped (journals drained and checkpointed)");
+    ExitCode::SUCCESS
+}
+
+fn parse_durability(text: &str) -> Option<DurabilityPolicy> {
+    match text {
+        "per-event" => Some(DurabilityPolicy::PerEvent),
+        "sync" => Some(DurabilityPolicy::PerEventSync),
+        _ => text
+            .strip_prefix("batched:")
+            .and_then(|n| n.parse().ok())
+            .map(|n| DurabilityPolicy::Batched { n }),
+    }
+}
+
+/// `fmtm load` — load generator and drill client for `fmtm serve`.
+fn load_cmd(args: &[String]) -> ExitCode {
+    let mut url: Option<String> = None;
+    let mut process: Option<String> = None;
+    let mut count: Option<u64> = None;
+    let mut duration: Option<u64> = None;
+    let mut rps: Option<f64> = None;
+    let mut connections = 4usize;
+    let mut ids_out: Option<String> = None;
+    let mut verify: Option<String> = None;
+    let mut verify_timeout = 60u64;
+    let mut wait_ready: Option<u64> = None;
+    let mut do_drain = false;
+    let mut do_stop = false;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--drain" => {
+                do_drain = true;
+                i += 1;
+            }
+            "--stop" => {
+                do_stop = true;
+                i += 1;
+            }
+            "--url" | "--process" | "--count" | "--duration" | "--rps" | "--connections"
+            | "--ids-out" | "--verify" | "--verify-timeout" | "--wait-ready" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("fmtm load: {flag} needs a value");
+                    return ExitCode::from(2);
+                };
+                let ok = match flag {
+                    "--url" => {
+                        url = Some(value.clone());
+                        true
+                    }
+                    "--process" => {
+                        process = Some(value.clone());
+                        true
+                    }
+                    "--count" => value.parse().map(|n| count = Some(n)).is_ok(),
+                    "--duration" => value.parse().map(|n| duration = Some(n)).is_ok(),
+                    "--rps" => value.parse().map(|r| rps = Some(r)).is_ok(),
+                    "--connections" => value.parse().map(|c: usize| connections = c.max(1)).is_ok(),
+                    "--ids-out" => {
+                        ids_out = Some(value.clone());
+                        true
+                    }
+                    "--verify" => {
+                        verify = Some(value.clone());
+                        true
+                    }
+                    "--verify-timeout" => value.parse().map(|s| verify_timeout = s).is_ok(),
+                    "--wait-ready" => value.parse().map(|s| wait_ready = Some(s)).is_ok(),
+                    _ => unreachable!("outer match narrowed the flag"),
+                };
+                if !ok {
+                    eprintln!("fmtm load: bad value {value:?} for {flag}");
+                    return ExitCode::from(2);
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("fmtm load: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(url) = url else {
+        eprintln!("fmtm load: --url is required");
+        return ExitCode::from(2);
+    };
+    if count.is_none()
+        && duration.is_none()
+        && verify.is_none()
+        && !do_drain
+        && !do_stop
+        && wait_ready.is_none()
+    {
+        eprintln!(
+            "fmtm load: nothing to do (give --count, --duration, --verify, --drain or --stop)"
+        );
+        return ExitCode::from(2);
+    }
+
+    if let Some(secs) = wait_ready {
+        if !wfms_server::wait_ready(&url, std::time::Duration::from_secs(secs)) {
+            eprintln!("fmtm load: server at {url} not ready after {secs}s");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if count.is_some() || duration.is_some() {
+        let opts = wfms_server::LoadOptions {
+            url: url.clone(),
+            process,
+            count,
+            duration: duration.map(std::time::Duration::from_secs),
+            rps,
+            connections,
+            collect_ids: ids_out.is_some(),
+        };
+        let report = wfms_server::run_load(&opts);
+        println!(
+            "load: {} sent, {} accepted, {} overloaded, {} errors in {:.3}s",
+            report.sent,
+            report.accepted,
+            report.overloaded,
+            report.errors,
+            report.elapsed.as_secs_f64(),
+        );
+        println!(
+            "throughput: {:.0} accepted/sec | latency p50={}us p95={}us p99={}us",
+            report.rps(),
+            report.p50_us,
+            report.p95_us,
+            report.p99_us,
+        );
+        if let Some(path) = &ids_out {
+            let body: String = report.ids.iter().map(|id| format!("{id}\n")).collect();
+            if let Err(e) = std::fs::write(path, body) {
+                eprintln!("fmtm load: cannot write {path:?}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("ids: wrote {} to {path}", report.ids.len());
+        }
+    }
+
+    if let Some(path) = &verify {
+        let text = match load(path) {
+            Ok(t) => t,
+            Err(c) => return c,
+        };
+        let ids: Vec<u64> = text.lines().filter_map(|l| l.trim().parse().ok()).collect();
+        let failed =
+            wfms_server::verify_ids(&url, &ids, std::time::Duration::from_secs(verify_timeout));
+        if failed.is_empty() {
+            println!("verify: all {} instance(s) finished", ids.len());
+        } else {
+            eprintln!(
+                "verify: {} of {} instance(s) did not finish:",
+                failed.len(),
+                ids.len()
+            );
+            for (id, state) in failed.iter().take(20) {
+                eprintln!("  instance {id}: {state}");
+            }
+            return ExitCode::from(3);
+        }
+    }
+
+    if do_drain && !wfms_server::client::drain(&url) {
+        eprintln!("fmtm load: drain request failed");
+        return ExitCode::FAILURE;
+    }
+    if do_stop && !wfms_server::client::stop(&url) {
+        eprintln!("fmtm load: stop request failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }

@@ -34,10 +34,14 @@
 //!   natively (`atm::native`) and as a translated workflow process
 //!   under identical failure scripts and compares outcomes, database
 //!   state and compensation activity.
+//! * [`mod@provision`] — substrate synthesis shared by the CLI and the
+//!   `fmtm serve` shard pool: a three-site multidatabase and a
+//!   program registry derived from a spec's steps.
 
 pub mod flexible;
 pub mod lint;
 pub mod pipeline;
+pub mod provision;
 pub mod saga;
 pub mod specfmt;
 pub mod verify;
@@ -45,6 +49,7 @@ pub mod verify;
 pub use flexible::translate_flex;
 pub use lint::{lint_source, sniff, LintTarget};
 pub use pipeline::{import_and_analyze, run_pipeline, AtmSpec, PipelineError, PipelineOutput};
+pub use provision::{provision, steps_of, steps_of_all};
 pub use saga::{translate_saga, translate_saga_flat};
 pub use specfmt::{emit_spec, parse_spec, parse_spec_spanned, ParsedSpec, SpecSpans};
 pub use verify::{compare_flex, compare_saga, EquivalenceReport};

@@ -62,8 +62,7 @@ pub fn lint_source(src: &str, allowed: &[String]) -> Result<Vec<Diagnostic>, Str
     };
     match sniff(src) {
         Some(LintTarget::Fdl) => {
-            let (def, prov) =
-                wfms_fdl::parse_with_provenance(src).map_err(|e| e.to_string())?;
+            let (def, prov) = wfms_fdl::parse_with_provenance(src).map_err(|e| e.to_string())?;
             Ok(analyzer().check_process(&def, Some(&prov)))
         }
         Some(LintTarget::Spec) => {

@@ -241,9 +241,7 @@ mod tests {
 
     #[test]
     fn flexible_pipeline_runs_figure3() {
-        let src = crate::specfmt::emit_spec(&AtmSpec::Flexible(
-            atm::fixtures::figure3_spec(),
-        ));
+        let src = crate::specfmt::emit_spec(&AtmSpec::Flexible(atm::fixtures::figure3_spec()));
         let out = run_pipeline(&src).unwrap();
         assert!(out.fdl.contains("BLOCK Blk_T5_T6"));
         assert!(out.process.has_activity("T8"));
@@ -255,7 +253,13 @@ mod tests {
         let stages: Vec<&str> = out.stage_nanos.iter().map(|(s, _)| *s).collect();
         assert_eq!(
             stages,
-            ["parse", "model-rules", "translate", "import-analyze", "compile"]
+            [
+                "parse",
+                "model-rules",
+                "translate",
+                "import-analyze",
+                "compile"
+            ]
         );
     }
 
@@ -278,9 +282,7 @@ mod tests {
     fn translations_are_analyzer_clean() {
         let out = run_pipeline(SAGA_SRC).unwrap();
         assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
-        let src = crate::specfmt::emit_spec(&AtmSpec::Flexible(
-            atm::fixtures::figure3_spec(),
-        ));
+        let src = crate::specfmt::emit_spec(&AtmSpec::Flexible(atm::fixtures::figure3_spec()));
         let out = run_pipeline(&src).unwrap();
         assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
     }

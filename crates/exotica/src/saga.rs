@@ -184,7 +184,11 @@ pub fn translate_saga(spec: &SagaSpec) -> Result<ProcessDefinition, TranslateErr
         .output(ContainerSchema::of(&[("Committed", DataType::Int)]))
         .block(FORWARD_BLOCK, fwd)
         .block(COMPENSATION_BLOCK, comp)
-        .connect_when(FORWARD_BLOCK, COMPENSATION_BLOCK, &format!("{RC_MEMBER} = 0"))
+        .connect_when(
+            FORWARD_BLOCK,
+            COMPENSATION_BLOCK,
+            &format!("{RC_MEMBER} = 0"),
+        )
         .map_data(FORWARD_BLOCK, COMPENSATION_BLOCK, &pair_refs)
         .map_to_process_output(FORWARD_BLOCK, &[(RC_MEMBER, "Committed")])
         .build_unchecked();
@@ -359,8 +363,7 @@ mod tests {
     #[test]
     fn flat_variant_validates_and_has_no_blocks() {
         for n in 1..=8 {
-            let def =
-                translate_saga_flat(&fixtures::linear_saga(&format!("f{n}"), n)).unwrap();
+            let def = translate_saga_flat(&fixtures::linear_saga(&format!("f{n}"), n)).unwrap();
             assert!(validate(&def).is_empty(), "n={n}");
             assert!(def.activities.iter().all(|a| !a.kind.is_block()));
             // n forward + NOP + n compensations, all top level.
@@ -434,10 +437,7 @@ mod tests {
 
     #[test]
     fn ill_formed_rejected() {
-        let spec = atm::SagaSpec::linear(
-            "bad",
-            vec![StepSpec::pivot("P", "prog")],
-        );
+        let spec = atm::SagaSpec::linear("bad", vec![StepSpec::pivot("P", "prog")]);
         assert!(matches!(
             translate_saga(&spec),
             Err(TranslateError::NotWellFormed(_))

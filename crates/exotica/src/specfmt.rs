@@ -181,11 +181,7 @@ pub fn parse_spec_spanned(src: &str) -> Result<(ParsedSpec, SpecSpans), SpecSynt
     let spec = if is_saga {
         ParsedSpec::Saga(SagaSpec::linear(&name, steps))
     } else {
-        ParsedSpec::Flexible(FlexSpec {
-            name,
-            steps,
-            paths,
-        })
+        ParsedSpec::Flexible(FlexSpec { name, steps, paths })
     };
     Ok((spec, spans))
 }
@@ -405,7 +401,10 @@ mod tests {
             ("STEP A PROGRAM \"p\"\nEND", "header"),
             ("SAGA s\nSTEP A\nEND", "PROGRAM"),
             ("SAGA s\nPATH A\nEND", "FLEXIBLE"),
-            ("SAGA s\nSTEP A PROGRAM \"p\" PIVOT COMPENSATION \"c\"\nEND", "excludes"),
+            (
+                "SAGA s\nSTEP A PROGRAM \"p\" PIVOT COMPENSATION \"c\"\nEND",
+                "excludes",
+            ),
             ("SAGA s\nSTEP A PROGRAM \"p\"\n", "missing END"),
             ("SAGA s\nEND\nextra", "after END"),
             ("SAGA a b\nEND", "one name"),

@@ -46,8 +46,7 @@ pub struct EquivalenceReport {
 impl EquivalenceReport {
     /// True if outcomes and final states agree.
     pub fn equivalent(&self) -> bool {
-        self.native_committed == self.workflow_committed
-            && self.native_state == self.workflow_state
+        self.native_committed == self.workflow_committed && self.native_state == self.workflow_state
     }
 
     /// A diff rendering for failed assertions.
@@ -220,10 +219,7 @@ pub fn compare_flex(
 }
 
 fn plan_labels(plans: &[(String, FailurePlan)]) -> Vec<String> {
-    plans
-        .iter()
-        .map(|(l, p)| format!("{l}:{p:?}"))
-        .collect()
+    plans.iter().map(|(l, p)| format!("{l}:{p:?}")).collect()
 }
 
 #[cfg(test)]
@@ -234,8 +230,7 @@ mod tests {
     #[test]
     fn saga_happy_path_is_equivalent() {
         let spec = fixtures::linear_saga("s", 4);
-        let install: Installer<'_> =
-            &|fed, reg| fixtures::register_saga_programs(fed, reg, 4);
+        let install: Installer<'_> = &|fed, reg| fixtures::register_saga_programs(fed, reg, 4);
         let report = compare_saga(&spec, install, &[], 1).unwrap();
         assert!(report.native_committed);
         assert!(report.equivalent(), "{}", report.diff());

@@ -36,7 +36,12 @@ fn execute(out: &PipelineOutput, plans: &[(String, FailurePlan)], seed: u64) -> 
             KvProgram::write(program, &site, step, 1i64).with_label(step),
         ));
         if let Some(comp) = compensation {
-            registry.register(Arc::new(KvProgram::write(comp, &site, step, Value::Int(-1))));
+            registry.register(Arc::new(KvProgram::write(
+                comp,
+                &site,
+                step,
+                Value::Int(-1),
+            )));
         }
     }
     for (label, plan) in plans {

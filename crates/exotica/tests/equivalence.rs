@@ -17,7 +17,9 @@ use txn_substrate::{on_attempts, FailurePlan};
 // Sagas
 // ---------------------------------------------------------------------
 
-fn saga_installer(n: usize) -> impl Fn(&std::sync::Arc<txn_substrate::MultiDatabase>, &txn_substrate::ProgramRegistry) {
+fn saga_installer(
+    n: usize,
+) -> impl Fn(&std::sync::Arc<txn_substrate::MultiDatabase>, &txn_substrate::ProgramRegistry) {
     move |fed, reg| fixtures::register_saga_programs(fed, reg, n)
 }
 
@@ -387,9 +389,8 @@ fn family_specs_are_well_formed_and_translate() {
         for b in 1..=3 {
             let spec = family_spec(a, b);
             assert!(atm::check_flex(&spec).is_empty(), "family({a},{b})");
-            exotica::translate_flex(&spec).unwrap_or_else(|e| {
-                panic!("family({a},{b}) failed to translate: {e}")
-            });
+            exotica::translate_flex(&spec)
+                .unwrap_or_else(|e| panic!("family({a},{b}) failed to translate: {e}"));
         }
     }
 }

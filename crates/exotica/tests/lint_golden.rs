@@ -53,7 +53,10 @@ fn every_fixture_triggers_its_code_with_a_position() {
         }
         seen += 1;
     }
-    assert!(seen >= 30, "expected the full fixture battery, found {seen}");
+    assert!(
+        seen >= 30,
+        "expected the full fixture battery, found {seen}"
+    );
 }
 
 #[test]
@@ -79,12 +82,14 @@ fn shipped_examples_are_clean() {
     for entry in fs::read_dir(specs).expect("examples/specs exists") {
         let path = entry.unwrap().path();
         let src = fs::read_to_string(&path).unwrap();
-        let diags = exotica::lint_source(&src, &[])
-            .unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        let diags = exotica::lint_source(&src, &[]).unwrap_or_else(|e| panic!("{path:?}: {e}"));
         assert!(diags.is_empty(), "{path:?} should lint clean: {diags:?}");
         seen += 1;
     }
-    assert!(seen >= 2, "expected trip.saga and figure3.flex, found {seen}");
+    assert!(
+        seen >= 2,
+        "expected trip.saga and figure3.flex, found {seen}"
+    );
 }
 
 #[test]

@@ -8,12 +8,18 @@ use txn_substrate::{FailurePlan, KvProgram, MultiDatabase, ProgramRegistry, Valu
 use wfms_engine::{Engine, InstanceStatus};
 use wfms_model::Container;
 
-fn run(def: &wfms_model::ProcessDefinition, world: (Arc<MultiDatabase>, Arc<ProgramRegistry>)) -> (bool, Arc<MultiDatabase>) {
+fn run(
+    def: &wfms_model::ProcessDefinition,
+    world: (Arc<MultiDatabase>, Arc<ProgramRegistry>),
+) -> (bool, Arc<MultiDatabase>) {
     let (fed, registry) = world;
     let engine = Engine::new(Arc::clone(&fed), registry);
     engine.register(def.clone()).unwrap();
     let id = engine.start(&def.name, Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
     let committed = engine
         .output(id)
         .unwrap()
@@ -32,12 +38,7 @@ fn kv_world(steps: &[(&str, Option<&str>)]) -> (Arc<MultiDatabase>, Arc<ProgramR
             KvProgram::write(&format!("prog_{step}"), "db", step, 1i64).with_label(step),
         ));
         if let Some(comp) = comp {
-            registry.register(Arc::new(KvProgram::write(
-                comp,
-                "db",
-                step,
-                Value::Int(-1),
-            )));
+            registry.register(Arc::new(KvProgram::write(comp, "db", step, Value::Int(-1))));
         }
     }
     (fed, registry)
@@ -147,8 +148,8 @@ fn generated_fdl_for_both_translations_reimports() {
             exotica::translate_saga_flat(&spec).unwrap(),
         ] {
             let fdl = wfms_fdl::emit(&def);
-            let back = wfms_fdl::parse_and_validate(&fdl)
-                .unwrap_or_else(|e| panic!("n={n}: {e:?}"));
+            let back =
+                wfms_fdl::parse_and_validate(&fdl).unwrap_or_else(|e| panic!("n={n}: {e:?}"));
             assert_eq!(back, def, "n={n}");
         }
     }
@@ -176,8 +177,5 @@ fn native_flex_stuck_on_lying_compensation() {
     let mut exec = atm::FlexExecutor::new(Arc::clone(&fed), registry);
     exec.max_retries = 4;
     let res = exec.run(&spec).unwrap();
-    assert_eq!(
-        res.outcome,
-        atm::FlexOutcome::Stuck { step: "C".into() }
-    );
+    assert_eq!(res.outcome, atm::FlexOutcome::Stuck { step: "C".into() });
 }

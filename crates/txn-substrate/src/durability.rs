@@ -344,7 +344,11 @@ mod tests {
         w.append_line("3", false).unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"1\n2\n3\n", "group flushed");
         w.append_line("4", true).unwrap();
-        assert_eq!(std::fs::read(&path).unwrap(), b"1\n2\n3\n4\n", "barrier flushes");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"1\n2\n3\n4\n",
+            "barrier flushes"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -163,11 +163,7 @@ impl LockManager {
         let st = self.state.lock();
         st.table
             .get(key)
-            .map(|e| {
-                e.holders
-                    .iter()
-                    .any(|&(t, m)| t == txn && m.covers(mode))
-            })
+            .map(|e| e.holders.iter().any(|&(t, m)| t == txn && m.covers(mode)))
             .unwrap_or(false)
     }
 
@@ -210,13 +206,7 @@ impl LockManager {
     /// Attempts the grant under the table lock. `is_queued` indicates
     /// the request is already in the waiter queue (so queue-front
     /// fairness applies to it).
-    fn try_grant(
-        st: &mut LmState,
-        txn: TxnId,
-        key: &str,
-        mode: LockMode,
-        is_queued: bool,
-    ) -> bool {
+    fn try_grant(st: &mut LmState, txn: TxnId, key: &str, mode: LockMode, is_queued: bool) -> bool {
         let entry = st.table.entry(key.to_owned()).or_default();
 
         // Re-entrant request covered by an existing grant.
@@ -229,10 +219,7 @@ impl LockManager {
         }
 
         // Upgrade: sole holder asking for exclusive.
-        if mode == LockMode::Exclusive
-            && entry.holders.len() == 1
-            && entry.holders[0].0 == txn
-        {
+        if mode == LockMode::Exclusive && entry.holders.len() == 1 && entry.holders[0].0 == txn {
             entry.holders[0].1 = LockMode::Exclusive;
             st.stats.upgrades += 1;
             return true;
@@ -249,9 +236,11 @@ impl LockManager {
         // FIFO fairness: a new request may not overtake queued waiters
         // it conflicts with; a queued request is granted only at the
         // front of the conflicting prefix.
-        let blocked_by_queue = entry.waiters.iter().take_while(|&&(t, _)| t != txn).any(
-            |&(t, wmode)| t != txn && (!mode.compatible(wmode) || !wmode.compatible(mode)),
-        );
+        let blocked_by_queue = entry
+            .waiters
+            .iter()
+            .take_while(|&&(t, _)| t != txn)
+            .any(|&(t, wmode)| t != txn && (!mode.compatible(wmode) || !wmode.compatible(mode)));
         if blocked_by_queue && !is_queued {
             return false;
         }

@@ -356,9 +356,7 @@ impl ProgramRegistry {
     /// Registers `program`, replacing any previous program of the same
     /// name. Returns `&self` for chaining.
     pub fn register(&self, program: Arc<dyn TxnProgram>) -> &Self {
-        self.map
-            .write()
-            .insert(program.name().to_owned(), program);
+        self.map.write().insert(program.name().to_owned(), program);
         self
     }
 

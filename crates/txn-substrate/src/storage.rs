@@ -118,7 +118,11 @@ mod tests {
             vec!["a".to_string(), "b".to_string()]
         );
         s.set("a", Value::Int(99));
-        assert_eq!(snap["a"], Value::Int(1), "snapshot unaffected by later writes");
+        assert_eq!(
+            snap["a"],
+            Value::Int(1),
+            "snapshot unaffected by later writes"
+        );
     }
 
     #[test]

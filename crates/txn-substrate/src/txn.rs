@@ -16,9 +16,7 @@ use std::fmt;
 /// Identifiers are allocated by each [`Database`] from a monotonically
 /// increasing counter; they are unique *per database*, matching the
 /// multidatabase assumption that local DBMSs share nothing.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TxnId(pub u64);
 
 impl fmt::Display for TxnId {

@@ -68,9 +68,9 @@ impl LogRecord {
     /// checkpoints, which are transaction-independent).
     pub fn txn(&self) -> Option<TxnId> {
         match self {
-            LogRecord::Begin { txn }
-            | LogRecord::Commit { txn }
-            | LogRecord::Abort { txn } => Some(*txn),
+            LogRecord::Begin { txn } | LogRecord::Commit { txn } | LogRecord::Abort { txn } => {
+                Some(*txn)
+            }
             LogRecord::Update { txn, .. } => Some(*txn),
             LogRecord::Checkpoint { .. } => None,
         }
@@ -168,7 +168,11 @@ impl Wal {
     /// Test-only: mirrors the log to an already-open `file` (e.g. one
     /// opened read-only, to exercise the mirror-failure path).
     #[doc(hidden)]
-    pub fn with_injected_file(file: std::fs::File, path: PathBuf, policy: DurabilityPolicy) -> Self {
+    pub fn with_injected_file(
+        file: std::fs::File,
+        path: PathBuf,
+        policy: DurabilityPolicy,
+    ) -> Self {
         let wal = Self::new();
         *wal.mirror.lock() = Some(WalMirror {
             writer: DurableWriter::new(file, policy),
@@ -184,7 +188,12 @@ impl Wal {
     }
 
     /// Records the first mirror failure and disables the mirror.
-    fn fail_mirror(guard: &mut Option<WalMirror>, sticky: &Mutex<Option<MirrorError>>, context: &str, e: &std::io::Error) {
+    fn fail_mirror(
+        guard: &mut Option<WalMirror>,
+        sticky: &Mutex<Option<MirrorError>>,
+        context: &str,
+        e: &std::io::Error,
+    ) {
         let err = MirrorError::new(context, e);
         eprintln!("wal: {err}; disabling file mirror, log continues in memory");
         let mut slot = sticky.lock();
@@ -355,9 +364,7 @@ impl Wal {
         for rec in records.iter() {
             match rec {
                 LogRecord::Begin { txn } => open.push(*txn),
-                LogRecord::Commit { txn } | LogRecord::Abort { txn } => {
-                    open.retain(|t| t != txn)
-                }
+                LogRecord::Commit { txn } | LogRecord::Abort { txn } => open.retain(|t| t != txn),
                 LogRecord::Update { .. } | LogRecord::Checkpoint { .. } => {}
             }
         }
@@ -556,8 +563,7 @@ mod tests {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
             write!(f, "{{\"Begin\":{{\"tx").unwrap();
         }
-        let (wal2, report) =
-            Wal::with_file_report(&path, DurabilityPolicy::PerEvent).unwrap();
+        let (wal2, report) = Wal::with_file_report(&path, DurabilityPolicy::PerEvent).unwrap();
         assert_eq!(wal2.len(), 3, "complete records survive");
         let tail = report.torn_tail.expect("torn tail reported");
         assert_eq!(tail.discarded, "{\"Begin\":{\"tx");
@@ -596,8 +602,7 @@ mod tests {
         // A read-only handle makes every write fail (EBADF), which
         // stands in for disk-full without needing a full disk.
         let ro = OpenOptions::new().read(true).open(&path).unwrap();
-        let wal =
-            Wal::with_injected_file(ro, path.clone(), DurabilityPolicy::PerEvent);
+        let wal = Wal::with_injected_file(ro, path.clone(), DurabilityPolicy::PerEvent);
         let lsn = wal.append(LogRecord::Begin { txn: t(1) });
         assert_eq!(lsn, 0, "in-memory log keeps working");
         let err = wal.mirror_error().expect("first failure recorded");
@@ -613,8 +618,7 @@ mod tests {
     fn batched_policy_commit_is_still_a_barrier() {
         let dir = tmp_dir("batch");
         let path = dir.join("db.wal");
-        let wal =
-            Wal::with_file_policy(&path, DurabilityPolicy::Batched { n: 100 }).unwrap();
+        let wal = Wal::with_file_policy(&path, DurabilityPolicy::Batched { n: 100 }).unwrap();
         wal.append(LogRecord::Begin { txn: t(1) });
         wal.append(upd(1, "k", None, Some(1)));
         // Nothing flushed yet under Batched{100}...

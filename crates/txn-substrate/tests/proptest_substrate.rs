@@ -161,11 +161,7 @@ fn concurrent_increments_are_serialisable() {
                 });
             }
         });
-        let total: i64 = db
-            .snapshot()
-            .values()
-            .filter_map(Value::as_int)
-            .sum();
+        let total: i64 = db.snapshot().values().filter_map(Value::as_int).sum();
         assert_eq!(total as usize, threads * per, "threads={threads}");
     }
 }

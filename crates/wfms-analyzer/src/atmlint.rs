@@ -145,10 +145,7 @@ mod tests {
         // not a well-formed *saga*) but placement is sound.
         let spec = SagaSpec::linear(
             "s",
-            vec![
-                StepSpec::pivot("P", "p"),
-                StepSpec::retriable("R", "r"),
-            ],
+            vec![StepSpec::pivot("P", "p"), StepSpec::retriable("R", "r")],
         );
         let diags = Analyzer::new().check_saga(&spec);
         assert!(diags.iter().all(|d| d.code != "WA057"), "{diags:?}");

@@ -27,7 +27,8 @@ pub struct GraphLint;
 /// to `FALSE` or is statically guaranteed to fail evaluation (the
 /// engine maps evaluation errors to "false" plus an audit warning).
 pub fn statically_dead(conn: &ControlConnector) -> bool {
-    conn.condition.const_value() == Some(Value::Bool(false)) || conn.condition.const_error().is_some()
+    conn.condition.const_value() == Some(Value::Bool(false))
+        || conn.condition.const_error().is_some()
 }
 
 /// Adjacency over activities that actually exist in the process
@@ -42,7 +43,9 @@ fn adjacency(def: &ProcessDefinition, live_only: bool) -> BTreeMap<&str, Vec<&st
         if live_only && statically_dead(c) {
             continue;
         }
-        adj.get_mut(c.from.as_str()).expect("known").push(c.to.as_str());
+        adj.get_mut(c.from.as_str())
+            .expect("known")
+            .push(c.to.as_str());
     }
     adj
 }
@@ -221,9 +224,7 @@ impl Lint for GraphLint {
         let reach_live = reachable(&start_set, &live_edges);
         for a in &def.activities {
             let name = a.name.as_str();
-            if reach_all.contains(name)
-                && !reach_live.contains(name)
-                && !unreachable.contains(name)
+            if reach_all.contains(name) && !reach_live.contains(name) && !unreachable.contains(name)
             {
                 out.push(
                     Diagnostic::new(

@@ -348,8 +348,18 @@ impl Analyzer {
     fn finish(&self, mut out: Vec<Diagnostic>) -> Vec<Diagnostic> {
         out.retain(|d| !self.allowed.contains(d.code));
         out.sort_by(|a, b| {
-            (a.severity, &a.process, a.pos.map(|p| (p.line, p.col)), a.code)
-                .cmp(&(b.severity, &b.process, b.pos.map(|p| (p.line, p.col)), b.code))
+            (
+                a.severity,
+                &a.process,
+                a.pos.map(|p| (p.line, p.col)),
+                a.code,
+            )
+                .cmp(&(
+                    b.severity,
+                    &b.process,
+                    b.pos.map(|p| (p.line, p.col)),
+                    b.code,
+                ))
         });
         out.dedup();
         out
@@ -389,13 +399,7 @@ mod tests {
 
     #[test]
     fn json_rendering_escapes_and_structures() {
-        let d = Diagnostic::new(
-            "WA013",
-            Severity::Warning,
-            "p",
-            None,
-            "unknown \"var\"\n",
-        );
+        let d = Diagnostic::new("WA013", Severity::Warning, "p", None, "unknown \"var\"\n");
         assert_eq!(
             d.to_json(),
             "{\"code\":\"WA013\",\"severity\":\"warning\",\"process\":\"p\",\

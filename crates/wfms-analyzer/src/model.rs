@@ -153,12 +153,16 @@ mod tests {
     fn every_variant_maps_to_a_distinct_code_or_none() {
         use std::collections::BTreeSet;
         let errs = [
-            ValidationError::EmptyProcess { process: "p".into() },
+            ValidationError::EmptyProcess {
+                process: "p".into(),
+            },
             ValidationError::DuplicateActivity {
                 process: "p".into(),
                 activity: "A".into(),
             },
-            ValidationError::Cycle { process: "p".into() },
+            ValidationError::Cycle {
+                process: "p".into(),
+            },
             ValidationError::ReservedRcWrongType {
                 process: "p".into(),
                 container: "A.INPUT".into(),
@@ -170,15 +174,11 @@ mod tests {
 
     #[test]
     fn block_container_mismatch_flagged_programmatically() {
-        use wfms_model::{
-            Activity, ActivityKind, ContainerSchema, DataType, ProcessDefinition,
-        };
+        use wfms_model::{Activity, ActivityKind, ContainerSchema, DataType, ProcessDefinition};
         // Not constructible from FDL text (the parser mirrors facade
         // containers), so build the broken definition by hand.
         let mut inner = ProcessDefinition::new("Blk");
-        inner
-            .activities
-            .push(Activity::program("T", "t"));
+        inner.activities.push(Activity::program("T", "t"));
         let mut facade = Activity::noop("Blk");
         facade.kind = ActivityKind::Block {
             process: Box::new(inner),

@@ -25,16 +25,16 @@ pub fn trace(events: &[Event], instance: InstanceId) -> Vec<String> {
         .iter()
         .filter(|e| e.instance() == Some(instance))
         .filter_map(|e| match e {
-            Event::ActivityStarted { path, attempt, .. } => {
-                Some(format!("start:{path}#{attempt}"))
-            }
+            Event::ActivityStarted { path, attempt, .. } => Some(format!("start:{path}#{attempt}")),
             Event::ActivityFinished { path, output, .. } => {
                 // An absent RC member must not masquerade as a genuine
                 // return code of -1: render it as the distinct `?`.
-                Some(match output.get(wfms_model::RC_MEMBER).and_then(|v| v.as_int()) {
-                    Some(rc) => format!("finish:{path}={rc}"),
-                    None => format!("finish:{path}=?"),
-                })
+                Some(
+                    match output.get(wfms_model::RC_MEMBER).and_then(|v| v.as_int()) {
+                        Some(rc) => format!("finish:{path}={rc}"),
+                        None => format!("finish:{path}=?"),
+                    },
+                )
             }
             Event::ActivityTerminated {
                 path,
@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn trace_tokens() {
         let t = trace(&sample(), InstanceId(1));
-        assert_eq!(
-            t,
-            vec!["start:A#0", "finish:A=1", "dead:B", "done"]
-        );
+        assert_eq!(t, vec!["start:A#0", "finish:A=1", "dead:B", "done"]);
     }
 
     /// Regression: an `ActivityFinished` whose output carries no `RC`

@@ -293,9 +293,7 @@ impl CompiledScope {
                 if matches!(&d.to, DataEndpoint::ActivityInput(t) if t == &a.name) {
                     let source = match &d.from {
                         DataEndpoint::ProcessInput => Some(DataSource::ProcessInput),
-                        DataEndpoint::ActivityOutput(s) => {
-                            id_of(s).map(DataSource::ActivityOutput)
-                        }
+                        DataEndpoint::ActivityOutput(s) => id_of(s).map(DataSource::ActivityOutput),
                         _ => None,
                     };
                     if let Some(source) = source {
@@ -520,9 +518,7 @@ mod tests {
         assert_eq!(ids, vec![1, 0]);
         assert_eq!(t.path_string(&ids), "B/X");
         assert!(t.resolve_path(&["Ghost".to_owned()]).is_none());
-        assert!(t
-            .resolve_path(&["A".to_owned(), "X".to_owned()])
-            .is_none());
+        assert!(t.resolve_path(&["A".to_owned(), "X".to_owned()]).is_none());
     }
 
     #[test]
@@ -534,10 +530,7 @@ mod tests {
         // Guaranteed evaluation error: transition false, exit true.
         let err = Expr::parse("1 / 0 = 1").unwrap();
         assert!(matches!(CondPlan::transition(&err), CondPlan::AlwaysFalse));
-        assert!(matches!(
-            CondPlan::exit(&Some(err)),
-            CondPlan::AlwaysTrue
-        ));
+        assert!(matches!(CondPlan::exit(&Some(err)), CondPlan::AlwaysTrue));
         let dynamic = Expr::parse("RC = 1").unwrap();
         assert!(matches!(
             CondPlan::transition(&dynamic),

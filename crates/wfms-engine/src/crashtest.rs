@@ -130,7 +130,11 @@ impl SweepReport {
             self.label,
             self.passed,
             self.passed + self.failed,
-            if self.torn_tail { " (torn tails injected)" } else { "" },
+            if self.torn_tail {
+                " (torn tails injected)"
+            } else {
+                ""
+            },
             if self.failed > 0 {
                 format!("; first failure at k={}", self.failures[0].k)
             } else {
@@ -400,9 +404,7 @@ fn run_crash_point(
         let want_out = &ref_outputs[&id];
         match engine.output(id) {
             Ok(got) if got == *want_out => {}
-            Ok(got) => {
-                return Some(format!("instance {id}: output {got:?} != {want_out:?}"))
-            }
+            Ok(got) => return Some(format!("instance {id}: output {got:?} != {want_out:?}")),
             Err(e) => return Some(format!("instance {id}: {e}")),
         }
     }
@@ -430,10 +432,7 @@ fn run_crash_point(
         })
         .collect();
     if rec_suffix.len() != want_suffix.len()
-        || rec_suffix
-            .iter()
-            .zip(&want_suffix)
-            .any(|(a, b)| **a != **b)
+        || rec_suffix.iter().zip(&want_suffix).any(|(a, b)| **a != **b)
     {
         let at = rec_suffix
             .iter()

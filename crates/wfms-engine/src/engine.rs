@@ -165,8 +165,9 @@ impl Engine {
         config: EngineConfig,
     ) -> Self {
         let journal = match &config.journal_path {
-            Some(p) => Journal::with_file_policy(p, config.durability)
-                .expect("cannot open journal file"),
+            Some(p) => {
+                Journal::with_file_policy(p, config.durability).expect("cannot open journal file")
+            }
             None => Journal::new(),
         };
         let observer = config
@@ -253,9 +254,11 @@ impl Engine {
     /// The probe tree for `tpl`, built on first use and cached.
     fn probes_for(&self, tpl: &Arc<CompiledProcess>) -> Arc<ScopeProbes> {
         let mut cache = self.probes.lock();
-        Arc::clone(cache.entry(tpl.name().to_owned()).or_insert_with(|| {
-            ScopeProbes::build(&tpl.root, self.obs.observer.registry())
-        }))
+        Arc::clone(
+            cache
+                .entry(tpl.name().to_owned())
+                .or_insert_with(|| ScopeProbes::build(&tpl.root, self.obs.observer.registry())),
+        )
     }
 
     /// Validates a definition and registers its **compiled template**
@@ -279,9 +282,7 @@ impl Engine {
     /// Registers an already compiled template (e.g. one produced by a
     /// front-end pipeline that validated the definition itself).
     pub fn register_compiled(&self, tpl: Arc<CompiledProcess>) {
-        self.templates
-            .lock()
-            .insert(tpl.name().to_owned(), tpl);
+        self.templates.lock().insert(tpl.name().to_owned(), tpl);
     }
 
     /// The compiled template registered under `name`.
@@ -536,12 +537,12 @@ impl Engine {
         let inst = instances
             .get_mut(&it.instance)
             .ok_or(EngineError::UnknownInstance(it.instance))?;
-        let path = inst
-            .resolve_names(&split_path(&it.path))
-            .ok_or_else(|| EngineError::BadActivityState {
+        let path = inst.resolve_names(&split_path(&it.path)).ok_or_else(|| {
+            EngineError::BadActivityState {
                 path: it.path.clone(),
                 expected: "present",
-            })?;
+            }
+        })?;
         // The underlying activity must still be ready at the claimed
         // attempt.
         let ok = inst
@@ -565,12 +566,7 @@ impl Engine {
     /// Operator intervention (§3.3): forces a ready or running
     /// activity to finish with return code `rc` and no outputs, then
     /// continues navigation.
-    pub fn force_finish(
-        &self,
-        id: InstanceId,
-        path: &str,
-        rc: i64,
-    ) -> Result<(), EngineError> {
+    pub fn force_finish(&self, id: InstanceId, path: &str, rc: i64) -> Result<(), EngineError> {
         self.check_journal()?;
         let mut instances = self.instances.lock();
         let at = self.clock.now();
@@ -659,9 +655,7 @@ impl Engine {
         path: &str,
     ) -> Result<(ActState, bool, u32), EngineError> {
         let instances = self.instances.lock();
-        let inst = instances
-            .get(&id)
-            .ok_or(EngineError::UnknownInstance(id))?;
+        let inst = instances.get(&id).ok_or(EngineError::UnknownInstance(id))?;
         inst.resolve_names(&split_path(path))
             .and_then(|p| inst.activity_rt(&p))
             .map(|rt| (rt.state, rt.executed, rt.attempt))
@@ -726,6 +720,28 @@ impl Engine {
             at: self.clock.now(),
         });
         self.journal.compact()
+    }
+
+    /// Forces the journal mirror to disk — a durability barrier under
+    /// any [`DurabilityPolicy`]. After this returns `Ok`, every event
+    /// appended so far survives a crash. Group-commit callers (a
+    /// server shard batching submissions) append under `Batched{n}`
+    /// and call this once per batch before acknowledging any of it.
+    pub fn flush_journal(&self) -> Result<(), EngineError> {
+        self.journal.flush();
+        self.check_journal()
+    }
+
+    /// Drains the engine for shutdown: flushes the journal, writes a
+    /// checkpoint (compacting the replay history), and flushes again
+    /// so the checkpoint itself is durable. Returns the number of
+    /// journal events the compaction dropped. The engine stays usable
+    /// afterwards — drain is a durability barrier, not a poison pill.
+    pub fn drain(&self) -> Result<usize, EngineError> {
+        self.flush_journal()?;
+        let dropped = self.checkpoint();
+        self.flush_journal()?;
+        Ok(dropped)
     }
 
     /// Simulates a crash: drops all volatile state, keeping only what

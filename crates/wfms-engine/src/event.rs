@@ -13,9 +13,7 @@ use txn_substrate::Tick;
 use wfms_model::Container;
 
 /// Identifier of one process instance.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct InstanceId(pub u64);
 
 impl std::fmt::Display for InstanceId {
@@ -25,9 +23,7 @@ impl std::fmt::Display for InstanceId {
 }
 
 /// Identifier of one work item on a worklist.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct WorkItemId(pub u64);
 
 impl std::fmt::Display for WorkItemId {
@@ -258,7 +254,10 @@ impl Event {
                 format!("  connector {prefix}{from} -> {prefix}{to} = {value}")
             }
             Event::WorkItemOffered {
-                path, item, persons, ..
+                path,
+                item,
+                persons,
+                ..
             } => format!("  {path} offered as {item} to {persons:?}"),
             Event::WorkItemClaimed { item, person, .. } => {
                 format!("  {item} claimed by {person}")

@@ -201,11 +201,7 @@ impl RefEngine {
     /// Executes a work item on behalf of `person` (claiming it first
     /// if still offered), then continues automatic navigation — the
     /// oracle twin of [`crate::Engine::execute_item`].
-    pub fn execute_item(
-        &mut self,
-        item: WorkItemId,
-        person: &str,
-    ) -> Result<(), WorklistError> {
+    pub fn execute_item(&mut self, item: WorkItemId, person: &str) -> Result<(), WorklistError> {
         let it = self
             .worklists
             .get(item)
@@ -282,7 +278,9 @@ impl RefEngine {
                 if act.automatic_start {
                     continue;
                 }
-                let Some(deadline) = act.deadline else { continue };
+                let Some(deadline) = act.deadline else {
+                    continue;
+                };
                 let Some(rt) = scope.activities.get_mut(&act.name) else {
                     continue;
                 };
@@ -324,7 +322,14 @@ impl RefEngine {
         let now = self.clock.now();
         let mut due = Vec::new();
         let def = Arc::clone(&inst.def);
-        scan(&def, &mut inst.root, &mut Vec::new(), now, &self.org, &mut due);
+        scan(
+            &def,
+            &mut inst.root,
+            &mut Vec::new(),
+            now,
+            &self.org,
+            &mut due,
+        );
 
         let mut sent = Vec::new();
         for (path, managers) in due {
@@ -481,7 +486,9 @@ impl RefEngine {
         let Some((def, scope)) = inst.resolve_mut(scope_path) else {
             return;
         };
-        let Some(act) = def.activity(name) else { return };
+        let Some(act) = def.activity(name) else {
+            return;
+        };
         let kind = act.kind.clone();
         let rt = scope.activities.get_mut(name).expect("activity exists");
         rt.state = ActState::Running;
@@ -498,19 +505,14 @@ impl RefEngine {
 
         match kind {
             ActivityKind::NoOp => {
-                let outputs: BTreeMap<String, Value> = input
-                    .iter()
-                    .map(|(k, v)| (k.clone(), v.clone()))
-                    .collect();
+                let outputs: BTreeMap<String, Value> =
+                    input.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
                 self.complete_execution(inst, path, 1, outputs);
             }
             ActivityKind::Program { program } => {
                 let mut ctx = ProgramContext::new(Arc::clone(&self.multidb));
                 ctx.attempt = attempt;
-                ctx.params = input
-                    .iter()
-                    .map(|(k, v)| (k.clone(), v.clone()))
-                    .collect();
+                ctx.params = input.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
                 let outcome = self.programs.invoke(&program, &mut ctx);
                 let (rc, outputs) = match outcome {
                     ProgramOutcome::Committed { rc, outputs } => (rc, outputs),
@@ -578,7 +580,9 @@ impl RefEngine {
         let Some((def, scope)) = inst.resolve_mut(scope_path) else {
             return;
         };
-        let Some(act) = def.activity(name) else { return };
+        let Some(act) = def.activity(name) else {
+            return;
+        };
         let schema = def.effective_output(act);
 
         let mut output = schema.instantiate();
@@ -610,10 +614,14 @@ impl RefEngine {
         let Some((def, scope)) = inst.resolve(scope_path) else {
             return;
         };
-        let Some(act) = def.activity(name) else { return };
+        let Some(act) = def.activity(name) else {
+            return;
+        };
         let exit = act.exit.clone();
         let is_block = act.kind.is_block();
-        let Some(rt) = scope.activities.get(name) else { return };
+        let Some(rt) = scope.activities.get(name) else {
+            return;
+        };
         let output = rt.output.clone();
 
         let exit_ok = match &exit.expr {
@@ -709,15 +717,24 @@ impl RefEngine {
         let Some((def, scope)) = inst.resolve(scope_path) else {
             return;
         };
-        let Some(act) = def.activity(name) else { return };
-        let Some(rt) = scope.activities.get(name) else { return };
+        let Some(act) = def.activity(name) else {
+            return;
+        };
+        let Some(rt) = scope.activities.get(name) else {
+            return;
+        };
         if rt.state != ActState::Waiting {
             return;
         }
         let values: Vec<Option<bool>> = def
             .incoming(name)
             .iter()
-            .map(|c| scope.connectors.get(&(c.from.clone(), c.to.clone())).copied())
+            .map(|c| {
+                scope
+                    .connectors
+                    .get(&(c.from.clone(), c.to.clone()))
+                    .copied()
+            })
             .collect();
         let decision = match act.start {
             StartCondition::And => {
@@ -778,14 +795,9 @@ impl RefEngine {
         if rt.state != ActState::Running {
             return;
         }
-        let rc = output
-            .get(RC_MEMBER)
-            .and_then(|v| v.as_int())
-            .unwrap_or(1);
-        let outputs: BTreeMap<String, Value> = output
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
+        let rc = output.get(RC_MEMBER).and_then(|v| v.as_int()).unwrap_or(1);
+        let outputs: BTreeMap<String, Value> =
+            output.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         self.complete_execution(inst, scope_path, rc, outputs);
     }
 }
@@ -840,9 +852,9 @@ mod tests {
         eng.register(def);
         let id = eng.start("p", Container::empty());
         assert_eq!(eng.run_to_quiescence(id), InstanceStatus::Finished);
-        let dead = eng.events_for(id).iter().any(|e| {
-            matches!(e, Event::ActivityTerminated { path, executed: false, .. } if path == "C")
-        });
+        let dead = eng.events_for(id).iter().any(
+            |e| matches!(e, Event::ActivityTerminated { path, executed: false, .. } if path == "C"),
+        );
         assert!(dead, "C must be dead-path eliminated");
     }
 }

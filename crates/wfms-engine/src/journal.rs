@@ -360,8 +360,7 @@ mod tests {
             let mut f = OpenOptions::new().append(true).open(&path).unwrap();
             write!(f, "{{\"InstanceStar").unwrap();
         }
-        let (j2, report) =
-            Journal::with_file_report(&path, DurabilityPolicy::PerEvent).unwrap();
+        let (j2, report) = Journal::with_file_report(&path, DurabilityPolicy::PerEvent).unwrap();
         assert_eq!(j2.len(), 2, "complete events survive the torn tail");
         assert!(report.torn_tail.is_some());
         // Appends after truncation land on a clean record boundary.
@@ -391,8 +390,7 @@ mod tests {
     fn batched_policy_append_batch_is_one_group_commit() {
         let dir = tmp_dir("batch");
         let path = dir.join("engine.journal");
-        let j =
-            Journal::with_file_policy(&path, DurabilityPolicy::Batched { n: 1000 }).unwrap();
+        let j = Journal::with_file_policy(&path, DurabilityPolicy::Batched { n: 1000 }).unwrap();
         j.append(started(1));
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "", "buffered");
         j.append_batch(vec![started(2), started(3)]);

@@ -58,12 +58,12 @@ pub mod worklist;
 pub use compiled::{ActId, CompiledProcess, CompiledScope, EdgeId, IdPath};
 pub use crashtest::{CrashPointResult, SweepConfig, SweepReport};
 pub use engine::{Engine, EngineConfig, EngineError};
-pub use interp::RefEngine;
 pub use event::{Event, InstanceId, InstanceSnapshot, WorkItemId};
+pub use interp::RefEngine;
 pub use journal::Journal;
 pub use metrics::{DbMetrics, EngineMetrics, LatencySummary};
-pub use wfms_observe::Observer;
 pub use org::{OrgModel, Person};
-pub use recovery::{recover, recover_from, RecoveryError};
+pub use recovery::{recover, recover_from, recover_with_policy, RecoveryError};
 pub use state::{ActState, ActivityRt, Instance, InstanceStatus, ScopeState};
+pub use wfms_observe::Observer;
 pub use worklist::{WorkItem, WorkItemState, WorklistError, WorklistStore};

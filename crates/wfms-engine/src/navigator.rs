@@ -85,9 +85,9 @@ impl NavServices<'_> {
 /// Starts `inst`: journals the start event and makes the start
 /// activities of the root scope ready.
 pub fn start_instance(inst: &mut Instance, svc: &NavServices<'_>) {
-    svc.obs
-        .observer
-        .trace_event("instance.start", || format!("{} {}", inst.id, inst.tpl.def.name));
+    svc.obs.observer.trace_event("instance.start", || {
+        format!("{} {}", inst.id, inst.tpl.def.name)
+    });
     svc.journal.append(Event::InstanceStarted {
         instance: inst.id,
         process: inst.tpl.def.name.clone(),
@@ -294,20 +294,15 @@ pub fn execute_activity(
             // members declared in the output schema survive). The
             // Figure 2 compensation trigger relies on this to expose
             // the State_i flags to its outgoing transition conditions.
-            let outputs: BTreeMap<String, Value> = input
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect();
+            let outputs: BTreeMap<String, Value> =
+                input.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
             complete_execution(inst, svc, path, 1, outputs);
             record_latency(inst, path, t0);
         }
         CompiledKind::Program(program) => {
             let mut ctx = ProgramContext::new(Arc::clone(svc.multidb));
             ctx.attempt = attempt;
-            ctx.params = input
-                .iter()
-                .map(|(k, v)| (k.clone(), v.clone()))
-                .collect();
+            ctx.params = input.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
             let outcome = svc.programs.invoke(program, &mut ctx);
             let (rc, outputs) = match outcome {
                 ProgramOutcome::Committed { rc, outputs } => (rc, outputs),
@@ -731,14 +726,9 @@ pub(crate) fn check_scope_completion(
     if parent.rt(block_id).state != ActState::Running {
         return; // already completed (idempotence guard)
     }
-    let rc = output
-        .get(RC_MEMBER)
-        .and_then(|v| v.as_int())
-        .unwrap_or(1);
-    let outputs: BTreeMap<String, Value> = output
-        .iter()
-        .map(|(k, v)| (k.clone(), v.clone()))
-        .collect();
+    let rc = output.get(RC_MEMBER).and_then(|v| v.as_int()).unwrap_or(1);
+    let outputs: BTreeMap<String, Value> =
+        output.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
     complete_execution(inst, svc, scope_ids, rc, outputs);
 }
 
@@ -775,10 +765,7 @@ pub fn cancel_instance(inst: &mut Instance, svc: &NavServices<'_>) {
 /// ([`CompiledScope::deadline_acts`]) and records whether any exist at
 /// all ([`CompiledScope::any_deadlines`]), so instances without
 /// deadlines return without scanning anything.
-pub fn check_deadlines(
-    inst: &mut Instance,
-    svc: &NavServices<'_>,
-) -> Vec<(String, String)> {
+pub fn check_deadlines(inst: &mut Instance, svc: &NavServices<'_>) -> Vec<(String, String)> {
     if !inst.tpl.root.any_deadlines {
         return Vec::new();
     }
@@ -834,7 +821,14 @@ pub fn check_deadlines(
     let tpl = Arc::clone(&inst.tpl);
     {
         let org = svc.org.lock();
-        scan(&tpl.root, &mut inst.root, &mut Vec::new(), now, &org, &mut due);
+        scan(
+            &tpl.root,
+            &mut inst.root,
+            &mut Vec::new(),
+            now,
+            &org,
+            &mut due,
+        );
     }
 
     let mut sent = Vec::new();

@@ -61,13 +61,7 @@ impl OrgModel {
     }
 
     /// Adds a person reporting to `manager` at `level`.
-    pub fn person_under(
-        mut self,
-        name: &str,
-        roles: &[&str],
-        manager: &str,
-        level: u32,
-    ) -> Self {
+    pub fn person_under(mut self, name: &str, roles: &[&str], manager: &str, level: u32) -> Self {
         self.persons.insert(
             name.to_owned(),
             Person {
@@ -139,9 +133,7 @@ impl OrgModel {
     pub fn resolve(&self, staff: &wfms_model::StaffAssignment) -> Vec<String> {
         let raw: Vec<&Person> = match staff {
             wfms_model::StaffAssignment::Automatic => Vec::new(),
-            wfms_model::StaffAssignment::Person(p) => {
-                self.persons.get(p).into_iter().collect()
-            }
+            wfms_model::StaffAssignment::Person(p) => self.persons.get(p).into_iter().collect(),
             wfms_model::StaffAssignment::Role(r) => self.persons_with_role(r),
         };
         let mut out: Vec<String> = raw
@@ -187,7 +179,9 @@ mod tests {
             o.resolve(&StaffAssignment::Person("bob".into())),
             vec!["bob".to_string()]
         );
-        assert!(o.resolve(&StaffAssignment::Person("ghost".into())).is_empty());
+        assert!(o
+            .resolve(&StaffAssignment::Person("ghost".into()))
+            .is_empty());
     }
 
     #[test]

@@ -76,7 +76,30 @@ pub fn recover(
     multidb: Arc<MultiDatabase>,
     programs: Arc<ProgramRegistry>,
 ) -> Result<Engine, RecoveryError> {
-    let journal = Journal::with_file(journal_path).map_err(RecoveryError::Io)?;
+    recover_with_policy(
+        journal_path,
+        txn_substrate::DurabilityPolicy::default(),
+        templates,
+        org,
+        multidb,
+        programs,
+    )
+}
+
+/// [`recover`] with an explicit [`txn_substrate::DurabilityPolicy`]
+/// for the reopened journal. A server shard running under group
+/// commit (`Batched{n}`) recovers with the same policy so the
+/// rebuilt engine keeps batching instead of silently reverting to
+/// per-event flushes.
+pub fn recover_with_policy(
+    journal_path: &Path,
+    policy: txn_substrate::DurabilityPolicy,
+    templates: Vec<ProcessDefinition>,
+    org: OrgModel,
+    multidb: Arc<MultiDatabase>,
+    programs: Arc<ProgramRegistry>,
+) -> Result<Engine, RecoveryError> {
+    let journal = Journal::with_file_policy(journal_path, policy).map_err(RecoveryError::Io)?;
     let events = journal.events();
     recover_from(journal, events, templates, org, multidb, programs)
 }

@@ -314,12 +314,7 @@ impl Instance {
     /// recovery replay and checkpoint restore, which mutate state
     /// without navigating.
     pub(crate) fn rebuild_ready(&mut self) {
-        fn scan(
-            cs: &CompiledScope,
-            st: &ScopeState,
-            prefix: &mut IdPath,
-            out: &mut Vec<IdPath>,
-        ) {
+        fn scan(cs: &CompiledScope, st: &ScopeState, prefix: &mut IdPath, out: &mut Vec<IdPath>) {
             for (i, rt) in st.activities.iter().enumerate() {
                 let id = i as ActId;
                 match rt.state {
@@ -367,7 +362,10 @@ mod tests {
     use wfms_model::{Activity, ProcessBuilder};
 
     fn def_with_block() -> ProcessDefinition {
-        let inner = ProcessBuilder::new("inner").program("X", "px").build().unwrap();
+        let inner = ProcessBuilder::new("inner")
+            .program("X", "px")
+            .build()
+            .unwrap();
         ProcessBuilder::new("outer")
             .program("A", "pa")
             .block("B", inner)

@@ -3,9 +3,7 @@
 
 use std::sync::Arc;
 use txn_substrate::{MultiDatabase, ProgramOutcome, ProgramRegistry};
-use wfms_engine::{
-    recover_from, Engine, EngineConfig, Event, InstanceStatus, Journal, OrgModel,
-};
+use wfms_engine::{recover_from, Engine, EngineConfig, Event, InstanceStatus, Journal, OrgModel};
 use wfms_model::{Activity, Container, ProcessBuilder};
 
 fn world() -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
@@ -100,7 +98,9 @@ fn checkpoint_compacts_and_recovery_resumes_from_it() {
 #[test]
 fn checkpoint_claimed_items_are_reoffered_on_recovery() {
     let (fed, registry) = world();
-    let org = OrgModel::new().person("ann", &["clerk"]).person("bob", &["clerk"]);
+    let org = OrgModel::new()
+        .person("ann", &["clerk"])
+        .person("bob", &["clerk"]);
     let def = manual_then_auto();
     let engine = Engine::with_config(
         Arc::clone(&fed),
@@ -120,15 +120,7 @@ fn checkpoint_claimed_items_are_reoffered_on_recovery() {
     let events = engine.journal_events();
     engine.crash();
 
-    let recovered = recover_from(
-        Journal::new(),
-        events,
-        vec![def],
-        org,
-        fed,
-        registry,
-    )
-    .unwrap();
+    let recovered = recover_from(Journal::new(), events, vec![def], org, fed, registry).unwrap();
     // The item survived the checkpoint, but the claim did not: a claim
     // is a lease held by the crashed session, so recovery releases it
     // back onto every eligible worklist instead of parking it on a
@@ -155,7 +147,10 @@ fn repeated_checkpoints_keep_only_the_last() {
         .iter()
         .filter(|e| matches!(e, Event::EngineCheckpoint { .. }))
         .count();
-    assert_eq!(checkpoints, 1, "compaction keeps only the newest checkpoint");
+    assert_eq!(
+        checkpoints, 1,
+        "compaction keeps only the newest checkpoint"
+    );
     assert!(matches!(events[0], Event::EngineCheckpoint { .. }));
     engine.crash();
 

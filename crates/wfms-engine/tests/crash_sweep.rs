@@ -17,8 +17,7 @@ use std::sync::Arc;
 use txn_substrate::{MultiDatabase, ProgramOutcome, ProgramRegistry};
 use wfms_engine::crashtest::{sweep, SweepConfig};
 use wfms_model::{
-    Activity, Container, ControlConnector, Expr, ProcessBuilder, ProcessDefinition,
-    StartCondition,
+    Activity, Container, ControlConnector, Expr, ProcessBuilder, ProcessDefinition, StartCondition,
 };
 
 /// A generated scenario: a DAG over `n` activities with edges
@@ -183,6 +182,10 @@ fn chain_with_abort_sweep_report_shape() {
         assert_eq!(report.failed, 0);
         let json = report.to_json();
         assert!(json.contains("\"label\":\"chain\""), "{json}");
-        assert!(report.summary().starts_with("chain: "), "{}", report.summary());
+        assert!(
+            report.summary().starts_with("chain: "),
+            "{}",
+            report.summary()
+        );
     }
 }

@@ -55,7 +55,9 @@ impl Rig {
             loop {
                 let mut t = db.begin();
                 let prev = match t.get("log") {
-                    Ok(v) => v.and_then(|v| v.as_str().map(str::to_owned)).unwrap_or_default(),
+                    Ok(v) => v
+                        .and_then(|v| v.as_str().map(str::to_owned))
+                        .unwrap_or_default(),
                     Err(_) => continue,
                 };
                 let next = if prev.is_empty() {
@@ -118,13 +120,13 @@ fn linear_chain_runs_in_order() {
     let engine = rig.engine();
     engine.register(linear(&["A", "B", "C"])).unwrap();
     let id = engine.start("linear", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
     assert_eq!(rig.log(), "p_A,p_B,p_C");
     let events = engine.journal_events();
-    assert_eq!(
-        audit::execution_order(&events, id),
-        vec!["A", "B", "C"]
-    );
+    assert_eq!(audit::execution_order(&events, id), vec!["A", "B", "C"]);
 }
 
 #[test]
@@ -138,9 +140,15 @@ fn false_transition_condition_triggers_dpe_cascade() {
     let engine = rig.engine();
     engine.register(linear(&["A", "B", "C"])).unwrap();
     let id = engine.start("linear", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
     assert_eq!(rig.log(), "", "B and C never ran");
-    assert_eq!(engine.activity_state(id, "B").unwrap().0, ActState::Terminated);
+    assert_eq!(
+        engine.activity_state(id, "B").unwrap().0,
+        ActState::Terminated
+    );
     assert!(!engine.activity_state(id, "B").unwrap().1, "not executed");
     assert!(!engine.activity_state(id, "C").unwrap().1);
     let s = audit::summarize(&engine.journal_events(), id);
@@ -198,7 +206,10 @@ fn and_join_dies_if_any_branch_false() {
     let engine = rig.engine();
     engine.register(def).unwrap();
     let id = engine.start("diamond", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
     let (state, executed, _) = engine.activity_state(id, "D").unwrap();
     assert_eq!(state, ActState::Terminated);
     assert!(!executed);
@@ -253,7 +264,10 @@ fn or_join_dead_only_when_all_false() {
     engine.register(def).unwrap();
     let id = engine.start("orjoin", Container::empty()).unwrap();
     engine.run_to_quiescence(id).unwrap();
-    assert!(engine.activity_state(id, "D").unwrap().1, "C's true suffices");
+    assert!(
+        engine.activity_state(id, "D").unwrap().1,
+        "C's true suffices"
+    );
 
     // Now both branches abort: D must die.
     let rig2 = Rig::new();
@@ -288,7 +302,9 @@ fn exit_condition_reschedules_until_true() {
     // condition RC = 1 loops the activity until commit — the §3.2
     // loop mechanism the saga compensations rely on.
     let rig = Rig::new();
-    rig.fed.injector().set_plan("retry_me", FailurePlan::FirstN(2));
+    rig.fed
+        .injector()
+        .set_plan("retry_me", FailurePlan::FirstN(2));
     rig.programs
         .register(Arc::new(KvProgram::write("retry_me", "db", "done", 1i64)));
     let def = ProcessBuilder::new("loopy")
@@ -298,7 +314,10 @@ fn exit_condition_reschedules_until_true() {
     let engine = rig.engine();
     engine.register(def).unwrap();
     let id = engine.start("loopy", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
     let (_, _, attempts) = engine.activity_state(id, "R").unwrap();
     assert_eq!(attempts, 2, "two reschedules before success");
     let s = audit::summarize(&engine.journal_events(), id);
@@ -336,10 +355,11 @@ fn data_flows_between_activities_and_process_containers() {
     // Producer writes `n` to its output; consumer receives it as `m`
     // and copies it to the process output.
     let rig = Rig::new();
-    rig.programs.register_fn("produce", |_ctx| ProgramOutcome::Committed {
-        rc: 1,
-        outputs: [("n".to_string(), Value::Int(41))].into_iter().collect(),
-    });
+    rig.programs
+        .register_fn("produce", |_ctx| ProgramOutcome::Committed {
+            rc: 1,
+            outputs: [("n".to_string(), Value::Int(41))].into_iter().collect(),
+        });
     rig.programs.register_fn("consume", |ctx| {
         let n = ctx.params.get("m").and_then(|v| v.as_int()).unwrap_or(-1);
         ProgramOutcome::Committed {
@@ -379,15 +399,16 @@ fn data_flows_between_activities_and_process_containers() {
 #[test]
 fn undeclared_program_outputs_are_dropped() {
     let rig = Rig::new();
-    rig.programs.register_fn("chatty", |_ctx| ProgramOutcome::Committed {
-        rc: 1,
-        outputs: [
-            ("declared".to_string(), Value::Int(1)),
-            ("undeclared".to_string(), Value::Int(2)),
-        ]
-        .into_iter()
-        .collect(),
-    });
+    rig.programs
+        .register_fn("chatty", |_ctx| ProgramOutcome::Committed {
+            rc: 1,
+            outputs: [
+                ("declared".to_string(), Value::Int(1)),
+                ("undeclared".to_string(), Value::Int(2)),
+            ]
+            .into_iter()
+            .collect(),
+        });
     let def = ProcessBuilder::new("schema")
         .activity(
             Activity::program("A", "chatty")
@@ -415,16 +436,16 @@ fn undeclared_program_outputs_are_dropped() {
 fn block_runs_embedded_process_and_bubbles_output() {
     let rig = Rig::new();
     rig.ok_program("p_X");
-    rig.programs.register_fn("p_Y", |_ctx| ProgramOutcome::Committed {
-        rc: 1,
-        outputs: [("v".to_string(), Value::Int(9))].into_iter().collect(),
-    });
+    rig.programs
+        .register_fn("p_Y", |_ctx| ProgramOutcome::Committed {
+            rc: 1,
+            outputs: [("v".to_string(), Value::Int(9))].into_iter().collect(),
+        });
     let inner = ProcessBuilder::new("inner")
         .output(ContainerSchema::of(&[("v", DataType::Int)]))
         .program("X", "p_X")
         .activity(
-            Activity::program("Y", "p_Y")
-                .with_output(ContainerSchema::of(&[("v", DataType::Int)])),
+            Activity::program("Y", "p_Y").with_output(ContainerSchema::of(&[("v", DataType::Int)])),
         )
         .connect_when("X", "Y", "RC = 1")
         .map_to_process_output("Y", &[("v", "v")])
@@ -442,7 +463,10 @@ fn block_runs_embedded_process_and_bubbles_output() {
     let engine = rig.engine();
     engine.register(outer).unwrap();
     let id = engine.start("outer", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
     assert_eq!(engine.output(id).unwrap().get("out"), Some(&Value::Int(9)));
     // Nested paths appear in the journal.
     let order = audit::execution_order(&engine.journal_events(), id);
@@ -486,7 +510,10 @@ fn block_exit_condition_loops_whole_block() {
     let engine = rig.engine();
     engine.register(outer).unwrap();
     let id = engine.start("outer", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
     let (_, _, attempts) = engine.activity_state(id, "B").unwrap();
     assert!(attempts >= 1, "block looped at least once");
 }
@@ -506,7 +533,10 @@ fn manual_activity_waits_on_worklist_and_claim_is_exclusive() {
     let engine = rig.engine_with_org(org);
     engine.register(def).unwrap();
     let id = engine.start("manual", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Running);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Running
+    );
 
     // Both clerks see the item; claiming removes it from the other's
     // list (§3.3 load balancing).
@@ -532,9 +562,10 @@ fn manual_activity_waits_on_worklist_and_claim_is_exclusive() {
 fn deadline_notifies_manager_once() {
     let rig = Rig::new();
     rig.ok_program("p_M");
-    let org = OrgModel::new()
-        .person("boss", &["manager"])
-        .person_under("ann", &["clerk"], "boss", 2);
+    let org =
+        OrgModel::new()
+            .person("boss", &["manager"])
+            .person_under("ann", &["clerk"], "boss", 2);
     let def = ProcessBuilder::new("slow")
         .activity(
             Activity::program("M", "p_M")
@@ -685,9 +716,7 @@ fn recovery_restarts_activity_that_was_running() {
     // drop B's finish/termination and the instance finish.
     let cut = events
         .iter()
-        .position(|e| {
-            matches!(e, wfms_engine::Event::ActivityStarted { path, .. } if path == "B")
-        })
+        .position(|e| matches!(e, wfms_engine::Event::ActivityStarted { path, .. } if path == "B"))
         .unwrap();
     events.truncate(cut + 1);
 

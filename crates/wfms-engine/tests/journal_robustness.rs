@@ -233,8 +233,7 @@ fn concurrent_append_and_compact_keep_file_consistent() {
     // and holds exactly the in-memory events.
     let in_memory = journal.events();
     drop(journal);
-    let (reopened, report) =
-        Journal::with_file_report(&path, DurabilityPolicy::default()).unwrap();
+    let (reopened, report) = Journal::with_file_report(&path, DurabilityPolicy::default()).unwrap();
     assert!(report.torn_tail.is_none());
     assert_eq!(reopened.events(), in_memory);
     let _ = std::fs::remove_dir_all(&dir);

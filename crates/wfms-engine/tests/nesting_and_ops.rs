@@ -54,11 +54,11 @@ fn three_level_nesting_threads_data_to_the_root() {
     let engine = Engine::new(fed, registry);
     engine.register(root).unwrap();
     let id = engine.start("L1", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
     assert_eq!(
-        engine.output(id).unwrap().get("out"),
-        Some(&Value::Int(77))
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
     );
+    assert_eq!(engine.output(id).unwrap().get("out"), Some(&Value::Int(77)));
     // Nested paths appear with full scope prefixes.
     let order = audit::execution_order(&engine.journal_events(), id);
     assert_eq!(order, vec!["Mid", "Mid/Inner", "Mid/Inner/Leaf"]);
@@ -113,7 +113,10 @@ fn deadline_notification_reaches_into_blocks() {
         )
         .build()
         .unwrap();
-    let root = ProcessBuilder::new("proc").block("Inner", inner).build().unwrap();
+    let root = ProcessBuilder::new("proc")
+        .block("Inner", inner)
+        .build()
+        .unwrap();
     let engine = Engine::with_config(
         fed,
         registry,
@@ -236,7 +239,10 @@ fn cancel_with_running_nested_block() {
         .activity(Activity::program("M", "ok").for_role("clerk"))
         .build()
         .unwrap();
-    let root = ProcessBuilder::new("proc").block("Inner", inner).build().unwrap();
+    let root = ProcessBuilder::new("proc")
+        .block("Inner", inner)
+        .build()
+        .unwrap();
     let engine = Engine::with_config(
         fed,
         registry,

@@ -80,8 +80,7 @@ fn metrics_snapshot_has_latency_counters_and_federation() {
 
     // Journal probes: every event of every run went through append.
     assert_eq!(
-        m.counters["journal.appends"],
-        m.journal_events,
+        m.counters["journal.appends"], m.journal_events,
         "append counter matches the journal length"
     );
     // Append latency is sampled 1-in-16 (the first append always
@@ -146,9 +145,10 @@ fn retries_and_reschedules_count_exit_condition_loops() {
 #[test]
 fn worklist_and_notification_counters() {
     let (fed, registry) = world();
-    let org = OrgModel::new()
-        .person("boss", &["manager"])
-        .person_under("ann", &["clerk"], "boss", 2);
+    let org =
+        OrgModel::new()
+            .person("boss", &["manager"])
+            .person_under("ann", &["clerk"], "boss", 2);
     let def = ProcessBuilder::new("m")
         .activity(
             Activity::program("M", "mark_a")
@@ -208,7 +208,10 @@ fn journal_is_byte_identical_with_observability_enabled() {
     };
     let plain = run(None);
     let observed = run(Some(Arc::new(Observer::enabled())));
-    assert_eq!(plain, observed, "observability must not perturb the journal");
+    assert_eq!(
+        plain, observed,
+        "observability must not perturb the journal"
+    );
 }
 
 #[test]

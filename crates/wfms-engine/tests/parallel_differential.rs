@@ -20,8 +20,7 @@ use wfms_engine::{
     WorkItemId,
 };
 use wfms_model::{
-    Activity, Container, ControlConnector, Expr, ProcessBuilder, ProcessDefinition,
-    StartCondition,
+    Activity, Container, ControlConnector, Expr, ProcessBuilder, ProcessDefinition, StartCondition,
 };
 
 /// A generated scenario: a DAG over `n` activities with edges
@@ -53,26 +52,24 @@ fn scenario_with(staffed: bool) -> impl Strategy<Value = Scenario> {
             flags.clone(),
             flags,
         )
-            .prop_map(
-                move |(raw_edges, or_join, commits, manual, deadline)| {
-                    let mut seen = BTreeSet::new();
-                    let edges = raw_edges
-                        .into_iter()
-                        .filter_map(|(a, b)| {
-                            let (a, b) = (a.min(b), a.max(b));
-                            (a != b && seen.insert((a, b))).then_some((a, b))
-                        })
-                        .collect();
-                    Scenario {
-                        n,
-                        edges,
-                        or_join,
-                        commits,
-                        manual,
-                        deadline,
-                    }
-                },
-            )
+            .prop_map(move |(raw_edges, or_join, commits, manual, deadline)| {
+                let mut seen = BTreeSet::new();
+                let edges = raw_edges
+                    .into_iter()
+                    .filter_map(|(a, b)| {
+                        let (a, b) = (a.min(b), a.max(b));
+                        (a != b && seen.insert((a, b))).then_some((a, b))
+                    })
+                    .collect();
+                Scenario {
+                    n,
+                    edges,
+                    or_join,
+                    commits,
+                    manual,
+                    deadline,
+                }
+            })
     })
 }
 
@@ -410,8 +407,7 @@ fn probability_injection_parallel_equals_sequential() {
             for i in 0..4 {
                 let label = format!("p{j}a{i}");
                 registry.register(Arc::new(
-                    txn_substrate::KvProgram::write(&label, "db", &label, 1i64)
-                        .with_label(&label),
+                    txn_substrate::KvProgram::write(&label, "db", &label, 1i64).with_label(&label),
                 ));
                 fed.injector()
                     .set_plan(&label, txn_substrate::FailurePlan::Probability { p: 0.5 });
@@ -439,8 +435,16 @@ fn probability_injection_parallel_equals_sequential() {
         seq.run_all().unwrap();
         par.run_all_parallel(4).unwrap();
         for &id in &ids {
-            assert_eq!(seq.status(id).unwrap(), par.status(id).unwrap(), "seed {seed}");
-            assert_eq!(seq.output(id).unwrap(), par.output(id).unwrap(), "seed {seed}");
+            assert_eq!(
+                seq.status(id).unwrap(),
+                par.status(id).unwrap(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                seq.output(id).unwrap(),
+                par.output(id).unwrap(),
+                "seed {seed}"
+            );
             assert_eq!(seq.events_for(id), par.events_for(id), "seed {seed}");
         }
         assert_eq!(seq.journal_events(), par.journal_events(), "seed {seed}");
@@ -484,5 +488,8 @@ fn parallel_propagates_step_limit() {
     engine.register(def).unwrap();
     engine.start("livelock", Container::empty()).unwrap();
     let err = engine.run_all_parallel(4).unwrap_err();
-    assert!(matches!(err, wfms_engine::EngineError::StepLimit(50)), "{err}");
+    assert!(
+        matches!(err, wfms_engine::EngineError::StepLimit(50)),
+        "{err}"
+    );
 }

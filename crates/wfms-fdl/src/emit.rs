@@ -203,9 +203,11 @@ fn quote(s: &str) -> String {
 
 fn quote_if_needed(s: &str) -> String {
     if !s.is_empty()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && s.chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
-        && s.chars().next().map(|c| !c.is_ascii_digit()).unwrap_or(false)
+            .next()
+            .map(|c| !c.is_ascii_digit())
+            .unwrap_or(false)
         && !crate::lexer::KEYWORDS.contains(&s.to_ascii_uppercase().as_str())
     {
         s.to_owned()
@@ -256,7 +258,10 @@ mod tests {
             .connect_when("T1", "T2", "RC = 1")
             .map_to_process_output("T2", &[("RC", "RC")])
             .build_unchecked();
-        let mut def = ProcessBuilder::new("outer").block("Fwd", inner).build().unwrap();
+        let mut def = ProcessBuilder::new("outer")
+            .block("Fwd", inner)
+            .build()
+            .unwrap();
         def.activities[0].exit = wfms_model::process::ExitCondition::when("RC = 1");
         let text = emit(&def);
         let back = parse(&text).unwrap();
@@ -309,10 +314,7 @@ mod tests {
 
     #[test]
     fn manual_automatic_flags_round_trip() {
-        let mut def = ProcessBuilder::new("m")
-            .program("A", "p")
-            .build()
-            .unwrap();
+        let mut def = ProcessBuilder::new("m").program("A", "p").build().unwrap();
         def.activities[0].automatic_start = false; // manual, no staff
         let back = parse(&emit(&def)).unwrap();
         assert!(!back.activity("A").unwrap().automatic_start);

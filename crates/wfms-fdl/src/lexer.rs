@@ -167,10 +167,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, FdlError> {
                             bump!();
                         }
                         b'\n' => {
-                            return Err(FdlError::new(
-                                pos,
-                                "string literal spans end of line",
-                            ))
+                            return Err(FdlError::new(pos, "string literal spans end of line"))
                         }
                         b => {
                             buf.push(b);
@@ -275,19 +272,13 @@ mod tests {
     fn strings_with_escapes() {
         assert_eq!(
             toks(r#""RC = 1" "he said \"hi\"""#),
-            vec![
-                Tok::Str("RC = 1".into()),
-                Tok::Str("he said \"hi\"".into())
-            ]
+            vec![Tok::Str("RC = 1".into()), Tok::Str("he said \"hi\"".into())]
         );
     }
 
     #[test]
     fn integers_incl_negative() {
-        assert_eq!(
-            toks("42 -7"),
-            vec![Tok::Int(42), Tok::Int(-7)]
-        );
+        assert_eq!(toks("42 -7"), vec![Tok::Int(42), Tok::Int(-7)]);
     }
 
     #[test]

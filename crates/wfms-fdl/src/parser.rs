@@ -72,9 +72,7 @@ pub fn parse_and_validate(src: &str) -> Result<ProcessDefinition, Vec<FdlError>>
     let (def, prov) = parse_with_provenance(src).map_err(|e| vec![e])?;
     let errors: Vec<FdlError> = validate(&def)
         .into_iter()
-        .map(|e: ValidationError| {
-            FdlError::new(prov.locate(&e).unwrap_or_default(), e.to_string())
-        })
+        .map(|e: ValidationError| FdlError::new(prov.locate(&e).unwrap_or_default(), e.to_string()))
         .collect();
     if errors.is_empty() {
         Ok(def)
@@ -96,12 +94,7 @@ impl Parser {
         self.tokens
             .get(self.pos)
             .map(|s| s.pos)
-            .unwrap_or_else(|| {
-                self.tokens
-                    .last()
-                    .map(|s| s.pos)
-                    .unwrap_or_default()
-            })
+            .unwrap_or_else(|| self.tokens.last().map(|s| s.pos).unwrap_or_default())
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -301,7 +294,10 @@ impl Parser {
                 other => {
                     return Err(FdlError::new(
                         pos,
-                        format!("expected a type (INT, STRING, BOOL), found {}", tok_name(other)),
+                        format!(
+                            "expected a type (INT, STRING, BOOL), found {}",
+                            tok_name(other)
+                        ),
                     ))
                 }
             };
@@ -314,21 +310,14 @@ impl Parser {
                     other => {
                         return Err(FdlError::new(
                             pos,
-                            format!(
-                                "expected a default literal, found {}",
-                                tok_name(other)
-                            ),
+                            format!("expected a default literal, found {}", tok_name(other)),
                         ))
                     }
                 }
             } else {
                 None
             };
-            schema.members.push(MemberDecl {
-                name,
-                ty,
-                default,
-            });
+            schema.members.push(MemberDecl { name, ty, default });
             match self.bump() {
                 Some(Tok::Punct(",")) => continue,
                 Some(Tok::Punct(")")) => break,
@@ -378,8 +367,8 @@ impl Parser {
         self.prov.record_process(&self.cur_path(), pos);
         let mut inner = ProcessDefinition::new(&name);
         let mut act = Activity::noop(&name); // kind replaced below
-        // Block bodies interleave activity options (for the block
-        // facade) with nested body items (for the inner process).
+                                             // Block bodies interleave activity options (for the block
+                                             // facade) with nested body items (for the inner process).
         loop {
             match self.peek() {
                 Some(Tok::Kw("START"))
@@ -634,8 +623,8 @@ mod tests {
         assert!(err.pos.line >= 1);
         assert!(err.msg.contains("identifier"));
 
-        let err2 = parse("PROCESS p ACTIVITY A PROGRAM \"x\" EXIT WHEN \"AND\" END END")
-            .unwrap_err();
+        let err2 =
+            parse("PROCESS p ACTIVITY A PROGRAM \"x\" EXIT WHEN \"AND\" END END").unwrap_err();
         assert!(err2.msg.contains("invalid condition"));
     }
 

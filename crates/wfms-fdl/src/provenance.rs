@@ -243,7 +243,9 @@ mod tests {
         // Definitions not built from FDL have no positions at all.
         let empty = Provenance::default();
         assert_eq!(
-            empty.locate(&ValidationError::EmptyProcess { process: "p".into() }),
+            empty.locate(&ValidationError::EmptyProcess {
+                process: "p".into()
+            }),
             None
         );
     }

@@ -35,10 +35,14 @@ fn datatype() -> impl Strategy<Value = DataType> {
 }
 
 fn member() -> impl Strategy<Value = MemberDecl> {
-    (ident(), datatype(), prop::option::of(prop_oneof![
-        (-50i64..50).prop_map(Value::Int),
-        fdl_string().prop_map(Value::Str),
-    ]))
+    (
+        ident(),
+        datatype(),
+        prop::option::of(prop_oneof![
+            (-50i64..50).prop_map(Value::Int),
+            fdl_string().prop_map(Value::Str),
+        ]),
+    )
         .prop_map(|(name, ty, default)| {
             // Defaults must be type-correct to be meaningful, and BOOL
             // defaults are not representable; drop mismatches.
@@ -147,9 +151,7 @@ fn definition() -> impl Strategy<Value = ProcessDefinition> {
                         inner.description = String::new();
                         inner.input = last.input.clone();
                         inner.output = last.output.clone();
-                        inner
-                            .activities
-                            .push(Activity::program("Inner0", "p"));
+                        inner.activities.push(Activity::program("Inner0", "p"));
                         last.description = String::new(); // not representable on blocks
                         last.kind = wfms_model::ActivityKind::Block {
                             process: Box::new(inner),
@@ -160,8 +162,7 @@ fn definition() -> impl Strategy<Value = ProcessDefinition> {
                     def.description = desc;
                     def.input = input;
                     def.output = output;
-                    let names: Vec<String> =
-                        activities.iter().map(|a| a.name.clone()).collect();
+                    let names: Vec<String> = activities.iter().map(|a| a.name.clone()).collect();
                     def.activities = activities;
                     // Forward-only, deduplicated edges.
                     let mut seen = std::collections::BTreeSet::new();

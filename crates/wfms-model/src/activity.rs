@@ -54,8 +54,7 @@ impl ActivityKind {
 /// Who is responsible for an activity (§3.3): a role (any person
 /// holding it may claim the work item), a specific person, or the
 /// system itself for fully automatic steps.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum StaffAssignment {
     /// Started by the engine with no human involvement.
     #[default]
@@ -65,7 +64,6 @@ pub enum StaffAssignment {
     /// Assigned to one specific person.
     Person(String),
 }
-
 
 /// Join semantics of an activity's incoming control connectors (§3.2):
 /// *and* — start when **all** incoming connectors have evaluated true;

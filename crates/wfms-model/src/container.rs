@@ -200,11 +200,7 @@ mod tests {
     #[test]
     fn explicit_defaults_win() {
         let schema = ContainerSchema {
-            members: vec![MemberDecl::with_default(
-                "n",
-                DataType::Int,
-                Value::Int(42),
-            )],
+            members: vec![MemberDecl::with_default("n", DataType::Int, Value::Int(42))],
         };
         assert_eq!(schema.instantiate().get("n"), Some(&Value::Int(42)));
     }

@@ -56,11 +56,7 @@ fn emit_scope(def: &ProcessDefinition, prefix: &str, out: &mut String, level: us
             }
             ActivityKind::NoOp => {
                 indent(out, level);
-                let _ = writeln!(
-                    out,
-                    "{id} [label={}, shape=circle];",
-                    quote(&act.name)
-                );
+                let _ = writeln!(out, "{id} [label={}, shape=circle];", quote(&act.name));
             }
             ActivityKind::Program { program } => {
                 indent(out, level);
@@ -163,7 +159,10 @@ mod tests {
             .program("T1", "p1")
             .build()
             .unwrap();
-        let def = ProcessBuilder::new("outer").block("Fwd", inner).build().unwrap();
+        let def = ProcessBuilder::new("outer")
+            .block("Fwd", inner)
+            .build()
+            .unwrap();
         let dot = to_dot(&def);
         assert!(dot.contains("subgraph cluster_Fwd {"));
         assert!(dot.contains("Fwd_T1 [label=\"T1"));
@@ -191,16 +190,12 @@ mod tests {
     #[test]
     fn data_connectors_are_dashed() {
         let def = ProcessBuilder::new("p")
-            .activity(
-                crate::activity::Activity::program("A", "pa").with_output(
-                    crate::container::ContainerSchema::of(&[("x", crate::types::DataType::Int)]),
-                ),
-            )
-            .activity(
-                crate::activity::Activity::program("B", "pb").with_input(
-                    crate::container::ContainerSchema::of(&[("y", crate::types::DataType::Int)]),
-                ),
-            )
+            .activity(crate::activity::Activity::program("A", "pa").with_output(
+                crate::container::ContainerSchema::of(&[("x", crate::types::DataType::Int)]),
+            ))
+            .activity(crate::activity::Activity::program("B", "pb").with_input(
+                crate::container::ContainerSchema::of(&[("y", crate::types::DataType::Int)]),
+            ))
             .connect("A", "B")
             .map_data("A", "B", &[("x", "y")])
             .build()

@@ -116,7 +116,11 @@ pub enum ExprError {
     /// Reference to a member the environment does not define.
     UnknownVar(String),
     /// Operator applied to operands of the wrong type.
-    TypeMismatch { op: String, lhs: String, rhs: String },
+    TypeMismatch {
+        op: String,
+        lhs: String,
+        rhs: String,
+    },
     /// Division or remainder by zero.
     DivisionByZero,
     /// A boolean was required (condition position) but another type
@@ -268,9 +272,11 @@ impl Expr {
             }
             Expr::And(l, r) => {
                 // Short-circuit, left to right.
-                if !l.eval(env)?.as_bool().ok_or_else(|| {
-                    ExprError::NotBoolean("left operand of AND".into())
-                })? {
+                if !l
+                    .eval(env)?
+                    .as_bool()
+                    .ok_or_else(|| ExprError::NotBoolean("left operand of AND".into()))?
+                {
                     return Ok(Value::Bool(false));
                 }
                 let rv = r.eval(env)?;
@@ -279,9 +285,10 @@ impl Expr {
                     .ok_or_else(|| ExprError::NotBoolean("right operand of AND".into()))
             }
             Expr::Or(l, r) => {
-                if l.eval(env)?.as_bool().ok_or_else(|| {
-                    ExprError::NotBoolean("left operand of OR".into())
-                })? {
+                if l.eval(env)?
+                    .as_bool()
+                    .ok_or_else(|| ExprError::NotBoolean("left operand of OR".into()))?
+                {
                     return Ok(Value::Bool(true));
                 }
                 let rv = r.eval(env)?;
@@ -781,7 +788,10 @@ mod tests {
     #[test]
     fn precedence_and_over_or_cmp_over_and() {
         // OR(AND(a,b),c) shape: "FALSE AND FALSE OR TRUE" == TRUE
-        assert_eq!(eval_str("FALSE AND FALSE OR TRUE").unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_str("FALSE AND FALSE OR TRUE").unwrap(),
+            Value::Bool(true)
+        );
         // Comparison binds tighter than AND.
         assert_eq!(eval_str("1 = 1 AND 2 = 2").unwrap(), Value::Bool(true));
         // Arithmetic binds tighter than comparison.
@@ -849,10 +859,7 @@ mod tests {
     #[test]
     fn short_circuit_skips_rhs_errors() {
         // RHS references an unknown variable but is never evaluated.
-        assert_eq!(
-            eval_str("FALSE AND Ghost = 1").unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(eval_str("FALSE AND Ghost = 1").unwrap(), Value::Bool(false));
         assert_eq!(eval_str("TRUE OR Ghost = 1").unwrap(), Value::Bool(true));
     }
 

@@ -89,9 +89,10 @@ impl ProcessDefinition {
     pub fn effective_output(&self, activity: &Activity) -> ContainerSchema {
         let mut schema = activity.output.clone();
         if !schema.has(RC_MEMBER) {
-            schema
-                .members
-                .insert(0, crate::container::MemberDecl::new(RC_MEMBER, DataType::Int));
+            schema.members.insert(
+                0,
+                crate::container::MemberDecl::new(RC_MEMBER, DataType::Int),
+            );
         }
         schema
     }
@@ -185,7 +186,11 @@ mod tests {
     #[test]
     fn start_activities_have_no_incoming() {
         let p = linear3();
-        let starts: Vec<_> = p.start_activities().iter().map(|a| a.name.as_str()).collect();
+        let starts: Vec<_> = p
+            .start_activities()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         assert_eq!(starts, vec!["A"]);
     }
 
@@ -243,10 +248,7 @@ mod tests {
     fn size_metrics_recurse_into_blocks() {
         let inner = linear3();
         let mut outer = ProcessDefinition::new("outer");
-        outer.activities = vec![
-            Activity::program("X", "px"),
-            Activity::block("B", inner),
-        ];
+        outer.activities = vec![Activity::program("X", "px"), Activity::block("B", inner)];
         assert_eq!(outer.total_activities(), 5);
         assert_eq!(outer.nesting_depth(), 2);
         let flat = linear3();

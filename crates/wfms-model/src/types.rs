@@ -8,9 +8,7 @@ use txn_substrate::Value;
 /// variables; this reproduction supports the three types the paper's
 /// constructions use (integers for return codes and state flags,
 /// strings for names and reasons, booleans for conditions).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int,

@@ -76,10 +76,7 @@ pub enum ValidationError {
     },
     /// A data connector between activities with no control path from
     /// source to sink (data flows along control flow).
-    DataAgainstControlFlow {
-        process: String,
-        connector: String,
-    },
+    DataAgainstControlFlow { process: String, connector: String },
     /// A condition references a member that is not in scope.
     UnresolvedConditionVar {
         process: String,
@@ -438,10 +435,9 @@ fn endpoint_schema(p: &ProcessDefinition, ep: &DataEndpoint) -> ContainerSchema 
     match ep {
         DataEndpoint::ProcessInput => p.input.clone(),
         DataEndpoint::ProcessOutput => p.output.clone(),
-        DataEndpoint::ActivityInput(a) => p
-            .activity(a)
-            .map(|a| a.input.clone())
-            .unwrap_or_default(),
+        DataEndpoint::ActivityInput(a) => {
+            p.activity(a).map(|a| a.input.clone()).unwrap_or_default()
+        }
         DataEndpoint::ActivityOutput(a) => p
             .activity(a)
             .map(|a| p.effective_output(a))
@@ -479,10 +475,8 @@ mod tests {
     fn ok_process() -> ProcessDefinition {
         let mut p = ProcessDefinition::new("p");
         p.activities = vec![
-            Activity::program("A", "pa")
-                .with_output(ContainerSchema::of(&[("x", DataType::Int)])),
-            Activity::program("B", "pb")
-                .with_input(ContainerSchema::of(&[("y", DataType::Int)])),
+            Activity::program("A", "pa").with_output(ContainerSchema::of(&[("x", DataType::Int)])),
+            Activity::program("B", "pb").with_input(ContainerSchema::of(&[("y", DataType::Int)])),
         ];
         p.control = vec![ControlConnector::when("A", "B", "RC = 1")];
         p.data = vec![DataConnector::new(
@@ -511,9 +505,9 @@ mod tests {
     fn duplicate_activity_names() {
         let mut p = ok_process();
         p.activities.push(Activity::program("A", "dup"));
-        assert!(validate(&p)
-            .iter()
-            .any(|e| matches!(e, ValidationError::DuplicateActivity { activity, .. } if activity == "A")));
+        assert!(validate(&p).iter().any(
+            |e| matches!(e, ValidationError::DuplicateActivity { activity, .. } if activity == "A")
+        ));
     }
 
     #[test]
@@ -561,9 +555,9 @@ mod tests {
     fn condition_vars_must_resolve() {
         let mut p = ok_process();
         p.control = vec![ControlConnector::when("A", "B", "Ghost = 1")];
-        assert!(validate(&p)
-            .iter()
-            .any(|e| matches!(e, ValidationError::UnresolvedConditionVar { var, .. } if var == "Ghost")));
+        assert!(validate(&p).iter().any(
+            |e| matches!(e, ValidationError::UnresolvedConditionVar { var, .. } if var == "Ghost")
+        ));
         // RC always resolves (implicit member).
         let mut p2 = ok_process();
         p2.control = vec![ControlConnector::when("A", "B", "RC = 1 AND x = 2")];
@@ -612,8 +606,8 @@ mod tests {
 
         // Type mismatch: map INT x to a BOOL member.
         let mut p2 = ok_process();
-        p2.activities[1] = Activity::program("B", "pb")
-            .with_input(ContainerSchema::of(&[("y", DataType::Bool)]));
+        p2.activities[1] =
+            Activity::program("B", "pb").with_input(ContainerSchema::of(&[("y", DataType::Bool)]));
         assert!(validate(&p2)
             .iter()
             .any(|e| matches!(e, ValidationError::MappingTypeMismatch { .. })));
@@ -645,9 +639,9 @@ mod tests {
         let mut p = ok_process();
         p.activities.push(Activity::program("C", ""));
         p.control.push(ControlConnector::new("B", "C"));
-        assert!(validate(&p)
-            .iter()
-            .any(|e| matches!(e, ValidationError::MissingProgramName { activity, .. } if activity == "C")));
+        assert!(validate(&p).iter().any(
+            |e| matches!(e, ValidationError::MissingProgramName { activity, .. } if activity == "C")
+        ));
     }
 
     #[test]
@@ -687,9 +681,9 @@ mod tests {
                 .with("x", DataType::Int),
         );
         p.data.clear();
-        assert!(validate(&p)
-            .iter()
-            .any(|e| matches!(e, ValidationError::DuplicateMember { member, .. } if member == "x")));
+        assert!(validate(&p).iter().any(
+            |e| matches!(e, ValidationError::DuplicateMember { member, .. } if member == "x")
+        ));
     }
 
     #[test]
@@ -707,7 +701,8 @@ mod tests {
         p.activities.push(Activity::program("A", "pa")); // duplicate name
         p.activities.push(Activity::program("C", "")); // no program
         p.control.push(ControlConnector::when("A", "A", "RC = 1")); // self loop
-        p.control.push(ControlConnector::when("A", "Ghost", "RC = 1")); // unknown
+        p.control
+            .push(ControlConnector::when("A", "Ghost", "RC = 1")); // unknown
         let errs = validate(&p);
         for expect in [
             |e: &ValidationError| matches!(e, ValidationError::DuplicateActivity { activity, .. } if activity == "A"),

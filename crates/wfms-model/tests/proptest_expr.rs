@@ -37,10 +37,8 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 wfms_model::expr::ArithOp::Div,
                 Box::new(b)
             )),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Expr::Not(Box::new(a))),
             inner.prop_map(|a| Expr::Neg(Box::new(a))),
         ]

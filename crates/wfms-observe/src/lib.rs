@@ -117,7 +117,11 @@ pub struct Histogram {
 impl std::fmt::Debug for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = self.snapshot();
-        write!(f, "Histogram(count={}, p50={}, max={})", s.count, s.p50, s.max)
+        write!(
+            f,
+            "Histogram(count={}, p50={}, max={})",
+            s.count, s.p50, s.max
+        )
     }
 }
 

@@ -1,0 +1,133 @@
+//! Wire-level request/response types for the JSON protocol.
+//!
+//! Instance and work-item ids on the wire are *external* ids — the
+//! shard index is folded into the low bits (see
+//! [`crate::shard::ShardPool`]) so a client talks to the pool as if
+//! it were one engine.
+
+use serde::{Deserialize, Serialize};
+use wfms_model::Container;
+
+/// Body of `POST /instances`.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct SubmitRequest {
+    /// Process template to start. Defaults to the server's default
+    /// process (the first spec on the `fmtm serve` command line).
+    pub process: Option<String>,
+    /// Seed values for the process input container.
+    pub input: Option<Container>,
+}
+
+// Hand-written so both fields are genuinely optional on the wire —
+// `{}`, `{"process":"p"}` and `{"process":"p","input":{...}}` are all
+// valid submissions.
+impl Deserialize for SubmitRequest {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        fn opt<T: Deserialize>(
+            content: &serde::Content,
+            name: &str,
+        ) -> Result<Option<T>, serde::Error> {
+            match content.field(name) {
+                None => Ok(None),
+                Some(v) => Deserialize::from_content(v),
+            }
+        }
+        Ok(Self {
+            process: opt(content, "process")?,
+            input: opt(content, "input")?,
+        })
+    }
+}
+
+/// Body of a `201` answer to `POST /instances`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SubmitResponse {
+    /// External instance id.
+    pub id: u64,
+    /// Status after the automatic part ran: `"running"` (parked on
+    /// manual work or deadlines), `"finished"` or `"cancelled"`.
+    pub status: String,
+    /// Process output container (final once `status` is `finished`).
+    pub output: Container,
+}
+
+/// Body of `GET /instances/:id`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusResponse {
+    /// External instance id.
+    pub id: u64,
+    /// Process template name.
+    pub process: String,
+    /// `"running"`, `"finished"` or `"cancelled"`.
+    pub status: String,
+    /// Process output container.
+    pub output: Container,
+}
+
+/// One work item in a `GET /worklist` answer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ItemDto {
+    /// External work-item id.
+    pub id: u64,
+    /// External id of the owning instance.
+    pub instance: u64,
+    /// Activity path inside the instance.
+    pub path: String,
+    /// Execution attempt this item belongs to.
+    pub attempt: u32,
+    /// People the item is offered to.
+    pub offered_to: Vec<String>,
+}
+
+/// Body of `GET /worklist`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorklistResponse {
+    /// Open items across all shards, in external-id order.
+    pub items: Vec<ItemDto>,
+}
+
+/// Body of `POST /worklist/:item/complete`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CompleteRequest {
+    /// Person completing the item (must be on the offer list or the
+    /// claimant).
+    pub person: String,
+}
+
+/// Body of `POST /admin/drain` and `POST /admin/stop` answers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DrainResponse {
+    /// Journal events dropped by the drain checkpoints, across shards.
+    pub compacted_events: usize,
+}
+
+/// Body of `GET /healthz`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Health {
+    /// `"ok"` or `"draining"`.
+    pub status: String,
+    /// Number of shards.
+    pub shards: usize,
+    /// Instances resumed from shard journals at the last startup.
+    pub recovered_instances: u64,
+}
+
+/// Uniform error body for every non-2xx answer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    /// Machine-readable error class: `"overloaded"`, `"draining"`,
+    /// `"not_found"`, `"bad_request"`, `"conflict"`, `"internal"`.
+    pub error: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ErrorResponse {
+    /// Builds an error body.
+    pub fn new(error: &str, detail: impl Into<String>) -> Self {
+        Self {
+            error: error.to_owned(),
+            detail: detail.into(),
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! A minimal, dependency-free HTTP/1.1 subset — just enough protocol
+//! for the workflow service: request parsing with hard limits,
+//! keep-alive, `Content-Length` bodies, and response writing.
+//!
+//! The parser is deliberately paranoid rather than featureful. Every
+//! input is bounded ([`MAX_LINE`], [`MAX_HEADERS`], [`MAX_BODY`]) and
+//! every malformed or oversized input maps to a typed [`HttpError`]
+//! that renders as `400` or `413` — never a panic, never unbounded
+//! buffering. Chunked transfer encoding is rejected (the service's own
+//! clients never send it). See `docs/serving.md` for the wire
+//! protocol.
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum bytes in the request line or any single header line.
+pub const MAX_LINE: usize = 8 * 1024;
+/// Maximum number of headers per request.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum request body size in bytes.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, upper-case as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the request target (before any `?`).
+    pub path: String,
+    /// Query string (after `?`), if present.
+    pub query: Option<String>,
+    /// Headers in arrival order, names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value for `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of query parameter `key` (no percent-decoding; the
+    /// service's identifiers are plain ASCII).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// True if the client asked to close the connection after this
+    /// request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Parse/IO failures while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Malformed request: answered with `400 Bad Request`.
+    BadRequest(&'static str),
+    /// An input limit was exceeded: answered with `413 Content Too
+    /// Large`.
+    TooLarge(&'static str),
+    /// The transport failed mid-request (reset, timeout); the
+    /// connection is closed without a response.
+    Io(io::Error),
+}
+
+impl HttpError {
+    /// The HTTP status this error is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::TooLarge(_) => 413,
+            HttpError::Io(_) => 400,
+        }
+    }
+
+    /// Human-readable explanation for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            HttpError::BadRequest(m) | HttpError::TooLarge(m) => (*m).to_owned(),
+            HttpError::Io(e) => format!("io: {e}"),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status(), self.message())
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one `\n`-terminated line of at most [`MAX_LINE`] bytes,
+/// stripping the terminator (and a preceding `\r`). `Ok(None)` means
+/// clean EOF before any byte of the line.
+fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("truncated request"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 request bytes"))?;
+                    return Ok(Some(text));
+                }
+                if line.len() >= MAX_LINE {
+                    return Err(HttpError::TooLarge("request line or header too long"));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+}
+
+/// Reads one request from `r`.
+///
+/// * `Ok(None)` — the peer closed the connection cleanly between
+///   requests (normal keep-alive termination).
+/// * `Err(e)` — malformed/oversized input; answer with
+///   [`HttpError::status`] and close.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError> {
+    let Some(request_line) = read_line(r)? else {
+        return Ok(None);
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::BadRequest("malformed request line")),
+    };
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequest("malformed method"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::BadRequest("unsupported HTTP version"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(
+            "request target must be absolute path",
+        ));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
+        None => (target.to_owned(), None),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line(r)?.ok_or(HttpError::BadRequest("truncated headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::TooLarge("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("header without colon"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let mut req = Request {
+        method: method.to_owned(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if req.header("transfer-encoding").is_some() {
+        return Err(HttpError::BadRequest(
+            "chunked transfer encoding unsupported",
+        ));
+    }
+    if req
+        .headers
+        .iter()
+        .filter(|(n, _)| n == "content-length")
+        .count()
+        > 1
+    {
+        return Err(HttpError::BadRequest("conflicting content-length headers"));
+    }
+    if let Some(cl) = req.header("content-length") {
+        let len: usize = cl
+            .parse()
+            .map_err(|_| HttpError::BadRequest("unparseable content-length"))?;
+        if len > MAX_BODY {
+            return Err(HttpError::TooLarge("request body too large"));
+        }
+        let mut body = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            match r.read(&mut body[filled..]) {
+                Ok(0) => return Err(HttpError::BadRequest("truncated body")),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+        req.body = body;
+    }
+    Ok(Some(req))
+}
+
+/// Reason phrase for the status codes the service emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response with `Content-Length` framing.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut Cursor::new(bytes.to_vec()))
+    }
+
+    #[test]
+    fn parses_get_with_query_and_keepalive() {
+        let req = parse(b"GET /worklist?person=ann HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/worklist");
+        assert_eq!(req.query_param("person"), Some("ann"));
+        assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn parses_post_body_exactly() {
+        let req = parse(b"POST /instances HTTP/1.1\r\ncontent-length: 4\r\n\r\n{\"a\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_body_is_400() {
+        let err = parse(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn oversized_header_is_413() {
+        let mut raw = b"GET / HTTP/1.1\r\nx: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_LINE + 1));
+        raw.extend(b"\r\n\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(parse(raw.as_bytes()).unwrap_err().status(), 413);
+    }
+
+    #[test]
+    fn response_writer_frames_body() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "application/json", b"{}", false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # wfms-server
+//!
+//! A long-lived workflow service runtime on top of the engine: where
+//! `fmtm run` executes a fixed cohort of instances and exits, this
+//! crate keeps a process-template federation open for business —
+//! accepting starts continuously, surviving restarts, and reporting
+//! health — the client/server split of a FlowMark-class WFMS.
+//!
+//! Three layers:
+//!
+//! * [`shard`] — the sharded instance manager. N shards, each an
+//!   [`wfms_engine::Engine`] with its own durable journal and worker
+//!   thread; bounded submission queues with explicit `Overloaded`
+//!   rejection past the high-water mark; per-shard **group commit**
+//!   (one journal flush per batch, acknowledgements only after it);
+//!   restart recovery through the engine's forward-recovery path.
+//! * [`http`] — a hand-rolled, zero-dependency HTTP/1.1 subset over
+//!   `std::net`: hard input limits, keep-alive, typed 400/413 errors.
+//! * [`server`] — the route table (`POST /instances`,
+//!   `GET /instances/:id`, `GET /worklist`,
+//!   `POST /worklist/:item/complete`, `GET /metrics`,
+//!   `POST /admin/drain`, `POST /admin/stop`) and the accept loop.
+//!
+//! [`client`] is the matching side: a keep-alive HTTP client, the
+//! `fmtm load` generator with RPS pacing and latency percentiles, and
+//! the verification helpers the crash-restart drill uses.
+//!
+//! The wire protocol, on-disk layout and recovery guarantee are
+//! documented in `docs/serving.md`.
+
+pub mod api;
+pub mod client;
+pub mod http;
+pub mod server;
+pub mod shard;
+
+pub use client::{run_load, verify_ids, wait_ready, Http1Client, LoadOptions, LoadReport};
+pub use server::{Server, ServerConfig};
+pub use shard::{PoolConfig, PoolError, ShardPool, SubmitOutcome};

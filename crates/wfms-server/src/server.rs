@@ -1,0 +1,411 @@
+//! The service front end: a [`std::net::TcpListener`] accept loop,
+//! one handler thread per connection (keep-alive, bounded by a read
+//! timeout), and the route table mapping the JSON protocol onto a
+//! [`ShardPool`].
+//!
+//! Lifecycle: [`Server::start`] binds and serves immediately;
+//! [`Server::wait_stop`] blocks the caller until `POST /admin/stop`
+//! (or [`Server::shutdown`] from another thread); shutdown drains the
+//! pool — every queued submission is processed and flushed, shard
+//! journals are checkpointed — unless the caller asks for an abrupt
+//! stop to simulate a crash.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use wfms_engine::{EngineError, InstanceStatus, WorklistError};
+use wfms_model::Container;
+
+use crate::api::*;
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::shard::{ShardPool, SubmitOutcome};
+
+/// Server configuration.
+pub struct ServerConfig {
+    /// Interface to bind, e.g. `127.0.0.1`.
+    pub addr: String,
+    /// Port to bind; `0` picks an ephemeral port (see
+    /// [`Server::local_addr`]).
+    pub port: u16,
+    /// Process started by `POST /instances` when the body names none.
+    pub default_process: String,
+    /// Idle keep-alive connections are closed after this long.
+    pub read_timeout: Duration,
+}
+
+impl ServerConfig {
+    /// Loopback defaults with an ephemeral port.
+    pub fn new(default_process: impl Into<String>) -> Self {
+        Self {
+            addr: "127.0.0.1".to_owned(),
+            port: 0,
+            default_process: default_process.into(),
+            read_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct ServerState {
+    pool: Arc<ShardPool>,
+    draining: AtomicBool,
+    stopping: AtomicBool,
+    default_process: String,
+    stop_tx: SyncSender<()>,
+}
+
+/// Deferred work a route asks for *after* its response is written.
+enum PostAction {
+    /// Signal [`Server::wait_stop`].
+    Stop,
+}
+
+/// A running workflow service.
+pub struct Server {
+    state: Arc<ServerState>,
+    local_addr: SocketAddr,
+    acceptor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    stop_rx: Mutex<Receiver<()>>,
+}
+
+impl Server {
+    /// Binds the listener and starts serving on a background thread.
+    pub fn start(pool: Arc<ShardPool>, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((cfg.addr.as_str(), cfg.port))?;
+        let local_addr = listener.local_addr()?;
+        let (stop_tx, stop_rx) = sync_channel::<()>(1);
+        let state = Arc::new(ServerState {
+            pool,
+            draining: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            default_process: cfg.default_process,
+            stop_tx,
+        });
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let read_timeout = cfg.read_timeout;
+            std::thread::Builder::new()
+                .name("wfms-accept".to_owned())
+                .spawn(move || accept_loop(listener, state, read_timeout))?
+        };
+        Ok(Server {
+            state,
+            local_addr,
+            acceptor: Mutex::new(Some(acceptor)),
+            stop_rx: Mutex::new(stop_rx),
+        })
+    }
+
+    /// The bound address (resolves an ephemeral port request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Blocks until `POST /admin/stop` arrives (or another thread
+    /// calls [`Server::shutdown`]).
+    pub fn wait_stop(&self) {
+        let _ = self.stop_rx.lock().recv();
+    }
+
+    /// Stops the server. With `drain`, every queued submission is
+    /// processed and flushed and the shard journals are checkpointed
+    /// first; without, the pool workers stop after their current
+    /// batch and **no checkpoint is written** — the closest a test
+    /// can get to a crash without killing the process (everything
+    /// acknowledged is already durable via group commit).
+    pub fn shutdown(&self, drain: bool) {
+        if drain && !self.state.draining.swap(true, Ordering::SeqCst) {
+            let _ = self.state.pool.drain();
+        }
+        self.state.pool.stop();
+        if !self.state.stopping.swap(true, Ordering::SeqCst) {
+            // Wake the acceptor out of `accept()`.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+        if let Some(handle) = self.acceptor.lock().take() {
+            let _ = handle.join();
+        }
+        let _ = self.state.stop_tx.try_send(());
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>, read_timeout: Duration) {
+    for conn in listener.incoming() {
+        if state.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(read_timeout));
+        let _ = stream.set_nodelay(true);
+        let state = Arc::clone(&state);
+        let _ = std::thread::Builder::new()
+            .name("wfms-conn".to_owned())
+            .spawn(move || handle_connection(stream, state));
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        match read_request(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(req)) => {
+                let close = req.wants_close();
+                let (status, content_type, body, action) = route(&state, &req);
+                if write_response(
+                    &mut write_half,
+                    status,
+                    content_type,
+                    body.as_bytes(),
+                    close,
+                )
+                .is_err()
+                {
+                    break;
+                }
+                if let Some(PostAction::Stop) = action {
+                    let _ = state.stop_tx.try_send(());
+                    break;
+                }
+                if close {
+                    break;
+                }
+            }
+            Err(HttpError::Io(_)) => break,
+            Err(e) => {
+                let body = err_body(&e.message(), "bad_request");
+                let _ = write_response(&mut write_half, e.status(), JSON, body.as_bytes(), true);
+                break;
+            }
+        }
+    }
+}
+
+const JSON: &str = "application/json";
+const PROM: &str = "text/plain; version=0.0.4";
+
+fn err_body(detail: &str, class: &str) -> String {
+    serde_json::to_string(&ErrorResponse::new(class, detail)).expect("error body serializes")
+}
+
+fn status_str(s: InstanceStatus) -> &'static str {
+    match s {
+        InstanceStatus::Running => "running",
+        InstanceStatus::Finished => "finished",
+        InstanceStatus::Cancelled => "cancelled",
+    }
+}
+
+type RouteAnswer = (u16, &'static str, String, Option<PostAction>);
+
+fn json(status: u16, body: String) -> RouteAnswer {
+    (status, JSON, body, None)
+}
+
+fn route(state: &Arc<ServerState>, req: &Request) -> RouteAnswer {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let draining = state.draining.load(Ordering::SeqCst);
+            let health = Health {
+                status: if draining { "draining" } else { "ok" }.to_owned(),
+                shards: state.pool.shards(),
+                recovered_instances: state.pool.recovered_instances(),
+            };
+            json(
+                200,
+                serde_json::to_string(&health).expect("health serializes"),
+            )
+        }
+        ("POST", ["instances"]) => submit(state, req),
+        ("GET", ["instances", id]) => instance_status(state, id),
+        ("GET", ["worklist"]) => worklist(state, req),
+        ("POST", ["worklist", item, "complete"]) => complete(state, req, item),
+        ("GET", ["metrics"]) => {
+            publish_scrape_gauges(state);
+            let text = state.pool.registry().snapshot().to_prometheus();
+            (200, PROM, text, None)
+        }
+        ("POST", ["admin", "drain"]) => {
+            state.draining.store(true, Ordering::SeqCst);
+            match state.pool.drain() {
+                Ok(compacted_events) => json(
+                    200,
+                    serde_json::to_string(&DrainResponse { compacted_events })
+                        .expect("drain body serializes"),
+                ),
+                Err(e) => json(500, err_body(&e.to_string(), "internal")),
+            }
+        }
+        ("POST", ["admin", "stop"]) => {
+            state.draining.store(true, Ordering::SeqCst);
+            let compacted = state.pool.drain().unwrap_or(0);
+            (
+                200,
+                JSON,
+                serde_json::to_string(&DrainResponse {
+                    compacted_events: compacted,
+                })
+                .expect("stop body serializes"),
+                Some(PostAction::Stop),
+            )
+        }
+        ("GET" | "POST", _) => json(404, err_body("no such route", "not_found")),
+        _ => json(405, err_body("method not allowed", "bad_request")),
+    }
+}
+
+fn submit(state: &Arc<ServerState>, req: &Request) -> RouteAnswer {
+    if state.draining.load(Ordering::SeqCst) {
+        return json(503, err_body("server is draining", "draining"));
+    }
+    let body: SubmitRequest = if req.body.is_empty() {
+        SubmitRequest::default()
+    } else {
+        let Ok(text) = std::str::from_utf8(&req.body) else {
+            return json(400, err_body("body is not UTF-8", "bad_request"));
+        };
+        match serde_json::from_str(text) {
+            Ok(b) => b,
+            Err(e) => return json(400, err_body(&format!("bad body: {e}"), "bad_request")),
+        }
+    };
+    let process = body
+        .process
+        .unwrap_or_else(|| state.default_process.clone());
+    let input = body.input.unwrap_or_else(Container::empty);
+    match state.pool.submit(&process, input) {
+        SubmitOutcome::Accepted { id, status, output } => json(
+            201,
+            serde_json::to_string(&SubmitResponse {
+                id,
+                status: status_str(status).to_owned(),
+                output,
+            })
+            .expect("submit body serializes"),
+        ),
+        SubmitOutcome::Overloaded { depth, capacity } => json(
+            429,
+            err_body(
+                &format!("queue at high-water mark ({depth}/{capacity})"),
+                "overloaded",
+            ),
+        ),
+        SubmitOutcome::Failed {
+            error,
+            unknown_process,
+        } => {
+            if unknown_process {
+                json(404, err_body(&error, "not_found"))
+            } else {
+                json(500, err_body(&error, "internal"))
+            }
+        }
+    }
+}
+
+fn instance_status(state: &Arc<ServerState>, id: &str) -> RouteAnswer {
+    let Ok(ext) = id.parse::<u64>() else {
+        return json(
+            400,
+            err_body("instance id must be an integer", "bad_request"),
+        );
+    };
+    match state.pool.status(ext) {
+        Some((process, status, output)) => json(
+            200,
+            serde_json::to_string(&StatusResponse {
+                id: ext,
+                process,
+                status: status_str(status).to_owned(),
+                output,
+            })
+            .expect("status body serializes"),
+        ),
+        None => json(404, err_body(&format!("no instance {ext}"), "not_found")),
+    }
+}
+
+fn worklist(state: &Arc<ServerState>, req: &Request) -> RouteAnswer {
+    let Some(person) = req.query_param("person") else {
+        return json(
+            400,
+            err_body("missing ?person= query parameter", "bad_request"),
+        );
+    };
+    let items = state
+        .pool
+        .worklist(person)
+        .into_iter()
+        .map(|(id, instance, item)| ItemDto {
+            id,
+            instance,
+            path: item.path,
+            attempt: item.attempt,
+            offered_to: item.offered_to,
+        })
+        .collect();
+    json(
+        200,
+        serde_json::to_string(&WorklistResponse { items }).expect("worklist serializes"),
+    )
+}
+
+fn complete(state: &Arc<ServerState>, req: &Request, item: &str) -> RouteAnswer {
+    let Ok(ext) = item.parse::<u64>() else {
+        return json(
+            400,
+            err_body("work-item id must be an integer", "bad_request"),
+        );
+    };
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return json(400, err_body("body is not UTF-8", "bad_request"));
+    };
+    let body: CompleteRequest = match serde_json::from_str(text) {
+        Ok(b) => b,
+        Err(e) => return json(400, err_body(&format!("bad body: {e}"), "bad_request")),
+    };
+    match state.pool.complete(ext, &body.person) {
+        Ok(()) => json(200, "{}".to_owned()),
+        Err(EngineError::Worklist(WorklistError::NoSuchItem(_))) => {
+            json(404, err_body(&format!("no work item {ext}"), "not_found"))
+        }
+        Err(e @ EngineError::Worklist(_)) | Err(e @ EngineError::BadActivityState { .. }) => {
+            json(409, err_body(&e.to_string(), "conflict"))
+        }
+        Err(EngineError::UnknownInstance(_)) => {
+            json(404, err_body("owning instance is gone", "not_found"))
+        }
+        Err(e) => json(500, err_body(&e.to_string(), "internal")),
+    }
+}
+
+/// Folds engine aggregates into gauges at scrape time — cheaper than
+/// keeping them hot on the submit path.
+fn publish_scrape_gauges(state: &Arc<ServerState>) {
+    let registry = state.pool.registry();
+    let (running, finished, cancelled) = state.pool.instance_counts();
+    registry
+        .gauge("server.instances.running")
+        .set(running as i64);
+    registry
+        .gauge("server.instances.finished")
+        .set(finished as i64);
+    registry
+        .gauge("server.instances.cancelled")
+        .set(cancelled as i64);
+    registry
+        .gauge("server.queue.depth")
+        .set(state.pool.queue_depth());
+    registry
+        .gauge("server.recovered.instances")
+        .set(state.pool.recovered_instances() as i64);
+}

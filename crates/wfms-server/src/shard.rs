@@ -1,0 +1,595 @@
+//! The sharded instance manager.
+//!
+//! A [`ShardPool`] owns N shards; each shard is an [`Engine`] with its
+//! own durable journal file (`shard-<i>.journal` under the data
+//! directory), a bounded submission queue and a dedicated worker
+//! thread. Submissions are spread round-robin; the worker pops a
+//! *batch* of queued submissions, navigates each to quiescence, then
+//! issues **one** journal flush for the whole batch before
+//! acknowledging any of them — group commit. An acknowledgement
+//! therefore implies durability: after `kill -9`, every accepted
+//! submission is recovered from its shard journal.
+//!
+//! Admission control is the queue bound itself: when a shard's queue
+//! is at the high-water mark, [`ShardPool::submit`] returns
+//! [`SubmitOutcome::Overloaded`] immediately instead of queueing
+//! without bound. Queue depth and accept/reject counts are published
+//! through the pool's [`Registry`].
+//!
+//! ## External ids
+//!
+//! Each shard allocates local instance and work-item ids from 1. On
+//! the wire they are folded with the shard index:
+//! `ext = local * nshards + shard`. The mapping is stable across
+//! restarts as long as the shard count is unchanged — which is why the
+//! pool records the count in `server.meta.json` and refuses to reopen
+//! a data directory with a different `--shards`.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use txn_substrate::{DurabilityPolicy, MultiDatabase, ProgramRegistry};
+use wfms_engine::{
+    recover_with_policy, Engine, EngineConfig, EngineError, InstanceId, InstanceStatus, OrgModel,
+    WorkItem, WorkItemId,
+};
+use wfms_model::{Container, ProcessDefinition};
+use wfms_observe::{Counter, Registry};
+
+/// How long a submitter waits for its shard worker to answer before
+/// giving up (the worker only goes silent if it panicked).
+const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Persisted pool invariants, stored as `server.meta.json` in the
+/// data directory.
+#[derive(Debug, Serialize, Deserialize)]
+struct ServerMeta {
+    shards: usize,
+}
+
+/// Errors opening a [`ShardPool`].
+#[derive(Debug)]
+pub enum PoolError {
+    /// The data directory or meta file could not be read/written.
+    Io(std::io::Error),
+    /// The data directory was created with a different shard count.
+    ShardMismatch {
+        /// Count recorded in `server.meta.json`.
+        on_disk: usize,
+        /// Count requested now.
+        requested: usize,
+    },
+    /// A shard journal could not be recovered.
+    Recovery(wfms_engine::RecoveryError),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Io(e) => write!(f, "data directory: {e}"),
+            PoolError::ShardMismatch { on_disk, requested } => write!(
+                f,
+                "data directory was created with --shards {on_disk}, \
+                 reopened with --shards {requested}; external ids would shift"
+            ),
+            PoolError::Recovery(e) => write!(f, "shard recovery: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<std::io::Error> for PoolError {
+    fn from(e: std::io::Error) -> Self {
+        PoolError::Io(e)
+    }
+}
+
+/// Result of a submission attempt.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// The instance was started, navigated to quiescence and its
+    /// journal records flushed — durable.
+    Accepted {
+        /// External instance id.
+        id: u64,
+        /// Status at quiescence.
+        status: InstanceStatus,
+        /// Process output container.
+        output: Container,
+    },
+    /// The shard's queue is at the high-water mark; retry later.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: i64,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+    /// The engine rejected the submission.
+    Failed {
+        /// Engine error rendering.
+        error: String,
+        /// True when the process template does not exist (a client
+        /// error, not a server fault).
+        unknown_process: bool,
+    },
+}
+
+type SubmitReply = Result<(InstanceId, InstanceStatus, Container), (String, bool)>;
+
+enum Job {
+    Submit {
+        process: String,
+        input: Container,
+        reply: SyncSender<SubmitReply>,
+    },
+    /// FIFO barrier: answered only after every job queued before it
+    /// has been processed *and flushed*.
+    Barrier(SyncSender<()>),
+    /// Worker shutdown sentinel.
+    Stop,
+}
+
+struct Shard {
+    engine: Arc<Engine>,
+    tx: SyncSender<Job>,
+    depth: Arc<AtomicI64>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Pool configuration.
+pub struct PoolConfig {
+    /// Data directory holding `server.meta.json` and the shard
+    /// journals. Created if absent.
+    pub data_dir: PathBuf,
+    /// Number of shards (worker threads + journals).
+    pub shards: usize,
+    /// Submission queue high-water mark per shard.
+    pub queue_capacity: usize,
+    /// Maximum submissions navigated per group commit.
+    pub batch_max: usize,
+    /// Journal durability policy for every shard.
+    pub durability: DurabilityPolicy,
+    /// Organization model installed into every shard.
+    pub org: OrgModel,
+    /// Process definitions registered into every shard (also the
+    /// template set recovery replays against).
+    pub templates: Vec<ProcessDefinition>,
+    /// Artificial per-submission delay in the worker, for drills that
+    /// need a deterministically slow consumer. `None` in production.
+    pub throttle: Option<Duration>,
+}
+
+impl PoolConfig {
+    /// Conventional defaults: 1 shard, queue 1024, group commit of 64.
+    pub fn new(data_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            data_dir: data_dir.into(),
+            shards: 1,
+            queue_capacity: 1024,
+            batch_max: 64,
+            durability: DurabilityPolicy::Batched { n: 64 },
+            org: OrgModel::new(),
+            templates: Vec::new(),
+            throttle: None,
+        }
+    }
+}
+
+/// The sharded instance manager (see module docs).
+pub struct ShardPool {
+    shards: Vec<Shard>,
+    nshards: u64,
+    rr: AtomicUsize,
+    queue_capacity: usize,
+    registry: Arc<Registry>,
+    accepted: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    failed: Arc<Counter>,
+    completions: Arc<Counter>,
+    recovered: u64,
+}
+
+impl ShardPool {
+    /// Opens (or creates) the pool's data directory, recovering every
+    /// shard journal that already exists and resuming its in-flight
+    /// instances. `provision` supplies the multidatabase + program
+    /// registry for each shard index (each shard gets its own, so
+    /// shard workers never contend on substrate locks).
+    pub fn open(
+        cfg: PoolConfig,
+        registry: Arc<Registry>,
+        provision: &dyn Fn(usize) -> (Arc<MultiDatabase>, Arc<ProgramRegistry>),
+    ) -> Result<Self, PoolError> {
+        let nshards = cfg.shards.max(1);
+        std::fs::create_dir_all(&cfg.data_dir)?;
+        check_meta(&cfg.data_dir, nshards)?;
+
+        let mut shards = Vec::with_capacity(nshards);
+        let mut recovered = 0u64;
+        for i in 0..nshards {
+            let journal_path = cfg.data_dir.join(format!("shard-{i}.journal"));
+            let (multidb, programs) = provision(i);
+            let preexisting = journal_path
+                .metadata()
+                .map(|m| m.len() > 0)
+                .unwrap_or(false);
+            let engine = if preexisting {
+                let engine = recover_with_policy(
+                    &journal_path,
+                    cfg.durability,
+                    cfg.templates.clone(),
+                    cfg.org.clone(),
+                    multidb,
+                    programs,
+                )
+                .map_err(PoolError::Recovery)?;
+                recovered += resume_running(&engine, i);
+                engine
+            } else {
+                let engine = Engine::with_config(
+                    multidb,
+                    programs,
+                    EngineConfig {
+                        org: cfg.org.clone(),
+                        journal_path: Some(journal_path),
+                        durability: cfg.durability,
+                        ..EngineConfig::default()
+                    },
+                );
+                for def in &cfg.templates {
+                    engine.register(def.clone()).map_err(|e| {
+                        PoolError::Io(std::io::Error::other(format!("template rejected: {e}")))
+                    })?;
+                }
+                engine
+            };
+            let engine = Arc::new(engine);
+            let (tx, rx) = sync_channel::<Job>(cfg.queue_capacity);
+            let depth = Arc::new(AtomicI64::new(0));
+            let gauge = registry.gauge(&format!("server.queue.depth.shard{i}"));
+            let worker = {
+                let engine = Arc::clone(&engine);
+                let depth = Arc::clone(&depth);
+                let gauge = Arc::clone(&gauge);
+                let batch_max = cfg.batch_max.max(1);
+                let throttle = cfg.throttle;
+                std::thread::Builder::new()
+                    .name(format!("wfms-shard-{i}"))
+                    .spawn(move || worker_loop(engine, rx, depth, gauge, batch_max, throttle))
+                    .expect("spawn shard worker")
+            };
+            shards.push(Shard {
+                engine,
+                tx,
+                depth,
+                worker: Mutex::new(Some(worker)),
+            });
+        }
+
+        Ok(Self {
+            shards,
+            nshards: nshards as u64,
+            rr: AtomicUsize::new(0),
+            queue_capacity: cfg.queue_capacity,
+            registry: Arc::clone(&registry),
+            accepted: registry.counter("server.submit.accepted"),
+            overloaded: registry.counter("server.submit.overloaded"),
+            failed: registry.counter("server.submit.failed"),
+            completions: registry.counter("server.worklist.completions"),
+            recovered,
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Instances resumed from shard journals when the pool opened.
+    pub fn recovered_instances(&self) -> u64 {
+        self.recovered
+    }
+
+    /// The metrics registry the pool publishes into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Submits one instance start, blocking until the owning shard's
+    /// group commit has made it durable (or until it is rejected).
+    pub fn submit(&self, process: &str, input: Container) -> SubmitOutcome {
+        let idx = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        let shard = &self.shards[idx];
+        let (reply_tx, reply_rx) = sync_channel::<SubmitReply>(1);
+        let job = Job::Submit {
+            process: process.to_owned(),
+            input,
+            reply: reply_tx,
+        };
+        match shard.tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.overloaded.inc();
+                return SubmitOutcome::Overloaded {
+                    depth: shard.depth.load(Ordering::Relaxed),
+                    capacity: self.queue_capacity,
+                };
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.failed.inc();
+                return SubmitOutcome::Failed {
+                    error: "shard worker stopped".to_owned(),
+                    unknown_process: false,
+                };
+            }
+        }
+        shard.depth.fetch_add(1, Ordering::Relaxed);
+        match reply_rx.recv_timeout(REPLY_TIMEOUT) {
+            Ok(Ok((local, status, output))) => {
+                self.accepted.inc();
+                SubmitOutcome::Accepted {
+                    id: self.encode(local.0, idx),
+                    status,
+                    output,
+                }
+            }
+            Ok(Err((error, unknown_process))) => {
+                self.failed.inc();
+                SubmitOutcome::Failed {
+                    error,
+                    unknown_process,
+                }
+            }
+            Err(_) => {
+                self.failed.inc();
+                SubmitOutcome::Failed {
+                    error: "shard worker did not answer".to_owned(),
+                    unknown_process: false,
+                }
+            }
+        }
+    }
+
+    /// `(process name, status, output)` of the instance behind an
+    /// external id.
+    pub fn status(&self, ext: u64) -> Option<(String, InstanceStatus, Container)> {
+        let (shard, local) = self.decode(ext)?;
+        let engine = &self.shards[shard].engine;
+        let id = InstanceId(local);
+        let status = engine.status(id).ok()?;
+        let process = engine
+            .instances()
+            .into_iter()
+            .find(|(i, _, _)| *i == id)
+            .map(|(_, p, _)| p)?;
+        let output = engine.output(id).ok()?;
+        Some((process, status, output))
+    }
+
+    /// Open work items of `person` across every shard, with external
+    /// ids, sorted by external item id.
+    pub fn worklist(&self, person: &str) -> Vec<(u64, u64, WorkItem)> {
+        let mut out = Vec::new();
+        for (idx, shard) in self.shards.iter().enumerate() {
+            for item in shard.engine.worklist(person) {
+                out.push((
+                    self.encode(item.id.0, idx),
+                    self.encode(item.instance.0, idx),
+                    item,
+                ));
+            }
+        }
+        out.sort_by_key(|(id, _, _)| *id);
+        out
+    }
+
+    /// Completes (claim + execute) a work item by external id as
+    /// `person`, then flushes the owning shard's journal so the
+    /// completion is durable before the call returns.
+    pub fn complete(&self, ext_item: u64, person: &str) -> Result<(), EngineError> {
+        let (shard, local) = self.decode(ext_item).ok_or(EngineError::Worklist(
+            wfms_engine::WorklistError::NoSuchItem(WorkItemId(ext_item)),
+        ))?;
+        let engine = &self.shards[shard].engine;
+        engine.execute_item(WorkItemId(local), person)?;
+        engine.flush_journal()?;
+        self.completions.inc();
+        Ok(())
+    }
+
+    /// Flushes every queued submission through its shard (FIFO
+    /// barriers), then drains every engine (flush + checkpoint +
+    /// flush). Returns total journal events dropped by compaction.
+    pub fn drain(&self) -> Result<usize, EngineError> {
+        let mut waits = Vec::new();
+        for shard in &self.shards {
+            let (tx, rx) = sync_channel::<()>(1);
+            if shard.tx.send(Job::Barrier(tx)).is_ok() {
+                waits.push(rx);
+            }
+        }
+        for rx in waits {
+            let _ = rx.recv_timeout(REPLY_TIMEOUT);
+        }
+        let mut dropped = 0;
+        for shard in &self.shards {
+            dropped += shard.engine.drain()?;
+        }
+        Ok(dropped)
+    }
+
+    /// Stops every shard worker and joins it. Queued jobs submitted
+    /// before the stop are still processed and flushed. Idempotent.
+    pub fn stop(&self) {
+        for shard in &self.shards {
+            let _ = shard.tx.send(Job::Stop);
+        }
+        for shard in &self.shards {
+            if let Some(handle) = shard.worker.lock().take() {
+                let _ = handle.join();
+            }
+        }
+    }
+
+    /// Instance counts `(running, finished, cancelled)` across shards.
+    pub fn instance_counts(&self) -> (u64, u64, u64) {
+        let mut counts = (0, 0, 0);
+        for shard in &self.shards {
+            for (_, _, status) in shard.engine.instances() {
+                match status {
+                    InstanceStatus::Running => counts.0 += 1,
+                    InstanceStatus::Finished => counts.1 += 1,
+                    InstanceStatus::Cancelled => counts.2 += 1,
+                }
+            }
+        }
+        counts
+    }
+
+    /// Total queued submissions across shards right now.
+    pub fn queue_depth(&self) -> i64 {
+        self.shards
+            .iter()
+            .map(|s| s.depth.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    fn encode(&self, local: u64, shard: usize) -> u64 {
+        local * self.nshards + shard as u64
+    }
+
+    fn decode(&self, ext: u64) -> Option<(usize, u64)> {
+        let shard = (ext % self.nshards) as usize;
+        let local = ext / self.nshards;
+        (local > 0).then_some((shard, local))
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Validates (or writes) `server.meta.json` in `dir`.
+fn check_meta(dir: &Path, shards: usize) -> Result<(), PoolError> {
+    let meta_path = dir.join("server.meta.json");
+    match std::fs::read_to_string(&meta_path) {
+        Ok(text) => {
+            let meta: ServerMeta = serde_json::from_str(&text)
+                .map_err(|e| PoolError::Io(std::io::Error::other(format!("bad meta: {e}"))))?;
+            if meta.shards != shards {
+                return Err(PoolError::ShardMismatch {
+                    on_disk: meta.shards,
+                    requested: shards,
+                });
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            let meta = ServerMeta { shards };
+            std::fs::write(
+                &meta_path,
+                serde_json::to_string(&meta).expect("meta serializes"),
+            )?;
+            Ok(())
+        }
+        Err(e) => Err(PoolError::Io(e)),
+    }
+}
+
+/// Resumes every instance a recovered shard reports as running —
+/// recovery re-readies what was in flight; this navigates it onward.
+/// Returns how many instances were resumed.
+fn resume_running(engine: &Engine, shard: usize) -> u64 {
+    let mut resumed = 0;
+    for (id, _, status) in engine.instances() {
+        if status == InstanceStatus::Running {
+            resumed += 1;
+            if let Err(e) = engine.run_to_quiescence(id) {
+                eprintln!("shard {shard}: resume of instance {id} failed: {e}");
+            }
+        }
+    }
+    resumed
+}
+
+/// The shard worker: pop a batch, navigate it, flush once, answer.
+fn worker_loop(
+    engine: Arc<Engine>,
+    rx: Receiver<Job>,
+    depth: Arc<AtomicI64>,
+    gauge: Arc<wfms_observe::Gauge>,
+    batch_max: usize,
+    throttle: Option<Duration>,
+) {
+    let mut stop = false;
+    while !stop {
+        let Ok(first) = rx.recv() else { break };
+        let mut batch = vec![first];
+        while batch.len() < batch_max {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+
+        let mut replies: Vec<(SyncSender<SubmitReply>, SubmitReply)> = Vec::new();
+        let mut barriers: Vec<SyncSender<()>> = Vec::new();
+        for job in batch {
+            match job {
+                Job::Submit {
+                    process,
+                    input,
+                    reply,
+                } => {
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    if let Some(pause) = throttle {
+                        std::thread::sleep(pause);
+                    }
+                    let result = engine
+                        .start(&process, input)
+                        .and_then(|id| engine.run_to_quiescence(id).map(|s| (id, s)))
+                        .and_then(|(id, status)| engine.output(id).map(|out| (id, status, out)))
+                        .map_err(|e| {
+                            let unknown = matches!(e, EngineError::UnknownProcess(_));
+                            (e.to_string(), unknown)
+                        });
+                    replies.push((reply, result));
+                }
+                Job::Barrier(reply) => barriers.push(reply),
+                Job::Stop => {
+                    stop = true;
+                    break;
+                }
+            }
+        }
+        gauge.set(depth.load(Ordering::Relaxed));
+
+        // One group commit for the whole batch, *then* the
+        // acknowledgements: an ACK certifies durability.
+        if let Err(e) = engine.flush_journal() {
+            for (reply, _) in replies {
+                let _ = reply.send(Err((format!("journal flush failed: {e}"), false)));
+            }
+            for b in barriers {
+                let _ = b.send(());
+            }
+            continue;
+        }
+        for (reply, result) in replies {
+            let _ = reply.send(result);
+        }
+        for b in barriers {
+            let _ = b.send(());
+        }
+    }
+    // Final barrier so nothing accepted is left unflushed.
+    let _ = engine.flush_journal();
+}

@@ -1,0 +1,149 @@
+//! Property tests for the hand-rolled HTTP/1.1 request parser.
+//!
+//! The parser faces the network directly, so the properties are about
+//! robustness rather than protocol completeness: arbitrary bytes never
+//! panic, size limits always answer `413`, malformed syntax always
+//! answers `400`, and well-formed requests round-trip their method,
+//! target, headers and body.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use wfms_server::http::{read_request, HttpError, MAX_BODY, MAX_HEADERS, MAX_LINE};
+
+/// Feeds raw bytes to the parser and returns the outcome.
+fn parse(bytes: &[u8]) -> Result<Option<wfms_server::http::Request>, HttpError> {
+    read_request(&mut Cursor::new(bytes))
+}
+
+fn token() -> impl Strategy<Value = String> {
+    "[A-Za-z-]{1,12}"
+}
+
+fn header_value() -> impl Strategy<Value = String> {
+    // Printable ASCII minus CR/LF; leading/trailing spaces are trimmed
+    // by the parser so the generator avoids them.
+    "[!-~]{0,24}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes never panic: every input yields `Ok` or a
+    /// classified `HttpError` (the test passing at all proves no
+    /// panic; the match proves the error taxonomy is total).
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        match parse(&bytes) {
+            Ok(_) => {}
+            Err(e) => {
+                let status = e.status();
+                prop_assert!(
+                    status == 400 || status == 413,
+                    "unexpected status {status} for parse error"
+                );
+            }
+        }
+    }
+
+    /// Garbage request lines (no two spaces, bad version, …) answer
+    /// `400`, never a parsed request and never `413`.
+    #[test]
+    fn garbage_request_line_is_400(line in "[a-z ]{0,40}") {
+        // Lines that happen to form `METHOD SP TARGET SP HTTP/1.x` are
+        // excluded by construction (lowercase letters and spaces only,
+        // so the version token can never match).
+        let input = format!("{line}\r\n\r\n");
+        match parse(input.as_bytes()) {
+            Ok(None) => prop_assert!(line.is_empty(), "clean EOF only for empty input"),
+            Ok(Some(req)) => prop_assert!(false, "parsed garbage as {:?}", req.method),
+            Err(e) => prop_assert_eq!(e.status(), 400),
+        }
+    }
+
+    /// A header line longer than `MAX_LINE` answers `413` regardless
+    /// of the padding content.
+    #[test]
+    fn oversized_header_is_413(pad in MAX_LINE..MAX_LINE + 64) {
+        let input = format!(
+            "GET / HTTP/1.1\r\nx-big: {}\r\n\r\n",
+            "v".repeat(pad)
+        );
+        match parse(input.as_bytes()) {
+            Err(e) => prop_assert_eq!(e.status(), 413),
+            other => prop_assert!(false, "expected 413, got {:?}", other.map(|r| r.is_some())),
+        }
+    }
+
+    /// More header lines than `MAX_HEADERS` answers `413`.
+    #[test]
+    fn too_many_headers_is_413(extra in 1usize..8) {
+        let mut input = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS + extra {
+            input.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        input.push_str("\r\n");
+        match parse(input.as_bytes()) {
+            Err(e) => prop_assert_eq!(e.status(), 413),
+            other => prop_assert!(false, "expected 413, got {:?}", other.map(|r| r.is_some())),
+        }
+    }
+
+    /// A declared body length larger than `MAX_BODY` answers `413`
+    /// without reading the body.
+    #[test]
+    fn oversized_body_is_413(over in 1usize..1024) {
+        let input = format!(
+            "POST /instances HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY + over
+        );
+        match parse(input.as_bytes()) {
+            Err(e) => prop_assert_eq!(e.status(), 413),
+            other => prop_assert!(false, "expected 413, got {:?}", other.map(|r| r.is_some())),
+        }
+    }
+
+    /// A body shorter than its declared `content-length` (connection
+    /// cut mid-body) answers `400`, never a partial request.
+    #[test]
+    fn truncated_body_is_400(body in prop::collection::vec(any::<u8>(), 1..64), cut in 1usize..64) {
+        let cut = cut.min(body.len());
+        let mut input = format!(
+            "POST /instances HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        input.extend_from_slice(&body[..body.len() - cut]);
+        match parse(&input) {
+            Err(e) => prop_assert_eq!(e.status(), 400),
+            other => prop_assert!(false, "expected 400, got {:?}", other.map(|r| r.is_some())),
+        }
+    }
+
+    /// Well-formed requests round-trip method, target, header values
+    /// (names case-insensitively) and the exact body bytes.
+    #[test]
+    fn valid_request_roundtrips(
+        name in token(),
+        value in header_value(),
+        body in prop::collection::vec(any::<u8>(), 0..128),
+    ) {
+        let mut input = format!(
+            "POST /worklist/7/complete?person=ann HTTP/1.1\r\n{name}: {value}\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        input.extend_from_slice(&body);
+        let req = match parse(&input) {
+            Ok(Some(req)) => req,
+            other => return Err(TestCaseError::fail(format!("parse failed: {other:?}"))),
+        };
+        prop_assert_eq!(req.method.as_str(), "POST");
+        prop_assert_eq!(req.path.as_str(), "/worklist/7/complete");
+        prop_assert_eq!(req.query_param("person"), Some("ann"));
+        // Header names are lowercased on read; values survive verbatim
+        // modulo edge trimming (excluded by the generator).
+        prop_assert_eq!(req.header(&name.to_ascii_lowercase()), Some(value.as_str()));
+        prop_assert_eq!(req.body, body);
+    }
+}

@@ -1,0 +1,321 @@
+//! End-to-end loopback tests: a real [`Server`] on an ephemeral port,
+//! driven through the real [`Http1Client`] — submit → manual-worklist
+//! complete → status → drain — plus the pool-level contracts the HTTP
+//! layer rides on: admission control, group-commit durability and
+//! crash-restart recovery on the same data directory.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use txn_substrate::{DurabilityPolicy, MultiDatabase, ProgramOutcome, ProgramRegistry};
+use wfms_engine::{InstanceStatus, OrgModel};
+use wfms_model::{Activity, ProcessBuilder, ProcessDefinition};
+use wfms_observe::Registry;
+use wfms_server::api::{StatusResponse, SubmitResponse, WorklistResponse};
+use wfms_server::{Http1Client, PoolConfig, Server, ServerConfig, ShardPool, SubmitOutcome};
+
+fn provision(_shard: usize) -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
+    let fed = MultiDatabase::new(0);
+    fed.add_database("db");
+    let registry = Arc::new(ProgramRegistry::new());
+    registry.register_fn("ok", |_| ProgramOutcome::committed());
+    (fed, registry)
+}
+
+/// An all-automatic two-step process.
+fn auto_process() -> ProcessDefinition {
+    ProcessBuilder::new("auto")
+        .program("A", "ok")
+        .program("B", "ok")
+        .connect_when("A", "B", "RC = 1")
+        .build()
+        .unwrap()
+}
+
+/// A manual activity for role `clerk`, then an automatic tail.
+fn manual_process() -> ProcessDefinition {
+    ProcessBuilder::new("manual")
+        .activity(Activity::program("M", "ok").for_role("clerk"))
+        .program("Tail", "ok")
+        .connect_when("M", "Tail", "RC = 1")
+        .build()
+        .unwrap()
+}
+
+fn pool_config(dir: &std::path::Path) -> PoolConfig {
+    let mut cfg = PoolConfig::new(dir);
+    cfg.shards = 2;
+    cfg.org = OrgModel::new().person("ann", &["clerk"]);
+    cfg.templates = vec![auto_process(), manual_process()];
+    cfg
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wfms-server-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start_server(dir: &std::path::Path) -> Server {
+    let pool = ShardPool::open(pool_config(dir), Arc::new(Registry::new()), &provision).unwrap();
+    Server::start(Arc::new(pool), ServerConfig::new("auto")).unwrap()
+}
+
+#[test]
+fn submit_complete_status_drain_over_http() {
+    let dir = temp_dir("e2e");
+    let server = start_server(&dir);
+    let url = server.local_addr().to_string();
+    let mut client = Http1Client::new(&url);
+
+    // Submit an automatic instance: finishes inside the call.
+    let (code, body) = client
+        .request("POST", "/instances", Some(r#"{"process":"auto"}"#))
+        .unwrap();
+    assert_eq!(code, 201, "{body}");
+    let auto: SubmitResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(auto.status, "finished");
+
+    // Submit a manual instance: parks on the worklist.
+    let (code, body) = client
+        .request("POST", "/instances", Some(r#"{"process":"manual"}"#))
+        .unwrap();
+    assert_eq!(code, 201, "{body}");
+    let manual: SubmitResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(manual.status, "running");
+
+    // The item is on ann's worklist, with external ids.
+    let (code, body) = client.request("GET", "/worklist?person=ann", None).unwrap();
+    assert_eq!(code, 200, "{body}");
+    let wl: WorklistResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(wl.items.len(), 1);
+    assert_eq!(wl.items[0].instance, manual.id);
+    assert_eq!(wl.items[0].path, "M");
+
+    // An unknown person has an empty worklist; no person is a 400.
+    let (code, body) = client.request("GET", "/worklist?person=bob", None).unwrap();
+    assert_eq!(code, 200);
+    let empty: WorklistResponse = serde_json::from_str(&body).unwrap();
+    assert!(empty.items.is_empty());
+    let (code, _) = client.request("GET", "/worklist", None).unwrap();
+    assert_eq!(code, 400);
+
+    // Complete the item; the automatic tail then finishes the
+    // instance.
+    let (code, body) = client
+        .request(
+            "POST",
+            &format!("/worklist/{}/complete", wl.items[0].id),
+            Some(r#"{"person":"ann"}"#),
+        )
+        .unwrap();
+    assert_eq!(code, 200, "{body}");
+    let (code, body) = client
+        .request("GET", &format!("/instances/{}", manual.id), None)
+        .unwrap();
+    assert_eq!(code, 200);
+    let status: StatusResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(status.status, "finished");
+    assert_eq!(status.process, "manual");
+
+    // Completing a closed item is a conflict, not a 500.
+    let (code, _) = client
+        .request(
+            "POST",
+            &format!("/worklist/{}/complete", wl.items[0].id),
+            Some(r#"{"person":"ann"}"#),
+        )
+        .unwrap();
+    assert_eq!(code, 409);
+
+    // Unknown instance and unknown process are 404s.
+    let (code, _) = client.request("GET", "/instances/999999", None).unwrap();
+    assert_eq!(code, 404);
+    let (code, _) = client
+        .request("POST", "/instances", Some(r#"{"process":"nope"}"#))
+        .unwrap();
+    assert_eq!(code, 404);
+
+    // Metrics exposition mentions the server counters.
+    let (code, text) = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(code, 200);
+    assert!(text.contains("server_submit_accepted"));
+    assert!(text.contains("server_instances_finished"));
+
+    // Drain: new submissions are parked with 503.
+    let (code, _) = client.request("POST", "/admin/drain", None).unwrap();
+    assert_eq!(code, 200);
+    let (code, _) = client
+        .request("POST", "/instances", Some(r#"{"process":"auto"}"#))
+        .unwrap();
+    assert_eq!(code, 503);
+    // Reads still work while draining.
+    let (code, _) = client
+        .request("GET", &format!("/instances/{}", manual.id), None)
+        .unwrap();
+    assert_eq!(code, 200);
+
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_restart_resumes_instances_and_work_items() {
+    let dir = temp_dir("crash");
+
+    let (finished_id, parked_id) = {
+        let server = start_server(&dir);
+        let url = server.local_addr().to_string();
+        let mut client = Http1Client::new(&url);
+        let (_, body) = client
+            .request("POST", "/instances", Some(r#"{"process":"auto"}"#))
+            .unwrap();
+        let auto: SubmitResponse = serde_json::from_str(&body).unwrap();
+        let (_, body) = client
+            .request("POST", "/instances", Some(r#"{"process":"manual"}"#))
+            .unwrap();
+        let manual: SubmitResponse = serde_json::from_str(&body).unwrap();
+        // Abrupt shutdown: no drain checkpoint — the acknowledged
+        // submissions must survive on the strength of group commit
+        // alone.
+        server.shutdown(false);
+        (auto.id, manual.id)
+    };
+
+    // Reopen the same data directory: the finished instance is still
+    // finished, the parked one is still running with its work item
+    // re-offered, and completing it finishes the flow.
+    let server = start_server(&dir);
+    let url = server.local_addr().to_string();
+    let mut client = Http1Client::new(&url);
+
+    let (code, body) = client
+        .request("GET", &format!("/instances/{finished_id}"), None)
+        .unwrap();
+    assert_eq!(code, 200, "{body}");
+    let status: StatusResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(status.status, "finished");
+
+    let (_, body) = client
+        .request("GET", &format!("/instances/{parked_id}"), None)
+        .unwrap();
+    let status: StatusResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(status.status, "running");
+
+    let (_, body) = client.request("GET", "/worklist?person=ann", None).unwrap();
+    let wl: WorklistResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(wl.items.len(), 1, "work item survives the crash");
+    assert_eq!(wl.items[0].instance, parked_id);
+    let (code, _) = client
+        .request(
+            "POST",
+            &format!("/worklist/{}/complete", wl.items[0].id),
+            Some(r#"{"person":"ann"}"#),
+        )
+        .unwrap();
+    assert_eq!(code, 200);
+    let (_, body) = client
+        .request("GET", &format!("/instances/{parked_id}"), None)
+        .unwrap();
+    let status: StatusResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(status.status, "finished");
+
+    // New submissions after recovery get fresh ids.
+    let (code, body) = client
+        .request("POST", "/instances", Some(r#"{"process":"auto"}"#))
+        .unwrap();
+    assert_eq!(code, 201);
+    let fresh: SubmitResponse = serde_json::from_str(&body).unwrap();
+    assert_ne!(fresh.id, finished_id);
+    assert_ne!(fresh.id, parked_id);
+
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_count_mismatch_is_rejected() {
+    let dir = temp_dir("meta");
+    {
+        let pool =
+            ShardPool::open(pool_config(&dir), Arc::new(Registry::new()), &provision).unwrap();
+        drop(pool);
+    }
+    let mut cfg = pool_config(&dir);
+    cfg.shards = 3;
+    let Err(err) = ShardPool::open(cfg, Arc::new(Registry::new()), &provision) else {
+        panic!("shard mismatch must be rejected");
+    };
+    assert!(
+        err.to_string().contains("--shards"),
+        "mismatch names the knob: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admission_control_rejects_beyond_high_water() {
+    let dir = temp_dir("admission");
+    let mut cfg = pool_config(&dir);
+    cfg.shards = 1;
+    cfg.queue_capacity = 2;
+    cfg.batch_max = 1;
+    cfg.throttle = Some(Duration::from_millis(20));
+    let pool = Arc::new(ShardPool::open(cfg, Arc::new(Registry::new()), &provision).unwrap());
+
+    // 12 concurrent submitters against a queue of 2 and a worker that
+    // takes 20ms per job: some must be rejected, none may hang, and
+    // accepted + overloaded covers everything.
+    let outcomes: Vec<SubmitOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                s.spawn(move || pool.submit("auto", wfms_model::Container::empty()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let accepted = outcomes
+        .iter()
+        .filter(|o| matches!(o, SubmitOutcome::Accepted { .. }))
+        .count();
+    let overloaded = outcomes
+        .iter()
+        .filter(|o| matches!(o, SubmitOutcome::Overloaded { .. }))
+        .count();
+    assert_eq!(accepted + overloaded, 12, "no third outcome: {outcomes:?}");
+    assert!(accepted >= 1, "the queue makes progress");
+    assert!(overloaded >= 1, "the high-water mark rejects");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn acknowledged_submissions_are_durable_before_reply() {
+    let dir = temp_dir("durable");
+    let mut cfg = pool_config(&dir);
+    cfg.shards = 1;
+    // An enormous batch threshold: the policy alone would flush
+    // (almost) never, so any durability must come from the group
+    // commit the worker issues before acknowledging.
+    cfg.durability = DurabilityPolicy::Batched { n: 1_000_000 };
+    let pool = ShardPool::open(cfg, Arc::new(Registry::new()), &provision).unwrap();
+
+    for _ in 0..10 {
+        match pool.submit("auto", wfms_model::Container::empty()) {
+            SubmitOutcome::Accepted { status, .. } => {
+                assert_eq!(status, InstanceStatus::Finished)
+            }
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+    }
+    // Read the journal file directly — bypassing the engine — right
+    // after the last acknowledgement: all ten starts must be on disk.
+    let text = std::fs::read_to_string(dir.join("shard-0.journal")).unwrap();
+    let starts = text
+        .lines()
+        .filter(|l| l.contains("InstanceStarted"))
+        .count();
+    assert_eq!(starts, 10, "every ACKed start is on disk");
+    drop(pool);
+    let _ = std::fs::remove_dir_all(&dir);
+}

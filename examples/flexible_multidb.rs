@@ -15,9 +15,7 @@ use wftx::model::Container;
 
 fn main() {
     // The specification, in the pre-processor's textual format.
-    let spec_text = exotica::emit_spec(&exotica::ParsedSpec::Flexible(
-        fixtures::figure3_spec(),
-    ));
+    let spec_text = exotica::emit_spec(&exotica::ParsedSpec::Flexible(fixtures::figure3_spec()));
     println!("---- specification ----\n{spec_text}");
 
     let out = exotica::run_pipeline(&spec_text).expect("pipeline succeeds");
@@ -37,10 +35,7 @@ fn main() {
         ),
         (
             "T4 aborts (fall through to p3; T3 retried twice)",
-            vec![
-                ("T4", FailurePlan::Always),
-                ("T3", FailurePlan::FirstN(2)),
-            ],
+            vec![("T4", FailurePlan::Always), ("T3", FailurePlan::FirstN(2))],
         ),
         (
             "T2 aborts (full abort; compensate T1)",
@@ -60,7 +55,10 @@ fn main() {
         let engine = Engine::new(Arc::clone(&fed), programs);
         engine.register(out.process.clone()).unwrap();
         let id = engine.start("figure3", Container::empty()).unwrap();
-        assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+        assert_eq!(
+            engine.run_to_quiescence(id).unwrap(),
+            InstanceStatus::Finished
+        );
 
         let output = engine.output(id).unwrap();
         let committed = output.get("Committed").and_then(|v| v.as_int()) == Some(1);
@@ -75,7 +73,11 @@ fn main() {
             .unwrap_or_else(|| "-".into());
         println!(
             "outcome: {} {}",
-            if committed { "COMMITTED via" } else { "ABORTED" },
+            if committed {
+                "COMMITTED via"
+            } else {
+                "ABORTED"
+            },
             if committed { via } else { String::new() }
         );
         print!("markers:");
@@ -99,11 +101,9 @@ fn main() {
             .iter()
             .map(|(l, p)| (l.to_string(), p.clone()))
             .collect();
-        let installer: exotica::verify::Installer<'_> =
-            &fixtures::register_figure3_programs;
+        let installer: exotica::verify::Installer<'_> = &fixtures::register_figure3_programs;
         let report =
-            exotica::compare_flex(&fixtures::figure3_spec(), installer, &plans_owned, 7)
-                .unwrap();
+            exotica::compare_flex(&fixtures::figure3_spec(), installer, &plans_owned, 7).unwrap();
         assert!(report.equivalent(), "{}", report.diff());
         println!("native executor agrees: OK\n");
     }

@@ -89,7 +89,11 @@ fn main() {
     // vanishes from the other worklists — the paper's load balancing.
     let item = engine.worklist("ann")[0].clone();
     engine.claim(item.id, "ann").unwrap();
-    println!("\nann claimed {}; bob now sees {:?}", item.id, engine.worklist("bob").len());
+    println!(
+        "\nann claimed {}; bob now sees {:?}",
+        item.id,
+        engine.worklist("bob").len()
+    );
 
     // Nobody touches the approval step for two days: the deadline
     // passes and the manager's manager — here grace herself manages
@@ -104,7 +108,10 @@ fn main() {
     // databases are durable on their own.
     let events = engine.journal_events();
     engine.crash();
-    println!("\n-- engine crashed; recovering from {} journal events --", events.len());
+    println!(
+        "\n-- engine crashed; recovering from {} journal events --",
+        events.len()
+    );
 
     let engine2 = recover_from(
         Journal::new(),

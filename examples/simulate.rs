@@ -30,7 +30,10 @@ const DURATIONS: &[(&str, u64)] = &[
 fn main() {
     let spec = fixtures::figure3_spec();
     let def = exotica::translate_flex(&spec).expect("figure 3 translates");
-    println!("simulating {:?} — {} trials per failure level\n", def.name, 500);
+    println!(
+        "simulating {:?} — {} trials per failure level\n",
+        def.name, 500
+    );
     println!(
         "{:>6} {:>8} {:>7} {:>7} {:>7} {:>8} {:>8} {:>8}",
         "p", "commit%", "via_p1", "via_p2", "via_p3", "p50(h)", "p90(h)", "max(h)"
@@ -99,8 +102,7 @@ fn main() {
 
         makespans.sort_unstable();
         let q = |f: f64| makespans[((makespans.len() - 1) as f64 * f) as usize];
-        let commit_pct =
-            (trials as u32 - aborted) as f64 / trials as f64 * 100.0;
+        let commit_pct = (trials as u32 - aborted) as f64 / trials as f64 * 100.0;
         println!(
             "{:>6.1} {:>7.1}% {:>7} {:>7} {:>7} {:>8} {:>8} {:>8}",
             p,

@@ -153,11 +153,7 @@ impl Criterion {
         }
     }
 
-    pub fn bench_function(
-        &mut self,
-        name: &str,
-        f: impl FnMut(&mut Bencher),
-    ) -> &mut Self {
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
         let mut f = f;
         run_one(name, |b| f(b));
         self

@@ -442,10 +442,7 @@ pub mod string {
 
     impl<'a> PatternParser<'a> {
         fn fail(&self, msg: &str) -> ! {
-            panic!(
-                "proptest shim: unsupported regex {:?}: {msg}",
-                self.pattern
-            )
+            panic!("proptest shim: unsupported regex {:?}: {msg}", self.pattern)
         }
 
         fn escape_set(&mut self) -> BTreeSet<char> {
@@ -524,9 +521,7 @@ pub mod string {
                                     Some(e) => e,
                                     None => self.fail("unterminated range"),
                                 };
-                                set.extend(
-                                    (c as u32..=end as u32).filter_map(char::from_u32),
-                                );
+                                set.extend((c as u32..=end as u32).filter_map(char::from_u32));
                                 continue;
                             }
                         }
@@ -891,12 +886,10 @@ mod tests {
             let s = crate::string::generate_from_pattern("[A-Za-z_][A-Za-z0-9_]{0,8}", &mut rng)
                 .unwrap();
             assert!((1..=9).contains(&s.len()), "bad length: {s:?}");
-            assert!(s.chars().next().unwrap().is_ascii_alphabetic()
-                || s.starts_with('_'));
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic() || s.starts_with('_'));
         }
         for _ in 0..200 {
-            let s =
-                crate::string::generate_from_pattern("[ -~&&[^\\\\]]{0,12}", &mut rng).unwrap();
+            let s = crate::string::generate_from_pattern("[ -~&&[^\\\\]]{0,12}", &mut rng).unwrap();
             assert!(s.len() <= 12);
             assert!(s.chars().all(|c| (' '..='~').contains(&c) && c != '\\'));
         }
@@ -948,15 +941,12 @@ mod tests {
                 Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
             }
         }
-        let strat = (-5i64..5).prop_map(Tree::Leaf).boxed().prop_recursive(
-            4,
-            32,
-            2,
-            |inner| {
-                (inner.clone(), inner)
-                    .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
-            },
-        );
+        let strat = (-5i64..5)
+            .prop_map(Tree::Leaf)
+            .boxed()
+            .prop_recursive(4, 32, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
         let mut rng = crate::test_runner::TestRng::seeded(3);
         for _ in 0..100 {
             let t = strat.generate(&mut rng).unwrap();

@@ -162,7 +162,9 @@ fn parse_input(input: TokenStream) -> Result<Input, String> {
         other => return Err(format!("expected type name, got {other:?}")),
     };
     if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
-        return Err(format!("generic type `{name}` is not supported by the serde shim derive"));
+        return Err(format!(
+            "generic type `{name}` is not supported by the serde shim derive"
+        ));
     }
     match kind.as_str() {
         "struct" => match iter.next() {
@@ -300,9 +302,7 @@ fn gen_serialize(input: &Input) -> String {
 fn gen_deserialize(input: &Input) -> String {
     let name = &input.name;
     let body = match &input.shape {
-        Shape::NamedStruct(fields) => {
-            named_fields_from_content(name, fields, "content", name)
-        }
+        Shape::NamedStruct(fields) => named_fields_from_content(name, fields, "content", name),
         Shape::UnitStruct => format!(
             "match content {{ \
                ::serde::Content::Null => ::std::result::Result::Ok({name}), \

@@ -71,17 +71,15 @@ fn write_key(out: &mut String, key: &Content) -> Result<()> {
             write_escaped(out, &n.to_string());
             Ok(())
         }
-        other => Err(Error::new(format!("map key must be a string, got {other:?}"))),
+        other => Err(Error::new(format!(
+            "map key must be a string, got {other:?}"
+        ))),
     }
 }
 
 fn write_value(out: &mut String, value: &Content, pretty: bool, indent: usize) -> Result<()> {
     let (nl, pad, pad_in) = if pretty {
-        (
-            "\n",
-            "  ".repeat(indent),
-            "  ".repeat(indent + 1),
-        )
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
     } else {
         (Default::default(), String::new(), String::new())
     };
@@ -252,8 +250,7 @@ impl<'a> Parser<'a> {
                 Some(_) => {
                     // Consumes one UTF-8 character.
                     let rest = &self.bytes[self.pos..];
-                    let text = std::str::from_utf8(rest)
-                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let text = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
                     let c = text.chars().next().unwrap();
                     s.push(c);
                     self.pos += c.len_utf8();
@@ -409,7 +406,10 @@ mod tests {
         m.insert("xs".into(), vec![Some(1), None, Some(3)]);
         let json = to_string(&m).unwrap();
         assert_eq!(json, r#"{"xs":[1,null,3]}"#);
-        assert_eq!(from_str::<BTreeMap<String, Vec<Option<u64>>>>(&json).unwrap(), m);
+        assert_eq!(
+            from_str::<BTreeMap<String, Vec<Option<u64>>>>(&json).unwrap(),
+            m
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ fn appendix_saga_trace_abort_at_s2() {
     let engine = Engine::new(Arc::clone(&fed), registry);
     engine.register(def).unwrap();
     let id = engine.start("appendix_saga", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
 
     let trace = audit::trace(&engine.journal_events(), id);
     assert_eq!(
@@ -130,7 +133,9 @@ fn appendix_saga_compensation_retries_via_exit_condition() {
     assert_eq!(fixtures::marker(&fed, "S1"), Some(-1));
 }
 
-fn figure3_engine(plans: &[(&str, FailurePlan)]) -> (Arc<MultiDatabase>, Engine, wftx::engine::InstanceId) {
+fn figure3_engine(
+    plans: &[(&str, FailurePlan)],
+) -> (Arc<MultiDatabase>, Engine, wftx::engine::InstanceId) {
     let fed = MultiDatabase::new(0);
     let registry = Arc::new(ProgramRegistry::new());
     fixtures::register_figure3_programs(&fed, &registry);
@@ -141,7 +146,10 @@ fn figure3_engine(plans: &[(&str, FailurePlan)]) -> (Arc<MultiDatabase>, Engine,
     let engine = Engine::new(Arc::clone(&fed), registry);
     engine.register(def).unwrap();
     let id = engine.start("figure3", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
     (fed, engine, id)
 }
 
@@ -214,10 +222,8 @@ fn appendix_flex_trace_t1_aborts() {
 /// marked as terminated by dead path elimination."
 #[test]
 fn appendix_flex_trace_t4_aborts_t3_retries() {
-    let (fed, engine, id) = figure3_engine(&[
-        ("T4", FailurePlan::Always),
-        ("T3", FailurePlan::FirstN(2)),
-    ]);
+    let (fed, engine, id) =
+        figure3_engine(&[("T4", FailurePlan::Always), ("T3", FailurePlan::FirstN(2))]);
     let by_activity = audit::executions_by_activity(&engine.journal_events(), id);
     assert_eq!(by_activity["T3"], 3, "T3 retried until commit");
     assert_eq!(by_activity["T4"], 1);

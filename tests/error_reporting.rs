@@ -2,10 +2,10 @@
 //! and spec authors actually see. (Error *construction* is covered by
 //! the functional tests; these pin the reporting surface.)
 
-use wftx::engine::{Engine, EngineError};
-use wftx::model::{Container, ProcessBuilder};
 use std::sync::Arc;
 use txn_substrate::{MultiDatabase, ProgramRegistry};
+use wftx::engine::{Engine, EngineError};
+use wftx::model::{Container, ProcessBuilder};
 
 fn engine() -> Engine {
     let fed = MultiDatabase::new(0);

@@ -60,7 +60,11 @@ fn world() -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
     fed.add_database("ledger");
     let registry = Arc::new(ProgramRegistry::new());
     registry.register_fn("validate_claim", |ctx| {
-        let amount = ctx.params.get("amount").and_then(|v| v.as_int()).unwrap_or(0);
+        let amount = ctx
+            .params
+            .get("amount")
+            .and_then(|v| v.as_int())
+            .unwrap_or(0);
         // ok = 1 → clerk route; ok = 2 → manager route.
         let ok = if amount <= 100 { 1 } else { 2 };
         ProgramOutcome::Committed {
@@ -86,9 +90,10 @@ fn world() -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
 fn run(amount: i64) -> (Engine, wftx::engine::InstanceId, &'static str) {
     let def = wftx::fdl::parse_and_validate(PROCESS).expect("FDL imports");
     let (fed, registry) = world();
-    let org = OrgModel::new()
-        .person("grace", &["manager"])
-        .person_under("ann", &["clerk"], "grace", 2);
+    let org =
+        OrgModel::new()
+            .person("grace", &["manager"])
+            .person_under("ann", &["clerk"], "grace", 2);
     let engine = Engine::with_config(
         fed,
         registry,

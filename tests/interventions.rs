@@ -22,9 +22,7 @@ fn force_finish_failure_route_on_nested_activity() {
         let wftx::model::ActivityKind::Block { process } = &mut def.activities[0].kind else {
             panic!("Forward is a block")
         };
-        process.activities[1] = process.activities[1]
-            .clone()
-            .for_role("operator");
+        process.activities[1] = process.activities[1].clone().for_role("operator");
     }
     assert!(wftx::model::validate(&def).is_empty());
 
@@ -52,4 +50,3 @@ fn force_finish_failure_route_on_nested_activity() {
     let out = engine.output(id).unwrap();
     assert_eq!(out.get("Committed").and_then(|v| v.as_int()), Some(0));
 }
-

@@ -52,7 +52,10 @@ fn makespan(plans: &[(&str, FailurePlan)]) -> u64 {
     let engine = Engine::new(Arc::clone(&fed), registry);
     engine.register(def).unwrap();
     let id = engine.start("figure3", Container::empty()).unwrap();
-    assert_eq!(engine.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
     engine.clock().now()
 }
 
@@ -68,10 +71,7 @@ fn t8_failure_adds_compensations_and_t7() {
     // (10+20+20+30+30+20 = 130: the aborted attempt still burns its
     // duration), plus compensations of T6 and T5 (15 + 15), plus T7
     // (50) = 210.
-    assert_eq!(
-        makespan(&[("T8", FailurePlan::Always)]),
-        130 + 15 + 15 + 50
-    );
+    assert_eq!(makespan(&[("T8", FailurePlan::Always)]), 130 + 15 + 15 + 50);
 }
 
 #[test]
@@ -88,10 +88,7 @@ fn t4_failure_is_cheaper_than_t8_failure() {
 #[test]
 fn retries_accumulate_business_time() {
     // T3 needs 3 attempts: its 40-tick duration is paid three times.
-    let m = makespan(&[
-        ("T4", FailurePlan::Always),
-        ("T3", FailurePlan::FirstN(2)),
-    ]);
+    let m = makespan(&[("T4", FailurePlan::Always), ("T3", FailurePlan::FirstN(2))]);
     assert_eq!(m, 10 + 20 + 20 + 3 * 40);
 }
 

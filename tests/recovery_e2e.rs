@@ -124,12 +124,8 @@ fn flex_crash_after_every_step_t8_failure_run() {
     let def = exotica::translate_flex(&fixtures::figure3_spec()).unwrap();
     let plans = [("T8", FailurePlan::Always)];
     for steps in 0..60 {
-        let (fed, out, exhausted) = crash_and_recover(
-            &def,
-            fixtures::register_figure3_programs,
-            &plans,
-            steps,
-        );
+        let (fed, out, exhausted) =
+            crash_and_recover(&def, fixtures::register_figure3_programs, &plans, steps);
         assert_eq!(
             out.get("Committed").and_then(|v| v.as_int()),
             Some(1),
@@ -219,13 +215,18 @@ fn in_flight_activity_reexecutes_exactly_once() {
         Arc::clone(&registry),
     )
     .unwrap();
-    assert_eq!(engine2.run_to_quiescence(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(
+        engine2.run_to_quiescence(id).unwrap(),
+        InstanceStatus::Finished
+    );
     // S2 ran twice in total (once before the crash, once after):
     // idempotent write, same final state. Every other activity ran
     // exactly once.
-    let by_activity =
-        wftx::engine::audit::executions_by_activity(&engine2.journal_events(), id);
-    assert_eq!(by_activity["Forward/S2"], 2, "re-executed once after recovery");
+    let by_activity = wftx::engine::audit::executions_by_activity(&engine2.journal_events(), id);
+    assert_eq!(
+        by_activity["Forward/S2"], 2,
+        "re-executed once after recovery"
+    );
     assert_eq!(by_activity["Forward/S1"], 1);
     assert_eq!(by_activity["Forward/S3"], 1);
     for i in 1..=n {

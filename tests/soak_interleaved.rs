@@ -24,8 +24,7 @@ fn round_robin_interleaving_of_many_instances() {
         for j in 1..=3 {
             let step = format!("I{i}_S{j}");
             registry.register(Arc::new(
-                KvProgram::write(&format!("do_{step}"), "db", &step, 1i64)
-                    .with_label(&step),
+                KvProgram::write(&format!("do_{step}"), "db", &step, 1i64).with_label(&step),
             ));
             registry.register(Arc::new(KvProgram::write(
                 &format!("undo_{step}"),
@@ -69,7 +68,11 @@ fn round_robin_interleaving_of_many_instances() {
 
     let db = fed.db("db").unwrap();
     for (i, &id) in ids.iter().enumerate() {
-        assert_eq!(engine.status(id).unwrap(), InstanceStatus::Finished, "i={i}");
+        assert_eq!(
+            engine.status(id).unwrap(),
+            InstanceStatus::Finished,
+            "i={i}"
+        );
         let committed = engine
             .output(id)
             .unwrap()
@@ -102,9 +105,9 @@ fn interleaved_flex_instances_stay_isolated() {
     let registry = Arc::new(ProgramRegistry::new());
 
     let scenarios: &[(&str, Option<&str>)] = &[
-        ("a", None),          // happy: commits via p1
-        ("b", Some("b_T8")),  // T8 fails: commits via p2
-        ("c", Some("b_T2")),  // (label below) T2 fails: aborts
+        ("a", None),         // happy: commits via p1
+        ("b", Some("b_T8")), // T8 fails: commits via p2
+        ("c", Some("b_T2")), // (label below) T2 fails: aborts
     ];
     let mut defs = Vec::new();
     for (tag, _) in scenarios {
@@ -166,5 +169,9 @@ fn interleaved_flex_instances_stay_isolated() {
     assert_eq!(db.peek("b_T5"), Some(Value::Int(-1)), "b compensated T5");
     assert_eq!(db.peek("b_T7"), Some(Value::Int(1)));
     assert_eq!(db.peek("c_T1"), Some(Value::Int(-1)), "c compensated T1");
-    assert_eq!(db.peek("c_T3"), None, "c's retriable fallback contains T2; aborted");
+    assert_eq!(
+        db.peek("c_T3"),
+        None,
+        "c's retriable fallback contains T2; aborted"
+    );
 }
