@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Golden-diff the machine-readable linter output: for each JSON file in
+# ci/golden/, run `fmtm lint --format json` on the matching analyzer
+# fixture and diff against the committed output. Catches accidental
+# changes to diagnostic codes, positions, or message wording — the
+# JSON schema is an interface consumed by editor integrations.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FMTM=${FMTM:-"cargo run -q --release -p exotica --bin fmtm --"}
+FIXTURES=crates/exotica/tests/fixtures/analyzer
+fail=0
+
+for golden in ci/golden/*.json; do
+  stem=$(basename "$golden" .json)
+  fixture=$(ls "$FIXTURES/$stem".* 2>/dev/null | head -1)
+  if [ -z "$fixture" ]; then
+    echo "::error::no fixture matches golden $golden"
+    fail=1
+    continue
+  fi
+  # lint exits 1 on findings by design; the diff is the verdict here.
+  actual=$($FMTM lint "$fixture" --format json || true)
+  if ! diff <(echo "$actual") "$golden" >/dev/null; then
+    echo "::error::lint JSON drifted for $fixture"
+    diff <(echo "$actual") "$golden" || true
+    fail=1
+  else
+    echo "ok: $fixture matches $golden"
+  fi
+done
+
+exit $fail

@@ -9,7 +9,11 @@
 //!   `run_all_parallel(8)` on 1 000 saga-shaped instances;
 //! * **observe_overhead**: the same 100-activity chain with the
 //!   observability layer on (live metrics registry) vs. off — the
-//!   overhead the `fmtm run --metrics-out` / `fmtm top` paths pay.
+//!   overhead the `fmtm run --metrics-out` / `fmtm top` paths pay;
+//! * **const_prune**: a constant-condition-heavy template run from
+//!   its raw compiled form vs. the optimized form the analyzer-driven
+//!   optimizer produces (plans decided, dead branches pruned) — the
+//!   navigator win `wfms_engine::optimize` buys at registration time.
 //!
 //! The host's core count is recorded alongside the numbers: the
 //! scheduler can only show parallel speedup on multi-core hardware
@@ -20,8 +24,9 @@
 //! ```
 
 use bench::nav::{
-    assert_all_finished, compiled_engine, engine_with_instances, observed_engine, pure_saga_world,
-    reference_engine, run_compiled_once, run_reference_once, saga_process,
+    assert_all_finished, compiled_engine, const_heavy_process, engine_with_instances,
+    observed_engine, pure_saga_world, reference_engine, run_compiled_once, run_reference_once,
+    saga_process, unoptimized_engine,
 };
 use bench::{chain_process, plain_world, time_us};
 use std::time::Instant;
@@ -80,6 +85,32 @@ fn main() {
     println!("  metrics off {t_off:>9.1} µs/run");
     println!("  metrics on  {t_on:>9.1} µs/run   ({overhead_pct:+.1}%)");
 
+    // -- const_prune: constant-heavy template, optimizer on vs off --
+    // Same interleaved min-of-means discipline as observe_overhead.
+    let (gates, dead_len) = if quick { (20, 4) } else { (40, 5) };
+    let cdef = const_heavy_process(gates, dead_len);
+    let (_, opt_stats) =
+        wfms_engine::optimize::optimize(&wfms_engine::CompiledProcess::compile(cdef.clone()));
+    let unopt = unoptimized_engine(&w, &cdef);
+    let opt = compiled_engine(&w, &cdef);
+    let (mut t_unopt, mut t_opt) = (f64::MAX, f64::MAX);
+    for _ in 0..rounds {
+        t_unopt = t_unopt.min(time_us(per_round, || {
+            run_compiled_once(&unopt, "const_heavy");
+        }));
+        t_opt = t_opt.min(time_us(per_round, || {
+            run_compiled_once(&opt, "const_heavy");
+        }));
+    }
+    let prune_speedup = t_unopt / t_opt;
+    println!(
+        "const_prune ({gates} gates x {dead_len} dead, {} plans fixed, \
+         {} activities pruned, best of {rounds} rounds):",
+        opt_stats.plans_fixed, opt_stats.dead_acts
+    );
+    println!("  unoptimized {t_unopt:>9.1} µs/run");
+    println!("  optimized   {t_opt:>9.1} µs/run   ({prune_speedup:.2}x)");
+
     // -- parallel_throughput: saga-shaped instances, pure programs --
     let steps = 8;
     let saga = saga_process(steps);
@@ -113,6 +144,7 @@ fn main() {
 
     // The workspace serde_json shim has no `json!` macro; the schema
     // is fixed, so emit it directly.
+    let (plans_fixed, dead_acts) = (opt_stats.plans_fixed, opt_stats.dead_acts);
     let json = format!(
         "{{\n  \"cores\": {cores},\n  \
          \"nav_compiled\": {{\n    \"chain_len\": {chain_len},\n    \
@@ -121,6 +153,10 @@ fn main() {
          \"observe_overhead\": {{\n    \"chain_len\": {chain_len},\n    \
          \"baseline_us\": {t_off:.1},\n    \"observed_us\": {t_on:.1},\n    \
          \"overhead_pct\": {overhead_pct:.1}\n  }},\n  \
+         \"const_prune\": {{\n    \"gates\": {gates},\n    \"dead_len\": {dead_len},\n    \
+         \"plans_fixed\": {plans_fixed},\n    \"dead_acts\": {dead_acts},\n    \
+         \"unoptimized_us\": {t_unopt:.1},\n    \"optimized_us\": {t_opt:.1},\n    \
+         \"speedup\": {prune_speedup:.2}\n  }},\n  \
          \"parallel_throughput\": {{\n    \"instances\": {instances},\n    \
          \"saga_steps\": {steps},\n    \"sequential_per_sec\": {seq:.0},\n    \
          \"workers8_per_sec\": {par8:.0},\n    \"speedup\": {par_speedup:.2}\n  }},\n  \

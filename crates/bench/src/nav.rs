@@ -7,8 +7,8 @@ use crate::World;
 use atm::fixtures;
 use std::sync::Arc;
 use txn_substrate::{MultiDatabase, ProgramOutcome, ProgramRegistry};
-use wfms_engine::{Engine, EngineConfig, InstanceStatus, Observer, RefEngine};
-use wfms_model::{Container, ProcessDefinition};
+use wfms_engine::{CompiledProcess, Engine, EngineConfig, InstanceStatus, Observer, RefEngine};
+use wfms_model::{Container, ProcessBuilder, ProcessDefinition};
 
 /// The saga-translated process used by the scheduler benchmarks:
 /// identical control shape to the real translated saga, but backed by
@@ -84,6 +84,49 @@ pub fn observed_engine(world: &World, def: &ProcessDefinition) -> Engine {
     engine
 }
 
+/// A constant-condition-heavy process for the `const_prune`
+/// benchmark: a live chain of `gates` activities, each with an exit
+/// condition `RC = 1` that pins the return code for everything
+/// downstream. The connector to the next gate tests `RC = 1`
+/// (propagation decides it true) and each gate also guards a
+/// `dead_len` chain of activities behind `RC = 0` (decided false).
+/// Syntactically every condition is environment-dependent — compile
+/// time cannot fold any of them — but the optimizer's
+/// condition-propagation pass decides every plan and prunes every
+/// dead branch, so optimized navigation walks just the live chain
+/// while the unoptimized template evaluates each condition and
+/// dead-path eliminates the false branches instance by instance.
+pub fn const_heavy_process(gates: usize, dead_len: usize) -> ProcessDefinition {
+    use wfms_model::Activity;
+    let mut b = ProcessBuilder::new("const_heavy");
+    for g in 0..gates {
+        b = b.activity(Activity::program(&format!("G{g}"), "ok").with_exit("RC = 1"));
+    }
+    for g in 1..gates {
+        b = b.connect_when(&format!("G{}", g - 1), &format!("G{g}"), "RC = 1");
+    }
+    for g in 0..gates {
+        for d in 0..dead_len {
+            b = b.program(&format!("D{g}_{d}"), "ok");
+        }
+        b = b.connect_when(&format!("G{g}"), &format!("D{g}_0"), "RC = 0");
+        for d in 1..dead_len {
+            b = b.connect(&format!("D{g}_{}", d - 1), &format!("D{g}_{d}"));
+        }
+    }
+    b.build().expect("const_heavy validates")
+}
+
+/// Like [`compiled_engine`], but registers the raw compiled template
+/// *without* running the optimizer — the baseline the `const_prune`
+/// benchmark compares the analysis-driven optimization against.
+pub fn unoptimized_engine(world: &World, def: &ProcessDefinition) -> Engine {
+    let engine = Engine::new(Arc::clone(&world.0), Arc::clone(&world.1));
+    let tpl = CompiledProcess::compile(def.clone());
+    engine.register_compiled(Arc::new(tpl));
+    engine
+}
+
 /// A fresh engine over `world` with `def` registered and `m`
 /// instances started, ready for `run_all` / `run_all_parallel`.
 pub fn engine_with_instances(world: &World, def: &ProcessDefinition, m: usize) -> Engine {
@@ -136,6 +179,27 @@ mod tests {
         );
         let m = engine.metrics();
         assert!(m.activities.values().any(|s| s.count > 0));
+    }
+
+    #[test]
+    fn const_heavy_runs_identically_optimized_or_not() {
+        let def = const_heavy_process(6, 3);
+        let w = crate::plain_world(0);
+        // The optimizer has real work to do on this shape…
+        let (_, stats) = wfms_engine::optimize::optimize(&CompiledProcess::compile(def.clone()));
+        assert!(stats.plans_fixed > 0, "constant plans should be decided");
+        assert_eq!(stats.dead_acts, 6 * 3, "every dead-branch activity pruned");
+        // …and both templates drive an instance to the same end state.
+        let unopt = unoptimized_engine(&w, &def);
+        assert_eq!(
+            run_compiled_once(&unopt, "const_heavy"),
+            InstanceStatus::Finished
+        );
+        let opt = compiled_engine(&w, &def);
+        assert_eq!(
+            run_compiled_once(&opt, "const_heavy"),
+            InstanceStatus::Finished
+        );
     }
 
     #[test]

@@ -5,15 +5,18 @@
 //! fmtm dot <spec-file>                  emit Graphviz DOT of the process
 //! fmtm check <spec-file>                run all pipeline stages, report diagnostics
 //! fmtm lint <file> [options]            static analysis of an FDL or ATM spec file
-//! fmtm run <spec-file> [options]        execute the translated process
-//! fmtm top <spec-file> [options]        run with a live metrics display
+//! fmtm lint --explain CODE              describe one WAxxx analyzer code
+//! fmtm run <file> [options]             execute a spec's translation or an FDL process
+//! fmtm top <file> [options]             run with a live metrics display
 //! fmtm crashtest <spec-file> [options]  crash-point sweep of the translated process
 //! fmtm serve <spec-file>... [options]   long-lived workflow service (HTTP/1.1 JSON)
 //! fmtm load [options]                   load generator / client for fmtm serve
 //!
 //! lint options:
 //!   --format json                       machine-readable output
-//!   --allow CODE                        suppress a WA0xx code (repeatable)
+//!   --allow CODE                        suppress a WAxxx code (repeatable)
+//!   --explain CODE                      print the prose explanation of an
+//!                                       analyzer code and exit (no file)
 //!
 //! run options:
 //!   --fail LABEL=always                 subtransaction LABEL always aborts
@@ -132,6 +135,62 @@ fn load(path: &str) -> Result<String, ExitCode> {
     })
 }
 
+/// What `fmtm run`/`fmtm top` execute: the optimized template plus the
+/// auto-provision step list, obtained from either an ATM spec (the
+/// full pipeline) or a plain FDL process (import, analyze, compile,
+/// optimize — the pipeline's stages 4–7). `spec` is `None` for FDL
+/// sources, which have no saga/flexible commit semantics to report.
+struct Prepared {
+    spec: Option<exotica::ParsedSpec>,
+    name: String,
+    template: Arc<wfms_engine::CompiledProcess>,
+    steps: Vec<(String, String, Option<String>)>,
+}
+
+impl Prepared {
+    fn kind(&self) -> &'static str {
+        match &self.spec {
+            Some(exotica::ParsedSpec::Saga(_)) => "saga",
+            Some(exotica::ParsedSpec::Flexible(_)) => "flexible transaction",
+            None => "process",
+        }
+    }
+}
+
+fn prepare(src: &str) -> Result<Prepared, String> {
+    match exotica::run_pipeline(src) {
+        Ok(out) => Ok(Prepared {
+            name: out.process.name.clone(),
+            steps: steps_of(&out.spec),
+            template: out.template,
+            spec: Some(out.spec),
+        }),
+        // Not a spec: decide by parsing, as `fmtm lint` does. A text
+        // that parses as FDL gets the import gate's own verdict; one
+        // that parses as neither reports both parsers' complaints.
+        Err(exotica::PipelineError::SpecSyntax(spec_err)) => {
+            if let Err(fdl_err) = wfms_fdl::parse_with_provenance(src) {
+                return Err(format!(
+                    "source parses as neither an ATM spec nor FDL\n  as spec: {spec_err}\n  as FDL: {fdl_err}"
+                ));
+            }
+            let (process, _warnings) =
+                exotica::import_and_analyze(src).map_err(|e| e.to_string())?;
+            let steps = exotica::steps_of_process(&process);
+            let name = process.name.clone();
+            let compiled = wfms_engine::CompiledProcess::compile(process);
+            let (compiled, _stats) = wfms_engine::optimize::optimize(&compiled);
+            Ok(Prepared {
+                spec: None,
+                name,
+                template: Arc::new(compiled),
+                steps,
+            })
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
 fn translate(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!("fmtm translate: missing spec file");
@@ -236,11 +295,27 @@ fn lint(args: &[String]) -> ExitCode {
             }
             "--allow" => {
                 let Some(code) = args.get(i + 1) else {
-                    eprintln!("fmtm lint: --allow needs a WA0xx code");
+                    eprintln!("fmtm lint: --allow needs a WAxxx code");
                     return ExitCode::from(2);
                 };
                 allowed.push(code.clone());
                 i += 2;
+            }
+            "--explain" => {
+                let Some(code) = args.get(i + 1) else {
+                    eprintln!("fmtm lint: --explain needs a WAxxx code");
+                    return ExitCode::from(2);
+                };
+                return match wfms_analyzer::explain(code) {
+                    Some(text) => {
+                        println!("{code}: {text}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("fmtm lint: unknown analyzer code {code:?}");
+                        ExitCode::from(2)
+                    }
+                };
             }
             other if other.starts_with('-') => {
                 eprintln!("fmtm lint: unknown option {other:?}");
@@ -386,7 +461,7 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
 
-    let out = match exotica::run_pipeline(&src) {
+    let out = match prepare(&src) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("fmtm: {e}");
@@ -394,9 +469,9 @@ fn run(args: &[String]) -> ExitCode {
         }
     };
 
-    // Auto-provision the multidatabase and programs for the spec.
-    let steps = steps_of(&out.spec);
-    let (fed, registry) = provision(&steps, seed, &plans);
+    // Auto-provision the multidatabase and programs for the source.
+    let steps = &out.steps;
+    let (fed, registry) = provision(steps, seed, &plans);
 
     // The observability layer stays off (a disabled observer, one
     // branch per hook) unless a metrics snapshot was asked for.
@@ -414,7 +489,7 @@ fn run(args: &[String]) -> ExitCode {
     let ids: Vec<_> = (0..instances.max(1))
         .map(|_| {
             engine
-                .start(&out.process.name, Container::empty())
+                .start(&out.name, Container::empty())
                 .expect("registered above")
         })
         .collect();
@@ -454,29 +529,32 @@ fn run(args: &[String]) -> ExitCode {
     }
 
     let id = *ids.first().expect("at least one instance");
-    let committed = ids.iter().all(|&i| {
-        engine
-            .output(i)
-            .expect("instance exists")
-            .get("Committed")
-            .and_then(|v| v.as_int())
-            == Some(1)
-    });
+    // Translated specs publish their outcome in the `Committed`
+    // output member; a plain FDL process has no such protocol — every
+    // instance finishing is its success.
+    let committed = out.spec.is_none()
+        || ids.iter().all(|&i| {
+            engine
+                .output(i)
+                .expect("instance exists")
+                .get("Committed")
+                .and_then(|v| v.as_int())
+                == Some(1)
+        });
     println!(
         "{} {:?}: {}",
-        match &out.spec {
-            exotica::ParsedSpec::Saga(_) => "saga",
-            exotica::ParsedSpec::Flexible(_) => "flexible transaction",
-        },
-        out.spec.name(),
-        if committed {
+        out.kind(),
+        out.name,
+        if out.spec.is_none() {
+            "FINISHED"
+        } else if committed {
             "COMMITTED"
         } else {
             "ABORTED (compensated)"
         }
     );
     print!("markers:");
-    for (step, _, _) in &steps {
+    for (step, _, _) in steps {
         for site in fed.names() {
             if let Some(v) = fed.db(&site).unwrap().peek(step) {
                 print!(" {step}={v}");
@@ -581,15 +659,14 @@ fn top(args: &[String]) -> ExitCode {
         }
     }
 
-    let out = match exotica::run_pipeline(&src) {
+    let out = match prepare(&src) {
         Ok(out) => out,
         Err(e) => {
             eprintln!("fmtm: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let steps = steps_of(&out.spec);
-    let (fed, registry) = provision(&steps, seed, &plans);
+    let (fed, registry) = provision(&out.steps, seed, &plans);
     let engine = Engine::with_config(
         Arc::clone(&fed),
         registry,
@@ -602,7 +679,7 @@ fn top(args: &[String]) -> ExitCode {
     let ids: Vec<_> = (0..instances.max(1))
         .map(|_| {
             engine
-                .start(&out.process.name, Container::empty())
+                .start(&out.name, Container::empty())
                 .expect("registered above")
         })
         .collect();

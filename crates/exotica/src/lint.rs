@@ -3,14 +3,20 @@
 //! Accepts either kind of source text the toolchain works with and
 //! runs the appropriate `wfms-analyzer` battery:
 //!
-//! * **FDL** (first keyword `PROCESS`) — parsed with provenance, so
-//!   every finding carries the line/column of the offending element.
-//! * **ATM specs** (first keyword `SAGA` or `FLEXIBLE`) — the
-//!   ATM-level lints run against the parsed spec with step positions
-//!   from [`SpecSpans`](crate::specfmt::SpecSpans); if those are
-//!   clean, the spec is translated
-//!   and the generated process is analysed too (position-less, since
-//!   the FDL it would point into is machine-generated).
+//! * **ATM specs** (`SAGA`/`FLEXIBLE`) — the ATM-level lints run
+//!   against the parsed spec with step positions from
+//!   [`SpecSpans`](crate::specfmt::SpecSpans); if those are clean,
+//!   the spec is translated and the generated process is analysed too
+//!   (position-less, since the FDL it would point into is
+//!   machine-generated).
+//! * **FDL** (a `PROCESS`) — parsed with provenance, so every finding
+//!   carries the line/column of the offending element.
+//!
+//! The kind is decided by *parsing*, not by keyword sniffing: the
+//! spec grammar is tried first, FDL second, and when neither accepts
+//! the text the error reports both parsers' complaints. (An earlier
+//! version dispatched on the first keyword, which turned every
+//! mis-spelled header into an unhelpful "unrecognised source".)
 
 use crate::flexible::translate_flex;
 use crate::saga::translate_saga;
@@ -29,6 +35,11 @@ pub enum LintTarget {
 
 /// Sniffs the source kind from its first keyword, skipping blank
 /// lines and `--`/`//` comment lines.
+///
+/// This is a display-level *hint* (file listings, error headers) —
+/// [`lint_source`] decides the kind by actually parsing, so a spec
+/// with a mangled header still gets a real parse error instead of
+/// "unrecognised source".
 pub fn sniff(src: &str) -> Option<LintTarget> {
     for line in src.lines() {
         let text = line.trim();
@@ -52,6 +63,11 @@ pub fn sniff(src: &str) -> Option<LintTarget> {
 /// Lints one source text. `allowed` suppresses the given `WA0xx`
 /// codes. Returns `Err` with a message when the text does not parse
 /// at all (lints need a parsed artifact to look at).
+///
+/// The source kind is decided by parsing: the spec grammar first
+/// (specs are the common `fmtm` input), then FDL. When both reject
+/// the text the error carries both complaints, so a near-miss spec
+/// shows its actual spec parse error rather than FDL's.
 pub fn lint_source(src: &str, allowed: &[String]) -> Result<Vec<Diagnostic>, String> {
     let analyzer = || {
         let mut a = Analyzer::new();
@@ -60,13 +76,8 @@ pub fn lint_source(src: &str, allowed: &[String]) -> Result<Vec<Diagnostic>, Str
         }
         a
     };
-    match sniff(src) {
-        Some(LintTarget::Fdl) => {
-            let (def, prov) = wfms_fdl::parse_with_provenance(src).map_err(|e| e.to_string())?;
-            Ok(analyzer().check_process(&def, Some(&prov)))
-        }
-        Some(LintTarget::Spec) => {
-            let (spec, spans) = parse_spec_spanned(src).map_err(|e| e.to_string())?;
+    let spec_err = match parse_spec_spanned(src) {
+        Ok((spec, spans)) => {
             let mut diags = match &spec {
                 ParsedSpec::Saga(s) => analyzer().check_saga(s),
                 ParsedSpec::Flexible(f) => analyzer().check_flex(f),
@@ -95,9 +106,15 @@ pub fn lint_source(src: &str, allowed: &[String]) -> Result<Vec<Diagnostic>, Str
                     diags.extend(analyzer().check_process(&process, None));
                 }
             }
-            Ok(diags)
+            return Ok(diags);
         }
-        None => Err("unrecognised source: expected PROCESS, SAGA or FLEXIBLE".into()),
+        Err(e) => e.to_string(),
+    };
+    match wfms_fdl::parse_with_provenance(src) {
+        Ok((def, prov)) => Ok(analyzer().check_process(&def, Some(&prov))),
+        Err(fdl_err) => Err(format!(
+            "source parses as neither an ATM spec nor FDL\n  as spec: {spec_err}\n  as FDL: {fdl_err}"
+        )),
     }
 }
 
@@ -148,8 +165,22 @@ mod tests {
     }
 
     #[test]
-    fn unparseable_source_is_an_error() {
-        assert!(lint_source("neither fish nor fowl", &[]).is_err());
-        assert!(lint_source("PROCESS p ACTIVITY END", &[]).is_err());
+    fn unparseable_source_reports_both_parsers() {
+        let err = lint_source("neither fish nor fowl", &[]).unwrap_err();
+        assert!(err.contains("as spec:"), "{err}");
+        assert!(err.contains("as FDL:"), "{err}");
+        let err = lint_source("PROCESS p ACTIVITY END", &[]).unwrap_err();
+        assert!(err.contains("as spec:"), "{err}");
+        assert!(err.contains("as FDL:"), "{err}");
+    }
+
+    #[test]
+    fn kind_is_decided_by_parsing_not_keyword() {
+        // An FDL file whose first word the old keyword sniffer did not
+        // know (a leading pragma comment marker it skipped is fine,
+        // but the real test: a spec with a broken header used to be
+        // "unrecognised" — now it gets its actual spec parse error).
+        let err = lint_source("SAGA\n  STEP A PROGRAM \"p\"\nEND", &[]).unwrap_err();
+        assert!(err.contains("as spec:"), "{err}");
     }
 }

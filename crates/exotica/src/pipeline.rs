@@ -97,17 +97,25 @@ pub struct PipelineOutput {
     /// did not block the pipeline. Error-severity findings abort with
     /// [`PipelineError::Analysis`] instead.
     pub diagnostics: Vec<Diagnostic>,
-    /// The compiled executable template (stage 6) — Figure 5's final
-    /// step, "this internal format is translated into an executable
-    /// FlowMark process": interned activity ids, indexed connector
-    /// adjacency, constant-folded condition plans. Hand it to
-    /// [`wfms_engine::Engine::register_compiled`] to run instances
-    /// without recompiling.
+    /// The compiled executable template (stage 6, then optimized) —
+    /// Figure 5's final step, "this internal format is translated
+    /// into an executable FlowMark process": interned activity ids,
+    /// indexed connector adjacency, constant-folded condition plans,
+    /// with statically decided connectors rewritten and statically
+    /// dead activities pruned by [`wfms_engine::optimize`]. Hand it
+    /// to [`wfms_engine::Engine::register_compiled`] to run instances
+    /// without recompiling (and without re-optimizing).
     pub template: Arc<CompiledProcess>,
+    /// What the template optimizer did (stage 7): condition plans
+    /// fixed to constants, activities pruned, data connectors
+    /// dropped. All zeros for templates with nothing to decide.
+    pub opt_stats: wfms_engine::OptStats,
     /// Wall-clock nanoseconds spent in each pipeline stage, in stage
-    /// order: parse, model rules, translate+emit, import+analyze,
-    /// compile. Observability for the pre-processor itself — `fmtm
-    /// check` prints these alongside the stage report.
+    /// order: parse, model rules, translate+emit, import+analyze
+    /// (followed by one `analyze:<pass>` entry per analyzer pass,
+    /// breaking the analysis time down), compile, optimize.
+    /// Observability for the pre-processor itself — `fmtm check`
+    /// prints these alongside the stage report.
     pub stage_nanos: Vec<(&'static str, u128)>,
 }
 
@@ -122,6 +130,18 @@ pub struct PipelineOutput {
 pub fn import_and_analyze(
     fdl: &str,
 ) -> Result<(ProcessDefinition, Vec<Diagnostic>), PipelineError> {
+    import_and_analyze_timed(fdl).map(|(process, diags, _)| (process, diags))
+}
+
+/// Wall-clock nanoseconds spent per analyzer pass, by pass name (see
+/// [`Analyzer::check_process_timed`]).
+pub type PassNanos = Vec<(&'static str, u128)>;
+
+/// [`import_and_analyze`], additionally returning the wall-clock
+/// nanoseconds each analyzer pass spent.
+pub fn import_and_analyze_timed(
+    fdl: &str,
+) -> Result<(ProcessDefinition, Vec<Diagnostic>, PassNanos), PipelineError> {
     let (process, provenance) =
         wfms_fdl::parse_with_provenance(fdl).map_err(|e| PipelineError::FdlImport(vec![e]))?;
     let semantic: Vec<FdlError> = wfms_model::validate(&process)
@@ -133,14 +153,14 @@ pub fn import_and_analyze(
     }
 
     // Stage 5: static analysis over the imported process.
-    let diags = Analyzer::new().check_process(&process, Some(&provenance));
+    let (diags, pass_nanos) = Analyzer::new().check_process_timed(&process, Some(&provenance));
     let (errors, rest): (Vec<Diagnostic>, Vec<Diagnostic>) = diags
         .into_iter()
         .partition(|d| d.severity == Severity::Error);
     if !errors.is_empty() {
         return Err(PipelineError::Analysis(errors));
     }
-    Ok((process, rest))
+    Ok((process, rest, pass_nanos))
 }
 
 /// Runs the full pipeline on a specification text.
@@ -189,15 +209,29 @@ pub fn run_pipeline(spec_text: &str) -> Result<PipelineOutput, PipelineError> {
     // Stages 4–5: import the FDL (syntax + semantic validation) and
     // statically analyse it, yielding the executable template.
     let t0 = std::time::Instant::now();
-    let (process, diagnostics) = import_and_analyze(&fdl)?;
+    let (process, diagnostics, pass_nanos) = import_and_analyze_timed(&fdl)?;
     debug_assert_eq!(process, translated, "FDL round trip must be lossless");
     stage_nanos.push(("import-analyze", t0.elapsed().as_nanos()));
+    for (pass, nanos) in pass_nanos {
+        stage_nanos.push((analyze_stage_label(pass), nanos));
+    }
 
     // Stage 6: lower the validated process into the engine's compiled
     // executable template.
     let t0 = std::time::Instant::now();
-    let template = Arc::new(CompiledProcess::compile(process.clone()));
+    let template = CompiledProcess::compile(process.clone());
     stage_nanos.push(("compile", t0.elapsed().as_nanos()));
+
+    // Stage 7: analysis-driven template optimization — decided
+    // condition plans become constants, statically dead activities
+    // and their data connectors are pruned. The same rewrite
+    // `Engine::register` applies; running it here means
+    // `register_compiled` callers (fmtm run/top/serve) get the
+    // optimized template too.
+    let t0 = std::time::Instant::now();
+    let (template, opt_stats) = wfms_engine::optimize::optimize(&template);
+    let template = Arc::new(template);
+    stage_nanos.push(("optimize", t0.elapsed().as_nanos()));
 
     Ok(PipelineOutput {
         spec,
@@ -205,8 +239,25 @@ pub fn run_pipeline(spec_text: &str) -> Result<PipelineOutput, PipelineError> {
         process,
         diagnostics,
         template,
+        opt_stats,
         stage_nanos,
     })
+}
+
+/// The `stage_nanos` label for one analyzer pass. The names are the
+/// analyzer battery's [`Lint::name`](wfms_analyzer::Lint::name)s,
+/// prefixed so the per-pass breakdown sorts with its parent stage.
+fn analyze_stage_label(pass: &'static str) -> &'static str {
+    match pass {
+        "model" => "analyze:model",
+        "graph" => "analyze:graph",
+        "conditions" => "analyze:conditions",
+        "dataflow" => "analyze:dataflow",
+        "liveness" => "analyze:liveness",
+        "constprop" => "analyze:constprop",
+        "deadline" => "analyze:deadline",
+        other => other,
+    }
 }
 
 #[cfg(test)]
@@ -258,9 +309,47 @@ mod tests {
                 "model-rules",
                 "translate",
                 "import-analyze",
-                "compile"
+                "analyze:model",
+                "analyze:graph",
+                "analyze:conditions",
+                "analyze:dataflow",
+                "analyze:liveness",
+                "analyze:constprop",
+                "analyze:deadline",
+                "compile",
+                "optimize",
             ]
         );
+        // The per-pass breakdown is bounded by its parent stage.
+        let import = out
+            .stage_nanos
+            .iter()
+            .find(|(s, _)| *s == "import-analyze")
+            .unwrap()
+            .1;
+        let passes: u128 = out
+            .stage_nanos
+            .iter()
+            .filter(|(s, _)| s.starts_with("analyze:"))
+            .map(|(_, n)| n)
+            .sum();
+        assert!(passes <= import, "passes {passes} > stage {import}");
+    }
+
+    #[test]
+    fn pipeline_template_is_optimized() {
+        // Analyzer-clean translations leave the optimizer nothing to
+        // do: no WA103/WA104/WA105 findings means no decidable plans
+        // and no dead activities. The two share one analysis
+        // (`wfms_engine::optimize::analyze_scope`), so this is a
+        // consistency check, not a coincidence.
+        let out = run_pipeline(SAGA_SRC).unwrap();
+        assert!(out.diagnostics.is_empty());
+        assert!(out.opt_stats.is_noop(), "{:?}", out.opt_stats);
+        // And the shipped template is a fixpoint either way:
+        // re-optimizing finds nothing.
+        let (_, again) = wfms_engine::optimize::optimize(&out.template);
+        assert!(again.is_noop(), "second pass found work: {again:?}");
     }
 
     #[test]

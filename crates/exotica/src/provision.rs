@@ -29,6 +29,38 @@ pub fn steps_of(spec: &ParsedSpec) -> Vec<(String, String, Option<String>)> {
     }
 }
 
+/// `(activity, program, no compensation)` for every program activity
+/// of an imported FDL process, blocks included, first occurrence of
+/// each program name winning. This is how `fmtm run` auto-provisions
+/// a plain FDL file the same way it provisions a translated spec: the
+/// marker key is the activity name, the registered program its
+/// declared program name.
+pub fn steps_of_process(
+    def: &wfms_model::ProcessDefinition,
+) -> Vec<(String, String, Option<String>)> {
+    fn walk(
+        def: &wfms_model::ProcessDefinition,
+        seen: &mut std::collections::HashSet<String>,
+        out: &mut Vec<(String, String, Option<String>)>,
+    ) {
+        for a in &def.activities {
+            match &a.kind {
+                wfms_model::ActivityKind::Program { program } => {
+                    if seen.insert(program.clone()) {
+                        out.push((a.name.clone(), program.clone(), None));
+                    }
+                }
+                wfms_model::ActivityKind::Block { process } => walk(process, seen, out),
+                wfms_model::ActivityKind::NoOp => {}
+            }
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    walk(def, &mut seen, &mut out);
+    out
+}
+
 /// [`steps_of`] over several specs, first occurrence of each step
 /// name winning — what a multi-template server provisions once.
 pub fn steps_of_all(specs: &[ParsedSpec]) -> Vec<(String, String, Option<String>)> {

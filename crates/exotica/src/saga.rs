@@ -21,9 +21,9 @@
 //!   the condition "`Si` committed and `S(i+1)` did not" — i.e. `Si`
 //!   is the *last* committed subtransaction, where compensation must
 //!   start. From there the reversed chain `Comp_Si → Comp_S(i-1)`
-//!   (condition `RC = 1`) walks the committed prefix backwards;
-//!   compensating activities carry the exit condition `RC = 1`, making
-//!   them retriable exactly as the appendix prescribes
+//!   walks the committed prefix backwards. The chain connectors are
+//!   unconditional: compensating activities carry the exit condition
+//!   `RC = 1`, making them retriable exactly as the appendix prescribes
 //!   ("compensation activities will not finish until the return code
 //!   from the transaction indicates that it has committed").
 //!
@@ -165,13 +165,11 @@ pub fn translate_saga(spec: &SagaSpec) -> Result<ProcessDefinition, TranslateErr
         };
         comp = comp.connect_when(NOP_ACTIVITY, &comp_activity(&step.name), &cond);
     }
-    // Reversed chain C_{i+1} -> C_i.
+    // Reversed chain C_{i+1} -> C_i, unconditional: the retriable
+    // exit already guarantees RC = 1 on completion, so a guard would
+    // be dead weight (the analyzer's WA104 would flag it).
     for w in names.windows(2) {
-        comp = comp.connect_when(
-            &comp_activity(w[1]),
-            &comp_activity(w[0]),
-            &format!("{RC_MEMBER} = 1"),
-        );
+        comp = comp.connect(&comp_activity(w[1]), &comp_activity(w[0]));
     }
     let comp = comp.build_unchecked();
 
@@ -279,12 +277,9 @@ pub fn translate_saga_flat(spec: &SagaSpec) -> Result<ProcessDefinition, Transla
         };
         b = b.connect_when(NOP_ACTIVITY, &comp_activity(&step.name), &cond);
     }
+    // Unconditional reversed chain, as in the block variant.
     for w in names.windows(2) {
-        b = b.connect_when(
-            &comp_activity(w[1]),
-            &comp_activity(w[0]),
-            &format!("{RC_MEMBER} = 1"),
-        );
+        b = b.connect(&comp_activity(w[1]), &comp_activity(w[0]));
     }
 
     let last = *names.last().expect("non-empty saga");

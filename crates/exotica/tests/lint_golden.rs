@@ -67,10 +67,55 @@ fn fixture_codes_cover_every_lint_family() {
         .collect();
     codes.sort();
     codes.dedup();
-    for family in ["WA00", "WA01", "WA02", "WA03", "WA04", "WA05"] {
+    for family in ["WA00", "WA01", "WA02", "WA03", "WA04", "WA05", "WA10"] {
         assert!(
             codes.iter().any(|c| c.starts_with(family)),
             "no fixture for family {family}*: {codes:?}"
+        );
+    }
+    // Every dataflow pass has its positive fixture.
+    for code in [
+        "WA101", "WA102", "WA103", "WA104", "WA105", "WA106", "WA107", "WA108",
+    ] {
+        assert!(codes.iter().any(|c| c == code), "no fixture for {code}");
+    }
+}
+
+#[test]
+fn clean_fixtures_stay_clean() {
+    // One negative fixture per dataflow pass: a near-miss the pass
+    // must NOT flag (tests/fixtures/analyzer_clean/). Guards against
+    // the passes growing false positives.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/analyzer_clean");
+    let mut seen = 0usize;
+    for entry in fs::read_dir(dir).expect("clean fixtures dir exists") {
+        let path = entry.unwrap().path();
+        let src = fs::read_to_string(&path).unwrap();
+        let diags = exotica::lint_source(&src, &[]).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        assert!(diags.is_empty(), "{path:?} should lint clean: {diags:?}");
+        seen += 1;
+    }
+    assert!(
+        seen >= 4,
+        "one clean fixture per dataflow pass, found {seen}"
+    );
+}
+
+#[test]
+fn every_fixture_code_has_an_explanation() {
+    for entry in fs::read_dir(fixtures_dir()).unwrap() {
+        let name = entry
+            .unwrap()
+            .path()
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .to_owned();
+        let code = expected_code(&name);
+        assert!(
+            wfms_analyzer::explain(&code).is_some(),
+            "no --explain text for {code}"
         );
     }
 }

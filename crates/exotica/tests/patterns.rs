@@ -1,0 +1,100 @@
+//! The control-flow workflow-pattern gallery (`examples/patterns/`):
+//! every pattern file must lint clean and execute to completion via
+//! the same import → analyze → compile → optimize → run route
+//! `fmtm run` takes for FDL sources.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use wfms_engine::{Engine, InstanceStatus};
+use wfms_model::Container;
+
+fn patterns_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/patterns")
+}
+
+fn pattern_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = fs::read_dir(patterns_dir())
+        .expect("examples/patterns exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn gallery_is_complete() {
+    let names: Vec<String> = pattern_files()
+        .iter()
+        .map(|p| p.file_name().unwrap().to_str().unwrap().to_owned())
+        .collect();
+    for expected in [
+        "sequence.fdl",
+        "parallel_split_sync.fdl",
+        "exclusive_choice.fdl",
+        "multi_choice.fdl",
+        "simple_merge.fdl",
+        "discriminator.fdl",
+        "n_of_m.fdl",
+        "cancel_activity.fdl",
+    ] {
+        assert!(names.iter().any(|n| n == expected), "missing {expected}");
+    }
+}
+
+#[test]
+fn every_pattern_lints_clean() {
+    for path in pattern_files() {
+        let src = fs::read_to_string(&path).unwrap();
+        let diags = exotica::lint_source(&src, &[]).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        assert!(diags.is_empty(), "{path:?} should lint clean: {diags:?}");
+    }
+}
+
+#[test]
+fn every_pattern_runs_to_completion() {
+    for path in pattern_files() {
+        let src = fs::read_to_string(&path).unwrap();
+        let (process, diags) =
+            exotica::import_and_analyze(&src).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        assert!(diags.is_empty(), "{path:?}: {diags:?}");
+        let steps = exotica::steps_of_process(&process);
+        assert!(
+            !steps.is_empty(),
+            "{path:?} provisions at least one program"
+        );
+        let name = process.name.clone();
+        let template = wfms_engine::CompiledProcess::compile(process);
+        let (template, _) = wfms_engine::optimize::optimize(&template);
+        let (fed, registry) = exotica::provision(&steps, 0, &[]);
+        let engine = Engine::new(fed, registry);
+        engine.register_compiled(Arc::new(template));
+        let id = engine.start(&name, Container::empty()).unwrap();
+        engine.run_all().unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        assert_eq!(
+            engine.status(id).unwrap(),
+            InstanceStatus::Finished,
+            "{path:?} must run to completion"
+        );
+    }
+}
+
+#[test]
+fn discriminator_fires_its_join_once() {
+    // The OR-join races two branches; the journal must show exactly
+    // one execution of Proceed.
+    let src = fs::read_to_string(patterns_dir().join("discriminator.fdl")).unwrap();
+    let (process, _) = exotica::import_and_analyze(&src).unwrap();
+    let steps = exotica::steps_of_process(&process);
+    let template = wfms_engine::CompiledProcess::compile(process);
+    let (fed, registry) = exotica::provision(&steps, 0, &[]);
+    let engine = Engine::new(fed, registry);
+    engine.register_compiled(Arc::new(template));
+    let id = engine.start("discriminator", Container::empty()).unwrap();
+    engine.run_all().unwrap();
+    let starts = wfms_engine::audit::trace(&engine.journal_events(), id)
+        .into_iter()
+        .filter(|t| t.starts_with("start:Proceed"))
+        .count();
+    assert_eq!(starts, 1, "OR-join must start exactly once");
+}

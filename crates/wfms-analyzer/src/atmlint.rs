@@ -87,13 +87,19 @@ pub fn check_saga_spec(spec: &SagaSpec) -> Vec<Diagnostic> {
             ));
         }
     }
+    // WA106: per-failure-point compensation soundness with a concrete
+    // witness path (WA057 above flags the *placement*; WA106 names
+    // each failure the backward recovery cannot absorb).
+    out.extend(crate::dataflow::compensation::saga_findings(spec));
     out
 }
 
 /// All ATM-level findings for a flexible transaction: F1–F5
-/// (`WA051`, `WA053`–`WA056`).
+/// (`WA051`, `WA053`–`WA056`) plus compensation soundness (`WA106`).
 pub fn check_flex_spec(spec: &FlexSpec) -> Vec<Diagnostic> {
-    lift(&spec.name, check_flex(spec))
+    let mut out = lift(&spec.name, check_flex(spec));
+    out.extend(crate::dataflow::compensation::flex_findings(spec));
+    out
 }
 
 #[cfg(test)]

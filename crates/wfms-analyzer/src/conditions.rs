@@ -241,10 +241,13 @@ mod tests {
 
     #[test]
     fn data_dependent_conditions_untouched() {
+        // "RC > 0" admits several return codes, so the exit pins no
+        // completion fact and neither the syntactic lints nor the
+        // propagation pass (WA103–WA105) can decide the transition.
         let diags = lint(
             r#"
             PROCESS p
-              ACTIVITY A PROGRAM "a" EXIT WHEN "RC = 1" END
+              ACTIVITY A PROGRAM "a" EXIT WHEN "RC > 0" END
               ACTIVITY B PROGRAM "b" END
               CONTROL FROM A TO B WHEN "RC = 0"
             END

@@ -1,0 +1,293 @@
+//! A generic monotone fixpoint framework over compiled scopes.
+//!
+//! Every semantic pass in this crate is an instance of the same
+//! scheme: attach a *fact* from a lattice to each activity of a
+//! [`CompiledScope`], propagate facts along the control edges already
+//! flattened into the scope's CSR adjacency (`incoming`/`outgoing`
+//! per activity), and iterate to a fixpoint.
+//!
+//! # Transfer-function contract
+//!
+//! An [`Analysis`] supplies five pieces (see `docs/analyzer.md` for
+//! the worked contract):
+//!
+//! * [`Analysis::top`] — the optimistic initial assumption for every
+//!   activity. Iteration only ever moves facts *down* from here, so
+//!   `top` must be the lattice's greatest element for the analysis to
+//!   converge on cyclic graphs.
+//! * [`Analysis::boundary`] — the fact entering an activity with no
+//!   relevant edges (no incoming edges for a forward analysis, no
+//!   outgoing for a backward one).
+//! * [`Analysis::edge_fact`] — one edge's contribution, given the
+//!   current fact at its far side (`from`'s output when forward,
+//!   `to`'s output when backward). Returning `None` removes the edge
+//!   from the merge — how passes ignore statically dead edges.
+//! * [`Analysis::merge`] — combines edge contributions at a join. The
+//!   activity id is provided so the merge can honour its
+//!   [`StartCondition`](wfms_model::StartCondition) (AND joins
+//!   typically union/maximise, OR joins intersect/minimise). The
+//!   contribution list may be empty when every edge returned `None`.
+//! * [`Analysis::transfer`] — the monotone transfer function mapping
+//!   an activity's input fact to its output fact.
+//!
+//! The solver does plain round-robin iteration: correct for any
+//! monotone analysis regardless of declaration order, and O(n·d)
+//! rounds in the worst case (d the graph diameter). Process scopes
+//! are small — tens of activities — so no worklist or priority order
+//! is warranted. Iteration is bounded; [`Solution::converged`] is
+//! `false` if the bound was hit (only possible on cyclic graphs,
+//! which `WA022` reports independently), and passes are expected to
+//! stay silent rather than report from a half-converged solution.
+
+use wfms_engine::compiled::{ActId, CompiledScope, EdgeId};
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from start activities toward terminals, merged over
+    /// incoming edges.
+    Forward,
+    /// Facts flow from terminals toward start activities, merged over
+    /// outgoing edges.
+    Backward,
+}
+
+/// One dataflow analysis: a lattice of facts plus the functions of the
+/// monotone framework.
+pub trait Analysis {
+    /// The lattice element attached to each activity.
+    type Fact: Clone + PartialEq;
+
+    /// Which way facts flow.
+    fn direction(&self) -> Direction;
+
+    /// The optimistic initial fact assumed for every activity before
+    /// the first round.
+    fn top(&self, scope: &CompiledScope) -> Self::Fact;
+
+    /// The fact entering an activity with no relevant edges.
+    fn boundary(&self, scope: &CompiledScope, act: ActId) -> Self::Fact;
+
+    /// One edge's contribution given the current output fact at its
+    /// far side; `None` drops the edge from the merge.
+    fn edge_fact(
+        &self,
+        scope: &CompiledScope,
+        edge: EdgeId,
+        upstream: &Self::Fact,
+    ) -> Option<Self::Fact>;
+
+    /// Combines edge contributions at a join (possibly empty).
+    fn merge(
+        &self,
+        scope: &CompiledScope,
+        act: ActId,
+        contributions: Vec<Self::Fact>,
+    ) -> Self::Fact;
+
+    /// The transfer function through one activity.
+    fn transfer(&self, scope: &CompiledScope, act: ActId, input: &Self::Fact) -> Self::Fact;
+}
+
+/// The fixpoint: per-activity input and output facts.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// Fact at each activity's entry (indexed by [`ActId`]).
+    pub input: Vec<F>,
+    /// Fact at each activity's exit, i.e. `transfer(input)`.
+    pub output: Vec<F>,
+    /// Rounds iterated until the fixpoint (or the bound).
+    pub rounds: usize,
+    /// False when the iteration bound was hit before stabilising —
+    /// only possible on cyclic graphs.
+    pub converged: bool,
+}
+
+/// Runs `analysis` to a fixpoint over one scope.
+pub fn solve<A: Analysis>(analysis: &A, scope: &CompiledScope) -> Solution<A::Fact> {
+    let n = scope.acts.len();
+    let mut input: Vec<A::Fact> = (0..n).map(|_| analysis.top(scope)).collect();
+    let mut output: Vec<A::Fact> = input.clone();
+
+    // Round-robin over arbitrary declaration order needs at most one
+    // round per graph level plus one to detect stability; 2n + 2
+    // covers any acyclic scope with slack for the final check.
+    let bound = 2 * n + 2;
+    let mut rounds = 0;
+    let mut converged = false;
+    while rounds < bound {
+        rounds += 1;
+        let mut changed = false;
+        for i in 0..n {
+            let act = &scope.acts[i];
+            let edges = match analysis.direction() {
+                Direction::Forward => &act.incoming,
+                Direction::Backward => &act.outgoing,
+            };
+            let new_in = if edges.is_empty() {
+                analysis.boundary(scope, i as ActId)
+            } else {
+                let mut contributions = Vec::with_capacity(edges.len());
+                for &e in edges {
+                    let far = match analysis.direction() {
+                        Direction::Forward => scope.edges[e as usize].from,
+                        Direction::Backward => scope.edges[e as usize].to,
+                    };
+                    if let Some(f) = analysis.edge_fact(scope, e, &output[far as usize]) {
+                        contributions.push(f);
+                    }
+                }
+                analysis.merge(scope, i as ActId, contributions)
+            };
+            let new_out = analysis.transfer(scope, i as ActId, &new_in);
+            if new_in != input[i] || new_out != output[i] {
+                input[i] = new_in;
+                output[i] = new_out;
+                changed = true;
+            }
+        }
+        if !changed {
+            converged = true;
+            break;
+        }
+    }
+    Solution {
+        input,
+        output,
+        rounds,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfms_engine::CompiledProcess;
+    use wfms_model::{Activity, ProcessBuilder, StartCondition};
+
+    /// Forward reachability: fact = "reachable from a start", merge =
+    /// any-edge-or, transfer = identity.
+    struct Reach;
+    impl Analysis for Reach {
+        type Fact = bool;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn top(&self, _: &CompiledScope) -> bool {
+            false
+        }
+        fn boundary(&self, _: &CompiledScope, _: ActId) -> bool {
+            true
+        }
+        fn edge_fact(&self, _: &CompiledScope, _: EdgeId, upstream: &bool) -> Option<bool> {
+            Some(*upstream)
+        }
+        fn merge(&self, _: &CompiledScope, _: ActId, c: Vec<bool>) -> bool {
+            c.into_iter().any(|b| b)
+        }
+        fn transfer(&self, _: &CompiledScope, _: ActId, input: &bool) -> bool {
+            *input
+        }
+    }
+
+    /// Backward hop count to a terminal: longest path in edges.
+    struct Depth;
+    impl Analysis for Depth {
+        type Fact = usize;
+        fn direction(&self) -> Direction {
+            Direction::Backward
+        }
+        fn top(&self, _: &CompiledScope) -> usize {
+            0
+        }
+        fn boundary(&self, _: &CompiledScope, _: ActId) -> usize {
+            0
+        }
+        fn edge_fact(&self, _: &CompiledScope, _: EdgeId, upstream: &usize) -> Option<usize> {
+            Some(upstream + 1)
+        }
+        fn merge(&self, _: &CompiledScope, _: ActId, c: Vec<usize>) -> usize {
+            c.into_iter().max().unwrap_or(0)
+        }
+        fn transfer(&self, _: &CompiledScope, _: ActId, input: &usize) -> usize {
+            *input
+        }
+    }
+
+    fn diamond() -> CompiledProcess {
+        let mut join = Activity::program("D", "pd");
+        join.start = StartCondition::And;
+        CompiledProcess::compile(
+            ProcessBuilder::new("p")
+                .program("A", "pa")
+                .program("B", "pb")
+                .program("C", "pc")
+                .activity(join)
+                .connect("A", "B")
+                .connect("A", "C")
+                .connect("B", "D")
+                .connect("C", "D")
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn forward_reachability_converges() {
+        let tpl = diamond();
+        let sol = solve(&Reach, &tpl.root);
+        assert!(sol.converged);
+        assert_eq!(sol.output, vec![true; 4]);
+    }
+
+    #[test]
+    fn backward_depth_takes_longest_path() {
+        let tpl = diamond();
+        let sol = solve(&Depth, &tpl.root);
+        assert!(sol.converged);
+        let id = |n: &str| tpl.root.id(n).unwrap() as usize;
+        assert_eq!(sol.output[id("D")], 0);
+        assert_eq!(sol.output[id("B")], 1);
+        assert_eq!(sol.output[id("A")], 2);
+    }
+
+    #[test]
+    fn cycle_hits_bound_without_converging() {
+        // A graph with a cycle is a WA022 error, but the solver must
+        // still terminate and report non-convergence for analyses
+        // whose facts keep climbing.
+        struct Count;
+        impl Analysis for Count {
+            type Fact = usize;
+            fn direction(&self) -> Direction {
+                Direction::Forward
+            }
+            fn top(&self, _: &CompiledScope) -> usize {
+                0
+            }
+            fn boundary(&self, _: &CompiledScope, _: ActId) -> usize {
+                0
+            }
+            fn edge_fact(&self, _: &CompiledScope, _: EdgeId, u: &usize) -> Option<usize> {
+                Some(u + 1)
+            }
+            fn merge(&self, _: &CompiledScope, _: ActId, c: Vec<usize>) -> usize {
+                c.into_iter().max().unwrap_or(0)
+            }
+            fn transfer(&self, _: &CompiledScope, _: ActId, i: &usize) -> usize {
+                *i
+            }
+        }
+        let def = ProcessBuilder::new("p")
+            .program("S", "ps")
+            .program("A", "pa")
+            .program("B", "pb")
+            .connect("S", "A")
+            .connect("A", "B")
+            .connect("B", "A")
+            .build_unchecked();
+        let tpl = CompiledProcess::compile(def);
+        let sol = solve(&Count, &tpl.root);
+        assert!(!sol.converged);
+    }
+}

@@ -1,7 +1,24 @@
-//! `WA041`–`WA043`: def-use analysis over containers.
+//! Dataflow analyses: the schema-level def-use lints (`WA041`–`WA043`)
+//! and the fixpoint-based semantic passes (`WA101`–`WA108`).
 //!
-//! Data flows between containers only along data connectors, so
-//! def-use is fully static:
+//! The submodules form the analysis engine:
+//!
+//! * [`framework`] — a generic monotone fixpoint solver
+//!   (forward/backward) over the CSR adjacency of a compiled scope;
+//! * [`liveness`] — container def-use over *feasible paths*
+//!   (`WA101`/`WA102`), a forward must-completed analysis;
+//! * [`constprop`] — graph-wide condition-value propagation
+//!   (`WA103`–`WA105`), reusing the engine's own
+//!   [`wfms_engine::optimize::analyze_scope`] so the lint reports
+//!   exactly what the template optimizer acts on;
+//! * [`compensation`] — compensation-soundness over saga/flexible
+//!   specifications (`WA106`) with concrete witness paths;
+//! * [`deadline`] — deadline feasibility and per-scope critical-path
+//!   bounds (`WA107`/`WA108`), a backward interval analysis.
+//!
+//! This module itself keeps the original schema-level lints. Data
+//! flows between containers only along data connectors, so def-use is
+//! fully static:
 //!
 //! * `WA041` — *read before write*: an activity input member that no
 //!   data connector writes and that has no `DEFAULT`. The activity
@@ -16,6 +33,16 @@
 //!   (other than the implicit `RC`) that nothing reads: no data
 //!   connector maps from it and no outgoing control connector or exit
 //!   condition references it (warning).
+
+pub mod compensation;
+pub mod constprop;
+pub mod deadline;
+pub mod framework;
+pub mod liveness;
+
+pub use constprop::ConstPropLint;
+pub use deadline::DeadlineLint;
+pub use liveness::LivenessLint;
 
 use crate::{Diagnostic, Lint, ProcessCtx, Severity};
 use std::collections::{BTreeMap, BTreeSet};

@@ -50,6 +50,14 @@ fn adjacency(def: &ProcessDefinition, live_only: bool) -> BTreeMap<&str, Vec<&st
     adj
 }
 
+/// Activities reachable from the start set across syntactically live
+/// connectors — everything `WA021`/`WA035` leave unflagged. The
+/// constant-propagation pass reports only activities that die *beyond*
+/// this set, so one root cause never yields two codes.
+pub(crate) fn syntactically_live(def: &ProcessDefinition) -> BTreeSet<&str> {
+    reachable(&starts(def), &adjacency(def, true))
+}
+
 /// Start activities: no incoming connectors (from known activities).
 fn starts(def: &ProcessDefinition) -> BTreeSet<&str> {
     let names: BTreeSet<&str> = def.activities.iter().map(|a| a.name.as_str()).collect();

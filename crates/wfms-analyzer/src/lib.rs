@@ -26,6 +26,14 @@
 //!   read-before-write, overwritten writes, dead writes.
 //! * `WA051`–`WA057` — ATM-level rules: the S/F well-formedness
 //!   conditions of [`atm::wellformed`] plus saga pivot placement.
+//! * `WA101`–`WA108` — semantic passes on the [`dataflow::framework`]
+//!   fixpoint engine: feasible-path def-use, graph-wide constant
+//!   propagation (shared with the engine's template optimizer),
+//!   compensation soundness with witness paths, and deadline
+//!   feasibility with critical-path bounds.
+//!
+//! Every code has a prose explanation via [`explain`], surfaced by
+//! `fmtm lint --explain CODE`.
 //!
 //! ```
 //! let src = r#"
@@ -264,6 +272,9 @@ impl Analyzer {
                 Box::new(graph::GraphLint),
                 Box::new(conditions::ConditionLint),
                 Box::new(dataflow::DataFlowLint),
+                Box::new(dataflow::LivenessLint),
+                Box::new(dataflow::ConstPropLint),
+                Box::new(dataflow::DeadlineLint),
             ],
             allowed: BTreeSet::new(),
         }
@@ -297,9 +308,30 @@ impl Analyzer {
         def: &ProcessDefinition,
         provenance: Option<&Provenance>,
     ) -> Vec<Diagnostic> {
+        self.check_process_timed(def, provenance).0
+    }
+
+    /// Like [`Analyzer::check_process`], additionally returning the
+    /// wall-clock nanoseconds each lint pass spent, summed over all
+    /// nested scopes, in battery order. The Exotica pipeline surfaces
+    /// these as `analyze:<pass>` entries in its per-stage timings.
+    pub fn check_process_timed(
+        &self,
+        def: &ProcessDefinition,
+        provenance: Option<&Provenance>,
+    ) -> (Vec<Diagnostic>, Vec<(&'static str, u128)>) {
         let mut out = Vec::new();
-        self.walk(def, def.name.clone(), provenance, true, &mut out);
-        self.finish(out)
+        let mut nanos: Vec<(&'static str, u128)> =
+            self.lints.iter().map(|l| (l.name(), 0)).collect();
+        self.walk(
+            def,
+            def.name.clone(),
+            provenance,
+            true,
+            &mut out,
+            &mut nanos,
+        );
+        (self.finish(out), nanos)
     }
 
     fn walk(
@@ -309,17 +341,20 @@ impl Analyzer {
         provenance: Option<&Provenance>,
         is_root: bool,
         out: &mut Vec<Diagnostic>,
+        nanos: &mut [(&'static str, u128)],
     ) {
         let ctx = ProcessCtx {
             process: def,
             path: path.clone(),
             provenance,
         };
-        for lint in &self.lints {
+        for (lint, pass_nanos) in self.lints.iter().zip(nanos.iter_mut()) {
             if lint.root_only() && !is_root {
                 continue;
             }
+            let started = std::time::Instant::now();
             lint.check(&ctx, out);
+            pass_nanos.1 += started.elapsed().as_nanos();
         }
         for act in &def.activities {
             if let ActivityKind::Block { process } = &act.kind {
@@ -329,6 +364,7 @@ impl Analyzer {
                     provenance,
                     false,
                     out,
+                    nanos,
                 );
             }
         }
@@ -369,6 +405,239 @@ impl Analyzer {
 /// Whether any finding is [`Severity::Error`].
 pub fn has_errors(diags: &[Diagnostic]) -> bool {
     diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// A prose explanation of a diagnostic code — what the finding means,
+/// why it matters, and the usual fix. Backs `fmtm lint --explain`.
+/// Returns `None` for unknown codes.
+pub fn explain(code: &str) -> Option<&'static str> {
+    Some(match code {
+        "WA001" => {
+            "The process declares no activities. An empty process can never \
+             produce work items; the navigator would finish it immediately. \
+             Add at least one activity."
+        }
+        "WA002" => {
+            "Two activities in the same scope share a name. Control and data \
+             connectors address activities by name, so the reference is \
+             ambiguous. Rename one of them."
+        }
+        "WA003" => {
+            "A data container declares the same member twice. Later \
+             declarations would silently shadow earlier ones. Remove or \
+             rename the duplicate."
+        }
+        "WA004" => {
+            "A program activity has an empty program name, so the resource \
+             broker has nothing to invoke. Name the registered program the \
+             activity should run."
+        }
+        "WA005" => {
+            "A control connector names an activity that does not exist in \
+             this scope. Fix the typo or add the missing activity."
+        }
+        "WA006" => {
+            "A control connector loops an activity back to itself. The \
+             navigator model is acyclic (loops are expressed by blocks with \
+             exit conditions); a self-loop can never be scheduled."
+        }
+        "WA007" => {
+            "Two control connectors join the same ordered pair of \
+             activities. The second is either redundant or a contradiction; \
+             merge the conditions into one connector."
+        }
+        "WA008" => {
+            "A data connector flows in an impossible direction, e.g. from an \
+             activity's input or into an activity's output. Data flows from \
+             outputs (or the process input) to inputs (or the process \
+             output)."
+        }
+        "WA009" => {
+            "A data connector names an activity that does not exist in this \
+             scope. Fix the typo or add the missing activity."
+        }
+        "WA010" => {
+            "A data mapping names a container member that the endpoint's \
+             schema does not declare. Check the member lists of the source \
+             and target containers."
+        }
+        "WA011" => {
+            "A data mapping connects members of different declared types. \
+             The materializer would fail at run time; align the types or map \
+             a different member."
+        }
+        "WA012" => {
+            "A data connector runs against control flow: the reader is not \
+             a control-flow descendant of the writer, so the value may not \
+             exist when the reader starts. Add a control connector or \
+             reverse the mapping."
+        }
+        "WA013" => {
+            "A condition references a variable that is neither a member of \
+             the source activity's output container nor the reserved RC. \
+             At run time the lookup errors and the condition evaluates \
+             false. Declare the member or fix the name."
+        }
+        "WA014" => {
+            "The reserved member RC is declared with a non-integer type. \
+             The engine writes the program's integer return code there; a \
+             different type can never be satisfied."
+        }
+        "WA015" => {
+            "A block activity's containers do not match the sub-process \
+             they wrap: members missing or typed differently. The navigator \
+             copies containers across the boundary member-by-member, so the \
+             schemas must agree."
+        }
+        "WA020" => {
+            "An activity has no control connectors at all. It becomes a \
+             start activity and runs detached from the rest of the process \
+             — usually a forgotten connector rather than an intended \
+             parallel branch."
+        }
+        "WA021" => {
+            "An activity is unreachable from every start activity: no chain \
+             of control connectors leads to it, so it can never start. \
+             Connect it or delete it."
+        }
+        "WA022" => {
+            "Control connectors form a cycle. Navigation would deadlock: \
+             each activity in the cycle waits for a predecessor inside the \
+             same cycle. The paper's model is a DAG; iteration belongs in a \
+             block with an exit condition."
+        }
+        "WA031" => {
+            "A transition condition is constant false on its own (no \
+             run-time data needed). The connector can never fire; its \
+             target may be dead code. Delete the connector or fix the \
+             condition."
+        }
+        "WA032" => {
+            "A condition is constant true, so the test is redundant: the \
+             connector is effectively unconditional (or the exit condition \
+             always satisfied). Drop the WHEN clause to state the intent."
+        }
+        "WA033" => {
+            "An exit condition can never evaluate true — it is constant \
+             false or always errors. The navigator would reschedule the \
+             activity forever; the process cannot terminate."
+        }
+        "WA034" => {
+            "A condition always fails to evaluate (type error, division by \
+             zero, unset variable) regardless of data. The engine treats \
+             evaluation errors as false, so the connector silently never \
+             fires."
+        }
+        "WA035" => {
+            "An activity is reachable in the raw graph, but every control \
+             path to it crosses a connector whose condition is constant \
+             false. It is statically dead without any propagation needed."
+        }
+        "WA041" => {
+            "An activity reads an input member that no data connector \
+             writes and that has no DEFAULT. The member would be unset at \
+             run time and any condition or program reading it errors."
+        }
+        "WA042" => {
+            "One sink member is written several times from the same source \
+             endpoint. The materializer applies writes in connector order; \
+             later writes silently overwrite earlier ones."
+        }
+        "WA043" => {
+            "A declared output member is never read by any data connector \
+             or condition — a dead write. Either wire it somewhere or \
+             remove the declaration."
+        }
+        "WA051" => {
+            "The transaction specification is structurally broken: empty \
+             stages or paths, duplicate or unknown step names. Fix the \
+             structure before the semantic rules can be checked."
+        }
+        "WA052" => {
+            "A saga step is neither compensatable nor the pivot-free tail: \
+             sagas require every step that commits early to be undoable. \
+             Give the step a compensation or make it retriable."
+        }
+        "WA053" => {
+            "A step declares a compensation that does not match a \
+             registered program (or a compensatable class without naming \
+             one). The recovery manager would have nothing to run."
+        }
+        "WA054" => {
+            "A non-compensatable step sits between two pivots. Once the \
+             first pivot commits, recovery can neither roll back across \
+             this step nor complete forward past it."
+        }
+        "WA055" => {
+            "The last alternative path of a flexible transaction contains a \
+             step that may fail without compensation. The final fallback \
+             must be guaranteed — retriable steps only — or the whole \
+             transaction can wedge."
+        }
+        "WA056" => {
+            "A step can fail with no way out: no fallback path to switch \
+             to and no compensation chain back. Every reachable failure \
+             needs either a forward alternative or a backward recovery."
+        }
+        "WA057" => {
+            "A non-compensatable step is followed by steps that may still \
+             fail. Once it commits, a later abort cannot roll back past it. \
+             Move the pivot later, or make the following steps retriable."
+        }
+        "WA101" => {
+            "Dataflow liveness found a feasible path on which an input \
+             member is read before any of its writers has executed — the \
+             diagnostic names one such witness path. Add a control \
+             dependency on a writer, or give the member a DEFAULT."
+        }
+        "WA102" => {
+            "A data connector's source or sink activity is statically dead, \
+             so the value it carries is never produced or never consumed. \
+             The connector is a dead write; remove it or revive the \
+             endpoint."
+        }
+        "WA103" => {
+            "Constant propagation decided a transition condition always \
+             false: substituting the completion facts pinned by upstream \
+             activities (a no-op's RC = 1, an exit condition's RC = k) \
+             folds it to false. The connector can never fire even though \
+             the condition is dynamic in isolation."
+        }
+        "WA104" => {
+            "Constant propagation decided a transition condition always \
+             true given upstream completion facts. The test is redundant; \
+             the template optimizer replaces it with an unconditional \
+             connector."
+        }
+        "WA105" => {
+            "An activity is statically dead under constant propagation: \
+             every control path to it crosses a connector decided false by \
+             upstream constants (or a dead predecessor). The template \
+             optimizer prunes it; it will never run."
+        }
+        "WA106" => {
+            "Compensation soundness: from this failure point, backward \
+             recovery cannot reach a consistent state. The diagnostic shows \
+             a witness execution (failing step starred) and the committed \
+             step the compensation chain wedges against. Give that step a \
+             compensation, make later steps retriable, or add a fallback \
+             path covering the failure."
+        }
+        "WA107" => {
+            "A manual activity declares DEADLINE 0. Deadlines are measured \
+             from the moment the work item becomes ready (ready_since + \
+             deadline <= now), so a zero-tick deadline escalates on the \
+             first scheduler scan — no schedule can meet it. The message \
+             includes the scope's critical-path bounds for calibration."
+        }
+        "WA108" => {
+            "A deadline is declared on an activity that can never sit on a \
+             worklist — it is automatic (started by the navigator, never \
+             claimed) or statically dead. The deadline can never fire; \
+             remove it or make the activity manual."
+        }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]

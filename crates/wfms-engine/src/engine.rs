@@ -266,16 +266,21 @@ impl Engine {
     /// executable template). Compilation interns activity names,
     /// builds the connector adjacency, constant-folds every transition
     /// and exit condition and flattens the data-connector maps — all
-    /// navigation then runs on the indexed form. Registering a new
-    /// version under the same name replaces the template for *future*
-    /// instances; running instances keep their own `Arc`.
+    /// navigation then runs on the indexed form. The compiled template
+    /// is then [optimized](crate::optimize): condition values are
+    /// propagated through the graph, decidable plans become constants
+    /// and statically-dead activities are pruned from the data and
+    /// deadline indexes (the event stream is unchanged). Registering a
+    /// new version under the same name replaces the template for
+    /// *future* instances; running instances keep their own `Arc`.
     pub fn register(&self, def: ProcessDefinition) -> Result<(), EngineError> {
         let errors = validate(&def);
         if !errors.is_empty() {
             return Err(EngineError::Validation(errors));
         }
-        let tpl = Arc::new(CompiledProcess::compile_arc(Arc::new(def)));
-        self.register_compiled(tpl);
+        let tpl = CompiledProcess::compile_arc(Arc::new(def));
+        let (tpl, _stats) = crate::optimize::optimize(&tpl);
+        self.register_compiled(Arc::new(tpl));
         Ok(())
     }
 

@@ -50,6 +50,7 @@ pub mod interp;
 pub mod journal;
 pub mod metrics;
 pub mod navigator;
+pub mod optimize;
 pub mod org;
 pub mod recovery;
 pub mod state;
@@ -62,6 +63,7 @@ pub use event::{Event, InstanceId, InstanceSnapshot, WorkItemId};
 pub use interp::RefEngine;
 pub use journal::Journal;
 pub use metrics::{DbMetrics, EngineMetrics, LatencySummary};
+pub use optimize::{OptStats, ScopeFacts};
 pub use org::{OrgModel, Person};
 pub use recovery::{recover, recover_from, recover_with_policy, RecoveryError};
 pub use state::{ActState, ActivityRt, Instance, InstanceStatus, ScopeState};

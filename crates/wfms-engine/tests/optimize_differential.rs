@@ -1,0 +1,199 @@
+//! Differential tests for analysis-driven template optimization: an
+//! optimized template must be observationally identical to the
+//! unoptimized compile of the same definition — same statuses, same
+//! outputs, and a byte-identical event journal — because every rewrite
+//! (constant plans, pruned data maps, recomputed worklist/deadline
+//! indexes) only removes work, never events.
+//!
+//! The generator leans into what the optimizer rewrites: no-op
+//! activities (RC pinned to 1), exit conditions that pin RC, and edge
+//! conditions over RC in both polarities, producing decided edges and
+//! statically-dead subgraphs in most cases.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use txn_substrate::{MultiDatabase, ProgramOutcome, ProgramRegistry};
+use wfms_engine::{optimize, CompiledProcess, Engine, InstanceStatus};
+use wfms_model::{Activity, Container, ControlConnector, Expr, ProcessDefinition, StartCondition};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    n: usize,
+    /// Per activity: 0 = committing program, 1 = aborting program,
+    /// 2 = no-op.
+    kind: Vec<u8>,
+    /// Per activity: pin RC with `EXIT WHEN "RC = 1"`. Only applied to
+    /// committing programs and no-ops (an aborting program would
+    /// reschedule forever).
+    pin_exit: Vec<bool>,
+    or_join: Vec<bool>,
+    /// Edges (from < to) with a condition selector:
+    /// 0 = `RC = 1`, 1 = `RC = 0`, 2 = unconditional.
+    edges: Vec<(usize, usize, u8)>,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (2usize..9).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        (
+            prop::collection::vec(0u8..3, n),
+            prop::collection::vec(any::<bool>(), n),
+            prop::collection::vec(any::<bool>(), n),
+            prop::collection::vec((0usize..n, 0usize..n, 0u8..3), 0..=max_edges),
+        )
+            .prop_map(move |(kind, pin_exit, or_join, raw_edges)| {
+                let mut seen = BTreeSet::new();
+                let edges = raw_edges
+                    .into_iter()
+                    .filter_map(|(a, b, c)| {
+                        let (a, b) = (a.min(b), a.max(b));
+                        (a != b && seen.insert((a, b))).then_some((a, b, c))
+                    })
+                    .collect();
+                Scenario {
+                    n,
+                    kind,
+                    pin_exit,
+                    or_join,
+                    edges,
+                }
+            })
+    })
+}
+
+fn build(s: &Scenario) -> ProcessDefinition {
+    let mut def = ProcessDefinition::new("prop");
+    for i in 0..s.n {
+        let mut a = match s.kind[i] {
+            2 => Activity::noop(&format!("A{i}")),
+            _ => Activity::program(&format!("A{i}"), &format!("prog{i}")),
+        };
+        if s.pin_exit[i] && s.kind[i] != 1 {
+            a = a.with_exit("RC = 1");
+        }
+        if s.or_join[i] {
+            a.start = StartCondition::Or;
+        }
+        def.activities.push(a);
+    }
+    for &(a, b, c) in &s.edges {
+        let condition = match c {
+            0 => Expr::var_eq_int("RC", 1),
+            1 => Expr::var_eq_int("RC", 0),
+            _ => Expr::truth(),
+        };
+        def.control.push(ControlConnector {
+            from: format!("A{a}"),
+            to: format!("A{b}"),
+            condition,
+        });
+    }
+    def
+}
+
+fn world(s: &Scenario) -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
+    let fed = MultiDatabase::new(0);
+    let registry = Arc::new(ProgramRegistry::new());
+    for (i, &k) in s.kind.iter().enumerate() {
+        let commit = k == 0;
+        registry.register_fn(&format!("prog{i}"), move |_| {
+            if commit {
+                ProgramOutcome::committed()
+            } else {
+                ProgramOutcome::aborted("scripted")
+            }
+        });
+    }
+    (fed, registry)
+}
+
+/// An engine running `def` either as compiled (baseline) or compiled
+/// then optimized.
+fn engine_with(s: &Scenario, optimized: bool) -> Engine {
+    let def = build(s);
+    assert!(wfms_model::validate(&def).is_empty());
+    let (fed, registry) = world(s);
+    let engine = Engine::new(fed, registry);
+    let tpl = CompiledProcess::compile(def);
+    let tpl = if optimized {
+        optimize::optimize(&tpl).0
+    } else {
+        tpl
+    };
+    engine.register_compiled(Arc::new(tpl));
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Optimized ≡ unoptimized on random constant-rich DAGs: statuses,
+    /// outputs and the journal agree event for event.
+    #[test]
+    fn optimized_matches_unoptimized(s in scenario()) {
+        let base = engine_with(&s, false);
+        let opt = engine_with(&s, true);
+        let a = base.start("prop", Container::empty()).unwrap();
+        let b = opt.start("prop", Container::empty()).unwrap();
+        prop_assert_eq!(a, b);
+        let sa = base.run_to_quiescence(a).unwrap();
+        let sb = opt.run_to_quiescence(b).unwrap();
+        prop_assert_eq!(sa, sb);
+        prop_assert_eq!(base.output(a).unwrap(), opt.output(b).unwrap());
+        prop_assert_eq!(base.journal_events(), opt.journal_events());
+    }
+}
+
+/// A deterministic prunable shape: the optimizer decides plans and
+/// kills a branch, and the journal is still byte-identical.
+#[test]
+fn prunable_chain_identical_journal() {
+    let mut a = Activity::program("A", "prog0").with_exit("RC = 1");
+    a.description = "pinned".into();
+    let mut def = ProcessDefinition::new("prop");
+    def.activities = vec![
+        a,
+        Activity::noop("N"),
+        Activity::program("Live", "prog0"),
+        Activity::program("Dead", "prog0"),
+    ];
+    def.control = vec![
+        ControlConnector {
+            from: "A".into(),
+            to: "N".into(),
+            condition: Expr::var_eq_int("RC", 1),
+        },
+        ControlConnector {
+            from: "N".into(),
+            to: "Live".into(),
+            condition: Expr::var_eq_int("RC", 1),
+        },
+        ControlConnector {
+            from: "N".into(),
+            to: "Dead".into(),
+            condition: Expr::var_eq_int("RC", 0),
+        },
+    ];
+    assert!(wfms_model::validate(&def).is_empty());
+
+    let tpl = CompiledProcess::compile(def.clone());
+    let (opt_tpl, stats) = optimize::optimize(&tpl);
+    assert_eq!(stats.plans_fixed, 3, "A→N, N→Live, N→Dead all decided");
+    assert_eq!(stats.dead_acts, 1, "Dead is statically dead");
+
+    let run = |tpl: CompiledProcess| {
+        let fed = MultiDatabase::new(0);
+        let registry = Arc::new(ProgramRegistry::new());
+        registry.register_fn("prog0", |_| ProgramOutcome::committed());
+        let engine = Engine::new(fed, registry);
+        engine.register_compiled(Arc::new(tpl));
+        let id = engine.start("prop", Container::empty()).unwrap();
+        assert_eq!(
+            engine.run_to_quiescence(id).unwrap(),
+            InstanceStatus::Finished
+        );
+        engine.journal_events()
+    };
+    assert_eq!(run(tpl), run(opt_tpl));
+}

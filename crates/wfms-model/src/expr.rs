@@ -423,12 +423,28 @@ impl Expr {
     /// always raises [`ExprError::DivisionByZero`]. The engine treats
     /// such errors as "condition false" plus an audit warning, so a
     /// guaranteed error makes the condition statically false.
+    ///
+    /// Detection walks the *leftmost evaluation spine* of the folded
+    /// tree: `eval` evaluates that position first in every
+    /// environment, so a variable-free erroring subtree there (`1 / 0
+    /// = 0 AND RC = 1`) is guaranteed to surface verbatim. Errors
+    /// further right are reported only when the whole expression is
+    /// variable-free — a variable on the left could mask them with a
+    /// different error, or short-circuit past them entirely.
     pub fn const_error(&self) -> Option<ExprError> {
-        let folded = self.const_fold();
-        if folded.variables().is_empty() {
-            folded.eval(&MapEnv::default()).err()
-        } else {
-            None
+        self.const_fold().guaranteed_error()
+    }
+
+    fn guaranteed_error(&self) -> Option<ExprError> {
+        if self.variables().is_empty() {
+            return self.eval(&MapEnv::default()).err();
+        }
+        match self {
+            Expr::Lit(_) | Expr::Var(_) => None,
+            Expr::Cmp(l, _, _) | Expr::Arith(l, _, _) | Expr::And(l, _) | Expr::Or(l, _) => {
+                l.guaranteed_error()
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.guaranteed_error(),
         }
     }
 

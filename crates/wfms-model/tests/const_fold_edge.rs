@@ -1,0 +1,223 @@
+//! Edge cases of `Expr::const_fold` / `const_value` / `const_error`:
+//! short-circuit folding around erroring operands, division by a
+//! constant zero, and mixed-type comparison chains. These pin the
+//! soundness contract the analyzer's condition-propagation pass
+//! relies on: folding never changes what `eval` would observe.
+
+use txn_substrate::Value;
+use wfms_model::{Expr, ExprError, MapEnv};
+
+fn parse(s: &str) -> Expr {
+    Expr::parse(s).unwrap_or_else(|e| panic!("parse {s:?}: {e}"))
+}
+
+fn env() -> MapEnv {
+    MapEnv::of(&[("RC", Value::Int(0)), ("name", Value::from("alice"))])
+}
+
+// -------------------------------------------------------------------
+// Short-circuit AND/OR with erroring operands
+// -------------------------------------------------------------------
+
+#[test]
+fn false_and_erroring_rhs_folds_to_false() {
+    // eval short-circuits: the RHS `1 / 0 = 1` is never evaluated, so
+    // the whole thing is FALSE — folding must agree, not surface the
+    // dead error.
+    let e = parse("1 = 2 AND 1 / 0 = 1");
+    assert_eq!(e.const_value(), Some(Value::Bool(false)));
+    assert_eq!(e.const_error(), None);
+    assert_eq!(e.eval(&env()).unwrap(), Value::Bool(false));
+}
+
+#[test]
+fn true_or_erroring_rhs_folds_to_true() {
+    let e = parse("1 = 1 OR 1 % 0 = 1");
+    assert_eq!(e.const_value(), Some(Value::Bool(true)));
+    assert_eq!(e.const_error(), None);
+    assert_eq!(e.eval(&env()).unwrap(), Value::Bool(true));
+}
+
+#[test]
+fn erroring_lhs_is_not_skipped() {
+    // The LEFT operand errors before any short-circuit decision can be
+    // made, so the error is guaranteed in every environment.
+    for src in ["1 / 0 = 0 AND RC = 1", "1 / 0 = 0 OR RC = 1"] {
+        let e = parse(src);
+        assert_eq!(e.const_value(), None, "{src:?} must not fold to a value");
+        assert!(
+            matches!(e.const_error(), Some(ExprError::DivisionByZero)),
+            "{src:?} must report its guaranteed error"
+        );
+        assert!(matches!(e.eval(&env()), Err(ExprError::DivisionByZero)));
+    }
+}
+
+#[test]
+fn true_and_erroring_rhs_keeps_the_error() {
+    // TRUE AND x folds to x; when x is guaranteed to error, the fold
+    // must preserve that error rather than swallowing it.
+    let e = parse("1 = 1 AND 1 / 0 = 1");
+    assert_eq!(e.const_value(), None);
+    assert!(matches!(e.const_error(), Some(ExprError::DivisionByZero)));
+    assert!(matches!(e.eval(&env()), Err(ExprError::DivisionByZero)));
+
+    let e = parse("1 = 2 OR 1 / 0 = 1");
+    assert_eq!(e.const_value(), None);
+    assert!(matches!(e.const_error(), Some(ExprError::DivisionByZero)));
+}
+
+#[test]
+fn variable_lhs_blocks_short_circuit_folding() {
+    // RC = 0 is environment-dependent, so neither branch of the AND
+    // can be discarded; the erroring RHS stays in the tree but is not
+    // a *guaranteed* error (some environments never reach it).
+    let e = parse("RC = 1 AND 1 / 0 = 1");
+    assert_eq!(e.const_value(), None);
+    assert_eq!(e.const_error(), None);
+    // RC = 0 here: AND short-circuits at run time, no error observed.
+    assert_eq!(e.eval(&env()).unwrap(), Value::Bool(false));
+    assert_eq!(e.const_fold().eval(&env()).unwrap(), Value::Bool(false));
+}
+
+#[test]
+fn nested_short_circuits_fold_through() {
+    // The inner `1 = 2 AND …` folds to FALSE, which then feeds the
+    // outer OR's left operand, folding the whole tree to the RHS.
+    let e = parse("(1 = 2 AND 1 / 0 = 1) OR RC = 0");
+    assert_eq!(e.const_fold(), parse("RC = 0"));
+    // And with a constant RHS the whole tree becomes a literal.
+    let e = parse("(1 = 2 AND 1 / 0 = 1) OR 2 = 2");
+    assert_eq!(e.const_value(), Some(Value::Bool(true)));
+}
+
+// -------------------------------------------------------------------
+// Division / remainder by constant zero
+// -------------------------------------------------------------------
+
+#[test]
+fn division_by_constant_zero_never_folds_to_a_value() {
+    for src in ["1 / 0", "1 % 0", "1 / (2 - 2)", "5 % (1 - 1)", "1 / 0 = 1"] {
+        let e = parse(src);
+        assert_eq!(e.const_value(), None, "{src:?} must not fold to a value");
+        assert!(
+            matches!(e.const_error(), Some(ExprError::DivisionByZero)),
+            "{src:?} must report DivisionByZero"
+        );
+    }
+}
+
+#[test]
+fn division_by_folded_nonzero_constant_folds() {
+    // The divisor folds to a non-zero constant first, then the
+    // division folds normally.
+    let e = parse("10 / (1 + 1)");
+    assert_eq!(e.const_value(), Some(Value::Int(5)));
+    let e = parse("7 % (5 - 3) = 1");
+    assert_eq!(e.const_value(), Some(Value::Bool(true)));
+}
+
+#[test]
+fn division_by_variable_is_not_a_guaranteed_error() {
+    let e = parse("1 / RC = 1");
+    assert_eq!(e.const_error(), None);
+    assert_eq!(e.const_value(), None);
+    // RC = 0 in this environment, so eval does error — but only
+    // dynamically, which is exactly why const_error must stay None.
+    assert!(matches!(e.eval(&env()), Err(ExprError::DivisionByZero)));
+}
+
+// -------------------------------------------------------------------
+// Mixed-type comparison chains
+// -------------------------------------------------------------------
+
+#[test]
+fn mixed_type_literal_comparison_is_a_guaranteed_error() {
+    for src in ["1 = \"one\"", "\"a\" < 2", "TRUE < FALSE", "1 + \"x\" = 2"] {
+        let e = parse(src);
+        assert_eq!(e.const_value(), None, "{src:?} must not fold to a value");
+        assert!(
+            matches!(e.const_error(), Some(ExprError::TypeMismatch { .. })),
+            "{src:?} must report TypeMismatch, got {:?}",
+            e.const_error()
+        );
+    }
+}
+
+#[test]
+fn boolean_equality_is_well_typed_but_ordering_is_not() {
+    assert_eq!(parse("TRUE = TRUE").const_value(), Some(Value::Bool(true)));
+    assert_eq!(
+        parse("TRUE <> FALSE").const_value(),
+        Some(Value::Bool(true))
+    );
+    assert!(matches!(
+        parse("TRUE <= TRUE").const_error(),
+        Some(ExprError::TypeMismatch { .. })
+    ));
+}
+
+#[test]
+fn mixed_type_chain_short_circuits_before_the_mismatch() {
+    // The mismatching comparison sits behind a statically-false AND
+    // arm: folding discards it, so the chain is constantly FALSE.
+    let e = parse("2 < 1 AND name = 1");
+    assert_eq!(e.const_value(), Some(Value::Bool(false)));
+    assert_eq!(e.const_error(), None);
+
+    // Reversed: the mismatch is in the left arm, so it is guaranteed.
+    let e = parse("\"x\" = 1 AND 2 < 1");
+    assert!(matches!(
+        e.const_error(),
+        Some(ExprError::TypeMismatch { .. })
+    ));
+}
+
+#[test]
+fn mixed_chain_with_variables_folds_only_constant_arms() {
+    // String and integer comparisons mixed in one chain: the constant
+    // arms fold away, leaving just the variable test.
+    let e = parse("\"a\" < \"b\" AND 1 + 1 = 2 AND RC = 0");
+    assert_eq!(e.const_fold(), parse("RC = 0"));
+    assert!(e.eval_bool(&env()).unwrap());
+
+    let e = parse("name = \"alice\" OR 1 = 1");
+    // Variable in the left arm: no short-circuit possible statically.
+    assert_eq!(e.const_value(), None);
+    assert!(e.eval_bool(&env()).unwrap());
+}
+
+#[test]
+fn fold_agrees_with_eval_on_every_edge_case() {
+    // The umbrella soundness check: wherever eval succeeds, the folded
+    // expression must produce the same value; wherever eval errors,
+    // the folded expression must error identically.
+    for src in [
+        "1 = 2 AND 1 / 0 = 1",
+        "1 = 1 OR 1 % 0 = 1",
+        "1 = 1 AND 1 / 0 = 1",
+        "1 / 0 = 0 OR RC = 1",
+        "RC = 1 AND 1 / 0 = 1",
+        "1 / (2 - 2)",
+        "1 = \"one\"",
+        "TRUE < FALSE",
+        "2 < 1 AND name = 1",
+        "\"a\" < \"b\" AND RC = 0",
+        "NOT (1 = 2 AND 1 / 0 = 1)",
+    ] {
+        let e = parse(src);
+        let folded = e.const_fold();
+        match e.eval(&env()) {
+            Ok(v) => assert_eq!(
+                folded.eval(&env()).unwrap(),
+                v,
+                "folded {src:?} must match eval"
+            ),
+            Err(err) => assert_eq!(
+                folded.eval(&env()).unwrap_err(),
+                err,
+                "folded {src:?} must preserve the error"
+            ),
+        }
+    }
+}
