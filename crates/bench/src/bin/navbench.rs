@@ -13,7 +13,14 @@
 //! * **const_prune**: a constant-condition-heavy template run from
 //!   its raw compiled form vs. the optimized form the analyzer-driven
 //!   optimizer produces (plans decided, dead branches pruned) — the
-//!   navigator win `wfms_engine::optimize` buys at registration time.
+//!   navigator win `wfms_engine::optimize` buys at registration time;
+//! * **patterns**: the workflow-pattern gallery shapes
+//!   (`examples/patterns/`: parallel split/sync, discriminator,
+//!   2-of-3 quorum), reference vs. compiled — chain workloads miss
+//!   the join bookkeeping these exercise;
+//! * **submit_path**: µs per submission through the service runtime,
+//!   at the shard-pool layer (group commit, no network) and over a
+//!   loopback HTTP/1.1 keep-alive connection (full wire protocol).
 //!
 //! The host's core count is recorded alongside the numbers: the
 //! scheduler can only show parallel speedup on multi-core hardware
@@ -25,11 +32,14 @@
 
 use bench::nav::{
     assert_all_finished, compiled_engine, const_heavy_process, engine_with_instances,
-    observed_engine, pure_saga_world, reference_engine, run_compiled_once, run_reference_once,
-    saga_process, unoptimized_engine,
+    observed_engine, pattern_workload, pure_saga_world, reference_engine, run_compiled_once,
+    run_reference_once, saga_process, unoptimized_engine, PATTERN_WORKLOADS,
 };
 use bench::{chain_process, plain_world, time_us};
+use std::sync::Arc;
 use std::time::Instant;
+use wfms_model::Container;
+use wfms_server::{Http1Client, PoolConfig, Server, ServerConfig, ShardPool, SubmitOutcome};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -111,6 +121,73 @@ fn main() {
     println!("  unoptimized {t_unopt:>9.1} µs/run");
     println!("  optimized   {t_opt:>9.1} µs/run   ({prune_speedup:.2}x)");
 
+    // -- patterns: the gallery shapes, reference vs compiled --
+    // Tiny processes (4–10 activities), so many iterations per
+    // measurement; what varies across them is the join bookkeeping
+    // (AND/OR decisions, dead-path elimination of losing branches).
+    let pattern_iters = iters * 4;
+    let mut pattern_rows = Vec::new();
+    println!("patterns (gallery shapes, mean of {pattern_iters}):");
+    for name in PATTERN_WORKLOADS {
+        let (pdef, pw) = pattern_workload(name);
+        let mut reference = reference_engine(&pw, &pdef);
+        let p_ref = time_us(pattern_iters, || {
+            run_reference_once(&mut reference, &pdef.name);
+        });
+        let engine = compiled_engine(&pw, &pdef);
+        let p_compiled = time_us(pattern_iters, || {
+            run_compiled_once(&engine, &pdef.name);
+        });
+        let p_speedup = p_ref / p_compiled;
+        println!(
+            "  {name:<20} reference {p_ref:>6.1} µs/run   \
+             compiled {p_compiled:>6.1} µs/run   ({p_speedup:.2}x)"
+        );
+        pattern_rows.push(format!(
+            "    \"{name}\": {{\n      \"reference_us\": {p_ref:.1},\n      \
+             \"compiled_us\": {p_compiled:.1},\n      \"speedup\": {p_speedup:.2}\n    }}"
+        ));
+    }
+    let patterns_json = pattern_rows.join(",\n");
+
+    // -- submit_path: service-runtime submissions, pool and wire --
+    // One shard so the measurement is per-submit cost, not spread.
+    // The pool path is start + navigate + group commit; the HTTP path
+    // adds parse + serialize on a keep-alive loopback connection.
+    let submit_iters = if quick { 200 } else { 1000 };
+    let data_dir = std::env::temp_dir().join(format!("navbench-submit-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let submit_def = chain_process(8, "ok");
+    let mut pool_cfg = PoolConfig::new(&data_dir);
+    pool_cfg.templates = vec![submit_def.clone()];
+    let provision = |_shard: usize| {
+        let (fed, registry) = plain_world(0);
+        (fed, registry)
+    };
+    let pool = ShardPool::open(
+        pool_cfg,
+        Arc::new(wfms_observe::Registry::new()),
+        &provision,
+    )
+    .expect("pool opens");
+    let t_pool = time_us(submit_iters, || {
+        let outcome = pool.submit("chain", Container::empty());
+        assert!(matches!(outcome, SubmitOutcome::Accepted { .. }));
+    });
+    let server = Server::start(Arc::new(pool), ServerConfig::new("chain")).expect("server starts");
+    let url = server.local_addr().to_string();
+    let mut client = Http1Client::new(&url);
+    let t_http = time_us(submit_iters, || {
+        let (code, _body) = client.request("POST", "/instances", Some("{}")).unwrap();
+        assert_eq!(code, 201);
+    });
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let wire_overhead = t_http / t_pool;
+    println!("submit_path (8-step chain, 1 shard, mean of {submit_iters}):");
+    println!("  pool       {t_pool:>10.1} µs/submit");
+    println!("  http       {t_http:>10.1} µs/submit   ({wire_overhead:.2}x pool)");
+
     // -- parallel_throughput: saga-shaped instances, pure programs --
     let steps = 8;
     let saga = saga_process(steps);
@@ -157,6 +234,10 @@ fn main() {
          \"plans_fixed\": {plans_fixed},\n    \"dead_acts\": {dead_acts},\n    \
          \"unoptimized_us\": {t_unopt:.1},\n    \"optimized_us\": {t_opt:.1},\n    \
          \"speedup\": {prune_speedup:.2}\n  }},\n  \
+         \"patterns\": {{\n{patterns_json}\n  }},\n  \
+         \"submit_path\": {{\n    \"chain_len\": 8,\n    \"shards\": 1,\n    \
+         \"pool_us\": {t_pool:.1},\n    \"http_us\": {t_http:.1},\n    \
+         \"wire_overhead\": {wire_overhead:.2}\n  }},\n  \
          \"parallel_throughput\": {{\n    \"instances\": {instances},\n    \
          \"saga_steps\": {steps},\n    \"sequential_per_sec\": {seq:.0},\n    \
          \"workers8_per_sec\": {par8:.0},\n    \"speedup\": {par_speedup:.2}\n  }},\n  \

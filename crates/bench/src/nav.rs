@@ -127,6 +127,31 @@ pub fn unoptimized_engine(world: &World, def: &ProcessDefinition) -> Engine {
     engine
 }
 
+/// The workflow-pattern gallery shapes benchmarked by `navbench`'s
+/// `patterns` section: a parallel split meeting at an AND-join, a
+/// discriminator (OR-join race) and a composed 2-of-3 quorum. Chain
+/// workloads exercise the sequential fast path; these exercise the
+/// join bookkeeping (connector columns, AND/OR decisions, dead-path
+/// elimination of the losing quorum pairs).
+pub const PATTERN_WORKLOADS: &[&str] = &["parallel_split_sync", "discriminator", "n_of_m"];
+
+/// Loads `examples/patterns/<name>.fdl` through the same import →
+/// analyze route `fmtm run` takes and provisions a world whose
+/// programs all commit — so per-run timing measures navigation of the
+/// pattern's join structure, not program work.
+pub fn pattern_workload(name: &str) -> (ProcessDefinition, World) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/patterns")
+        .join(format!("{name}.fdl"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    let (process, diags) =
+        exotica::import_and_analyze(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+    assert!(diags.is_empty(), "{name}: {diags:?}");
+    let steps = exotica::steps_of_process(&process);
+    let world = exotica::provision(&steps, 0, &[]);
+    (process, world)
+}
+
 /// A fresh engine over `world` with `def` registered and `m`
 /// instances started, ready for `run_all` / `run_all_parallel`.
 pub fn engine_with_instances(world: &World, def: &ProcessDefinition, m: usize) -> Engine {
@@ -200,6 +225,25 @@ mod tests {
             run_compiled_once(&opt, "const_heavy"),
             InstanceStatus::Finished
         );
+    }
+
+    #[test]
+    fn pattern_workloads_run_on_both_navigators() {
+        for name in PATTERN_WORKLOADS {
+            let (def, w) = pattern_workload(name);
+            let mut reference = reference_engine(&w, &def);
+            assert_eq!(
+                run_reference_once(&mut reference, &def.name),
+                InstanceStatus::Finished,
+                "{name} on the reference interpreter"
+            );
+            let engine = compiled_engine(&w, &def);
+            assert_eq!(
+                run_compiled_once(&engine, &def.name),
+                InstanceStatus::Finished,
+                "{name} on the compiled engine"
+            );
+        }
     }
 
     #[test]

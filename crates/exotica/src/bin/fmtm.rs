@@ -28,6 +28,9 @@
 //!   --instances M                       start M instances (default 1)
 //!   --parallel N                        drive instances across N worker
 //!                                       threads and report instances/sec
+//!                                       (clamped to the machine's available
+//!                                       parallelism: extra workers add
+//!                                       overhead, never throughput)
 //!   --metrics-out FILE                  enable the observability layer and
 //!                                       write the metrics snapshot to FILE
 //!                                       after the run (Prometheus text when
@@ -55,7 +58,10 @@
 //!
 //! serve options:
 //!   --shards N                          shard count: N engines, journals and
-//!                                       worker threads (default 1)
+//!                                       worker threads (default 1; counts
+//!                                       beyond the machine's available
+//!                                       parallelism buy nothing — each shard
+//!                                       runs its own worker thread)
 //!   --port P                            TCP port (default 7313; 0 = ephemeral)
 //!   --addr IP                           bind address (default 127.0.0.1)
 //!   --data DIR                          data directory for server.meta.json and
@@ -515,10 +521,15 @@ fn run(args: &[String]) -> ExitCode {
     }
     if parallel > 1 || instances > 1 {
         let secs = elapsed.as_secs_f64();
+        // Report the worker count the engine actually used: the
+        // scheduler clamps to available parallelism.
+        let cores = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(usize::MAX);
         println!(
             "scheduler: {} instance(s), {} worker(s), {:.3} ms, {:.0} instances/sec",
             ids.len(),
-            parallel.max(1),
+            parallel.max(1).min(cores),
             secs * 1e3,
             if secs > 0.0 {
                 ids.len() as f64 / secs

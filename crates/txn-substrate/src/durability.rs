@@ -87,6 +87,30 @@ impl DurableWriter {
         Ok(())
     }
 
+    /// Writes a pre-assembled chunk of `records` newline-terminated
+    /// record lines in one `write_all` — the group-commit form of
+    /// [`DurableWriter::append_line`]. The policy sees `records`
+    /// appends; `barrier` forces a flush at the chunk end regardless
+    /// of policy.
+    pub fn append_chunk(
+        &mut self,
+        chunk: &str,
+        records: usize,
+        barrier: bool,
+    ) -> std::io::Result<()> {
+        self.writer.write_all(chunk.as_bytes())?;
+        self.pending += records;
+        let flush_now = barrier
+            || match self.policy {
+                DurabilityPolicy::PerEvent | DurabilityPolicy::PerEventSync => true,
+                DurabilityPolicy::Batched { n } => self.pending >= n.max(1),
+            };
+        if flush_now {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
     /// Flushes buffered lines to the OS (and to disk under
     /// `PerEventSync`).
     pub fn flush(&mut self) -> std::io::Result<()> {

@@ -55,7 +55,7 @@ pub fn execution_order(events: &[Event], instance: InstanceId) -> Vec<String> {
         .iter()
         .filter(|e| e.instance() == Some(instance))
         .filter_map(|e| match e {
-            Event::ActivityStarted { path, .. } => Some(path.clone()),
+            Event::ActivityStarted { path, .. } => Some(path.to_string()),
             _ => None,
         })
         .collect()
@@ -119,7 +119,7 @@ pub fn executions_by_activity(events: &[Event], instance: InstanceId) -> BTreeMa
     let mut map = BTreeMap::new();
     for e in events.iter().filter(|e| e.instance() == Some(instance)) {
         if let Event::ActivityStarted { path, .. } = e {
-            *map.entry(path.clone()).or_insert(0) += 1;
+            *map.entry(path.to_string()).or_insert(0) += 1;
         }
     }
     map

@@ -31,10 +31,10 @@
 //! as the one that produced the journal.
 
 use std::sync::Arc;
-use txn_substrate::Tick;
+use txn_substrate::{Tick, Value};
 use wfms_model::{
     ActivityKind, Container, ContainerSchema, DataEndpoint, Expr, Interner, ProcessDefinition,
-    StaffAssignment, StartCondition,
+    StaffAssignment, StartCondition, RC_MEMBER,
 };
 
 /// Dense per-scope activity id (declaration position).
@@ -42,6 +42,11 @@ pub type ActId = u32;
 
 /// Dense per-scope control-connector id (declaration position).
 pub type EdgeId = u32;
+
+/// Dense scope id: the position of a (sub)process scope in the
+/// preorder flattening of the block tree ([`ScopeLayout`]). The root
+/// scope is always id 0.
+pub type ScopeId = u32;
 
 /// A path of activity ids from the root scope: every prefix element
 /// names a block activity, the last element the addressed activity.
@@ -396,6 +401,268 @@ impl CompiledScope {
     }
 }
 
+/// Metadata of one scope in the flattened preorder [`ScopeLayout`].
+#[derive(Debug)]
+pub struct ScopeMeta {
+    /// The compiled scope this entry describes.
+    pub cs: Arc<CompiledScope>,
+    /// Parent scope and the **global act slot** of the block activity
+    /// that opens this scope; `None` for the root.
+    pub parent: Option<(ScopeId, u32)>,
+    /// First global act slot of this scope's activities (slots are
+    /// contiguous: `act_base..act_base + cs.acts.len()`).
+    pub act_base: u32,
+    /// First global edge slot of this scope's connectors.
+    pub edge_base: u32,
+    /// Last [`ScopeId`] in this scope's preorder subtree (inclusive).
+    /// Preorder numbering makes every subtree a contiguous id range —
+    /// and, because slots are assigned in the same order, a contiguous
+    /// act/edge slot range too.
+    pub subtree_last: ScopeId,
+    /// Block-nesting depth (root = 0).
+    pub depth: u32,
+    /// Slash path of the scope in journal form (`""` for the root).
+    pub path: Arc<str>,
+    /// Prototype input container (schema defaults), cloned — an `Arc`
+    /// bump — whenever the scope opens.
+    pub input_proto: Container,
+    /// Prototype output container (schema defaults).
+    pub output_proto: Container,
+}
+
+/// The arena layout of one compiled template: every activity and
+/// connector of every (possibly nested) scope mapped to a **global
+/// slot** in one contiguous index space, with everything the hot path
+/// would otherwise recompute per step — journal path strings, id
+/// paths, container prototypes, execution-order ranks — precomputed
+/// per slot.
+///
+/// The per-instance [`StateSlab`](crate::state::StateSlab) allocates
+/// one vector per state column over this slot space, so instance state
+/// is a handful of contiguous allocations instead of a pointer tree,
+/// and navigation steps index columns instead of walking scopes.
+#[derive(Debug)]
+pub struct ScopeLayout {
+    /// Scopes in preorder (root first).
+    pub scopes: Vec<ScopeMeta>,
+    /// Per act slot: the owning scope.
+    pub owner: Vec<ScopeId>,
+    /// Per act slot: the scope-local [`ActId`].
+    pub local: Vec<ActId>,
+    /// Per act slot: the child scope a block activity opens (`None`
+    /// for non-blocks).
+    pub block_child: Vec<Option<ScopeId>>,
+    /// Per act slot: engine-started when ready.
+    pub automatic: Vec<bool>,
+    /// Per act slot: full slash path in journal form, interned once so
+    /// event construction is an `Arc` clone.
+    pub paths: Vec<Arc<str>>,
+    /// Per act slot: the [`IdPath`] addressing the slot.
+    pub id_paths: Vec<IdPath>,
+    /// Per act slot: prototype input container (schema defaults).
+    pub input_proto: Vec<Container>,
+    /// Per act slot: prototype output container with `RC = 1` — the
+    /// completion fast path for executions that produce no outputs.
+    pub output_rc1: Vec<Container>,
+    /// Per act slot: the slot's position in depth-first
+    /// declaration-order execution (lexicographic [`IdPath`] order).
+    /// The per-instance ready queue is a min-heap of these ranks —
+    /// `u32` comparisons and no allocation, while popping still
+    /// reproduces the navigator's historical scan order exactly.
+    pub rank: Vec<u32>,
+    /// Inverse of [`ScopeLayout::rank`].
+    pub rank_to_slot: Vec<u32>,
+    /// Per edge slot: interned `(from, to)` activity names for
+    /// `ConnectorEvaluated` events.
+    pub edge_names: Vec<(Arc<str>, Arc<str>)>,
+}
+
+impl ScopeLayout {
+    fn build(root: &Arc<CompiledScope>) -> Self {
+        let mut l = ScopeLayout {
+            scopes: Vec::new(),
+            owner: Vec::new(),
+            local: Vec::new(),
+            block_child: Vec::new(),
+            automatic: Vec::new(),
+            paths: Vec::new(),
+            id_paths: Vec::new(),
+            input_proto: Vec::new(),
+            output_rc1: Vec::new(),
+            rank: Vec::new(),
+            rank_to_slot: Vec::new(),
+            edge_names: Vec::new(),
+        };
+        let mut prefix = IdPath::new();
+        visit_scope(&mut l, root, None, "", &mut prefix);
+        // Execution-order ranks: lexicographic order on id paths is the
+        // depth-first declaration-order scan.
+        let mut order: Vec<u32> = (0..l.owner.len() as u32).collect();
+        order.sort_by(|&a, &b| l.id_paths[a as usize].cmp(&l.id_paths[b as usize]));
+        l.rank = vec![0; order.len()];
+        for (r, &slot) in order.iter().enumerate() {
+            l.rank[slot as usize] = r as u32;
+        }
+        l.rank_to_slot = order;
+        l
+    }
+
+    /// Number of global activity slots.
+    #[inline]
+    pub fn n_acts(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of global connector slots.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.edge_names.len()
+    }
+
+    /// Number of scopes.
+    #[inline]
+    pub fn n_scopes(&self) -> usize {
+        self.scopes.len()
+    }
+
+    /// The scope metadata of `s`.
+    #[inline]
+    pub fn scope(&self, s: ScopeId) -> &ScopeMeta {
+        &self.scopes[s as usize]
+    }
+
+    /// The compiled activity behind a global act slot.
+    #[inline]
+    pub fn act(&self, slot: u32) -> &CompiledActivity {
+        let m = &self.scopes[self.owner[slot as usize] as usize];
+        &m.cs.acts[self.local[slot as usize] as usize]
+    }
+
+    /// The global act slot of activity `id` in scope `s`.
+    #[inline]
+    pub fn slot(&self, s: ScopeId, id: ActId) -> u32 {
+        self.scopes[s as usize].act_base + id
+    }
+
+    /// The global edge slot of connector `e` in scope `s`.
+    #[inline]
+    pub fn edge_slot(&self, s: ScopeId, e: EdgeId) -> u32 {
+        self.scopes[s as usize].edge_base + e
+    }
+
+    /// Act-slot range of the scope's own activities.
+    pub fn act_range(&self, s: ScopeId) -> std::ops::Range<usize> {
+        let m = &self.scopes[s as usize];
+        m.act_base as usize..m.act_base as usize + m.cs.acts.len()
+    }
+
+    /// Act-slot range covering the scope's whole subtree (contiguous
+    /// by preorder construction).
+    pub fn subtree_act_range(&self, s: ScopeId) -> std::ops::Range<usize> {
+        let m = &self.scopes[s as usize];
+        let last = &self.scopes[m.subtree_last as usize];
+        m.act_base as usize..last.act_base as usize + last.cs.acts.len()
+    }
+
+    /// Edge-slot range covering the scope's whole subtree.
+    pub fn subtree_edge_range(&self, s: ScopeId) -> std::ops::Range<usize> {
+        let m = &self.scopes[s as usize];
+        let last = &self.scopes[m.subtree_last as usize];
+        m.edge_base as usize..last.edge_base as usize + last.cs.edges.len()
+    }
+
+    /// Scope-id range covering the scope's whole subtree (inclusive of
+    /// `s` itself).
+    pub fn subtree_scope_range(&self, s: ScopeId) -> std::ops::Range<usize> {
+        s as usize..self.scopes[s as usize].subtree_last as usize + 1
+    }
+
+    /// Resolves an [`IdPath`] prefix of block ids to the scope it
+    /// addresses — structural only (liveness is per-instance state).
+    pub fn scope_of(&self, scope_ids: &[ActId]) -> Option<ScopeId> {
+        let mut s: ScopeId = 0;
+        for &id in scope_ids {
+            let m = &self.scopes[s as usize];
+            if (id as usize) >= m.cs.acts.len() {
+                return None;
+            }
+            s = self.block_child[(m.act_base + id) as usize]?;
+        }
+        Some(s)
+    }
+
+    /// Resolves a full [`IdPath`] to its global act slot — structural
+    /// only.
+    pub fn slot_of(&self, ids: &[ActId]) -> Option<u32> {
+        let (&last, scope_ids) = ids.split_last()?;
+        let s = self.scope_of(scope_ids)?;
+        let m = &self.scopes[s as usize];
+        ((last as usize) < m.cs.acts.len()).then(|| m.act_base + last)
+    }
+}
+
+/// Preorder flattening: records the scope, assigns its act/edge slots,
+/// then recurses into block children in declaration order.
+fn visit_scope(
+    l: &mut ScopeLayout,
+    cs: &Arc<CompiledScope>,
+    parent: Option<(ScopeId, u32)>,
+    scope_path: &str,
+    prefix: &mut IdPath,
+) -> ScopeId {
+    let sid = l.scopes.len() as ScopeId;
+    let act_base = l.owner.len() as u32;
+    let edge_base = l.edge_names.len() as u32;
+    l.scopes.push(ScopeMeta {
+        cs: Arc::clone(cs),
+        parent,
+        act_base,
+        edge_base,
+        subtree_last: sid,
+        depth: prefix.len() as u32,
+        path: Arc::from(scope_path),
+        input_proto: cs.input.instantiate(),
+        output_proto: cs.output.instantiate(),
+    });
+    for (i, act) in cs.acts.iter().enumerate() {
+        let path = if scope_path.is_empty() {
+            act.name.clone()
+        } else {
+            format!("{scope_path}/{}", act.name)
+        };
+        l.owner.push(sid);
+        l.local.push(i as ActId);
+        l.block_child.push(None);
+        l.automatic.push(act.automatic);
+        l.paths.push(Arc::from(path.as_str()));
+        let mut ids = prefix.clone();
+        ids.push(i as ActId);
+        l.id_paths.push(ids);
+        l.input_proto.push(act.input.instantiate());
+        let mut rc1 = act.eff_output.instantiate();
+        rc1.set(RC_MEMBER, Value::Int(1));
+        l.output_rc1.push(rc1);
+    }
+    for e in &cs.edges {
+        l.edge_names.push((
+            Arc::from(cs.act(e.from).name.as_str()),
+            Arc::from(cs.act(e.to).name.as_str()),
+        ));
+    }
+    for (i, act) in cs.acts.iter().enumerate() {
+        if let CompiledKind::Block(child) = &act.kind {
+            let slot = act_base + i as u32;
+            let child_path = l.paths[slot as usize].to_string();
+            prefix.push(i as ActId);
+            let c = visit_scope(l, child, Some((sid, slot)), &child_path, prefix);
+            prefix.pop();
+            l.block_child[slot as usize] = Some(c);
+        }
+    }
+    l.scopes[sid as usize].subtree_last = (l.scopes.len() - 1) as ScopeId;
+    sid
+}
+
 /// A process definition lowered into its executable form. Cheap to
 /// clone (`Arc` inside); templates are shared by every instance and
 /// every worker thread.
@@ -406,6 +673,9 @@ pub struct CompiledProcess {
     pub def: Arc<ProcessDefinition>,
     /// The compiled root scope.
     pub root: Arc<CompiledScope>,
+    /// The flattened arena layout (global slots, precomputed paths,
+    /// execution ranks) the slab-backed instance state runs on.
+    pub layout: Arc<ScopeLayout>,
 }
 
 impl CompiledProcess {
@@ -417,7 +687,15 @@ impl CompiledProcess {
     /// Compiles a definition already behind an `Arc`.
     pub fn compile_arc(def: Arc<ProcessDefinition>) -> Self {
         let root = Arc::new(CompiledScope::compile(&def));
-        Self { def, root }
+        Self::from_parts(def, root)
+    }
+
+    /// Assembles a template from an already-compiled root scope,
+    /// computing the [`ScopeLayout`] — the one constructor every
+    /// template passes through.
+    pub fn from_parts(def: Arc<ProcessDefinition>, root: Arc<CompiledScope>) -> Self {
+        let layout = Arc::new(ScopeLayout::build(&root));
+        Self { def, root, layout }
     }
 
     /// The process name.
@@ -543,6 +821,60 @@ mod tests {
     fn effective_output_includes_rc() {
         let t = CompiledProcess::compile(nested());
         assert!(t.root.act(0).eff_output.has(wfms_model::RC_MEMBER));
+    }
+
+    #[test]
+    fn layout_flattens_scopes_in_preorder() {
+        let t = CompiledProcess::compile(nested());
+        let l = &t.layout;
+        assert_eq!(l.n_scopes(), 2);
+        assert_eq!(l.n_acts(), 4, "A, B, B/X, B/Y");
+        assert_eq!(l.n_edges(), 2);
+        // Root scope: acts 0..2, child scope opens at slot 1.
+        assert_eq!(l.scope(0).act_base, 0);
+        assert_eq!(l.scope(0).subtree_last, 1);
+        assert_eq!(l.block_child[1], Some(1));
+        assert_eq!(l.scope(1).parent, Some((0, 1)));
+        assert_eq!(l.scope(1).act_base, 2);
+        assert_eq!(&*l.scope(1).path, "B");
+        // Interned paths and id paths line up with resolution.
+        assert_eq!(&*l.paths[2], "B/X");
+        assert_eq!(l.id_paths[3], vec![1, 1]);
+        assert_eq!(l.slot_of(&[1, 0]), Some(2));
+        assert_eq!(l.scope_of(&[1]), Some(1));
+        assert_eq!(l.scope_of(&[0]), None, "A is not a block");
+        assert_eq!(l.slot_of(&[9]), None);
+    }
+
+    #[test]
+    fn layout_ranks_match_lexicographic_id_path_order() {
+        let t = CompiledProcess::compile(nested());
+        let l = &t.layout;
+        // Expected DFS order: A [0], B [1], B/X [1,0], B/Y [1,1].
+        let order: Vec<&str> = (0..l.n_acts())
+            .map(|r| &*l.paths[l.rank_to_slot[r] as usize])
+            .collect();
+        assert_eq!(order, vec!["A", "B", "B/X", "B/Y"]);
+        for slot in 0..l.n_acts() {
+            assert_eq!(l.rank_to_slot[l.rank[slot] as usize] as usize, slot);
+        }
+    }
+
+    #[test]
+    fn layout_prototypes_carry_defaults_and_rc() {
+        let t = CompiledProcess::compile(nested());
+        let l = &t.layout;
+        for slot in 0..l.n_acts() {
+            let proto = &l.output_rc1[slot];
+            assert_eq!(
+                proto.get(RC_MEMBER),
+                Some(&Value::Int(1)),
+                "rc-1 prototype at slot {slot}"
+            );
+            let mut rebuilt = l.act(slot as u32).eff_output.instantiate();
+            rebuilt.set(RC_MEMBER, Value::Int(1));
+            assert_eq!(proto, &rebuilt);
+        }
     }
 
     #[test]

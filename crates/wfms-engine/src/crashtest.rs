@@ -156,13 +156,13 @@ fn dispatch_key(ev: &Event) -> Option<(bool, InstanceId, String, u32)> {
             path,
             attempt,
             ..
-        } => Some((false, *instance, path.clone(), *attempt)),
+        } => Some((false, *instance, path.to_string(), *attempt)),
         Event::ActivityStarted {
             instance,
             path,
             attempt,
             ..
-        } => Some((true, *instance, path.clone(), *attempt)),
+        } => Some((true, *instance, path.to_string(), *attempt)),
         _ => None,
     }
 }

@@ -32,9 +32,123 @@ impl std::fmt::Display for WorkItemId {
     }
 }
 
+/// A cheaply clonable path-like string used in journal events.
+///
+/// Event paths repeat endlessly (every event for an activity carries
+/// the same `"Forward/T2"`), so events share one `Arc<str>` per
+/// template slot instead of allocating a fresh `String` per event —
+/// the compiled template interns every activity path once at
+/// compilation. Serializes byte-identically to a plain JSON string,
+/// so the journal format is unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PathStr(std::sync::Arc<str>);
+
+impl PathStr {
+    /// The path as a plain `&str`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for PathStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for PathStr {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for PathStr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for PathStr {
+    fn from(s: &str) -> Self {
+        Self(std::sync::Arc::from(s))
+    }
+}
+
+impl From<String> for PathStr {
+    fn from(s: String) -> Self {
+        Self(std::sync::Arc::from(s))
+    }
+}
+
+impl From<&String> for PathStr {
+    fn from(s: &String) -> Self {
+        Self(std::sync::Arc::from(s.as_str()))
+    }
+}
+
+impl From<std::sync::Arc<str>> for PathStr {
+    fn from(s: std::sync::Arc<str>) -> Self {
+        Self(s)
+    }
+}
+
+impl From<&std::sync::Arc<str>> for PathStr {
+    fn from(s: &std::sync::Arc<str>) -> Self {
+        Self(std::sync::Arc::clone(s))
+    }
+}
+
+impl PartialEq<str> for PathStr {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for PathStr {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialEq<String> for PathStr {
+    fn eq(&self, other: &String) -> bool {
+        &*self.0 == other.as_str()
+    }
+}
+
+impl PartialEq<PathStr> for str {
+    fn eq(&self, other: &PathStr) -> bool {
+        self == &*other.0
+    }
+}
+
+impl PartialEq<PathStr> for String {
+    fn eq(&self, other: &PathStr) -> bool {
+        self.as_str() == &*other.0
+    }
+}
+
+impl Serialize for PathStr {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Str((*self.0).to_owned())
+    }
+}
+
+impl Deserialize for PathStr {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        match content {
+            serde::Content::Str(s) => Ok(Self::from(s.as_str())),
+            other => Err(serde::Error::msg(format!(
+                "expected string for PathStr, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// A slash-separated path to an activity inside (possibly nested)
 /// blocks, e.g. `"Forward/T2"`.
-pub type ActivityPath = String;
+pub type ActivityPath = PathStr;
 
 /// One navigation event.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -91,9 +205,9 @@ pub enum Event {
     ConnectorEvaluated {
         instance: InstanceId,
         /// Path prefix of the containing (sub)process, `""` at root.
-        scope: String,
-        from: String,
-        to: String,
+        scope: PathStr,
+        from: PathStr,
+        to: PathStr,
         value: bool,
         at: Tick,
     },

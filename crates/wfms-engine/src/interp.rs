@@ -337,7 +337,7 @@ impl RefEngine {
             for person in managers {
                 self.journal.push(Event::NotificationSent {
                     instance: inst.id,
-                    path: path_str.clone(),
+                    path: path_str.clone().into(),
                     person: person.clone(),
                     at: now,
                 });
@@ -412,7 +412,7 @@ impl RefEngine {
         let attempt = rt.attempt;
         self.journal.push(Event::ActivityReady {
             instance,
-            path: join_path(path),
+            path: join_path(path).into(),
             attempt,
             at: now,
         });
@@ -431,7 +431,7 @@ impl RefEngine {
             });
             self.journal.push(Event::WorkItemOffered {
                 instance,
-                path: join_path(path),
+                path: join_path(path).into(),
                 item,
                 persons,
                 at: now,
@@ -496,7 +496,7 @@ impl RefEngine {
         let attempt = rt.attempt;
         self.journal.push(Event::ActivityStarted {
             instance,
-            path: join_path(path),
+            path: join_path(path).into(),
             attempt,
             by,
             input: input.clone(),
@@ -599,7 +599,7 @@ impl RefEngine {
         let attempt = rt.attempt;
         self.journal.push(Event::ActivityFinished {
             instance,
-            path: join_path(path),
+            path: join_path(path).into(),
             attempt,
             output: output.clone(),
             at: self.clock.now(),
@@ -643,7 +643,7 @@ impl RefEngine {
             rt.state = ActState::Waiting;
             self.journal.push(Event::ActivityRescheduled {
                 instance,
-                path: join_path(path),
+                path: join_path(path).into(),
                 next_attempt,
                 at: self.clock.now(),
             });
@@ -663,7 +663,7 @@ impl RefEngine {
         let output = rt.output.clone();
         self.journal.push(Event::ActivityTerminated {
             instance,
-            path: join_path(path),
+            path: join_path(path).into(),
             executed,
             at: self.clock.now(),
         });
@@ -698,9 +698,9 @@ impl RefEngine {
             }
             self.journal.push(Event::ConnectorEvaluated {
                 instance,
-                scope: join_path(scope_path),
-                from: name.clone(),
-                to: to.clone(),
+                scope: join_path(scope_path).into(),
+                from: name.clone().into(),
+                to: to.clone().into(),
                 value,
                 at: self.clock.now(),
             });

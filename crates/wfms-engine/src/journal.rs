@@ -26,17 +26,23 @@ use crate::metrics::JournalProbes;
 use parking_lot::Mutex;
 use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 use txn_substrate::durability::{
     atomic_rewrite, read_json_lines, DurabilityPolicy, DurableWriter, MirrorError, TailReport,
 };
 
 /// The file mirror of a [`Journal`]: the policy-driven writer plus
-/// the path (needed for atomic compaction rewrites).
+/// the path (needed for atomic compaction rewrites) and a reused
+/// serialization buffer for group commits.
 #[derive(Debug)]
 struct JournalMirror {
     writer: DurableWriter,
     path: PathBuf,
+    /// Batch serialization buffer, reused across [`Journal::append_batch`]
+    /// calls so a group commit costs one buffer fill and one write, not
+    /// one `String` per event.
+    buf: String,
 }
 
 /// An append-only journal of navigation events.
@@ -50,6 +56,11 @@ struct JournalMirror {
 pub struct Journal {
     events: Mutex<Vec<Event>>,
     mirror: Mutex<Option<JournalMirror>>,
+    /// Fast-path flag mirroring `mirror.is_some()`: purely in-memory
+    /// journals (the steady-state engine default and every parallel
+    /// worker shard) skip event serialization entirely — events are
+    /// only rendered to JSON when a file mirror needs the bytes.
+    mirrored: AtomicBool,
     mirror_error: Mutex<Option<MirrorError>>,
     /// Observability instruments, attached by the engine when its
     /// observer is enabled. `OnceLock::get` on the (common) empty cell
@@ -103,7 +114,9 @@ impl Journal {
         *journal.mirror.lock() = Some(JournalMirror {
             writer: DurableWriter::new(file, policy),
             path: path.to_path_buf(),
+            buf: String::new(),
         });
+        journal.mirrored.store(true, Ordering::Release);
         Ok((journal, report))
     }
 
@@ -119,7 +132,9 @@ impl Journal {
         *journal.mirror.lock() = Some(JournalMirror {
             writer: DurableWriter::new(file, policy),
             path,
+            buf: String::new(),
         });
+        journal.mirrored.store(true, Ordering::Release);
         journal
     }
 
@@ -132,19 +147,15 @@ impl Journal {
     }
 
     /// Records the first mirror failure and disables the mirror.
-    fn fail_mirror(
-        guard: &mut Option<JournalMirror>,
-        sticky: &Mutex<Option<MirrorError>>,
-        context: &str,
-        e: &std::io::Error,
-    ) {
+    fn fail_mirror(&self, guard: &mut Option<JournalMirror>, context: &str, e: &std::io::Error) {
         let err = MirrorError::new(context, e);
         eprintln!("journal: {err}; disabling file mirror, journal continues in memory");
-        let mut slot = sticky.lock();
+        let mut slot = self.mirror_error.lock();
         if slot.is_none() {
             *slot = Some(err);
         }
         *guard = None;
+        self.mirrored.store(false, Ordering::Release);
     }
 
     /// Attaches metrics probes (append counts, append/flush latency,
@@ -156,21 +167,36 @@ impl Journal {
 
     /// Appends an event. Mirror I/O failures do not panic; they are
     /// reported through [`Journal::mirror_error`].
+    ///
+    /// Serialization happens **only when a file mirror is attached**:
+    /// the in-memory journal stores the event value itself, so the
+    /// unmirrored steady state (every benchmark engine and every
+    /// parallel worker shard) pays a lock and a `Vec` push, nothing
+    /// more.
     pub fn append(&self, event: Event) {
+        if !self.mirrored.load(Ordering::Acquire) && self.probes.get().is_none() {
+            self.events.lock().push(event);
+            return;
+        }
         // Latency is sampled 1-in-16; the append counter stays exact.
         let t0 = self
             .probes
             .get()
             .and_then(|p| p.sample_tick().then(std::time::Instant::now));
-        let line = serde_json::to_string(&event).expect("Event is always serializable");
         let mut events = self.events.lock();
-        events.push(event);
-        let mut guard = self.mirror.lock();
-        if let Some(m) = guard.as_mut() {
-            if let Err(e) = m.writer.append_line(&line, false) {
-                Self::fail_mirror(&mut guard, &self.mirror_error, "append", &e);
+        if self.mirrored.load(Ordering::Acquire) {
+            let line = serde_json::to_string(&event).expect("Event is always serializable");
+            events.push(event);
+            let mut guard = self.mirror.lock();
+            if let Some(m) = guard.as_mut() {
+                if let Err(e) = m.writer.append_line(&line, false) {
+                    self.fail_mirror(&mut guard, "append", &e);
+                }
             }
+        } else {
+            events.push(event);
         }
+        drop(events);
         if let Some(p) = self.probes.get() {
             p.appends.inc();
             if let Some(t0) = t0 {
@@ -180,8 +206,13 @@ impl Journal {
     }
 
     /// Appends a batch of events with a single lock acquisition and a
-    /// single flush of the mirror — how the parallel scheduler merges
-    /// per-worker journal shards back into the main journal.
+    /// single group commit of the mirror — how the parallel scheduler
+    /// merges per-worker journal shards back into the main journal.
+    ///
+    /// When a mirror is attached the whole batch is serialized into
+    /// one reused buffer and written with a single `write_all` — the
+    /// bytes are exactly the per-event lines in order, so the journal
+    /// file format is unchanged.
     pub fn append_batch(&self, batch: Vec<Event>) {
         if batch.is_empty() {
             return;
@@ -190,24 +221,26 @@ impl Journal {
             p.appends.add(batch.len() as u64);
             p.batch_size.record(batch.len() as u64);
         }
-        let lines: Vec<String> = batch
-            .iter()
-            .map(|event| serde_json::to_string(event).expect("Event is always serializable"))
-            .collect();
         let mut events = self.events.lock();
-        events.extend(batch);
-        let mut guard = self.mirror.lock();
-        if let Some(m) = guard.as_mut() {
-            let last = lines.len() - 1;
-            for (i, line) in lines.iter().enumerate() {
-                // Only the final line of the batch is a potential flush
-                // point: the batch becomes one group commit.
-                if let Err(e) = m.writer.append_line(line, i == last) {
-                    Self::fail_mirror(&mut guard, &self.mirror_error, "append", &e);
-                    break;
+        if self.mirrored.load(Ordering::Acquire) {
+            let mut guard = self.mirror.lock();
+            if let Some(m) = guard.as_mut() {
+                let mut buf = std::mem::take(&mut m.buf);
+                buf.clear();
+                for event in &batch {
+                    serde_json::append_to_string(&mut buf, event)
+                        .expect("Event is always serializable");
+                    buf.push('\n');
+                }
+                // The batch end is a flush barrier: one group commit.
+                if let Err(e) = m.writer.append_chunk(&buf, batch.len(), true) {
+                    self.fail_mirror(&mut guard, "append", &e);
+                } else {
+                    m.buf = buf;
                 }
             }
         }
+        events.extend(batch);
     }
 
     /// Forces buffered mirror lines to the file (a durability barrier
@@ -217,7 +250,7 @@ impl Journal {
         let mut guard = self.mirror.lock();
         if let Some(m) = guard.as_mut() {
             if let Err(e) = m.writer.flush() {
-                Self::fail_mirror(&mut guard, &self.mirror_error, "flush", &e);
+                self.fail_mirror(&mut guard, "flush", &e);
             }
         }
     }
@@ -267,7 +300,7 @@ impl Journal {
                 .map(|ev| serde_json::to_string(ev).expect("Event is always serializable"));
             match atomic_rewrite(&m.path, lines) {
                 Ok(file) => m.writer.replace_file(file),
-                Err(e) => Self::fail_mirror(&mut guard, &self.mirror_error, "compact", &e),
+                Err(e) => self.fail_mirror(&mut guard, "compact", &e),
             }
         }
         dropped

@@ -25,21 +25,24 @@
 //!   block activity itself finishes with the scope's output (and loops
 //!   if its own exit condition says so).
 //!
-//! Navigation runs entirely on the [`CompiledProcess`](crate::compiled::CompiledProcess) template:
-//! activities and connectors are addressed by dense ids, conditions
-//! are precompiled [`CondPlan`](crate::compiled::CondPlan)s, and the
-//! per-instance ready queue replaces the historical rescan of the
-//! definition on every step (see [`find_runnable`]). Services are
-//! shared references, so independent instances can be navigated from
-//! multiple worker threads concurrently (each against its own journal
-//! shard — see [`crate::Engine::run_all_parallel`]).
+//! Navigation runs entirely on **global slots**: the compiled
+//! template's [`ScopeLayout`](crate::compiled::ScopeLayout) flattens
+//! every activity, connector and scope into contiguous index spaces,
+//! and the per-instance [`StateSlab`](crate::state::StateSlab) holds
+//! one state column per slot. A navigation step is column indexing —
+//! no path vectors, no scope-tree walks — and everything an event
+//! needs (journal path strings, activity names, container prototypes)
+//! is interned in the layout, so steady-state steps don't allocate.
+//! Services are shared references, so independent instances can be
+//! navigated from multiple worker threads concurrently (each against
+//! its own journal shard — see [`crate::Engine::run_all_parallel`]).
 
-use crate::compiled::{ActId, CompiledKind, CompiledScope, DataSource, IdPath};
+use crate::compiled::{CompiledKind, DataSource, ScopeId};
 use crate::event::{Event, WorkItemId};
 use crate::journal::Journal;
 use crate::metrics::EngineObs;
 use crate::org::OrgModel;
-use crate::state::{ActState, Instance, InstanceStatus, ScopeState};
+use crate::state::{ActState, Instance, InstanceStatus};
 use crate::worklist::{WorkItem, WorkItemState, WorklistStore};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -48,7 +51,7 @@ use std::sync::Arc;
 use txn_substrate::{
     MultiDatabase, ProgramContext, ProgramOutcome, ProgramRegistry, Value, VirtualClock,
 };
-use wfms_model::{Container, StartCondition, RC_MEMBER};
+use wfms_model::{StartCondition, RC_MEMBER};
 
 /// Shared services the navigator needs while driving an instance.
 /// Every field is a shared reference: the navigator mutates only the
@@ -91,53 +94,41 @@ pub fn start_instance(inst: &mut Instance, svc: &NavServices<'_>) {
     svc.journal.append(Event::InstanceStarted {
         instance: inst.id,
         process: inst.tpl.def.name.clone(),
-        input: inst.root.input.clone(),
+        input: inst.root_input().clone(),
         at: svc.now(),
     });
-    seed_scope(inst, svc, &[]);
+    seed_scope(inst, svc, 0);
 }
 
-/// Makes the start activities of the scope at `scope_ids` ready.
-fn seed_scope(inst: &mut Instance, svc: &NavServices<'_>, scope_ids: &[ActId]) {
+/// Makes the start activities of scope `s` ready.
+fn seed_scope(inst: &mut Instance, svc: &NavServices<'_>, s: ScopeId) {
     let tpl = Arc::clone(&inst.tpl);
-    let Some(cs) = tpl.scope_at(scope_ids) else {
-        return;
-    };
-    let mut path = scope_ids.to_vec();
-    for &start in &cs.starts {
-        path.push(start);
-        make_ready(inst, svc, &path);
-        path.pop();
+    let m = tpl.layout.scope(s);
+    for &start in &m.cs.starts {
+        make_ready(inst, svc, m.act_base + start);
     }
 }
 
-/// Transitions the activity at `path` to ready: queues it for the
+/// Transitions the activity at `slot` to ready: queues it for the
 /// engine if automatic, offers a work item if manual.
-fn make_ready(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
+fn make_ready(inst: &mut Instance, svc: &NavServices<'_>, slot: u32) {
     let instance = inst.id;
     let now = svc.now();
     let tpl = Arc::clone(&inst.tpl);
-    let (&id, scope_ids) = path.split_last().expect("path never empty");
-    let Some(cs) = tpl.scope_at(scope_ids) else {
-        return;
-    };
-    let act = cs.act(id);
-    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
-        return;
-    };
-    let rt = scope.rt_mut(id);
-    rt.state = ActState::Ready;
-    rt.ready_since = Some(now);
-    rt.notified = false;
-    let attempt = rt.attempt;
+    let lay = &tpl.layout;
+    let sl = slot as usize;
+    inst.set_act_state(slot, ActState::Ready);
+    inst.slab.ready_since[sl] = Some(now);
+    inst.slab.notified[sl] = false;
+    let attempt = inst.slab.attempt[sl];
     svc.journal.append(Event::ActivityReady {
         instance,
-        path: tpl.path_string(path),
+        path: lay.paths[sl].clone().into(),
         attempt,
         at: now,
     });
-    if act.automatic {
-        inst.push_ready(path.to_vec());
+    if lay.automatic[sl] {
+        inst.push_ready(lay.rank[sl]);
         if svc.obs.enabled() {
             svc.obs.ready_depth.record_max(inst.ready.len() as i64);
         }
@@ -145,12 +136,13 @@ fn make_ready(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
         if svc.obs.enabled() {
             svc.obs.items_offered.inc();
         }
+        let act = lay.act(slot);
         let persons = svc.org.lock().resolve(&act.staff);
         let item = WorkItemId(svc.next_item.fetch_add(1, Ordering::Relaxed));
         svc.worklists.lock().offer(WorkItem {
             id: item,
             instance,
-            path: tpl.path_string(path),
+            path: lay.paths[sl].to_string(),
             attempt,
             offered_to: persons.clone(),
             state: WorkItemState::Offered,
@@ -158,7 +150,7 @@ fn make_ready(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
         });
         svc.journal.append(Event::WorkItemOffered {
             instance,
-            path: tpl.path_string(path),
+            path: lay.paths[sl].clone().into(),
             item,
             persons,
             at: now,
@@ -167,41 +159,30 @@ fn make_ready(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
 }
 
 /// Pops the next runnable activity (ready + automatic) off the
-/// instance's ready queue. The queue is a min-heap on id paths, whose
-/// lexicographic order equals the historical depth-first
-/// declaration-order scan; stale entries are validated away here.
-pub fn find_runnable(inst: &mut Instance) -> Option<IdPath> {
+/// instance's ready queue, as a global act slot. The queue is a
+/// min-heap of execution ranks, whose order equals the historical
+/// depth-first declaration-order scan; stale entries are validated
+/// away here.
+pub fn find_runnable(inst: &mut Instance) -> Option<u32> {
     if inst.status != InstanceStatus::Running {
         return None;
     }
-    while let Some(std::cmp::Reverse(path)) = inst.ready.pop() {
-        if is_runnable(inst, &path) {
-            return Some(path);
+    while let Some(std::cmp::Reverse(rank)) = inst.ready.pop() {
+        let slot = inst.tpl.layout.rank_to_slot[rank as usize];
+        if is_runnable(inst, slot) {
+            return Some(slot);
         }
     }
     None
 }
 
-/// A queued path is still runnable iff every prefix block is `Running`
-/// with its child scope open and the final activity is `Ready` and
-/// automatic.
-fn is_runnable(inst: &Instance, path: &[ActId]) -> bool {
-    let Some((&id, scope_ids)) = path.split_last() else {
-        return false;
-    };
-    let mut cs: &CompiledScope = &inst.tpl.root;
-    let mut st: &ScopeState = &inst.root;
-    for &block in scope_ids {
-        if st.rt(block).state != ActState::Running {
-            return false;
-        }
-        let (Some(child_cs), Some(child_st)) = (cs.child_scope(block), st.child(block)) else {
-            return false;
-        };
-        cs = child_cs;
-        st = child_st;
-    }
-    st.rt(id).state == ActState::Ready && cs.act(id).automatic
+/// A queued slot is still runnable iff every enclosing block is
+/// `Running` with its child scope open and the activity itself is
+/// `Ready` and automatic.
+fn is_runnable(inst: &Instance, slot: u32) -> bool {
+    inst.slab.state[slot as usize] == ActState::Ready
+        && inst.tpl.layout.automatic[slot as usize]
+        && inst.ancestors_open(slot)
 }
 
 /// Drives `inst` until no automatic activity is runnable. Returns the
@@ -212,44 +193,39 @@ pub(crate) fn drive_to_quiescence(
     limit: usize,
 ) -> Option<usize> {
     let mut steps = 0usize;
-    while let Some(path) = find_runnable(inst) {
+    while let Some(slot) = find_runnable(inst) {
         steps += 1;
         if steps > limit {
             return None;
         }
-        execute_activity(inst, svc, &path, None);
+        execute_activity(inst, svc, slot, None);
     }
     Some(steps)
 }
 
-/// Executes the activity at `path` (which must be ready). `by` names
+/// Executes the activity at `slot` (which must be ready). `by` names
 /// the person for manual executions; `None` means the engine runs it.
-pub fn execute_activity(
-    inst: &mut Instance,
-    svc: &NavServices<'_>,
-    path: &[ActId],
-    by: Option<String>,
-) {
+pub fn execute_activity(inst: &mut Instance, svc: &NavServices<'_>, slot: u32, by: Option<String>) {
     let instance = inst.id;
     let tpl = Arc::clone(&inst.tpl);
-    let (&id, scope_ids) = path.split_last().expect("path never empty");
-    let Some(cs) = tpl.scope_at(scope_ids) else {
-        return;
-    };
-    let act = cs.act(id);
+    let lay = &tpl.layout;
+    let sl = slot as usize;
+    let act = lay.act(slot);
+    let s = lay.owner[sl];
+    let m = lay.scope(s);
 
     // Materialise the input container from the data connectors whose
-    // sources are available (§3.2 flow of data).
-    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
-        return;
-    };
-    let mut input = act.input.instantiate();
+    // sources are available (§3.2 flow of data). With no data
+    // connectors this is a clone of the interned prototype — a
+    // reference-count bump.
+    let mut input = lay.input_proto[sl].clone();
     for d in &act.data_in {
-        let source: Option<&Container> = match &d.source {
-            DataSource::ProcessInput => Some(&scope.input),
+        let source = match &d.source {
+            DataSource::ProcessInput => Some(&inst.slab.scope_input[s as usize]),
             DataSource::ActivityOutput(src) => {
-                let rt = scope.rt(*src);
-                (rt.is_terminated() && rt.executed).then_some(&rt.output)
+                let ss = (m.act_base + *src) as usize;
+                (inst.slab.state[ss] == ActState::Terminated && inst.slab.executed[ss])
+                    .then(|| &inst.slab.output[ss])
             }
         };
         let Some(source) = source else { continue };
@@ -260,14 +236,17 @@ pub fn execute_activity(
         }
     }
 
-    let rt = scope.rt_mut(id);
-    debug_assert_eq!(rt.state, ActState::Ready, "execute requires ready");
-    rt.state = ActState::Running;
-    rt.input = input.clone();
-    let attempt = rt.attempt;
+    debug_assert_eq!(
+        inst.slab.state[sl],
+        ActState::Ready,
+        "execute requires ready"
+    );
+    inst.set_act_state(slot, ActState::Running);
+    inst.slab.input[sl] = input.clone();
+    let attempt = inst.slab.attempt[sl];
     svc.journal.append(Event::ActivityStarted {
         instance,
-        path: tpl.path_string(path),
+        path: lay.paths[sl].clone().into(),
         attempt,
         by,
         input: input.clone(),
@@ -281,7 +260,7 @@ pub fn execute_activity(
         }
         svc.obs
             .observer
-            .span("activity.execute", || tpl.path_string(path))
+            .span("activity.execute", || lay.paths[sl].to_string())
     });
     // Start→finish latency clock: probes are only handed to instances
     // of observed engines, so this is one `None` check otherwise.
@@ -296,8 +275,8 @@ pub fn execute_activity(
             // the State_i flags to its outgoing transition conditions.
             let outputs: BTreeMap<String, Value> =
                 input.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-            complete_execution(inst, svc, path, 1, outputs);
-            record_latency(inst, path, t0);
+            complete_execution(inst, svc, slot, 1, outputs);
+            record_latency(inst, slot, t0);
         }
         CompiledKind::Program(program) => {
             let mut ctx = ProgramContext::new(Arc::clone(svc.multidb));
@@ -308,25 +287,23 @@ pub fn execute_activity(
                 ProgramOutcome::Committed { rc, outputs } => (rc, outputs),
                 ProgramOutcome::Aborted { rc, .. } => (rc, BTreeMap::new()),
             };
-            complete_execution(inst, svc, path, rc, outputs);
-            record_latency(inst, path, t0);
+            complete_execution(inst, svc, slot, rc, outputs);
+            record_latency(inst, slot, t0);
         }
-        CompiledKind::Block(child) => {
-            // Start the child scope; its input container is the block
-            // activity's materialised input. The block stays running
-            // until the child scope finishes.
-            let mut child_state = ScopeState::for_scope(child);
+        CompiledKind::Block(_) => {
+            // Open the child scope; its input container is the block
+            // activity's materialised input merged over the scope's
+            // prototype. The block stays running until the child scope
+            // finishes.
+            let c = lay.block_child[sl].expect("compiled block has a child scope");
+            inst.open_scope(c);
             for (k, v) in input.iter() {
-                child_state.input.set(k, v.clone());
+                inst.slab.scope_input[c as usize].set(k, v.clone());
             }
-            let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
-                return;
-            };
-            scope.set_child(id, child_state);
-            seed_scope(inst, svc, path);
+            seed_scope(inst, svc, c);
             // An empty block (no activities) finishes immediately;
             // validation forbids it, but stay safe.
-            check_scope_completion(inst, svc, path);
+            check_scope_completion(inst, svc, c);
             // No latency probe for blocks: a block "runs" across many
             // navigation steps, so its wall-clock span is the sum of
             // its inner activities' probes.
@@ -335,9 +312,10 @@ pub fn execute_activity(
 }
 
 /// Records start→finish latency into the instance's pre-resolved probe
-/// for `path`. `t0` is `Some` only on observed engines.
-fn record_latency(inst: &Instance, path: &[ActId], t0: Option<std::time::Instant>) {
+/// for `slot`. `t0` is `Some` only on observed engines.
+fn record_latency(inst: &Instance, slot: u32, t0: Option<std::time::Instant>) {
     let Some(t0) = t0 else { return };
+    let path = &inst.tpl.layout.id_paths[slot as usize];
     if let Some(h) = inst.probes.as_ref().and_then(|p| p.probe(path)) {
         h.record(t0.elapsed().as_nanos() as u64);
     }
@@ -349,101 +327,92 @@ fn record_latency(inst: &Instance, path: &[ActId], t0: Option<std::time::Instant
 pub fn complete_execution(
     inst: &mut Instance,
     svc: &NavServices<'_>,
-    path: &[ActId],
+    slot: u32,
     rc: i64,
     outputs: BTreeMap<String, Value>,
 ) {
     let instance = inst.id;
     let tpl = Arc::clone(&inst.tpl);
-    let (&id, scope_ids) = path.split_last().expect("path never empty");
-    let Some(cs) = tpl.scope_at(scope_ids) else {
-        return;
-    };
-    let schema = &cs.act(id).eff_output;
-    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
-        return;
-    };
+    let lay = &tpl.layout;
+    let sl = slot as usize;
 
-    let mut output = schema.instantiate();
-    for (k, v) in outputs {
-        // Only declared members enter the container: schema discipline
-        // (undeclared program outputs are dropped, as in FlowMark where
-        // the API only exposes declared container members).
-        if schema.has(&k) {
-            output.set(&k, v);
+    let output = if rc == 1 && outputs.is_empty() {
+        // Fast path: no program outputs and the common rc — the
+        // interned prototype (schema defaults + `RC = 1`) is exactly
+        // the container the general path would build.
+        lay.output_rc1[sl].clone()
+    } else {
+        let schema = &lay.act(slot).eff_output;
+        let mut output = schema.instantiate();
+        for (k, v) in outputs {
+            // Only declared members enter the container: schema
+            // discipline (undeclared program outputs are dropped, as in
+            // FlowMark where the API only exposes declared container
+            // members).
+            if schema.has(&k) {
+                output.set(&k, v);
+            }
         }
-    }
-    output.set(RC_MEMBER, Value::Int(rc));
+        output.set(RC_MEMBER, Value::Int(rc));
+        output
+    };
 
     if svc.obs.enabled() {
         // Count executions that ran inside a compensation block (the
         // saga translation nests undo activities in a block named
         // "Compensation" — see the atm crate's saga lowering).
-        if let Some((&bid, parents)) = scope_ids.split_last() {
-            if tpl
-                .scope_at(parents)
-                .is_some_and(|pcs| pcs.act(bid).name == "Compensation")
-            {
+        if let Some((_, pslot)) = lay.scope(lay.owner[sl]).parent {
+            if lay.act(pslot).name == "Compensation" {
                 svc.obs.compensations.inc();
             }
         }
     }
 
-    let rt = scope.rt_mut(id);
-    rt.state = ActState::Finished;
-    rt.output = output.clone();
-    let attempt = rt.attempt;
+    inst.set_act_state(slot, ActState::Finished);
+    inst.slab.output[sl] = output.clone();
+    let attempt = inst.slab.attempt[sl];
     svc.journal.append(Event::ActivityFinished {
         instance,
-        path: tpl.path_string(path),
+        path: lay.paths[sl].clone().into(),
         attempt,
         output,
         at: svc.now(),
     });
     if tpl.root.any_manual {
-        svc.worklists
-            .lock()
-            .close_for(instance, &tpl.path_string(path));
+        svc.worklists.lock().close_for(instance, &lay.paths[sl]);
     }
-    decide_exit(inst, svc, path);
+    decide_exit(inst, svc, slot);
 }
 
 /// Decides the exit condition of a *finished* activity: terminate on
 /// true, reschedule on false (§3.2). Public so recovery can resume an
 /// instance whose journal ends right after an `ActivityFinished`.
-pub fn decide_exit(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
+pub fn decide_exit(inst: &mut Instance, svc: &NavServices<'_>, slot: u32) {
     let instance = inst.id;
     let tpl = Arc::clone(&inst.tpl);
-    let (&id, scope_ids) = path.split_last().expect("path never empty");
-    let Some(cs) = tpl.scope_at(scope_ids) else {
-        return;
-    };
-    let act = cs.act(id);
-    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
-        return;
-    };
-    let exit_ok = act.exit.eval_exit(&scope.rt(id).output);
+    let lay = &tpl.layout;
+    let sl = slot as usize;
+    let exit_ok = lay.act(slot).exit.eval_exit(&inst.slab.output[sl]);
     if exit_ok {
-        terminate_activity(inst, svc, path, true);
+        terminate_activity(inst, svc, slot, true);
     } else {
         if svc.obs.enabled() {
             svc.obs.reschedules.inc();
         }
-        if matches!(act.kind, CompiledKind::Block(_)) {
+        if let Some(c) = lay.block_child[sl] {
             // A rescheduled block starts over with a fresh child scope.
-            scope.remove_child(id);
+            inst.close_scope(c);
         }
-        let rt = scope.rt_mut(id);
-        rt.attempt += 1;
-        let next_attempt = rt.attempt;
-        rt.state = ActState::Waiting; // make_ready flips to Ready
+        inst.slab.attempt[sl] += 1;
+        let next_attempt = inst.slab.attempt[sl];
+        inst.set_act_state(slot, ActState::Waiting); // make_ready flips to Ready
         svc.journal.append(Event::ActivityRescheduled {
             instance,
-            path: tpl.path_string(path),
+            path: lay.paths[sl].clone().into(),
             next_attempt,
             at: svc.now(),
         });
-        make_ready(inst, svc, path);
+        make_ready(inst, svc, slot);
     }
 }
 
@@ -451,24 +420,19 @@ pub fn decide_exit(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
 /// crashed is re-executed from the beginning (§3.3: "the activity will
 /// be rescheduled to be executed from the beginning"). Any stale work
 /// item is closed; a manual activity is re-offered.
-pub fn reset_running_to_ready(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
+pub fn reset_running_to_ready(inst: &mut Instance, svc: &NavServices<'_>, slot: u32) {
     let instance = inst.id;
     let tpl = Arc::clone(&inst.tpl);
-    let (&id, scope_ids) = path.split_last().expect("path never empty");
-    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
-        return;
-    };
-    let rt = scope.rt_mut(id);
-    if rt.state != ActState::Running {
+    if inst.slab.state[slot as usize] != ActState::Running {
         return;
     }
-    rt.state = ActState::Waiting;
+    inst.set_act_state(slot, ActState::Waiting);
     if tpl.root.any_manual {
         svc.worklists
             .lock()
-            .close_for(instance, &tpl.path_string(path));
+            .close_for(instance, &tpl.layout.paths[slot as usize]);
     }
-    make_ready(inst, svc, path);
+    make_ready(inst, svc, slot);
 }
 
 /// Recovery helper: re-derives the fate of a `Waiting` activity whose
@@ -485,22 +449,15 @@ pub fn reset_running_to_ready(inst: &mut Instance, svc: &NavServices<'_>, path: 
 ///   (the `ConnectorEvaluated` events are in the journal) but whose
 ///   ready/dead decision event was cut off — re-run the start-condition
 ///   decision. Undecidable joins are left waiting, exactly as live.
-pub(crate) fn renavigate_waiting(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
+pub(crate) fn renavigate_waiting(inst: &mut Instance, svc: &NavServices<'_>, slot: u32) {
     let tpl = Arc::clone(&inst.tpl);
-    let (&id, scope_ids) = path.split_last().expect("path never empty");
-    let Some(cs) = tpl.scope_at(scope_ids) else {
-        return;
-    };
-    let Some((_, scope)) = inst.resolve(scope_ids) else {
-        return;
-    };
-    if scope.rt(id).state != ActState::Waiting {
+    if inst.slab.state[slot as usize] != ActState::Waiting {
         return; // an earlier fix-up's cascade already decided it
     }
-    if cs.act(id).incoming.is_empty() {
-        make_ready(inst, svc, path);
+    if tpl.layout.act(slot).incoming.is_empty() {
+        make_ready(inst, svc, slot);
     } else {
-        update_target(inst, svc, path);
+        update_target(inst, svc, slot);
     }
 }
 
@@ -510,92 +467,68 @@ pub(crate) fn renavigate_waiting(inst: &mut Instance, svc: &NavServices<'_>, pat
 /// `ConnectorEvaluated` events (and their target cascades) were lost.
 /// Only edges the replay found unevaluated are (re)evaluated, in
 /// declaration order, exactly as the live path would have continued.
-pub(crate) fn reevaluate_outgoing(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
+pub(crate) fn reevaluate_outgoing(inst: &mut Instance, svc: &NavServices<'_>, slot: u32) {
     let instance = inst.id;
     let tpl = Arc::clone(&inst.tpl);
-    let (&id, scope_ids) = path.split_last().expect("path never empty");
-    let Some(cs) = tpl.scope_at(scope_ids) else {
+    let lay = &tpl.layout;
+    let sl = slot as usize;
+    if inst.slab.state[sl] != ActState::Terminated {
         return;
-    };
-    let act = cs.act(id);
-    let executed = {
-        let Some((_, scope)) = inst.resolve(scope_ids) else {
-            return;
-        };
-        if scope.rt(id).state != ActState::Terminated {
-            return;
-        }
-        scope.rt(id).executed
-    };
-    let scope_name = tpl.path_string(scope_ids);
-    for &edge_id in &act.outgoing {
-        let edge = &cs.edges[edge_id as usize];
-        let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
-            return;
-        };
-        if scope.connectors[edge_id as usize].is_some() {
+    }
+    let executed = inst.slab.executed[sl];
+    let m = lay.scope(lay.owner[sl]);
+    for &edge_id in &lay.act(slot).outgoing {
+        let edge = &m.cs.edges[edge_id as usize];
+        let es = (m.edge_base + edge_id) as usize;
+        if inst.slab.connectors[es].is_some() {
             continue; // evaluated before the crash
         }
-        let value = executed && edge.cond.eval_transition(&scope.rt(id).output);
-        scope.connectors[edge_id as usize] = Some(value);
+        let value = executed && edge.cond.eval_transition(&inst.slab.output[sl]);
+        inst.slab.connectors[es] = Some(value);
         svc.journal.append(Event::ConnectorEvaluated {
             instance,
-            scope: scope_name.clone(),
-            from: act.name.clone(),
-            to: cs.act(edge.to).name.clone(),
+            scope: m.path.clone().into(),
+            from: lay.edge_names[es].0.clone().into(),
+            to: lay.edge_names[es].1.clone().into(),
             value,
             at: svc.now(),
         });
-        let mut target_path = scope_ids.to_vec();
-        target_path.push(edge.to);
-        update_target(inst, svc, &target_path);
+        update_target(inst, svc, m.act_base + edge.to);
     }
 }
 
-/// Terminates the activity at `path`. `executed = false` is the dead
+/// Terminates the activity at `slot`. `executed = false` is the dead
 /// path elimination case. Evaluates outgoing connectors, cascades to
 /// targets and checks scope completion.
-pub fn terminate_activity(
-    inst: &mut Instance,
-    svc: &NavServices<'_>,
-    path: &[ActId],
-    executed: bool,
-) {
+pub fn terminate_activity(inst: &mut Instance, svc: &NavServices<'_>, slot: u32, executed: bool) {
     let instance = inst.id;
     let tpl = Arc::clone(&inst.tpl);
-    let (&id, scope_ids) = path.split_last().expect("path never empty");
-    let Some(cs) = tpl.scope_at(scope_ids) else {
-        return;
-    };
-    let act = cs.act(id);
-    let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
-        return;
-    };
+    let lay = &tpl.layout;
+    let sl = slot as usize;
+    let act = lay.act(slot);
+    let s = lay.owner[sl];
     if !executed && svc.obs.enabled() {
         svc.obs.dead_paths.inc();
     }
-    let rt = scope.rt_mut(id);
-    rt.state = ActState::Terminated;
-    rt.executed = executed;
+    inst.set_act_state(slot, ActState::Terminated);
+    inst.slab.executed[sl] = executed;
     svc.journal.append(Event::ActivityTerminated {
         instance,
-        path: tpl.path_string(path),
+        path: lay.paths[sl].clone().into(),
         executed,
         at: svc.now(),
     });
     if tpl.root.any_manual {
-        svc.worklists
-            .lock()
-            .close_for(instance, &tpl.path_string(path));
+        svc.worklists.lock().close_for(instance, &lay.paths[sl]);
     }
 
     // Data connectors from this activity to the scope's output
     // container take effect at termination of an executed activity.
     if executed && !act.data_out.is_empty() {
-        let output = scope.rt(id).output.clone();
+        let output = inst.slab.output[sl].clone();
         for (from, to) in &act.data_out {
             if let Some(v) = output.get(from) {
-                scope.output.set(to, v.clone());
+                inst.slab.scope_output[s as usize].set(to, v.clone());
             }
         }
     }
@@ -605,52 +538,44 @@ pub fn terminate_activity(
     // transition plans over the output container (evaluation errors
     // are false — fail safe — and statically constant conditions were
     // folded at compile time).
-    let scope_name = tpl.path_string(scope_ids);
+    let m = lay.scope(s);
     for &edge_id in &act.outgoing {
-        let edge = &cs.edges[edge_id as usize];
-        let Some((_, scope)) = inst.resolve_mut(scope_ids) else {
-            return;
-        };
-        let value = executed && edge.cond.eval_transition(&scope.rt(id).output);
-        scope.connectors[edge_id as usize] = Some(value);
+        let edge = &m.cs.edges[edge_id as usize];
+        let es = (m.edge_base + edge_id) as usize;
+        let value = executed && edge.cond.eval_transition(&inst.slab.output[sl]);
+        inst.slab.connectors[es] = Some(value);
         svc.journal.append(Event::ConnectorEvaluated {
             instance,
-            scope: scope_name.clone(),
-            from: act.name.clone(),
-            to: cs.act(edge.to).name.clone(),
+            scope: m.path.clone().into(),
+            from: lay.edge_names[es].0.clone().into(),
+            to: lay.edge_names[es].1.clone().into(),
             value,
             at: svc.now(),
         });
-        let mut target_path = scope_ids.to_vec();
-        target_path.push(edge.to);
-        update_target(inst, svc, &target_path);
+        update_target(inst, svc, m.act_base + edge.to);
     }
 
-    check_scope_completion(inst, svc, scope_ids);
+    check_scope_completion(inst, svc, s);
 }
 
 /// Re-examines a waiting activity's start condition after one of its
 /// incoming connectors was evaluated; makes it ready or dead.
-fn update_target(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
+fn update_target(inst: &mut Instance, svc: &NavServices<'_>, slot: u32) {
     let tpl = Arc::clone(&inst.tpl);
-    let (&id, scope_ids) = path.split_last().expect("path never empty");
-    let Some(cs) = tpl.scope_at(scope_ids) else {
-        return;
-    };
-    let act = cs.act(id);
-    let Some((_, scope)) = inst.resolve(scope_ids) else {
-        return;
-    };
-    if scope.rt(id).state != ActState::Waiting {
+    let lay = &tpl.layout;
+    let sl = slot as usize;
+    if inst.slab.state[sl] != ActState::Waiting {
         // Already ready/running/terminated; OR-joins latch on the
         // first true connector.
         return;
     }
+    let act = lay.act(slot);
+    let m = lay.scope(lay.owner[sl]);
     let mut any_true = false;
     let mut any_false = false;
     let mut any_pending = false;
     for &e in &act.incoming {
-        match scope.connector_value(e) {
+        match inst.slab.connectors[(m.edge_base + e) as usize] {
             Some(true) => any_true = true,
             Some(false) => any_false = true,
             None => any_pending = true,
@@ -677,31 +602,24 @@ fn update_target(inst: &mut Instance, svc: &NavServices<'_>, path: &[ActId]) {
         }
     };
     match decision {
-        Some(true) => make_ready(inst, svc, path),
-        Some(false) => terminate_activity(inst, svc, path, false),
+        Some(true) => make_ready(inst, svc, slot),
+        Some(false) => terminate_activity(inst, svc, slot, false),
         None => {}
     }
 }
 
-/// If every activity of the scope at `scope_ids` is terminated, the
-/// scope is finished: the root scope finishes the instance; a block
-/// scope finishes its block activity (which may loop via its exit
-/// condition).
-pub(crate) fn check_scope_completion(
-    inst: &mut Instance,
-    svc: &NavServices<'_>,
-    scope_ids: &[ActId],
-) {
+/// If every activity of scope `s` is terminated (tracked as a counter,
+/// not a scan), the scope is finished: the root scope finishes the
+/// instance; a block scope finishes its block activity (which may loop
+/// via its exit condition).
+pub(crate) fn check_scope_completion(inst: &mut Instance, svc: &NavServices<'_>, s: ScopeId) {
     let instance = inst.id;
-    let Some((_, scope)) = inst.resolve(scope_ids) else {
-        return;
-    };
-    if !scope.all_terminated() {
+    if !inst.slab.scope_live[s as usize] || inst.slab.remaining[s as usize] != 0 {
         return;
     }
-    let output = scope.output.clone();
+    let output = inst.slab.scope_output[s as usize].clone();
 
-    if scope_ids.is_empty() {
+    if s == 0 {
         if inst.status == InstanceStatus::Running {
             inst.status = InstanceStatus::Finished;
             svc.obs
@@ -719,17 +637,19 @@ pub(crate) fn check_scope_completion(
     // A block scope finished: complete the block activity with the
     // scope's output. The block's return code is the scope output's
     // RC member when declared, else 1 ("the block ran").
-    let (&block_id, parent_ids) = scope_ids.split_last().expect("non-empty");
-    let Some((_, parent)) = inst.resolve(parent_ids) else {
-        return;
-    };
-    if parent.rt(block_id).state != ActState::Running {
+    let (_, pslot) = inst
+        .tpl
+        .layout
+        .scope(s)
+        .parent
+        .expect("non-root scope has a parent block");
+    if inst.slab.state[pslot as usize] != ActState::Running {
         return; // already completed (idempotence guard)
     }
     let rc = output.get(RC_MEMBER).and_then(|v| v.as_int()).unwrap_or(1);
     let outputs: BTreeMap<String, Value> =
         output.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
-    complete_execution(inst, svc, scope_ids, rc, outputs);
+    complete_execution(inst, svc, pslot, rc, outputs);
 }
 
 /// Cancels the instance: closes its work items and journals the
@@ -762,86 +682,63 @@ pub fn cancel_instance(inst: &mut Instance, svc: &NavServices<'_>) {
 /// once per readiness period. Returns `(path, person)` pairs notified.
 ///
 /// The compiled template indexes deadline-bearing activities per scope
-/// ([`CompiledScope::deadline_acts`]) and records whether any exist at
-/// all ([`CompiledScope::any_deadlines`]), so instances without
-/// deadlines return without scanning anything.
+/// ([`CompiledScope::deadline_acts`](crate::compiled::CompiledScope::deadline_acts))
+/// and records whether any exist at all
+/// ([`CompiledScope::any_deadlines`](crate::compiled::CompiledScope::any_deadlines)),
+/// so instances without deadlines return without scanning anything.
+/// Scopes are visited in preorder — the historical depth-first scan
+/// order — skipping scopes that are not actively executing.
 pub fn check_deadlines(inst: &mut Instance, svc: &NavServices<'_>) -> Vec<(String, String)> {
     if !inst.tpl.root.any_deadlines {
         return Vec::new();
     }
 
-    fn scan(
-        cs: &CompiledScope,
-        scope: &mut ScopeState,
-        prefix: &mut IdPath,
-        now: txn_substrate::Tick,
-        org: &OrgModel,
-        due: &mut Vec<(IdPath, Vec<String>)>,
-    ) {
-        for &id in &cs.deadline_acts {
-            let act = cs.act(id);
-            let rt = scope.rt_mut(id);
-            if rt.state == ActState::Ready && !rt.notified {
-                if let (Some(deadline), Some(since)) = (act.deadline, rt.ready_since) {
+    let now = svc.now();
+    let tpl = Arc::clone(&inst.tpl);
+    let lay = &tpl.layout;
+    let mut due: Vec<(u32, Vec<String>)> = Vec::new();
+    {
+        let org = svc.org.lock();
+        for s in 0..lay.n_scopes() as ScopeId {
+            let m = lay.scope(s);
+            if m.cs.deadline_acts.is_empty() || !inst.scope_active(s) {
+                continue;
+            }
+            for &id in &m.cs.deadline_acts {
+                let slot = m.act_base + id;
+                let sl = slot as usize;
+                if inst.slab.state[sl] != ActState::Ready || inst.slab.notified[sl] {
+                    continue;
+                }
+                let act = lay.act(slot);
+                if let (Some(deadline), Some(since)) = (act.deadline, inst.slab.ready_since[sl]) {
                     if since + deadline <= now {
-                        rt.notified = true;
+                        inst.slab.notified[sl] = true;
                         let mut managers: Vec<String> = org
                             .resolve(&act.staff)
                             .iter()
-                            .filter_map(|p| org.manager_of(p).map(|m| m.name.clone()))
+                            .filter_map(|p| org.manager_of(p).map(|mg| mg.name.clone()))
                             .collect();
                         managers.sort();
                         managers.dedup();
-                        let mut path = prefix.clone();
-                        path.push(id);
-                        due.push((path, managers));
+                        due.push((slot, managers));
                     }
                 }
             }
         }
-        for (i, act) in cs.acts.iter().enumerate() {
-            if let CompiledKind::Block(child_cs) = &act.kind {
-                if !child_cs.any_deadlines {
-                    continue;
-                }
-                let id = i as ActId;
-                if scope.rt(id).state == ActState::Running {
-                    if let Some(child) = scope.child_mut(id) {
-                        prefix.push(id);
-                        scan(child_cs, child, prefix, now, org, due);
-                        prefix.pop();
-                    }
-                }
-            }
-        }
-    }
-
-    let now = svc.now();
-    let mut due = Vec::new();
-    let tpl = Arc::clone(&inst.tpl);
-    {
-        let org = svc.org.lock();
-        scan(
-            &tpl.root,
-            &mut inst.root,
-            &mut Vec::new(),
-            now,
-            &org,
-            &mut due,
-        );
     }
 
     let mut sent = Vec::new();
-    for (path, managers) in due {
-        let path_str = tpl.path_string(&path);
+    for (slot, managers) in due {
+        let path = &lay.paths[slot as usize];
         for person in managers {
             svc.journal.append(Event::NotificationSent {
                 instance: inst.id,
-                path: path_str.clone(),
+                path: path.clone().into(),
                 person: person.clone(),
                 at: now,
             });
-            sent.push((path_str.clone(), person));
+            sent.push((path.to_string(), person));
         }
     }
     // Deadline checks run off the clock-advance path (cold), so count

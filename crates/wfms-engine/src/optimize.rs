@@ -315,10 +315,7 @@ pub fn optimize(tpl: &CompiledProcess) -> (CompiledProcess, OptStats) {
     let mut stats = OptStats::default();
     let root = optimize_scope(&tpl.root, &mut stats);
     (
-        CompiledProcess {
-            def: Arc::clone(&tpl.def),
-            root: Arc::new(root),
-        },
+        CompiledProcess::from_parts(Arc::clone(&tpl.def), Arc::new(root)),
         stats,
     )
 }

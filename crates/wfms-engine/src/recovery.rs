@@ -16,19 +16,19 @@
 //!
 //! The journal records human-readable string paths (it is an audit
 //! trail first); replay resolves them against the **compiled
-//! template** once per event, and all reconstructed state is the same
-//! indexed [`ScopeState`] the live navigator uses — compilation is
-//! deterministic, so ids assigned at recovery address exactly the
-//! slots the crashed engine used.
+//! template** once per event, and all reconstructed state lands in the
+//! same slot-indexed [`StateSlab`](crate::state::StateSlab) the live
+//! navigator runs on — compilation is deterministic, so slots assigned
+//! at recovery address exactly the state the crashed engine used.
 
-use crate::compiled::{ActId, CompiledKind, CompiledProcess, CompiledScope, IdPath};
+use crate::compiled::{CompiledProcess, ScopeId};
 use crate::engine::{Engine, EngineConfig};
 use crate::event::{Event, InstanceId};
 use crate::journal::Journal;
 use crate::metrics::EngineObs;
 use crate::navigator;
 use crate::org::OrgModel;
-use crate::state::{split_path, ActState, Instance, InstanceStatus, ScopeState};
+use crate::state::{split_path, ActState, Instance, InstanceStatus};
 use crate::worklist::{WorkItem, WorkItemState, WorklistStore};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
@@ -213,7 +213,7 @@ fn apply(
                 .ok_or_else(|| RecoveryError::MissingTemplate(process.clone()))?;
             let mut inst = Instance::new(*instance, Arc::clone(tpl));
             for (k, v) in input.iter() {
-                inst.root.input.set(k, v.clone());
+                inst.root_input_mut().set(k, v.clone());
             }
             *next_instance = (*next_instance).max(instance.0 + 1);
             instances.insert(*instance, inst);
@@ -223,11 +223,11 @@ fn apply(
             path,
             attempt,
             at,
-        } => with_rt(instances, *instance, path, |rt| {
-            rt.state = ActState::Ready;
-            rt.attempt = *attempt;
-            rt.ready_since = Some(*at);
-            rt.notified = false;
+        } => with_slot(instances, *instance, path, |inst, slot| {
+            inst.set_act_state(slot, ActState::Ready);
+            inst.slab.attempt[slot as usize] = *attempt;
+            inst.slab.ready_since[slot as usize] = Some(*at);
+            inst.slab.notified[slot as usize] = false;
         }),
         Event::ActivityStarted {
             instance,
@@ -235,28 +235,18 @@ fn apply(
             input,
             ..
         } => {
-            let Some((inst, ids)) = resolve(instances, *instance, path) else {
-                return Ok(());
-            };
-            let tpl = Arc::clone(&inst.tpl);
-            let (&id, scope_ids) = ids.split_last().expect("path never empty");
-            let Some(cs) = tpl.scope_at(scope_ids) else {
-                return Ok(());
-            };
-            if let Some((_, scope)) = inst.resolve_mut(scope_ids) {
-                let rt = scope.rt_mut(id);
-                rt.state = ActState::Running;
-                rt.input = input.clone();
+            with_slot(instances, *instance, path, |inst, slot| {
+                inst.set_act_state(slot, ActState::Running);
+                inst.slab.input[slot as usize] = input.clone();
                 // A started block opens its child scope; the child's
                 // own events follow in the journal.
-                if let CompiledKind::Block(child_cs) = &cs.act(id).kind {
-                    let mut child = ScopeState::for_scope(child_cs);
+                if let Some(c) = inst.tpl.layout.block_child[slot as usize] {
+                    inst.open_scope(c);
                     for (k, v) in input.iter() {
-                        child.input.set(k, v.clone());
+                        inst.slab.scope_input[c as usize].set(k, v.clone());
                     }
-                    scope.set_child(id, child);
                 }
-            }
+            });
         }
         Event::ActivityFinished {
             instance,
@@ -264,9 +254,9 @@ fn apply(
             output,
             ..
         } => {
-            with_rt(instances, *instance, path, |rt| {
-                rt.state = ActState::Finished;
-                rt.output = output.clone();
+            with_slot(instances, *instance, path, |inst, slot| {
+                inst.set_act_state(slot, ActState::Finished);
+                inst.slab.output[slot as usize] = output.clone();
             });
             // Mirror the live navigator: finishing an activity closes
             // its work items (a reschedule re-offers a fresh one via
@@ -279,22 +269,13 @@ fn apply(
             next_attempt,
             ..
         } => {
-            let Some((inst, ids)) = resolve(instances, *instance, path) else {
-                return Ok(());
-            };
-            let tpl = Arc::clone(&inst.tpl);
-            let (&id, scope_ids) = ids.split_last().expect("path never empty");
-            let Some(cs) = tpl.scope_at(scope_ids) else {
-                return Ok(());
-            };
-            if let Some((_, scope)) = inst.resolve_mut(scope_ids) {
-                if matches!(cs.act(id).kind, CompiledKind::Block(_)) {
-                    scope.remove_child(id);
+            with_slot(instances, *instance, path, |inst, slot| {
+                if let Some(c) = inst.tpl.layout.block_child[slot as usize] {
+                    inst.close_scope(c);
                 }
-                let rt = scope.rt_mut(id);
-                rt.state = ActState::Waiting;
-                rt.attempt = *next_attempt;
-            }
+                inst.set_act_state(slot, ActState::Waiting);
+                inst.slab.attempt[slot as usize] = *next_attempt;
+            });
         }
         Event::ActivityTerminated {
             instance,
@@ -302,27 +283,23 @@ fn apply(
             executed,
             ..
         } => {
-            if let Some((inst, ids)) = resolve(instances, *instance, path) {
-                let tpl = Arc::clone(&inst.tpl);
-                let (&id, scope_ids) = ids.split_last().expect("path never empty");
-                if let (Some(cs), Some((_, scope))) =
-                    (tpl.scope_at(scope_ids), inst.resolve_mut(scope_ids))
-                {
-                    let rt = scope.rt_mut(id);
-                    rt.state = ActState::Terminated;
-                    rt.executed = *executed;
-                    // Re-apply the activity-output → scope-output data
-                    // connectors, as the navigator did live.
-                    if *executed {
-                        let output = scope.rt(id).output.clone();
-                        for (from, to) in &cs.act(id).data_out {
-                            if let Some(v) = output.get(from) {
-                                scope.output.set(to, v.clone());
-                            }
+            with_slot(instances, *instance, path, |inst, slot| {
+                let sl = slot as usize;
+                inst.set_act_state(slot, ActState::Terminated);
+                inst.slab.executed[sl] = *executed;
+                // Re-apply the activity-output → scope-output data
+                // connectors, as the navigator did live.
+                if *executed {
+                    let tpl = Arc::clone(&inst.tpl);
+                    let s = tpl.layout.owner[sl] as usize;
+                    let output = inst.slab.output[sl].clone();
+                    for (from, to) in &tpl.layout.act(slot).data_out {
+                        if let Some(v) = output.get(from) {
+                            inst.slab.scope_output[s].set(to, v.clone());
                         }
                     }
                 }
-            }
+            });
             worklists.close_for(*instance, path);
         }
         Event::ConnectorEvaluated {
@@ -336,13 +313,13 @@ fn apply(
             let scope_names = split_path(scope);
             if let Some(inst) = instances.get_mut(instance) {
                 let tpl = Arc::clone(&inst.tpl);
-                if let Some(scope_ids) = tpl.resolve_path(&scope_names) {
-                    if let (Some(cs), Some((_, sc))) =
-                        (tpl.scope_at(&scope_ids), inst.resolve_mut(&scope_ids))
-                    {
-                        if let Some(edge) = cs.edge_id(from, to) {
-                            sc.connectors[edge as usize] = Some(*value);
-                        }
+                if let Some(s) = tpl
+                    .resolve_path(&scope_names)
+                    .and_then(|ids| inst.live_scope_of(&ids))
+                {
+                    let m = tpl.layout.scope(s);
+                    if let Some(edge) = m.cs.edge_id(from, to) {
+                        inst.slab.connectors[(m.edge_base + edge) as usize] = Some(*value);
                     }
                 }
             }
@@ -358,7 +335,7 @@ fn apply(
             worklists.offer(WorkItem {
                 id: *item,
                 instance: *instance,
-                path: path.clone(),
+                path: path.to_string(),
                 attempt: 0,
                 offered_to: persons.clone(),
                 state: WorkItemState::Offered,
@@ -369,7 +346,9 @@ fn apply(
             let _ = worklists.claim(*item, person);
         }
         Event::NotificationSent { instance, path, .. } => {
-            with_rt(instances, *instance, path, |rt| rt.notified = true)
+            with_slot(instances, *instance, path, |inst, slot| {
+                inst.slab.notified[slot as usize] = true;
+            })
         }
         Event::UserIntervention { .. } => {}
         Event::InstanceFinished {
@@ -378,7 +357,7 @@ fn apply(
             if let Some(inst) = instances.get_mut(instance) {
                 inst.status = InstanceStatus::Finished;
                 for (k, v) in output.iter() {
-                    inst.root.output.set(k, v.clone());
+                    inst.root_output_mut().set(k, v.clone());
                 }
             }
         }
@@ -413,7 +392,7 @@ fn apply(
                     .ok_or_else(|| RecoveryError::MissingTemplate(snap.process.clone()))?;
                 let mut inst = Instance::new(snap.id, Arc::clone(tpl));
                 inst.status = snap.status;
-                inst.root = snap.root.clone();
+                inst.restore_root(&snap.root);
                 instances.insert(snap.id, inst);
             }
             *worklists = WorklistStore::new();
@@ -427,30 +406,26 @@ fn apply(
     Ok(())
 }
 
-/// Resolves a journalled string path to id form against the instance's
-/// compiled template.
-fn resolve<'a>(
-    instances: &'a mut BTreeMap<InstanceId, Instance>,
-    instance: InstanceId,
-    path: &str,
-) -> Option<(&'a mut Instance, IdPath)> {
-    let inst = instances.get_mut(&instance)?;
-    let ids = inst.tpl.resolve_path(&split_path(path))?;
-    Some((inst, ids))
-}
-
-fn with_rt(
+/// Resolves a journalled string path to its **live** global act slot
+/// against the instance's compiled template (every enclosing scope
+/// must be open) and hands both to `f`.
+fn with_slot(
     instances: &mut BTreeMap<InstanceId, Instance>,
     instance: InstanceId,
     path: &str,
-    f: impl FnOnce(&mut crate::state::ActivityRt),
+    f: impl FnOnce(&mut Instance, u32),
 ) {
-    if let Some((inst, ids)) = resolve(instances, instance, path) {
-        let (&id, scope_ids) = ids.split_last().expect("path never empty");
-        if let Some((_, scope)) = inst.resolve_mut(scope_ids) {
-            f(scope.rt_mut(id));
-        }
-    }
+    let Some(inst) = instances.get_mut(&instance) else {
+        return;
+    };
+    let Some(slot) = inst
+        .tpl
+        .resolve_path(&split_path(path))
+        .and_then(|ids| inst.live_slot_of(&ids))
+    else {
+        return;
+    };
+    f(inst, slot);
 }
 
 /// Post-replay fix-ups for the (at most one) navigation operation the
@@ -499,18 +474,19 @@ fn resume(engine: &Engine) {
         // Collect fix-up targets (deepest scopes last-in so child
         // fixes land before parent completion checks).
         let tpl = Arc::clone(&inst.tpl);
+        let lay = &tpl.layout;
         let mut fx = Fixups::default();
-        collect_fixups(&tpl.root, &inst.root, &mut Vec::new(), &mut fx);
+        collect_fixups(inst, 0, &mut fx);
         fix_running.add(fx.running_programs.len() as u64);
         fix_waiting.add(fx.waiting.len() as u64);
         fix_terminated.add(fx.terminated_missing.len() as u64);
         fix_finished.add(fx.finished.len() as u64);
 
-        for path in fx.running_programs {
-            navigator::reset_running_to_ready(inst, &svc, &path);
+        for slot in fx.running_programs {
+            navigator::reset_running_to_ready(inst, &svc, slot);
         }
-        for path in fx.waiting {
-            navigator::renavigate_waiting(inst, &svc, &path);
+        for slot in fx.waiting {
+            navigator::renavigate_waiting(inst, &svc, slot);
         }
         // A crash inside a dead-path cascade leaves a *stack* of
         // terminated activities with unevaluated outgoing connectors:
@@ -519,81 +495,76 @@ fn resume(engine: &Engine) {
         // before returning to A's remaining ones, so process the
         // stack innermost-first — i.e. in reverse order of the
         // `ActivityTerminated` events in the journal.
-        let mut terminated: Vec<(usize, IdPath)> = fx
+        let mut terminated: Vec<(usize, u32)> = fx
             .terminated_missing
             .into_iter()
-            .map(|p| {
-                let ps = tpl.path_string(&p);
+            .map(|slot| {
+                let ps: &str = &lay.paths[slot as usize];
                 let pos = events
                     .iter()
                     .rposition(|e| {
                         matches!(e, Event::ActivityTerminated { instance, path, .. }
-                            if *instance == inst.id && *path == ps)
+                            if *instance == inst.id && *path == *ps)
                     })
                     .unwrap_or(0);
-                (pos, p)
+                (pos, slot)
             })
             .collect();
         terminated.sort_by_key(|(pos, _)| std::cmp::Reverse(*pos));
-        for (_, path) in terminated {
-            navigator::reevaluate_outgoing(inst, &svc, &path);
+        for (_, slot) in terminated {
+            navigator::reevaluate_outgoing(inst, &svc, slot);
         }
-        for path in fx.finished {
-            navigator::decide_exit(inst, &svc, &path);
+        for slot in fx.finished {
+            navigator::decide_exit(inst, &svc, slot);
         }
-        fx.scopes.sort_by_key(|s| std::cmp::Reverse(s.len()));
+        fx.scopes
+            .sort_by_key(|&s| std::cmp::Reverse(lay.scope(s).depth));
         for scope in fx.scopes {
             if inst.status != InstanceStatus::Running {
                 break;
             }
-            navigator::check_scope_completion(inst, &svc, &scope);
+            navigator::check_scope_completion(inst, &svc, scope);
         }
     }
 }
 
-/// Fix-up targets gathered in one depth-first declaration-order walk.
+/// Fix-up targets gathered in one depth-first declaration-order walk,
+/// as global act slots (and [`ScopeId`]s for the completion checks).
 #[derive(Default)]
 struct Fixups {
-    running_programs: Vec<IdPath>,
-    waiting: Vec<IdPath>,
-    terminated_missing: Vec<IdPath>,
-    finished: Vec<IdPath>,
-    scopes: Vec<IdPath>,
+    running_programs: Vec<u32>,
+    waiting: Vec<u32>,
+    terminated_missing: Vec<u32>,
+    finished: Vec<u32>,
+    scopes: Vec<ScopeId>,
 }
 
-fn collect_fixups(cs: &CompiledScope, scope: &ScopeState, prefix: &mut IdPath, fx: &mut Fixups) {
-    fx.scopes.push(prefix.clone());
-    for (i, act) in cs.acts.iter().enumerate() {
-        let id = i as ActId;
-        let rt = scope.rt(id);
-        let mut path = prefix.clone();
-        path.push(id);
-        match rt.state {
-            ActState::Running => match &act.kind {
-                CompiledKind::Block(child_cs) => {
-                    if let Some(child) = scope.child(id) {
-                        prefix.push(id);
-                        collect_fixups(child_cs, child, prefix, fx);
-                        prefix.pop();
-                    } else {
-                        // Block recorded running but its child scope was
-                        // never opened (crash inside execute): restart it.
-                        fx.running_programs.push(path);
-                    }
-                }
-                _ => fx.running_programs.push(path),
+fn collect_fixups(inst: &Instance, s: ScopeId, fx: &mut Fixups) {
+    let lay = &inst.tpl.layout;
+    fx.scopes.push(s);
+    let m = lay.scope(s);
+    for i in 0..m.cs.acts.len() {
+        let slot = m.act_base + i as u32;
+        let sl = slot as usize;
+        match inst.slab.state[sl] {
+            ActState::Running => match lay.block_child[sl] {
+                Some(c) if inst.slab.scope_live[c as usize] => collect_fixups(inst, c, fx),
+                // Block recorded running but its child scope was never
+                // opened (crash inside execute): restart it, exactly
+                // like an interrupted program.
+                _ => fx.running_programs.push(slot),
             },
-            ActState::Waiting => fx.waiting.push(path),
+            ActState::Waiting => fx.waiting.push(slot),
             ActState::Terminated => {
-                if act
+                if m.cs.acts[i]
                     .outgoing
                     .iter()
-                    .any(|&e| scope.connector_value(e).is_none())
+                    .any(|&e| inst.slab.connectors[(m.edge_base + e) as usize].is_none())
                 {
-                    fx.terminated_missing.push(path);
+                    fx.terminated_missing.push(slot);
                 }
             }
-            ActState::Finished => fx.finished.push(path),
+            ActState::Finished => fx.finished.push(slot),
             ActState::Ready => {}
         }
     }

@@ -6,18 +6,23 @@
 //! condition not yet met); activities removed by dead path elimination
 //! go straight from waiting to terminated with `executed = false`.
 //!
-//! A [`ScopeState`] holds the state of one (sub)process: the paper's
-//! blocks are processes embedded as activities, so an instance is a
-//! tree of scopes mirroring the block nesting of its definition.
+//! Live state is a [`StateSlab`]: one struct-of-arrays arena over the
+//! compiled template's **global slots** (see
+//! [`ScopeLayout`](crate::compiled::ScopeLayout)). Each state column —
+//! lifecycle state, attempt counter, deadline bookkeeping, containers,
+//! connector values — is a single contiguous vector allocated once per
+//! instance, so steady-state navigation indexes cache-linear columns
+//! and never allocates. Scope nesting is flattened: a block's child
+//! scope is a slot range plus a liveness bit, not a heap-allocated
+//! subtree.
 //!
-//! State is indexed, not keyed: activity records live in a vector
-//! indexed by the compiled template's dense [`ActId`]s, connector
-//! values in a vector indexed by [`EdgeId`](crate::compiled::EdgeId) — the hot navigator paths
-//! never touch a string map. Journal events still carry name paths
-//! (the durable format is independent of compilation), and the
-//! conversions live on [`Instance`].
+//! [`ScopeState`] remains as the *interchange* tree: the serialized
+//! form used by `EngineCheckpoint` snapshots (and tooling) is the same
+//! scope tree it always was — [`Instance::snapshot_root`] and
+//! [`Instance::restore_root`] convert losslessly, keeping checkpoint
+//! bytes identical to the historical tree-backed representation.
 
-use crate::compiled::{ActId, CompiledKind, CompiledProcess, CompiledScope, IdPath};
+use crate::compiled::{ActId, CompiledProcess, CompiledScope, IdPath, ScopeId, ScopeLayout};
 use crate::event::InstanceId;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
@@ -42,7 +47,9 @@ pub enum ActState {
     Terminated,
 }
 
-/// Run-time record of one activity.
+/// Run-time record of one activity — the *interchange* form used in
+/// [`ScopeState`] snapshots. Live state lives in [`StateSlab`]
+/// columns; this struct is assembled on demand.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ActivityRt {
     /// Current lifecycle state.
@@ -90,8 +97,11 @@ impl Default for ActivityRt {
     }
 }
 
-/// Run-time state of one (sub)process scope, indexed by the compiled
-/// template's dense ids.
+/// Serialized state of one (sub)process scope, indexed by the compiled
+/// template's dense ids — the interchange tree for checkpoints,
+/// snapshots and tests. The live navigator runs on [`StateSlab`]
+/// columns instead; [`Instance::snapshot_root`] /
+/// [`Instance::restore_root`] convert between the two.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ScopeState {
     /// Per-activity state, indexed by [`ActId`].
@@ -206,30 +216,91 @@ pub enum InstanceStatus {
     Cancelled,
 }
 
-/// One process instance: a compiled template plus its scope tree and a
+/// Struct-of-arrays arena holding one instance's entire run-time
+/// state, indexed by the template's global slots
+/// ([`ScopeLayout`]). Every column is one contiguous vector sized at
+/// instance creation; opening, closing and resetting block scopes are
+/// range operations on the columns (subtrees are contiguous slot
+/// ranges by preorder construction) — no per-scope allocation.
+#[derive(Debug, Clone)]
+pub struct StateSlab {
+    /// Per act slot: lifecycle state.
+    pub(crate) state: Vec<ActState>,
+    /// Per act slot: executed flag (meaningful when terminated).
+    pub(crate) executed: Vec<bool>,
+    /// Per act slot: deadline notification sent this readiness period.
+    pub(crate) notified: Vec<bool>,
+    /// Per act slot: attempt counter.
+    pub(crate) attempt: Vec<u32>,
+    /// Per act slot: tick of last readiness (deadline base).
+    pub(crate) ready_since: Vec<Option<Tick>>,
+    /// Per act slot: materialised input container.
+    pub(crate) input: Vec<Container>,
+    /// Per act slot: output container.
+    pub(crate) output: Vec<Container>,
+    /// Per edge slot: evaluated transition-condition value.
+    pub(crate) connectors: Vec<Option<bool>>,
+    /// Per scope: the scope is open — its block activity started it
+    /// and no reschedule closed it since. The root is always open.
+    /// (Mirrors child-scope membership in the historical tree: a
+    /// completed block's scope stays open for inspection; only a
+    /// reschedule closes it.)
+    pub(crate) scope_live: Vec<bool>,
+    /// Per scope: activities not yet terminated — the §3.2 completion
+    /// rule as a counter instead of a scan.
+    pub(crate) remaining: Vec<u32>,
+    /// Per scope: input container.
+    pub(crate) scope_input: Vec<Container>,
+    /// Per scope: output container.
+    pub(crate) scope_output: Vec<Container>,
+}
+
+impl StateSlab {
+    fn for_layout(layout: &ScopeLayout) -> Self {
+        let na = layout.n_acts();
+        let ne = layout.n_edges();
+        let ns = layout.n_scopes();
+        Self {
+            state: vec![ActState::Waiting; na],
+            executed: vec![false; na],
+            notified: vec![false; na],
+            attempt: vec![0; na],
+            ready_since: vec![None; na],
+            input: vec![Container::empty(); na],
+            output: vec![Container::empty(); na],
+            connectors: vec![None; ne],
+            scope_live: vec![false; ns],
+            remaining: vec![0; ns],
+            scope_input: vec![Container::empty(); ns],
+            scope_output: vec![Container::empty(); ns],
+        }
+    }
+}
+
+/// One process instance: a compiled template plus its state slab and a
 /// ready queue of automatic activities.
 ///
-/// The ready queue is a min-heap on [`IdPath`]s. Lexicographic order
-/// on id paths equals the navigator's historical depth-first
-/// declaration-order scan (ids are declaration positions, and a path
-/// is a strict prefix of any path through it), so popping the heap
-/// reproduces the exact sequential execution order — the journals stay
-/// byte-for-byte identical — without rescanning the definition on
-/// every step. Entries are validated lazily at pop time; stale ones
-/// (the activity moved on, or its enclosing block closed) are
-/// discarded.
+/// The ready queue is a min-heap of execution **ranks**
+/// ([`ScopeLayout::rank`]): rank order is lexicographic id-path order,
+/// which equals the navigator's historical depth-first
+/// declaration-order scan, so popping the heap reproduces the exact
+/// sequential execution order — journals stay byte-for-byte identical
+/// — with `u32` comparisons and no per-entry allocation. Entries are
+/// validated lazily at pop time; stale ones (the activity moved on, or
+/// its enclosing block closed) are discarded.
 #[derive(Debug, Clone)]
 pub struct Instance {
     /// Instance identifier.
     pub id: InstanceId,
     /// The compiled template this instance runs.
     pub tpl: Arc<CompiledProcess>,
-    /// Root scope state.
-    pub root: ScopeState,
+    /// The state arena.
+    pub(crate) slab: StateSlab,
     /// Overall status.
     pub status: InstanceStatus,
-    /// Ready automatic activities (min-heap; may hold stale entries).
-    pub(crate) ready: BinaryHeap<Reverse<IdPath>>,
+    /// Ready automatic activities as execution ranks (min-heap; may
+    /// hold stale entries).
+    pub(crate) ready: BinaryHeap<Reverse<u32>>,
     /// Pre-resolved latency probes for this instance's template; `None`
     /// unless the owning engine's observer is enabled. Runtime-only —
     /// never serialised into snapshots or the journal.
@@ -239,15 +310,17 @@ pub struct Instance {
 impl Instance {
     /// Creates a fresh instance of `tpl`.
     pub fn new(id: InstanceId, tpl: Arc<CompiledProcess>) -> Self {
-        let root = ScopeState::for_scope(&tpl.root);
-        Self {
+        let slab = StateSlab::for_layout(&tpl.layout);
+        let mut inst = Self {
             id,
             tpl,
-            root,
+            slab,
             status: InstanceStatus::Running,
             ready: BinaryHeap::new(),
             probes: None,
-        }
+        };
+        inst.open_scope(0);
+        inst
     }
 
     /// The source process definition.
@@ -255,44 +328,148 @@ impl Instance {
         &self.tpl.def
     }
 
-    /// Resolves the compiled scope and scope state addressed by
-    /// `scope_ids` (block ids from the root; empty = root scope).
-    /// Returns `None` if the path does not name nested blocks or the
-    /// child scope has not started yet.
-    pub fn resolve(&self, scope_ids: &[ActId]) -> Option<(&CompiledScope, &ScopeState)> {
-        let mut cs: &CompiledScope = &self.tpl.root;
-        let mut st: &ScopeState = &self.root;
-        for &id in scope_ids {
-            cs = cs.child_scope(id)?;
-            st = st.child(id)?;
-        }
-        Some((cs, st))
+    /// The root scope's input container.
+    pub fn root_input(&self) -> &Container {
+        &self.slab.scope_input[0]
     }
 
-    /// Mutable variant of [`Instance::resolve`].
-    pub fn resolve_mut(
-        &mut self,
-        scope_ids: &[ActId],
-    ) -> Option<(&CompiledScope, &mut ScopeState)> {
-        let mut cs: &CompiledScope = &self.tpl.root;
-        let mut st: &mut ScopeState = &mut self.root;
-        for &id in scope_ids {
-            cs = cs.child_scope(id)?;
-            st = st.child_mut(id)?;
+    /// Mutable variant of [`Instance::root_input`].
+    pub fn root_input_mut(&mut self) -> &mut Container {
+        &mut self.slab.scope_input[0]
+    }
+
+    /// The root scope's output container (the process output).
+    pub fn root_output(&self) -> &Container {
+        &self.slab.scope_output[0]
+    }
+
+    /// Mutable variant of [`Instance::root_output`].
+    pub fn root_output_mut(&mut self) -> &mut Container {
+        &mut self.slab.scope_output[0]
+    }
+
+    /// (Re)opens scope `s`: resets the subtree's slot ranges to fresh
+    /// waiting state, closes stale descendant scopes and installs the
+    /// scope's container prototypes. Pure range operations on the
+    /// slab's columns.
+    pub(crate) fn open_scope(&mut self, s: ScopeId) {
+        let tpl = Arc::clone(&self.tpl);
+        let lay = &tpl.layout;
+        let ar = lay.subtree_act_range(s);
+        self.slab.state[ar.clone()].fill(ActState::Waiting);
+        self.slab.executed[ar.clone()].fill(false);
+        self.slab.notified[ar.clone()].fill(false);
+        self.slab.attempt[ar.clone()].fill(0);
+        self.slab.ready_since[ar.clone()].fill(None);
+        for i in ar {
+            self.slab.input[i] = Container::empty();
+            self.slab.output[i] = Container::empty();
         }
-        Some((cs, st))
+        self.slab.connectors[lay.subtree_edge_range(s)].fill(None);
+        for sc in lay.subtree_scope_range(s) {
+            self.slab.scope_live[sc] = sc == s as usize;
+        }
+        let m = lay.scope(s);
+        self.slab.remaining[s as usize] = m.cs.acts.len() as u32;
+        self.slab.scope_input[s as usize] = m.input_proto.clone();
+        self.slab.scope_output[s as usize] = m.output_proto.clone();
+    }
+
+    /// Closes scope `s` and every descendant (a rescheduled block
+    /// discards its child scope; a fresh one opens on restart).
+    pub(crate) fn close_scope(&mut self, s: ScopeId) {
+        let tpl = Arc::clone(&self.tpl);
+        for sc in tpl.layout.subtree_scope_range(s) {
+            self.slab.scope_live[sc] = false;
+        }
+    }
+
+    /// Sets the lifecycle state of `slot`, maintaining the owning
+    /// scope's non-terminated counter.
+    pub(crate) fn set_act_state(&mut self, slot: u32, new: ActState) {
+        let s = self.tpl.layout.owner[slot as usize] as usize;
+        let old = self.slab.state[slot as usize];
+        if old != ActState::Terminated && new == ActState::Terminated {
+            self.slab.remaining[s] = self.slab.remaining[s].saturating_sub(1);
+        } else if old == ActState::Terminated && new != ActState::Terminated {
+            self.slab.remaining[s] += 1;
+        }
+        self.slab.state[slot as usize] = new;
+    }
+
+    /// Resolves a prefix of block ids to the **open** scope it
+    /// addresses: every prefix element must name a block whose child
+    /// scope is live — the slab equivalent of walking the historical
+    /// child-scope tree.
+    pub(crate) fn live_scope_of(&self, scope_ids: &[ActId]) -> Option<ScopeId> {
+        let lay = &self.tpl.layout;
+        let mut s: ScopeId = 0;
+        for &id in scope_ids {
+            let m = lay.scope(s);
+            if (id as usize) >= m.cs.acts.len() {
+                return None;
+            }
+            let c = lay.block_child[(m.act_base + id) as usize]?;
+            if !self.slab.scope_live[c as usize] {
+                return None;
+            }
+            s = c;
+        }
+        Some(s)
+    }
+
+    /// Resolves a full [`IdPath`] to its global act slot, requiring
+    /// every enclosing scope to be open.
+    pub(crate) fn live_slot_of(&self, ids: &[ActId]) -> Option<u32> {
+        let (&last, scope_ids) = ids.split_last()?;
+        let s = self.live_scope_of(scope_ids)?;
+        let m = self.tpl.layout.scope(s);
+        ((last as usize) < m.cs.acts.len()).then(|| m.act_base + last)
+    }
+
+    /// True when scope `s` is actively executing: it is open and every
+    /// enclosing block activity is `Running` with an open child scope.
+    pub(crate) fn scope_active(&self, s: ScopeId) -> bool {
+        let lay = &self.tpl.layout;
+        let mut s = s;
+        loop {
+            if !self.slab.scope_live[s as usize] {
+                return false;
+            }
+            match lay.scope(s).parent {
+                None => return true,
+                Some((ps, pslot)) => {
+                    if self.slab.state[pslot as usize] != ActState::Running {
+                        return false;
+                    }
+                    s = ps;
+                }
+            }
+        }
+    }
+
+    /// True when every enclosing block of `slot` is `Running` with an
+    /// open child scope — the validity condition for queued ready
+    /// entries and recovered state alike.
+    pub(crate) fn ancestors_open(&self, slot: u32) -> bool {
+        self.scope_active(self.tpl.layout.owner[slot as usize])
     }
 
     /// The runtime record of the activity at `path` (scope ids plus
-    /// the activity id as the last element).
-    pub fn activity_rt(&self, path: &[ActId]) -> Option<&ActivityRt> {
-        let (&id, scope_ids) = path.split_last()?;
-        let (cs, st) = self.resolve(scope_ids)?;
-        if (id as usize) < cs.acts.len() {
-            Some(st.rt(id))
-        } else {
-            None
-        }
+    /// the activity id as the last element), assembled from the slab
+    /// columns. Container clones are reference-count bumps.
+    pub fn activity_rt(&self, path: &[ActId]) -> Option<ActivityRt> {
+        let slot = self.live_slot_of(path)? as usize;
+        let s = &self.slab;
+        Some(ActivityRt {
+            state: s.state[slot],
+            executed: s.executed[slot],
+            attempt: s.attempt[slot],
+            input: s.input[slot].clone(),
+            output: s.output[slot].clone(),
+            ready_since: s.ready_since[slot],
+            notified: s.notified[slot],
+        })
     }
 
     /// Resolves a slash-separated name path to an [`IdPath`].
@@ -305,40 +482,110 @@ impl Instance {
         self.tpl.path_string(ids)
     }
 
-    /// Queues a ready automatic activity for execution.
-    pub(crate) fn push_ready(&mut self, path: IdPath) {
-        self.ready.push(Reverse(path));
+    /// Queues a ready automatic activity by its execution rank.
+    pub(crate) fn push_ready(&mut self, rank: u32) {
+        self.ready.push(Reverse(rank));
     }
 
-    /// Rebuilds the ready queue from the scope tree — used after
-    /// recovery replay and checkpoint restore, which mutate state
-    /// without navigating.
+    /// Rebuilds the ready queue from the slab — used after recovery
+    /// replay and checkpoint restore, which mutate state without
+    /// navigating.
     pub(crate) fn rebuild_ready(&mut self) {
-        fn scan(cs: &CompiledScope, st: &ScopeState, prefix: &mut IdPath, out: &mut Vec<IdPath>) {
-            for (i, rt) in st.activities.iter().enumerate() {
-                let id = i as ActId;
-                match rt.state {
-                    ActState::Ready if cs.act(id).automatic => {
-                        let mut p = prefix.clone();
-                        p.push(id);
-                        out.push(p);
-                    }
-                    ActState::Running => {
-                        if let (CompiledKind::Block(child_cs), Some(child_st)) =
-                            (&cs.act(id).kind, st.child(id))
-                        {
-                            prefix.push(id);
-                            scan(child_cs, child_st, prefix, out);
-                            prefix.pop();
-                        }
-                    }
-                    _ => {}
+        let tpl = Arc::clone(&self.tpl);
+        let lay = &tpl.layout;
+        let mut ready = BinaryHeap::new();
+        for slot in 0..lay.n_acts() {
+            if self.slab.state[slot] == ActState::Ready
+                && lay.automatic[slot]
+                && self.ancestors_open(slot as u32)
+            {
+                ready.push(Reverse(lay.rank[slot]));
+            }
+        }
+        self.ready = ready;
+    }
+
+    /// Snapshots the slab as the interchange scope tree (checkpoints,
+    /// inspection). Open child scopes become tree children, exactly as
+    /// the historical tree-backed state serialized.
+    pub fn snapshot_root(&self) -> ScopeState {
+        self.snap_scope(0)
+    }
+
+    fn snap_scope(&self, s: ScopeId) -> ScopeState {
+        let lay = &self.tpl.layout;
+        let m = lay.scope(s);
+        let base = m.act_base as usize;
+        let n = m.cs.acts.len();
+        let sl = &self.slab;
+        let mut st = ScopeState {
+            activities: (base..base + n)
+                .map(|i| ActivityRt {
+                    state: sl.state[i],
+                    executed: sl.executed[i],
+                    attempt: sl.attempt[i],
+                    input: sl.input[i].clone(),
+                    output: sl.output[i].clone(),
+                    ready_since: sl.ready_since[i],
+                    notified: sl.notified[i],
+                })
+                .collect(),
+            connectors: sl.connectors
+                [m.edge_base as usize..m.edge_base as usize + m.cs.edges.len()]
+                .to_vec(),
+            input: sl.scope_input[s as usize].clone(),
+            output: sl.scope_output[s as usize].clone(),
+            children: Vec::new(),
+        };
+        for i in 0..n {
+            if let Some(c) = lay.block_child[base + i] {
+                if sl.scope_live[c as usize] {
+                    st.children.push((i as ActId, self.snap_scope(c)));
                 }
             }
         }
-        let mut paths = Vec::new();
-        scan(&self.tpl.root, &self.root, &mut Vec::new(), &mut paths);
-        self.ready = paths.into_iter().map(Reverse).collect();
+        st
+    }
+
+    /// Restores the slab from an interchange scope tree (checkpoint
+    /// replay). The tree must describe this instance's template.
+    pub fn restore_root(&mut self, root: &ScopeState) {
+        self.open_scope(0);
+        self.restore_scope(0, root);
+    }
+
+    fn restore_scope(&mut self, s: ScopeId, st: &ScopeState) {
+        let tpl = Arc::clone(&self.tpl);
+        let lay = &tpl.layout;
+        let m = lay.scope(s);
+        let base = m.act_base as usize;
+        let n = m.cs.acts.len();
+        self.slab.scope_live[s as usize] = true;
+        let mut remaining = n as u32;
+        for (i, rt) in st.activities.iter().enumerate().take(n) {
+            let slot = base + i;
+            self.slab.state[slot] = rt.state;
+            self.slab.executed[slot] = rt.executed;
+            self.slab.attempt[slot] = rt.attempt;
+            self.slab.input[slot] = rt.input.clone();
+            self.slab.output[slot] = rt.output.clone();
+            self.slab.ready_since[slot] = rt.ready_since;
+            self.slab.notified[slot] = rt.notified;
+            if rt.state == ActState::Terminated {
+                remaining -= 1;
+            }
+        }
+        self.slab.remaining[s as usize] = remaining;
+        for (e, v) in st.connectors.iter().enumerate().take(m.cs.edges.len()) {
+            self.slab.connectors[m.edge_base as usize + e] = *v;
+        }
+        self.slab.scope_input[s as usize] = st.input.clone();
+        self.slab.scope_output[s as usize] = st.output.clone();
+        for (id, child) in &st.children {
+            if let Some(Some(c)) = lay.block_child.get(base + *id as usize).copied() {
+                self.restore_scope(c, child);
+            }
+        }
     }
 }
 
@@ -405,22 +652,30 @@ mod tests {
     }
 
     #[test]
-    fn resolve_walks_block_scopes() {
+    fn fresh_instance_snapshot_matches_tree_construction() {
+        let t = tpl();
+        let inst = Instance::new(InstanceId(1), Arc::clone(&t));
+        assert_eq!(inst.snapshot_root(), ScopeState::for_scope(&t.root));
+    }
+
+    #[test]
+    fn live_resolution_requires_open_scopes() {
         let t = tpl();
         let mut inst = Instance::new(InstanceId(1), Arc::clone(&t));
         let b = t.root.id("B").unwrap();
         // Child scope not started yet.
-        assert!(inst.resolve_mut(&[b]).is_none());
-        // Start it manually.
-        let child = ScopeState::for_scope(t.root.child_scope(b).unwrap());
-        inst.root.set_child(b, child);
-        let (cs, st) = inst.resolve_mut(&[b]).unwrap();
-        assert_eq!(cs.name, "inner");
-        assert_eq!(st.activities.len(), 1);
+        assert!(inst.live_scope_of(&[b]).is_none());
+        assert!(inst.activity_rt(&[b, 0]).is_none(), "child not started");
+        // Open it.
+        let c = t.layout.block_child[t.layout.slot_of(&[b]).unwrap() as usize].unwrap();
+        inst.open_scope(c);
+        let s = inst.live_scope_of(&[b]).unwrap();
+        assert_eq!(&*t.layout.scope(s).cs.name, "inner");
+        assert!(inst.activity_rt(&[b, 0]).is_some());
         // Non-block path segment fails.
         let a = t.root.id("A").unwrap();
-        assert!(inst.resolve_mut(&[a]).is_none());
-        assert!(inst.resolve(&[9]).is_none());
+        assert!(inst.live_scope_of(&[a]).is_none());
+        assert!(inst.live_scope_of(&[9]).is_none());
     }
 
     #[test]
@@ -450,18 +705,73 @@ mod tests {
     fn rebuild_ready_finds_nested_ready_autos() {
         let t = tpl();
         let mut inst = Instance::new(InstanceId(1), Arc::clone(&t));
+        let lay = &t.layout;
         let b = t.root.id("B").unwrap();
-        inst.root.rt_mut(b).state = ActState::Running;
-        let mut child = ScopeState::for_scope(t.root.child_scope(b).unwrap());
-        child.activities[0].state = ActState::Ready;
-        inst.root.set_child(b, child);
-        inst.root.rt_mut(0).state = ActState::Ready;
+        let b_slot = lay.slot_of(&[b]).unwrap();
+        let c = lay.block_child[b_slot as usize].unwrap();
+        inst.slab.state[b_slot as usize] = ActState::Running;
+        inst.open_scope(c);
+        let x_slot = lay.slot_of(&[b, 0]).unwrap();
+        inst.slab.state[x_slot as usize] = ActState::Ready;
+        inst.slab.state[lay.slot_of(&[0]).unwrap() as usize] = ActState::Ready;
         inst.rebuild_ready();
         let mut popped = Vec::new();
-        while let Some(Reverse(p)) = inst.ready.pop() {
-            popped.push(p);
+        while let Some(Reverse(r)) = inst.ready.pop() {
+            popped.push(lay.id_paths[lay.rank_to_slot[r as usize] as usize].clone());
         }
         assert_eq!(popped, vec![vec![0], vec![b, 0]]);
+    }
+
+    #[test]
+    fn close_scope_invalidates_ready_entries() {
+        let t = tpl();
+        let mut inst = Instance::new(InstanceId(1), Arc::clone(&t));
+        let lay = &t.layout;
+        let b_slot = lay.slot_of(&[1]).unwrap();
+        let c = lay.block_child[b_slot as usize].unwrap();
+        inst.slab.state[b_slot as usize] = ActState::Running;
+        inst.open_scope(c);
+        let x_slot = lay.slot_of(&[1, 0]).unwrap();
+        inst.slab.state[x_slot as usize] = ActState::Ready;
+        assert!(inst.ancestors_open(x_slot));
+        inst.close_scope(c);
+        assert!(!inst.ancestors_open(x_slot));
+    }
+
+    #[test]
+    fn set_act_state_maintains_remaining() {
+        let t = tpl();
+        let mut inst = Instance::new(InstanceId(1), t);
+        assert_eq!(inst.slab.remaining[0], 2);
+        inst.set_act_state(0, ActState::Terminated);
+        assert_eq!(inst.slab.remaining[0], 1);
+        inst.set_act_state(0, ActState::Terminated);
+        assert_eq!(inst.slab.remaining[0], 1, "idempotent");
+        inst.set_act_state(0, ActState::Waiting);
+        assert_eq!(inst.slab.remaining[0], 2);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let t = tpl();
+        let mut inst = Instance::new(InstanceId(1), Arc::clone(&t));
+        let lay = &t.layout;
+        let b_slot = lay.slot_of(&[1]).unwrap();
+        let c = lay.block_child[b_slot as usize].unwrap();
+        inst.set_act_state(0, ActState::Terminated);
+        inst.slab.executed[0] = true;
+        inst.slab.attempt[0] = 2;
+        inst.slab.connectors[0] = Some(true);
+        inst.slab.state[b_slot as usize] = ActState::Running;
+        inst.open_scope(c);
+        let snap = inst.snapshot_root();
+        assert_eq!(snap.children.len(), 1, "open child scope serialized");
+
+        let mut back = Instance::new(InstanceId(2), Arc::clone(&t));
+        back.restore_root(&snap);
+        assert_eq!(back.snapshot_root(), snap);
+        assert_eq!(back.slab.remaining[0], 1);
+        assert!(back.slab.scope_live[c as usize]);
     }
 
     #[test]
@@ -480,7 +790,7 @@ mod tests {
             .build()
             .unwrap();
         let inst = Instance::new(InstanceId(1), Arc::new(CompiledProcess::compile(def)));
-        assert!(inst.resolve(&[0]).is_none());
+        assert!(inst.live_scope_of(&[0]).is_none());
     }
 
     #[test]

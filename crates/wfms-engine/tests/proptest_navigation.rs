@@ -145,7 +145,7 @@ proptest! {
         let mut conn: BTreeMap<(String, String), bool> = BTreeMap::new();
         for e in &events {
             if let Event::ConnectorEvaluated { from, to, value, .. } = e {
-                conn.insert((from.clone(), to.clone()), *value);
+                conn.insert((from.to_string(), to.to_string()), *value);
             }
         }
         for i in 0..s.n {

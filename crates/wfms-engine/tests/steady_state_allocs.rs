@@ -1,0 +1,122 @@
+//! Steady-state allocation discipline of the hot navigation path.
+//!
+//! The arena-backed instance state (`StateSlab`), copy-on-write
+//! containers, interned journal paths and prototype-cloned outputs
+//! exist so that a navigation step in steady state — ready pop,
+//! program call, journal appends, connector evaluation, successor
+//! scheduling — performs (amortized) **zero** heap allocations beyond
+//! the event values the journal must retain. This test pins that with
+//! a counting global allocator on the chain workload: after a warm-up
+//! instance, the per-step allocation count must stay under a small
+//! constant bound (growth of the journal `Vec`, the ready heap and
+//! the substrate's transaction scratch all amortize).
+//!
+//! One `#[test]` only: the counter is process-global and the harness
+//! would run sibling tests on concurrent threads, polluting the
+//! measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use txn_substrate::{MultiDatabase, ProgramOutcome, ProgramRegistry};
+use wfms_engine::{Engine, InstanceStatus};
+use wfms_model::{Activity, Container, ControlConnector, Expr, ProcessDefinition};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: Counting = Counting;
+
+fn chain(n: usize) -> ProcessDefinition {
+    let mut def = ProcessDefinition::new("chain");
+    for i in 0..n {
+        def.activities
+            .push(Activity::program(&format!("A{i}"), "ok"));
+    }
+    for i in 1..n {
+        def.control.push(ControlConnector {
+            from: format!("A{}", i - 1),
+            to: format!("A{i}"),
+            condition: Expr::var_eq_int("RC", 1),
+        });
+    }
+    def
+}
+
+#[test]
+fn navigation_steps_are_amortized_allocation_free() {
+    // First prove the counter counts (a silently inert allocator
+    // would make the bound below vacuous). `AtomicUsize` keeps the
+    // probe allocations from being optimized out. In-test rather than
+    // a sibling `#[test]` so no concurrent test thread can inflate
+    // the measurement window.
+    let probe_before = ALLOCS.load(Ordering::Relaxed);
+    let v: Vec<AtomicUsize> = (0..64).map(AtomicUsize::new).collect();
+    assert_eq!(v.len(), 64);
+    drop(v);
+    assert!(
+        ALLOCS.load(Ordering::Relaxed) > probe_before,
+        "global allocator hook must observe allocations"
+    );
+
+    const CHAIN: usize = 250;
+    let fed = MultiDatabase::new(0);
+    let registry = Arc::new(ProgramRegistry::new());
+    registry.register_fn("ok", |_| ProgramOutcome::committed());
+    let engine = Engine::new(fed, registry);
+    engine.register(chain(CHAIN)).unwrap();
+
+    // Warm-up: first instance pays one-time costs (template caches,
+    // journal and heap capacity growth, substrate setup).
+    let warm = engine.start("chain", Container::empty()).unwrap();
+    assert_eq!(
+        engine.run_to_quiescence(warm).unwrap(),
+        InstanceStatus::Finished
+    );
+
+    // Steady state: a fresh instance over the warmed engine. Instance
+    // creation itself allocates (the slab columns); count only the
+    // navigation steps.
+    let id = engine.start("chain", Container::empty()).unwrap();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut steps = 0u64;
+    while engine.step(id).unwrap() {
+        steps += 1;
+    }
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(engine.status(id).unwrap(), InstanceStatus::Finished);
+    assert_eq!(steps, CHAIN as u64, "one step per chain activity");
+
+    // Each step appends journal events whose containers and paths are
+    // shared (Arc clones), so the only per-step heap traffic left is
+    // amortized growth of long-lived vectors plus the substrate's
+    // per-transaction scratch (measured: 1 allocation across the
+    // whole 250-step run). The bound leaves headroom for allocator
+    // and library drift, but a single accidental per-step
+    // String/format!/BTreeMap clone in the hot path costs ≥ 250 and
+    // trips it immediately.
+    assert!(
+        during < 64,
+        "expected amortized-zero allocations per navigation step, \
+         measured {during} over {steps} steps ({:.2}/step)",
+        during as f64 / steps as f64
+    );
+}

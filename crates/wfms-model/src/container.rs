@@ -106,26 +106,50 @@ impl ContainerSchema {
     /// Instantiates a fresh container with every member at its
     /// initial value.
     pub fn instantiate(&self) -> Container {
-        Container {
-            values: self
-                .members
-                .iter()
-                .map(|m| (m.name.clone(), m.initial_value()))
-                .collect(),
+        if self.members.is_empty() {
+            return Container::empty();
         }
+        self.members
+            .iter()
+            .map(|m| (m.name.clone(), m.initial_value()))
+            .collect()
     }
 }
 
 /// A run-time container: member name → value.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+///
+/// Values live behind an [`Arc`](std::sync::Arc) with copy-on-write
+/// semantics: `clone` is a reference-count bump (containers flow
+/// between activities, into journal events and through data connectors
+/// far more often than they are mutated), and the first `set` on a
+/// shared container clones the underlying map once. The serialized
+/// form is unchanged — the `Arc` is transparent to serde.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Container {
-    values: BTreeMap<String, Value>,
+    values: std::sync::Arc<BTreeMap<String, Value>>,
+}
+
+impl Default for Container {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+/// The one shared empty map: `Container::empty()` is an `Arc` clone,
+/// not an allocation (empty containers are the most common value on
+/// the navigation hot path).
+fn empty_values() -> std::sync::Arc<BTreeMap<String, Value>> {
+    static EMPTY: std::sync::OnceLock<std::sync::Arc<BTreeMap<String, Value>>> =
+        std::sync::OnceLock::new();
+    std::sync::Arc::clone(EMPTY.get_or_init(|| std::sync::Arc::new(BTreeMap::new())))
 }
 
 impl Container {
     /// An empty container (no members).
     pub fn empty() -> Self {
-        Self::default()
+        Self {
+            values: empty_values(),
+        }
     }
 
     /// Reads a member.
@@ -137,7 +161,7 @@ impl Container {
     /// mapping time; `set` itself is schema-agnostic so recovery can
     /// replay journal entries verbatim.
     pub fn set(&mut self, name: &str, value: Value) {
-        self.values.insert(name.to_owned(), value);
+        std::sync::Arc::make_mut(&mut self.values).insert(name.to_owned(), value);
     }
 
     /// True if the member exists.
@@ -177,7 +201,7 @@ impl Container {
 impl FromIterator<(String, Value)> for Container {
     fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
         Self {
-            values: iter.into_iter().collect(),
+            values: std::sync::Arc::new(iter.into_iter().collect()),
         }
     }
 }

@@ -147,6 +147,14 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Serializes `value` as compact JSON appended to `out` — the
+/// group-commit path: callers reuse one buffer across a batch instead
+/// of allocating a `String` per record. Produces exactly the bytes
+/// [`to_string`] would.
+pub fn append_to_string<T: Serialize + ?Sized>(out: &mut String, value: &T) -> Result<()> {
+    write_value(out, &value.to_content(), false, 0)
+}
+
 /// Serializes `value` to human-indented JSON.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     let mut out = String::new();
