@@ -10,6 +10,11 @@
 # 3. Separately, assert admission control: with a tiny queue and a
 #    throttled worker, a burst must see explicit `overloaded` answers
 #    and zero transport errors.
+# 4. Before the kill, hold the server at a fixed open-loop arrival
+#    rate (latency clocked from each request's scheduled send, the
+#    schedule never resets) and assert zero transport errors — the
+#    event-loop front end must absorb a steady offered rate without
+#    dropping connections.
 #
 # Artifacts (server logs, load reports, id list) land in $ART for CI
 # upload. Exits non-zero on any lost instance or drill failure.
@@ -52,6 +57,15 @@ if [ "$ACCEPTED" -lt 1 ]; then
   exit 1
 fi
 echo "drill: $ACCEPTED accepted ids recorded"
+
+echo "== phase 1b: open-loop generator at a fixed 2000 rps =="
+"$FMTM" load --url "$URL" --duration 3 --rps 2000 --open-loop \
+  --connections 4 | tee "$ART/load-openloop.txt"
+OL_ERRORS=$(sed -n 's/^load: .* overloaded, \([0-9]*\) errors.*/\1/p' "$ART/load-openloop.txt")
+if [ -z "$OL_ERRORS" ] || [ "$OL_ERRORS" -ne 0 ]; then
+  echo "drill: transport errors under open-loop load: ${OL_ERRORS:-unparsed}" >&2
+  exit 1
+fi
 
 echo "== phase 2: kill -9 and restart on the same journals =="
 kill -9 "$SERVE_PID"

@@ -19,8 +19,12 @@
 //!   2-of-3 quorum), reference vs. compiled — chain workloads miss
 //!   the join bookkeeping these exercise;
 //! * **submit_path**: µs per submission through the service runtime,
-//!   at the shard-pool layer (group commit, no network) and over a
-//!   loopback HTTP/1.1 keep-alive connection (full wire protocol).
+//!   at the shard-pool layer (group commit, no network), over a
+//!   loopback HTTP/1.1 keep-alive connection request-by-request, and
+//!   pipelined in bursts of 64 (the batch shares one group commit, so
+//!   the wire cost amortizes); plus an open-loop `latency_curve` —
+//!   latency-under-load percentiles at fixed offered rates, measured
+//!   from each request's scheduled arrival.
 //!
 //! The host's core count is recorded alongside the numbers: the
 //! scheduler can only show parallel speedup on multi-core hardware
@@ -37,9 +41,12 @@ use bench::nav::{
 };
 use bench::{chain_process, plain_world, time_us};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use wfms_model::Container;
-use wfms_server::{Http1Client, PoolConfig, Server, ServerConfig, ShardPool, SubmitOutcome};
+use wfms_server::{
+    latency_curve, Http1Client, LoadOptions, PoolConfig, Server, ServerConfig, ShardPool,
+    SubmitOutcome,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -160,6 +167,9 @@ fn main() {
     let submit_def = chain_process(8, "ok");
     let mut pool_cfg = PoolConfig::new(&data_dir);
     pool_cfg.templates = vec![submit_def.clone()];
+    // Group-commit batches as deep as the pipelining burst below, so
+    // a full burst shares a single journal flush.
+    pool_cfg.batch_max = 128;
     let provision = |_shard: usize| {
         let (fed, registry) = plain_world(0);
         (fed, registry)
@@ -181,12 +191,60 @@ fn main() {
         let (code, _body) = client.request("POST", "/instances", Some("{}")).unwrap();
         assert_eq!(code, 201);
     });
+    // Pipelined wire cost: bursts share the shard's group commit, so
+    // the per-submit price amortizes parse + flush + wakeups across
+    // the batch — the number the event-loop front end exists for.
+    let burst = 128usize;
+    let bursts = (submit_iters as usize / burst).max(4);
+    let start = Instant::now();
+    for _ in 0..bursts {
+        let answers = client
+            .pipelined("POST", "/instances", Some("{}"), burst)
+            .expect("pipelined burst");
+        assert_eq!(answers.len(), burst);
+        for (code, _body) in &answers {
+            assert_eq!(*code, 201);
+        }
+    }
+    let t_http_pipelined = start.elapsed().as_secs_f64() * 1e6 / (bursts * burst) as f64;
+    let pipelined_accept_per_sec = 1e6 / t_http_pipelined;
+    // Latency under offered load: open-loop schedule per rate, so the
+    // percentiles charge queueing delay to the server.
+    let curve_rates: &[f64] = if quick {
+        &[1000.0, 4000.0]
+    } else {
+        &[1000.0, 4000.0, 8000.0]
+    };
+    let per_rate = Duration::from_millis(if quick { 400 } else { 1000 });
+    let mut curve_opts = LoadOptions::new(url.clone());
+    curve_opts.connections = 2;
+    let curve = latency_curve(&curve_opts, curve_rates, per_rate);
     server.shutdown(true);
     let _ = std::fs::remove_dir_all(&data_dir);
     let wire_overhead = t_http / t_pool;
     println!("submit_path (8-step chain, 1 shard, mean of {submit_iters}):");
     println!("  pool       {t_pool:>10.1} µs/submit");
     println!("  http       {t_http:>10.1} µs/submit   ({wire_overhead:.2}x pool)");
+    println!(
+        "  pipelined  {t_http_pipelined:>10.1} µs/submit   \
+         ({pipelined_accept_per_sec:.0} accepted/sec, bursts of {burst})"
+    );
+    let mut curve_rows = Vec::with_capacity(curve.len());
+    for p in &curve {
+        println!(
+            "  open-loop  offered {:>6.0}/s  achieved {:>6.0}/s  \
+             p50 {:>6}us p95 {:>6}us p99 {:>6}us  ({} errors)",
+            p.offered_rps, p.achieved_rps, p.p50_us, p.p95_us, p.p99_us, p.errors
+        );
+        curve_rows.push(format!(
+            "      {{\n        \"offered_rps\": {:.0},\n        \
+             \"achieved_rps\": {:.0},\n        \"accepted\": {},\n        \
+             \"errors\": {},\n        \"p50_us\": {},\n        \
+             \"p95_us\": {},\n        \"p99_us\": {}\n      }}",
+            p.offered_rps, p.achieved_rps, p.accepted, p.errors, p.p50_us, p.p95_us, p.p99_us
+        ));
+    }
+    let curve_json = curve_rows.join(",\n");
 
     // -- parallel_throughput: saga-shaped instances, pure programs --
     let steps = 8;
@@ -237,7 +295,10 @@ fn main() {
          \"patterns\": {{\n{patterns_json}\n  }},\n  \
          \"submit_path\": {{\n    \"chain_len\": 8,\n    \"shards\": 1,\n    \
          \"pool_us\": {t_pool:.1},\n    \"http_us\": {t_http:.1},\n    \
-         \"wire_overhead\": {wire_overhead:.2}\n  }},\n  \
+         \"wire_overhead\": {wire_overhead:.2},\n    \
+         \"http_pipelined_us\": {t_http_pipelined:.1},\n    \
+         \"pipelined_accept_per_sec\": {pipelined_accept_per_sec:.0},\n    \
+         \"latency_curve\": [\n{curve_json}\n    ]\n  }},\n  \
          \"parallel_throughput\": {{\n    \"instances\": {instances},\n    \
          \"saga_steps\": {steps},\n    \"sequential_per_sec\": {seq:.0},\n    \
          \"workers8_per_sec\": {par8:.0},\n    \"speedup\": {par_speedup:.2}\n  }},\n  \

@@ -80,6 +80,8 @@
 //!   --throttle-ms T                     delay each submission T ms in the
 //!                                       shard worker (drills only: makes
 //!                                       Overloaded deterministic)
+//!   --reactors N                        event-loop threads (default 0 = one
+//!                                       per core, capped by the shard count)
 //!
 //! load options:
 //!   --url URL                           target, e.g. http://127.0.0.1:7313
@@ -88,6 +90,13 @@
 //!   --count N | --duration S            stop after N requests or S seconds
 //!   --rps R                             pace requests at R/sec (unpaced
 //!                                       otherwise)
+//!   --open-loop                         with --rps: measure latency from each
+//!                                       request's scheduled arrival and never
+//!                                       reset the schedule when the server
+//!                                       lags (no coordinated omission)
+//!   --curve R1,R2,...                   sweep these offered rates open-loop,
+//!                                       --duration seconds each (default 5),
+//!                                       and print latency-under-load per rate
 //!   --connections C                     concurrent connections (default 4)
 //!   --ids-out FILE                      write accepted instance ids, one per
 //!                                       line
@@ -972,12 +981,13 @@ fn serve(args: &[String]) -> ExitCode {
     let mut seed = 0u64;
     let mut persons: Vec<(String, Vec<String>)> = Vec::new();
     let mut throttle_ms = 0u64;
+    let mut reactors = 0usize;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         match flag {
             "--shards" | "--port" | "--addr" | "--data" | "--queue" | "--batch"
-            | "--durability" | "--seed" | "--person" | "--throttle-ms" => {
+            | "--durability" | "--seed" | "--person" | "--throttle-ms" | "--reactors" => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("fmtm serve: {flag} needs a value");
                     return ExitCode::from(2);
@@ -1014,6 +1024,7 @@ fn serve(args: &[String]) -> ExitCode {
                         None => false,
                     },
                     "--throttle-ms" => value.parse().map(|n| throttle_ms = n).is_ok(),
+                    "--reactors" => value.parse().map(|n| reactors = n).is_ok(),
                     _ => unreachable!("outer match narrowed the flag"),
                 };
                 if !ok {
@@ -1093,6 +1104,7 @@ fn serve(args: &[String]) -> ExitCode {
         port,
         default_process,
         read_timeout: std::time::Duration::from_secs(30),
+        reactors,
     };
     let server = match wfms_server::Server::start(pool, server_cfg) {
         Ok(s) => s,
@@ -1144,6 +1156,8 @@ fn load_cmd(args: &[String]) -> ExitCode {
     let mut wait_ready: Option<u64> = None;
     let mut do_drain = false;
     let mut do_stop = false;
+    let mut open_loop = false;
+    let mut curve: Option<Vec<f64>> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -1156,8 +1170,12 @@ fn load_cmd(args: &[String]) -> ExitCode {
                 do_stop = true;
                 i += 1;
             }
+            "--open-loop" => {
+                open_loop = true;
+                i += 1;
+            }
             "--url" | "--process" | "--count" | "--duration" | "--rps" | "--connections"
-            | "--ids-out" | "--verify" | "--verify-timeout" | "--wait-ready" => {
+            | "--ids-out" | "--verify" | "--verify-timeout" | "--wait-ready" | "--curve" => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("fmtm load: {flag} needs a value");
                     return ExitCode::from(2);
@@ -1185,6 +1203,11 @@ fn load_cmd(args: &[String]) -> ExitCode {
                     }
                     "--verify-timeout" => value.parse().map(|s| verify_timeout = s).is_ok(),
                     "--wait-ready" => value.parse().map(|s| wait_ready = Some(s)).is_ok(),
+                    "--curve" => {
+                        let rates: Result<Vec<f64>, _> =
+                            value.split(',').map(str::trim).map(str::parse).collect();
+                        rates.map(|r| curve = Some(r)).is_ok()
+                    }
                     _ => unreachable!("outer match narrowed the flag"),
                 };
                 if !ok {
@@ -1206,13 +1229,18 @@ fn load_cmd(args: &[String]) -> ExitCode {
     if count.is_none()
         && duration.is_none()
         && verify.is_none()
+        && curve.is_none()
         && !do_drain
         && !do_stop
         && wait_ready.is_none()
     {
         eprintln!(
-            "fmtm load: nothing to do (give --count, --duration, --verify, --drain or --stop)"
+            "fmtm load: nothing to do (give --count, --duration, --curve, --verify, --drain or --stop)"
         );
+        return ExitCode::from(2);
+    }
+    if open_loop && rps.is_none() && curve.is_none() {
+        eprintln!("fmtm load: --open-loop needs --rps (or use --curve)");
         return ExitCode::from(2);
     }
 
@@ -1223,7 +1251,34 @@ fn load_cmd(args: &[String]) -> ExitCode {
         }
     }
 
-    if count.is_some() || duration.is_some() {
+    if let Some(rates) = &curve {
+        let base = wfms_server::LoadOptions {
+            url: url.clone(),
+            process: process.clone(),
+            count: None,
+            duration: None,
+            rps: None,
+            connections,
+            collect_ids: false,
+            open_loop: true,
+        };
+        let per_rate = std::time::Duration::from_secs(duration.unwrap_or(5));
+        let points = wfms_server::latency_curve(&base, rates, per_rate);
+        println!("curve: offered_rps achieved_rps sent accepted errors p50_us p95_us p99_us");
+        for p in &points {
+            println!(
+                "curve: {:.0} {:.0} {} {} {} {} {} {}",
+                p.offered_rps,
+                p.achieved_rps,
+                p.sent,
+                p.accepted,
+                p.errors,
+                p.p50_us,
+                p.p95_us,
+                p.p99_us,
+            );
+        }
+    } else if count.is_some() || duration.is_some() {
         let opts = wfms_server::LoadOptions {
             url: url.clone(),
             process,
@@ -1232,6 +1287,7 @@ fn load_cmd(args: &[String]) -> ExitCode {
             rps,
             connections,
             collect_ids: ids_out.is_some(),
+            open_loop,
         };
         let report = wfms_server::run_load(&opts);
         println!(

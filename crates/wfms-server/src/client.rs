@@ -1,12 +1,20 @@
 //! A minimal HTTP/1.1 client and the `fmtm load` generator.
 //!
 //! [`Http1Client`] keeps one keep-alive connection and reconnects
-//! transparently when the server closes it. [`run_load`] drives N
-//! connection threads against `POST /instances` with optional
-//! request-rate pacing and reports achieved throughput plus latency
-//! percentiles (recorded in a [`wfms_observe::Histogram`], so the
-//! percentiles are log-linear-bucket estimates, same as the engine's
-//! own latency metrics).
+//! transparently when the server closes it; [`Http1Client::pipelined`]
+//! writes a burst of requests before reading any response, exercising
+//! the server's pipelining path. [`run_load`] drives N connection
+//! threads against `POST /instances` with optional request-rate
+//! pacing and reports achieved throughput plus latency percentiles
+//! (recorded in a [`wfms_observe::Histogram`], so the percentiles are
+//! log-linear-bucket estimates, same as the engine's own latency
+//! metrics). With [`LoadOptions::open_loop`] the generator keeps an
+//! open-loop arrival schedule: latency is measured from each
+//! request's *scheduled* send time and the schedule never resets when
+//! the server falls behind, so queueing delay is charged to the
+//! server rather than silently absorbed (no coordinated omission).
+//! [`latency_curve`] sweeps offered rates and reports
+//! latency-under-load at each.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -93,6 +101,40 @@ impl Http1Client {
         stream.flush()?;
         read_response(conn)
     }
+
+    /// Writes `n` copies of the same request back-to-back, then reads
+    /// the `n` responses in order — a pipelined burst. No reconnect
+    /// retry: a dead connection fails the whole burst.
+    pub fn pipelined(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        n: usize,
+    ) -> std::io::Result<Vec<(u16, String)>> {
+        let host = self.host.clone();
+        self.connect()?;
+        let mut conn = self.conn.take().expect("connected above");
+        let payload = body.unwrap_or("");
+        let one = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-length: {}\r\n\r\n{payload}",
+            payload.len()
+        );
+        let mut burst = Vec::with_capacity(one.len() * n);
+        for _ in 0..n {
+            burst.extend_from_slice(one.as_bytes());
+        }
+        let stream = conn.get_mut();
+        stream.write_all(&burst)?;
+        stream.flush()?;
+        let mut answers = Vec::with_capacity(n);
+        for _ in 0..n {
+            answers.push(read_response(&mut conn)?);
+        }
+        // Only a fully-read burst leaves the connection reusable.
+        self.conn = Some(conn);
+        Ok(answers)
+    }
 }
 
 /// Reads one `Content-Length`-framed response.
@@ -140,6 +182,7 @@ fn read_response(r: &mut BufReader<TcpStream>) -> std::io::Result<(u16, String)>
 }
 
 /// Options for [`run_load`].
+#[derive(Clone)]
 pub struct LoadOptions {
     /// Target, `http://host:port` or `host:port`.
     pub url: String,
@@ -157,6 +200,11 @@ pub struct LoadOptions {
     pub connections: usize,
     /// Collect accepted instance ids (for later verification).
     pub collect_ids: bool,
+    /// Open-loop mode (needs `rps`): latency is measured from each
+    /// request's *scheduled* arrival time and the schedule never
+    /// resets when the server lags, so percentiles include the
+    /// queueing delay a real open population would see.
+    pub open_loop: bool,
 }
 
 impl LoadOptions {
@@ -170,6 +218,7 @@ impl LoadOptions {
             rps: None,
             connections: 1,
             collect_ids: false,
+            open_loop: false,
         }
     }
 }
@@ -251,17 +300,24 @@ pub fn run_load(opts: &LoadOptions) -> LoadReport {
                             break;
                         }
                     }
+                    // `scheduled` is the arrival the rate schedule
+                    // prescribed; under open loop the clock for this
+                    // request starts there even if the connection was
+                    // still busy with the previous one.
+                    let mut scheduled = Instant::now();
                     if let Some(step) = interval {
                         let now = Instant::now();
                         if next_send > now {
                             std::thread::sleep(next_send - now);
                         }
+                        scheduled = next_send;
                         next_send += step;
                     }
                     let sent_at = Instant::now();
+                    let t0 = if opts.open_loop { scheduled } else { sent_at };
                     match client.request("POST", "/instances", body.as_deref()) {
                         Ok((201, answer)) => {
-                            latency.record(sent_at.elapsed().as_micros() as u64);
+                            latency.record(t0.elapsed().as_micros() as u64);
                             accepted.fetch_add(1, Ordering::Relaxed);
                             if opts.collect_ids {
                                 if let Ok(resp) = serde_json::from_str::<SubmitResponse>(&answer) {
@@ -298,6 +354,55 @@ pub fn run_load(opts: &LoadOptions) -> LoadReport {
         p99_us: snap.p99,
         ids,
     }
+}
+
+/// One offered rate on a latency-under-load curve.
+#[derive(Debug, Clone)]
+pub struct CurvePoint {
+    /// Offered rate (requests/s the schedule prescribed).
+    pub offered_rps: f64,
+    /// Achieved accepted rate.
+    pub achieved_rps: f64,
+    /// Requests sent at this point.
+    pub sent: u64,
+    /// `201` answers.
+    pub accepted: u64,
+    /// Transport errors and unexpected statuses.
+    pub errors: u64,
+    /// Open-loop (scheduled-arrival) latency percentiles, µs.
+    pub p50_us: u64,
+    /// 95th percentile, µs.
+    pub p95_us: u64,
+    /// 99th percentile, µs.
+    pub p99_us: u64,
+}
+
+/// Sweeps the offered rates in `rates`, running an open-loop load of
+/// `per_rate` duration at each, and returns latency-under-load per
+/// rate. The base options' url/process/connections are reused; count
+/// is cleared so each point is purely duration-bounded.
+pub fn latency_curve(base: &LoadOptions, rates: &[f64], per_rate: Duration) -> Vec<CurvePoint> {
+    let mut curve = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let mut opts = base.clone();
+        opts.count = None;
+        opts.duration = Some(per_rate);
+        opts.rps = Some(rate);
+        opts.open_loop = true;
+        opts.collect_ids = false;
+        let report = run_load(&opts);
+        curve.push(CurvePoint {
+            offered_rps: rate,
+            achieved_rps: report.rps(),
+            sent: report.sent,
+            accepted: report.accepted,
+            errors: report.errors,
+            p50_us: report.p50_us,
+            p95_us: report.p95_us,
+            p99_us: report.p99_us,
+        });
+    }
+    curve
 }
 
 /// Polls `GET /healthz` until the server answers or `timeout` passes.

@@ -1,6 +1,15 @@
 //! A minimal, dependency-free HTTP/1.1 subset — just enough protocol
-//! for the workflow service: request parsing with hard limits,
-//! keep-alive, `Content-Length` bodies, and response writing.
+//! for the workflow service: incremental request parsing with hard
+//! limits, keep-alive and pipelining, `Content-Length` bodies, and
+//! response rendering.
+//!
+//! The core is [`Decoder`], an incremental parser that consumes from
+//! an internal byte buffer: feed it whatever the socket produced
+//! ([`Decoder::push`]) and pop zero or more complete requests
+//! ([`Decoder::next_request`]). That shape is what the non-blocking
+//! event loop in [`crate::server`] needs — a read can deliver half a
+//! request or three pipelined ones, and the decoder handles both
+//! without ever blocking or re-scanning.
 //!
 //! The parser is deliberately paranoid rather than featureful. Every
 //! input is bounded ([`MAX_LINE`], [`MAX_HEADERS`], [`MAX_BODY`]) and
@@ -19,6 +28,18 @@ pub const MAX_HEADERS: usize = 64;
 /// Maximum request body size in bytes.
 pub const MAX_BODY: usize = 1024 * 1024;
 
+/// HTTP protocol version of a request. Only the keep-alive default
+/// differs: HTTP/1.0 closes unless the client asks `keep-alive`,
+/// HTTP/1.1 keeps alive unless the client asks `close`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0` — connections default to close.
+    Http10,
+    /// `HTTP/1.1` (or a later 1.x minor) — connections default to
+    /// keep-alive.
+    Http11,
+}
+
 /// One parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -28,6 +49,8 @@ pub struct Request {
     pub path: String,
     /// Query string (after `?`), if present.
     pub query: Option<String>,
+    /// Protocol version from the request line.
+    pub version: Version,
     /// Headers in arrival order, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` was sent).
@@ -52,11 +75,16 @@ impl Request {
         })
     }
 
-    /// True if the client asked to close the connection after this
-    /// request.
+    /// True if the connection must be closed after this request: an
+    /// explicit `Connection: close`, or an HTTP/1.0 request without
+    /// `Connection: keep-alive` (1.0 connections default to close;
+    /// only 1.1 defaults to keep-alive).
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => self.version == Version::Http10,
+        }
     }
 }
 
@@ -100,51 +128,254 @@ impl std::fmt::Display for HttpError {
 
 impl std::error::Error for HttpError {}
 
-/// Reads one `\n`-terminated line of at most [`MAX_LINE`] bytes,
-/// stripping the terminator (and a preceding `\r`). `Ok(None)` means
-/// clean EOF before any byte of the line.
-fn read_line<R: BufRead>(r: &mut R) -> Result<Option<String>, HttpError> {
-    let mut line: Vec<u8> = Vec::new();
-    loop {
-        let mut byte = [0u8; 1];
-        match r.read(&mut byte) {
-            Ok(0) => {
-                if line.is_empty() {
-                    return Ok(None);
-                }
-                return Err(HttpError::BadRequest("truncated request"));
-            }
-            Ok(_) => {
-                if byte[0] == b'\n' {
-                    if line.last() == Some(&b'\r') {
-                        line.pop();
-                    }
-                    let text = String::from_utf8(line)
-                        .map_err(|_| HttpError::BadRequest("non-UTF-8 request bytes"))?;
-                    return Ok(Some(text));
-                }
-                if line.len() >= MAX_LINE {
-                    return Err(HttpError::TooLarge("request line or header too long"));
-                }
-                line.push(byte[0]);
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(HttpError::Io(e)),
-        }
+/// RFC 7230 `tchar`: the bytes legal in a header field name.
+fn is_tchar(b: u8) -> bool {
+    b.is_ascii_alphanumeric()
+        || matches!(
+            b,
+            b'!' | b'#'
+                | b'$'
+                | b'%'
+                | b'&'
+                | b'\''
+                | b'*'
+                | b'+'
+                | b'-'
+                | b'.'
+                | b'^'
+                | b'_'
+                | b'`'
+                | b'|'
+                | b'~'
+        )
+}
+
+/// Strict `Content-Length`: ASCII digits only. `usize::parse` would
+/// also accept a leading `+`, which some proxies treat differently —
+/// a classic request-smuggling wedge, so any non-digit byte is a 400.
+fn parse_content_length(v: &str) -> Result<usize, HttpError> {
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::BadRequest("unparseable content-length"));
+    }
+    v.parse::<usize>()
+        .map_err(|_| HttpError::TooLarge("request body too large"))
+}
+
+/// Parse progress inside [`Decoder`].
+enum DecodeState {
+    /// Accumulating the request line and header lines.
+    Head,
+    /// Head complete; `need` body bytes outstanding.
+    Body { req: Request, need: usize },
+    /// A previous call returned `Err`; the stream is unusable.
+    Failed,
+}
+
+/// Incremental HTTP/1.1 request parser over an internal buffer.
+///
+/// Feed raw socket bytes with [`push`](Decoder::push); pop complete
+/// requests with [`next_request`](Decoder::next_request). Pipelined
+/// requests are returned one at a time with no byte loss — whatever
+/// follows a complete request stays buffered for the next call.
+///
+/// After an `Err` the decoder is poisoned: the connection should be
+/// answered with [`HttpError::status`] and closed.
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// First unconsumed byte in `buf`.
+    start: usize,
+    state: DecodeState,
+    /// Partial head: request line, once parsed.
+    head: Option<(String, String, Option<String>, Version)>,
+    /// Partial head: headers parsed so far.
+    headers: Vec<(String, String)>,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
-/// Reads one request from `r`.
-///
-/// * `Ok(None)` — the peer closed the connection cleanly between
-///   requests (normal keep-alive termination).
-/// * `Err(e)` — malformed/oversized input; answer with
-///   [`HttpError::status`] and close.
-pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError> {
-    let Some(request_line) = read_line(r)? else {
-        return Ok(None);
-    };
-    let mut parts = request_line.split(' ');
+impl Decoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            start: 0,
+            state: DecodeState::Head,
+            head: None,
+            headers: Vec::new(),
+        }
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the dead prefix dominates.
+        if self.start > 0 && self.start >= self.buf.len().max(4096) / 2 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a returned request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// True when nothing is buffered and no request is half-parsed —
+    /// i.e. EOF here is a clean keep-alive termination.
+    pub fn is_clean(&self) -> bool {
+        self.buffered() == 0 && self.head.is_none() && matches!(self.state, DecodeState::Head)
+    }
+
+    /// What a mid-stream EOF means given current progress.
+    pub fn truncation(&self) -> &'static str {
+        match self.state {
+            DecodeState::Body { .. } => "truncated body",
+            _ if self.head.is_some() => "truncated headers",
+            _ => "truncated request",
+        }
+    }
+
+    /// Takes one `\n`-terminated line (stripping the terminator and a
+    /// preceding `\r`), or `None` if no full line is buffered yet.
+    fn take_line(&mut self) -> Result<Option<String>, HttpError> {
+        let hay = &self.buf[self.start..];
+        match hay.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                if i > MAX_LINE {
+                    return Err(HttpError::TooLarge("request line or header too long"));
+                }
+                let end = if i > 0 && hay[i - 1] == b'\r' {
+                    i - 1
+                } else {
+                    i
+                };
+                let text = std::str::from_utf8(&hay[..end])
+                    .map_err(|_| HttpError::BadRequest("non-UTF-8 request bytes"))?
+                    .to_owned();
+                self.start += i + 1;
+                Ok(Some(text))
+            }
+            None => {
+                if hay.len() > MAX_LINE {
+                    return Err(HttpError::TooLarge("request line or header too long"));
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Pops the next complete request, or `Ok(None)` if more input is
+    /// needed. Errors poison the decoder.
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        match self.advance() {
+            Err(e) => {
+                self.state = DecodeState::Failed;
+                Err(e)
+            }
+            ok => ok,
+        }
+    }
+
+    fn advance(&mut self) -> Result<Option<Request>, HttpError> {
+        if matches!(self.state, DecodeState::Failed) {
+            return Err(HttpError::BadRequest("request stream already failed"));
+        }
+        if let DecodeState::Body { .. } = self.state {
+            return self.fill_body();
+        }
+        // Head: consume lines until the empty terminator line.
+        loop {
+            let Some(line) = self.take_line()? else {
+                return Ok(None);
+            };
+            if self.head.is_none() {
+                self.head = Some(parse_request_line(&line)?);
+                continue;
+            }
+            if line.is_empty() {
+                let (method, path, query, version) = self.head.take().expect("head parsed");
+                let req = Request {
+                    method,
+                    path,
+                    query,
+                    version,
+                    headers: std::mem::take(&mut self.headers),
+                    body: Vec::new(),
+                };
+                return self.finish_head(req);
+            }
+            if self.headers.len() >= MAX_HEADERS {
+                return Err(HttpError::TooLarge("too many headers"));
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(HttpError::BadRequest("header without colon"))?;
+            if name.is_empty() || !name.bytes().all(is_tchar) {
+                return Err(HttpError::BadRequest("malformed header name"));
+            }
+            self.headers
+                .push((name.to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+
+    /// Validates body framing headers and transitions to `Body` (or
+    /// returns the request directly when there is none).
+    fn finish_head(&mut self, req: Request) -> Result<Option<Request>, HttpError> {
+        if req.header("transfer-encoding").is_some() {
+            return Err(HttpError::BadRequest(
+                "chunked transfer encoding unsupported",
+            ));
+        }
+        if req
+            .headers
+            .iter()
+            .filter(|(n, _)| n == "content-length")
+            .count()
+            > 1
+        {
+            return Err(HttpError::BadRequest("conflicting content-length headers"));
+        }
+        let len = match req.header("content-length") {
+            Some(cl) => parse_content_length(cl)?,
+            None => 0,
+        };
+        if len > MAX_BODY {
+            return Err(HttpError::TooLarge("request body too large"));
+        }
+        if len == 0 {
+            return Ok(Some(req));
+        }
+        self.state = DecodeState::Body { req, need: len };
+        self.fill_body()
+    }
+
+    fn fill_body(&mut self) -> Result<Option<Request>, HttpError> {
+        let DecodeState::Body { req, need } = &mut self.state else {
+            unreachable!("fill_body called outside Body state");
+        };
+        let take = (*need).min(self.buf.len() - self.start);
+        req.body
+            .extend_from_slice(&self.buf[self.start..self.start + take]);
+        self.start += take;
+        *need -= take;
+        if *need > 0 {
+            return Ok(None);
+        }
+        let DecodeState::Body { req, .. } = std::mem::replace(&mut self.state, DecodeState::Head)
+        else {
+            unreachable!("state checked above");
+        };
+        Ok(Some(req))
+    }
+}
+
+/// Parses and validates `METHOD SP TARGET SP VERSION`.
+fn parse_request_line(line: &str) -> Result<(String, String, Option<String>, Version), HttpError> {
+    let mut parts = line.split(' ');
     let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
         _ => return Err(HttpError::BadRequest("malformed request line")),
@@ -155,6 +386,11 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError>
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::BadRequest("unsupported HTTP version"));
     }
+    let version = if version == "HTTP/1.0" {
+        Version::Http10
+    } else {
+        Version::Http11
+    };
     if !target.starts_with('/') {
         return Err(HttpError::BadRequest(
             "request target must be absolute path",
@@ -164,66 +400,41 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError>
         Some((p, q)) => (p.to_owned(), Some(q.to_owned())),
         None => (target.to_owned(), None),
     };
+    Ok((method.to_owned(), path, query, version))
+}
 
-    let mut headers: Vec<(String, String)> = Vec::new();
+/// Reads one request from `r` with a fresh [`Decoder`] — a one-shot
+/// convenience for tests and simple blocking callers.
+///
+/// * `Ok(None)` — the peer closed the connection cleanly between
+///   requests (normal keep-alive termination).
+/// * `Err(e)` — malformed/oversized input; answer with
+///   [`HttpError::status`] and close.
+///
+/// Bytes the reader had buffered *past* the returned request are left
+/// in the discarded decoder; callers interleaving pipelined requests
+/// must hold a [`Decoder`] themselves (the event loop does).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Option<Request>, HttpError> {
+    let mut dec = Decoder::new();
     loop {
-        let line = read_line(r)?.ok_or(HttpError::BadRequest("truncated headers"))?;
-        if line.is_empty() {
-            break;
+        if let Some(req) = dec.next_request()? {
+            return Ok(Some(req));
         }
-        if headers.len() >= MAX_HEADERS {
-            return Err(HttpError::TooLarge("too many headers"));
-        }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or(HttpError::BadRequest("header without colon"))?;
-        if name.is_empty() || name.contains(' ') {
-            return Err(HttpError::BadRequest("malformed header name"));
-        }
-        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
-    }
-
-    let mut req = Request {
-        method: method.to_owned(),
-        path,
-        query,
-        headers,
-        body: Vec::new(),
-    };
-    if req.header("transfer-encoding").is_some() {
-        return Err(HttpError::BadRequest(
-            "chunked transfer encoding unsupported",
-        ));
-    }
-    if req
-        .headers
-        .iter()
-        .filter(|(n, _)| n == "content-length")
-        .count()
-        > 1
-    {
-        return Err(HttpError::BadRequest("conflicting content-length headers"));
-    }
-    if let Some(cl) = req.header("content-length") {
-        let len: usize = cl
-            .parse()
-            .map_err(|_| HttpError::BadRequest("unparseable content-length"))?;
-        if len > MAX_BODY {
-            return Err(HttpError::TooLarge("request body too large"));
-        }
-        let mut body = vec![0u8; len];
-        let mut filled = 0;
-        while filled < len {
-            match r.read(&mut body[filled..]) {
-                Ok(0) => return Err(HttpError::BadRequest("truncated body")),
-                Ok(n) => filled += n,
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(HttpError::Io(e)),
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(HttpError::Io(e)),
+        };
+        if chunk.is_empty() {
+            if dec.is_clean() {
+                return Ok(None);
             }
+            return Err(HttpError::BadRequest(dec.truncation()));
         }
-        req.body = body;
+        let n = chunk.len();
+        dec.push(chunk);
+        r.consume(n);
     }
-    Ok(Some(req))
 }
 
 /// Reason phrase for the status codes the service emits.
@@ -243,6 +454,39 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Renders one `Content-Length`-framed response into `out` (appending
+/// — the event loop batches many responses into one write). `extra`
+/// headers (e.g. `allow` on a 405) are emitted between the framing
+/// headers and `connection`.
+pub fn render_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+    close: bool,
+) {
+    out.extend_from_slice(
+        format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            status,
+            reason(status),
+            content_type,
+            body.len(),
+        )
+        .as_bytes(),
+    );
+    for (name, value) in extra {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(if close {
+        b"connection: close\r\n\r\n" as &[u8]
+    } else {
+        b"connection: keep-alive\r\n\r\n"
+    });
+    out.extend_from_slice(body);
+}
+
 /// Writes one response with `Content-Length` framing.
 pub fn write_response(
     w: &mut impl Write,
@@ -251,16 +495,9 @@ pub fn write_response(
     body: &[u8],
     close: bool,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
-        status,
-        reason(status),
-        content_type,
-        body.len(),
-        if close { "close" } else { "keep-alive" },
-    );
-    w.write_all(head.as_bytes())?;
-    w.write_all(body)?;
+    let mut out = Vec::with_capacity(128 + body.len());
+    render_response(&mut out, status, content_type, &[], body, close);
+    w.write_all(&out)?;
     w.flush()
 }
 
@@ -280,6 +517,7 @@ mod tests {
             .unwrap();
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/worklist");
+        assert_eq!(req.version, Version::Http11);
         assert_eq!(req.query_param("person"), Some("ann"));
         assert!(!req.wants_close());
     }
@@ -321,6 +559,76 @@ mod tests {
     }
 
     #[test]
+    fn http10_defaults_to_close() {
+        let req = parse(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.version, Version::Http10);
+        assert!(req.wants_close(), "HTTP/1.0 without keep-alive closes");
+
+        let req = parse(b"GET /healthz HTTP/1.0\r\nconnection: keep-alive\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.wants_close(), "explicit keep-alive holds a 1.0 conn");
+
+        let req = parse(b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(req.wants_close(), "explicit close closes a 1.1 conn");
+    }
+
+    #[test]
+    fn plus_prefixed_content_length_is_400() {
+        // `"+42".parse::<usize>()` succeeds — the strict digit check
+        // must reject it anyway (and trailing junk, and inner spaces).
+        for cl in ["+42", "4 2", "42a", "0x10", "-1", ""] {
+            let raw = format!("POST / HTTP/1.1\r\ncontent-length: {cl}\r\n\r\n");
+            let err = parse(raw.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), 400, "content-length {cl:?}");
+        }
+    }
+
+    #[test]
+    fn illegal_header_name_bytes_are_400() {
+        for name in ["a@b", "a(b)", "a,b", "a;b", "a\"b", "a b", "a\tb"] {
+            let raw = format!("GET / HTTP/1.1\r\n{name}: v\r\n\r\n");
+            let err = parse(raw.as_bytes()).unwrap_err();
+            assert_eq!(err.status(), 400, "header name {name:?}");
+        }
+    }
+
+    #[test]
+    fn decoder_pops_pipelined_requests_without_byte_loss() {
+        let mut dec = Decoder::new();
+        dec.push(b"POST /instances HTTP/1.1\r\ncontent-length: 2\r\n\r\nab");
+        dec.push(b"GET /healthz HTTP/1.1\r\n\r\nPOST /x HTTP/1.0\r\ncontent-length: 1\r\n\r\nz");
+        let a = dec.next_request().unwrap().unwrap();
+        assert_eq!((a.method.as_str(), a.body.as_slice()), ("POST", &b"ab"[..]));
+        let b = dec.next_request().unwrap().unwrap();
+        assert_eq!((b.method.as_str(), b.path.as_str()), ("GET", "/healthz"));
+        let c = dec.next_request().unwrap().unwrap();
+        assert_eq!(c.body, b"z");
+        assert_eq!(c.version, Version::Http10);
+        assert!(dec.next_request().unwrap().is_none());
+        assert!(dec.is_clean());
+    }
+
+    #[test]
+    fn decoder_resumes_across_arbitrary_chunk_boundaries() {
+        let wire = b"POST /instances HTTP/1.1\r\nx-tag: t\r\ncontent-length: 5\r\n\r\nhello";
+        for split in 1..wire.len() {
+            let mut dec = Decoder::new();
+            dec.push(&wire[..split]);
+            let early = dec.next_request().unwrap();
+            dec.push(&wire[split..]);
+            let req = match early {
+                Some(r) => r,
+                None => dec.next_request().unwrap().expect("complete after push"),
+            };
+            assert_eq!(req.body, b"hello", "split at {split}");
+            assert_eq!(req.header("x-tag"), Some("t"));
+        }
+    }
+
+    #[test]
     fn response_writer_frames_body() {
         let mut out = Vec::new();
         write_response(&mut out, 200, "application/json", b"{}", false).unwrap();
@@ -328,5 +636,22 @@ mod tests {
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn render_emits_extra_headers_before_connection() {
+        let mut out = Vec::new();
+        render_response(
+            &mut out,
+            405,
+            "application/json",
+            &[("allow", "POST")],
+            b"{}",
+            false,
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 405 Method Not Allowed\r\n"));
+        assert!(text.contains("allow: POST\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
     }
 }

@@ -14,16 +14,23 @@
 //!   rejection past the high-water mark; per-shard **group commit**
 //!   (one journal flush per batch, acknowledgements only after it);
 //!   restart recovery through the engine's forward-recovery path.
-//! * [`http`] — a hand-rolled, zero-dependency HTTP/1.1 subset over
-//!   `std::net`: hard input limits, keep-alive, typed 400/413 errors.
+//! * [`http`] — a hand-rolled, zero-dependency HTTP/1.1 subset: an
+//!   incremental [`http::Decoder`] that parses pipelined keep-alive
+//!   requests from per-connection buffers, hard input limits, typed
+//!   400/413 errors.
 //! * [`server`] — the route table (`POST /instances`,
 //!   `GET /instances/:id`, `GET /worklist`,
 //!   `POST /worklist/:item/complete`, `GET /metrics`,
-//!   `POST /admin/drain`, `POST /admin/stop`) and the accept loop.
+//!   `POST /admin/drain`, `POST /admin/stop`) served by epoll-backed
+//!   reactor threads ([`poll`]) that share the listener
+//!   `EPOLLEXCLUSIVE`; submit replies are batched behind each shard's
+//!   group commit, so a `201` on the wire implies durability.
 //!
-//! [`client`] is the matching side: a keep-alive HTTP client, the
-//! `fmtm load` generator with RPS pacing and latency percentiles, and
-//! the verification helpers the crash-restart drill uses.
+//! [`client`] is the matching side: a keep-alive HTTP client with
+//! request pipelining, the `fmtm load` generator (closed-loop and
+//! open-loop target-RPS schedules with coordinated-omission-corrected
+//! latency percentiles), and the verification helpers the
+//! crash-restart drill uses.
 //!
 //! The wire protocol, on-disk layout and recovery guarantee are
 //! documented in `docs/serving.md`.
@@ -31,9 +38,13 @@
 pub mod api;
 pub mod client;
 pub mod http;
+pub mod poll;
 pub mod server;
 pub mod shard;
 
-pub use client::{run_load, verify_ids, wait_ready, Http1Client, LoadOptions, LoadReport};
+pub use client::{
+    latency_curve, run_load, verify_ids, wait_ready, CurvePoint, Http1Client, LoadOptions,
+    LoadReport,
+};
 pub use server::{Server, ServerConfig};
-pub use shard::{PoolConfig, PoolError, ShardPool, SubmitOutcome};
+pub use shard::{PoolConfig, PoolError, ShardPool, SubmitDispatch, SubmitOutcome, SubmitReply};

@@ -1,7 +1,24 @@
-//! The service front end: a [`std::net::TcpListener`] accept loop,
-//! one handler thread per connection (keep-alive, bounded by a read
-//! timeout), and the route table mapping the JSON protocol onto a
-//! [`ShardPool`].
+//! The service front end: a non-blocking, epoll-backed event loop.
+//!
+//! One or more **reactor** threads share the listening socket (each
+//! registers it `EPOLLEXCLUSIVE`, so the kernel wakes exactly one per
+//! pending accept) and own the sockets they accept for the life of
+//! the connection. Each connection carries an incremental
+//! [`http::Decoder`] — a single readiness event may deliver half a
+//! request or a dozen pipelined ones, and both parse without
+//! blocking — plus a FIFO of *response slots* that keeps pipelined
+//! replies in request order even when they complete out of order.
+//!
+//! Read-path routes (status, worklist, metrics, health) answer
+//! synchronously on the reactor. Submissions are dispatched to the
+//! owning shard through [`ShardPool::submit_with`], which fires a
+//! completion **after the shard's group commit**; the completion
+//! lands in the reactor's queue (woken via eventfd), fills its
+//! response slot, and is written out together with every other reply
+//! from the same batch — one flush, one wake, one `writev`-sized
+//! burst. A `201` on the wire therefore still implies the start is on
+//! disk. Admin drain/stop run on short-lived helper threads (they
+//! block on shard barriers) and complete through the same queue.
 //!
 //! Lifecycle: [`Server::start`] binds and serves immediately;
 //! [`Server::wait_stop`] blocks the caller until `POST /admin/stop`
@@ -10,20 +27,42 @@
 //! journals are checkpointed — unless the caller asks for an abrupt
 //! stop to simulate a crash.
 
-use std::io::BufReader;
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use wfms_engine::{EngineError, InstanceStatus, WorklistError};
 use wfms_model::Container;
 
 use crate::api::*;
-use crate::http::{read_request, write_response, HttpError, Request};
-use crate::shard::{ShardPool, SubmitOutcome};
+use crate::http::{self, render_response, HttpError, Request};
+use crate::poll::{
+    Epoll, Waker, EPOLLERR, EPOLLEXCLUSIVE, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
+};
+use crate::shard::{ShardPool, SubmitDispatch, SubmitReply};
+
+/// Epoll events drained per wait.
+const MAX_EVENTS: usize = 256;
+/// Socket read granularity.
+const READ_CHUNK: usize = 16 * 1024;
+/// Maximum responses (pending or rendered) queued per connection;
+/// beyond this the reactor stops reading the connection until the
+/// pipeline drains — backpressure instead of unbounded buffering.
+const MAX_PIPELINE: usize = 128;
+/// Maximum unparsed bytes buffered per connection before reads pause.
+const MAX_UNPARSED: usize = 256 * 1024;
+/// Idle-connection sweep cadence (also the epoll wait bound).
+const SWEEP_EVERY: Duration = Duration::from_millis(500);
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const TOKEN_FIRST_CONN: u64 = 2;
 
 /// Server configuration.
 pub struct ServerConfig {
@@ -36,6 +75,9 @@ pub struct ServerConfig {
     pub default_process: String,
     /// Idle keep-alive connections are closed after this long.
     pub read_timeout: Duration,
+    /// Reactor (event-loop) threads; `0` = one per core, capped by
+    /// the shard count (more reactors than shards just contend).
+    pub reactors: usize,
 }
 
 impl ServerConfig {
@@ -46,6 +88,7 @@ impl ServerConfig {
             port: 0,
             default_process: default_process.into(),
             read_timeout: Duration::from_secs(30),
+            reactors: 0,
         }
     }
 }
@@ -58,26 +101,74 @@ struct ServerState {
     stop_tx: SyncSender<()>,
 }
 
-/// Deferred work a route asks for *after* its response is written.
-enum PostAction {
-    /// Signal [`Server::wait_stop`].
-    Stop,
+/// A deferred route completion, produced off-reactor and delivered
+/// through [`ReactorShared`].
+enum Completion {
+    /// A submit acknowledged after its shard's group commit.
+    Submit {
+        conn: u64,
+        slot: u64,
+        reply: SubmitReply,
+        close: bool,
+    },
+    /// An admin drain/stop finished on its helper thread.
+    Admin {
+        conn: u64,
+        slot: u64,
+        result: Result<usize, String>,
+        close: bool,
+        stop: bool,
+    },
+}
+
+/// The cross-thread half of one reactor: completion queue + waker.
+struct ReactorShared {
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl ReactorShared {
+    fn post(&self, completion: Completion) {
+        let was_empty = {
+            let mut queue = self.completions.lock();
+            let was_empty = queue.is_empty();
+            queue.push(completion);
+            was_empty
+        };
+        // One wake per drain cycle: siblings piling onto a non-empty
+        // queue ride the wake already in flight (the reactor swaps
+        // the whole queue out, so nothing is stranded).
+        if was_empty {
+            self.waker.wake();
+        }
+    }
 }
 
 /// A running workflow service.
 pub struct Server {
     state: Arc<ServerState>,
     local_addr: SocketAddr,
-    acceptor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    reactors: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    shared: Vec<Arc<ReactorShared>>,
     stop_rx: Mutex<Receiver<()>>,
 }
 
 impl Server {
-    /// Binds the listener and starts serving on a background thread.
+    /// Binds the listener and starts the reactor threads.
     pub fn start(pool: Arc<ShardPool>, cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind((cfg.addr.as_str(), cfg.port))?;
+        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let listener = Arc::new(listener);
         let (stop_tx, stop_rx) = sync_channel::<()>(1);
+        let nreactors = if cfg.reactors > 0 {
+            cfg.reactors
+        } else {
+            std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(pool.shards())
+                .max(1)
+        };
         let state = Arc::new(ServerState {
             pool,
             draining: AtomicBool::new(false),
@@ -85,17 +176,48 @@ impl Server {
             default_process: cfg.default_process,
             stop_tx,
         });
-        let acceptor = {
+
+        let mut shared = Vec::with_capacity(nreactors);
+        let mut handles = Vec::with_capacity(nreactors);
+        for i in 0..nreactors {
+            let reactor_shared = Arc::new(ReactorShared {
+                completions: Mutex::new(Vec::new()),
+                waker: Waker::new()?,
+            });
+            let epoll = Epoll::new()?;
+            epoll.add(reactor_shared.waker.fd(), EPOLLIN, TOKEN_WAKER)?;
+            epoll.add(
+                listener.as_raw_fd(),
+                EPOLLIN | EPOLLEXCLUSIVE,
+                TOKEN_LISTENER,
+            )?;
+            shared.push(Arc::clone(&reactor_shared));
             let state = Arc::clone(&state);
+            let listener = Arc::clone(&listener);
             let read_timeout = cfg.read_timeout;
-            std::thread::Builder::new()
-                .name("wfms-accept".to_owned())
-                .spawn(move || accept_loop(listener, state, read_timeout))?
-        };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("wfms-reactor-{i}"))
+                    .spawn(move || {
+                        Reactor {
+                            epoll,
+                            listener,
+                            shared: reactor_shared,
+                            state,
+                            read_timeout,
+                            conns: HashMap::new(),
+                            next_token: TOKEN_FIRST_CONN,
+                        }
+                        .run()
+                    })?,
+            );
+        }
+
         Ok(Server {
             state,
             local_addr,
-            acceptor: Mutex::new(Some(acceptor)),
+            reactors: Mutex::new(handles),
+            shared,
             stop_rx: Mutex::new(stop_rx),
         })
     }
@@ -121,70 +243,445 @@ impl Server {
         if drain && !self.state.draining.swap(true, Ordering::SeqCst) {
             let _ = self.state.pool.drain();
         }
-        self.state.pool.stop();
         if !self.state.stopping.swap(true, Ordering::SeqCst) {
-            // Wake the acceptor out of `accept()`.
-            let _ = TcpStream::connect(self.local_addr);
+            for shared in &self.shared {
+                shared.waker.wake();
+            }
         }
-        if let Some(handle) = self.acceptor.lock().take() {
+        for handle in self.reactors.lock().drain(..) {
             let _ = handle.join();
         }
+        self.state.pool.stop();
         let _ = self.state.stop_tx.try_send(());
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<ServerState>, read_timeout: Duration) {
-    for conn in listener.incoming() {
-        if state.stopping.load(Ordering::SeqCst) {
-            break;
+/// One queued response for a connection, in request order.
+enum Slot {
+    /// Rendered and ready to write.
+    Ready {
+        bytes: Vec<u8>,
+        close: bool,
+        stop: bool,
+    },
+    /// Waiting on a group-commit or admin completion.
+    Pending { id: u64 },
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: http::Decoder,
+    /// FIFO of responses; the front is the oldest request. Written
+    /// out only while the front is `Ready` — pipelined responses
+    /// never reorder.
+    slots: std::collections::VecDeque<Slot>,
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Epoll interest currently registered.
+    interest: u32,
+    /// Stop reading: a close-marked or malformed request was seen.
+    input_dead: bool,
+    /// Peer half-closed its write side.
+    read_closed: bool,
+    /// Close once the output buffer drains.
+    close_after_write: bool,
+    /// Signal server stop once the output buffer drains.
+    stop_after_write: bool,
+    next_slot: u64,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            decoder: http::Decoder::new(),
+            slots: std::collections::VecDeque::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            interest: EPOLLIN | EPOLLRDHUP,
+            input_dead: false,
+            read_closed: false,
+            close_after_write: false,
+            stop_after_write: false,
+            next_slot: 0,
+            last_activity: Instant::now(),
         }
-        let Ok(stream) = conn else { continue };
-        let _ = stream.set_read_timeout(Some(read_timeout));
-        let _ = stream.set_nodelay(true);
-        let state = Arc::clone(&state);
-        let _ = std::thread::Builder::new()
-            .name("wfms-conn".to_owned())
-            .spawn(move || handle_connection(stream, state));
+    }
+
+    fn alloc_slot(&mut self) -> u64 {
+        let id = self.next_slot;
+        self.next_slot += 1;
+        self.slots.push_back(Slot::Pending { id });
+        id
+    }
+
+    fn push_ready(&mut self, bytes: Vec<u8>, close: bool) {
+        self.slots.push_back(Slot::Ready {
+            bytes,
+            close,
+            stop: false,
+        });
+    }
+
+    fn fill_slot(&mut self, id: u64, bytes: Vec<u8>, close: bool, stop: bool) {
+        for slot in &mut self.slots {
+            if matches!(slot, Slot::Pending { id: p } if *p == id) {
+                *slot = Slot::Ready { bytes, close, stop };
+                return;
+            }
+        }
+    }
+
+    /// Moves contiguously-ready slots from the FIFO front into the
+    /// output buffer (one buffer, one write syscall for the batch).
+    fn pump(&mut self) {
+        while let Some(Slot::Ready { .. }) = self.slots.front() {
+            let Some(Slot::Ready { bytes, close, stop }) = self.slots.pop_front() else {
+                unreachable!("front checked above");
+            };
+            self.out.extend_from_slice(&bytes);
+            if close {
+                self.close_after_write = true;
+                self.input_dead = true;
+            }
+            if stop {
+                self.stop_after_write = true;
+            }
+        }
+    }
+
+    /// Whether the reactor should be reading this connection.
+    fn wants_read(&self) -> bool {
+        !self.input_dead
+            && !self.read_closed
+            && self.slots.len() < MAX_PIPELINE
+            && self.decoder.buffered() < MAX_UNPARSED
+    }
+
+    fn has_output(&self) -> bool {
+        self.out_pos < self.out.len()
     }
 }
 
-fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut write_half = write_half;
-    let mut reader = BufReader::new(stream);
-    loop {
-        match read_request(&mut reader) {
-            Ok(None) => break,
-            Ok(Some(req)) => {
-                let close = req.wants_close();
-                let (status, content_type, body, action) = route(&state, &req);
-                if write_response(
-                    &mut write_half,
-                    status,
-                    content_type,
-                    body.as_bytes(),
-                    close,
-                )
-                .is_err()
-                {
-                    break;
-                }
-                if let Some(PostAction::Stop) = action {
-                    let _ = state.stop_tx.try_send(());
-                    break;
-                }
-                if close {
-                    break;
-                }
-            }
-            Err(HttpError::Io(_)) => break,
-            Err(e) => {
-                let body = err_body(&e.message(), "bad_request");
-                let _ = write_response(&mut write_half, e.status(), JSON, body.as_bytes(), true);
+/// What to do with a connection after handling its events.
+#[derive(PartialEq)]
+enum Fate {
+    Keep,
+    Close,
+    /// Close and signal server stop (admin/stop response flushed).
+    CloseAndStop,
+}
+
+struct Reactor {
+    epoll: Epoll,
+    listener: Arc<TcpListener>,
+    shared: Arc<ReactorShared>,
+    state: Arc<ServerState>,
+    read_timeout: Duration,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = vec![
+            crate::poll::Event {
+                events: 0,
+                token: 0
+            };
+            MAX_EVENTS
+        ];
+        let mut last_sweep = Instant::now();
+        while let Ok(n) = self.epoll.wait(&mut events, SWEEP_EVERY.as_millis() as i32) {
+            if self.state.stopping.load(Ordering::SeqCst) {
                 break;
             }
+            let mut stop_requested = false;
+            for ev in &events[..n] {
+                let (token, ready) = ({ ev.token }, { ev.events });
+                match token {
+                    TOKEN_LISTENER => self.accept_all(),
+                    TOKEN_WAKER => {
+                        self.shared.waker.drain();
+                        if self.drain_completions() {
+                            stop_requested = true;
+                        }
+                    }
+                    token => {
+                        if self.handle_conn_event(token, ready) {
+                            stop_requested = true;
+                        }
+                    }
+                }
+            }
+            if stop_requested {
+                let _ = self.state.stop_tx.try_send(());
+            }
+            if last_sweep.elapsed() >= SWEEP_EVERY {
+                last_sweep = Instant::now();
+                self.sweep_idle();
+            }
+        }
+        // Reactor exit: drop every connection (closes the sockets).
+        self.conns.clear();
+    }
+
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.state.stopping.load(Ordering::SeqCst) {
+                        continue; // accept-and-drop while stopping
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let conn = Conn::new(stream);
+                    if self
+                        .epoll
+                        .add(conn.stream.as_raw_fd(), conn.interest, token)
+                        .is_ok()
+                    {
+                        self.conns.insert(token, conn);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Applies queued completions to their connections. Returns true
+    /// if a stop was fully flushed.
+    fn drain_completions(&mut self) -> bool {
+        let drained: Vec<Completion> = std::mem::take(&mut *self.shared.completions.lock());
+        let mut stop = false;
+        let mut touched: Vec<u64> = Vec::with_capacity(drained.len());
+        for completion in drained {
+            match completion {
+                Completion::Submit {
+                    conn: token,
+                    slot,
+                    reply,
+                    close,
+                } => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        let mut bytes = Vec::with_capacity(192);
+                        render_submit_reply(&mut bytes, reply, close);
+                        conn.fill_slot(slot, bytes, close, false);
+                        conn.last_activity = Instant::now();
+                        touched.push(token);
+                    }
+                }
+                Completion::Admin {
+                    conn: token,
+                    slot,
+                    result,
+                    close,
+                    stop: stop_after,
+                } => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        let mut bytes = Vec::with_capacity(128);
+                        match result {
+                            Ok(compacted_events) => {
+                                let body =
+                                    serde_json::to_string(&DrainResponse { compacted_events })
+                                        .expect("drain body serializes");
+                                render_response(&mut bytes, 200, JSON, &[], body.as_bytes(), close);
+                            }
+                            Err(e) => {
+                                let body = err_body(&e, "internal");
+                                render_response(&mut bytes, 500, JSON, &[], body.as_bytes(), close);
+                            }
+                        }
+                        conn.fill_slot(slot, bytes, close, stop_after);
+                        conn.last_activity = Instant::now();
+                        touched.push(token);
+                    } else if stop_after {
+                        // The stop requester vanished; honor the stop
+                        // anyway — the drain already happened.
+                        stop = true;
+                    }
+                }
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for token in touched {
+            // Newly-ready slots may also unblock parsing (pipeline
+            // backpressure) — run the full service pass.
+            if self.service_conn(token) {
+                stop = true;
+            }
+        }
+        stop
+    }
+
+    /// Handles a readiness event for a connection. Returns true if a
+    /// stop response was fully flushed.
+    fn handle_conn_event(&mut self, token: u64, ready: u32) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false; // closed earlier in this batch
+        };
+        if ready & (EPOLLERR | EPOLLHUP) != 0 {
+            self.close(token);
+            return false;
+        }
+        if ready & (EPOLLIN | EPOLLRDHUP) != 0 {
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                if !conn.wants_read() {
+                    break;
+                }
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.read_closed = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.decoder.push(&chunk[..n]);
+                        conn.last_activity = Instant::now();
+                        if n < chunk.len() {
+                            break; // socket drained
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.close(token);
+                        return false;
+                    }
+                }
+            }
+        }
+        self.service_conn(token)
+    }
+
+    /// Parses buffered requests, pumps ready slots, writes, and
+    /// updates epoll interest / closes as needed. The single
+    /// post-anything service pass for a connection.
+    fn service_conn(&mut self, token: u64) -> bool {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return false;
+        };
+        // Parse as many complete requests as backpressure allows.
+        while !conn.input_dead && conn.slots.len() < MAX_PIPELINE {
+            match conn.decoder.next_request() {
+                Ok(Some(req)) => {
+                    conn.last_activity = Instant::now();
+                    dispatch(&self.state, &self.shared, token, conn, &req);
+                    if conn.input_dead {
+                        break;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    if !matches!(e, HttpError::Io(_)) {
+                        let body = err_body(&e.message(), "bad_request");
+                        let mut bytes = Vec::with_capacity(128);
+                        render_response(&mut bytes, e.status(), JSON, &[], body.as_bytes(), true);
+                        conn.slots.push_back(Slot::Ready {
+                            bytes,
+                            close: true,
+                            stop: false,
+                        });
+                    }
+                    conn.input_dead = true;
+                    break;
+                }
+            }
+        }
+        conn.pump();
+        match self.flush(token) {
+            Fate::Keep => false,
+            Fate::Close => {
+                self.close(token);
+                false
+            }
+            Fate::CloseAndStop => {
+                self.close(token);
+                true
+            }
+        }
+    }
+
+    /// Writes pending output; decides whether the connection lives.
+    fn flush(&mut self, token: u64) -> Fate {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return Fate::Keep;
+        };
+        while conn.has_output() {
+            match conn.stream.write(&conn.out[conn.out_pos..]) {
+                Ok(0) => return Fate::Close,
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Fate::Close,
+            }
+        }
+        if !conn.has_output() {
+            conn.out.clear();
+            conn.out_pos = 0;
+            if conn.stop_after_write {
+                return Fate::CloseAndStop;
+            }
+            if conn.close_after_write {
+                return Fate::Close;
+            }
+            if conn.read_closed && conn.slots.is_empty() && conn.decoder.is_clean() {
+                return Fate::Close; // clean keep-alive EOF
+            }
+            if conn.read_closed && conn.slots.is_empty() {
+                return Fate::Close; // half-closed mid-request: drop
+            }
+        }
+        // Interest: write when output is stuck, read unless throttled.
+        let mut want = EPOLLRDHUP;
+        if conn.wants_read() {
+            want |= EPOLLIN;
+        }
+        if conn.has_output() {
+            want |= EPOLLOUT;
+        }
+        if want != conn.interest {
+            conn.interest = want;
+            if self
+                .epoll
+                .modify(conn.stream.as_raw_fd(), want, token)
+                .is_err()
+            {
+                return Fate::Close;
+            }
+        }
+        Fate::Keep
+    }
+
+    fn close(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.epoll.delete(conn.stream.as_raw_fd());
+            // Drop closes the socket.
+        }
+    }
+
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        let timeout = self.read_timeout;
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| now.duration_since(c.last_activity) > timeout)
+            .map(|(t, _)| *t)
+            .collect();
+        for token in idle {
+            self.close(token);
         }
     }
 }
@@ -204,123 +701,267 @@ fn status_str(s: InstanceStatus) -> &'static str {
     }
 }
 
-type RouteAnswer = (u16, &'static str, String, Option<PostAction>);
-
-fn json(status: u16, body: String) -> RouteAnswer {
-    (status, JSON, body, None)
-}
-
-fn route(state: &Arc<ServerState>, req: &Request) -> RouteAnswer {
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
-    match (req.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => {
-            let draining = state.draining.load(Ordering::SeqCst);
-            let health = Health {
-                status: if draining { "draining" } else { "ok" }.to_owned(),
-                shards: state.pool.shards(),
-                recovered_instances: state.pool.recovered_instances(),
+/// Renders a post-group-commit submit completion.
+fn render_submit_reply(out: &mut Vec<u8>, reply: SubmitReply, close: bool) {
+    match reply {
+        Ok((id, status, output)) => {
+            let body = serde_json::to_string(&SubmitResponse {
+                id,
+                status: status_str(status).to_owned(),
+                output,
+            })
+            .expect("submit body serializes");
+            render_response(out, 201, JSON, &[], body.as_bytes(), close);
+        }
+        Err((error, unknown_process)) => {
+            let (code, class) = if unknown_process {
+                (404, "not_found")
+            } else {
+                (500, "internal")
             };
-            json(
-                200,
-                serde_json::to_string(&health).expect("health serializes"),
-            )
+            let body = err_body(&error, class);
+            render_response(out, code, JSON, &[], body.as_bytes(), close);
         }
-        ("POST", ["instances"]) => submit(state, req),
-        ("GET", ["instances", id]) => instance_status(state, id),
-        ("GET", ["worklist"]) => worklist(state, req),
-        ("POST", ["worklist", item, "complete"]) => complete(state, req, item),
-        ("GET", ["metrics"]) => {
-            publish_scrape_gauges(state);
-            let text = state.pool.registry().snapshot().to_prometheus();
-            (200, PROM, text, None)
-        }
-        ("POST", ["admin", "drain"]) => {
-            state.draining.store(true, Ordering::SeqCst);
-            match state.pool.drain() {
-                Ok(compacted_events) => json(
-                    200,
-                    serde_json::to_string(&DrainResponse { compacted_events })
-                        .expect("drain body serializes"),
-                ),
-                Err(e) => json(500, err_body(&e.to_string(), "internal")),
-            }
-        }
-        ("POST", ["admin", "stop"]) => {
-            state.draining.store(true, Ordering::SeqCst);
-            let compacted = state.pool.drain().unwrap_or(0);
-            (
-                200,
-                JSON,
-                serde_json::to_string(&DrainResponse {
-                    compacted_events: compacted,
-                })
-                .expect("stop body serializes"),
-                Some(PostAction::Stop),
-            )
-        }
-        ("GET" | "POST", _) => json(404, err_body("no such route", "not_found")),
-        _ => json(405, err_body("method not allowed", "bad_request")),
     }
 }
 
-fn submit(state: &Arc<ServerState>, req: &Request) -> RouteAnswer {
+/// A synchronous route answer.
+struct Answer {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    /// `Allow` header for 405 answers.
+    allow: Option<&'static str>,
+}
+
+impl Answer {
+    fn json(status: u16, body: String) -> Answer {
+        Answer {
+            status,
+            content_type: JSON,
+            body,
+            allow: None,
+        }
+    }
+}
+
+/// Routes one request: synchronous answers are rendered into a ready
+/// slot; submits and admin operations allocate a pending slot that a
+/// completion fills later.
+fn dispatch(
+    state: &Arc<ServerState>,
+    shared: &Arc<ReactorShared>,
+    token: u64,
+    conn: &mut Conn,
+    req: &Request,
+) {
+    let close = req.wants_close();
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let answer = match segments.as_slice() {
+        ["instances"] => match req.method.as_str() {
+            "POST" => {
+                dispatch_submit(state, shared, token, conn, req, close);
+                return;
+            }
+            _ => method_not_allowed("POST"),
+        },
+        ["instances", id] => match req.method.as_str() {
+            "GET" => instance_status(state, id),
+            _ => method_not_allowed("GET"),
+        },
+        ["worklist"] => match req.method.as_str() {
+            "GET" => worklist(state, req),
+            _ => method_not_allowed("GET"),
+        },
+        ["worklist", item, "complete"] => match req.method.as_str() {
+            "POST" => complete(state, req, item),
+            _ => method_not_allowed("POST"),
+        },
+        ["metrics"] => match req.method.as_str() {
+            "GET" => {
+                publish_scrape_gauges(state);
+                let text = state.pool.registry().snapshot().to_prometheus();
+                Answer {
+                    status: 200,
+                    content_type: PROM,
+                    body: text,
+                    allow: None,
+                }
+            }
+            _ => method_not_allowed("GET"),
+        },
+        ["healthz"] => match req.method.as_str() {
+            "GET" => {
+                let draining = state.draining.load(Ordering::SeqCst);
+                let health = Health {
+                    status: if draining { "draining" } else { "ok" }.to_owned(),
+                    shards: state.pool.shards(),
+                    recovered_instances: state.pool.recovered_instances(),
+                };
+                Answer::json(
+                    200,
+                    serde_json::to_string(&health).expect("health serializes"),
+                )
+            }
+            _ => method_not_allowed("GET"),
+        },
+        ["admin", "drain"] => match req.method.as_str() {
+            "POST" => {
+                dispatch_admin(state, shared, token, conn, close, false);
+                return;
+            }
+            _ => method_not_allowed("POST"),
+        },
+        ["admin", "stop"] => match req.method.as_str() {
+            "POST" => {
+                // The stop answer always closes the connection — the
+                // server is about to exit (satellite fix: the old
+                // front end said `keep-alive` and then closed).
+                dispatch_admin(state, shared, token, conn, true, true);
+                return;
+            }
+            _ => method_not_allowed("POST"),
+        },
+        _ => Answer::json(404, err_body("no such route", "not_found")),
+    };
+
+    let mut bytes = Vec::with_capacity(128 + answer.body.len());
+    let extra: &[(&str, &str)] = match answer.allow {
+        Some(allow) => &[("allow", allow)],
+        None => &[],
+    };
+    render_response(
+        &mut bytes,
+        answer.status,
+        answer.content_type,
+        extra,
+        answer.body.as_bytes(),
+        close,
+    );
+    conn.push_ready(bytes, close);
+}
+
+fn method_not_allowed(allow: &'static str) -> Answer {
+    Answer {
+        status: 405,
+        content_type: JSON,
+        body: err_body("method not allowed", "bad_request"),
+        allow: Some(allow),
+    }
+}
+
+/// `POST /instances`: validate on the reactor, then hand the start to
+/// its shard. The response slot is filled by the group-commit
+/// completion — the reactor never waits on a journal flush.
+fn dispatch_submit(
+    state: &Arc<ServerState>,
+    shared: &Arc<ReactorShared>,
+    token: u64,
+    conn: &mut Conn,
+    req: &Request,
+    close: bool,
+) {
+    let sync_answer = |conn: &mut Conn, status: u16, body: String| {
+        let mut bytes = Vec::with_capacity(128 + body.len());
+        render_response(&mut bytes, status, JSON, &[], body.as_bytes(), close);
+        conn.push_ready(bytes, close);
+    };
     if state.draining.load(Ordering::SeqCst) {
-        return json(503, err_body("server is draining", "draining"));
+        return sync_answer(conn, 503, err_body("server is draining", "draining"));
     }
     let body: SubmitRequest = if req.body.is_empty() {
         SubmitRequest::default()
     } else {
         let Ok(text) = std::str::from_utf8(&req.body) else {
-            return json(400, err_body("body is not UTF-8", "bad_request"));
+            return sync_answer(conn, 400, err_body("body is not UTF-8", "bad_request"));
         };
         match serde_json::from_str(text) {
             Ok(b) => b,
-            Err(e) => return json(400, err_body(&format!("bad body: {e}"), "bad_request")),
+            Err(e) => {
+                return sync_answer(
+                    conn,
+                    400,
+                    err_body(&format!("bad body: {e}"), "bad_request"),
+                )
+            }
         }
     };
     let process = body
         .process
         .unwrap_or_else(|| state.default_process.clone());
     let input = body.input.unwrap_or_else(Container::empty);
-    match state.pool.submit(&process, input) {
-        SubmitOutcome::Accepted { id, status, output } => json(
-            201,
-            serde_json::to_string(&SubmitResponse {
-                id,
-                status: status_str(status).to_owned(),
-                output,
-            })
-            .expect("submit body serializes"),
-        ),
-        SubmitOutcome::Overloaded { depth, capacity } => json(
-            429,
-            err_body(
+
+    let slot = conn.alloc_slot();
+    let sink = {
+        let shared = Arc::clone(shared);
+        Box::new(move |reply: SubmitReply| {
+            shared.post(Completion::Submit {
+                conn: token,
+                slot,
+                reply,
+                close,
+            });
+        })
+    };
+    match state.pool.submit_with(&process, input, sink) {
+        SubmitDispatch::Dispatched => {}
+        SubmitDispatch::Overloaded { depth, capacity } => {
+            // The sink was dropped uncalled; fill the slot now.
+            let body = err_body(
                 &format!("queue at high-water mark ({depth}/{capacity})"),
                 "overloaded",
-            ),
-        ),
-        SubmitOutcome::Failed {
-            error,
-            unknown_process,
-        } => {
-            if unknown_process {
-                json(404, err_body(&error, "not_found"))
-            } else {
-                json(500, err_body(&error, "internal"))
-            }
+            );
+            let mut bytes = Vec::with_capacity(128 + body.len());
+            render_response(&mut bytes, 429, JSON, &[], body.as_bytes(), close);
+            conn.fill_slot(slot, bytes, close, false);
         }
     }
 }
 
-fn instance_status(state: &Arc<ServerState>, id: &str) -> RouteAnswer {
+/// `POST /admin/drain|stop`: runs on a helper thread (drain blocks on
+/// per-shard FIFO barriers) and completes through the reactor queue.
+fn dispatch_admin(
+    state: &Arc<ServerState>,
+    shared: &Arc<ReactorShared>,
+    token: u64,
+    conn: &mut Conn,
+    close: bool,
+    stop: bool,
+) {
+    let slot = conn.alloc_slot();
+    if stop {
+        // No more requests on this connection after a stop.
+        conn.input_dead = true;
+    }
+    let state = Arc::clone(state);
+    let shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name("wfms-admin".to_owned())
+        .spawn(move || {
+            state.draining.store(true, Ordering::SeqCst);
+            let result = state.pool.drain().map_err(|e| e.to_string());
+            // A failed drain on the stop path still stops the server —
+            // matching the old front end, which answered with the
+            // drain result and stopped regardless.
+            shared.post(Completion::Admin {
+                conn: token,
+                slot,
+                result,
+                close,
+                stop,
+            });
+        });
+}
+
+fn instance_status(state: &Arc<ServerState>, id: &str) -> Answer {
     let Ok(ext) = id.parse::<u64>() else {
-        return json(
+        return Answer::json(
             400,
             err_body("instance id must be an integer", "bad_request"),
         );
     };
     match state.pool.status(ext) {
-        Some((process, status, output)) => json(
+        Some((process, status, output)) => Answer::json(
             200,
             serde_json::to_string(&StatusResponse {
                 id: ext,
@@ -330,13 +971,13 @@ fn instance_status(state: &Arc<ServerState>, id: &str) -> RouteAnswer {
             })
             .expect("status body serializes"),
         ),
-        None => json(404, err_body(&format!("no instance {ext}"), "not_found")),
+        None => Answer::json(404, err_body(&format!("no instance {ext}"), "not_found")),
     }
 }
 
-fn worklist(state: &Arc<ServerState>, req: &Request) -> RouteAnswer {
+fn worklist(state: &Arc<ServerState>, req: &Request) -> Answer {
     let Some(person) = req.query_param("person") else {
-        return json(
+        return Answer::json(
             400,
             err_body("missing ?person= query parameter", "bad_request"),
         );
@@ -353,38 +994,38 @@ fn worklist(state: &Arc<ServerState>, req: &Request) -> RouteAnswer {
             offered_to: item.offered_to,
         })
         .collect();
-    json(
+    Answer::json(
         200,
         serde_json::to_string(&WorklistResponse { items }).expect("worklist serializes"),
     )
 }
 
-fn complete(state: &Arc<ServerState>, req: &Request, item: &str) -> RouteAnswer {
+fn complete(state: &Arc<ServerState>, req: &Request, item: &str) -> Answer {
     let Ok(ext) = item.parse::<u64>() else {
-        return json(
+        return Answer::json(
             400,
             err_body("work-item id must be an integer", "bad_request"),
         );
     };
     let Ok(text) = std::str::from_utf8(&req.body) else {
-        return json(400, err_body("body is not UTF-8", "bad_request"));
+        return Answer::json(400, err_body("body is not UTF-8", "bad_request"));
     };
     let body: CompleteRequest = match serde_json::from_str(text) {
         Ok(b) => b,
-        Err(e) => return json(400, err_body(&format!("bad body: {e}"), "bad_request")),
+        Err(e) => return Answer::json(400, err_body(&format!("bad body: {e}"), "bad_request")),
     };
     match state.pool.complete(ext, &body.person) {
-        Ok(()) => json(200, "{}".to_owned()),
+        Ok(()) => Answer::json(200, "{}".to_owned()),
         Err(EngineError::Worklist(WorklistError::NoSuchItem(_))) => {
-            json(404, err_body(&format!("no work item {ext}"), "not_found"))
+            Answer::json(404, err_body(&format!("no work item {ext}"), "not_found"))
         }
         Err(e @ EngineError::Worklist(_)) | Err(e @ EngineError::BadActivityState { .. }) => {
-            json(409, err_body(&e.to_string(), "conflict"))
+            Answer::json(409, err_body(&e.to_string(), "conflict"))
         }
         Err(EngineError::UnknownInstance(_)) => {
-            json(404, err_body("owning instance is gone", "not_found"))
+            Answer::json(404, err_body("owning instance is gone", "not_found"))
         }
-        Err(e) => json(500, err_body(&e.to_string(), "internal")),
+        Err(e) => Answer::json(500, err_body(&e.to_string(), "internal")),
     }
 }
 

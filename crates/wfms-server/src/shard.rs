@@ -120,13 +120,39 @@ pub enum SubmitOutcome {
     },
 }
 
-type SubmitReply = Result<(InstanceId, InstanceStatus, Container), (String, bool)>;
+/// Immediate result of [`ShardPool::submit_with`].
+#[derive(Debug)]
+pub enum SubmitDispatch {
+    /// The job is queued (or was answered through the sink already):
+    /// the sink fires after the owning shard's group commit.
+    Dispatched,
+    /// The shard's queue is at the high-water mark; the sink was
+    /// dropped uncalled. Answer `429` immediately.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: i64,
+        /// Configured queue capacity.
+        capacity: usize,
+    },
+}
+
+/// Worker-side submit result: *local* instance id (shard encoding not
+/// yet applied).
+type InnerReply = Result<(InstanceId, InstanceStatus, Container), (String, bool)>;
+
+/// What a [`ShardPool::submit_with`] sink receives after the owning
+/// shard's group commit: external id + status + output, or
+/// `(error rendering, unknown_process)`.
+pub type SubmitReply = Result<(u64, InstanceStatus, Container), (String, bool)>;
+
+/// Invoked exactly once, *after* the batch's journal flush.
+type ReplySink = Box<dyn FnOnce(InnerReply) + Send + 'static>;
 
 enum Job {
     Submit {
         process: String,
         input: Container,
-        reply: SyncSender<SubmitReply>,
+        reply: ReplySink,
     },
     /// FIFO barrier: answered only after every job queued before it
     /// has been processed *and flushed*.
@@ -301,51 +327,84 @@ impl ShardPool {
         &self.registry
     }
 
-    /// Submits one instance start, blocking until the owning shard's
-    /// group commit has made it durable (or until it is rejected).
-    pub fn submit(&self, process: &str, input: Container) -> SubmitOutcome {
+    /// Submits one instance start *without blocking*: `sink` is
+    /// invoked — from the shard worker thread — exactly once, after
+    /// the batch's single journal flush, so a `201` rendered from it
+    /// still implies durability. This is the event-loop entry point;
+    /// [`ShardPool::submit`] is the blocking convenience built on it.
+    ///
+    /// Returns [`SubmitDispatch::Overloaded`] (and drops `sink`
+    /// uncalled) when the shard queue is at its high-water mark;
+    /// otherwise [`SubmitDispatch::Dispatched`] — the sink has been
+    /// or will be called, possibly with an error.
+    pub fn submit_with(
+        &self,
+        process: &str,
+        input: Container,
+        sink: Box<dyn FnOnce(SubmitReply) + Send + 'static>,
+    ) -> SubmitDispatch {
         let idx = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let shard = &self.shards[idx];
-        let (reply_tx, reply_rx) = sync_channel::<SubmitReply>(1);
+        let accepted = Arc::clone(&self.accepted);
+        let failed = Arc::clone(&self.failed);
+        let nshards = self.nshards;
+        let reply: ReplySink = Box::new(move |inner| match inner {
+            Ok((local, status, output)) => {
+                accepted.inc();
+                sink(Ok((local.0 * nshards + idx as u64, status, output)));
+            }
+            Err(e) => {
+                failed.inc();
+                sink(Err(e));
+            }
+        });
         let job = Job::Submit {
             process: process.to_owned(),
             input,
-            reply: reply_tx,
+            reply,
         };
         match shard.tx.try_send(job) {
-            Ok(()) => {}
+            Ok(()) => {
+                shard.depth.fetch_add(1, Ordering::Relaxed);
+                SubmitDispatch::Dispatched
+            }
             Err(TrySendError::Full(_)) => {
                 self.overloaded.inc();
-                return SubmitOutcome::Overloaded {
+                SubmitDispatch::Overloaded {
                     depth: shard.depth.load(Ordering::Relaxed),
                     capacity: self.queue_capacity,
-                };
+                }
             }
-            Err(TrySendError::Disconnected(_)) => {
-                self.failed.inc();
-                return SubmitOutcome::Failed {
-                    error: "shard worker stopped".to_owned(),
-                    unknown_process: false,
-                };
+            Err(TrySendError::Disconnected(job)) => {
+                // Only during shutdown; answer through the sink so the
+                // caller sees one uniform completion path.
+                if let Job::Submit { reply, .. } = job {
+                    reply(Err(("shard worker stopped".to_owned(), false)));
+                }
+                SubmitDispatch::Dispatched
             }
         }
-        shard.depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Submits one instance start, blocking until the owning shard's
+    /// group commit has made it durable (or until it is rejected).
+    pub fn submit(&self, process: &str, input: Container) -> SubmitOutcome {
+        let (reply_tx, reply_rx) = sync_channel::<SubmitReply>(1);
+        let sink = Box::new(move |reply: SubmitReply| {
+            let _ = reply_tx.send(reply);
+        });
+        match self.submit_with(process, input, sink) {
+            SubmitDispatch::Overloaded { depth, capacity } => {
+                return SubmitOutcome::Overloaded { depth, capacity };
+            }
+            SubmitDispatch::Dispatched => {}
+        }
         match reply_rx.recv_timeout(REPLY_TIMEOUT) {
-            Ok(Ok((local, status, output))) => {
-                self.accepted.inc();
-                SubmitOutcome::Accepted {
-                    id: self.encode(local.0, idx),
-                    status,
-                    output,
-                }
-            }
-            Ok(Err((error, unknown_process))) => {
-                self.failed.inc();
-                SubmitOutcome::Failed {
-                    error,
-                    unknown_process,
-                }
-            }
+            Ok(Ok((id, status, output))) => SubmitOutcome::Accepted { id, status, output },
+            Ok(Err((error, unknown_process))) => SubmitOutcome::Failed {
+                error,
+                unknown_process,
+            },
             Err(_) => {
                 self.failed.inc();
                 SubmitOutcome::Failed {
@@ -540,7 +599,7 @@ fn worker_loop(
             }
         }
 
-        let mut replies: Vec<(SyncSender<SubmitReply>, SubmitReply)> = Vec::new();
+        let mut replies: Vec<(ReplySink, InnerReply)> = Vec::new();
         let mut barriers: Vec<SyncSender<()>> = Vec::new();
         for job in batch {
             match job {
@@ -576,7 +635,7 @@ fn worker_loop(
         // acknowledgements: an ACK certifies durability.
         if let Err(e) = engine.flush_journal() {
             for (reply, _) in replies {
-                let _ = reply.send(Err((format!("journal flush failed: {e}"), false)));
+                reply(Err((format!("journal flush failed: {e}"), false)));
             }
             for b in barriers {
                 let _ = b.send(());
@@ -584,7 +643,7 @@ fn worker_loop(
             continue;
         }
         for (reply, result) in replies {
-            let _ = reply.send(result);
+            reply(result);
         }
         for b in barriers {
             let _ = b.send(());

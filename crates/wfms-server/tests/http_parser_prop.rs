@@ -9,7 +9,9 @@
 use std::io::Cursor;
 
 use proptest::prelude::*;
-use wfms_server::http::{read_request, HttpError, MAX_BODY, MAX_HEADERS, MAX_LINE};
+use wfms_server::http::{
+    read_request, Decoder, HttpError, Version, MAX_BODY, MAX_HEADERS, MAX_LINE,
+};
 
 /// Feeds raw bytes to the parser and returns the outcome.
 fn parse(bytes: &[u8]) -> Result<Option<wfms_server::http::Request>, HttpError> {
@@ -145,5 +147,97 @@ proptest! {
         // modulo edge trimming (excluded by the generator).
         prop_assert_eq!(req.header(&name.to_ascii_lowercase()), Some(value.as_str()));
         prop_assert_eq!(req.body, body);
+    }
+
+    /// N concatenated requests fed to the incremental decoder in
+    /// arbitrary chunk sizes parse to exactly N requests, each with
+    /// its own body bytes intact, and leave no bytes behind.
+    #[test]
+    fn pipelined_streams_parse_without_byte_loss(
+        bodies in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..48), 1..8),
+        chunk in 1usize..64,
+    ) {
+        let mut stream = Vec::new();
+        for (i, body) in bodies.iter().enumerate() {
+            stream.extend_from_slice(
+                format!(
+                    "POST /instances?seq={i} HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            );
+            stream.extend_from_slice(body);
+        }
+        let mut decoder = Decoder::new();
+        let mut parsed = Vec::new();
+        for piece in stream.chunks(chunk) {
+            decoder.push(piece);
+            while let Some(req) = decoder.next_request().map_err(|e| {
+                TestCaseError::fail(format!("decode error: {e:?}"))
+            })? {
+                parsed.push(req);
+            }
+        }
+        prop_assert_eq!(parsed.len(), bodies.len(), "request count");
+        for (i, (req, body)) in parsed.iter().zip(&bodies).enumerate() {
+            let seq = format!("{i}");
+            prop_assert_eq!(req.query_param("seq"), Some(seq.as_str()));
+            prop_assert_eq!(&req.body, body, "body {i}");
+        }
+        prop_assert!(decoder.is_clean(), "no unconsumed bytes");
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    /// HTTP/1.0 defaults to close; HTTP/1.1 defaults to keep-alive;
+    /// an explicit `connection` header wins in either version.
+    #[test]
+    fn http10_close_semantics(
+        one_zero in any::<bool>(),
+        conn in prop::option::of(prop_oneof!["keep-alive", "close", "Keep-Alive", "CLOSE"]),
+    ) {
+        let version = if one_zero { "HTTP/1.0" } else { "HTTP/1.1" };
+        let header = conn
+            .as_ref()
+            .map(|v| format!("connection: {v}\r\n"))
+            .unwrap_or_default();
+        let input = format!("GET / {version}\r\n{header}\r\n");
+        let req = match parse(input.as_bytes()) {
+            Ok(Some(req)) => req,
+            other => return Err(TestCaseError::fail(format!("parse failed: {other:?}"))),
+        };
+        prop_assert_eq!(
+            req.version,
+            if one_zero { Version::Http10 } else { Version::Http11 }
+        );
+        let expect_close = match conn.as_deref().map(str::to_ascii_lowercase) {
+            Some(ref v) if v == "close" => true,
+            Some(_) => false,
+            None => one_zero,
+        };
+        prop_assert_eq!(req.wants_close(), expect_close);
+    }
+
+    /// `Content-Length` values with any non-digit byte — leading `+`,
+    /// embedded whitespace, sign, hex — answer `400`, never parse.
+    #[test]
+    fn non_digit_content_length_is_400(
+        value in prop_oneof![
+            "\\+[0-9]{1,6}",
+            "-[0-9]{1,6}",
+            "[0-9]{1,3} [0-9]{1,3}",
+            "0x[0-9a-f]{1,4}",
+            "[0-9]{1,4}[a-z]",
+        ],
+    ) {
+        let input = format!("POST / HTTP/1.1\r\ncontent-length: {value}\r\n\r\n");
+        match parse(input.as_bytes()) {
+            Err(e) => prop_assert_eq!(e.status(), 400, "value {:?}", value),
+            other => prop_assert!(
+                false,
+                "content-length {:?} accepted: {:?}",
+                value,
+                other.map(|r| r.is_some())
+            ),
+        }
     }
 }

@@ -289,6 +289,210 @@ fn admission_control_rejects_beyond_high_water() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Reads one `Content-Length`-framed response off a raw socket:
+/// `(status, lowercased header block, body)`.
+fn read_raw_response(r: &mut impl std::io::BufRead) -> (u16, String, String) {
+    let mut status_line = String::new();
+    assert!(
+        r.read_line(&mut status_line).unwrap() > 0,
+        "connection closed before response"
+    );
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {status_line:?}"));
+    let mut headers = String::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        assert!(r.read_line(&mut line).unwrap() > 0, "closed in headers");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        headers.push_str(&line.to_ascii_lowercase());
+        headers.push('\n');
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap();
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body).unwrap();
+    (status, headers, String::from_utf8(body).unwrap())
+}
+
+fn raw_socket(url: &str) -> std::io::BufReader<std::net::TcpStream> {
+    let stream = std::net::TcpStream::connect(url).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    std::io::BufReader::new(stream)
+}
+
+#[test]
+fn pipelined_requests_get_ordered_replies() {
+    use std::io::Write;
+
+    let dir = temp_dir("pipeline");
+    let server = start_server(&dir);
+    let url = server.local_addr().to_string();
+
+    // Three different requests written back-to-back on one socket —
+    // two async submits around a synchronous health check — must come
+    // back in request order: the sync answer may be ready first, but
+    // it must still wait behind the first submit's group commit.
+    let mut conn = raw_socket(&url);
+    let burst = concat!(
+        "POST /instances HTTP/1.1\r\ncontent-length: 18\r\n\r\n{\"process\":\"auto\"}",
+        "GET /healthz HTTP/1.1\r\n\r\n",
+        "POST /instances HTTP/1.1\r\ncontent-length: 20\r\n\r\n{\"process\":\"manual\"}",
+    );
+    conn.get_mut().write_all(burst.as_bytes()).unwrap();
+    conn.get_mut().flush().unwrap();
+
+    let (code, _, body) = read_raw_response(&mut conn);
+    assert_eq!(code, 201, "{body}");
+    let first: SubmitResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(first.status, "finished", "auto process runs to completion");
+    let (code, _, body) = read_raw_response(&mut conn);
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("\"shards\""), "healthz answer: {body}");
+    let (code, _, body) = read_raw_response(&mut conn);
+    assert_eq!(code, 201, "{body}");
+    let third: SubmitResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(third.status, "running", "manual process parks");
+
+    // The client-side pipelining helper: 3 submits, 3 ordered 201s.
+    let mut client = Http1Client::new(&url);
+    let answers = client
+        .pipelined("POST", "/instances", Some(r#"{"process":"auto"}"#), 3)
+        .unwrap();
+    assert_eq!(answers.len(), 3);
+    for (code, body) in &answers {
+        assert_eq!(*code, 201, "{body}");
+        let resp: SubmitResponse = serde_json::from_str(body).unwrap();
+        assert_eq!(resp.status, "finished");
+    }
+
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_method_on_known_route_is_405_with_allow() {
+    use std::io::Write;
+
+    let dir = temp_dir("methods");
+    let server = start_server(&dir);
+    let url = server.local_addr().to_string();
+
+    for (request, allow) in [
+        (
+            "PUT /instances HTTP/1.1\r\ncontent-length: 0\r\n\r\n",
+            "post",
+        ),
+        ("GET /admin/drain HTTP/1.1\r\n\r\n", "post"),
+        (
+            "POST /worklist HTTP/1.1\r\ncontent-length: 0\r\n\r\n",
+            "get",
+        ),
+        ("DELETE /metrics HTTP/1.1\r\n\r\n", "get"),
+    ] {
+        let mut conn = raw_socket(&url);
+        conn.get_mut().write_all(request.as_bytes()).unwrap();
+        let (code, headers, body) = read_raw_response(&mut conn);
+        assert_eq!(code, 405, "{request:?}: {body}");
+        assert!(
+            headers.contains(&format!("allow: {allow}")),
+            "{request:?} must advertise Allow, got:\n{headers}"
+        );
+    }
+
+    // A genuinely unknown path is still a 404.
+    let mut conn = raw_socket(&url);
+    conn.get_mut()
+        .write_all(b"GET /nope HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let (code, _, _) = read_raw_response(&mut conn);
+    assert_eq!(code, 404);
+
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn http10_request_defaults_to_close() {
+    use std::io::{Read, Write};
+
+    let dir = temp_dir("http10");
+    let server = start_server(&dir);
+    let url = server.local_addr().to_string();
+
+    let mut conn = raw_socket(&url);
+    conn.get_mut()
+        .write_all(b"GET /healthz HTTP/1.0\r\n\r\n")
+        .unwrap();
+    let (code, headers, _) = read_raw_response(&mut conn);
+    assert_eq!(code, 200);
+    assert!(
+        headers.contains("connection: close"),
+        "HTTP/1.0 without keep-alive must close:\n{headers}"
+    );
+    // And the server actually closes: EOF, not a 30s timeout.
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "no bytes after the response");
+
+    // An explicit keep-alive on HTTP/1.0 keeps the connection open
+    // for a second request.
+    let mut conn = raw_socket(&url);
+    conn.get_mut()
+        .write_all(b"GET /healthz HTTP/1.0\r\nconnection: keep-alive\r\n\r\n")
+        .unwrap();
+    let (code, headers, _) = read_raw_response(&mut conn);
+    assert_eq!(code, 200);
+    assert!(headers.contains("connection: keep-alive"), "{headers}");
+    conn.get_mut()
+        .write_all(b"GET /healthz HTTP/1.0\r\n\r\n")
+        .unwrap();
+    let (code, _, _) = read_raw_response(&mut conn);
+    assert_eq!(code, 200);
+
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stop_response_says_close_then_stops() {
+    use std::io::{Read, Write};
+
+    let dir = temp_dir("stopclose");
+    let server = start_server(&dir);
+    let url = server.local_addr().to_string();
+
+    let mut conn = raw_socket(&url);
+    conn.get_mut()
+        .write_all(b"POST /admin/stop HTTP/1.1\r\ncontent-length: 0\r\n\r\n")
+        .unwrap();
+    let (code, headers, body) = read_raw_response(&mut conn);
+    assert_eq!(code, 200, "{body}");
+    assert!(
+        headers.contains("connection: close"),
+        "stop closes the connection and must say so:\n{headers}"
+    );
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    // The stop was delivered: wait_stop returns without help.
+    server.wait_stop();
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn acknowledged_submissions_are_durable_before_reply() {
     let dir = temp_dir("durable");
