@@ -15,6 +15,10 @@
 #    schedule never resets) and assert zero transport errors — the
 #    event-loop front end must absorb a steady offered rate without
 #    dropping connections.
+# 5. Redeploy drill: start with a v1 spec, submit, deploy an edited
+#    v2 over HTTP (drain-old), kill -9, restart with the *original*
+#    v1 spec file — every v1 instance must verify finished and keep
+#    its pinned v1 version hash, while fresh submissions run v2.
 #
 # Artifacts (server logs, load reports, id list) land in $ART for CI
 # upload. Exits non-zero on any lost instance or drill failure.
@@ -115,4 +119,75 @@ if [ -z "$ERRORS" ] || [ "$ERRORS" -ne 0 ]; then
   exit 1
 fi
 
-echo "drill: ok ($ACCEPTED instances survived kill -9; $OVERLOADED overloaded answers under backpressure)"
+echo "== phase 4: live redeploy, kill -9, restart with the v1 spec =="
+DATA3="$(mktemp -d)"
+"$FMTM" serve examples/specs/trip.saga \
+  --shards 2 --port "$PORT" --data "$DATA3" >"$ART/serve-4.log" 2>&1 &
+SERVE_PID=$!
+
+"$FMTM" load --url "$URL" --wait-ready 30 --count 20 --rps 2000 \
+  --ids-out "$ART/ids-v1.txt" | tee "$ART/load-v1.txt"
+OLD_ID=$(head -1 "$ART/ids-v1.txt")
+
+version_of() {
+  curl -sf "http://$URL/instances/$1" |
+    sed -n 's/.*"version":"\([0-9a-f]*\)".*/\1/p'
+}
+V1=$(version_of "$OLD_ID")
+if [ -z "$V1" ]; then
+  echo "drill: could not read the v1 version hash of instance $OLD_ID" >&2
+  exit 1
+fi
+
+# The edited v2: the Car step removed — a different content hash that
+# uses only programs already provisioned by the running server.
+V2SPEC="$DATA3/trip_v2.saga"
+cat >"$V2SPEC" <<'EOF'
+SAGA trip_booking
+  STEP Flight PROGRAM "book_flight" COMPENSATION "cancel_flight"
+  STEP Hotel  PROGRAM "book_hotel"  COMPENSATION "cancel_hotel"
+  STEP Pay    PROGRAM "charge_card" COMPENSATION "refund_card"
+END
+EOF
+
+"$FMTM" deploy "$V2SPEC" --url "$URL" --policy drain-old | tee "$ART/deploy.txt"
+V2=$(sed -n 's/^deployed [^@]*@\([0-9a-f]*\).*/\1/p' "$ART/deploy.txt")
+if [ -z "$V2" ] || [ "$V2" = "$V1" ]; then
+  echo "drill: deploy did not produce a new version (v1=$V1 v2=${V2:-unparsed})" >&2
+  exit 1
+fi
+
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+# Restart with the ORIGINAL v1 spec file: stored versions load from
+# the templates/ directory and the v2 default must survive the crash.
+"$FMTM" serve examples/specs/trip.saga \
+  --shards 2 --port "$PORT" --data "$DATA3" >"$ART/serve-5.log" 2>&1 &
+SERVE_PID=$!
+
+"$FMTM" load --url "$URL" --wait-ready 30 \
+  --verify "$ART/ids-v1.txt" --verify-timeout 60 | tee "$ART/verify-v1.txt"
+
+GOT_V1=$(version_of "$OLD_ID")
+if [ "$GOT_V1" != "$V1" ]; then
+  echo "drill: instance $OLD_ID lost its pinned version after redeploy+crash ($GOT_V1 != $V1)" >&2
+  exit 1
+fi
+
+"$FMTM" load --url "$URL" --count 1 --rps 2000 \
+  --ids-out "$ART/ids-v2.txt" | tee "$ART/load-v2.txt"
+NEW_ID=$(head -1 "$ART/ids-v2.txt")
+GOT_V2=$(version_of "$NEW_ID")
+if [ "$GOT_V2" != "$V2" ]; then
+  echo "drill: post-restart submission ran $GOT_V2, expected deployed default $V2" >&2
+  exit 1
+fi
+
+"$FMTM" load --url "$URL" --stop
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+rm -rf "$DATA3"
+
+echo "drill: ok ($ACCEPTED instances survived kill -9; $OVERLOADED overloaded answers under backpressure; redeploy kept $V1 pinned and defaulted to $V2)"

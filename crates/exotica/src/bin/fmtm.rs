@@ -10,6 +10,8 @@
 //! fmtm top <file> [options]             run with a live metrics display
 //! fmtm crashtest <spec-file> [options]  crash-point sweep of the translated process
 //! fmtm serve <spec-file>... [options]   long-lived workflow service (HTTP/1.1 JSON)
+//! fmtm deploy <spec-file> [options]     register a new template version into a
+//!                                       running fmtm serve (POST /admin/deploy)
 //! fmtm load [options]                   load generator / client for fmtm serve
 //!
 //! lint options:
@@ -83,6 +85,14 @@
 //!   --reactors N                        event-loop threads (default 0 = one
 //!                                       per core, capped by the shard count)
 //!
+//! deploy options:
+//!   --url URL                           target, e.g. http://127.0.0.1:7313
+//!                                       (required)
+//!   --policy drain-old|migrate          what happens to running instances of
+//!                                       the process: keep their pinned version
+//!                                       (default) or migrate those parked at a
+//!                                       scope boundary to the new one
+//!
 //! load options:
 //!   --url URL                           target, e.g. http://127.0.0.1:7313
 //!   --process NAME                      process to start (server default
@@ -132,10 +142,11 @@ fn main() -> ExitCode {
         Some("top") => top(&args[1..]),
         Some("crashtest") => crashtest(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("deploy") => deploy_cmd(&args[1..]),
         Some("load") => load_cmd(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fmtm <translate|dot|check|lint|run|top|crashtest|serve|load> [options]"
+                "usage: fmtm <translate|dot|check|lint|run|top|crashtest|serve|deploy|load> [options]"
             );
             eprintln!("see `crates/exotica/src/bin/fmtm.rs` for option details");
             ExitCode::from(2)
@@ -1139,6 +1150,90 @@ fn parse_durability(text: &str) -> Option<DurabilityPolicy> {
             .strip_prefix("batched:")
             .and_then(|n| n.parse().ok())
             .map(|n| DurabilityPolicy::Batched { n }),
+    }
+}
+
+/// `fmtm deploy` — translates a spec and registers the resulting
+/// process definition as a new template version in a running
+/// `fmtm serve`, via `POST /admin/deploy`.
+fn deploy_cmd(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<String> = None;
+    let mut url: Option<String> = None;
+    let mut policy = "drain-old".to_owned();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--url" | "--policy" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("fmtm deploy: {flag} needs a value");
+                    return ExitCode::from(2);
+                };
+                match flag {
+                    "--url" => url = Some(value.clone()),
+                    _ => policy = value.clone(),
+                }
+                i += 2;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("fmtm deploy: unknown option {other:?}");
+                return ExitCode::from(2);
+            }
+            path => {
+                spec_path = Some(path.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let Some(path) = spec_path else {
+        eprintln!("fmtm deploy: missing spec file");
+        return ExitCode::from(2);
+    };
+    let Some(url) = url else {
+        eprintln!("fmtm deploy: --url is required");
+        return ExitCode::from(2);
+    };
+    let src = match load(&path) {
+        Ok(s) => s,
+        Err(c) => return c,
+    };
+    let out = match exotica::run_pipeline(&src) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("fmtm deploy: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let body = format!(
+        "{{\"definition\":{},\"policy\":{}}}",
+        serde_json::to_string(&out.process).expect("definition serializes"),
+        serde_json::to_string(&policy).expect("policy serializes"),
+    );
+    match wfms_server::client::deploy(&url, &body) {
+        Ok((200, answer)) => {
+            match serde_json::from_str::<wfms_server::api::DeployResponse>(&answer) {
+                Ok(resp) => {
+                    println!(
+                        "deployed {}@{} (now the default for new submits)",
+                        resp.process, resp.version
+                    );
+                    println!(
+                        "instances: {} migrated, {} draining on old versions, {} already current",
+                        resp.migrated, resp.skipped, resp.already_current
+                    );
+                }
+                Err(_) => println!("deployed: {answer}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Ok((code, answer)) => {
+            eprintln!("fmtm deploy: server answered {code}: {answer}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("fmtm deploy: {url}: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -676,6 +676,28 @@ pub struct CompiledProcess {
     /// The flattened arena layout (global slots, precomputed paths,
     /// execution ranks) the slab-backed instance state runs on.
     pub layout: Arc<ScopeLayout>,
+    /// Content hash of the definition — the template's version
+    /// identity. See [`spec_hash_of`].
+    pub spec_hash: u64,
+}
+
+/// Content hash of a process definition: FNV-1a 64 over the canonical
+/// JSON serialization of the *validated definition*, not its source
+/// text. Two spec files that parse to the same definition (whitespace,
+/// comments, declaration formatting) share a version; any semantic
+/// edit — an activity, an edge, a condition constant — produces a new
+/// one. Deterministic because every serialized model type keeps its
+/// collections ordered (`Vec` / `BTreeMap`), and stable across
+/// compile/optimize/recovery because all of them hash the same
+/// definition.
+pub fn spec_hash_of(def: &ProcessDefinition) -> u64 {
+    let canon = serde_json::to_string(def).expect("ProcessDefinition is always serializable");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in canon.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 impl CompiledProcess {
@@ -695,12 +717,24 @@ impl CompiledProcess {
     /// template passes through.
     pub fn from_parts(def: Arc<ProcessDefinition>, root: Arc<CompiledScope>) -> Self {
         let layout = Arc::new(ScopeLayout::build(&root));
-        Self { def, root, layout }
+        let spec_hash = spec_hash_of(&def);
+        Self {
+            def,
+            root,
+            layout,
+            spec_hash,
+        }
     }
 
     /// The process name.
     pub fn name(&self) -> &str {
         &self.def.name
+    }
+
+    /// The version identity as journals and APIs render it: the spec
+    /// content hash in fixed-width hex.
+    pub fn version(&self) -> String {
+        format!("{:016x}", self.spec_hash)
     }
 
     /// Resolves a name path (block names, then an activity name) into

@@ -31,10 +31,14 @@
 //! * the final contents of every database in the federation match —
 //!   resumption may re-apply idempotent writes, never different ones.
 //!
-//! Scope: the sweep drives **automatic** activities (the appendix
-//! fixtures and the property-test DAGs are fully automatic; manual
-//! work items need a scripted user, which step-granularity tests
-//! cover). Failure plans consulted by programs must be
+//! Scope: the plain [`sweep`] drives **automatic** activities (the
+//! appendix fixtures and the property-test DAGs are fully automatic);
+//! [`sweep_with_script`] additionally covers operator actions —
+//! template deploys, live migrations and manual work-item completions
+//! scripted into its drive/resume closures, with work-item re-offers
+//! after a crash filtered as re-dispatch duplicates (a reset manual
+//! activity is re-offered under a fresh item id at the same attempt).
+//! Failure plans consulted by programs must be
 //! attempt-insensitive (`Always`/`Never`/probability with a fixed
 //! decision per label): re-execution legitimately consumes extra
 //! injector attempts, exactly as a real re-run would.
@@ -61,6 +65,34 @@ use wfms_model::{Container, ProcessDefinition};
 /// program registry — for the reference run and for every crash
 /// point. Worlds must be deterministic: same factory, same behaviour.
 pub type WorldFactory<'a> = dyn Fn() -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) + 'a;
+
+/// A scripted run for [`sweep_with_script`]: how to drive the
+/// reference run and how to resume a recovered engine. The plain
+/// [`sweep`] covers fully automatic processes; scenarios with
+/// *operator actions* — deploys, migrations, work-item completions —
+/// need both halves scripted.
+pub struct SweepScript<'a> {
+    /// Drives a freshly built engine end to end: register templates,
+    /// start instances, perform operator actions, run to quiescence.
+    /// Returns the instance ids whose final status/output the sweep
+    /// compares. Must be deterministic.
+    pub drive: &'a dyn Fn(&crate::Engine) -> Result<Vec<InstanceId>, String>,
+    /// Brings a *recovered* engine to the reference run's end state.
+    /// Called after recovery at **every** crash point, so each step
+    /// must be idempotent with respect to what the journal prefix
+    /// already holds: re-registering an already-deployed version is a
+    /// no-op, re-migrating an already-migrated instance answers
+    /// `AlreadyCurrent`, and completions must skip items the prefix
+    /// already closed. The canonical shape re-drives the same operator
+    /// sequence as `drive`, guarded per step.
+    pub resume: &'a dyn Fn(&crate::Engine) -> Result<(), String>,
+    /// Organization model installed in every engine the sweep builds —
+    /// the reference run, each pre-crash run and each recovered engine.
+    /// Scenarios that park on manual work items need the same people
+    /// on both sides of the crash, or post-recovery re-offers resolve
+    /// against an empty org and the resumption diverges.
+    pub org: OrgModel,
+}
 
 /// Sweep options.
 #[derive(Debug, Clone)]
@@ -167,6 +199,46 @@ fn dispatch_key(ev: &Event) -> Option<(bool, InstanceId, String, u32)> {
     }
 }
 
+/// Identity of a work-item offer: the activity attempt it serves,
+/// `(instance, path, attempt)`. `WorkItemOffered` does not carry the
+/// attempt, but every offer follows the `ActivityReady` of the same
+/// `(instance, path)` at that attempt, so a sequential scan recovers
+/// it. Returns, for each offering event index, the offered item id and
+/// its key — used to match a post-recovery **re-offer** (fresh item
+/// id, same attempt) with the prefix's original offer.
+fn offer_keys(events: &[Event]) -> BTreeMap<usize, (crate::WorkItemId, OfferKey)> {
+    let mut attempts: BTreeMap<(InstanceId, String), u32> = BTreeMap::new();
+    let mut out = BTreeMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            Event::ActivityReady {
+                instance,
+                path,
+                attempt,
+                ..
+            } => {
+                attempts.insert((*instance, path.to_string()), *attempt);
+            }
+            Event::WorkItemOffered {
+                instance,
+                path,
+                item,
+                ..
+            } => {
+                let attempt = attempts
+                    .get(&(*instance, path.to_string()))
+                    .copied()
+                    .unwrap_or(0);
+                out.insert(i, (*item, (*instance, path.to_string(), attempt)));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+type OfferKey = (InstanceId, String, u32);
+
 static SWEEP_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 /// Runs the crash-point sweep for the given templates and instance
@@ -180,26 +252,65 @@ pub fn sweep(
     make_world: &WorldFactory<'_>,
     cfg: &SweepConfig,
 ) -> Result<SweepReport, String> {
+    let drive = |engine: &crate::Engine| -> Result<Vec<InstanceId>, String> {
+        for t in templates {
+            engine
+                .register(t.clone())
+                .map_err(|e| format!("register failed: {e}"))?;
+        }
+        let mut ids = Vec::new();
+        for (process, input) in starts {
+            ids.push(
+                engine
+                    .start(process, input.clone())
+                    .map_err(|e| format!("start failed: {e}"))?,
+            );
+        }
+        engine.run_all().map_err(|e| format!("run failed: {e}"))?;
+        Ok(ids)
+    };
+    let resume =
+        |engine: &crate::Engine| engine.run_all().map_err(|e| format!("resume failed: {e}"));
+    sweep_with_script(
+        label,
+        templates,
+        &SweepScript {
+            drive: &drive,
+            resume: &resume,
+            org: OrgModel::new(),
+        },
+        make_world,
+        cfg,
+    )
+}
+
+/// The scripted crash-point sweep: like [`sweep`], but the reference
+/// run and the post-recovery resumption are caller-supplied
+/// ([`SweepScript`]), which lets the sweep enumerate crash points
+/// *through operator actions* — template deploys, live migrations,
+/// manual work-item completions. `recovery_templates` is handed to
+/// [`crate::recovery::recover`] at every crash point and must contain
+/// every definition the journal can reference (deploy order: first
+/// per name = initial default).
+pub fn sweep_with_script(
+    label: &str,
+    recovery_templates: &[ProcessDefinition],
+    script: &SweepScript<'_>,
+    make_world: &WorldFactory<'_>,
+    cfg: &SweepConfig,
+) -> Result<SweepReport, String> {
     // Reference run, in memory (the crash prefixes are materialised to
     // files below; the reference itself never crashes).
     let (multidb, programs) = make_world();
-    let engine = crate::Engine::with_config(multidb.clone(), programs, EngineConfig::default());
-    for t in templates {
-        engine
-            .register(t.clone())
-            .map_err(|e| format!("reference register failed: {e}"))?;
-    }
-    let mut ids = Vec::new();
-    for (process, input) in starts {
-        ids.push(
-            engine
-                .start(process, input.clone())
-                .map_err(|e| format!("reference start failed: {e}"))?,
-        );
-    }
-    engine
-        .run_all()
-        .map_err(|e| format!("reference run failed: {e}"))?;
+    let engine = crate::Engine::with_config(
+        multidb.clone(),
+        programs,
+        EngineConfig {
+            org: script.org.clone(),
+            ..EngineConfig::default()
+        },
+    );
+    let ids = (script.drive)(&engine).map_err(|e| format!("reference {e}"))?;
     let ref_events = engine.journal_events();
     let ref_status: BTreeMap<InstanceId, InstanceStatus> = ids
         .iter()
@@ -233,8 +344,8 @@ pub fn sweep(
         let detail = run_crash_point(
             &dir,
             k,
-            templates,
-            starts,
+            recovery_templates,
+            script,
             &ref_events,
             &ref_status,
             &ref_outputs,
@@ -285,7 +396,7 @@ fn run_crash_point(
     dir: &std::path::Path,
     k: usize,
     templates: &[ProcessDefinition],
-    starts: &[(String, Container)],
+    script: &SweepScript<'_>,
     ref_events: &[Event],
     ref_status: &BTreeMap<InstanceId, InstanceStatus>,
     ref_outputs: &BTreeMap<InstanceId, Container>,
@@ -306,22 +417,13 @@ fn run_crash_point(
             multidb.clone(),
             programs.clone(),
             EngineConfig {
+                org: script.org.clone(),
                 journal_path: Some(path.clone()),
                 ..EngineConfig::default()
             },
         );
-        for t in templates {
-            if let Err(e) = engine.register(t.clone()) {
-                return Some(format!("pre-crash register failed: {e}"));
-            }
-        }
-        for (process, input) in starts {
-            if let Err(e) = engine.start(process, input.clone()) {
-                return Some(format!("pre-crash start failed: {e}"));
-            }
-        }
-        if let Err(e) = engine.run_all() {
-            return Some(format!("pre-crash run failed: {e}"));
+        if let Err(e) = (script.drive)(&engine) {
+            return Some(format!("pre-crash {e}"));
         }
         if engine.journal_events() != ref_events {
             return Some("world factory is not deterministic: pre-crash run diverged".to_owned());
@@ -358,15 +460,15 @@ fn run_crash_point(
     let engine = match recovery::recover(
         &path,
         templates.to_vec(),
-        OrgModel::new(),
+        script.org.clone(),
         multidb.clone(),
         programs,
     ) {
         Ok(e) => e,
         Err(e) => return Some(format!("recover failed: {e}")),
     };
-    if let Err(e) = engine.run_all() {
-        return Some(format!("resume failed: {e}"));
+    if let Err(e) = (script.resume)(&engine) {
+        return Some(e);
     }
     // Recovery fix-up counters record unconditionally (cold path), so
     // even this observer-less engine reports what recovery repaired.
@@ -417,18 +519,66 @@ fn run_crash_point(
         return Some("recovery rewrote the journal prefix".to_owned());
     }
     let prefix_keys: HashSet<_> = ref_events[..k].iter().filter_map(dispatch_key).collect();
+    // Manual-activity re-dispatch artifacts: recovery resets a manual
+    // activity that was mid-execution at the crash and re-offers it
+    // under a **fresh item id** (and releases stale claims, so the
+    // resumption claims again). A suffix offer repeating a prefix
+    // offer's `(instance, path, attempt)` — and any claim of such a
+    // re-offered item, or of an item the prefix already claimed — is
+    // the worklist face of the same re-dispatch, filtered exactly like
+    // repeated `ActivityReady`/`ActivityStarted`.
+    let rec_offers = offer_keys(&rec_events);
+    let mut prefix_offer_keys: HashSet<OfferKey> = HashSet::new();
+    for (&i, (_, key)) in &rec_offers {
+        if i < k {
+            prefix_offer_keys.insert(key.clone());
+        }
+    }
+    let mut reoffered: HashSet<crate::WorkItemId> = HashSet::new();
+    for (&i, (item, key)) in &rec_offers {
+        if i >= k && prefix_offer_keys.contains(key) {
+            reoffered.insert(*item);
+        }
+    }
+    let prefix_claimed: HashSet<crate::WorkItemId> = ref_events[..k]
+        .iter()
+        .filter_map(|e| match e {
+            Event::WorkItemClaimed { item, .. } => Some(*item),
+            _ => None,
+        })
+        .collect();
     let rec_suffix: Vec<&Event> = rec_events[k..]
         .iter()
         .filter(|e| match dispatch_key(e) {
             Some(key) => !prefix_keys.contains(&key),
-            None => true,
+            None => match e {
+                Event::WorkItemOffered { item, .. } => !reoffered.contains(item),
+                Event::WorkItemClaimed { item, .. } => {
+                    !reoffered.contains(item) && !prefix_claimed.contains(item)
+                }
+                _ => true,
+            },
         })
+        .collect();
+    // `WorkItemClaimed` carries no instance id; resolve it through the
+    // offer that created the item, so claims belonging to lost
+    // instances drop out of the reference suffix like every other
+    // event of theirs.
+    let ref_item_instance: BTreeMap<crate::WorkItemId, InstanceId> = offer_keys(ref_events)
+        .into_values()
+        .map(|(item, (instance, _, _))| (item, instance))
         .collect();
     let want_suffix: Vec<&Event> = ref_events[k..]
         .iter()
         .filter(|e| match e.instance() {
             Some(id) => known.contains(&id),
-            None => true,
+            None => match e {
+                Event::WorkItemClaimed { item, .. } => ref_item_instance
+                    .get(item)
+                    .map(|id| known.contains(id))
+                    .unwrap_or(true),
+                _ => true,
+            },
         })
         .collect();
     if rec_suffix.len() != want_suffix.len()

@@ -15,6 +15,7 @@ use crate::journal::Journal;
 use crate::metrics::{EngineObs, JournalProbes, ScopeProbes};
 use crate::navigator::{self, NavServices};
 use crate::org::OrgModel;
+use crate::registry::{TemplateRegistry, TemplateVersion};
 use crate::state::{split_path, ActState, Instance, InstanceStatus};
 use crate::worklist::{WorkItem, WorkItemState, WorklistError, WorklistStore};
 use parking_lot::Mutex;
@@ -128,9 +129,33 @@ impl Default for EngineConfig {
     }
 }
 
+/// What [`Engine::migrate_to_default`] did to the instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrationOutcome {
+    /// The instance now runs under the default version; a `Migrated`
+    /// event was journalled before the state transfer.
+    Migrated {
+        /// Version the instance was pinned to (hex spec hash).
+        from: String,
+        /// The new default it migrated to.
+        to: String,
+    },
+    /// The instance was already pinned to the default version.
+    AlreadyCurrent,
+    /// The instance stays on its pinned version — it is not at a
+    /// migratable point (an activity or nested block is mid-flight),
+    /// its begun work has no counterpart in the new version, or it is
+    /// no longer running. Drain-old semantics apply: it finishes under
+    /// the version it started with.
+    Skipped {
+        /// Why the instance was left on its pinned version.
+        reason: String,
+    },
+}
+
 /// The workflow engine.
 pub struct Engine {
-    pub(crate) templates: Mutex<HashMap<String, Arc<CompiledProcess>>>,
+    pub(crate) templates: Mutex<TemplateRegistry>,
     pub(crate) instances: Mutex<BTreeMap<InstanceId, Instance>>,
     pub(crate) org: Mutex<OrgModel>,
     pub(crate) worklists: Mutex<WorklistStore>,
@@ -179,7 +204,7 @@ impl Engine {
         let obs = EngineObs::new(observer);
         let clock = multidb.clock().clone();
         Self {
-            templates: Mutex::new(HashMap::new()),
+            templates: Mutex::new(TemplateRegistry::new()),
             instances: Mutex::new(BTreeMap::new()),
             org: Mutex::new(config.org),
             worklists: Mutex::new(WorklistStore::new()),
@@ -251,12 +276,14 @@ impl Engine {
         }
     }
 
-    /// The probe tree for `tpl`, built on first use and cached.
+    /// The probe tree for `tpl`, built on first use and cached. Keyed
+    /// by name *and* version: two versions of one process can have
+    /// different scope shapes.
     fn probes_for(&self, tpl: &Arc<CompiledProcess>) -> Arc<ScopeProbes> {
         let mut cache = self.probes.lock();
         Arc::clone(
             cache
-                .entry(tpl.name().to_owned())
+                .entry(format!("{}@{}", tpl.name(), tpl.version()))
                 .or_insert_with(|| ScopeProbes::build(&tpl.root, self.obs.observer.registry())),
         )
     }
@@ -270,45 +297,92 @@ impl Engine {
     /// is then [optimized](crate::optimize): condition values are
     /// propagated through the graph, decidable plans become constants
     /// and statically-dead activities are pruned from the data and
-    /// deadline indexes (the event stream is unchanged). Registering a
-    /// new version under the same name replaces the template for
-    /// *future* instances; running instances keep their own `Arc`.
-    pub fn register(&self, def: ProcessDefinition) -> Result<(), EngineError> {
+    /// deadline indexes (the event stream is unchanged).
+    ///
+    /// Templates are versioned by the content hash of the definition
+    /// ([`crate::compiled::spec_hash_of`]); the returned
+    /// [`TemplateVersion`] names the version this definition compiled
+    /// to. Registering a *different* definition under an existing name
+    /// journals a `TemplateDeployed` event and makes the new version
+    /// the default for future [`Engine::start`]s; running instances
+    /// stay pinned to the version they started under (their own
+    /// `Arc`). Re-registering the current default is an idempotent
+    /// no-op.
+    pub fn register(&self, def: ProcessDefinition) -> Result<TemplateVersion, EngineError> {
         let errors = validate(&def);
         if !errors.is_empty() {
             return Err(EngineError::Validation(errors));
         }
         let tpl = CompiledProcess::compile_arc(Arc::new(def));
         let (tpl, _stats) = crate::optimize::optimize(&tpl);
-        self.register_compiled(Arc::new(tpl));
-        Ok(())
+        Ok(self.register_compiled(Arc::new(tpl)))
     }
 
     /// Registers an already compiled template (e.g. one produced by a
-    /// front-end pipeline that validated the definition itself).
-    pub fn register_compiled(&self, tpl: Arc<CompiledProcess>) {
-        self.templates.lock().insert(tpl.name().to_owned(), tpl);
+    /// front-end pipeline that validated the definition itself). Same
+    /// versioning semantics as [`Engine::register`].
+    pub fn register_compiled(&self, tpl: Arc<CompiledProcess>) -> TemplateVersion {
+        // The deploy event is journalled while the registry lock is
+        // held: anything that resolves the default (`start`) also
+        // journals under this lock, so journal order always matches
+        // which default each instance actually got.
+        let mut registry = self.templates.lock();
+        let (version, deployed) = registry.insert(tpl, true);
+        if deployed {
+            self.journal.append(Event::TemplateDeployed {
+                process: version.process.clone(),
+                version: version.version.clone(),
+                at: self.clock.now(),
+            });
+        }
+        version
     }
 
-    /// The compiled template registered under `name`.
+    /// The current default template of `name`.
     pub fn template(&self, name: &str) -> Option<Arc<CompiledProcess>> {
-        self.templates.lock().get(name).cloned()
+        self.templates.lock().default_tpl(name)
     }
 
     /// Registered template names, sorted.
     pub fn template_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.templates.lock().keys().cloned().collect();
-        names.sort();
-        names
+        self.templates.lock().names()
+    }
+
+    /// Every version registered under `name` (hex spec hashes, in
+    /// registration order).
+    pub fn template_versions(&self, name: &str) -> Vec<String> {
+        self.templates.lock().versions(name)
+    }
+
+    /// The default version of `name` — what a new instance would be
+    /// pinned to.
+    pub fn default_version(&self, name: &str) -> Option<String> {
+        self.templates.lock().default_tpl(name).map(|t| t.version())
+    }
+
+    /// The template version instance `id` is pinned to.
+    pub fn instance_version(&self, id: InstanceId) -> Result<String, EngineError> {
+        self.instances
+            .lock()
+            .get(&id)
+            .map(|i| i.tpl.version())
+            .ok_or(EngineError::UnknownInstance(id))
     }
 
     /// Starts an instance of `process` with `input` seeding the
     /// process input container, and navigates its start activities to
     /// ready. Does not run anything yet — call
-    /// [`Engine::run_to_quiescence`].
+    /// [`Engine::run_to_quiescence`]. The instance is pinned to the
+    /// current default version of `process` for its whole life (unless
+    /// explicitly migrated).
     pub fn start(&self, process: &str, input: Container) -> Result<InstanceId, EngineError> {
-        let tpl = self
-            .template(process)
+        // Hold the registry lock until InstanceStarted is journalled:
+        // a deploy journalled before this event is then guaranteed to
+        // have been the default this instance resolved, which is what
+        // lets replay re-resolve the pin from journal order alone.
+        let registry = self.templates.lock();
+        let tpl = registry
+            .default_tpl(process)
             .ok_or_else(|| EngineError::UnknownProcess(process.to_owned()))?;
         let mut instances = self.instances.lock();
         let id = InstanceId(self.next_instance.fetch_add(1, Ordering::Relaxed));
@@ -321,7 +395,73 @@ impl Engine {
         }
         navigator::start_instance(&mut inst, &self.services());
         instances.insert(id, inst);
+        drop(registry);
         Ok(id)
+    }
+
+    /// Migrates a running instance to the current default version of
+    /// its process — the `migrate-at-scope-boundary` policy. The
+    /// transfer is only attempted at a quiescent scope boundary (no
+    /// activity and no nested block mid-flight) and only when every
+    /// begun activity has a same-named counterpart in the target
+    /// version; otherwise the instance is left pinned
+    /// ([`MigrationOutcome::Skipped`] — drain-old semantics). On
+    /// success a `Migrated{from,to}` event is journalled **before**
+    /// the in-memory state transfer (write-ahead, like every other
+    /// navigation event), so a crash at any point either replays the
+    /// instance fully un-migrated or re-applies the same deterministic
+    /// transfer.
+    pub fn migrate_to_default(&self, id: InstanceId) -> Result<MigrationOutcome, EngineError> {
+        self.check_journal()?;
+        // Lock order elsewhere is registry → instances, so resolve the
+        // target before locking the instance map (no nesting at all).
+        let name = self
+            .instances
+            .lock()
+            .get(&id)
+            .map(|i| i.tpl.name().to_owned())
+            .ok_or(EngineError::UnknownInstance(id))?;
+        let target = self
+            .template(&name)
+            .ok_or(EngineError::UnknownProcess(name))?;
+        let mut instances = self.instances.lock();
+        let inst = instances
+            .get_mut(&id)
+            .ok_or(EngineError::UnknownInstance(id))?;
+        if inst.tpl.spec_hash == target.spec_hash {
+            return Ok(MigrationOutcome::AlreadyCurrent);
+        }
+        if inst.status != InstanceStatus::Running {
+            return Ok(MigrationOutcome::Skipped {
+                reason: format!("instance is {:?}", inst.status),
+            });
+        }
+        let mut migrated = match inst.migrate_to(&target) {
+            Ok(m) => m,
+            Err(reason) => return Ok(MigrationOutcome::Skipped { reason }),
+        };
+        let from = inst.tpl.version();
+        let to = target.version();
+        self.journal.append(Event::Migrated {
+            instance: id,
+            from: from.clone(),
+            to: to.clone(),
+            at: self.clock.now(),
+        });
+        if self.obs.enabled() {
+            migrated.probes = Some(self.probes_for(&target));
+        }
+        *inst = migrated;
+        // The transferred frontier may owe navigation the new version
+        // introduces (fresh edges out of terminated activities, joins
+        // that are now decidable). Repair it with exactly recovery's
+        // resume pass — live and post-crash migration then journal the
+        // same continuation events.
+        let events = self.journal.events();
+        let counts = crate::recovery::fixup_instance(inst, &self.services(), &events);
+        counts.record(self.obs.observer.registry(), "migration.fixups");
+        self.check_journal()?;
+        Ok(MigrationOutcome::Migrated { from, to })
     }
 
     /// Executes at most one ready automatic activity of `id`. Returns
@@ -722,6 +862,7 @@ impl Engine {
     /// holding the instances lock). Returns the number of journal
     /// events dropped.
     pub fn checkpoint(&self) -> usize {
+        let registry = self.templates.lock();
         let instances = self.instances.lock();
         let worklists = self.worklists.lock();
         let snaps: Vec<crate::event::InstanceSnapshot> = instances
@@ -730,6 +871,7 @@ impl Engine {
                 id: i.id,
                 process: i.tpl.name().to_owned(),
                 status: i.status,
+                version: i.tpl.version(),
                 root: i.snapshot_root(),
             })
             .collect();
@@ -758,6 +900,19 @@ impl Engine {
             next_item,
             at: self.clock.now(),
         });
+        // Compaction drops everything before the checkpoint, including
+        // any TemplateDeployed events that moved a default off its
+        // initial version. Re-journal the current default of every
+        // multi-version name *after* the snapshot so they survive;
+        // single-version names journal nothing (their default is the
+        // recovery template set's, exactly as pre-versioning).
+        for (process, version) in registry.multi_version_defaults() {
+            self.journal.append(Event::TemplateDeployed {
+                process,
+                version,
+                at: self.clock.now(),
+            });
+        }
         self.journal.compact()
     }
 

@@ -249,6 +249,26 @@ pub enum Event {
     },
     /// The instance was cancelled by an operator.
     InstanceCancelled { instance: InstanceId, at: Tick },
+    /// A new version of `process` was deployed and became the default
+    /// for instances started after this point; `version` is the spec
+    /// content hash in hex. The *first* registration of a name is not
+    /// journalled (its version is implied by the recovery template
+    /// set), so single-version journals are byte-identical to the
+    /// pre-versioning format.
+    TemplateDeployed {
+        process: String,
+        version: String,
+        at: Tick,
+    },
+    /// An instance was migrated between template versions at a scope
+    /// boundary. Journalled write-ahead of the state transfer; replay
+    /// re-applies the same (deterministic) transfer.
+    Migrated {
+        instance: InstanceId,
+        from: String,
+        to: String,
+        at: Tick,
+    },
     /// A full engine checkpoint: the complete runtime state at a
     /// quiescent point. Recovery restarts from the last checkpoint and
     /// replays only the events after it; journal compaction drops
@@ -277,6 +297,10 @@ pub struct InstanceSnapshot {
     pub process: String,
     /// Overall status.
     pub status: crate::state::InstanceStatus,
+    /// The template version (spec content hash, hex) the instance is
+    /// pinned to — replay resolves the snapshot against this compiled
+    /// template, not the current default.
+    pub version: String,
     /// The full scope tree (activities, connectors, containers,
     /// children).
     pub root: crate::state::ScopeState,
@@ -297,8 +321,11 @@ impl Event {
             | Event::NotificationSent { instance, .. }
             | Event::UserIntervention { instance, .. }
             | Event::InstanceFinished { instance, .. }
-            | Event::InstanceCancelled { instance, .. } => Some(*instance),
-            Event::WorkItemClaimed { .. } | Event::EngineCheckpoint { .. } => None,
+            | Event::InstanceCancelled { instance, .. }
+            | Event::Migrated { instance, .. } => Some(*instance),
+            Event::WorkItemClaimed { .. }
+            | Event::EngineCheckpoint { .. }
+            | Event::TemplateDeployed { .. } => None,
         }
     }
 
@@ -318,7 +345,9 @@ impl Event {
             | Event::UserIntervention { at, .. }
             | Event::InstanceFinished { at, .. }
             | Event::InstanceCancelled { at, .. }
-            | Event::EngineCheckpoint { at, .. } => *at,
+            | Event::EngineCheckpoint { at, .. }
+            | Event::TemplateDeployed { at, .. }
+            | Event::Migrated { at, .. } => *at,
         }
     }
 
@@ -387,6 +416,12 @@ impl Event {
             Event::EngineCheckpoint { instances, .. } => {
                 format!("engine checkpoint ({} instances)", instances.len())
             }
+            Event::TemplateDeployed {
+                process, version, ..
+            } => format!("template {process:?} deployed as version {version}"),
+            Event::Migrated {
+                instance, from, to, ..
+            } => format!("{instance} migrated from version {from} to {to}"),
         }
     }
 }

@@ -53,12 +53,13 @@ pub mod navigator;
 pub mod optimize;
 pub mod org;
 pub mod recovery;
+pub mod registry;
 pub mod state;
 pub mod worklist;
 
-pub use compiled::{ActId, CompiledProcess, CompiledScope, EdgeId, IdPath};
-pub use crashtest::{CrashPointResult, SweepConfig, SweepReport};
-pub use engine::{Engine, EngineConfig, EngineError};
+pub use compiled::{spec_hash_of, ActId, CompiledProcess, CompiledScope, EdgeId, IdPath};
+pub use crashtest::{CrashPointResult, SweepConfig, SweepReport, SweepScript};
+pub use engine::{Engine, EngineConfig, EngineError, MigrationOutcome};
 pub use event::{Event, InstanceId, InstanceSnapshot, WorkItemId};
 pub use interp::RefEngine;
 pub use journal::Journal;
@@ -66,6 +67,7 @@ pub use metrics::{DbMetrics, EngineMetrics, LatencySummary};
 pub use optimize::{OptStats, ScopeFacts};
 pub use org::{OrgModel, Person};
 pub use recovery::{recover, recover_from, recover_with_policy, RecoveryError};
+pub use registry::TemplateVersion;
 pub use state::{ActState, ActivityRt, Instance, InstanceStatus, ScopeState};
 pub use wfms_observe::Observer;
 pub use worklist::{WorkItem, WorkItemState, WorklistError, WorklistStore};

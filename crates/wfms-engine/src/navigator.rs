@@ -416,6 +416,47 @@ pub fn decide_exit(inst: &mut Instance, svc: &NavServices<'_>, slot: u32) {
     }
 }
 
+/// Recovery helper: a **manual** activity replayed as `Ready` with no
+/// open work item — the crash fell between `ActivityReady` and
+/// `WorkItemOffered`, so the offer never became durable. Re-offers it
+/// at the same attempt (fresh item id), exactly the event the live
+/// run would have appended next. Automatic activities need no
+/// counterpart: replaying `ActivityReady` re-enqueues them directly.
+pub(crate) fn reoffer_ready(inst: &mut Instance, svc: &NavServices<'_>, slot: u32) {
+    let instance = inst.id;
+    let tpl = Arc::clone(&inst.tpl);
+    let lay = &tpl.layout;
+    let sl = slot as usize;
+    if inst.slab.state[sl] != ActState::Ready || lay.automatic[sl] {
+        return;
+    }
+    let path = lay.paths[sl].to_string();
+    if svc.worklists.lock().has_live_item(instance, &path) {
+        return;
+    }
+    let attempt = inst.slab.attempt[sl];
+    let now = svc.now();
+    let act = lay.act(slot);
+    let persons = svc.org.lock().resolve(&act.staff);
+    let item = WorkItemId(svc.next_item.fetch_add(1, Ordering::Relaxed));
+    svc.worklists.lock().offer(WorkItem {
+        id: item,
+        instance,
+        path: path.clone(),
+        attempt,
+        offered_to: persons.clone(),
+        state: WorkItemState::Offered,
+        offered_at: now,
+    });
+    svc.journal.append(Event::WorkItemOffered {
+        instance,
+        path: path.into(),
+        item,
+        persons,
+        at: now,
+    });
+}
+
 /// Recovery helper: an activity that was `Running` when the engine
 /// crashed is re-executed from the beginning (§3.3: "the activity will
 /// be rescheduled to be executed from the beginning"). Any stale work

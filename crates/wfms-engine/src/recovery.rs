@@ -26,8 +26,9 @@ use crate::engine::{Engine, EngineConfig};
 use crate::event::{Event, InstanceId};
 use crate::journal::Journal;
 use crate::metrics::EngineObs;
-use crate::navigator;
+use crate::navigator::{self, NavServices};
 use crate::org::OrgModel;
+use crate::registry::TemplateRegistry;
 use crate::state::{split_path, ActState, Instance, InstanceStatus};
 use crate::worklist::{WorkItem, WorkItemState, WorklistStore};
 use parking_lot::Mutex;
@@ -47,6 +48,26 @@ pub enum RecoveryError {
     /// are re-registered by the operator, exactly as in FlowMark where
     /// process templates live in the definition database.
     MissingTemplate(String),
+    /// The journal pins an instance to a template *version* (spec
+    /// content hash) that none of the supplied definitions hashes to —
+    /// the operator re-registered an **edited** spec, which would
+    /// silently replay the journal against the wrong template.
+    MissingVersion {
+        /// Process name.
+        process: String,
+        /// The pinned version (hex spec hash) no supplied definition
+        /// matches.
+        version: String,
+    },
+    /// A journalled `Migrated` event could not be re-applied — the
+    /// journal and the supplied templates disagree about the state
+    /// transfer that succeeded live.
+    Migration {
+        /// The instance being migrated.
+        instance: InstanceId,
+        /// Why the transfer was refused.
+        detail: String,
+    },
     /// The journal file could not be read.
     Io(std::io::Error),
 }
@@ -56,6 +77,18 @@ impl std::fmt::Display for RecoveryError {
         match self {
             RecoveryError::MissingTemplate(t) => {
                 write!(f, "journal references unknown template {t:?}")
+            }
+            RecoveryError::MissingVersion { process, version } => write!(
+                f,
+                "journal pins process {process:?} to version {version}, but no supplied \
+                 definition has that content hash — the spec changed; re-register the \
+                 original definition (or deploy the new one side-by-side)"
+            ),
+            RecoveryError::Migration { instance, detail } => {
+                write!(
+                    f,
+                    "cannot re-apply journalled migration of {instance}: {detail}"
+                )
             }
             RecoveryError::Io(e) => write!(f, "journal unreadable: {e}"),
         }
@@ -121,13 +154,16 @@ pub fn recover_from(
             journal.append(ev.clone());
         }
     }
-    let template_map: HashMap<String, Arc<CompiledProcess>> = templates
-        .into_iter()
-        .map(|d| {
-            let tpl = Arc::new(CompiledProcess::compile_arc(Arc::new(d)));
-            (tpl.name().to_owned(), tpl)
-        })
-        .collect();
+    // The supplied definitions seed the registry in order; the *first*
+    // definition per name fixes that name's initial default, and
+    // journalled TemplateDeployed events advance it during replay —
+    // so every InstanceStarted resolves against the same default the
+    // live engine used at that journal position.
+    let mut registry = TemplateRegistry::new();
+    for d in templates {
+        let tpl = Arc::new(CompiledProcess::compile_arc(Arc::new(d)));
+        registry.insert(tpl, false);
+    }
 
     let mut instances: BTreeMap<InstanceId, Instance> = BTreeMap::new();
     let mut worklists = WorklistStore::new();
@@ -139,7 +175,7 @@ pub fn recover_from(
         max_tick = max_tick.max(ev.at());
         apply(
             ev,
-            &template_map,
+            &mut registry,
             &mut instances,
             &mut worklists,
             &mut next_instance,
@@ -165,7 +201,7 @@ pub fn recover_from(
     clock.advance_to(max_tick);
 
     let engine = Engine {
-        templates: Mutex::new(template_map),
+        templates: Mutex::new(registry),
         instances: Mutex::new(instances),
         org: Mutex::new(org),
         worklists: Mutex::new(worklists),
@@ -195,7 +231,7 @@ pub fn recover_from(
 /// Applies one journal event to the state under reconstruction.
 fn apply(
     ev: &Event,
-    templates: &HashMap<String, Arc<CompiledProcess>>,
+    registry: &mut TemplateRegistry,
     instances: &mut BTreeMap<InstanceId, Instance>,
     worklists: &mut WorklistStore,
     next_instance: &mut u64,
@@ -208,10 +244,12 @@ fn apply(
             input,
             ..
         } => {
-            let tpl = templates
-                .get(process)
+            // The default at this journal position — TemplateDeployed
+            // events earlier in the journal have already advanced it.
+            let tpl = registry
+                .default_tpl(process)
                 .ok_or_else(|| RecoveryError::MissingTemplate(process.clone()))?;
-            let mut inst = Instance::new(*instance, Arc::clone(tpl));
+            let mut inst = Instance::new(*instance, tpl);
             for (k, v) in input.iter() {
                 inst.root_input_mut().set(k, v.clone());
             }
@@ -387,10 +425,16 @@ fn apply(
             // the tail on top of it.
             instances.clear();
             for snap in snaps {
-                let tpl = templates
-                    .get(&snap.process)
-                    .ok_or_else(|| RecoveryError::MissingTemplate(snap.process.clone()))?;
-                let mut inst = Instance::new(snap.id, Arc::clone(tpl));
+                // Snapshots resolve by pinned version, not by name —
+                // two instances of one process may be on different
+                // versions at checkpoint time.
+                let tpl = registry.by_version(&snap.version).ok_or_else(|| {
+                    RecoveryError::MissingVersion {
+                        process: snap.process.clone(),
+                        version: snap.version.clone(),
+                    }
+                })?;
+                let mut inst = Instance::new(snap.id, tpl);
                 inst.status = snap.status;
                 inst.restore_root(&snap.root);
                 instances.insert(snap.id, inst);
@@ -401,6 +445,38 @@ fn apply(
             }
             *next_instance = *ni;
             *next_item = *nw;
+        }
+        Event::TemplateDeployed {
+            process, version, ..
+        } => {
+            let hash = u64::from_str_radix(version, 16).unwrap_or(0);
+            if !registry.set_default(process, hash) {
+                return Err(RecoveryError::MissingVersion {
+                    process: process.clone(),
+                    version: version.clone(),
+                });
+            }
+        }
+        Event::Migrated { instance, to, .. } => {
+            // Replay the state transfer only; the live engine's
+            // post-transfer fix-up events follow in the journal (or,
+            // after a crash right here, `resume` re-derives them).
+            if let Some(inst) = instances.get_mut(instance) {
+                let target =
+                    registry
+                        .by_version(to)
+                        .ok_or_else(|| RecoveryError::MissingVersion {
+                            process: inst.tpl.name().to_owned(),
+                            version: to.clone(),
+                        })?;
+                let migrated =
+                    inst.migrate_to(&target)
+                        .map_err(|detail| RecoveryError::Migration {
+                            instance: *instance,
+                            detail,
+                        })?;
+                *inst = migrated;
+            }
         }
     }
     Ok(())
@@ -462,70 +538,116 @@ fn resume(engine: &Engine) {
     // `Engine::metrics` answers "what did recovery repair" even on
     // engines without an enabled observer.
     let reg = engine.obs.observer.registry();
-    let fix_running = reg.counter("recovery.fixups.running_restarted");
-    let fix_waiting = reg.counter("recovery.fixups.waiting_renavigated");
-    let fix_terminated = reg.counter("recovery.fixups.connectors_reevaluated");
-    let fix_finished = reg.counter("recovery.fixups.exits_redecided");
     for inst in instances.values_mut() {
         if inst.status != InstanceStatus::Running {
             continue;
         }
-
-        // Collect fix-up targets (deepest scopes last-in so child
-        // fixes land before parent completion checks).
-        let tpl = Arc::clone(&inst.tpl);
-        let lay = &tpl.layout;
-        let mut fx = Fixups::default();
-        collect_fixups(inst, 0, &mut fx);
-        fix_running.add(fx.running_programs.len() as u64);
-        fix_waiting.add(fx.waiting.len() as u64);
-        fix_terminated.add(fx.terminated_missing.len() as u64);
-        fix_finished.add(fx.finished.len() as u64);
-
-        for slot in fx.running_programs {
-            navigator::reset_running_to_ready(inst, &svc, slot);
-        }
-        for slot in fx.waiting {
-            navigator::renavigate_waiting(inst, &svc, slot);
-        }
-        // A crash inside a dead-path cascade leaves a *stack* of
-        // terminated activities with unevaluated outgoing connectors:
-        // terminate(A) → update_target(B) → terminate(B) → … died
-        // somewhere inside B. The live run would finish B's edges
-        // before returning to A's remaining ones, so process the
-        // stack innermost-first — i.e. in reverse order of the
-        // `ActivityTerminated` events in the journal.
-        let mut terminated: Vec<(usize, u32)> = fx
-            .terminated_missing
-            .into_iter()
-            .map(|slot| {
-                let ps: &str = &lay.paths[slot as usize];
-                let pos = events
-                    .iter()
-                    .rposition(|e| {
-                        matches!(e, Event::ActivityTerminated { instance, path, .. }
-                            if *instance == inst.id && *path == *ps)
-                    })
-                    .unwrap_or(0);
-                (pos, slot)
-            })
-            .collect();
-        terminated.sort_by_key(|(pos, _)| std::cmp::Reverse(*pos));
-        for (_, slot) in terminated {
-            navigator::reevaluate_outgoing(inst, &svc, slot);
-        }
-        for slot in fx.finished {
-            navigator::decide_exit(inst, &svc, slot);
-        }
-        fx.scopes
-            .sort_by_key(|&s| std::cmp::Reverse(lay.scope(s).depth));
-        for scope in fx.scopes {
-            if inst.status != InstanceStatus::Running {
-                break;
-            }
-            navigator::check_scope_completion(inst, &svc, scope);
-        }
+        let counts = fixup_instance(inst, &svc, &events);
+        counts.record(reg, "recovery.fixups");
     }
+}
+
+/// How much navigation one fix-up pass repaired, by category.
+#[derive(Default)]
+pub(crate) struct FixupCounts {
+    pub(crate) running_restarted: u64,
+    pub(crate) waiting_renavigated: u64,
+    pub(crate) connectors_reevaluated: u64,
+    pub(crate) exits_redecided: u64,
+}
+
+impl FixupCounts {
+    /// Adds the counts to `prefix`-namespaced registry counters
+    /// (`recovery.fixups` for cold recovery, `migration.fixups` for
+    /// live migration repair).
+    pub(crate) fn record(&self, reg: &wfms_observe::Registry, prefix: &str) {
+        reg.counter(&format!("{prefix}.running_restarted"))
+            .add(self.running_restarted);
+        reg.counter(&format!("{prefix}.waiting_renavigated"))
+            .add(self.waiting_renavigated);
+        reg.counter(&format!("{prefix}.connectors_reevaluated"))
+            .add(self.connectors_reevaluated);
+        reg.counter(&format!("{prefix}.exits_redecided"))
+            .add(self.exits_redecided);
+    }
+}
+
+/// Repairs the navigation one instance is owed: the per-instance body
+/// of [`resume`], also applied after a live
+/// [`Engine::migrate_to_default`](crate::Engine::migrate_to_default)
+/// state transfer (a migrated frontier owes exactly the same kinds of
+/// navigation as a crashed one — joins to re-decide, connector
+/// cascades to finish, exits to re-check). Journals live events
+/// through `svc`; `events` is the journal content used to order
+/// terminated-cascade repairs.
+pub(crate) fn fixup_instance(
+    inst: &mut Instance,
+    svc: &NavServices<'_>,
+    events: &[Event],
+) -> FixupCounts {
+    // Collect fix-up targets (deepest scopes last-in so child
+    // fixes land before parent completion checks).
+    let tpl = Arc::clone(&inst.tpl);
+    let lay = &tpl.layout;
+    let mut fx = Fixups::default();
+    collect_fixups(inst, 0, &mut fx);
+    let counts = FixupCounts {
+        running_restarted: fx.running_programs.len() as u64,
+        waiting_renavigated: fx.waiting.len() as u64,
+        connectors_reevaluated: fx.terminated_missing.len() as u64,
+        exits_redecided: fx.finished.len() as u64,
+    };
+
+    // Offers come first: the live run journals `WorkItemOffered`
+    // immediately after `ActivityReady`, so a lost offer is the
+    // earliest missing event a crash can leave behind.
+    for slot in fx.ready {
+        navigator::reoffer_ready(inst, svc, slot);
+    }
+    for slot in fx.running_programs {
+        navigator::reset_running_to_ready(inst, svc, slot);
+    }
+    for slot in fx.waiting {
+        navigator::renavigate_waiting(inst, svc, slot);
+    }
+    // A crash inside a dead-path cascade leaves a *stack* of
+    // terminated activities with unevaluated outgoing connectors:
+    // terminate(A) → update_target(B) → terminate(B) → … died
+    // somewhere inside B. The live run would finish B's edges
+    // before returning to A's remaining ones, so process the
+    // stack innermost-first — i.e. in reverse order of the
+    // `ActivityTerminated` events in the journal.
+    let mut terminated: Vec<(usize, u32)> = fx
+        .terminated_missing
+        .into_iter()
+        .map(|slot| {
+            let ps: &str = &lay.paths[slot as usize];
+            let pos = events
+                .iter()
+                .rposition(|e| {
+                    matches!(e, Event::ActivityTerminated { instance, path, .. }
+                        if *instance == inst.id && *path == *ps)
+                })
+                .unwrap_or(0);
+            (pos, slot)
+        })
+        .collect();
+    terminated.sort_by_key(|(pos, _)| std::cmp::Reverse(*pos));
+    for (_, slot) in terminated {
+        navigator::reevaluate_outgoing(inst, svc, slot);
+    }
+    for slot in fx.finished {
+        navigator::decide_exit(inst, svc, slot);
+    }
+    fx.scopes
+        .sort_by_key(|&s| std::cmp::Reverse(lay.scope(s).depth));
+    for scope in fx.scopes {
+        if inst.status != InstanceStatus::Running {
+            break;
+        }
+        navigator::check_scope_completion(inst, svc, scope);
+    }
+    counts
 }
 
 /// Fix-up targets gathered in one depth-first declaration-order walk,
@@ -536,6 +658,9 @@ struct Fixups {
     waiting: Vec<u32>,
     terminated_missing: Vec<u32>,
     finished: Vec<u32>,
+    /// `Ready` manual activities — re-offered if their work item was
+    /// lost with the crash (offer not yet durable).
+    ready: Vec<u32>,
     scopes: Vec<ScopeId>,
 }
 
@@ -565,7 +690,11 @@ fn collect_fixups(inst: &Instance, s: ScopeId, fx: &mut Fixups) {
                 }
             }
             ActState::Finished => fx.finished.push(slot),
-            ActState::Ready => {}
+            ActState::Ready => {
+                if !lay.automatic[sl] {
+                    fx.ready.push(slot);
+                }
+            }
         }
     }
 }

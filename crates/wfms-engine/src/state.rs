@@ -587,6 +587,88 @@ impl Instance {
             }
         }
     }
+
+    /// Builds this instance's state transferred onto template `to` —
+    /// the `migrate-at-scope-boundary` state transfer. Activities and
+    /// connectors are matched **by name**, never by position: a new
+    /// version may insert, remove or reorder declarations, and a
+    /// positional copy (what [`Instance::restore_root`] does for
+    /// same-template checkpoints) would silently land state on the
+    /// wrong activities.
+    ///
+    /// Refused (`Err` with the reason) unless the instance is at a
+    /// scope boundary — no activity mid-execution and no nested block
+    /// scope in flight — and every *begun* activity has a same-named
+    /// counterpart in `to`. Pristine activities (waiting, first
+    /// attempt, never notified) that the new version dropped are
+    /// simply absent afterwards; activities the new version adds start
+    /// out waiting and owe navigation, which the caller repairs with
+    /// the recovery fix-up pass. Deterministic: same source state and
+    /// target template, same result — replaying a journalled
+    /// `Migrated` event re-applies the identical transfer.
+    pub(crate) fn migrate_to(&self, to: &Arc<CompiledProcess>) -> Result<Instance, String> {
+        let old_lay = &self.tpl.layout;
+        for slot in 0..old_lay.n_acts() {
+            if self.slab.state[slot] == ActState::Running {
+                let p: &str = &old_lay.paths[slot];
+                return Err(format!(
+                    "activity {p:?} is mid-flight; instance is not at a scope boundary"
+                ));
+            }
+        }
+        let old_m = old_lay.scope(0);
+        let new_lay = &to.layout;
+        let new_m = new_lay.scope(0);
+        let mut out = Instance::new(self.id, Arc::clone(to));
+        out.status = self.status;
+        // Root containers, member-wise into the new prototypes (a
+        // member the new version dropped is discarded with it).
+        for (k, v) in self.slab.scope_input[0].iter() {
+            out.slab.scope_input[0].set(k, v.clone());
+        }
+        for (k, v) in self.slab.scope_output[0].iter() {
+            out.slab.scope_output[0].set(k, v.clone());
+        }
+        for (i, act) in old_m.cs.acts.iter().enumerate() {
+            let sl = old_m.act_base as usize + i;
+            let state = self.slab.state[sl];
+            let pristine =
+                state == ActState::Waiting && self.slab.attempt[sl] == 0 && !self.slab.notified[sl];
+            let Some(nid) = new_m.cs.id(&act.name) else {
+                if pristine {
+                    continue;
+                }
+                return Err(format!(
+                    "activity {:?} has begun ({state:?}) and has no counterpart in version {}",
+                    act.name,
+                    to.version()
+                ));
+            };
+            let nsl = new_lay.slot(0, nid) as usize;
+            out.set_act_state(nsl as u32, state);
+            out.slab.executed[nsl] = self.slab.executed[sl];
+            out.slab.attempt[nsl] = self.slab.attempt[sl];
+            out.slab.ready_since[nsl] = self.slab.ready_since[sl];
+            out.slab.notified[nsl] = self.slab.notified[sl];
+            out.slab.input[nsl] = self.slab.input[sl].clone();
+            out.slab.output[nsl] = self.slab.output[sl].clone();
+        }
+        // Evaluated connectors carry over where the same named edge
+        // exists in both versions; edges only one side has stay (or
+        // start) unevaluated.
+        for (e, edge) in old_m.cs.edges.iter().enumerate() {
+            let Some(v) = self.slab.connectors[old_m.edge_base as usize + e] else {
+                continue;
+            };
+            let from = &old_m.cs.act(edge.from).name;
+            let to_name = &old_m.cs.act(edge.to).name;
+            if let Some(ne) = new_m.cs.edge_id(from, to_name) {
+                out.slab.connectors[(new_m.edge_base + ne) as usize] = Some(v);
+            }
+        }
+        out.rebuild_ready();
+        Ok(out)
+    }
 }
 
 /// Joins a path as the slash-separated form used in journal events.

@@ -209,6 +209,15 @@ impl WorklistStore {
         self.items.get(&item)
     }
 
+    /// True when `(instance, path)` has an offered or claimed item —
+    /// the guard the recovery/migration fix-up uses before re-offering
+    /// a `Ready` manual activity whose offer may have been lost.
+    pub fn has_live_item(&self, instance: InstanceId, path: &str) -> bool {
+        self.items.values().any(|it| {
+            it.instance == instance && it.path == path && it.state != WorkItemState::Closed
+        })
+    }
+
     /// Open (offered, unclaimed) items, in id order.
     pub fn open_items(&self) -> Vec<&WorkItem> {
         self.items

@@ -6,7 +6,7 @@
 //! it were one engine.
 
 use serde::{Deserialize, Serialize};
-use wfms_model::Container;
+use wfms_model::{Container, ProcessDefinition};
 
 /// Body of `POST /instances`.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -60,8 +60,55 @@ pub struct StatusResponse {
     pub process: String,
     /// `"running"`, `"finished"` or `"cancelled"`.
     pub status: String,
+    /// Template version (spec content hash, hex) the instance is
+    /// currently pinned to.
+    pub version: String,
     /// Process output container.
     pub output: Container,
+}
+
+/// Body of `POST /admin/deploy`.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeployRequest {
+    /// The new process definition to register side-by-side with any
+    /// existing versions of the same name.
+    pub definition: ProcessDefinition,
+    /// Migration policy for running instances of the process:
+    /// `"drain-old"` (default) or `"migrate"` /
+    /// `"migrate-at-scope-boundary"`.
+    pub policy: Option<String>,
+}
+
+// Hand-written so `policy` is genuinely optional on the wire.
+impl Deserialize for DeployRequest {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let definition = match content.field("definition") {
+            Some(v) => Deserialize::from_content(v)?,
+            None => return Err(serde::Error::msg("deploy body missing \"definition\"")),
+        };
+        let policy = match content.field("policy") {
+            None => None,
+            Some(v) => Deserialize::from_content(v)?,
+        };
+        Ok(Self { definition, policy })
+    }
+}
+
+/// Body of a `200` answer to `POST /admin/deploy`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeployResponse {
+    /// Process template name.
+    pub process: String,
+    /// Version (spec content hash, hex) now the default for new
+    /// submissions of the process.
+    pub version: String,
+    /// Running instances migrated to the new version.
+    pub migrated: u64,
+    /// Running instances left draining under their old version (not at
+    /// a scope boundary, or policy was `drain-old`).
+    pub skipped: u64,
+    /// Running instances already on the deployed version.
+    pub already_current: u64,
 }
 
 /// One work item in a `GET /worklist` answer.

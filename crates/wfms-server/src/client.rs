@@ -463,6 +463,14 @@ pub fn verify_ids(url: &str, ids: &[u64], timeout: Duration) -> Vec<(u64, String
         .collect()
 }
 
+/// `POST /admin/deploy` with a serialized
+/// [`crate::api::DeployRequest`] body. Returns the raw
+/// `(status, body)` so callers can render either the
+/// [`crate::api::DeployResponse`] or the error detail.
+pub fn deploy(url: &str, body: &str) -> std::io::Result<(u16, String)> {
+    Http1Client::new(url).request("POST", "/admin/deploy", Some(body))
+}
+
 /// `POST /admin/drain`; true on 200.
 pub fn drain(url: &str) -> bool {
     matches!(

@@ -66,13 +66,23 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// The value of query parameter `key` (no percent-decoding; the
-    /// service's identifiers are plain ASCII).
-    pub fn query_param(&self, key: &str) -> Option<&str> {
-        self.query.as_deref()?.split('&').find_map(|pair| {
-            let (k, v) = pair.split_once('=')?;
-            (k == key).then_some(v)
-        })
+    /// The value of query parameter `key`, percent-decoded: `+` means
+    /// space and `%XX` the escaped byte, in both keys and values. A
+    /// malformed escape is a [`HttpError::BadRequest`] — answering 400
+    /// beats silently matching the wrong identifier.
+    pub fn query_param(&self, key: &str) -> Result<Option<String>, HttpError> {
+        let Some(query) = self.query.as_deref() else {
+            return Ok(None);
+        };
+        for pair in query.split('&') {
+            let Some((k, v)) = pair.split_once('=') else {
+                continue;
+            };
+            if percent_decode(k)? == key {
+                return Ok(Some(percent_decode(v)?));
+            }
+        }
+        Ok(None)
     }
 
     /// True if the connection must be closed after this request: an
@@ -127,6 +137,52 @@ impl std::fmt::Display for HttpError {
 }
 
 impl std::error::Error for HttpError {}
+
+/// Decodes `application/x-www-form-urlencoded` escapes: `+` to space,
+/// `%XX` to the escaped byte. Escapes must be complete two-digit hex
+/// and the decoded bytes must still be UTF-8.
+fn percent_decode(s: &str) -> Result<String, HttpError> {
+    if !s.contains(['%', '+']) {
+        return Ok(s.to_owned());
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let pair = match (bytes.get(i + 1), bytes.get(i + 2)) {
+                    (Some(&h), Some(&l)) => hex_val(h).zip(hex_val(l)),
+                    _ => None,
+                };
+                let Some((h, l)) = pair else {
+                    return Err(HttpError::BadRequest("malformed percent-escape in query"));
+                };
+                out.push(h * 16 + l);
+                i += 3;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out)
+        .map_err(|_| HttpError::BadRequest("query escapes decode to invalid UTF-8"))
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
 
 /// RFC 7230 `tchar`: the bytes legal in a header field name.
 fn is_tchar(b: u8) -> bool {
@@ -518,8 +574,33 @@ mod tests {
         assert_eq!(req.method, "GET");
         assert_eq!(req.path, "/worklist");
         assert_eq!(req.version, Version::Http11);
-        assert_eq!(req.query_param("person"), Some("ann"));
+        assert_eq!(req.query_param("person").unwrap().as_deref(), Some("ann"));
         assert!(!req.wants_close());
+    }
+
+    #[test]
+    fn query_params_are_percent_decoded() {
+        let req = parse(b"GET /worklist?person=a%6En%2Bb&x=1+2%203 HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.query_param("person").unwrap().as_deref(), Some("ann+b"));
+        assert_eq!(req.query_param("x").unwrap().as_deref(), Some("1 2 3"));
+        // Keys decode too: `%70erson` is `person` on the wire.
+        let req = parse(b"GET /worklist?%70erson=ann HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.query_param("person").unwrap().as_deref(), Some("ann"));
+        assert_eq!(req.query_param("absent").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_query_escapes_are_400() {
+        for q in ["p=%", "p=%2", "p=%zz", "p=%2g", "p=a%", "%g0=v", "p=%ff"] {
+            let raw = format!("GET /worklist?{q} HTTP/1.1\r\n\r\n");
+            let req = parse(raw.as_bytes()).unwrap().unwrap();
+            let err = req.query_param("p").unwrap_err();
+            assert_eq!(err.status(), 400, "query {q:?}");
+        }
     }
 
     #[test]

@@ -47,4 +47,7 @@ pub use client::{
     LoadReport,
 };
 pub use server::{Server, ServerConfig};
-pub use shard::{PoolConfig, PoolError, ShardPool, SubmitDispatch, SubmitOutcome, SubmitReply};
+pub use shard::{
+    DeployReport, MigrationPolicy, PoolConfig, PoolError, ShardPool, SubmitDispatch, SubmitOutcome,
+    SubmitReply,
+};

@@ -45,7 +45,9 @@ use crate::http::{self, render_response, HttpError, Request};
 use crate::poll::{
     Epoll, Waker, EPOLLERR, EPOLLEXCLUSIVE, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP,
 };
-use crate::shard::{ShardPool, SubmitDispatch, SubmitReply};
+use crate::shard::{
+    DeployReport, MigrationPolicy, PoolError, ShardPool, SubmitDispatch, SubmitReply,
+};
 
 /// Epoll events drained per wait.
 const MAX_EVENTS: usize = 256;
@@ -118,6 +120,13 @@ enum Completion {
         result: Result<usize, String>,
         close: bool,
         stop: bool,
+    },
+    /// A template deploy finished on its helper thread.
+    Deploy {
+        conn: u64,
+        slot: u64,
+        result: Result<DeployReport, (u16, String)>,
+        close: bool,
     },
 }
 
@@ -508,6 +517,48 @@ impl Reactor {
                         stop = true;
                     }
                 }
+                Completion::Deploy {
+                    conn: token,
+                    slot,
+                    result,
+                    close,
+                } => {
+                    if let Some(conn) = self.conns.get_mut(&token) {
+                        let mut bytes = Vec::with_capacity(192);
+                        match result {
+                            Ok(report) => {
+                                let body = serde_json::to_string(&DeployResponse {
+                                    process: report.process,
+                                    version: report.version,
+                                    migrated: report.migrated,
+                                    skipped: report.skipped,
+                                    already_current: report.already_current,
+                                })
+                                .expect("deploy body serializes");
+                                render_response(&mut bytes, 200, JSON, &[], body.as_bytes(), close);
+                            }
+                            Err((status, e)) => {
+                                let class = if status == 400 {
+                                    "bad_request"
+                                } else {
+                                    "internal"
+                                };
+                                let body = err_body(&e, class);
+                                render_response(
+                                    &mut bytes,
+                                    status,
+                                    JSON,
+                                    &[],
+                                    body.as_bytes(),
+                                    close,
+                                );
+                            }
+                        }
+                        conn.fill_slot(slot, bytes, close, false);
+                        conn.last_activity = Instant::now();
+                        touched.push(token);
+                    }
+                }
             }
         }
         touched.sort_unstable();
@@ -805,6 +856,13 @@ fn dispatch(
             }
             _ => method_not_allowed("GET"),
         },
+        ["admin", "deploy"] => match req.method.as_str() {
+            "POST" => {
+                dispatch_deploy(state, shared, token, conn, req, close);
+                return;
+            }
+            _ => method_not_allowed("POST"),
+        },
         ["admin", "drain"] => match req.method.as_str() {
             "POST" => {
                 dispatch_admin(state, shared, token, conn, close, false);
@@ -953,6 +1011,76 @@ fn dispatch_admin(
         });
 }
 
+/// `POST /admin/deploy`: parse and policy-check on the reactor, then
+/// register + migrate on a helper thread (deploy blocks on journal
+/// flushes) and complete through the reactor queue.
+fn dispatch_deploy(
+    state: &Arc<ServerState>,
+    shared: &Arc<ReactorShared>,
+    token: u64,
+    conn: &mut Conn,
+    req: &Request,
+    close: bool,
+) {
+    let sync_answer = |conn: &mut Conn, status: u16, body: String| {
+        let mut bytes = Vec::with_capacity(128 + body.len());
+        render_response(&mut bytes, status, JSON, &[], body.as_bytes(), close);
+        conn.push_ready(bytes, close);
+    };
+    if state.draining.load(Ordering::SeqCst) {
+        return sync_answer(conn, 503, err_body("server is draining", "draining"));
+    }
+    let Ok(text) = std::str::from_utf8(&req.body) else {
+        return sync_answer(conn, 400, err_body("body is not UTF-8", "bad_request"));
+    };
+    let body: DeployRequest = match serde_json::from_str(text) {
+        Ok(b) => b,
+        Err(e) => {
+            return sync_answer(
+                conn,
+                400,
+                err_body(&format!("bad body: {e}"), "bad_request"),
+            )
+        }
+    };
+    let policy = match body.policy.as_deref() {
+        None => MigrationPolicy::DrainOld,
+        Some(s) => match MigrationPolicy::parse(s) {
+            Some(p) => p,
+            None => {
+                return sync_answer(
+                    conn,
+                    400,
+                    err_body(
+                        &format!("unknown policy {s:?} (expected \"drain-old\" or \"migrate\")"),
+                        "bad_request",
+                    ),
+                )
+            }
+        },
+    };
+    let slot = conn.alloc_slot();
+    let state = Arc::clone(state);
+    let shared = Arc::clone(shared);
+    let _ = std::thread::Builder::new()
+        .name("wfms-deploy".to_owned())
+        .spawn(move || {
+            let result = state.pool.deploy(body.definition, policy).map_err(|e| {
+                let status = match &e {
+                    PoolError::Rejected(_) => 400,
+                    _ => 500,
+                };
+                (status, e.to_string())
+            });
+            shared.post(Completion::Deploy {
+                conn: token,
+                slot,
+                result,
+                close,
+            });
+        });
+}
+
 fn instance_status(state: &Arc<ServerState>, id: &str) -> Answer {
     let Ok(ext) = id.parse::<u64>() else {
         return Answer::json(
@@ -961,12 +1089,13 @@ fn instance_status(state: &Arc<ServerState>, id: &str) -> Answer {
         );
     };
     match state.pool.status(ext) {
-        Some((process, status, output)) => Answer::json(
+        Some((process, status, version, output)) => Answer::json(
             200,
             serde_json::to_string(&StatusResponse {
                 id: ext,
                 process,
                 status: status_str(status).to_owned(),
+                version,
                 output,
             })
             .expect("status body serializes"),
@@ -976,15 +1105,19 @@ fn instance_status(state: &Arc<ServerState>, id: &str) -> Answer {
 }
 
 fn worklist(state: &Arc<ServerState>, req: &Request) -> Answer {
-    let Some(person) = req.query_param("person") else {
-        return Answer::json(
-            400,
-            err_body("missing ?person= query parameter", "bad_request"),
-        );
+    let person = match req.query_param("person") {
+        Ok(Some(p)) => p,
+        Ok(None) => {
+            return Answer::json(
+                400,
+                err_body("missing ?person= query parameter", "bad_request"),
+            )
+        }
+        Err(e) => return Answer::json(400, err_body(&e.message(), "bad_request")),
     };
     let items = state
         .pool
-        .worklist(person)
+        .worklist(&person)
         .into_iter()
         .map(|(id, instance, item)| ItemDto {
             id,

@@ -35,8 +35,8 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use txn_substrate::{DurabilityPolicy, MultiDatabase, ProgramRegistry};
 use wfms_engine::{
-    recover_with_policy, Engine, EngineConfig, EngineError, InstanceId, InstanceStatus, OrgModel,
-    WorkItem, WorkItemId,
+    recover_with_policy, spec_hash_of, Engine, EngineConfig, EngineError, InstanceId,
+    InstanceStatus, MigrationOutcome, OrgModel, WorkItem, WorkItemId,
 };
 use wfms_model::{Container, ProcessDefinition};
 use wfms_observe::{Counter, Registry};
@@ -47,8 +47,19 @@ const REPLY_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Persisted pool invariants, stored as `server.meta.json` in the
 /// data directory.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct ServerMeta {
+    shards: usize,
+    /// Spec content hashes (hex) of every template version ever
+    /// registered into this directory, in deploy order. The definition
+    /// behind each hash lives in `templates/<hash>.json`; together they
+    /// are the exact template set shard journals replay against.
+    templates: Vec<String>,
+}
+
+/// Pre-versioning meta shape: only the shard count was recorded.
+#[derive(Debug, Deserialize)]
+struct LegacyMeta {
     shards: usize,
 }
 
@@ -64,6 +75,20 @@ pub enum PoolError {
         /// Count requested now.
         requested: usize,
     },
+    /// A definition supplied at open names a process this directory
+    /// already knows, but its content hash matches none of the stored
+    /// versions — the spec changed out of band.
+    SpecMismatch {
+        /// Process name both specs carry.
+        process: String,
+        /// Current default version (hex hash) recorded on disk.
+        on_disk: String,
+        /// Hash of the definition supplied now.
+        requested: String,
+    },
+    /// A deployed definition failed validation or compilation — a
+    /// client error, not a server fault.
+    Rejected(String),
     /// A shard journal could not be recovered.
     Recovery(wfms_engine::RecoveryError),
 }
@@ -77,6 +102,18 @@ impl std::fmt::Display for PoolError {
                 "data directory was created with --shards {on_disk}, \
                  reopened with --shards {requested}; external ids would shift"
             ),
+            PoolError::SpecMismatch {
+                process,
+                on_disk,
+                requested,
+            } => write!(
+                f,
+                "process {process:?} is pinned to version {on_disk} on disk, but the \
+                 supplied definition hashes to {requested}; the spec changed — reopen \
+                 with the original definition, or deploy the new one side-by-side \
+                 (POST /admin/deploy)"
+            ),
+            PoolError::Rejected(e) => write!(f, "deploy rejected: {e}"),
             PoolError::Recovery(e) => write!(f, "shard recovery: {e}"),
         }
     }
@@ -88,6 +125,47 @@ impl From<std::io::Error> for PoolError {
     fn from(e: std::io::Error) -> Self {
         PoolError::Io(e)
     }
+}
+
+/// What happens to running instances of a process when a new version
+/// of it is deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPolicy {
+    /// Old instances keep their pinned version and finish under it;
+    /// only new submissions see the deployed version.
+    DrainOld,
+    /// Running instances parked at a scope boundary are migrated to
+    /// the deployed version (journalled as `Migrated`); instances with
+    /// an activity mid-flight fall back to draining under their old
+    /// version.
+    MigrateAtScopeBoundary,
+}
+
+impl MigrationPolicy {
+    /// Parses the wire/CLI spelling of a policy.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "drain-old" => Some(Self::DrainOld),
+            "migrate" | "migrate-at-scope-boundary" => Some(Self::MigrateAtScopeBoundary),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of [`ShardPool::deploy`].
+#[derive(Debug)]
+pub struct DeployReport {
+    /// Process template name.
+    pub process: String,
+    /// Version (hex hash) now the default for new submissions.
+    pub version: String,
+    /// Running instances migrated to the new version.
+    pub migrated: u64,
+    /// Running instances left on their old version (mid-flight, or
+    /// policy was [`MigrationPolicy::DrainOld`]).
+    pub skipped: u64,
+    /// Running instances that were already on the deployed version.
+    pub already_current: u64,
 }
 
 /// Result of a submission attempt.
@@ -213,6 +291,10 @@ pub struct ShardPool {
     nshards: u64,
     rr: AtomicUsize,
     queue_capacity: usize,
+    data_dir: PathBuf,
+    /// In-memory mirror of `server.meta.json`; the lock also
+    /// serializes concurrent deploys.
+    meta: Mutex<ServerMeta>,
     registry: Arc<Registry>,
     accepted: Arc<Counter>,
     overloaded: Arc<Counter>,
@@ -234,7 +316,7 @@ impl ShardPool {
     ) -> Result<Self, PoolError> {
         let nshards = cfg.shards.max(1);
         std::fs::create_dir_all(&cfg.data_dir)?;
-        check_meta(&cfg.data_dir, nshards)?;
+        let (meta, templates) = check_meta(&cfg.data_dir, nshards, &cfg.templates)?;
 
         let mut shards = Vec::with_capacity(nshards);
         let mut recovered = 0u64;
@@ -249,7 +331,7 @@ impl ShardPool {
                 let engine = recover_with_policy(
                     &journal_path,
                     cfg.durability,
-                    cfg.templates.clone(),
+                    templates.clone(),
                     cfg.org.clone(),
                     multidb,
                     programs,
@@ -268,7 +350,7 @@ impl ShardPool {
                         ..EngineConfig::default()
                     },
                 );
-                for def in &cfg.templates {
+                for def in &templates {
                     engine.register(def.clone()).map_err(|e| {
                         PoolError::Io(std::io::Error::other(format!("template rejected: {e}")))
                     })?;
@@ -303,6 +385,8 @@ impl ShardPool {
             nshards: nshards as u64,
             rr: AtomicUsize::new(0),
             queue_capacity: cfg.queue_capacity,
+            data_dir: cfg.data_dir,
+            meta: Mutex::new(meta),
             registry: Arc::clone(&registry),
             accepted: registry.counter("server.submit.accepted"),
             overloaded: registry.counter("server.submit.overloaded"),
@@ -415,9 +499,9 @@ impl ShardPool {
         }
     }
 
-    /// `(process name, status, output)` of the instance behind an
-    /// external id.
-    pub fn status(&self, ext: u64) -> Option<(String, InstanceStatus, Container)> {
+    /// `(process name, status, pinned version, output)` of the
+    /// instance behind an external id.
+    pub fn status(&self, ext: u64) -> Option<(String, InstanceStatus, String, Container)> {
         let (shard, local) = self.decode(ext)?;
         let engine = &self.shards[shard].engine;
         let id = InstanceId(local);
@@ -427,8 +511,77 @@ impl ShardPool {
             .into_iter()
             .find(|(i, _, _)| *i == id)
             .map(|(_, p, _)| p)?;
+        let version = engine.instance_version(id).ok()?;
         let output = engine.output(id).ok()?;
-        Some((process, status, output))
+        Some((process, status, version, output))
+    }
+
+    /// Registers a new version of a process into every shard and makes
+    /// it the default for new submissions; existing instances are
+    /// handled per `policy`. Durable in stages: the definition file is
+    /// written first, then the meta hash list, then each shard journals
+    /// its `TemplateDeployed` (and any `Migrated`) events and flushes —
+    /// a crash between any two stages recovers to a consistent state.
+    pub fn deploy(
+        &self,
+        def: ProcessDefinition,
+        policy: MigrationPolicy,
+    ) -> Result<DeployReport, PoolError> {
+        // Validate before anything is persisted: a rejected definition
+        // must leave no trace in the templates directory or the meta.
+        let errors = wfms_model::validate(&def);
+        if !errors.is_empty() {
+            let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+            return Err(PoolError::Rejected(rendered.join("; ")));
+        }
+        let version = format!("{:016x}", spec_hash_of(&def));
+        let process = def.name.clone();
+        {
+            let mut meta = self.meta.lock();
+            if !meta.templates.contains(&version) {
+                persist_template(&self.data_dir.join("templates"), &version, &def)?;
+                meta.templates.push(version.clone());
+                write_meta(&self.data_dir.join("server.meta.json"), &meta)?;
+            }
+        }
+        let mut report = DeployReport {
+            process: process.clone(),
+            version: version.clone(),
+            migrated: 0,
+            skipped: 0,
+            already_current: 0,
+        };
+        let flush_err =
+            |e: EngineError| PoolError::Io(std::io::Error::other(format!("journal flush: {e}")));
+        for shard in &self.shards {
+            shard
+                .engine
+                .register(def.clone())
+                .map_err(|e| PoolError::Rejected(e.to_string()))?;
+            shard.engine.flush_journal().map_err(flush_err)?;
+        }
+        if policy == MigrationPolicy::MigrateAtScopeBoundary {
+            for shard in &self.shards {
+                let engine = &shard.engine;
+                for (id, p, status) in engine.instances() {
+                    if p != process || status != InstanceStatus::Running {
+                        continue;
+                    }
+                    match engine.migrate_to_default(id) {
+                        Ok(MigrationOutcome::Migrated { .. }) => {
+                            report.migrated += 1;
+                            // Migration fixups may have re-readied
+                            // automatic work; navigate it onward.
+                            let _ = engine.run_to_quiescence(id);
+                        }
+                        Ok(MigrationOutcome::AlreadyCurrent) => report.already_current += 1,
+                        Ok(MigrationOutcome::Skipped { .. }) | Err(_) => report.skipped += 1,
+                    }
+                }
+                engine.flush_journal().map_err(flush_err)?;
+            }
+        }
+        Ok(report)
     }
 
     /// Open work items of `person` across every shard, with external
@@ -520,14 +673,29 @@ impl ShardPool {
     }
 
     fn encode(&self, local: u64, shard: usize) -> u64 {
-        local * self.nshards + shard as u64
+        encode_ext(local, shard, self.nshards)
     }
 
     fn decode(&self, ext: u64) -> Option<(usize, u64)> {
-        let shard = (ext % self.nshards) as usize;
-        let local = ext / self.nshards;
-        (local > 0).then_some((shard, local))
+        decode_ext(ext, self.nshards)
     }
+}
+
+/// Folds a shard-local id into the wire id: `ext = local * nshards +
+/// shard`. Template version identity is deliberately *not* encoded in
+/// wire ids — an instance keeps its external id across a live
+/// migration, and ids stay stable as long as the shard count does.
+fn encode_ext(local: u64, shard: usize, nshards: u64) -> u64 {
+    local * nshards + shard as u64
+}
+
+/// Inverse of [`encode_ext`]. Locals are allocated from 1, so every
+/// `ext < nshards` (which would fold to local 0) is rejected rather
+/// than resolved to a nonexistent instance.
+fn decode_ext(ext: u64, nshards: u64) -> Option<(usize, u64)> {
+    let shard = (ext % nshards) as usize;
+    let local = ext / nshards;
+    (local > 0).then_some((shard, local))
 }
 
 impl Drop for ShardPool {
@@ -536,31 +704,124 @@ impl Drop for ShardPool {
     }
 }
 
-/// Validates (or writes) `server.meta.json` in `dir`.
-fn check_meta(dir: &Path, shards: usize) -> Result<(), PoolError> {
+/// Validates (or writes) `server.meta.json` in `dir` and reconciles
+/// the supplied definitions with the versions stored on disk.
+///
+/// Returns the meta record plus the full deploy-ordered template set —
+/// every stored version followed by any genuinely new processes from
+/// `cli` — which is both the recovery replay set and the registration
+/// set for fresh shards. A `cli` definition whose *name* is already
+/// recorded but whose content hash matches no stored version is
+/// refused with [`PoolError::SpecMismatch`]: the spec changed out of
+/// band, and silently replaying old journals against it would corrupt
+/// recovery.
+fn check_meta(
+    dir: &Path,
+    shards: usize,
+    cli: &[ProcessDefinition],
+) -> Result<(ServerMeta, Vec<ProcessDefinition>), PoolError> {
     let meta_path = dir.join("server.meta.json");
-    match std::fs::read_to_string(&meta_path) {
+    let tpl_dir = dir.join("templates");
+    let mut meta = match std::fs::read_to_string(&meta_path) {
         Ok(text) => {
-            let meta: ServerMeta = serde_json::from_str(&text)
-                .map_err(|e| PoolError::Io(std::io::Error::other(format!("bad meta: {e}"))))?;
+            let meta = parse_meta(&text)?;
             if meta.shards != shards {
                 return Err(PoolError::ShardMismatch {
                     on_disk: meta.shards,
                     requested: shards,
                 });
             }
-            Ok(())
+            meta
         }
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            let meta = ServerMeta { shards };
-            std::fs::write(
-                &meta_path,
-                serde_json::to_string(&meta).expect("meta serializes"),
-            )?;
-            Ok(())
-        }
-        Err(e) => Err(PoolError::Io(e)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => ServerMeta {
+            shards,
+            templates: Vec::new(),
+        },
+        Err(e) => return Err(PoolError::Io(e)),
+    };
+
+    // Load every stored version in deploy order; the *last* hash per
+    // name is that process's current default.
+    let mut templates: Vec<ProcessDefinition> = Vec::with_capacity(meta.templates.len());
+    let mut default_of: std::collections::HashMap<String, String> =
+        std::collections::HashMap::new();
+    for hash in &meta.templates {
+        let path = tpl_dir.join(format!("{hash}.json"));
+        let text = std::fs::read_to_string(&path).map_err(|e| {
+            PoolError::Io(std::io::Error::other(format!(
+                "stored template {hash}: {e}"
+            )))
+        })?;
+        let def: ProcessDefinition = serde_json::from_str(&text).map_err(|e| {
+            PoolError::Io(std::io::Error::other(format!(
+                "stored template {hash}: {e}"
+            )))
+        })?;
+        default_of.insert(def.name.clone(), hash.clone());
+        templates.push(def);
     }
+
+    let mut dirty = false;
+    for def in cli {
+        let hash = format!("{:016x}", spec_hash_of(def));
+        if meta.templates.contains(&hash) {
+            continue; // already stored — possibly no longer the default
+        }
+        if let Some(on_disk) = default_of.get(def.name.as_str()) {
+            return Err(PoolError::SpecMismatch {
+                process: def.name.clone(),
+                on_disk: on_disk.clone(),
+                requested: hash,
+            });
+        }
+        // A process name this directory has never seen: adopt it.
+        persist_template(&tpl_dir, &hash, def)?;
+        default_of.insert(def.name.clone(), hash.clone());
+        meta.templates.push(hash);
+        templates.push(def.clone());
+        dirty = true;
+    }
+    if dirty || !meta_path.exists() {
+        write_meta(&meta_path, &meta)?;
+    }
+    Ok((meta, templates))
+}
+
+/// Parses `server.meta.json`, accepting the pre-versioning shape (only
+/// a shard count) by upgrading it to an empty template list — the
+/// supplied definitions are then adopted as the initial versions.
+fn parse_meta(text: &str) -> Result<ServerMeta, PoolError> {
+    if let Ok(meta) = serde_json::from_str::<ServerMeta>(text) {
+        return Ok(meta);
+    }
+    serde_json::from_str::<LegacyMeta>(text)
+        .map(|m| ServerMeta {
+            shards: m.shards,
+            templates: Vec::new(),
+        })
+        .map_err(|e| PoolError::Io(std::io::Error::other(format!("bad meta: {e}"))))
+}
+
+/// Writes one definition to `templates/<hash>.json` (idempotent).
+fn persist_template(tpl_dir: &Path, hash: &str, def: &ProcessDefinition) -> Result<(), PoolError> {
+    std::fs::create_dir_all(tpl_dir)?;
+    let path = tpl_dir.join(format!("{hash}.json"));
+    if !path.exists() {
+        std::fs::write(
+            &path,
+            serde_json::to_string(def).expect("definition serializes"),
+        )?;
+    }
+    Ok(())
+}
+
+/// Rewrites `server.meta.json`.
+fn write_meta(meta_path: &Path, meta: &ServerMeta) -> Result<(), PoolError> {
+    std::fs::write(
+        meta_path,
+        serde_json::to_string(meta).expect("meta serializes"),
+    )?;
+    Ok(())
 }
 
 /// Resumes every instance a recovered shard reports as running —
@@ -651,4 +912,46 @@ fn worker_loop(
     }
     // Final barrier so nothing accepted is left unflushed.
     let _ = engine.flush_journal();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{decode_ext, encode_ext};
+
+    /// Every (local, shard) pair round-trips through the wire fold,
+    /// including locals at the top of the representable range.
+    #[test]
+    fn ext_ids_roundtrip_near_u64_boundaries() {
+        for &n in &[1u64, 3, 16] {
+            let max_local = u64::MAX / n;
+            for &local in &[1u64, 2, 7, 1000, max_local - 1, max_local] {
+                for shard in 0..n as usize {
+                    if local == max_local && shard as u64 > u64::MAX - local * n {
+                        continue; // ext would not be representable
+                    }
+                    let ext = encode_ext(local, shard, n);
+                    assert_eq!(
+                        decode_ext(ext, n),
+                        Some((shard, local)),
+                        "nshards={n} local={local} shard={shard}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Locals are allocated from 1, so `ext < nshards` (local 0) never
+    /// names an instance and must decode to `None` — and the first
+    /// representable id per shard decodes cleanly.
+    #[test]
+    fn small_ext_ids_decode_to_none() {
+        for &n in &[1u64, 3, 16] {
+            for ext in 0..n {
+                assert_eq!(decode_ext(ext, n), None, "nshards={n} ext={ext}");
+            }
+            for shard in 0..n as usize {
+                assert_eq!(decode_ext(n + shard as u64, n), Some((shard, 1)));
+            }
+        }
+    }
 }

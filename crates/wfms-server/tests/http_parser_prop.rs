@@ -142,7 +142,8 @@ proptest! {
         };
         prop_assert_eq!(req.method.as_str(), "POST");
         prop_assert_eq!(req.path.as_str(), "/worklist/7/complete");
-        prop_assert_eq!(req.query_param("person"), Some("ann"));
+        let person = req.query_param("person").unwrap();
+        prop_assert_eq!(person.as_deref(), Some("ann"));
         // Header names are lowercased on read; values survive verbatim
         // modulo edge trimming (excluded by the generator).
         prop_assert_eq!(req.header(&name.to_ascii_lowercase()), Some(value.as_str()));
@@ -181,7 +182,8 @@ proptest! {
         prop_assert_eq!(parsed.len(), bodies.len(), "request count");
         for (i, (req, body)) in parsed.iter().zip(&bodies).enumerate() {
             let seq = format!("{i}");
-            prop_assert_eq!(req.query_param("seq"), Some(seq.as_str()));
+            let got = req.query_param("seq").unwrap();
+            prop_assert_eq!(got.as_deref(), Some(seq.as_str()));
             prop_assert_eq!(&req.body, body, "body {i}");
         }
         prop_assert!(decoder.is_clean(), "no unconsumed bytes");
@@ -215,6 +217,45 @@ proptest! {
             None => one_zero,
         };
         prop_assert_eq!(req.wants_close(), expect_close);
+    }
+
+    /// Any UTF-8 query value survives a percent-encode → parse →
+    /// `query_param` round trip, byte for byte.
+    #[test]
+    fn encoded_query_values_roundtrip(value in "\\PC{0,24}") {
+        let mut encoded = String::new();
+        for b in value.bytes() {
+            if b.is_ascii_alphanumeric() {
+                encoded.push(b as char);
+            } else {
+                encoded.push_str(&format!("%{b:02X}"));
+            }
+        }
+        let input = format!("GET /worklist?person={encoded} HTTP/1.1\r\n\r\n");
+        let req = match parse(input.as_bytes()) {
+            Ok(Some(req)) => req,
+            other => return Err(TestCaseError::fail(format!("parse failed: {other:?}"))),
+        };
+        let got = req.query_param("person").unwrap();
+        prop_assert_eq!(got.as_deref(), Some(value.as_str()));
+    }
+
+    /// A `%` not followed by two hex digits answers `400` from
+    /// `query_param`, never a silently mangled value.
+    #[test]
+    fn malformed_query_escape_is_400(
+        prefix in "[a-z0-9]{0,8}",
+        bad in prop_oneof!["%", "%[0-9a-f]", "%[g-z][0-9]", "%[0-9][g-z]", "%%"],
+    ) {
+        let input = format!("GET /worklist?p={prefix}{bad} HTTP/1.1\r\n\r\n");
+        let req = match parse(input.as_bytes()) {
+            Ok(Some(req)) => req,
+            other => return Err(TestCaseError::fail(format!("parse failed: {other:?}"))),
+        };
+        match req.query_param("p") {
+            Err(e) => prop_assert_eq!(e.status(), 400, "query {:?}", bad),
+            Ok(v) => prop_assert!(false, "malformed escape {:?} decoded to {:?}", bad, v),
+        }
     }
 
     /// `Content-Length` values with any non-digit byte — leading `+`,

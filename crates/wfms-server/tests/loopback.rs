@@ -11,8 +11,10 @@ use txn_substrate::{DurabilityPolicy, MultiDatabase, ProgramOutcome, ProgramRegi
 use wfms_engine::{InstanceStatus, OrgModel};
 use wfms_model::{Activity, ProcessBuilder, ProcessDefinition};
 use wfms_observe::Registry;
-use wfms_server::api::{StatusResponse, SubmitResponse, WorklistResponse};
-use wfms_server::{Http1Client, PoolConfig, Server, ServerConfig, ShardPool, SubmitOutcome};
+use wfms_server::api::{DeployResponse, StatusResponse, SubmitResponse, WorklistResponse};
+use wfms_server::{
+    Http1Client, MigrationPolicy, PoolConfig, Server, ServerConfig, ShardPool, SubmitOutcome,
+};
 
 fn provision(_shard: usize) -> (Arc<MultiDatabase>, Arc<ProgramRegistry>) {
     let fed = MultiDatabase::new(0);
@@ -250,6 +252,220 @@ fn shard_count_mismatch_is_rejected() {
         err.to_string().contains("--shards"),
         "mismatch names the knob: {err}"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// v2 of the manual process: same park point, different automatic
+/// tail — a different spec hash under the same name.
+fn manual_process_v2() -> ProcessDefinition {
+    ProcessBuilder::new("manual")
+        .activity(Activity::program("M", "ok").for_role("clerk"))
+        .program("Tail2", "ok")
+        .connect_when("M", "Tail2", "RC = 1")
+        .build()
+        .unwrap()
+}
+
+/// `POST /admin/deploy` with `drain-old`: the new version becomes the
+/// default for *new* submits, parked instances keep their pinned
+/// version and finish under it — across an abrupt restart too.
+#[test]
+fn deploy_over_http_pins_old_instances_to_their_version() {
+    let dir = temp_dir("deploy");
+    let (old_id, new_id, v1, v2);
+    {
+        let server = start_server(&dir);
+        let url = server.local_addr().to_string();
+        let mut client = Http1Client::new(&url);
+
+        // Park a v1 instance on the worklist.
+        let (code, body) = client
+            .request("POST", "/instances", Some(r#"{"process":"manual"}"#))
+            .unwrap();
+        assert_eq!(code, 201, "{body}");
+        let old: SubmitResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(old.status, "running");
+        old_id = old.id;
+        let (_, body) = client
+            .request("GET", &format!("/instances/{old_id}"), None)
+            .unwrap();
+        let st: StatusResponse = serde_json::from_str(&body).unwrap();
+        v1 = st.version;
+
+        // Deploy v2.
+        let deploy_body = format!(
+            r#"{{"definition":{},"policy":"drain-old"}}"#,
+            serde_json::to_string(&manual_process_v2()).unwrap()
+        );
+        let (code, body) = client
+            .request("POST", "/admin/deploy", Some(&deploy_body))
+            .unwrap();
+        assert_eq!(code, 200, "{body}");
+        let dep: DeployResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(dep.process, "manual");
+        assert_ne!(dep.version, v1);
+        assert_eq!(dep.migrated, 0, "drain-old migrates nothing");
+        v2 = dep.version;
+
+        // New submits run the deployed version.
+        let (code, body) = client
+            .request("POST", "/instances", Some(r#"{"process":"manual"}"#))
+            .unwrap();
+        assert_eq!(code, 201, "{body}");
+        let new: SubmitResponse = serde_json::from_str(&body).unwrap();
+        new_id = new.id;
+        let (_, body) = client
+            .request("GET", &format!("/instances/{new_id}"), None)
+            .unwrap();
+        let st: StatusResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(st.version, v2);
+
+        // A body without "definition", an unknown policy and a
+        // non-validating definition are 400s, not 500s.
+        let (code, _) = client
+            .request("POST", "/admin/deploy", Some(r#"{"policy":"drain-old"}"#))
+            .unwrap();
+        assert_eq!(code, 400);
+        let bad_policy = format!(
+            r#"{{"definition":{},"policy":"nope"}}"#,
+            serde_json::to_string(&manual_process_v2()).unwrap()
+        );
+        let (code, _) = client
+            .request("POST", "/admin/deploy", Some(&bad_policy))
+            .unwrap();
+        assert_eq!(code, 400);
+        let mut invalid = ProcessDefinition::new("manual");
+        invalid.control.push(wfms_model::ControlConnector {
+            from: "X".into(),
+            to: "Y".into(),
+            condition: wfms_model::Expr::var_eq_int("RC", 1),
+        });
+        let bad_def = format!(
+            r#"{{"definition":{}}}"#,
+            serde_json::to_string(&invalid).unwrap()
+        );
+        let (code, body) = client
+            .request("POST", "/admin/deploy", Some(&bad_def))
+            .unwrap();
+        assert_eq!(
+            code, 400,
+            "invalid definition is the client's fault: {body}"
+        );
+
+        // Abrupt shutdown: the deploy must be durable.
+        server.shutdown(false);
+    }
+
+    // Restart on the same directory with the ORIGINAL v1 template set:
+    // the stored v2 is loaded from the templates directory and stays
+    // the default; the parked v1 instance still completes under v1.
+    let server = start_server(&dir);
+    let url = server.local_addr().to_string();
+    let mut client = Http1Client::new(&url);
+
+    let (_, body) = client.request("GET", "/worklist?person=ann", None).unwrap();
+    let wl: WorklistResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(wl.items.len(), 2, "both parked instances survive");
+    for item in &wl.items {
+        let (code, body) = client
+            .request(
+                "POST",
+                &format!("/worklist/{}/complete", item.id),
+                Some(r#"{"person":"ann"}"#),
+            )
+            .unwrap();
+        assert_eq!(code, 200, "{body}");
+    }
+    for (id, want_version) in [(old_id, &v1), (new_id, &v2)] {
+        let (_, body) = client
+            .request("GET", &format!("/instances/{id}"), None)
+            .unwrap();
+        let st: StatusResponse = serde_json::from_str(&body).unwrap();
+        assert_eq!(st.status, "finished", "{body}");
+        assert_eq!(&st.version, want_version, "{body}");
+    }
+    // A post-restart submit still defaults to v2.
+    let (_, body) = client
+        .request("POST", "/instances", Some(r#"{"process":"manual"}"#))
+        .unwrap();
+    let fresh: SubmitResponse = serde_json::from_str(&body).unwrap();
+    let (_, body) = client
+        .request("GET", &format!("/instances/{}", fresh.id), None)
+        .unwrap();
+    let st: StatusResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(st.version, v2);
+
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `migrate-at-scope-boundary` policy moves parked instances to
+/// the deployed version; their tail runs under v2.
+#[test]
+fn deploy_migrate_policy_moves_parked_instances() {
+    let dir = temp_dir("deploy-migrate");
+    let pool = ShardPool::open(pool_config(&dir), Arc::new(Registry::new()), &provision).unwrap();
+    let SubmitOutcome::Accepted { id, status, .. } =
+        pool.submit("manual", wfms_model::Container::empty())
+    else {
+        panic!("submit rejected");
+    };
+    assert_eq!(status, InstanceStatus::Running);
+
+    let report = pool
+        .deploy(manual_process_v2(), MigrationPolicy::MigrateAtScopeBoundary)
+        .unwrap();
+    assert_eq!(report.migrated, 1, "{report:?}");
+    let (_, _, version, _) = pool.status(id).unwrap();
+    assert_eq!(version, report.version, "parked instance now on v2");
+
+    let items = pool.worklist("ann");
+    assert_eq!(items.len(), 1);
+    pool.complete(items[0].0, "ann").unwrap();
+    let (_, status, version, _) = pool.status(id).unwrap();
+    assert_eq!(status, InstanceStatus::Finished);
+    assert_eq!(version, report.version);
+
+    // Deploying the same definition again is a no-op for instances.
+    let again = pool
+        .deploy(manual_process_v2(), MigrationPolicy::MigrateAtScopeBoundary)
+        .unwrap();
+    assert_eq!(again.version, report.version);
+    assert_eq!(again.migrated, 0);
+    drop(pool);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Regression: reopening a data directory with a *changed* definition
+/// under an already-registered name is refused with both hashes named
+/// — silently re-interpreting journals against a different spec was
+/// the spec-identity bug.
+#[test]
+fn reopen_with_changed_spec_is_rejected() {
+    let dir = temp_dir("specpin");
+    {
+        let pool =
+            ShardPool::open(pool_config(&dir), Arc::new(Registry::new()), &provision).unwrap();
+        drop(pool);
+    }
+    let mut cfg = pool_config(&dir);
+    cfg.templates = vec![auto_process(), manual_process_v2()];
+    let Err(err) = ShardPool::open(cfg, Arc::new(Registry::new()), &provision) else {
+        panic!("changed spec must be rejected");
+    };
+    let msg = err.to_string();
+    let on_disk = format!("{:016x}", wfms_engine::spec_hash_of(&manual_process()));
+    let requested = format!("{:016x}", wfms_engine::spec_hash_of(&manual_process_v2()));
+    assert!(msg.contains("manual"), "names the process: {msg}");
+    assert!(
+        msg.contains(&on_disk) && msg.contains(&requested),
+        "names both hashes: {msg}"
+    );
+    assert!(msg.contains("deploy"), "points at the escape hatch: {msg}");
+
+    // The original spec still opens.
+    let pool = ShardPool::open(pool_config(&dir), Arc::new(Registry::new()), &provision).unwrap();
+    drop(pool);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
