@@ -13,9 +13,15 @@
 #   * submit_path.wire_overhead — warn when the HTTP wire path costs
 #     more than twice its committed multiple of the pool path.
 #
+# Ratios are only comparable between like machines: a 1-core runner
+# cannot reproduce a 4-core parallel_throughput.speedup. Both JSON
+# files carry the core count they were measured on, and runs on a
+# different core count than the committed baseline are skipped with a
+# warning instead of producing noise.
+#
 # Always exits 0: CI hosts are noisy shared machines, so drift is a
 # prompt to look, not a build failure.
-set -uo pipefail
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -30,11 +36,21 @@ if [ ! -f BENCH_nav.json ]; then
   exit 0
 fi
 
-python3 - "$FRESH" <<'PY'
+python3 - "$FRESH" <<'PY' || echo "::warning title=perf drift::comparison failed (malformed JSON?)"
 import json, sys
 
 fresh = json.load(open(sys.argv[1]))
 committed = json.load(open("BENCH_nav.json"))
+
+fresh_cores = fresh.get("cores")
+committed_cores = committed.get("cores")
+if fresh_cores != committed_cores:
+    print(
+        "::warning title=perf drift::core counts differ (committed "
+        f"{committed_cores}, this host {fresh_cores}); ratios are not "
+        "comparable across core counts — skipping"
+    )
+    sys.exit(0)
 
 def get(d, *path):
     for p in path:

@@ -36,10 +36,19 @@ SERVE_PID=""
 mkdir -p "$ART"
 
 cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    # Failure: snapshot whatever state helps the post-mortem before
+    # the temp directory vanishes.
+    echo "drill: FAILED (exit $status) — capturing state" >&2
+    curl -s "http://$URL/metrics" >"$ART/metrics-on-failure.txt" 2>/dev/null || true
+    ls -la "$DATA" >"$ART/data-dir-on-failure.txt" 2>/dev/null || true
+  fi
   if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
     kill -9 "$SERVE_PID" 2>/dev/null || true
   fi
   rm -rf "$DATA"
+  exit "$status"
 }
 trap cleanup EXIT
 

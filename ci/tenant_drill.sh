@@ -1,0 +1,251 @@
+#!/usr/bin/env bash
+# Tenant-isolation drill: two tenants on one server, one of them hot.
+#
+# 1. Start `fmtm serve --tenants` with a quiet tenant (generous quota,
+#    weight 4) and a hot tenant (quota 4, weight 1), plus a throttled
+#    worker so the hot tenant is genuinely saturated.
+# 2. Auth taxonomy over the wire: no key and a wrong key answer `401`
+#    (with `WWW-Authenticate` and `Connection: close`); the ops plane
+#    stays keyless.
+# 3. Drive the hot tenant open-loop far past its quota while the quiet
+#    tenant runs a closed-loop cohort. The quiet tenant must complete
+#    100% with zero 429s and zero transport errors; the hot tenant
+#    must see 429s (with `Retry-After`) and zero transport errors.
+# 4. Cross-tenant isolation: the hot key reading a quiet instance is
+#    `403`; per-tenant counters appear in `/metrics`.
+# 5. kill -9, restart on the same data directory: every accepted id
+#    verifies finished *under its own tenant's key*, and tenant
+#    ownership survives recovery (cross-tenant reads still `403`).
+# 6. Hot reload: rotate the hot tenant's key on disk, then
+#    `POST /admin/reload-tenants` — the old key dies, the rotated key
+#    reaches the tenant's recovered instances.
+#
+# Artifacts (server logs, load reports, id lists, metrics snapshots)
+# land in $ART for CI upload. Exits non-zero on any isolation breach.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FMTM=target/release/fmtm
+PORT="${DRILL_PORT:-7423}"
+URL="127.0.0.1:${PORT}"
+ART="${DRILL_ART:-tenant-drill-artifacts}"
+DATA="$(mktemp -d)"
+SERVE_PID=""
+
+mkdir -p "$ART"
+
+cleanup() {
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    # Failure: snapshot whatever state helps the post-mortem before
+    # the temp directory vanishes.
+    echo "drill: FAILED (exit $status) — capturing state" >&2
+    curl -s "http://$URL/metrics" >"$ART/metrics-on-failure.txt" 2>/dev/null || true
+    ls -la "$DATA" >"$ART/data-dir-on-failure.txt" 2>/dev/null || true
+  fi
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DATA"
+  exit "$status"
+}
+trap cleanup EXIT
+
+if [ ! -x "$FMTM" ]; then
+  cargo build --release -p exotica --bin fmtm
+fi
+
+TENANTS="$DATA/tenants.json"
+cat >"$TENANTS" <<'EOF'
+{"tenants":[
+  {"name":"quiet","key":"k-quiet","weight":4,"max_inflight":64},
+  {"name":"hot","key":"k-hot","weight":1,"max_inflight":4}
+]}
+EOF
+
+echo "== phase 1: serve with two tenants and a throttled worker =="
+"$FMTM" serve examples/specs/trip.saga \
+  --shards 2 --port "$PORT" --data "$DATA" --tenants "$TENANTS" \
+  --throttle-ms 5 >"$ART/serve-1.log" 2>&1 &
+SERVE_PID=$!
+
+"$FMTM" load --url "$URL" --wait-ready 30 --api-key k-quiet --count 1 \
+  >/dev/null
+
+echo "== phase 2: auth taxonomy over the wire =="
+NOKEY=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d '{}' "http://$URL/instances")
+if [ "$NOKEY" != "401" ]; then
+  echo "drill: submit without a key answered $NOKEY, want 401" >&2
+  exit 1
+fi
+curl -s -i -X POST -d '{}' "http://$URL/instances" >"$ART/401-headers.txt"
+if ! grep -qi '^www-authenticate: *bearer' "$ART/401-headers.txt"; then
+  echo "drill: 401 without WWW-Authenticate" >&2
+  exit 1
+fi
+if ! grep -qi '^connection: *close' "$ART/401-headers.txt"; then
+  echo "drill: 401 without Connection: close" >&2
+  exit 1
+fi
+BADKEY=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -H 'Authorization: Bearer wrong' -d '{}' "http://$URL/instances")
+if [ "$BADKEY" != "401" ]; then
+  echo "drill: submit with a wrong key answered $BADKEY, want 401" >&2
+  exit 1
+fi
+OPS=$(curl -s -o /dev/null -w '%{http_code}' "http://$URL/healthz")
+if [ "$OPS" != "200" ]; then
+  echo "drill: keyless /healthz answered $OPS, want 200" >&2
+  exit 1
+fi
+
+echo "== phase 3: hot tenant open-loop past quota, quiet tenant closed-loop =="
+# 16 connections against a quota of 4: even when the schedule lags,
+# up to 16 submissions race the admission check at once, so the quota
+# must reject some of them.
+"$FMTM" load --url "$URL" --api-key k-hot --duration 6 --rps 2000 \
+  --open-loop --connections 16 --ids-out "$ART/ids-hot.txt" \
+  >"$ART/load-hot.txt" 2>&1 &
+HOT_PID=$!
+sleep 1 # let the hot tenant saturate its quota first
+
+"$FMTM" load --url "$URL" --api-key k-quiet --count 100 --rps 200 \
+  --connections 4 --ids-out "$ART/ids-quiet.txt" | tee "$ART/load-quiet.txt"
+
+# While the hot tenant is still hammering: a fresh hot submit must be
+# quota-rejected with Retry-After. (Quota 4 against a 2000 rps offered
+# rate — slack is momentary at best, so a short probe loop suffices.)
+SAW_RETRY_AFTER=""
+for _ in $(seq 1 100); do
+  curl -s -i -X POST -H 'Authorization: Bearer k-hot' \
+    -d '{}' "http://$URL/instances" >"$ART/hot-429.txt" || true
+  if grep -q ' 429 ' "$ART/hot-429.txt"; then
+    if grep -qi '^retry-after:' "$ART/hot-429.txt"; then
+      SAW_RETRY_AFTER=yes
+    fi
+    break
+  fi
+done
+
+wait "$HOT_PID"
+cat "$ART/load-hot.txt"
+
+parse() { # parse FIELD FILE — pull a count off the `load:` line
+  case "$1" in
+    sent)       sed -n 's/^load: \([0-9]*\) sent.*/\1/p' "$2" ;;
+    accepted)   sed -n 's/^load: .* \([0-9]*\) accepted.*/\1/p' "$2" ;;
+    overloaded) sed -n 's/^load: .* \([0-9]*\) overloaded.*/\1/p' "$2" ;;
+    errors)     sed -n 's/^load: .* \([0-9]*\) errors.*/\1/p' "$2" ;;
+  esac
+}
+
+Q_SENT=$(parse sent "$ART/load-quiet.txt")
+Q_ACC=$(parse accepted "$ART/load-quiet.txt")
+Q_OVER=$(parse overloaded "$ART/load-quiet.txt")
+Q_ERR=$(parse errors "$ART/load-quiet.txt")
+H_OVER=$(parse overloaded "$ART/load-hot.txt")
+H_ERR=$(parse errors "$ART/load-hot.txt")
+H_ACC=$(parse accepted "$ART/load-hot.txt")
+
+if [ -z "$Q_SENT" ] || [ "$Q_ACC" != "$Q_SENT" ] || [ "$Q_OVER" != "0" ] || [ "$Q_ERR" != "0" ]; then
+  echo "drill: quiet tenant was not isolated (sent=$Q_SENT accepted=$Q_ACC overloaded=$Q_OVER errors=$Q_ERR)" >&2
+  exit 1
+fi
+if [ -z "$H_OVER" ] || [ "$H_OVER" -eq 0 ]; then
+  echo "drill: hot tenant saw no 429s past its quota (overloaded=$H_OVER)" >&2
+  exit 1
+fi
+if [ -z "$H_ERR" ] || [ "$H_ERR" -ne 0 ]; then
+  echo "drill: transport errors on the hot tenant: $H_ERR" >&2
+  exit 1
+fi
+if [ -z "$H_ACC" ] || [ "$H_ACC" -eq 0 ]; then
+  echo "drill: hot tenant made no progress at all (accepted=$H_ACC)" >&2
+  exit 1
+fi
+if [ -z "$SAW_RETRY_AFTER" ]; then
+  echo "drill: no 429 with Retry-After observed on the hot tenant" >&2
+  exit 1
+fi
+echo "drill: quiet $Q_ACC/$Q_SENT clean; hot $H_ACC accepted, $H_OVER quota-rejected"
+
+echo "== phase 4: cross-tenant isolation + per-tenant metrics =="
+QUIET_ID=$(head -1 "$ART/ids-quiet.txt")
+CROSS=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Authorization: Bearer k-hot' "http://$URL/instances/$QUIET_ID")
+if [ "$CROSS" != "403" ]; then
+  echo "drill: hot key read quiet instance $QUIET_ID: $CROSS, want 403" >&2
+  exit 1
+fi
+OWN=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Authorization: Bearer k-quiet' "http://$URL/instances/$QUIET_ID")
+if [ "$OWN" != "200" ]; then
+  echo "drill: quiet key cannot read its own instance: $OWN" >&2
+  exit 1
+fi
+curl -s "http://$URL/metrics" >"$ART/metrics-1.txt"
+for family in \
+  'server_tenant_accepted{tenant="quiet"}' \
+  'server_tenant_accepted{tenant="hot"}' \
+  'server_tenant_overloaded{tenant="hot"}'; do
+  if ! grep -qF "$family" "$ART/metrics-1.txt"; then
+    echo "drill: /metrics missing $family" >&2
+    exit 1
+  fi
+done
+
+echo "== phase 5: kill -9 and recover per-tenant ids under the right keys =="
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+"$FMTM" serve examples/specs/trip.saga \
+  --shards 2 --port "$PORT" --data "$DATA" --tenants "$TENANTS" \
+  >"$ART/serve-2.log" 2>&1 &
+SERVE_PID=$!
+
+# Every acknowledged id must verify finished under its own key.
+"$FMTM" load --url "$URL" --wait-ready 30 --api-key k-quiet \
+  --verify "$ART/ids-quiet.txt" --verify-timeout 60 | tee "$ART/verify-quiet.txt"
+"$FMTM" load --url "$URL" --api-key k-hot \
+  --verify "$ART/ids-hot.txt" --verify-timeout 60 | tee "$ART/verify-hot.txt"
+
+# Ownership survives recovery: the cross-tenant read is still 403.
+CROSS2=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Authorization: Bearer k-hot' "http://$URL/instances/$QUIET_ID")
+if [ "$CROSS2" != "403" ]; then
+  echo "drill: cross-tenant read answered $CROSS2 after restart, want 403" >&2
+  exit 1
+fi
+
+echo "== phase 6: hot key rotation over /admin/reload-tenants =="
+HOT_ID=$(head -1 "$ART/ids-hot.txt")
+cat >"$TENANTS" <<'EOF'
+{"tenants":[
+  {"name":"quiet","key":"k-quiet","weight":4,"max_inflight":64},
+  {"name":"hot","key":"rotated","weight":1,"max_inflight":4}
+]}
+EOF
+RELOAD=$(curl -s -o "$ART/reload.txt" -w '%{http_code}' -X POST \
+  "http://$URL/admin/reload-tenants")
+if [ "$RELOAD" != "200" ]; then
+  echo "drill: reload-tenants answered $RELOAD: $(cat "$ART/reload.txt")" >&2
+  exit 1
+fi
+OLDKEY=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Authorization: Bearer k-hot' "http://$URL/instances/$HOT_ID")
+NEWKEY=$(curl -s -o /dev/null -w '%{http_code}' \
+  -H 'Authorization: Bearer rotated' "http://$URL/instances/$HOT_ID")
+if [ "$OLDKEY" != "401" ] || [ "$NEWKEY" != "200" ]; then
+  echo "drill: key rotation failed (old=$OLDKEY want 401, new=$NEWKEY want 200)" >&2
+  exit 1
+fi
+
+curl -s "http://$URL/metrics" >"$ART/metrics-2.txt"
+"$FMTM" load --url "$URL" --stop
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+
+echo "drill: ok (quiet $Q_ACC/$Q_SENT clean under a hot neighbour; $H_OVER hot 429s with Retry-After; per-tenant ids recovered under their own keys; key rotation live)"

@@ -84,6 +84,15 @@
 //!                                       Overloaded deterministic)
 //!   --reactors N                        event-loop threads (default 0 = one
 //!                                       per core, capped by the shard count)
+//!   --tenants FILE                      enable multi-tenancy from a JSON
+//!                                       tenants file ({"tenants":[{"name":..,
+//!                                       "key":..,"weight":W,"max_inflight":Q}]}):
+//!                                       Bearer API-key auth on the data plane,
+//!                                       per-tenant inflight quotas and
+//!                                       weighted-fair dequeue; the tenant-bit
+//!                                       id layout is pinned in server.meta.json
+//!                                       and the file is hot-reloadable via
+//!                                       POST /admin/reload-tenants
 //!
 //! deploy options:
 //!   --url URL                           target, e.g. http://127.0.0.1:7313
@@ -114,6 +123,8 @@
 //!                                       is finished (exit 3 on timeout)
 //!   --verify-timeout S                  verification deadline (default 60)
 //!   --wait-ready S                      poll /healthz up to S seconds first
+//!   --api-key KEY                       send `Authorization: Bearer KEY` with
+//!                                       every request (tenancy-enabled servers)
 //!   --drain                             POST /admin/drain when done
 //!   --stop                              POST /admin/stop when done
 //! ```
@@ -993,12 +1004,14 @@ fn serve(args: &[String]) -> ExitCode {
     let mut persons: Vec<(String, Vec<String>)> = Vec::new();
     let mut throttle_ms = 0u64;
     let mut reactors = 0usize;
+    let mut tenants_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         match flag {
             "--shards" | "--port" | "--addr" | "--data" | "--queue" | "--batch"
-            | "--durability" | "--seed" | "--person" | "--throttle-ms" | "--reactors" => {
+            | "--durability" | "--seed" | "--person" | "--throttle-ms" | "--reactors"
+            | "--tenants" => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("fmtm serve: {flag} needs a value");
                     return ExitCode::from(2);
@@ -1036,6 +1049,10 @@ fn serve(args: &[String]) -> ExitCode {
                     },
                     "--throttle-ms" => value.parse().map(|n| throttle_ms = n).is_ok(),
                     "--reactors" => value.parse().map(|n| reactors = n).is_ok(),
+                    "--tenants" => {
+                        tenants_path = Some(value.clone());
+                        true
+                    }
                     _ => unreachable!("outer match narrowed the flag"),
                 };
                 if !ok {
@@ -1097,6 +1114,23 @@ fn serve(args: &[String]) -> ExitCode {
     cfg.org = org;
     cfg.templates = templates;
     cfg.throttle = (throttle_ms > 0).then(|| std::time::Duration::from_millis(throttle_ms));
+    if let Some(path) = &tenants_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fmtm serve: tenants file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match wfms_server::parse_tenants(&text) {
+            Ok(specs) => cfg.tenants = specs,
+            Err(e) => {
+                eprintln!("fmtm serve: tenants file {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let ntenants = cfg.tenants.len();
 
     let registry = Arc::new(wfms_observe::Registry::new());
     let provision_shard =
@@ -1116,6 +1150,7 @@ fn serve(args: &[String]) -> ExitCode {
         default_process,
         read_timeout: std::time::Duration::from_secs(30),
         reactors,
+        tenants_path: tenants_path.as_ref().map(std::path::PathBuf::from),
     };
     let server = match wfms_server::Server::start(pool, server_cfg) {
         Ok(s) => s,
@@ -1135,6 +1170,9 @@ fn serve(args: &[String]) -> ExitCode {
     );
     if recovered > 0 {
         println!("recovered and resumed {recovered} in-flight instance(s)");
+    }
+    if ntenants > 0 {
+        println!("tenancy enabled: {ntenants} tenant(s), API-key auth on the data plane");
     }
     server.wait_stop();
     server.shutdown(true);
@@ -1253,6 +1291,7 @@ fn load_cmd(args: &[String]) -> ExitCode {
     let mut do_stop = false;
     let mut open_loop = false;
     let mut curve: Option<Vec<f64>> = None;
+    let mut api_key: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
@@ -1270,7 +1309,8 @@ fn load_cmd(args: &[String]) -> ExitCode {
                 i += 1;
             }
             "--url" | "--process" | "--count" | "--duration" | "--rps" | "--connections"
-            | "--ids-out" | "--verify" | "--verify-timeout" | "--wait-ready" | "--curve" => {
+            | "--ids-out" | "--verify" | "--verify-timeout" | "--wait-ready" | "--curve"
+            | "--api-key" => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("fmtm load: {flag} needs a value");
                     return ExitCode::from(2);
@@ -1302,6 +1342,10 @@ fn load_cmd(args: &[String]) -> ExitCode {
                         let rates: Result<Vec<f64>, _> =
                             value.split(',').map(str::trim).map(str::parse).collect();
                         rates.map(|r| curve = Some(r)).is_ok()
+                    }
+                    "--api-key" => {
+                        api_key = Some(value.clone());
+                        true
                     }
                     _ => unreachable!("outer match narrowed the flag"),
                 };
@@ -1356,6 +1400,7 @@ fn load_cmd(args: &[String]) -> ExitCode {
             connections,
             collect_ids: false,
             open_loop: true,
+            api_key: api_key.clone(),
         };
         let per_rate = std::time::Duration::from_secs(duration.unwrap_or(5));
         let points = wfms_server::latency_curve(&base, rates, per_rate);
@@ -1383,6 +1428,7 @@ fn load_cmd(args: &[String]) -> ExitCode {
             connections,
             collect_ids: ids_out.is_some(),
             open_loop,
+            api_key: api_key.clone(),
         };
         let report = wfms_server::run_load(&opts);
         println!(
@@ -1416,8 +1462,12 @@ fn load_cmd(args: &[String]) -> ExitCode {
             Err(c) => return c,
         };
         let ids: Vec<u64> = text.lines().filter_map(|l| l.trim().parse().ok()).collect();
-        let failed =
-            wfms_server::verify_ids(&url, &ids, std::time::Duration::from_secs(verify_timeout));
+        let failed = wfms_server::verify_ids_as(
+            &url,
+            api_key.as_deref(),
+            &ids,
+            std::time::Duration::from_secs(verify_timeout),
+        );
         if failed.is_empty() {
             println!("verify: all {} instance(s) finished", ids.len());
         } else {

@@ -138,6 +138,7 @@ mod tests {
             Event::InstanceStarted {
                 instance: i,
                 process: "p".into(),
+                tenant: None,
                 input: Container::empty(),
                 at: 0,
             },

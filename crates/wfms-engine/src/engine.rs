@@ -376,6 +376,18 @@ impl Engine {
     /// current default version of `process` for its whole life (unless
     /// explicitly migrated).
     pub fn start(&self, process: &str, input: Container) -> Result<InstanceId, EngineError> {
+        self.start_for_tenant(process, input, None)
+    }
+
+    /// [`Engine::start`] with an owning tenant: the tenant name is
+    /// journalled on the `InstanceStarted` event and restored by
+    /// recovery, so instance→tenant attribution survives `kill -9`.
+    pub fn start_for_tenant(
+        &self,
+        process: &str,
+        input: Container,
+        tenant: Option<String>,
+    ) -> Result<InstanceId, EngineError> {
         // Hold the registry lock until InstanceStarted is journalled:
         // a deploy journalled before this event is then guaranteed to
         // have been the default this instance resolved, which is what
@@ -387,6 +399,7 @@ impl Engine {
         let mut instances = self.instances.lock();
         let id = InstanceId(self.next_instance.fetch_add(1, Ordering::Relaxed));
         let mut inst = Instance::new(id, tpl);
+        inst.tenant = tenant;
         if self.obs.enabled() {
             inst.probes = Some(self.probes_for(&inst.tpl));
         }
@@ -397,6 +410,16 @@ impl Engine {
         instances.insert(id, inst);
         drop(registry);
         Ok(id)
+    }
+
+    /// The tenant instance `id` was started under (`None` for
+    /// untenanted instances).
+    pub fn instance_tenant(&self, id: InstanceId) -> Result<Option<String>, EngineError> {
+        self.instances
+            .lock()
+            .get(&id)
+            .map(|i| i.tenant.clone())
+            .ok_or(EngineError::UnknownInstance(id))
     }
 
     /// Migrates a running instance to the current default version of
@@ -623,6 +646,11 @@ impl Engine {
             .into_iter()
             .cloned()
             .collect()
+    }
+
+    /// The instance a work item belongs to, if the item exists.
+    pub fn item_instance(&self, item: WorkItemId) -> Option<InstanceId> {
+        self.worklists.lock().get(item).map(|it| it.instance)
     }
 
     /// Claims a work item for `person`; it disappears from every other
@@ -870,6 +898,7 @@ impl Engine {
             .map(|i| crate::event::InstanceSnapshot {
                 id: i.id,
                 process: i.tpl.name().to_owned(),
+                tenant: i.tenant.clone(),
                 status: i.status,
                 version: i.tpl.version(),
                 root: i.snapshot_root(),

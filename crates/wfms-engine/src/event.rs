@@ -151,12 +151,22 @@ impl Deserialize for PathStr {
 pub type ActivityPath = PathStr;
 
 /// One navigation event.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serde is hand-written (below) rather than derived for one reason:
+/// the optional `tenant` key on [`Event::InstanceStarted`] must be
+/// *omitted* when `None` — not emitted as `null` — so tenantless
+/// journals stay byte-identical to the pre-tenancy format, and absent
+/// keys must read back as `None` so pre-tenancy journals still replay.
+/// The derive emits every field and errors on missing ones.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Event {
-    /// A new instance of `process` started with `input`.
+    /// A new instance of `process` started with `input`. `tenant`
+    /// names the owning tenant when the server runs with tenancy
+    /// enabled; library use and untenanted servers leave it `None`.
     InstanceStarted {
         instance: InstanceId,
         process: String,
+        tenant: Option<String>,
         input: Container,
         at: Tick,
     },
@@ -288,13 +298,17 @@ pub enum Event {
 
 /// Serialisable snapshot of one instance (the definition is not
 /// embedded — templates are re-registered at recovery, as with plain
-/// replay).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// replay). Serde is hand-written for the same reason as [`Event`]:
+/// the `tenant` key is omitted when `None` so pre-tenancy checkpoints
+/// parse and tenantless checkpoints keep their byte format.
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstanceSnapshot {
     /// Instance id.
     pub id: InstanceId,
     /// Template name.
     pub process: String,
+    /// Owning tenant, when started under one.
+    pub tenant: Option<String>,
     /// Overall status.
     pub status: crate::state::InstanceStatus,
     /// The template version (spec content hash, hex) the instance is
@@ -304,6 +318,418 @@ pub struct InstanceSnapshot {
     /// The full scope tree (activities, connectors, containers,
     /// children).
     pub root: crate::state::ScopeState,
+}
+
+// ---- hand-written serde --------------------------------------------
+//
+// Same externally-tagged encoding the derive produces — a one-entry
+// map `{"Variant": {fields…}}` with fields in declaration order — so
+// every journal written before this impl parses unchanged. The only
+// deviation is deliberate: optional tenant keys are skipped when
+// `None` and default to `None` when absent.
+
+/// `(key, value)` map entry for one serialized field.
+fn fld<T: Serialize>(name: &str, value: &T) -> (serde::Content, serde::Content) {
+    (serde::Content::Str(name.to_owned()), value.to_content())
+}
+
+/// Wraps a field map into the externally-tagged variant encoding.
+fn variant(name: &str, fields: Vec<(serde::Content, serde::Content)>) -> serde::Content {
+    serde::Content::Map(vec![(
+        serde::Content::Str(name.to_owned()),
+        serde::Content::Map(fields),
+    )])
+}
+
+/// A required field: absent is an error, like the derive.
+fn req<T: Deserialize>(body: &serde::Content, name: &str, ctx: &str) -> Result<T, serde::Error> {
+    match body.field(name) {
+        Some(v) => T::from_content(v),
+        None => Err(serde::Error::msg(format!(
+            "missing field `{name}` in {ctx}"
+        ))),
+    }
+}
+
+/// An optional field: absent and `null` both read as `None`.
+fn opt<T: Deserialize>(body: &serde::Content, name: &str) -> Result<Option<T>, serde::Error> {
+    match body.field(name) {
+        Some(v) => Option::<T>::from_content(v),
+        None => Ok(None),
+    }
+}
+
+impl Serialize for Event {
+    fn to_content(&self) -> serde::Content {
+        match self {
+            Event::InstanceStarted {
+                instance,
+                process,
+                tenant,
+                input,
+                at,
+            } => {
+                let mut fields = vec![fld("instance", instance), fld("process", process)];
+                if tenant.is_some() {
+                    fields.push(fld("tenant", tenant));
+                }
+                fields.push(fld("input", input));
+                fields.push(fld("at", at));
+                variant("InstanceStarted", fields)
+            }
+            Event::ActivityReady {
+                instance,
+                path,
+                attempt,
+                at,
+            } => variant(
+                "ActivityReady",
+                vec![
+                    fld("instance", instance),
+                    fld("path", path),
+                    fld("attempt", attempt),
+                    fld("at", at),
+                ],
+            ),
+            Event::ActivityStarted {
+                instance,
+                path,
+                attempt,
+                by,
+                input,
+                at,
+            } => variant(
+                "ActivityStarted",
+                vec![
+                    fld("instance", instance),
+                    fld("path", path),
+                    fld("attempt", attempt),
+                    // `by` predates tenancy and was always emitted
+                    // (`null` for automatic activities) — keep it so.
+                    fld("by", by),
+                    fld("input", input),
+                    fld("at", at),
+                ],
+            ),
+            Event::ActivityFinished {
+                instance,
+                path,
+                attempt,
+                output,
+                at,
+            } => variant(
+                "ActivityFinished",
+                vec![
+                    fld("instance", instance),
+                    fld("path", path),
+                    fld("attempt", attempt),
+                    fld("output", output),
+                    fld("at", at),
+                ],
+            ),
+            Event::ActivityRescheduled {
+                instance,
+                path,
+                next_attempt,
+                at,
+            } => variant(
+                "ActivityRescheduled",
+                vec![
+                    fld("instance", instance),
+                    fld("path", path),
+                    fld("next_attempt", next_attempt),
+                    fld("at", at),
+                ],
+            ),
+            Event::ActivityTerminated {
+                instance,
+                path,
+                executed,
+                at,
+            } => variant(
+                "ActivityTerminated",
+                vec![
+                    fld("instance", instance),
+                    fld("path", path),
+                    fld("executed", executed),
+                    fld("at", at),
+                ],
+            ),
+            Event::ConnectorEvaluated {
+                instance,
+                scope,
+                from,
+                to,
+                value,
+                at,
+            } => variant(
+                "ConnectorEvaluated",
+                vec![
+                    fld("instance", instance),
+                    fld("scope", scope),
+                    fld("from", from),
+                    fld("to", to),
+                    fld("value", value),
+                    fld("at", at),
+                ],
+            ),
+            Event::WorkItemOffered {
+                instance,
+                path,
+                item,
+                persons,
+                at,
+            } => variant(
+                "WorkItemOffered",
+                vec![
+                    fld("instance", instance),
+                    fld("path", path),
+                    fld("item", item),
+                    fld("persons", persons),
+                    fld("at", at),
+                ],
+            ),
+            Event::WorkItemClaimed { item, person, at } => variant(
+                "WorkItemClaimed",
+                vec![fld("item", item), fld("person", person), fld("at", at)],
+            ),
+            Event::NotificationSent {
+                instance,
+                path,
+                person,
+                at,
+            } => variant(
+                "NotificationSent",
+                vec![
+                    fld("instance", instance),
+                    fld("path", path),
+                    fld("person", person),
+                    fld("at", at),
+                ],
+            ),
+            Event::UserIntervention {
+                instance,
+                path,
+                action,
+                at,
+            } => variant(
+                "UserIntervention",
+                vec![
+                    fld("instance", instance),
+                    fld("path", path),
+                    fld("action", action),
+                    fld("at", at),
+                ],
+            ),
+            Event::InstanceFinished {
+                instance,
+                output,
+                at,
+            } => variant(
+                "InstanceFinished",
+                vec![
+                    fld("instance", instance),
+                    fld("output", output),
+                    fld("at", at),
+                ],
+            ),
+            Event::InstanceCancelled { instance, at } => variant(
+                "InstanceCancelled",
+                vec![fld("instance", instance), fld("at", at)],
+            ),
+            Event::TemplateDeployed {
+                process,
+                version,
+                at,
+            } => variant(
+                "TemplateDeployed",
+                vec![
+                    fld("process", process),
+                    fld("version", version),
+                    fld("at", at),
+                ],
+            ),
+            Event::Migrated {
+                instance,
+                from,
+                to,
+                at,
+            } => variant(
+                "Migrated",
+                vec![
+                    fld("instance", instance),
+                    fld("from", from),
+                    fld("to", to),
+                    fld("at", at),
+                ],
+            ),
+            Event::EngineCheckpoint {
+                instances,
+                items,
+                next_instance,
+                next_item,
+                at,
+            } => variant(
+                "EngineCheckpoint",
+                vec![
+                    fld("instances", instances),
+                    fld("items", items),
+                    fld("next_instance", next_instance),
+                    fld("next_item", next_item),
+                    fld("at", at),
+                ],
+            ),
+        }
+    }
+}
+
+impl Deserialize for Event {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        let serde::Content::Map(entries) = content else {
+            return Err(serde::Error::msg(format!(
+                "expected single-entry map for Event, got {content:?}"
+            )));
+        };
+        let [(tag, body)] = entries.as_slice() else {
+            return Err(serde::Error::msg(format!(
+                "expected single-entry map for Event, got {} entries",
+                entries.len()
+            )));
+        };
+        let serde::Content::Str(tag) = tag else {
+            return Err(serde::Error::msg("expected string variant tag for Event"));
+        };
+        match tag.as_str() {
+            "InstanceStarted" => Ok(Event::InstanceStarted {
+                instance: req(body, "instance", tag)?,
+                process: req(body, "process", tag)?,
+                tenant: opt(body, "tenant")?,
+                input: req(body, "input", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "ActivityReady" => Ok(Event::ActivityReady {
+                instance: req(body, "instance", tag)?,
+                path: req(body, "path", tag)?,
+                attempt: req(body, "attempt", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "ActivityStarted" => Ok(Event::ActivityStarted {
+                instance: req(body, "instance", tag)?,
+                path: req(body, "path", tag)?,
+                attempt: req(body, "attempt", tag)?,
+                by: req(body, "by", tag)?,
+                input: req(body, "input", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "ActivityFinished" => Ok(Event::ActivityFinished {
+                instance: req(body, "instance", tag)?,
+                path: req(body, "path", tag)?,
+                attempt: req(body, "attempt", tag)?,
+                output: req(body, "output", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "ActivityRescheduled" => Ok(Event::ActivityRescheduled {
+                instance: req(body, "instance", tag)?,
+                path: req(body, "path", tag)?,
+                next_attempt: req(body, "next_attempt", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "ActivityTerminated" => Ok(Event::ActivityTerminated {
+                instance: req(body, "instance", tag)?,
+                path: req(body, "path", tag)?,
+                executed: req(body, "executed", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "ConnectorEvaluated" => Ok(Event::ConnectorEvaluated {
+                instance: req(body, "instance", tag)?,
+                scope: req(body, "scope", tag)?,
+                from: req(body, "from", tag)?,
+                to: req(body, "to", tag)?,
+                value: req(body, "value", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "WorkItemOffered" => Ok(Event::WorkItemOffered {
+                instance: req(body, "instance", tag)?,
+                path: req(body, "path", tag)?,
+                item: req(body, "item", tag)?,
+                persons: req(body, "persons", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "WorkItemClaimed" => Ok(Event::WorkItemClaimed {
+                item: req(body, "item", tag)?,
+                person: req(body, "person", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "NotificationSent" => Ok(Event::NotificationSent {
+                instance: req(body, "instance", tag)?,
+                path: req(body, "path", tag)?,
+                person: req(body, "person", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "UserIntervention" => Ok(Event::UserIntervention {
+                instance: req(body, "instance", tag)?,
+                path: req(body, "path", tag)?,
+                action: req(body, "action", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "InstanceFinished" => Ok(Event::InstanceFinished {
+                instance: req(body, "instance", tag)?,
+                output: req(body, "output", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "InstanceCancelled" => Ok(Event::InstanceCancelled {
+                instance: req(body, "instance", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "TemplateDeployed" => Ok(Event::TemplateDeployed {
+                process: req(body, "process", tag)?,
+                version: req(body, "version", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "Migrated" => Ok(Event::Migrated {
+                instance: req(body, "instance", tag)?,
+                from: req(body, "from", tag)?,
+                to: req(body, "to", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            "EngineCheckpoint" => Ok(Event::EngineCheckpoint {
+                instances: req(body, "instances", tag)?,
+                items: req(body, "items", tag)?,
+                next_instance: req(body, "next_instance", tag)?,
+                next_item: req(body, "next_item", tag)?,
+                at: req(body, "at", tag)?,
+            }),
+            other => Err(serde::Error::msg(format!(
+                "unknown variant `{other}` of Event"
+            ))),
+        }
+    }
+}
+
+impl Serialize for InstanceSnapshot {
+    fn to_content(&self) -> serde::Content {
+        let mut fields = vec![fld("id", &self.id), fld("process", &self.process)];
+        if self.tenant.is_some() {
+            fields.push(fld("tenant", &self.tenant));
+        }
+        fields.push(fld("status", &self.status));
+        fields.push(fld("version", &self.version));
+        fields.push(fld("root", &self.root));
+        serde::Content::Map(fields)
+    }
+}
+
+impl Deserialize for InstanceSnapshot {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::Error> {
+        Ok(InstanceSnapshot {
+            id: req(content, "id", "InstanceSnapshot")?,
+            process: req(content, "process", "InstanceSnapshot")?,
+            tenant: opt(content, "tenant")?,
+            status: req(content, "status", "InstanceSnapshot")?,
+            version: req(content, "version", "InstanceSnapshot")?,
+            root: req(content, "root", "InstanceSnapshot")?,
+        })
+    }
 }
 
 impl Event {
@@ -468,6 +894,150 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         let back: Event = serde_json::from_str(&json).unwrap();
         assert_eq!(back, e);
+    }
+
+    /// A tenantless `InstanceStarted` serializes byte-identically to
+    /// the pre-tenancy derive output — no `"tenant"` key at all — so
+    /// untenanted journals keep their golden format.
+    #[test]
+    fn tenantless_start_is_byte_identical_to_legacy() {
+        let e = Event::InstanceStarted {
+            instance: InstanceId(1),
+            process: "fix".into(),
+            tenant: None,
+            input: Container::empty(),
+            at: 0,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert_eq!(
+            json,
+            r#"{"InstanceStarted":{"instance":1,"process":"fix","input":{"values":{}},"at":0}}"#
+        );
+    }
+
+    /// A pre-tenancy journal line (no `tenant` key) parses with
+    /// `tenant: None`.
+    #[test]
+    fn legacy_start_without_tenant_parses() {
+        let line =
+            r#"{"InstanceStarted":{"instance":1,"process":"fix","input":{"values":{}},"at":0}}"#;
+        let e: Event = serde_json::from_str(line).unwrap();
+        let Event::InstanceStarted {
+            instance, tenant, ..
+        } = e
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(instance, InstanceId(1));
+        assert_eq!(tenant, None);
+    }
+
+    /// A tenanted start round-trips the tenant name through JSON.
+    #[test]
+    fn tenanted_start_round_trips() {
+        let e = Event::InstanceStarted {
+            instance: InstanceId(7),
+            process: "p".into(),
+            tenant: Some("acme".into()),
+            input: Container::empty(),
+            at: 2,
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains(r#""tenant":"acme""#), "{json}");
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    /// Every variant survives a serde round trip under the
+    /// hand-written impl (the derive used to guarantee this).
+    #[test]
+    fn all_variants_round_trip() {
+        let events = vec![
+            Event::ActivityStarted {
+                instance: InstanceId(1),
+                path: "A".into(),
+                attempt: 0,
+                by: Some("ann".into()),
+                input: Container::empty(),
+                at: 1,
+            },
+            Event::ActivityStarted {
+                instance: InstanceId(1),
+                path: "A".into(),
+                attempt: 1,
+                by: None,
+                input: Container::empty(),
+                at: 2,
+            },
+            Event::ActivityFinished {
+                instance: InstanceId(1),
+                path: "A".into(),
+                attempt: 0,
+                output: Container::empty(),
+                at: 3,
+            },
+            Event::ActivityRescheduled {
+                instance: InstanceId(1),
+                path: "A".into(),
+                next_attempt: 2,
+                at: 4,
+            },
+            Event::ActivityTerminated {
+                instance: InstanceId(1),
+                path: "A".into(),
+                executed: true,
+                at: 5,
+            },
+            Event::WorkItemOffered {
+                instance: InstanceId(1),
+                path: "M".into(),
+                item: WorkItemId(4),
+                persons: vec!["ann".into()],
+                at: 6,
+            },
+            Event::WorkItemClaimed {
+                item: WorkItemId(4),
+                person: "ann".into(),
+                at: 7,
+            },
+            Event::NotificationSent {
+                instance: InstanceId(1),
+                path: "M".into(),
+                person: "ann".into(),
+                at: 8,
+            },
+            Event::UserIntervention {
+                instance: InstanceId(1),
+                path: "M".into(),
+                action: "restart".into(),
+                at: 9,
+            },
+            Event::InstanceFinished {
+                instance: InstanceId(1),
+                output: Container::empty(),
+                at: 10,
+            },
+            Event::InstanceCancelled {
+                instance: InstanceId(1),
+                at: 11,
+            },
+            Event::TemplateDeployed {
+                process: "p".into(),
+                version: "00c0ffee00c0ffee".into(),
+                at: 12,
+            },
+            Event::Migrated {
+                instance: InstanceId(1),
+                from: "a".into(),
+                to: "b".into(),
+                at: 13,
+            },
+        ];
+        for e in events {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e, "{json}");
+        }
     }
 
     #[test]

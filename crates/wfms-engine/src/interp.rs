@@ -170,6 +170,7 @@ impl RefEngine {
         self.journal.push(Event::InstanceStarted {
             instance: id,
             process: inst.def.name.clone(),
+            tenant: None,
             input: inst.root.input.clone(),
             at: self.clock.now(),
         });

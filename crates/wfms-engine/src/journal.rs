@@ -327,6 +327,7 @@ mod tests {
         Event::InstanceStarted {
             instance: InstanceId(n),
             process: "p".into(),
+            tenant: None,
             input: Container::empty(),
             at: 0,
         }

@@ -94,6 +94,7 @@ pub fn start_instance(inst: &mut Instance, svc: &NavServices<'_>) {
     svc.journal.append(Event::InstanceStarted {
         instance: inst.id,
         process: inst.tpl.def.name.clone(),
+        tenant: inst.tenant.clone(),
         input: inst.root_input().clone(),
         at: svc.now(),
     });

@@ -241,6 +241,7 @@ fn apply(
         Event::InstanceStarted {
             instance,
             process,
+            tenant,
             input,
             ..
         } => {
@@ -250,6 +251,7 @@ fn apply(
                 .default_tpl(process)
                 .ok_or_else(|| RecoveryError::MissingTemplate(process.clone()))?;
             let mut inst = Instance::new(*instance, tpl);
+            inst.tenant = tenant.clone();
             for (k, v) in input.iter() {
                 inst.root_input_mut().set(k, v.clone());
             }
@@ -436,6 +438,7 @@ fn apply(
                 })?;
                 let mut inst = Instance::new(snap.id, tpl);
                 inst.status = snap.status;
+                inst.tenant = snap.tenant.clone();
                 inst.restore_root(&snap.root);
                 instances.insert(snap.id, inst);
             }

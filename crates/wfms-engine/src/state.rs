@@ -8,7 +8,7 @@
 //!
 //! Live state is a [`StateSlab`]: one struct-of-arrays arena over the
 //! compiled template's **global slots** (see
-//! [`ScopeLayout`](crate::compiled::ScopeLayout)). Each state column —
+//! [`ScopeLayout`]). Each state column —
 //! lifecycle state, attempt counter, deadline bookkeeping, containers,
 //! connector values — is a single contiguous vector allocated once per
 //! instance, so steady-state navigation indexes cache-linear columns
@@ -298,6 +298,10 @@ pub struct Instance {
     pub(crate) slab: StateSlab,
     /// Overall status.
     pub status: InstanceStatus,
+    /// Owning tenant, when the instance was started under one.
+    /// Journalled on `InstanceStarted` and carried through snapshots,
+    /// so recovery restores it.
+    pub tenant: Option<String>,
     /// Ready automatic activities as execution ranks (min-heap; may
     /// hold stale entries).
     pub(crate) ready: BinaryHeap<Reverse<u32>>,
@@ -316,6 +320,7 @@ impl Instance {
             tpl,
             slab,
             status: InstanceStatus::Running,
+            tenant: None,
             ready: BinaryHeap::new(),
             probes: None,
         };

@@ -11,7 +11,9 @@
 //! * [`Histogram`] — log-linear latency histogram over `u64`
 //!   nanoseconds with integer-only p50/p95/p99 estimation;
 //! * [`Registry`] — named get-or-create home for the above, plus
-//!   [`HistogramVec`] for label-keyed families (per-activity latency);
+//!   [`HistogramVec`] for label-keyed families (per-activity latency)
+//!   and [`CounterVec`]/[`GaugeVec`] for labeled counter/gauge
+//!   families (per-tenant admissions);
 //! * [`TraceSink`] / [`SpanGuard`] — structured span & event tracing
 //!   with a no-op default sink;
 //! * [`Observer`] — the bundle the engine threads through its hot
@@ -299,6 +301,123 @@ impl HistogramVec {
     }
 }
 
+/// A label-keyed family of counters (e.g. per-tenant admissions).
+///
+/// Unlike [`HistogramVec`] — whose Prometheus exposition hardcodes a
+/// generic `label` key — a counter family carries its label *key*
+/// (`tenant`, `shard`, …) so the exposition reads
+/// `server_tenant_accepted{tenant="acme"} 3`.
+#[derive(Debug)]
+pub struct CounterVec {
+    label_key: String,
+    inner: std::sync::RwLock<std::collections::HashMap<String, Arc<Counter>>>,
+}
+
+impl CounterVec {
+    /// An empty family whose exposition uses `label_key`.
+    pub fn new(label_key: &str) -> Self {
+        Self {
+            label_key: label_key.to_owned(),
+            inner: std::sync::RwLock::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The Prometheus label key this family renders with.
+    pub fn label_key(&self) -> &str {
+        &self.label_key
+    }
+
+    /// The counter for `label`, created at zero on first use.
+    pub fn with_label(&self, label: &str) -> Arc<Counter> {
+        if let Some(c) = self.inner.read().expect("observe lock").get(label) {
+            return Arc::clone(c);
+        }
+        let mut w = self.inner.write().expect("observe lock");
+        Arc::clone(
+            w.entry(label.to_owned())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Adds one under `label`.
+    pub fn inc(&self, label: &str) {
+        if let Some(c) = self.inner.read().expect("observe lock").get(label) {
+            c.inc();
+            return;
+        }
+        self.with_label(label).inc();
+    }
+
+    /// Snapshots every label, sorted.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = self
+            .inner
+            .read()
+            .expect("observe lock")
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// A label-keyed family of gauges (e.g. per-tenant in-flight work).
+#[derive(Debug)]
+pub struct GaugeVec {
+    label_key: String,
+    inner: std::sync::RwLock<std::collections::HashMap<String, Arc<Gauge>>>,
+}
+
+impl GaugeVec {
+    /// An empty family whose exposition uses `label_key`.
+    pub fn new(label_key: &str) -> Self {
+        Self {
+            label_key: label_key.to_owned(),
+            inner: std::sync::RwLock::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// The Prometheus label key this family renders with.
+    pub fn label_key(&self) -> &str {
+        &self.label_key
+    }
+
+    /// The gauge for `label`, created at zero on first use.
+    pub fn with_label(&self, label: &str) -> Arc<Gauge> {
+        if let Some(g) = self.inner.read().expect("observe lock").get(label) {
+            return Arc::clone(g);
+        }
+        let mut w = self.inner.write().expect("observe lock");
+        Arc::clone(
+            w.entry(label.to_owned())
+                .or_insert_with(|| Arc::new(Gauge::new())),
+        )
+    }
+
+    /// Adjusts the level under `label` by `d` (may be negative).
+    pub fn add(&self, label: &str, d: i64) {
+        if let Some(g) = self.inner.read().expect("observe lock").get(label) {
+            g.add(d);
+            return;
+        }
+        self.with_label(label).add(d);
+    }
+
+    /// Snapshots every label, sorted.
+    pub fn snapshot(&self) -> Vec<(String, i64)> {
+        let mut out: Vec<(String, i64)> = self
+            .inner
+            .read()
+            .expect("observe lock")
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
 /// The bundle threaded through the engine, journal, substrate and CLI:
 /// a [`Registry`] plus a [`TraceSink`] and the hot-path enable flag.
 ///
@@ -470,6 +589,29 @@ mod tests {
         assert_eq!(snap[0].1.count, 2);
         assert_eq!(snap[1].1.count, 1);
         assert_eq!(v.with_label("a").count(), 2);
+    }
+
+    #[test]
+    fn counter_and_gauge_vec_labels() {
+        let c = CounterVec::new("tenant");
+        c.inc("acme");
+        c.inc("acme");
+        c.inc("beta");
+        assert_eq!(c.label_key(), "tenant");
+        assert_eq!(
+            c.snapshot(),
+            vec![("acme".to_owned(), 2), ("beta".to_owned(), 1)]
+        );
+        assert_eq!(c.with_label("acme").get(), 2);
+
+        let g = GaugeVec::new("tenant");
+        g.add("acme", 3);
+        g.add("acme", -1);
+        g.add("beta", 5);
+        assert_eq!(
+            g.snapshot(),
+            vec![("acme".to_owned(), 2), ("beta".to_owned(), 5)]
+        );
     }
 
     #[test]

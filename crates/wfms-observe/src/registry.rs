@@ -5,7 +5,7 @@
 //! keep them (see the engine's probe structs) — the registry lookup is
 //! for wiring and exposition, not the record path.
 
-use crate::{Counter, Gauge, Histogram, HistogramSnapshot, HistogramVec};
+use crate::{Counter, CounterVec, Gauge, GaugeVec, Histogram, HistogramSnapshot, HistogramVec};
 use std::collections::BTreeMap;
 use std::sync::{Arc, RwLock};
 
@@ -16,6 +16,8 @@ pub struct Registry {
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     hists: RwLock<BTreeMap<String, Arc<Histogram>>>,
     families: RwLock<BTreeMap<String, Arc<HistogramVec>>>,
+    counter_vecs: RwLock<BTreeMap<String, Arc<CounterVec>>>,
+    gauge_vecs: RwLock<BTreeMap<String, Arc<GaugeVec>>>,
 }
 
 fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
@@ -52,6 +54,32 @@ impl Registry {
         get_or_create(&self.families, name)
     }
 
+    /// The counter family named `name`, created on first use with
+    /// `label_key` as its exposition label key (`tenant`, `shard`, …).
+    /// The key is fixed by whoever creates the family first.
+    pub fn counter_vec(&self, name: &str, label_key: &str) -> Arc<CounterVec> {
+        if let Some(v) = self.counter_vecs.read().expect("observe lock").get(name) {
+            return Arc::clone(v);
+        }
+        let mut w = self.counter_vecs.write().expect("observe lock");
+        Arc::clone(
+            w.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(CounterVec::new(label_key))),
+        )
+    }
+
+    /// The gauge family named `name` (see [`Registry::counter_vec`]).
+    pub fn gauge_vec(&self, name: &str, label_key: &str) -> Arc<GaugeVec> {
+        if let Some(v) = self.gauge_vecs.read().expect("observe lock").get(name) {
+            return Arc::clone(v);
+        }
+        let mut w = self.gauge_vecs.write().expect("observe lock");
+        Arc::clone(
+            w.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(GaugeVec::new(label_key))),
+        )
+    }
+
     /// Snapshots every instrument.
     pub fn snapshot(&self) -> RegistrySnapshot {
         RegistrySnapshot {
@@ -83,6 +111,20 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            counter_vecs: self
+                .counter_vecs
+                .read()
+                .expect("observe lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), (v.label_key().to_owned(), v.snapshot())))
+                .collect(),
+            gauge_vecs: self
+                .gauge_vecs
+                .read()
+                .expect("observe lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), (v.label_key().to_owned(), v.snapshot())))
+                .collect(),
         }
     }
 }
@@ -99,6 +141,10 @@ pub struct RegistrySnapshot {
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Histogram-family summaries: name → sorted (label, summary).
     pub families: BTreeMap<String, Vec<(String, HistogramSnapshot)>>,
+    /// Counter-family values: name → (label key, sorted (label, value)).
+    pub counter_vecs: BTreeMap<String, (String, Vec<(String, u64)>)>,
+    /// Gauge-family levels: name → (label key, sorted (label, level)).
+    pub gauge_vecs: BTreeMap<String, (String, Vec<(String, i64)>)>,
 }
 
 /// `foo.bar-baz` → `foo_bar_baz` (Prometheus metric name charset).
@@ -150,6 +196,20 @@ impl RegistrySnapshot {
                 prom_hist(&mut out, &n, Some(label), s);
             }
         }
+        for (name, (key, labels)) in &self.counter_vecs {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} counter\n"));
+            for (label, v) in labels {
+                out.push_str(&format!("{n}{{{key}=\"{label}\"}} {v}\n"));
+            }
+        }
+        for (name, (key, labels)) in &self.gauge_vecs {
+            let n = prom_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n"));
+            for (label, v) in labels {
+                out.push_str(&format!("{n}{{{key}=\"{label}\"}} {v}\n"));
+            }
+        }
         out
     }
 }
@@ -192,5 +252,30 @@ mod tests {
         assert!(text.contains("flush_ns{quantile=\"0.5\"}"));
         assert!(text.contains("act_latency_ns{label=\"T1\",quantile=\"0.99\"}"));
         assert!(text.contains("act_latency_ns_count{label=\"T1\"} 1"));
+    }
+
+    #[test]
+    fn labeled_families_render_with_their_key() {
+        let r = Registry::new();
+        r.counter_vec("server.tenant.accepted", "tenant")
+            .inc("acme");
+        r.counter_vec("server.tenant.accepted", "tenant")
+            .inc("acme");
+        r.counter_vec("server.tenant.accepted", "tenant")
+            .inc("beta");
+        r.gauge_vec("server.tenant.inflight", "tenant")
+            .add("acme", 3);
+
+        let snap = r.snapshot();
+        let (key, labels) = &snap.counter_vecs["server.tenant.accepted"];
+        assert_eq!(key, "tenant");
+        assert_eq!(labels[0], ("acme".to_owned(), 2));
+
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE server_tenant_accepted counter"));
+        assert!(text.contains("server_tenant_accepted{tenant=\"acme\"} 2"));
+        assert!(text.contains("server_tenant_accepted{tenant=\"beta\"} 1"));
+        assert!(text.contains("# TYPE server_tenant_inflight gauge"));
+        assert!(text.contains("server_tenant_inflight{tenant=\"acme\"} 3"));
     }
 }

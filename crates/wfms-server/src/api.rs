@@ -148,6 +148,13 @@ pub struct DrainResponse {
     pub compacted_events: usize,
 }
 
+/// Body of a `200` answer to `POST /admin/reload-tenants`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReloadTenantsResponse {
+    /// Live (authenticatable) tenants after the reload.
+    pub tenants: usize,
+}
+
 /// Body of `GET /healthz`.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Health {
@@ -163,7 +170,9 @@ pub struct Health {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ErrorResponse {
     /// Machine-readable error class: `"overloaded"`, `"draining"`,
-    /// `"not_found"`, `"bad_request"`, `"conflict"`, `"internal"`.
+    /// `"not_found"`, `"bad_request"`, `"conflict"`, `"internal"`,
+    /// `"unauthorized"` (401: missing/unknown API key) or
+    /// `"forbidden"` (403: another tenant's resource).
     pub error: String,
     /// Human-readable detail.
     pub detail: String,

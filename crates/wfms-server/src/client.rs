@@ -38,6 +38,8 @@ pub struct Http1Client {
     host: String,
     timeout: Duration,
     conn: Option<BufReader<TcpStream>>,
+    /// Rendered `authorization` header line, empty when unset.
+    auth_header: String,
 }
 
 impl Http1Client {
@@ -47,7 +49,23 @@ impl Http1Client {
             host: host_of(url).to_owned(),
             timeout: Duration::from_secs(10),
             conn: None,
+            auth_header: String::new(),
         }
+    }
+
+    /// Sends `authorization: Bearer <key>` with every request — how a
+    /// tenant authenticates against a `--tenants` server.
+    pub fn with_api_key(mut self, key: Option<&str>) -> Self {
+        self.set_api_key(key);
+        self
+    }
+
+    /// Sets or clears the bearer API key on an existing client.
+    pub fn set_api_key(&mut self, key: Option<&str>) {
+        self.auth_header = match key {
+            Some(k) => format!("authorization: Bearer {k}\r\n"),
+            None => String::new(),
+        };
     }
 
     fn connect(&mut self) -> std::io::Result<&mut BufReader<TcpStream>> {
@@ -89,10 +107,11 @@ impl Http1Client {
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
         let host = self.host.clone();
+        let auth = self.auth_header.clone();
         let conn = self.connect()?;
         let payload = body.unwrap_or("");
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nhost: {host}\r\n{auth}content-length: {}\r\n\r\n",
             payload.len()
         );
         let stream = conn.get_mut();
@@ -113,11 +132,12 @@ impl Http1Client {
         n: usize,
     ) -> std::io::Result<Vec<(u16, String)>> {
         let host = self.host.clone();
+        let auth = self.auth_header.clone();
         self.connect()?;
         let mut conn = self.conn.take().expect("connected above");
         let payload = body.unwrap_or("");
         let one = format!(
-            "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-length: {}\r\n\r\n{payload}",
+            "{method} {path} HTTP/1.1\r\nhost: {host}\r\n{auth}content-length: {}\r\n\r\n{payload}",
             payload.len()
         );
         let mut burst = Vec::with_capacity(one.len() * n);
@@ -205,6 +225,9 @@ pub struct LoadOptions {
     /// resets when the server lags, so percentiles include the
     /// queueing delay a real open population would see.
     pub open_loop: bool,
+    /// Bearer API key sent with every request (tenancy-enabled
+    /// servers refuse unauthenticated submissions with 401).
+    pub api_key: Option<String>,
 }
 
 impl LoadOptions {
@@ -219,6 +242,7 @@ impl LoadOptions {
             connections: 1,
             collect_ids: false,
             open_loop: false,
+            api_key: None,
         }
     }
 }
@@ -282,7 +306,7 @@ pub fn run_load(opts: &LoadOptions) -> LoadReport {
     std::thread::scope(|scope| {
         for _ in 0..connections {
             scope.spawn(|| {
-                let mut client = Http1Client::new(&opts.url);
+                let mut client = Http1Client::new(&opts.url).with_api_key(opts.api_key.as_deref());
                 let mut next_send = Instant::now();
                 let mut local_ids = Vec::new();
                 loop {
@@ -422,8 +446,19 @@ pub fn wait_ready(url: &str, timeout: Duration) -> bool {
 /// passes). Returns the ids that never finished, with the last
 /// observation (`"missing"` for ids the server does not know).
 pub fn verify_ids(url: &str, ids: &[u64], timeout: Duration) -> Vec<(u64, String)> {
+    verify_ids_as(url, None, ids, timeout)
+}
+
+/// [`verify_ids`] authenticated as a tenant — the ids must carry that
+/// tenant's slot or the server answers 403.
+pub fn verify_ids_as(
+    url: &str,
+    api_key: Option<&str>,
+    ids: &[u64],
+    timeout: Duration,
+) -> Vec<(u64, String)> {
     let deadline = Instant::now() + timeout;
-    let mut client = Http1Client::new(url);
+    let mut client = Http1Client::new(url).with_api_key(api_key);
     let mut pending: Vec<u64> = ids.to_vec();
     let mut last: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
     while !pending.is_empty() && Instant::now() < deadline {

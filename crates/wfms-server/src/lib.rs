@@ -41,13 +41,15 @@ pub mod http;
 pub mod poll;
 pub mod server;
 pub mod shard;
+pub mod tenant;
 
 pub use client::{
-    latency_curve, run_load, verify_ids, wait_ready, CurvePoint, Http1Client, LoadOptions,
-    LoadReport,
+    latency_curve, run_load, verify_ids, verify_ids_as, wait_ready, CurvePoint, Http1Client,
+    LoadOptions, LoadReport,
 };
 pub use server::{Server, ServerConfig};
 pub use shard::{
     DeployReport, MigrationPolicy, PoolConfig, PoolError, ShardPool, SubmitDispatch, SubmitOutcome,
     SubmitReply,
 };
+pub use tenant::{parse_tenants, Tenant, TenantSpec, TenantTable, MAX_TENANTS, TENANT_BITS};

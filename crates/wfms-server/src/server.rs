@@ -31,6 +31,7 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -48,6 +49,7 @@ use crate::poll::{
 use crate::shard::{
     DeployReport, MigrationPolicy, PoolError, ShardPool, SubmitDispatch, SubmitReply,
 };
+use crate::tenant::{bearer_token, parse_tenants, Tenant};
 
 /// Epoll events drained per wait.
 const MAX_EVENTS: usize = 256;
@@ -80,6 +82,9 @@ pub struct ServerConfig {
     /// Reactor (event-loop) threads; `0` = one per core, capped by
     /// the shard count (more reactors than shards just contend).
     pub reactors: usize,
+    /// Tenants file this server was started from, if tenancy is
+    /// enabled; `POST /admin/reload-tenants` re-reads it.
+    pub tenants_path: Option<PathBuf>,
 }
 
 impl ServerConfig {
@@ -91,6 +96,7 @@ impl ServerConfig {
             default_process: default_process.into(),
             read_timeout: Duration::from_secs(30),
             reactors: 0,
+            tenants_path: None,
         }
     }
 }
@@ -101,6 +107,7 @@ struct ServerState {
     stopping: AtomicBool,
     default_process: String,
     stop_tx: SyncSender<()>,
+    tenants_path: Option<PathBuf>,
 }
 
 /// A deferred route completion, produced off-reactor and delivered
@@ -184,6 +191,7 @@ impl Server {
             stopping: AtomicBool::new(false),
             default_process: cfg.default_process,
             stop_tx,
+            tenants_path: cfg.tenants_path,
         });
 
         let mut shared = Vec::with_capacity(nreactors);
@@ -783,6 +791,12 @@ struct Answer {
     body: String,
     /// `Allow` header for 405 answers.
     allow: Option<&'static str>,
+    /// Extra response headers (`www-authenticate`, `retry-after`, …).
+    extra: Vec<(&'static str, &'static str)>,
+    /// Force `connection: close` regardless of the request's
+    /// keep-alive wish — the error-path rule for 401/403/429: never
+    /// leave a connection open after refusing to serve it.
+    force_close: bool,
 }
 
 impl Answer {
@@ -792,8 +806,27 @@ impl Answer {
             content_type: JSON,
             body,
             allow: None,
+            extra: Vec::new(),
+            force_close: false,
         }
     }
+}
+
+/// `401`: no/bad credentials. Challenges with `www-authenticate` and
+/// closes the connection.
+fn unauthorized(detail: &str) -> Answer {
+    let mut answer = Answer::json(401, err_body(detail, "unauthorized"));
+    answer.extra.push(("www-authenticate", "Bearer"));
+    answer.force_close = true;
+    answer
+}
+
+/// `403`: authenticated, but the resource belongs to another tenant.
+/// Closes the connection.
+fn forbidden(detail: &str) -> Answer {
+    let mut answer = Answer::json(403, err_body(detail, "forbidden"));
+    answer.force_close = true;
+    answer
 }
 
 /// Routes one request: synchronous answers are rendered into a ready
@@ -808,24 +841,47 @@ fn dispatch(
 ) {
     let close = req.wants_close();
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    // Data-plane routes authenticate when tenancy is enabled; the ops
+    // plane (healthz, metrics, admin) stays open — it is the operator's
+    // surface, not a tenant's, and quota/fairness never apply to it.
+    let data_plane = matches!(segments.first(), Some(&"instances" | &"worklist"));
+    let tenant: Option<Arc<Tenant>> = if state.pool.tenancy_enabled() && data_plane {
+        let resolved = req
+            .header("authorization")
+            .and_then(bearer_token)
+            .and_then(|token| state.pool.authenticate(token.as_bytes()));
+        match resolved {
+            Some(t) => Some(t),
+            None => {
+                let detail = if req.header("authorization").is_none() {
+                    "missing Authorization header (expected `Bearer <api-key>`)"
+                } else {
+                    "unrecognized API key"
+                };
+                return push_answer(conn, unauthorized(detail), close);
+            }
+        }
+    } else {
+        None
+    };
     let answer = match segments.as_slice() {
         ["instances"] => match req.method.as_str() {
             "POST" => {
-                dispatch_submit(state, shared, token, conn, req, close);
+                dispatch_submit(state, shared, token, conn, req, tenant, close);
                 return;
             }
             _ => method_not_allowed("POST"),
         },
         ["instances", id] => match req.method.as_str() {
-            "GET" => instance_status(state, id),
+            "GET" => instance_status(state, id, tenant.as_ref()),
             _ => method_not_allowed("GET"),
         },
         ["worklist"] => match req.method.as_str() {
-            "GET" => worklist(state, req),
+            "GET" => worklist(state, req, tenant.as_ref()),
             _ => method_not_allowed("GET"),
         },
         ["worklist", item, "complete"] => match req.method.as_str() {
-            "POST" => complete(state, req, item),
+            "POST" => complete(state, req, item, tenant.as_ref()),
             _ => method_not_allowed("POST"),
         },
         ["metrics"] => match req.method.as_str() {
@@ -837,6 +893,8 @@ fn dispatch(
                     content_type: PROM,
                     body: text,
                     allow: None,
+                    extra: Vec::new(),
+                    force_close: false,
                 }
             }
             _ => method_not_allowed("GET"),
@@ -863,6 +921,10 @@ fn dispatch(
             }
             _ => method_not_allowed("POST"),
         },
+        ["admin", "reload-tenants"] => match req.method.as_str() {
+            "POST" => reload_tenants(state),
+            _ => method_not_allowed("POST"),
+        },
         ["admin", "drain"] => match req.method.as_str() {
             "POST" => {
                 dispatch_admin(state, shared, token, conn, close, false);
@@ -882,17 +944,24 @@ fn dispatch(
         },
         _ => Answer::json(404, err_body("no such route", "not_found")),
     };
+    push_answer(conn, answer, close);
+}
 
+/// Renders a synchronous [`Answer`] into a ready slot, honoring its
+/// extra headers and forced close.
+fn push_answer(conn: &mut Conn, answer: Answer, close: bool) {
+    let close = close || answer.force_close;
+    let mut extra: Vec<(&str, &str)> = Vec::with_capacity(1 + answer.extra.len());
+    if let Some(allow) = answer.allow {
+        extra.push(("allow", allow));
+    }
+    extra.extend_from_slice(&answer.extra);
     let mut bytes = Vec::with_capacity(128 + answer.body.len());
-    let extra: &[(&str, &str)] = match answer.allow {
-        Some(allow) => &[("allow", allow)],
-        None => &[],
-    };
     render_response(
         &mut bytes,
         answer.status,
         answer.content_type,
-        extra,
+        &extra,
         answer.body.as_bytes(),
         close,
     );
@@ -905,6 +974,8 @@ fn method_not_allowed(allow: &'static str) -> Answer {
         content_type: JSON,
         body: err_body("method not allowed", "bad_request"),
         allow: Some(allow),
+        extra: Vec::new(),
+        force_close: false,
     }
 }
 
@@ -917,6 +988,7 @@ fn dispatch_submit(
     token: u64,
     conn: &mut Conn,
     req: &Request,
+    tenant: Option<Arc<Tenant>>,
     close: bool,
 ) {
     let sync_answer = |conn: &mut Conn, status: u16, body: String| {
@@ -961,18 +1033,70 @@ fn dispatch_submit(
             });
         })
     };
-    match state.pool.submit_with(&process, input, sink) {
+    match state.pool.submit_with(&process, input, tenant, sink) {
         SubmitDispatch::Dispatched => {}
         SubmitDispatch::Overloaded { depth, capacity } => {
-            // The sink was dropped uncalled; fill the slot now.
+            // The sink was dropped uncalled; fill the slot now. A 429
+            // always closes (error-path rule) and names a retry
+            // horizon — overload is measured in group-commit batches,
+            // so one second is conservatively past it.
             let body = err_body(
                 &format!("queue at high-water mark ({depth}/{capacity})"),
                 "overloaded",
             );
             let mut bytes = Vec::with_capacity(128 + body.len());
-            render_response(&mut bytes, 429, JSON, &[], body.as_bytes(), close);
-            conn.fill_slot(slot, bytes, close, false);
+            render_response(
+                &mut bytes,
+                429,
+                JSON,
+                &[("retry-after", "1")],
+                body.as_bytes(),
+                true,
+            );
+            conn.fill_slot(slot, bytes, true, false);
         }
+    }
+}
+
+/// `POST /admin/reload-tenants`: re-reads the tenants file the server
+/// was started with and swaps the live table. Synchronous — the file
+/// is small and the swap is an `Arc` store.
+fn reload_tenants(state: &Arc<ServerState>) -> Answer {
+    let Some(path) = &state.tenants_path else {
+        return Answer::json(
+            400,
+            err_body(
+                "tenancy is not enabled on this server (start with --tenants)",
+                "bad_request",
+            ),
+        );
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            return Answer::json(
+                500,
+                err_body(&format!("tenants file {}: {e}", path.display()), "internal"),
+            )
+        }
+    };
+    let specs = match parse_tenants(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            return Answer::json(
+                400,
+                err_body(&format!("tenants file rejected: {e}"), "bad_request"),
+            )
+        }
+    };
+    match state.pool.reload_tenants(&specs) {
+        Ok(tenants) => Answer::json(
+            200,
+            serde_json::to_string(&ReloadTenantsResponse { tenants })
+                .expect("reload body serializes"),
+        ),
+        Err(PoolError::Rejected(e)) => Answer::json(400, err_body(&e, "bad_request")),
+        Err(e) => Answer::json(500, err_body(&e.to_string(), "internal")),
     }
 }
 
@@ -1081,13 +1205,21 @@ fn dispatch_deploy(
         });
 }
 
-fn instance_status(state: &Arc<ServerState>, id: &str) -> Answer {
+fn instance_status(state: &Arc<ServerState>, id: &str, tenant: Option<&Arc<Tenant>>) -> Answer {
     let Ok(ext) = id.parse::<u64>() else {
         return Answer::json(
             400,
             err_body("instance id must be an integer", "bad_request"),
         );
     };
+    // Wrong-tenant reads are refused *before* resolution: the slot is
+    // part of the id, so a mismatch is a cross-tenant probe, not a
+    // lookup miss.
+    if let Some(t) = tenant {
+        if state.pool.slot_of(ext) != Some(t.slot) {
+            return forbidden(&format!("instance {ext} belongs to another tenant"));
+        }
+    }
     match state.pool.status(ext) {
         Some((process, status, version, output)) => Answer::json(
             200,
@@ -1104,7 +1236,7 @@ fn instance_status(state: &Arc<ServerState>, id: &str) -> Answer {
     }
 }
 
-fn worklist(state: &Arc<ServerState>, req: &Request) -> Answer {
+fn worklist(state: &Arc<ServerState>, req: &Request, tenant: Option<&Arc<Tenant>>) -> Answer {
     let person = match req.query_param("person") {
         Ok(Some(p)) => p,
         Ok(None) => {
@@ -1117,7 +1249,7 @@ fn worklist(state: &Arc<ServerState>, req: &Request) -> Answer {
     };
     let items = state
         .pool
-        .worklist(&person)
+        .worklist_scoped(&person, tenant.map(|t| t.slot))
         .into_iter()
         .map(|(id, instance, item)| ItemDto {
             id,
@@ -1133,13 +1265,23 @@ fn worklist(state: &Arc<ServerState>, req: &Request) -> Answer {
     )
 }
 
-fn complete(state: &Arc<ServerState>, req: &Request, item: &str) -> Answer {
+fn complete(
+    state: &Arc<ServerState>,
+    req: &Request,
+    item: &str,
+    tenant: Option<&Arc<Tenant>>,
+) -> Answer {
     let Ok(ext) = item.parse::<u64>() else {
         return Answer::json(
             400,
             err_body("work-item id must be an integer", "bad_request"),
         );
     };
+    if let Some(t) = tenant {
+        if state.pool.slot_of(ext) != Some(t.slot) {
+            return forbidden(&format!("work item {ext} belongs to another tenant"));
+        }
+    }
     let Ok(text) = std::str::from_utf8(&req.body) else {
         return Answer::json(400, err_body("body is not UTF-8", "bad_request"));
     };

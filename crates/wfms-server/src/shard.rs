@@ -20,18 +20,34 @@
 //!
 //! Each shard allocates local instance and work-item ids from 1. On
 //! the wire they are folded with the shard index:
-//! `ext = local * nshards + shard`. The mapping is stable across
-//! restarts as long as the shard count is unchanged — which is why the
-//! pool records the count in `server.meta.json` and refuses to reopen
-//! a data directory with a different `--shards`.
+//! `ext = local * nshards + shard`. When tenancy is enabled the owning
+//! tenant's slot additionally occupies the top [`TENANT_BITS`] bits:
+//! `ext = (slot << (64 - TENANT_BITS)) | (local * nshards + shard)`.
+//! The mapping is stable across restarts as long as the shard count
+//! and tenant-bit layout are unchanged — which is why the pool records
+//! both in `server.meta.json` and refuses to reopen a data directory
+//! with a different `--shards` or a flipped tenancy mode.
+//!
+//! ## Tenancy
+//!
+//! With a tenant table installed ([`PoolConfig::tenants`]), each
+//! submission is attributed to a tenant. Admission is two-staged:
+//! a per-tenant in-flight quota checked at dispatch (breach →
+//! [`SubmitDispatch::Overloaded`], i.e. `429`), then weighted
+//! deficit-round-robin inside the shard worker — each tenant has its
+//! own FIFO and the worker assembles every group-commit batch by
+//! DRR over the non-empty FIFOs, so a hot tenant saturating its quota
+//! cannot starve a quiet one. Group commit is preserved: one flush
+//! per batch regardless of how many tenants contributed to it.
 
+use std::collections::{BTreeMap, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use txn_substrate::{DurabilityPolicy, MultiDatabase, ProgramRegistry};
 use wfms_engine::{
@@ -40,6 +56,8 @@ use wfms_engine::{
 };
 use wfms_model::{Container, ProcessDefinition};
 use wfms_observe::{Counter, Registry};
+
+use crate::tenant::{Tenant, TenantSpec, TenantTable, MAX_TENANTS, TENANT_BITS};
 
 /// How long a submitter waits for its shard worker to answer before
 /// giving up (the worker only goes silent if it panicked).
@@ -54,6 +72,21 @@ struct ServerMeta {
     /// registered into this directory, in deploy order. The definition
     /// behind each hash lives in `templates/<hash>.json`; together they
     /// are the exact template set shard journals replay against.
+    templates: Vec<String>,
+    /// Wire-id bits reserved for the tenant slot: [`TENANT_BITS`] when
+    /// the directory was created with tenancy enabled, 0 otherwise.
+    /// Pinned for the same reason the shard count is — changing it
+    /// shifts every external id.
+    tenant_bits: usize,
+    /// Ordered tenant slot list (slot = index + 1), first-seen order.
+    /// Append-only: hot reloads add names, never move or drop them.
+    tenants: Vec<String>,
+}
+
+/// Pre-tenancy meta shape: shard count and template hashes only.
+#[derive(Debug, Deserialize)]
+struct MetaV2 {
+    shards: usize,
     templates: Vec<String>,
 }
 
@@ -86,6 +119,14 @@ pub enum PoolError {
         /// Hash of the definition supplied now.
         requested: String,
     },
+    /// The data directory was created with a different tenant-bit
+    /// layout (tenancy flipped on or off across a reopen).
+    TenancyMismatch {
+        /// Tenant bits recorded in `server.meta.json`.
+        on_disk: usize,
+        /// Tenant bits implied by the current configuration.
+        requested: usize,
+    },
     /// A deployed definition failed validation or compilation — a
     /// client error, not a server fault.
     Rejected(String),
@@ -112,6 +153,13 @@ impl std::fmt::Display for PoolError {
                  supplied definition hashes to {requested}; the spec changed — reopen \
                  with the original definition, or deploy the new one side-by-side \
                  (POST /admin/deploy)"
+            ),
+            PoolError::TenancyMismatch { on_disk, requested } => write!(
+                f,
+                "data directory was created with {on_disk} tenant bits in its wire ids, \
+                 reopened with a configuration implying {requested}; external ids would \
+                 shift — reopen with the same tenancy mode (--tenants present or absent \
+                 as at creation)"
             ),
             PoolError::Rejected(e) => write!(f, "deploy rejected: {e}"),
             PoolError::Recovery(e) => write!(f, "shard recovery: {e}"),
@@ -230,6 +278,9 @@ enum Job {
     Submit {
         process: String,
         input: Container,
+        /// Owning tenant (`None` when tenancy is disabled): selects the
+        /// DRR lane and names the tenant journalled on the instance.
+        tenant: Option<Arc<Tenant>>,
         reply: ReplySink,
     },
     /// FIFO barrier: answered only after every job queued before it
@@ -267,6 +318,11 @@ pub struct PoolConfig {
     /// Artificial per-submission delay in the worker, for drills that
     /// need a deterministically slow consumer. `None` in production.
     pub throttle: Option<Duration>,
+    /// Tenant table. Empty = tenancy disabled: wire ids carry no
+    /// tenant bits and submissions are unattributed. Non-empty =
+    /// [`TENANT_BITS`] are reserved in every wire id and the layout is
+    /// pinned in `server.meta.json`.
+    pub tenants: Vec<TenantSpec>,
 }
 
 impl PoolConfig {
@@ -281,6 +337,7 @@ impl PoolConfig {
             org: OrgModel::new(),
             templates: Vec::new(),
             throttle: None,
+            tenants: Vec::new(),
         }
     }
 }
@@ -301,6 +358,12 @@ pub struct ShardPool {
     failed: Arc<Counter>,
     completions: Arc<Counter>,
     recovered: u64,
+    /// Wire-id bits reserved for the tenant slot ([`TENANT_BITS`] with
+    /// tenancy enabled, 0 without); mirrors the pinned meta value.
+    tenant_bits: u32,
+    /// Live tenant table, swapped atomically on hot reload. Empty when
+    /// tenancy is disabled.
+    tenants: RwLock<Arc<TenantTable>>,
 }
 
 impl ShardPool {
@@ -315,8 +378,20 @@ impl ShardPool {
         provision: &dyn Fn(usize) -> (Arc<MultiDatabase>, Arc<ProgramRegistry>),
     ) -> Result<Self, PoolError> {
         let nshards = cfg.shards.max(1);
+        let tenant_bits = if cfg.tenants.is_empty() {
+            0
+        } else {
+            TENANT_BITS as usize
+        };
         std::fs::create_dir_all(&cfg.data_dir)?;
-        let (meta, templates) = check_meta(&cfg.data_dir, nshards, &cfg.templates)?;
+        let (meta, templates) = check_meta(
+            &cfg.data_dir,
+            nshards,
+            tenant_bits,
+            &cfg.tenants,
+            &cfg.templates,
+        )?;
+        let table = TenantTable::build(&meta.tenants, &cfg.tenants, None, &registry);
 
         let mut shards = Vec::with_capacity(nshards);
         let mut recovered = 0u64;
@@ -367,9 +442,12 @@ impl ShardPool {
                 let gauge = Arc::clone(&gauge);
                 let batch_max = cfg.batch_max.max(1);
                 let throttle = cfg.throttle;
+                let capacity = cfg.queue_capacity;
                 std::thread::Builder::new()
                     .name(format!("wfms-shard-{i}"))
-                    .spawn(move || worker_loop(engine, rx, depth, gauge, batch_max, throttle))
+                    .spawn(move || {
+                        worker_loop(engine, rx, depth, gauge, batch_max, capacity, throttle)
+                    })
                     .expect("spawn shard worker")
             };
             shards.push(Shard {
@@ -393,6 +471,8 @@ impl ShardPool {
             failed: registry.counter("server.submit.failed"),
             completions: registry.counter("server.worklist.completions"),
             recovered,
+            tenant_bits: tenant_bits as u32,
+            tenants: RwLock::new(Arc::new(table)),
         })
     }
 
@@ -411,6 +491,62 @@ impl ShardPool {
         &self.registry
     }
 
+    /// True when this pool was opened with a tenant table (wire ids
+    /// carry tenant bits, submissions require attribution).
+    pub fn tenancy_enabled(&self) -> bool {
+        self.tenant_bits > 0
+    }
+
+    /// The live tenant table (hot-swapped on reload).
+    pub fn tenant_table(&self) -> Arc<TenantTable> {
+        Arc::clone(&self.tenants.read())
+    }
+
+    /// Resolves an API key to its tenant — constant-time over the
+    /// whole table (see [`TenantTable::authenticate`]).
+    pub fn authenticate(&self, key: &[u8]) -> Option<Arc<Tenant>> {
+        self.tenants.read().authenticate(key)
+    }
+
+    /// Replaces the live tenant set from a freshly parsed tenants
+    /// file. Slot assignments are append-only: names this directory
+    /// has seen keep their slot (pinned in `server.meta.json`), new
+    /// names are appended, and names absent from `specs` keep their
+    /// slot reserved but can no longer authenticate. In-flight
+    /// counters are carried over by name so quota accounting survives
+    /// the swap. Returns the number of live tenants.
+    pub fn reload_tenants(&self, specs: &[TenantSpec]) -> Result<usize, PoolError> {
+        if self.tenant_bits == 0 {
+            return Err(PoolError::Rejected(
+                "tenancy is not enabled on this server (start with --tenants)".to_owned(),
+            ));
+        }
+        let mut meta = self.meta.lock();
+        let mut dirty = false;
+        for spec in specs {
+            if !meta.tenants.iter().any(|n| n == &spec.name) {
+                if meta.tenants.len() >= MAX_TENANTS {
+                    return Err(PoolError::Rejected(format!(
+                        "tenant slot space exhausted ({MAX_TENANTS} names already pinned)"
+                    )));
+                }
+                meta.tenants.push(spec.name.clone());
+                dirty = true;
+            }
+        }
+        if dirty {
+            write_meta(&self.data_dir.join("server.meta.json"), &meta)?;
+        }
+        let mut table = self.tenants.write();
+        *table = Arc::new(TenantTable::build(
+            &meta.tenants,
+            specs,
+            Some(&table),
+            &self.registry,
+        ));
+        Ok(table.live().count())
+    }
+
     /// Submits one instance start *without blocking*: `sink` is
     /// invoked — from the shard worker thread — exactly once, after
     /// the batch's single journal flush, so a `201` rendered from it
@@ -425,26 +561,61 @@ impl ShardPool {
         &self,
         process: &str,
         input: Container,
+        tenant: Option<Arc<Tenant>>,
         sink: Box<dyn FnOnce(SubmitReply) + Send + 'static>,
     ) -> SubmitDispatch {
+        // Per-tenant admission quota, stage one: the in-flight level is
+        // reserved *before* the queue, and released by the reply sink
+        // (every dispatched submission is answered exactly once) or on
+        // a queue rejection below.
+        if let Some(t) = &tenant {
+            let prev = t.inflight.fetch_add(1, Ordering::Relaxed);
+            if prev >= t.max_inflight {
+                t.inflight.fetch_sub(1, Ordering::Relaxed);
+                t.overloaded.inc();
+                self.overloaded.inc();
+                return SubmitDispatch::Overloaded {
+                    depth: prev,
+                    capacity: t.max_inflight as usize,
+                };
+            }
+            t.inflight_gauge.set(t.inflight.load(Ordering::Relaxed));
+        }
         let idx = self.rr.fetch_add(1, Ordering::Relaxed) % self.shards.len();
         let shard = &self.shards[idx];
         let accepted = Arc::clone(&self.accepted);
         let failed = Arc::clone(&self.failed);
         let nshards = self.nshards;
-        let reply: ReplySink = Box::new(move |inner| match inner {
-            Ok((local, status, output)) => {
-                accepted.inc();
-                sink(Ok((local.0 * nshards + idx as u64, status, output)));
+        let tenant_bits = self.tenant_bits;
+        let sink_tenant = tenant.clone();
+        let reply: ReplySink = Box::new(move |inner| {
+            if let Some(t) = &sink_tenant {
+                t.inflight.fetch_sub(1, Ordering::Relaxed);
+                t.inflight_gauge.set(t.inflight.load(Ordering::Relaxed));
             }
-            Err(e) => {
-                failed.inc();
-                sink(Err(e));
+            match inner {
+                Ok((local, status, output)) => {
+                    accepted.inc();
+                    let slot = sink_tenant.as_ref().map(|t| t.slot).unwrap_or(0);
+                    if let Some(t) = &sink_tenant {
+                        t.accepted.inc();
+                    }
+                    sink(Ok((
+                        encode_ext(local.0, idx, nshards, slot, tenant_bits),
+                        status,
+                        output,
+                    )));
+                }
+                Err(e) => {
+                    failed.inc();
+                    sink(Err(e));
+                }
             }
         });
         let job = Job::Submit {
             process: process.to_owned(),
             input,
+            tenant: tenant.clone(),
             reply,
         };
         match shard.tx.try_send(job) {
@@ -453,6 +624,13 @@ impl ShardPool {
                 SubmitDispatch::Dispatched
             }
             Err(TrySendError::Full(_)) => {
+                // The job (and its sink) is dropped uncalled: release
+                // the quota reservation here.
+                if let Some(t) = &tenant {
+                    t.inflight.fetch_sub(1, Ordering::Relaxed);
+                    t.inflight_gauge.set(t.inflight.load(Ordering::Relaxed));
+                    t.overloaded.inc();
+                }
                 self.overloaded.inc();
                 SubmitDispatch::Overloaded {
                     depth: shard.depth.load(Ordering::Relaxed),
@@ -473,11 +651,23 @@ impl ShardPool {
     /// Submits one instance start, blocking until the owning shard's
     /// group commit has made it durable (or until it is rejected).
     pub fn submit(&self, process: &str, input: Container) -> SubmitOutcome {
+        self.submit_as(process, input, None)
+    }
+
+    /// [`ShardPool::submit`] attributed to a tenant: quota-checked,
+    /// DRR-scheduled, and the returned external id carries the
+    /// tenant's slot.
+    pub fn submit_as(
+        &self,
+        process: &str,
+        input: Container,
+        tenant: Option<Arc<Tenant>>,
+    ) -> SubmitOutcome {
         let (reply_tx, reply_rx) = sync_channel::<SubmitReply>(1);
         let sink = Box::new(move |reply: SubmitReply| {
             let _ = reply_tx.send(reply);
         });
-        match self.submit_with(process, input, sink) {
+        match self.submit_with(process, input, tenant, sink) {
             SubmitDispatch::Overloaded { depth, capacity } => {
                 return SubmitOutcome::Overloaded { depth, capacity };
             }
@@ -500,11 +690,17 @@ impl ShardPool {
     }
 
     /// `(process name, status, pinned version, output)` of the
-    /// instance behind an external id.
+    /// instance behind an external id. With tenancy enabled, an ext id
+    /// whose tenant slot does not match the tenant journalled on the
+    /// instance resolves to nothing — a forged slot cannot reach
+    /// another tenant's instance.
     pub fn status(&self, ext: u64) -> Option<(String, InstanceStatus, String, Container)> {
-        let (shard, local) = self.decode(ext)?;
+        let (shard, local, slot) = self.decode(ext)?;
         let engine = &self.shards[shard].engine;
         let id = InstanceId(local);
+        if !self.slot_owns_instance(engine, id, slot) {
+            return None;
+        }
         let status = engine.status(id).ok()?;
         let process = engine
             .instances()
@@ -514,6 +710,30 @@ impl ShardPool {
         let version = engine.instance_version(id).ok()?;
         let output = engine.output(id).ok()?;
         Some((process, status, version, output))
+    }
+
+    /// The tenant slot folded into an external id (0 = untenanted, or
+    /// tenancy disabled). `None` when the id is malformed.
+    pub fn slot_of(&self, ext: u64) -> Option<u16> {
+        self.decode(ext).map(|(_, _, slot)| slot)
+    }
+
+    /// True when the tenant slot claimed by a wire id matches the
+    /// tenant journalled on the instance (trivially true with tenancy
+    /// disabled).
+    fn slot_owns_instance(&self, engine: &Engine, id: InstanceId, slot: u16) -> bool {
+        if self.tenant_bits == 0 {
+            return slot == 0;
+        }
+        let journalled = match engine.instance_tenant(id) {
+            Ok(t) => t,
+            Err(_) => return false,
+        };
+        match (slot, journalled) {
+            (0, None) => true,
+            (0, Some(_)) | (_, None) => false,
+            (s, Some(name)) => self.tenants.read().slot_of_name(&name) == Some(s),
+        }
     }
 
     /// Registers a new version of a process into every shard and makes
@@ -585,14 +805,38 @@ impl ShardPool {
     }
 
     /// Open work items of `person` across every shard, with external
-    /// ids, sorted by external item id.
+    /// ids, sorted by external item id. With tenancy enabled, each
+    /// item's ids carry the slot of the instance's tenant; `scope`
+    /// restricts the listing to one slot (a tenant sees only its own
+    /// items).
     pub fn worklist(&self, person: &str) -> Vec<(u64, u64, WorkItem)> {
+        self.worklist_scoped(person, None)
+    }
+
+    /// [`ShardPool::worklist`] restricted to one tenant slot when
+    /// `scope` is `Some`.
+    pub fn worklist_scoped(&self, person: &str, scope: Option<u16>) -> Vec<(u64, u64, WorkItem)> {
+        let table = self.tenants.read();
         let mut out = Vec::new();
         for (idx, shard) in self.shards.iter().enumerate() {
             for item in shard.engine.worklist(person) {
+                let slot = if self.tenant_bits == 0 {
+                    0
+                } else {
+                    shard
+                        .engine
+                        .instance_tenant(item.instance)
+                        .ok()
+                        .flatten()
+                        .and_then(|name| table.slot_of_name(&name))
+                        .unwrap_or(0)
+                };
+                if scope.is_some_and(|s| s != slot) {
+                    continue;
+                }
                 out.push((
-                    self.encode(item.id.0, idx),
-                    self.encode(item.instance.0, idx),
+                    self.encode(item.id.0, idx, slot),
+                    self.encode(item.instance.0, idx, slot),
                     item,
                 ));
             }
@@ -603,12 +847,20 @@ impl ShardPool {
 
     /// Completes (claim + execute) a work item by external id as
     /// `person`, then flushes the owning shard's journal so the
-    /// completion is durable before the call returns.
+    /// completion is durable before the call returns. With tenancy
+    /// enabled, the slot in the wire id must match the owning
+    /// instance's tenant — a forged slot resolves to "no such item".
     pub fn complete(&self, ext_item: u64, person: &str) -> Result<(), EngineError> {
-        let (shard, local) = self.decode(ext_item).ok_or(EngineError::Worklist(
-            wfms_engine::WorklistError::NoSuchItem(WorkItemId(ext_item)),
-        ))?;
+        let no_such_item =
+            || EngineError::Worklist(wfms_engine::WorklistError::NoSuchItem(WorkItemId(ext_item)));
+        let (shard, local, slot) = self.decode(ext_item).ok_or_else(no_such_item)?;
         let engine = &self.shards[shard].engine;
+        let owner = engine
+            .item_instance(WorkItemId(local))
+            .ok_or_else(no_such_item)?;
+        if !self.slot_owns_instance(engine, owner, slot) {
+            return Err(no_such_item());
+        }
         engine.execute_item(WorkItemId(local), person)?;
         engine.flush_journal()?;
         self.completions.inc();
@@ -672,30 +924,46 @@ impl ShardPool {
             .sum()
     }
 
-    fn encode(&self, local: u64, shard: usize) -> u64 {
-        encode_ext(local, shard, self.nshards)
+    fn encode(&self, local: u64, shard: usize, slot: u16) -> u64 {
+        encode_ext(local, shard, self.nshards, slot, self.tenant_bits)
     }
 
-    fn decode(&self, ext: u64) -> Option<(usize, u64)> {
-        decode_ext(ext, self.nshards)
+    fn decode(&self, ext: u64) -> Option<(usize, u64, u16)> {
+        decode_ext(ext, self.nshards, self.tenant_bits)
     }
 }
 
 /// Folds a shard-local id into the wire id: `ext = local * nshards +
-/// shard`. Template version identity is deliberately *not* encoded in
-/// wire ids — an instance keeps its external id across a live
-/// migration, and ids stay stable as long as the shard count does.
-fn encode_ext(local: u64, shard: usize, nshards: u64) -> u64 {
-    local * nshards + shard as u64
+/// shard`, with the tenant slot in the top `tenant_bits` bits when
+/// tenancy is enabled (`tenant_bits == 0` keeps the pre-tenancy
+/// layout, bit for bit). Template version identity is deliberately
+/// *not* encoded in wire ids — an instance keeps its external id
+/// across a live migration, and ids stay stable as long as the shard
+/// count and tenant-bit layout do.
+fn encode_ext(local: u64, shard: usize, nshards: u64, slot: u16, tenant_bits: u32) -> u64 {
+    let base = local * nshards + shard as u64;
+    if tenant_bits == 0 {
+        base
+    } else {
+        (u64::from(slot) << (64 - tenant_bits)) | (base & (u64::MAX >> tenant_bits))
+    }
 }
 
-/// Inverse of [`encode_ext`]. Locals are allocated from 1, so every
-/// `ext < nshards` (which would fold to local 0) is rejected rather
-/// than resolved to a nonexistent instance.
-fn decode_ext(ext: u64, nshards: u64) -> Option<(usize, u64)> {
-    let shard = (ext % nshards) as usize;
-    let local = ext / nshards;
-    (local > 0).then_some((shard, local))
+/// Inverse of [`encode_ext`]: `(shard, local, slot)`. Locals are
+/// allocated from 1, so a base that would fold to local 0 is rejected
+/// rather than resolved to a nonexistent instance.
+fn decode_ext(ext: u64, nshards: u64, tenant_bits: u32) -> Option<(usize, u64, u16)> {
+    let (slot, base) = if tenant_bits == 0 {
+        (0u16, ext)
+    } else {
+        (
+            (ext >> (64 - tenant_bits)) as u16,
+            ext & (u64::MAX >> tenant_bits),
+        )
+    };
+    let shard = (base % nshards) as usize;
+    let local = base / nshards;
+    (local > 0).then_some((shard, local, slot))
 }
 
 impl Drop for ShardPool {
@@ -718,6 +986,8 @@ impl Drop for ShardPool {
 fn check_meta(
     dir: &Path,
     shards: usize,
+    tenant_bits: usize,
+    tenant_specs: &[TenantSpec],
     cli: &[ProcessDefinition],
 ) -> Result<(ServerMeta, Vec<ProcessDefinition>), PoolError> {
     let meta_path = dir.join("server.meta.json");
@@ -731,14 +1001,37 @@ fn check_meta(
                     requested: shards,
                 });
             }
+            if meta.tenant_bits != tenant_bits {
+                return Err(PoolError::TenancyMismatch {
+                    on_disk: meta.tenant_bits,
+                    requested: tenant_bits,
+                });
+            }
             meta
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => ServerMeta {
             shards,
             templates: Vec::new(),
+            tenant_bits,
+            tenants: Vec::new(),
         },
         Err(e) => return Err(PoolError::Io(e)),
     };
+
+    // Pin any tenant names this directory has not seen yet; existing
+    // names keep their slot (reload_tenants follows the same rule).
+    let mut dirty = false;
+    for spec in tenant_specs {
+        if !meta.tenants.iter().any(|n| n == &spec.name) {
+            if meta.tenants.len() >= MAX_TENANTS {
+                return Err(PoolError::Rejected(format!(
+                    "tenant slot space exhausted ({MAX_TENANTS} names already pinned)"
+                )));
+            }
+            meta.tenants.push(spec.name.clone());
+            dirty = true;
+        }
+    }
 
     // Load every stored version in deploy order; the *last* hash per
     // name is that process's current default.
@@ -761,7 +1054,6 @@ fn check_meta(
         templates.push(def);
     }
 
-    let mut dirty = false;
     for def in cli {
         let hash = format!("{:016x}", spec_hash_of(def));
         if meta.templates.contains(&hash) {
@@ -787,17 +1079,30 @@ fn check_meta(
     Ok((meta, templates))
 }
 
-/// Parses `server.meta.json`, accepting the pre-versioning shape (only
-/// a shard count) by upgrading it to an empty template list — the
-/// supplied definitions are then adopted as the initial versions.
+/// Parses `server.meta.json`, accepting older shapes: pre-tenancy
+/// metas (no tenant fields) upgrade to `tenant_bits: 0` — which is
+/// exactly the layout those directories' wire ids use — and the
+/// pre-versioning shape (only a shard count) additionally upgrades to
+/// an empty template list, the supplied definitions then being adopted
+/// as the initial versions.
 fn parse_meta(text: &str) -> Result<ServerMeta, PoolError> {
     if let Ok(meta) = serde_json::from_str::<ServerMeta>(text) {
         return Ok(meta);
+    }
+    if let Ok(m) = serde_json::from_str::<MetaV2>(text) {
+        return Ok(ServerMeta {
+            shards: m.shards,
+            templates: m.templates,
+            tenant_bits: 0,
+            tenants: Vec::new(),
+        });
     }
     serde_json::from_str::<LegacyMeta>(text)
         .map(|m| ServerMeta {
             shards: m.shards,
             templates: Vec::new(),
+            tenant_bits: 0,
+            tenants: Vec::new(),
         })
         .map_err(|e| PoolError::Io(std::io::Error::other(format!("bad meta: {e}"))))
 }
@@ -840,74 +1145,181 @@ fn resume_running(engine: &Engine, shard: usize) -> u64 {
     resumed
 }
 
-/// The shard worker: pop a batch, navigate it, flush once, answer.
+/// One queued submission, parked in its tenant's DRR lane.
+struct QueuedSubmit {
+    process: String,
+    input: Container,
+    tenant: Option<Arc<Tenant>>,
+    reply: ReplySink,
+}
+
+/// Per-tenant FIFO inside a shard worker, keyed by slot (slot 0 =
+/// untenanted). `deficit` is the DRR credit in whole submissions.
+struct Lane {
+    fifo: VecDeque<QueuedSubmit>,
+    deficit: u64,
+    weight: u64,
+}
+
+/// The shard worker: drain the channel into per-tenant lanes, assemble
+/// a batch by weighted deficit-round-robin over the non-empty lanes,
+/// navigate it, flush once, answer.
+///
+/// Fairness: each DRR round credits every backlogged lane `weight`
+/// submissions and dequeues up to its accumulated deficit, so over any
+/// backlogged interval tenants progress proportionally to their
+/// weights — a hot tenant with a deep FIFO cannot starve a quiet one
+/// whose occasional submission is always near the front of its own
+/// lane. A lane that empties forfeits its remaining deficit (classic
+/// DRR: credit does not accrue while idle).
 fn worker_loop(
     engine: Arc<Engine>,
     rx: Receiver<Job>,
     depth: Arc<AtomicI64>,
     gauge: Arc<wfms_observe::Gauge>,
     batch_max: usize,
+    capacity: usize,
     throttle: Option<Duration>,
 ) {
+    let capacity = capacity.max(1);
+    let mut lanes: BTreeMap<u16, Lane> = BTreeMap::new();
+    let mut queued = 0usize;
+    let mut barriers: Vec<SyncSender<()>> = Vec::new();
     let mut stop = false;
-    while !stop {
-        let Ok(first) = rx.recv() else { break };
-        let mut batch = vec![first];
-        while batch.len() < batch_max {
-            match rx.try_recv() {
-                Ok(job) => batch.push(job),
+    let mut disconnected = false;
+
+    fn stash(
+        lanes: &mut BTreeMap<u16, Lane>,
+        queued: &mut usize,
+        barriers: &mut Vec<SyncSender<()>>,
+        stop: &mut bool,
+        job: Job,
+    ) {
+        match job {
+            Job::Submit {
+                process,
+                input,
+                tenant,
+                reply,
+            } => {
+                let (slot, weight) = tenant
+                    .as_ref()
+                    .map(|t| (t.slot, t.weight))
+                    .unwrap_or((0, 1));
+                let lane = lanes.entry(slot).or_insert_with(|| Lane {
+                    fifo: VecDeque::new(),
+                    deficit: 0,
+                    weight,
+                });
+                lane.weight = weight; // reloads may rebalance shares
+                lane.fifo.push_back(QueuedSubmit {
+                    process,
+                    input,
+                    tenant,
+                    reply,
+                });
+                *queued += 1;
+            }
+            Job::Barrier(reply) => barriers.push(reply),
+            Job::Stop => *stop = true,
+        }
+    }
+
+    loop {
+        // Block for work only when every lane is dry and no barrier is
+        // pending; otherwise just drain whatever has arrived.
+        if queued == 0 && barriers.is_empty() {
+            if stop || disconnected {
+                break;
+            }
+            match rx.recv() {
+                Ok(job) => stash(&mut lanes, &mut queued, &mut barriers, &mut stop, job),
                 Err(_) => break,
             }
         }
-
-        let mut replies: Vec<(ReplySink, InnerReply)> = Vec::new();
-        let mut barriers: Vec<SyncSender<()>> = Vec::new();
-        for job in batch {
-            match job {
-                Job::Submit {
-                    process,
-                    input,
-                    reply,
-                } => {
-                    depth.fetch_sub(1, Ordering::Relaxed);
-                    if let Some(pause) = throttle {
-                        std::thread::sleep(pause);
+        // Opportunistic drain, bounded so lanes can hold at most one
+        // channel's worth of backlog — the channel bound stays the
+        // admission high-water mark instead of an ever-draining relay.
+        if !disconnected {
+            while queued < capacity {
+                match rx.try_recv() {
+                    Ok(job) => stash(&mut lanes, &mut queued, &mut barriers, &mut stop, job),
+                    Err(std::sync::mpsc::TryRecvError::Empty) => break,
+                    Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        break;
                     }
-                    let result = engine
-                        .start(&process, input)
-                        .and_then(|id| engine.run_to_quiescence(id).map(|s| (id, s)))
-                        .and_then(|(id, status)| engine.output(id).map(|out| (id, status, out)))
-                        .map_err(|e| {
-                            let unknown = matches!(e, EngineError::UnknownProcess(_));
-                            (e.to_string(), unknown)
-                        });
-                    replies.push((reply, result));
                 }
-                Job::Barrier(reply) => barriers.push(reply),
-                Job::Stop => {
-                    stop = true;
+            }
+        }
+
+        // Deficit-round-robin batch assembly.
+        let mut batch: Vec<QueuedSubmit> = Vec::new();
+        while batch.len() < batch_max && queued > 0 {
+            for lane in lanes.values_mut() {
+                if lane.fifo.is_empty() {
+                    lane.deficit = 0;
+                    continue;
+                }
+                lane.deficit += lane.weight;
+                while lane.deficit > 0 && batch.len() < batch_max {
+                    match lane.fifo.pop_front() {
+                        Some(job) => {
+                            lane.deficit -= 1;
+                            queued -= 1;
+                            batch.push(job);
+                        }
+                        None => {
+                            lane.deficit = 0;
+                            break;
+                        }
+                    }
+                }
+                if batch.len() >= batch_max {
                     break;
                 }
             }
+        }
+
+        let mut replies: Vec<(ReplySink, InnerReply)> = Vec::with_capacity(batch.len());
+        for job in batch {
+            depth.fetch_sub(1, Ordering::Relaxed);
+            if let Some(pause) = throttle {
+                std::thread::sleep(pause);
+            }
+            let tenant_name = job.tenant.as_ref().map(|t| t.name.clone());
+            let result = engine
+                .start_for_tenant(&job.process, job.input, tenant_name)
+                .and_then(|id| engine.run_to_quiescence(id).map(|s| (id, s)))
+                .and_then(|(id, status)| engine.output(id).map(|out| (id, status, out)))
+                .map_err(|e| {
+                    let unknown = matches!(e, EngineError::UnknownProcess(_));
+                    (e.to_string(), unknown)
+                });
+            replies.push((job.reply, result));
         }
         gauge.set(depth.load(Ordering::Relaxed));
 
         // One group commit for the whole batch, *then* the
         // acknowledgements: an ACK certifies durability.
-        if let Err(e) = engine.flush_journal() {
-            for (reply, _) in replies {
-                reply(Err((format!("journal flush failed: {e}"), false)));
+        match engine.flush_journal() {
+            Err(e) => {
+                for (reply, _) in replies {
+                    reply(Err((format!("journal flush failed: {e}"), false)));
+                }
             }
-            for b in barriers {
+            Ok(()) => {
+                for (reply, result) in replies {
+                    reply(result);
+                }
+            }
+        }
+        // A barrier answers only once every job queued before it has
+        // been processed and flushed — i.e. once the lanes are dry.
+        if queued == 0 && !barriers.is_empty() {
+            for b in barriers.drain(..) {
                 let _ = b.send(());
             }
-            continue;
-        }
-        for (reply, result) in replies {
-            reply(result);
-        }
-        for b in barriers {
-            let _ = b.send(());
         }
     }
     // Final barrier so nothing accepted is left unflushed.
@@ -916,10 +1328,12 @@ fn worker_loop(
 
 #[cfg(test)]
 mod tests {
-    use super::{decode_ext, encode_ext};
+    use super::{decode_ext, encode_ext, TENANT_BITS};
 
     /// Every (local, shard) pair round-trips through the wire fold,
-    /// including locals at the top of the representable range.
+    /// including locals at the top of the representable range. With
+    /// tenancy disabled (`tenant_bits == 0`) the fold is byte-identical
+    /// to the pre-tenancy layout.
     #[test]
     fn ext_ids_roundtrip_near_u64_boundaries() {
         for &n in &[1u64, 3, 16] {
@@ -929,10 +1343,11 @@ mod tests {
                     if local == max_local && shard as u64 > u64::MAX - local * n {
                         continue; // ext would not be representable
                     }
-                    let ext = encode_ext(local, shard, n);
+                    let ext = encode_ext(local, shard, n, 0, 0);
+                    assert_eq!(ext, local * n + shard as u64, "layout is pinned");
                     assert_eq!(
-                        decode_ext(ext, n),
-                        Some((shard, local)),
+                        decode_ext(ext, n, 0),
+                        Some((shard, local, 0)),
                         "nshards={n} local={local} shard={shard}"
                     );
                 }
@@ -940,17 +1355,57 @@ mod tests {
         }
     }
 
-    /// Locals are allocated from 1, so `ext < nshards` (local 0) never
-    /// names an instance and must decode to `None` — and the first
-    /// representable id per shard decodes cleanly.
+    /// With tenancy enabled the top [`TENANT_BITS`] carry the slot and
+    /// the base fold round-trips in the remaining low bits, including
+    /// locals at the top of the narrowed range.
+    #[test]
+    fn tenanted_ext_ids_roundtrip_near_base_boundaries() {
+        let base_max = u64::MAX >> TENANT_BITS;
+        for &n in &[1u64, 3, 16] {
+            let max_local = base_max / n;
+            for &slot in &[0u16, 1, 5, 255] {
+                for &local in &[1u64, 2, 1000, max_local - 1, max_local] {
+                    for shard in 0..n as usize {
+                        if local * n + shard as u64 > base_max {
+                            continue; // base would spill into the slot bits
+                        }
+                        let ext = encode_ext(local, shard, n, slot, TENANT_BITS);
+                        assert_eq!(
+                            ext >> (64 - TENANT_BITS),
+                            u64::from(slot),
+                            "slot occupies the top bits"
+                        );
+                        assert_eq!(
+                            decode_ext(ext, n, TENANT_BITS),
+                            Some((shard, local, slot)),
+                            "nshards={n} local={local} shard={shard} slot={slot}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Locals are allocated from 1, so a base that folds to local 0
+    /// never names an instance and must decode to `None` — with and
+    /// without tenant bits — and the first representable id per shard
+    /// decodes cleanly.
     #[test]
     fn small_ext_ids_decode_to_none() {
         for &n in &[1u64, 3, 16] {
             for ext in 0..n {
-                assert_eq!(decode_ext(ext, n), None, "nshards={n} ext={ext}");
+                assert_eq!(decode_ext(ext, n, 0), None, "nshards={n} ext={ext}");
+                let tenanted = (7u64 << (64 - TENANT_BITS)) | ext;
+                assert_eq!(decode_ext(tenanted, n, TENANT_BITS), None);
             }
             for shard in 0..n as usize {
-                assert_eq!(decode_ext(n + shard as u64, n), Some((shard, 1)));
+                assert_eq!(decode_ext(n + shard as u64, n, 0), Some((shard, 1, 0)));
+                let tenanted = (7u64 << (64 - TENANT_BITS)) | (n + shard as u64);
+                assert_eq!(
+                    decode_ext(tenanted, n, TENANT_BITS),
+                    Some((shard, 1, 7)),
+                    "nshards={n} shard={shard}"
+                );
             }
         }
     }

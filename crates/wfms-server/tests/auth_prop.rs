@@ -1,0 +1,112 @@
+//! Property tests for the API-key authentication path.
+//!
+//! Every input here can arrive from the network (header values) or
+//! from an operator-edited tenants file, so the properties are about
+//! totality: arbitrary inputs never panic, and the accept/reject
+//! decision agrees with a plain-equality oracle.
+
+use proptest::prelude::*;
+use wfms_observe::Registry;
+use wfms_server::{parse_tenants, TenantSpec, TenantTable};
+
+fn spec(name: &str, key: &str) -> TenantSpec {
+    TenantSpec {
+        name: name.to_owned(),
+        key: key.to_owned(),
+        weight: 1,
+        max_inflight: 16,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `bearer_token` is total over arbitrary header values: it never
+    /// panics, and any token it does extract is a plausible bearer
+    /// token (non-empty, no interior spaces, a substring of the
+    /// header).
+    #[test]
+    fn bearer_token_never_panics(header in "\\PC{0,64}") {
+        match wfms_server::tenant::bearer_token(&header) {
+            None => {}
+            Some(token) => {
+                prop_assert!(!token.is_empty());
+                prop_assert!(!token.contains(' '));
+                prop_assert!(header.contains(token));
+                prop_assert!(
+                    header.len() >= "Bearer x".len(),
+                    "a token needs at least the scheme and one byte"
+                );
+            }
+        }
+    }
+
+    /// A well-formed `Bearer <token>` header always round-trips the
+    /// token, whatever the token bytes (no spaces by construction).
+    #[test]
+    fn bearer_token_roundtrips(token in "[!-~]{1,32}") {
+        let header = format!("Bearer {token}");
+        prop_assert_eq!(wfms_server::tenant::bearer_token(&header), Some(token.as_str()));
+    }
+
+    /// `constant_time_eq` agrees with plain equality on every byte
+    /// pair, except that empty inputs never match (an unset key must
+    /// not authenticate an empty bearer).
+    #[test]
+    fn constant_time_eq_matches_oracle(
+        a in prop::collection::vec(any::<u8>(), 0..48),
+        b in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let expect = a == b && !a.is_empty();
+        prop_assert_eq!(wfms_server::tenant::constant_time_eq(&a, &b), expect);
+        // Reflexivity on the same non-empty buffer.
+        if !a.is_empty() {
+            prop_assert!(wfms_server::tenant::constant_time_eq(&a, &a));
+        }
+    }
+
+    /// `parse_tenants` is total over arbitrary text: garbage is an
+    /// `Err`, never a panic, and anything accepted satisfies the
+    /// validation rules.
+    #[test]
+    fn parse_tenants_never_panics(text in "\\PC{0,128}") {
+        if let Ok(specs) = parse_tenants(&text) {
+            for s in &specs {
+                prop_assert!(!s.name.is_empty());
+                prop_assert!(!s.key.is_empty());
+                prop_assert!(s.weight >= 1);
+                prop_assert!(s.max_inflight >= 1);
+            }
+        }
+    }
+
+    /// The authentication decision is total and agrees with the
+    /// oracle: an arbitrary presented key authenticates exactly when
+    /// it equals some live tenant's key.
+    #[test]
+    fn authenticate_agrees_with_oracle(
+        keys in prop::collection::vec("[!-~]{1,24}", 1..6),
+        probe in prop::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // Distinct names; keys may collide, in which case any of the
+        // colliding tenants is an acceptable answer.
+        let specs: Vec<TenantSpec> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, k)| spec(&format!("t{i}"), k))
+            .collect();
+        let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+        let table = TenantTable::build(&names, &specs, None, &Registry::new());
+        let expect = specs.iter().any(|s| s.key.as_bytes() == probe.as_slice());
+        match table.authenticate(&probe) {
+            Some(t) => {
+                prop_assert!(expect, "authenticated a key no tenant holds");
+                prop_assert!(
+                    specs.iter().any(|s| s.name == t.name && s.key.as_bytes() == probe.as_slice()),
+                    "authenticated as a tenant whose key differs"
+                );
+            }
+            None => prop_assert!(!expect, "rejected a live tenant's key"),
+        }
+    }
+}

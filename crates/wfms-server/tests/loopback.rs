@@ -709,6 +709,341 @@ fn stop_response_says_close_then_stops() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------- tenancy
+
+fn tenant_specs() -> Vec<wfms_server::TenantSpec> {
+    wfms_server::parse_tenants(
+        r#"{"tenants":[
+            {"name":"acme","key":"k-acme","weight":4},
+            {"name":"beta","key":"k-beta"}
+        ]}"#,
+    )
+    .unwrap()
+}
+
+fn tenant_pool_config(dir: &std::path::Path) -> PoolConfig {
+    let mut cfg = pool_config(dir);
+    cfg.tenants = tenant_specs();
+    cfg
+}
+
+/// The full auth taxonomy over real HTTP: no key and a wrong key are
+/// `401` (with `WWW-Authenticate` and `Connection: close`); a good key
+/// reaches the data plane; another tenant's instance answers `403`;
+/// the ops plane stays unauthenticated; `/metrics` grows per-tenant
+/// families.
+#[test]
+fn tenancy_auth_and_isolation_over_http() {
+    use std::io::{Read, Write};
+
+    let dir = temp_dir("tenancy-auth");
+    let pool = ShardPool::open(
+        tenant_pool_config(&dir),
+        Arc::new(Registry::new()),
+        &provision,
+    )
+    .unwrap();
+    let server = Server::start(Arc::new(pool), ServerConfig::new("auto")).unwrap();
+    let url = server.local_addr().to_string();
+
+    // No Authorization header → 401, advertised scheme, forced close.
+    let mut conn = raw_socket(&url);
+    conn.get_mut()
+        .write_all(b"POST /instances HTTP/1.1\r\ncontent-length: 2\r\n\r\n{}")
+        .unwrap();
+    let (code, headers, body) = read_raw_response(&mut conn);
+    assert_eq!(code, 401, "{body}");
+    assert!(body.contains("unauthorized"), "{body}");
+    assert!(headers.contains("www-authenticate: bearer"), "{headers}");
+    assert!(headers.contains("connection: close"), "{headers}");
+    let mut rest = Vec::new();
+    conn.get_mut().read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "401 actually closes the connection");
+
+    // A key no tenant holds → the same 401 answer (no tenant oracle).
+    let mut conn = raw_socket(&url);
+    conn.get_mut()
+        .write_all(b"GET /worklist?person=ann HTTP/1.1\r\nauthorization: Bearer nope\r\n\r\n")
+        .unwrap();
+    let (code, headers, _) = read_raw_response(&mut conn);
+    assert_eq!(code, 401);
+    assert!(headers.contains("connection: close"), "{headers}");
+
+    // The ops plane needs no key.
+    let mut plain = Http1Client::new(&url);
+    let (code, _) = plain.request("GET", "/healthz", None).unwrap();
+    assert_eq!(code, 200);
+
+    // acme submits; the id decodes to acme's slot on reads.
+    let mut acme = Http1Client::new(&url).with_api_key(Some("k-acme"));
+    let (code, body) = acme
+        .request("POST", "/instances", Some(r#"{"process":"manual"}"#))
+        .unwrap();
+    assert_eq!(code, 201, "{body}");
+    let submitted: SubmitResponse = serde_json::from_str(&body).unwrap();
+    let (code, body) = acme
+        .request("GET", &format!("/instances/{}", submitted.id), None)
+        .unwrap();
+    assert_eq!(code, 200, "{body}");
+
+    // beta cannot read acme's instance, its worklist item, nor see it
+    // on the worklist.
+    let mut beta = Http1Client::new(&url).with_api_key(Some("k-beta"));
+    let (code, body) = beta
+        .request("GET", &format!("/instances/{}", submitted.id), None)
+        .unwrap();
+    assert_eq!(code, 403, "{body}");
+    assert!(body.contains("forbidden"), "{body}");
+    let (code, body) = acme.request("GET", "/worklist?person=ann", None).unwrap();
+    assert_eq!(code, 200, "{body}");
+    let wl: WorklistResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(wl.items.len(), 1, "acme sees its own item");
+    assert_eq!(wl.items[0].instance, submitted.id);
+    let (code, body) = beta.request("GET", "/worklist?person=ann", None).unwrap();
+    assert_eq!(code, 200);
+    let wl_beta: WorklistResponse = serde_json::from_str(&body).unwrap();
+    assert!(
+        wl_beta.items.is_empty(),
+        "beta's worklist is scoped: {body}"
+    );
+    let (code, _) = beta
+        .request(
+            "POST",
+            &format!("/worklist/{}/complete", wl.items[0].id),
+            Some(r#"{"person":"ann"}"#),
+        )
+        .unwrap();
+    assert_eq!(code, 403, "cross-tenant complete is forbidden");
+
+    // acme itself can complete the item.
+    let (code, body) = acme
+        .request(
+            "POST",
+            &format!("/worklist/{}/complete", wl.items[0].id),
+            Some(r#"{"person":"ann"}"#),
+        )
+        .unwrap();
+    assert_eq!(code, 200, "{body}");
+
+    // Per-tenant metric families are exposed, labelled by name.
+    let (code, text) = plain.request("GET", "/metrics", None).unwrap();
+    assert_eq!(code, 200);
+    assert!(
+        text.contains("server_tenant_accepted{tenant=\"acme\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("server_tenant_inflight{tenant=\"acme\"}"),
+        "{text}"
+    );
+
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A tenant past its inflight quota answers `429` with `Retry-After`
+/// and `Connection: close` — while another tenant keeps submitting.
+#[test]
+fn tenant_quota_answers_429_with_retry_after() {
+    use std::io::Write;
+
+    let dir = temp_dir("tenancy-quota");
+    let mut cfg = tenant_pool_config(&dir);
+    cfg.shards = 1;
+    cfg.tenants[0].max_inflight = 2; // acme
+    cfg.throttle = Some(Duration::from_millis(100));
+    let pool = ShardPool::open(cfg, Arc::new(Registry::new()), &provision).unwrap();
+    let server = Server::start(Arc::new(pool), ServerConfig::new("auto")).unwrap();
+    let url = server.local_addr().to_string();
+
+    // Three pipelined submits against a quota of 2 and a worker that
+    // takes 100ms per job: the first two are admitted, the third is
+    // quota-rejected. Replies come back in request order.
+    let mut conn = raw_socket(&url);
+    let one = "POST /instances HTTP/1.1\r\nauthorization: Bearer k-acme\r\n\
+               content-length: 18\r\n\r\n{\"process\":\"auto\"}";
+    let burst = format!("{one}{one}{one}");
+    conn.get_mut().write_all(burst.as_bytes()).unwrap();
+    conn.get_mut().flush().unwrap();
+    let (code, _, body) = read_raw_response(&mut conn);
+    assert_eq!(code, 201, "{body}");
+    let (code, _, body) = read_raw_response(&mut conn);
+    assert_eq!(code, 201, "{body}");
+    let (code, headers, body) = read_raw_response(&mut conn);
+    assert_eq!(code, 429, "third submit breaches the quota: {body}");
+    assert!(body.contains("overloaded"), "{body}");
+    assert!(headers.contains("retry-after: 1"), "{headers}");
+    assert!(headers.contains("connection: close"), "{headers}");
+
+    // The quiet tenant is not collateral damage.
+    let mut beta = Http1Client::new(&url).with_api_key(Some("k-beta"));
+    let (code, body) = beta
+        .request("POST", "/instances", Some(r#"{"process":"auto"}"#))
+        .unwrap();
+    assert_eq!(code, 201, "beta submits while acme is throttled: {body}");
+
+    // The rejection shows up in acme's overloaded counter.
+    let mut plain = Http1Client::new(&url);
+    let (_, text) = plain.request("GET", "/metrics", None).unwrap();
+    assert!(
+        text.contains("server_tenant_overloaded{tenant=\"acme\"} 1"),
+        "{text}"
+    );
+
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Restart + hot reload: instances recover under their tenant, a
+/// rotated key takes effect via `POST /admin/reload-tenants`, and the
+/// old key dies.
+#[test]
+fn restart_and_reload_tenants_rotates_keys_and_keeps_identity() {
+    let dir = temp_dir("tenancy-reload");
+    let tenants_file = dir.join("tenants.json");
+
+    let start = |specs: Vec<wfms_server::TenantSpec>| {
+        let mut cfg = pool_config(&dir);
+        cfg.tenants = specs;
+        let pool = ShardPool::open(cfg, Arc::new(Registry::new()), &provision).unwrap();
+        let mut scfg = ServerConfig::new("auto");
+        scfg.tenants_path = Some(tenants_file.clone());
+        Server::start(Arc::new(pool), scfg).unwrap()
+    };
+
+    let parked_id;
+    {
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            &tenants_file,
+            r#"{"tenants":[{"name":"acme","key":"k-acme"},{"name":"beta","key":"k-beta"}]}"#,
+        )
+        .unwrap();
+        let server = start(tenant_specs());
+        let url = server.local_addr().to_string();
+        let mut acme = Http1Client::new(&url).with_api_key(Some("k-acme"));
+        let (code, body) = acme
+            .request("POST", "/instances", Some(r#"{"process":"manual"}"#))
+            .unwrap();
+        assert_eq!(code, 201, "{body}");
+        let submitted: SubmitResponse = serde_json::from_str(&body).unwrap();
+        parked_id = submitted.id;
+        server.shutdown(false); // abrupt: no drain checkpoint
+    }
+
+    let server = start(tenant_specs());
+    let url = server.local_addr().to_string();
+
+    // The recovered instance still belongs to acme: readable with
+    // acme's key, 403 with beta's.
+    let mut acme = Http1Client::new(&url).with_api_key(Some("k-acme"));
+    let (code, body) = acme
+        .request("GET", &format!("/instances/{parked_id}"), None)
+        .unwrap();
+    assert_eq!(code, 200, "{body}");
+    let st: StatusResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(st.status, "running");
+    let mut beta = Http1Client::new(&url).with_api_key(Some("k-beta"));
+    let (code, _) = beta
+        .request("GET", &format!("/instances/{parked_id}"), None)
+        .unwrap();
+    assert_eq!(code, 403, "tenant identity survives the crash");
+
+    // Rotate acme's key on disk and hot-reload.
+    std::fs::write(
+        &tenants_file,
+        r#"{"tenants":[{"name":"acme","key":"rotated"},{"name":"beta","key":"k-beta"}]}"#,
+    )
+    .unwrap();
+    let mut plain = Http1Client::new(&url);
+    let (code, body) = plain
+        .request("POST", "/admin/reload-tenants", None)
+        .unwrap();
+    assert_eq!(code, 200, "{body}");
+    let reloaded: wfms_server::api::ReloadTenantsResponse = serde_json::from_str(&body).unwrap();
+    assert_eq!(reloaded.tenants, 2);
+
+    // Old key dead, rotated key reaches the same instance.
+    let (code, _) = acme
+        .request("GET", &format!("/instances/{parked_id}"), None)
+        .unwrap();
+    assert_eq!(code, 401, "pre-rotation key no longer authenticates");
+    let mut rotated = Http1Client::new(&url).with_api_key(Some("rotated"));
+    let (code, body) = rotated
+        .request("GET", &format!("/instances/{parked_id}"), None)
+        .unwrap();
+    assert_eq!(code, 200, "{body}");
+
+    // A tenants file that fails validation answers 400 and leaves the
+    // live table untouched.
+    std::fs::write(&tenants_file, r#"{"tenants":[{"name":"","key":"k"}]}"#).unwrap();
+    let (code, _) = plain
+        .request("POST", "/admin/reload-tenants", None)
+        .unwrap();
+    assert_eq!(code, 400);
+    let (code, _) = rotated
+        .request("GET", &format!("/instances/{parked_id}"), None)
+        .unwrap();
+    assert_eq!(code, 200, "failed reload keeps the previous table");
+
+    server.shutdown(true);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Reopening a data directory with a different tenancy layout —
+/// enabled↔disabled — is refused with the knob named, exactly like a
+/// `--shards` mismatch.
+#[test]
+fn tenancy_flip_on_reopen_is_rejected() {
+    let dir = temp_dir("tenancy-flip");
+    {
+        let pool = ShardPool::open(
+            tenant_pool_config(&dir),
+            Arc::new(Registry::new()),
+            &provision,
+        )
+        .unwrap();
+        drop(pool);
+    }
+    // Tenanted directory, untenanted reopen: refused.
+    let Err(err) = ShardPool::open(pool_config(&dir), Arc::new(Registry::new()), &provision) else {
+        panic!("tenancy flip must be rejected");
+    };
+    assert!(
+        err.to_string().contains("--tenants"),
+        "names the knob: {err}"
+    );
+    // The original layout still opens, and new tenants may be added.
+    let mut cfg = tenant_pool_config(&dir);
+    cfg.tenants.push(wfms_server::TenantSpec {
+        name: "gamma".to_owned(),
+        key: "k-gamma".to_owned(),
+        weight: 1,
+        max_inflight: 16,
+    });
+    let pool = ShardPool::open(cfg, Arc::new(Registry::new()), &provision).unwrap();
+    drop(pool);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // And the reverse: an untenanted directory refuses a tenanted
+    // reopen (ids on disk have no slot bits).
+    let dir = temp_dir("tenancy-flip2");
+    {
+        let pool =
+            ShardPool::open(pool_config(&dir), Arc::new(Registry::new()), &provision).unwrap();
+        drop(pool);
+    }
+    let Err(err) = ShardPool::open(
+        tenant_pool_config(&dir),
+        Arc::new(Registry::new()),
+        &provision,
+    ) else {
+        panic!("reverse tenancy flip must be rejected");
+    };
+    assert!(err.to_string().contains("--tenants"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn acknowledged_submissions_are_durable_before_reply() {
     let dir = temp_dir("durable");

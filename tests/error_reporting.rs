@@ -128,6 +128,7 @@ fn recovery_error_names_the_missing_template() {
         instance: wftx::engine::InstanceId(1),
         process: "ghost".into(),
         input: Container::empty(),
+        tenant: None,
         at: 0,
     }];
     let res = wftx::engine::recover_from(
